@@ -1,0 +1,46 @@
+//! E1 — rewriting enumeration cost vs number of views, exhaustive
+//! vs pruned (DESIGN.md §4.2). Paper claim (§3.2/§4): "going through
+//! all rewritings would be an impractical implementation"; §3.4 hopes
+//! an order-based search "avoids an exhaustive materialization".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::{example_query, view_defs_of_size};
+use fgc_rewrite::{best_rewritings, enumerate_rewritings, RewriteOptions};
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let q = example_query();
+    let mut group = c.benchmark_group("e1_rewriting");
+    group.sample_size(10);
+    for views in [5usize, 8, 12, 16, 24] {
+        let defs = view_defs_of_size(views);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", views),
+            &views,
+            |b, _| {
+                b.iter(|| {
+                    enumerate_rewritings(
+                        black_box(&q),
+                        black_box(&defs),
+                        RewriteOptions::default(),
+                    )
+                    .expect("enumeration succeeds")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("pruned", views), &views, |b, _| {
+            b.iter(|| {
+                best_rewritings(
+                    black_box(&q),
+                    black_box(&defs),
+                    RewriteOptions::default(),
+                )
+                .expect("pruned search succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

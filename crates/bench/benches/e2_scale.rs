@@ -1,0 +1,32 @@
+//! E2 — end-to-end citation latency vs database scale (DESIGN.md
+//! §4.2). Paper claim (§1): citations for general queries can be
+//! generated automatically; this measures the cost of doing so.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::engine_at_scale;
+use fgc_core::{Policy, RewriteMode};
+use fgc_gtopdb::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_scale");
+    group.sample_size(10);
+    for families in [100usize, 1_000, 10_000] {
+        let mut engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+        let mut workload = WorkloadGenerator::new(engine.database(), 11);
+        // one query per class, reused every iteration (warm extents)
+        let queries: Vec<_> = (0..3).map(|t| workload.query_from_template(t)).collect();
+        let _ = engine.cite(&queries[0]).expect("warmup");
+        for (class, q) in queries.iter().enumerate() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("T{class}"), families),
+                &families,
+                |b, _| b.iter(|| engine.cite(black_box(q)).expect("cite succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 — cost and effect of the §3.4 order-based normal forms.
+//! Paper claim: orders reduce "the size of the resulting citation".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::example_query;
+use fgc_core::{CitationEngine, EngineOptions, OrderChoice, Policy, RewriteMode};
+use fgc_gtopdb::{paper_instance, paper_views};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let q = example_query();
+    let mut group = c.benchmark_group("e3_orders");
+    group.sample_size(10);
+    for (name, order) in [
+        ("none", OrderChoice::None),
+        ("fewest-views", OrderChoice::FewestViews),
+        ("fewest-uncovered", OrderChoice::FewestUncovered),
+        ("view-inclusion", OrderChoice::ViewInclusion),
+        ("composite", OrderChoice::Composite),
+    ] {
+        let mut engine = CitationEngine::new(paper_instance(), paper_views())
+            .expect("views validate")
+            .with_policy(Policy::union_all().with_order(order))
+            .with_options(EngineOptions {
+                mode: RewriteMode::Exhaustive,
+                ..EngineOptions::default()
+            });
+        let _ = engine.cite(&q).expect("warmup");
+        group.bench_with_input(BenchmarkId::new("cite", name), &name, |b, _| {
+            b.iter(|| engine.cite(black_box(&q)).expect("cite succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 — cost of the owner-chosen interpretations of `+`, `·`, `+R`,
+//! `Agg` (§3.3): union (record sets) vs join (factored records).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::engine_at_scale;
+use fgc_core::{Policy, RewriteMode};
+use fgc_gtopdb::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_policies");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("union-all", Policy::union_all()),
+        ("join-all", Policy::join_all()),
+        ("default", Policy::default()),
+    ] {
+        let mut engine = engine_at_scale(1_000, RewriteMode::Pruned, policy);
+        let mut workload = WorkloadGenerator::new(engine.database(), 13);
+        let q = workload.query_from_template(1);
+        let _ = engine.cite(&q).expect("warmup");
+        group.bench_with_input(BenchmarkId::new("cite_T1", name), &name, |b, _| {
+            b.iter(|| engine.cite(black_box(&q)).expect("cite succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

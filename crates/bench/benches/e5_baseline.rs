@@ -1,0 +1,47 @@
+//! E5 — GtoPdb's current practice (hard-coded page citations) vs the
+//! engine, on the workloads each can serve (§1 of the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgc_bench::db_at_scale;
+use fgc_core::{CitationEngine, PageCitationStore};
+use fgc_gtopdb::{paper_views, WorkloadGenerator};
+use std::hint::black_box;
+
+fn bench_e5(c: &mut Criterion) {
+    let db = db_at_scale(1_000);
+    let store = PageCitationStore::materialize(&db, &paper_views()).expect("materialize");
+    let mut workload = WorkloadGenerator::new(&db, 17);
+    let pages: Vec<_> = (0..50).map(|_| workload.page_request()).collect();
+    let ad_hoc = workload.ad_hoc_batch(10);
+    let mut engine = CitationEngine::new(db, paper_views()).expect("views validate");
+    let _ = engine.cite(&ad_hoc[0]).expect("warmup");
+
+    let mut group = c.benchmark_group("e5_baseline");
+    group.sample_size(10);
+    group.bench_function("baseline_page_lookup_x50", |b| {
+        b.iter(|| {
+            for (v, p) in &pages {
+                black_box(store.cite_page(v, p));
+            }
+        })
+    });
+    group.bench_function("engine_ad_hoc_cite_x10", |b| {
+        b.iter(|| {
+            for q in &ad_hoc {
+                black_box(engine.cite(q).expect("cite succeeds"));
+            }
+        })
+    });
+    group.bench_function("baseline_materialize_all_pages", |b| {
+        let db = db_at_scale(1_000);
+        b.iter(|| {
+            black_box(
+                PageCitationStore::materialize(&db, &paper_views()).expect("materialize"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

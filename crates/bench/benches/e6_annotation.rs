@@ -1,0 +1,52 @@
+//! E6 — overhead of semiring-annotated evaluation over plain
+//! evaluation (§4: tuple-level citations need query-processing
+//! changes "to combine citation annotations").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgc_bench::db_at_scale;
+use fgc_gtopdb::WorkloadGenerator;
+use fgc_query::{evaluate, evaluate_annotated};
+use fgc_relation::Tuple;
+use fgc_semiring::{Natural, Polynomial, Why};
+use std::hint::black_box;
+
+fn bench_e6(c: &mut Criterion) {
+    let db = db_at_scale(1_000);
+    let mut workload = WorkloadGenerator::new(&db, 23);
+    let q = workload.query_from_template(1);
+
+    let mut group = c.benchmark_group("e6_annotation");
+    group.sample_size(10);
+    group.bench_function("plain", |b| {
+        b.iter(|| black_box(evaluate(&db, &q).expect("evaluate")))
+    });
+    group.bench_function("natural", |b| {
+        b.iter(|| {
+            let out: Vec<(Tuple, Natural)> =
+                evaluate_annotated(&db, &q, |_, _| Natural(1)).expect("annotated");
+            black_box(out)
+        })
+    });
+    group.bench_function("why", |b| {
+        b.iter(|| {
+            let out: Vec<(Tuple, Why<String>)> =
+                evaluate_annotated(&db, &q, |rel, row| Why::token(format!("{rel}:{row}")))
+                    .expect("annotated");
+            black_box(out)
+        })
+    });
+    group.bench_function("polynomial", |b| {
+        b.iter(|| {
+            let out: Vec<(Tuple, Polynomial<String>)> =
+                evaluate_annotated(&db, &q, |rel, row| {
+                    Polynomial::token(format!("{rel}:{row}"))
+                })
+                .expect("annotated");
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E7 — effect of citation caching and extent materialization (§4:
+//! "caching and materialization" as an open direction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgc_bench::engine_at_scale;
+use fgc_core::{Policy, RewriteMode};
+use fgc_gtopdb::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_cache");
+    group.sample_size(10);
+
+    group.bench_function("cold_cite", |b| {
+        let mut engine = engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
+        let mut workload = WorkloadGenerator::new(engine.database(), 29);
+        let q = workload.query_from_template(2);
+        b.iter(|| {
+            engine.clear_caches(); // extents + citations recomputed
+            black_box(engine.cite(&q).expect("cite succeeds"))
+        })
+    });
+
+    group.bench_function("warm_cite", |b| {
+        let mut engine = engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
+        let mut workload = WorkloadGenerator::new(engine.database(), 29);
+        let q = workload.query_from_template(2);
+        let _ = engine.cite(&q).expect("warmup");
+        b.iter(|| black_box(engine.cite(&q).expect("cite succeeds")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E8 — fixity: the cost of version chains and of citing "the data
+//! as seen at the time it was cited" (§4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_core::VersionedCitationEngine;
+use fgc_gtopdb::{paper_instance, paper_views};
+use fgc_query::parse_query;
+use fgc_relation::{tuple, VersionedDatabase};
+use std::hint::black_box;
+
+fn history_of(versions: usize) -> VersionedDatabase {
+    let mut history = VersionedDatabase::new();
+    history.commit(paper_instance(), 0, "v0").expect("commit");
+    for i in 1..versions {
+        history
+            .commit_with(i as u64 * 10, format!("v{i}"), |db| {
+                db.insert(
+                    "Family",
+                    tuple![format!("g{i}"), format!("Generated-{i}"), "gpcr"],
+                )
+                .map(|_| ())
+            })
+            .expect("commit");
+    }
+    history
+}
+
+fn bench_e8(c: &mut Criterion) {
+    let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").expect("static");
+    let mut group = c.benchmark_group("e8_fixity");
+    group.sample_size(10);
+    for versions in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("build_chain", versions),
+            &versions,
+            |b, &v| b.iter(|| black_box(history_of(v))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm_historical_cite", versions),
+            &versions,
+            |b, &v| {
+                let mut engine = VersionedCitationEngine::new(history_of(v), paper_views());
+                let _ = engine.cite_at_time(5, &q).expect("warmup");
+                b.iter(|| black_box(engine.cite_at_time(5, &q).expect("cite")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_resolution", versions),
+            &versions,
+            |b, &v| {
+                let history = history_of(v);
+                b.iter(|| black_box(history.snapshot_at(v as u64 * 5)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -1,0 +1,714 @@
+//! # fgc-bench — the experiment harness (E1–E8)
+//!
+//! The paper ("A Model for Fine-Grained Data Citation", CIDR 2017)
+//! publishes no quantitative evaluation; this crate turns each of its
+//! qualitative claims into a measured experiment (see DESIGN.md §4.2
+//! and EXPERIMENTS.md). Two entry points:
+//!
+//! * `cargo bench -p fgc-bench` — Criterion micro/meso benchmarks,
+//!   one target per experiment;
+//! * `cargo run -p fgc-bench --release` — prints the experiment
+//!   tables (rows/series) that EXPERIMENTS.md records.
+
+use fgc_core::{
+    baseline_coverage, CitationEngine, EngineOptions, OrderChoice, PageCitationStore, Policy,
+    RewriteMode, VersionedCitationEngine,
+};
+use fgc_gtopdb::{generate, paper_instance, paper_views, GeneratorConfig, WorkloadGenerator};
+use fgc_query::{evaluate, evaluate_annotated, parse_query, ConjunctiveQuery};
+use fgc_relation::{Database, VersionedDatabase};
+use fgc_rewrite::{best_rewritings, enumerate_rewritings, RewriteOptions, ViewDefs};
+use fgc_semiring::{Natural, Polynomial, Why};
+use fgc_views::ViewRegistry;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A printable experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id + claim.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// The Example 2.3 query used across experiments.
+pub fn example_query() -> ConjunctiveQuery {
+    parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"")
+        .expect("static query")
+}
+
+/// Paper views as rewriting definitions.
+pub fn paper_view_defs() -> ViewDefs {
+    ViewDefs::new(paper_views().iter().map(|v| v.view.clone()))
+}
+
+/// A view set of size `n`: the paper's five views plus `n - 5`
+/// derived selection/projection views (renamed copies over the same
+/// relations, the realistic "many similar landing pages" case that
+/// blows up enumeration).
+pub fn view_defs_of_size(n: usize) -> ViewDefs {
+    let mut defs: Vec<ConjunctiveQuery> = paper_views()
+        .iter()
+        .map(|v| v.view.clone())
+        .collect();
+    let mut i = 0usize;
+    while defs.len() < n {
+        let q = match i % 4 {
+            0 => format!("lambda F. W{i}(F, N, Ty) :- Family(F, N, Ty)"),
+            1 => format!("lambda Ty. W{i}(F, N, Ty) :- Family(F, N, Ty)"),
+            2 => format!("lambda F. W{i}(F, Tx) :- FamilyIntro(F, Tx)"),
+            _ => format!(
+                "lambda Ty. W{i}(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"
+            ),
+        };
+        defs.push(parse_query(&q).expect("static template"));
+        i += 1;
+    }
+    defs.truncate(n);
+    ViewDefs::new(defs)
+}
+
+/// Engine over a generated instance of `families` families.
+pub fn engine_at_scale(families: usize, mode: RewriteMode, policy: Policy) -> CitationEngine {
+    let db = generate(&GeneratorConfig::default().with_families(families));
+    CitationEngine::new(db, paper_views())
+        .expect("views validate")
+        .with_policy(policy)
+        .with_options(EngineOptions {
+            mode,
+            ..EngineOptions::default()
+        })
+}
+
+/// Generated database at scale (shared by several experiments).
+pub fn db_at_scale(families: usize) -> Database {
+    generate(&GeneratorConfig::default().with_families(families))
+}
+
+// =====================================================================
+// E1 — rewriting enumeration: exhaustive vs pruned
+// =====================================================================
+
+/// E1 table: #views vs combinations tried and wall time, exhaustive
+/// vs pruned. Claim: exhaustive enumeration is impractical (§3.2/§4);
+/// the preference-pruned search stays flat when a small cover exists.
+pub fn e1_table(view_counts: &[usize]) -> Table {
+    let q = example_query();
+    let mut rows = Vec::new();
+    for &n in view_counts {
+        let defs = view_defs_of_size(n);
+        let t0 = Instant::now();
+        let exhaustive = enumerate_rewritings(&q, &defs, RewriteOptions::default())
+            .expect("enumeration succeeds");
+        let t_ex = t0.elapsed();
+        let t0 = Instant::now();
+        let pruned = best_rewritings(&q, &defs, RewriteOptions::default())
+            .expect("pruned search succeeds");
+        let t_pr = t0.elapsed();
+        rows.push(vec![
+            n.to_string(),
+            exhaustive.rewritings.len().to_string(),
+            exhaustive.combinations_tried.to_string(),
+            ms(t_ex),
+            pruned.combinations_tried.to_string(),
+            ms(t_pr),
+            exhaustive.exhaustive.to_string(),
+        ]);
+    }
+    Table {
+        title: "E1 — rewriting enumeration vs pruned preference search (query: Ex 2.3)"
+            .into(),
+        headers: vec![
+            "views".into(),
+            "rewritings".into(),
+            "combos(exh)".into(),
+            "ms(exh)".into(),
+            "combos(pruned)".into(),
+            "ms(pruned)".into(),
+            "exhaustive".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// E2 — citation latency vs database scale
+// =====================================================================
+
+/// E2 table: end-to-end `cite` latency per query class at increasing
+/// scale. Claim: citations for general queries can be generated
+/// automatically at interactive cost.
+pub fn e2_table(scales: &[usize]) -> Table {
+    let mut rows = Vec::new();
+    for &families in scales {
+        let mut engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+        let mut workload = WorkloadGenerator::new(engine.database(), 11);
+        for class in 0..3usize {
+            let q = workload.query_from_template(class);
+            // warm the extent cache so we measure steady-state cites
+            let _ = engine.cite(&q).expect("cite succeeds");
+            let q2 = workload.query_from_template(class);
+            let t0 = Instant::now();
+            let cited = engine.cite(&q2).expect("cite succeeds");
+            let dt = t0.elapsed();
+            rows.push(vec![
+                families.to_string(),
+                format!("T{class}"),
+                cited.tuples.len().to_string(),
+                ms(dt),
+            ]);
+        }
+    }
+    Table {
+        title: "E2 — cite() latency vs database scale (pruned mode, warm extents)".into(),
+        headers: vec![
+            "families".into(),
+            "query".into(),
+            "tuples".into(),
+            "ms".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// E3 — orders make citations concise
+// =====================================================================
+
+/// E3 table: symbolic and JSON citation size under each §3.4 order.
+pub fn e3_table() -> Table {
+    let q = example_query();
+    let mut rows = Vec::new();
+    for (name, order) in [
+        ("none", OrderChoice::None),
+        ("fewest-views", OrderChoice::FewestViews),
+        ("fewest-uncovered", OrderChoice::FewestUncovered),
+        ("view-inclusion", OrderChoice::ViewInclusion),
+        ("composite", OrderChoice::Composite),
+    ] {
+        let mut engine = CitationEngine::new(paper_instance(), paper_views())
+            .expect("views validate")
+            .with_policy(Policy::union_all().with_order(order))
+            .with_options(EngineOptions {
+                mode: RewriteMode::Exhaustive,
+                ..EngineOptions::default()
+            });
+        let t0 = Instant::now();
+        let cited = engine.cite(&q).expect("cite succeeds");
+        let dt = t0.elapsed();
+        rows.push(vec![
+            name.to_string(),
+            cited.rewritings.len().to_string(),
+            cited.total_monomials().to_string(),
+            cited.total_json_bytes().to_string(),
+            ms(dt),
+        ]);
+    }
+    Table {
+        title: "E3 — citation size under the §3.4 orders (exhaustive +R, query: Ex 2.3)"
+            .into(),
+        headers: vec![
+            "order".into(),
+            "rewritings".into(),
+            "monomials".into(),
+            "json-bytes".into(),
+            "ms".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// E4 — interpretations of the combining functions
+// =====================================================================
+
+/// E4 table: policy (union/join/default) vs citation size and time.
+pub fn e4_table(families: usize) -> Table {
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("union-all", Policy::union_all()),
+        ("join-all", Policy::join_all()),
+        ("default", Policy::default()),
+    ] {
+        let mut engine = engine_at_scale(families, RewriteMode::Exhaustive, policy);
+        let mut workload = WorkloadGenerator::new(engine.database(), 13);
+        let q = workload.query_from_template(1);
+        let _ = engine.cite(&q).expect("warmup");
+        let t0 = Instant::now();
+        let cited = engine.cite(&q).expect("cite succeeds");
+        let dt = t0.elapsed();
+        rows.push(vec![
+            name.to_string(),
+            cited.tuples.len().to_string(),
+            cited.total_json_bytes().to_string(),
+            ms(dt),
+        ]);
+    }
+    Table {
+        title: format!(
+            "E4 — interpretations of +, ·, +R, Agg ({families} families, T1, exhaustive +R)"
+        ),
+        headers: vec![
+            "policy".into(),
+            "tuples".into(),
+            "json-bytes".into(),
+            "ms".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// E5 — hard-coded pages vs the engine
+// =====================================================================
+
+/// E5 table: coverage and latency, baseline vs engine, on page-only
+/// and mixed workloads.
+pub fn e5_table(families: usize) -> Table {
+    let db = db_at_scale(families);
+    let views = paper_views();
+    let t0 = Instant::now();
+    let store = PageCitationStore::materialize(&db, &views).expect("materialize");
+    let t_mat = t0.elapsed();
+    let mut workload = WorkloadGenerator::new(&db, 17);
+    let pages_only = workload.mixed(100, 0);
+    let mixed = workload.mixed(50, 50);
+
+    let mut engine = CitationEngine::new(db, views).expect("views validate");
+
+    // baseline lookup latency (averaged over the page workload)
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for item in &pages_only {
+        if let fgc_core::WorkloadItem::Page((v, p)) = item {
+            if store.cite_page(v, p).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    let t_lookup = t0.elapsed() / pages_only.len() as u32;
+
+    // engine ad-hoc latency (averaged over 10 queries, warm)
+    let queries = WorkloadGenerator::new(engine.database(), 19).ad_hoc_batch(10);
+    let _ = engine.cite(&queries[0]).expect("warmup");
+    let t0 = Instant::now();
+    for q in &queries {
+        let _ = engine.cite(q).expect("cite succeeds");
+    }
+    let t_engine = t0.elapsed() / queries.len() as u32;
+
+    let rows = vec![
+        vec![
+            "baseline".into(),
+            format!("{:.2}", baseline_coverage(&store, &pages_only)),
+            format!("{:.2}", baseline_coverage(&store, &mixed)),
+            ms(t_lookup),
+            format!("materialize {} pages in {}ms", store.len(), ms(t_mat)),
+        ],
+        vec![
+            "engine".into(),
+            format!("{:.2}", 1.0),
+            format!("{:.2}", 1.0),
+            ms(t_engine),
+            format!("page hits also answerable: {hits}"),
+        ],
+    ];
+    Table {
+        title: format!(
+            "E5 — hard-coded page citations vs the engine ({families} families)"
+        ),
+        headers: vec![
+            "system".into(),
+            "coverage(pages)".into(),
+            "coverage(mixed)".into(),
+            "ms/query".into(),
+            "notes".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// E6 — annotated evaluation overhead
+// =====================================================================
+
+/// E6 table: plain vs semiring-annotated evaluation. Claim (§4):
+/// tuple-level citation annotations require query-processing changes;
+/// this is their runtime price.
+pub fn e6_table(families: usize) -> Table {
+    let db = db_at_scale(families);
+    let mut workload = WorkloadGenerator::new(&db, 23);
+    let q = workload.query_from_template(1);
+    let reps = 5u32;
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = evaluate(&db, &q).expect("evaluate");
+    }
+    let t_plain = t0.elapsed() / reps;
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _: Vec<(fgc_relation::Tuple, Natural)> =
+            evaluate_annotated(&db, &q, |_, _| Natural(1)).expect("annotated");
+    }
+    let t_nat = t0.elapsed() / reps;
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _: Vec<(fgc_relation::Tuple, Why<String>)> =
+            evaluate_annotated(&db, &q, |rel, row| Why::token(format!("{rel}:{row}")))
+                .expect("annotated");
+    }
+    let t_why = t0.elapsed() / reps;
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _: Vec<(fgc_relation::Tuple, Polynomial<String>)> =
+            evaluate_annotated(&db, &q, |rel, row| {
+                Polynomial::token(format!("{rel}:{row}"))
+            })
+            .expect("annotated");
+    }
+    let t_poly = t0.elapsed() / reps;
+
+    let rel = |t: std::time::Duration| {
+        format!("{:.2}x", t.as_secs_f64() / t_plain.as_secs_f64().max(1e-12))
+    };
+    let rows = vec![
+        vec!["plain".into(), ms(t_plain), "1.00x".into()],
+        vec!["Natural (counting)".into(), ms(t_nat), rel(t_nat)],
+        vec!["Why (witnesses)".into(), ms(t_why), rel(t_why)],
+        vec!["N[X] polynomials".into(), ms(t_poly), rel(t_poly)],
+    ];
+    Table {
+        title: format!(
+            "E6 — semiring-annotated evaluation overhead ({families} families, T1)"
+        ),
+        headers: vec!["evaluation".into(), "ms".into(), "vs plain".into()],
+        rows,
+    }
+}
+
+// =====================================================================
+// E7 — citation caching
+// =====================================================================
+
+/// E7 table: cold vs warm citation latency and hit rates.
+pub fn e7_table(families: usize) -> Table {
+    let mut engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+    let mut workload = WorkloadGenerator::new(engine.database(), 29);
+    let queries = workload.ad_hoc_batch(20);
+
+    // cold pass: caches dropped before every query
+    let t0 = Instant::now();
+    for q in &queries {
+        engine.clear_caches();
+        let _ = engine.cite(q).expect("cite succeeds");
+    }
+    let cold = t0.elapsed() / queries.len() as u32;
+    let stats_cold = engine.cache_stats();
+
+    // warm pass: caches kept across (repeated) queries
+    let _ = engine.cite(&queries[0]).expect("prime extents");
+    let before_warm = engine.cache_stats();
+    let t0 = Instant::now();
+    for q in &queries {
+        let _ = engine.cite(q).expect("cite succeeds");
+    }
+    let warm = t0.elapsed() / queries.len() as u32;
+    let stats_warm = engine.cache_stats();
+    let warm_hits = stats_warm.hits - before_warm.hits;
+    let warm_misses = stats_warm.misses - before_warm.misses;
+    let warm_rate = if warm_hits + warm_misses == 0 {
+        1.0
+    } else {
+        warm_hits as f64 / (warm_hits + warm_misses) as f64
+    };
+
+    let rows = vec![
+        vec![
+            "cold".into(),
+            ms(cold),
+            format!("{:.2}", stats_cold.hit_rate()),
+            stats_cold.entries.to_string(),
+        ],
+        vec![
+            "warm".into(),
+            ms(warm),
+            format!("{warm_rate:.2}"),
+            stats_warm.entries.to_string(),
+        ],
+    ];
+    Table {
+        title: format!("E7 — citation + extent caches, cold vs warm ({families} families, 20 queries)"),
+        headers: vec![
+            "pass".into(),
+            "ms/query".into(),
+            "hit rate".into(),
+            "entries".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// E8 — fixity
+// =====================================================================
+
+/// E8 table: version-chain cost and historical citation latency.
+pub fn e8_table(version_counts: &[usize]) -> Table {
+    let mut rows = Vec::new();
+    for &versions in version_counts {
+        let t0 = Instant::now();
+        let mut history = VersionedDatabase::new();
+        history
+            .commit(paper_instance(), 0, "v0")
+            .expect("first commit");
+        for i in 1..versions {
+            history
+                .commit_with(i as u64 * 10, format!("v{i}"), |db| {
+                    db.insert(
+                        "Family",
+                        fgc_relation::tuple![
+                            format!("g{i}"),
+                            format!("Generated-{i}"),
+                            "gpcr"
+                        ],
+                    )
+                    .map(|_| ())
+                })
+                .expect("commit");
+        }
+        let t_build = t0.elapsed();
+
+        let mut engine = VersionedCitationEngine::new(history, paper_views());
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").expect("static");
+        // first historical citation (engine construction + cite)
+        let t0 = Instant::now();
+        let old = engine
+            .cite_at_time(5, &q)
+            .expect("historical citation");
+        let t_first = t0.elapsed();
+        // repeat citation against the same snapshot (warm engine)
+        let t0 = Instant::now();
+        let _ = engine.cite_at_time(5, &q).expect("historical citation");
+        let t_warm = t0.elapsed();
+        rows.push(vec![
+            versions.to_string(),
+            ms(t_build),
+            old.label.clone(),
+            ms(t_first),
+            ms(t_warm),
+        ]);
+    }
+    Table {
+        title: "E8 — fixity: version chains and historical citations".into(),
+        headers: vec![
+            "versions".into(),
+            "build ms".into(),
+            "resolved".into(),
+            "first cite ms".into(),
+            "warm cite ms".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// A-series — ablations of our own design choices (DESIGN.md §6)
+// =====================================================================
+
+/// A1/A2 table: switch off one implementation choice at a time.
+/// * A1: per-cite interpretation memo (identical symbolic expressions
+///   share one interpreted citation);
+/// * A2: secondary hash indexes on the base relations.
+pub fn ablation_table(families: usize) -> Table {
+    // A1 — interpretation memo
+    let q_t0 = {
+        let db = db_at_scale(families);
+        let mut w = WorkloadGenerator::new(&db, 37);
+        w.query_from_template(0)
+    };
+    let mut with_memo = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+    let _ = with_memo.cite(&q_t0).expect("warmup");
+    let t0 = Instant::now();
+    let _ = with_memo.cite(&q_t0).expect("cite");
+    let t_memo = t0.elapsed();
+    let mut without_memo = engine_at_scale(families, RewriteMode::Pruned, Policy::default())
+        .with_options(EngineOptions {
+            memoize_interpretation: false,
+            ..EngineOptions::default()
+        });
+    let _ = without_memo.cite(&q_t0).expect("warmup");
+    let t0 = Instant::now();
+    let _ = without_memo.cite(&q_t0).expect("cite");
+    let t_no_memo = t0.elapsed();
+
+    // A2 — secondary indexes (plain evaluation of the T2 join chain)
+    let indexed_db = db_at_scale(families); // generator builds indexes
+    let mut unindexed_db = fgc_gtopdb::create_schema();
+    fgc_relation::loader::load_text(
+        &mut unindexed_db,
+        &fgc_relation::loader::dump_text(&indexed_db),
+    )
+    .expect("round trip");
+    let q_t2 = {
+        let mut w = WorkloadGenerator::new(&indexed_db, 41);
+        w.query_from_template(2)
+    };
+    let t0 = Instant::now();
+    let _ = evaluate(&indexed_db, &q_t2).expect("evaluate");
+    let t_indexed = t0.elapsed();
+    let t0 = Instant::now();
+    let _ = evaluate(&unindexed_db, &q_t2).expect("evaluate");
+    let t_unindexed = t0.elapsed();
+
+    Table {
+        title: format!("A1/A2 — ablations ({families} families)"),
+        headers: vec!["variant".into(), "ms".into(), "vs enabled".into()],
+        rows: vec![
+            vec!["A1 memo on (cite T0)".into(), ms(t_memo), "1.00x".into()],
+            vec![
+                "A1 memo off".into(),
+                ms(t_no_memo),
+                format!(
+                    "{:.2}x",
+                    t_no_memo.as_secs_f64() / t_memo.as_secs_f64().max(1e-12)
+                ),
+            ],
+            vec![
+                "A2 indexes on (eval T2)".into(),
+                ms(t_indexed),
+                "1.00x".into(),
+            ],
+            vec![
+                "A2 indexes off".into(),
+                ms(t_unindexed),
+                format!(
+                    "{:.2}x",
+                    t_unindexed.as_secs_f64() / t_indexed.as_secs_f64().max(1e-12)
+                ),
+            ],
+        ],
+    }
+}
+
+/// All experiment tables with default (CI-sized) sweeps.
+pub fn all_tables() -> Vec<Table> {
+    vec![
+        e1_table(&[5, 8, 12, 16, 24]),
+        e2_table(&[100, 1_000, 10_000]),
+        e3_table(),
+        e4_table(1_000),
+        e5_table(1_000),
+        e6_table(1_000),
+        e7_table(1_000),
+        e8_table(&[4, 16, 64]),
+        ablation_table(1_000),
+    ]
+}
+
+/// Registry accessor re-exported for the benches.
+pub fn registry() -> ViewRegistry {
+    paper_views()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = Table {
+            title: "demo".into(),
+            headers: vec!["a".into(), "long-header".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-header"));
+    }
+
+    #[test]
+    fn view_defs_of_size_scales() {
+        assert_eq!(view_defs_of_size(5).len(), 5);
+        assert_eq!(view_defs_of_size(12).len(), 12);
+    }
+
+    #[test]
+    fn e3_runs_on_paper_instance() {
+        let t = e3_table();
+        assert_eq!(t.rows.len(), 5);
+        // the ordered rows must not exceed the unordered row's size
+        let none_monomials: usize = t.rows[0][2].parse().unwrap();
+        for row in &t.rows[1..] {
+            let m: usize = row[2].parse().unwrap();
+            assert!(m <= none_monomials);
+        }
+    }
+
+    #[test]
+    fn e1_small_sweep_runs() {
+        let t = e1_table(&[5, 6]);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn ablation_small_runs() {
+        let t = ablation_table(50);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn e8_small_sweep_runs() {
+        let t = e8_table(&[2, 4]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][2], "v0"); // timestamp 5 resolves to v0
+    }
+}

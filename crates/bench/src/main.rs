@@ -1,0 +1,45 @@
+//! Print all experiment tables (the `--print-tables` mode referenced
+//! by DESIGN.md). Run with `--release`; pass experiment ids (e.g.
+//! `e1 e3`) to restrict.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+    println!("fgcite experiment tables (paper: CIDR 2017 fine-grained data citation)\n");
+    if want("e1") {
+        print!("{}", fgc_bench::e1_table(&[5, 8, 12, 16, 24]).render());
+        println!();
+    }
+    if want("e2") {
+        print!("{}", fgc_bench::e2_table(&[100, 1_000, 10_000]).render());
+        println!();
+    }
+    if want("e3") {
+        print!("{}", fgc_bench::e3_table().render());
+        println!();
+    }
+    if want("e4") {
+        print!("{}", fgc_bench::e4_table(1_000).render());
+        println!();
+    }
+    if want("e5") {
+        print!("{}", fgc_bench::e5_table(1_000).render());
+        println!();
+    }
+    if want("e6") {
+        print!("{}", fgc_bench::e6_table(1_000).render());
+        println!();
+    }
+    if want("e7") {
+        print!("{}", fgc_bench::e7_table(1_000).render());
+        println!();
+    }
+    if want("e8") {
+        print!("{}", fgc_bench::e8_table(&[4, 16, 64]).render());
+        println!();
+    }
+    if want("a1") || want("ablation") {
+        print!("{}", fgc_bench::ablation_table(10_000).render());
+        println!();
+    }
+}

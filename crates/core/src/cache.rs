@@ -1,0 +1,154 @@
+//! Citation caching and materialization (§4: "caching and
+//! materialization" is one of the paper's open directions; E7
+//! measures its effect).
+//!
+//! Two caches with different lifetimes:
+//! * [`CitationCache`] — memoizes `(view, λ-valuation) → citation`
+//!   (the result of `F_V(C_V(...))`), the hot path of citation
+//!   interpretation;
+//! * extent materialization lives in the engine (per database
+//!   snapshot).
+//!
+//! Caches are keyed per database version: bumping the version drops
+//! the entries (curated databases change by release, §4's fixity).
+
+use crate::token::CiteToken;
+use fgc_views::Json;
+use std::collections::HashMap;
+
+/// Hit/miss counters for diagnostics and the E7 benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups answered from the cache.
+    pub hits: u64,
+    /// Number of lookups that had to compute.
+    pub misses: u64,
+    /// Number of entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memo table for interpreted citation tokens.
+#[derive(Debug, Default)]
+pub struct CitationCache {
+    map: HashMap<CiteToken, Json>,
+    hits: u64,
+    misses: u64,
+    /// Database version the entries were computed against.
+    version: u64,
+}
+
+impl CitationCache {
+    /// An empty cache (version 0).
+    pub fn new() -> Self {
+        CitationCache::default()
+    }
+
+    /// Fetch or compute the citation for a token. `compute` runs on
+    /// miss and its result is stored.
+    pub fn get_or_compute<F>(&mut self, token: &CiteToken, compute: F) -> Json
+    where
+        F: FnOnce() -> Json,
+    {
+        if let Some(hit) = self.map.get(token) {
+            self.hits += 1;
+            return hit.clone();
+        }
+        self.misses += 1;
+        let value = compute();
+        self.map.insert(token.clone(), value.clone());
+        value
+    }
+
+    /// Invalidate everything if the database version moved.
+    pub fn sync_version(&mut self, version: u64) {
+        if version != self.version {
+            self.map.clear();
+            self.version = version;
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Drop all entries (keeps counters).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_relation::Value;
+
+    fn token() -> CiteToken {
+        CiteToken::view("V1", vec![Value::str("11")])
+    }
+
+    #[test]
+    fn memoizes_computation() {
+        let mut cache = CitationCache::new();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(&token(), || {
+                computed += 1;
+                Json::str("citation")
+            });
+            assert_eq!(v, Json::str("citation"));
+        }
+        assert_eq!(computed, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_tokens_distinct_entries() {
+        let mut cache = CitationCache::new();
+        cache.get_or_compute(&CiteToken::view("V1", vec![Value::str("11")]), || {
+            Json::str("a")
+        });
+        cache.get_or_compute(&CiteToken::view("V1", vec![Value::str("12")]), || {
+            Json::str("b")
+        });
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let mut cache = CitationCache::new();
+        cache.get_or_compute(&token(), || Json::str("old"));
+        cache.sync_version(1);
+        assert_eq!(cache.stats().entries, 0);
+        let v = cache.get_or_compute(&token(), || Json::str("new"));
+        assert_eq!(v, Json::str("new"));
+        // same version: no invalidation
+        cache.sync_version(1);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        assert_eq!(CitationCache::new().stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,809 @@
+//! The citation engine — Definitions 3.1–3.4 end to end.
+//!
+//! Pipeline for `cite(D, Q, V)`:
+//!
+//! 1. evaluate `Q` over `D` (the result set being cited);
+//! 2. rewrite `Q` using the citation views (exhaustively, or with the
+//!    pruned preference search — the engine's *mode*);
+//! 3. per rewriting `Q'` and output tuple `t`, enumerate the bindings
+//!    `β_t` and build the citation polynomial
+//!    `Σ_B Π_i token(V_i, B_i)` (Defs. 3.1–3.2) — symbolically, over
+//!    [`CiteToken`]s;
+//! 4. combine the per-rewriting polynomials with `+R` (Def. 3.3);
+//! 5. normalize under the policy's order (§3.4);
+//! 6. interpret: tokens valuate to `F_V(C_V(...))` (memoized), the
+//!    operations to the policy's union/join choices (§3.3);
+//! 7. aggregate across tuples with `Agg`, including the neutral
+//!    global citations (Def. 3.4).
+
+use crate::cache::{CacheStats, CitationCache};
+use crate::error::{CoreError, Result};
+use crate::policy::{interpret_expr, Policy};
+use crate::token::CiteToken;
+use fgc_query::ast::{ConjunctiveQuery, Term};
+use fgc_query::{evaluate, evaluate_grouped, parse_sql, Binding};
+use fgc_relation::schema::RelationSchema;
+use fgc_relation::{Database, DataType, Tuple, Value};
+use fgc_rewrite::{
+    best_rewritings, enumerate_rewritings, Rewriting, RewriteOptions, ViewDefs,
+};
+use fgc_semiring::{CitationExpr, CommutativeSemiring, Monomial, Polynomial};
+use fgc_views::{Json, ViewRegistry};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// How rewritings are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RewriteMode {
+    /// Enumerate all rewritings — the formal Def. 3.3 semantics
+    /// (`+R` over *all* rewritings).
+    Exhaustive,
+    /// Iterative-deepening preference search (§3.4's pruned search).
+    /// The citation is built from the best-scoring rewritings only.
+    #[default]
+    Pruned,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Budgets for the rewriting search.
+    pub rewrite: RewriteOptions,
+    /// Exhaustive vs pruned.
+    pub mode: RewriteMode,
+    /// Memoize the interpretation of identical citation expressions
+    /// within one `cite` call (on by default; the A1 ablation
+    /// measures its effect).
+    pub memoize_interpretation: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            rewrite: RewriteOptions::default(),
+            mode: RewriteMode::default(),
+            memoize_interpretation: true,
+        }
+    }
+}
+
+/// The citation for one output tuple.
+#[derive(Debug, Clone)]
+pub struct TupleCitation {
+    /// The output tuple.
+    pub tuple: Tuple,
+    /// The symbolic citation expression (after normalization).
+    pub expr: CitationExpr<String, CiteToken>,
+    /// The interpreted citation.
+    pub citation: Json,
+}
+
+/// Rewritings labelled `Q1, Q2, ...` plus the (exhaustive,
+/// unsatisfiable) flags of the search that produced them.
+type LabelledRewritings = (Vec<(String, Rewriting)>, bool, bool);
+
+/// The citation for a whole query result (Def. 3.4).
+#[derive(Debug, Clone)]
+pub struct QueryCitation {
+    /// Per-tuple citations, in result order.
+    pub tuples: Vec<TupleCitation>,
+    /// The aggregate citation for the result set.
+    pub aggregate: Json,
+    /// The rewritings that contributed (label → rewriting).
+    pub rewritings: Vec<(String, Rewriting)>,
+    /// Whether the rewriting search was exhaustive.
+    pub exhaustive: bool,
+    /// Whether the query was syntactically unsatisfiable.
+    pub unsatisfiable: bool,
+}
+
+impl QueryCitation {
+    /// Total number of monomials across all tuple citations — the
+    /// symbolic citation size of experiment E3.
+    pub fn total_monomials(&self) -> usize {
+        self.tuples.iter().map(|t| t.expr.total_monomials()).sum()
+    }
+
+    /// Total JSON size (bytes, compact) across tuple citations.
+    pub fn total_json_bytes(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| t.citation.size_bytes())
+            .sum::<usize>()
+            + self.aggregate.size_bytes()
+    }
+}
+
+/// The citation engine over one database snapshot.
+#[derive(Debug)]
+pub struct CitationEngine {
+    db: Arc<Database>,
+    registry: ViewRegistry,
+    view_defs: ViewDefs,
+    policy: Policy,
+    options: EngineOptions,
+    inclusion: BTreeMap<(String, String), bool>,
+    extent_db: Option<Arc<Database>>,
+    cache: CitationCache,
+}
+
+impl CitationEngine {
+    /// Build an engine. Validates every view against the database
+    /// catalog and precomputes the view-inclusion matrix (Ex. 3.8).
+    pub fn new(db: Database, registry: ViewRegistry) -> Result<Self> {
+        registry.validate(db.catalog())?;
+        for v in registry.iter() {
+            if db.catalog().contains(&v.name) {
+                return Err(CoreError::ViewNameClash(v.name.clone()));
+            }
+        }
+        let view_defs = ViewDefs::new(registry.iter().map(|v| v.view.clone()))
+            .with_dependencies(fgc_query::Dependencies::from_catalog(db.catalog()));
+        let inclusion = fgc_rewrite::view_inclusion_matrix(&view_defs);
+        Ok(CitationEngine {
+            db: Arc::new(db),
+            registry,
+            view_defs,
+            policy: Policy::default(),
+            options: EngineOptions::default(),
+            inclusion,
+            extent_db: None,
+            cache: CitationCache::new(),
+        })
+    }
+
+    /// Replace the policy (builder style).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the options (builder style).
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The view registry.
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Citation-cache statistics (experiment E7).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop cached citations and extents (e.g. for cold-start runs).
+    pub fn clear_caches(&mut self) {
+        self.cache.clear();
+        self.extent_db = None;
+    }
+
+    /// The database extended with one relation per view extent;
+    /// rewritings evaluate against this. Built lazily, cached.
+    fn extent_database(&mut self) -> Result<Arc<Database>> {
+        if let Some(db) = &self.extent_db {
+            return Ok(Arc::clone(db));
+        }
+        let mut extended = (*self.db).clone();
+        for view in self.registry.iter() {
+            let arity = view.view.arity();
+            let specs: Vec<(String, DataType)> = (0..arity)
+                .map(|i| (format!("c{i}"), DataType::Any))
+                .collect();
+            let spec_refs: Vec<(&str, DataType)> = specs
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect();
+            extended.create_relation(RelationSchema::with_names(
+                view.name.clone(),
+                &spec_refs,
+                &[],
+            )?)?;
+            let extent = view.extent(&self.db)?;
+            extended.insert_all(&view.name, extent)?;
+            // index every parameter position and the first column:
+            // rewritings probe extents on parameter constants
+            let rel = extended.relation_mut(&view.name)?;
+            for p in view.param_positions()? {
+                rel.build_index(p)?;
+            }
+            if arity > 0 {
+                rel.build_index(0)?;
+            }
+        }
+        let arc = Arc::new(extended);
+        self.extent_db = Some(Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// The rewritings used for citations, labelled `Q1, Q2, ...` in
+    /// rank order (best first).
+    fn rewritings(&self, q: &ConjunctiveQuery) -> Result<LabelledRewritings> {
+        let enumeration = match self.options.mode {
+            RewriteMode::Exhaustive => {
+                let e = enumerate_rewritings(q, &self.view_defs, self.options.rewrite)?;
+                fgc_rewrite::Enumeration {
+                    rewritings: fgc_rewrite::rank(e.rewritings),
+                    ..e
+                }
+            }
+            RewriteMode::Pruned => {
+                best_rewritings(q, &self.view_defs, self.options.rewrite)?
+            }
+        };
+        let labelled = enumeration
+            .rewritings
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (format!("Q{}", i + 1), r))
+            .collect();
+        Ok((labelled, enumeration.exhaustive, enumeration.unsatisfiable))
+    }
+
+    /// Resolve a term under a binding to a concrete value.
+    fn resolve(binding: &Binding, t: &Term) -> Value {
+        match t {
+            Term::Const(v) => v.clone(),
+            Term::Var(v) => binding.get(v.as_str()).cloned().unwrap_or(Value::Null),
+        }
+    }
+
+    /// The symbolic citation expressions for every output tuple of
+    /// `q` (Defs. 3.1–3.3), before normalization.
+    fn symbolic_citations(
+        &mut self,
+        rewritings: &[(String, Rewriting)],
+    ) -> Result<HashMap<Tuple, CitationExpr<String, CiteToken>>> {
+        let extent_db = self.extent_database()?;
+        let mut exprs: HashMap<Tuple, CitationExpr<String, CiteToken>> = HashMap::new();
+        for (label, rewriting) in rewritings {
+            let extent_query = rewriting.as_extent_query();
+            let grouped = evaluate_grouped(&extent_db, &extent_query)?;
+            for (tuple, bindings) in grouped {
+                let mut poly: Polynomial<CiteToken> = Polynomial::zero();
+                for binding in &bindings {
+                    let mut monomial = Monomial::unit();
+                    for sub in &rewriting.subgoals {
+                        let token = match sub {
+                            fgc_rewrite::Subgoal::View(v) => {
+                                let valuation: Vec<Value> = v
+                                    .param_terms()
+                                    .iter()
+                                    .map(|t| Self::resolve(binding, t))
+                                    .collect();
+                                CiteToken::view(v.view.clone(), valuation)
+                            }
+                            fgc_rewrite::Subgoal::Base(a) => {
+                                CiteToken::base(a.relation.clone())
+                            }
+                        };
+                        monomial = monomial.times(&Monomial::token(token));
+                    }
+                    poly = poly.plus(&Polynomial::from_monomial(monomial));
+                }
+                // idempotent +: identical binding citations collapse
+                let poly = poly.squash_coefficients();
+                let expr = CitationExpr::single(label.clone(), poly);
+                exprs
+                    .entry(tuple)
+                    .and_modify(|e| *e = e.plus_r(&expr))
+                    .or_insert(expr);
+            }
+        }
+        Ok(exprs)
+    }
+
+    /// Interpret a token to its JSON citation (memoized).
+    fn token_citation(&mut self, token: &CiteToken) -> Json {
+        let db = Arc::clone(&self.db);
+        let registry = &self.registry;
+        self.cache.get_or_compute(token, || match token {
+            CiteToken::View { view, valuation } => registry
+                .get(view)
+                .map(|v| {
+                    v.citation_for(&db, valuation)
+                        .unwrap_or(Json::Null)
+                })
+                .unwrap_or(Json::Null),
+            CiteToken::Base { relation } => Json::from_pairs([(
+                "UncitedRelation",
+                Json::str(relation.clone()),
+            )]),
+        })
+    }
+
+    /// Cite a query: the full Def. 3.1–3.4 pipeline.
+    pub fn cite(&mut self, q: &ConjunctiveQuery) -> Result<QueryCitation> {
+        let answers = evaluate(&self.db, q)?;
+        let (rewritings, exhaustive, unsatisfiable) = self.rewritings(q)?;
+        let mut exprs = if rewritings.is_empty() {
+            HashMap::new()
+        } else {
+            self.symbolic_citations(&rewritings)?
+        };
+
+        // Equal symbolic expressions interpret to equal citations, and
+        // result sets over curated hierarchies share few distinct
+        // expressions (e.g. one per family type) — memoize the
+        // interpretation per normalized expression.
+        let mut interp_memo: HashMap<CitationExpr<String, CiteToken>, Json> = HashMap::new();
+        let mut distinct_citations: Vec<Json> = Vec::new();
+        let mut tuples = Vec::with_capacity(answers.len());
+        for tuple in answers {
+            let expr = exprs
+                .remove(&tuple)
+                .unwrap_or_else(CitationExpr::zero_r);
+            let normalized = self.policy.normalize(&expr, &self.inclusion);
+            let memo_hit = if self.options.memoize_interpretation {
+                interp_memo.get(&normalized).cloned()
+            } else {
+                None
+            };
+            let citation = match memo_hit {
+                Some(hit) => hit,
+                None => {
+                    let policy = self.policy.clone();
+                    let mut value_of = |t: &CiteToken| self.token_citation(t);
+                    let citation = interpret_expr(&policy, &normalized, &mut value_of)
+                        .unwrap_or(Json::Null);
+                    if interp_memo
+                        .insert(normalized.clone(), citation.clone())
+                        .is_none()
+                    {
+                        distinct_citations.push(citation.clone());
+                    }
+                    citation
+                }
+            };
+            tuples.push(TupleCitation {
+                tuple,
+                expr: normalized,
+                citation,
+            });
+        }
+
+        // Def. 3.4: Agg over tuple citations, neutral = the global
+        // citations (present even for empty outputs). Both Agg
+        // interpretations are idempotent, so aggregating the distinct
+        // citations once each is equivalent to folding all tuples.
+        let mut aggregate = Json::Null;
+        for g in &self.policy.global_citations {
+            aggregate = self.policy.agg.apply(&aggregate, g);
+        }
+        for citation in &distinct_citations {
+            aggregate = self.policy.agg.apply(&aggregate, citation);
+        }
+
+        Ok(QueryCitation {
+            tuples,
+            aggregate,
+            rewritings,
+            exhaustive,
+            unsatisfiable,
+        })
+    }
+
+    /// Cite an SQL query (SPJ fragment).
+    pub fn cite_sql(&mut self, sql: &str) -> Result<QueryCitation> {
+        let q = parse_sql(self.db.catalog(), sql)?;
+        self.cite(&q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CombineOp, OrderChoice};
+    use fgc_query::parse_query;
+    use fgc_relation::tuple;
+    use fgc_views::CitationFunction;
+
+    /// The paper's running database fragment (families 11/12/13).
+    fn paper_db() -> Database {
+        let mut db = Database::new();
+        for (name, specs, key) in [
+            (
+                "Family",
+                vec![("FID", DataType::Str), ("FName", DataType::Str), ("Type", DataType::Str)],
+                vec!["FID"],
+            ),
+            (
+                "FamilyIntro",
+                vec![("FID", DataType::Str), ("Text", DataType::Str)],
+                vec!["FID"],
+            ),
+            (
+                "Person",
+                vec![("PID", DataType::Str), ("PName", DataType::Str), ("Affiliation", DataType::Str)],
+                vec!["PID"],
+            ),
+            ("FC", vec![("FID", DataType::Str), ("PID", DataType::Str)], vec!["FID", "PID"]),
+            ("FIC", vec![("FID", DataType::Str), ("PID", DataType::Str)], vec!["FID", "PID"]),
+            ("MetaData", vec![("Type", DataType::Str), ("Value", DataType::Str)], vec![]),
+        ] {
+            let specs: Vec<(&str, DataType)> = specs.into_iter().collect();
+            let keys: Vec<&str> = key;
+            db.create_relation(
+                RelationSchema::with_names(name, &specs, &keys).unwrap(),
+            )
+            .unwrap();
+        }
+        db.insert_all(
+            "Family",
+            vec![
+                tuple!["11", "Calcitonin", "gpcr"],
+                tuple!["12", "Orexin", "gpcr"],
+                tuple!["13", "Kinase", "enzyme"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "FamilyIntro",
+            vec![
+                tuple!["11", "The calcitonin peptide family"],
+                tuple!["12", "The orexin family"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "Person",
+            vec![
+                tuple!["p1", "Hay", "U1"],
+                tuple!["p2", "Poyner", "U2"],
+                tuple!["p3", "Brown", "U3"],
+                tuple!["p4", "Smith", "U4"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("FC", vec![tuple!["11", "p1"], tuple!["11", "p2"], tuple!["12", "p1"]])
+            .unwrap();
+        db.insert_all("FIC", vec![tuple!["11", "p3"], tuple!["11", "p4"], tuple!["12", "p4"]])
+            .unwrap();
+        db.insert_all(
+            "MetaData",
+            vec![
+                tuple!["Owner", "Tony Harmar"],
+                tuple!["URL", "guidetopharmacology.org"],
+                tuple!["Version", "23"],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    /// V1, V2, V4, V5 and V3 with their citation queries/functions.
+    fn paper_registry() -> ViewRegistry {
+        let mut reg = ViewRegistry::new();
+        reg.add(fgc_views::CitationView::new(
+            parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+            parse_query(
+                "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("ID", 0),
+                CitationFunction::scalar("Name", 1),
+                CitationFunction::collect("Committee", 2),
+            ]),
+        ))
+        .unwrap();
+        reg.add(fgc_views::CitationView::new(
+            parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").unwrap(),
+            parse_query(
+                "lambda F. CV2(F, N, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("ID", 0),
+                CitationFunction::scalar("Name", 1),
+                CitationFunction::scalar("Text", 2),
+                CitationFunction::collect("Contributors", 3),
+            ]),
+        ))
+        .unwrap();
+        reg.add(fgc_views::CitationView::new(
+            parse_query("V3(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+            parse_query(
+                "CV3(X1, X2) :- MetaData(T1, X1), T1 = \"Owner\", MetaData(T2, X2), T2 = \"URL\"",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("Owner", 0),
+                CitationFunction::scalar("URL", 1),
+            ]),
+        ))
+        .unwrap();
+        reg.add(fgc_views::CitationView::new(
+            parse_query("lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+            parse_query(
+                "lambda Ty. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("Type", 0),
+                CitationFunction::group(
+                    "Contributors",
+                    vec![1],
+                    vec![
+                        CitationFunction::scalar("Name", 1),
+                        CitationFunction::collect("Committee", 2),
+                    ],
+                ),
+            ]),
+        ))
+        .unwrap();
+        reg.add(fgc_views::CitationView::new(
+            parse_query(
+                "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+            )
+            .unwrap(),
+            parse_query(
+                "lambda Ty. CV5(N, Ty, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("Type", 1),
+                CitationFunction::group(
+                    "Contributors",
+                    vec![0],
+                    vec![
+                        CitationFunction::scalar("Name", 0),
+                        CitationFunction::collect("Committee", 3),
+                    ],
+                ),
+            ]),
+        ))
+        .unwrap();
+        reg
+    }
+
+    fn engine() -> CitationEngine {
+        CitationEngine::new(paper_db(), paper_registry()).unwrap()
+    }
+
+    #[test]
+    fn cite_example_2_3_query_pruned() {
+        let mut e = engine();
+        let q = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let result = e.cite(&q).unwrap();
+        assert_eq!(result.tuples.len(), 2); // Calcitonin, Orexin rows
+        // pruned mode with the preference model lands on Q4 = V5("gpcr")
+        assert_eq!(result.rewritings[0].1.num_views(), 1);
+        assert!(result.rewritings[0]
+            .1
+            .view_atoms()
+            .any(|v| v.view == "V5"));
+        // every tuple cites V5 with valuation "gpcr"
+        for tc in &result.tuples {
+            let tokens: Vec<String> = tc
+                .expr
+                .alternatives()
+                .flat_map(|(_, p)| p.support().into_iter().map(|t| t.to_string()))
+                .collect();
+            assert!(tokens.contains(&"CV5(\"gpcr\")".to_string()), "{tokens:?}");
+        }
+        // interpreted citation carries the contributors of the type
+        let c = &result.tuples[0].citation;
+        assert_eq!(c.get("Type"), Some(&Json::str("gpcr")));
+        assert!(c.get("Contributors").is_some());
+    }
+
+    #[test]
+    fn cite_exhaustive_keeps_alternatives_without_order() {
+        let mut e = engine().with_policy(Policy::union_all()).with_options(EngineOptions {
+            mode: RewriteMode::Exhaustive,
+            ..EngineOptions::default()
+        });
+        let q = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let result = e.cite(&q).unwrap();
+        assert!(result.exhaustive);
+        assert!(result.rewritings.len() >= 4, "found {}", result.rewritings.len());
+        // with no order, each tuple's expression keeps >1 alternative
+        assert!(result.tuples[0].expr.num_alternatives() >= 4);
+    }
+
+    #[test]
+    fn normalization_shrinks_citations() {
+        let q = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let mut raw = engine().with_policy(Policy::union_all()).with_options(EngineOptions {
+            mode: RewriteMode::Exhaustive,
+            ..EngineOptions::default()
+        });
+        let mut ordered = engine()
+            .with_policy(Policy::union_all().with_order(OrderChoice::Composite))
+            .with_options(EngineOptions {
+                mode: RewriteMode::Exhaustive,
+                ..EngineOptions::default()
+            });
+        let raw_size = raw.cite(&q).unwrap().total_monomials();
+        let ordered_size = ordered.cite(&q).unwrap().total_monomials();
+        assert!(
+            ordered_size < raw_size,
+            "order should shrink citations: {ordered_size} vs {raw_size}"
+        );
+    }
+
+    #[test]
+    fn unparameterized_view_gives_single_citation() {
+        // Q over all families rewrites (among others) to V3; citation
+        // of V3 is the owner/URL record, same for all tuples
+        let mut e = engine();
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        let result = e.cite(&q).unwrap();
+        assert_eq!(result.tuples.len(), 3);
+        for tc in &result.tuples {
+            assert!(!tc.expr.is_zero_r());
+        }
+    }
+
+    #[test]
+    fn empty_result_still_aggregates_globals() {
+        let mut e = engine().with_policy(
+            Policy::default().with_global(Json::from_pairs([(
+                "Database",
+                Json::str("GtoPdb"),
+            )])),
+        );
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"nope\"").unwrap();
+        let result = e.cite(&q).unwrap();
+        assert!(result.tuples.is_empty());
+        assert_eq!(
+            result.aggregate.get("Database"),
+            Some(&Json::str("GtoPdb"))
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_query_flagged() {
+        let mut e = engine();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"a\", Ty = \"b\"").unwrap();
+        let result = e.cite(&q).unwrap();
+        assert!(result.unsatisfiable);
+        assert!(result.tuples.is_empty());
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_citations() {
+        let mut e = engine();
+        let q = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        e.cite(&q).unwrap();
+        let first = e.cache_stats();
+        e.cite(&q).unwrap();
+        let second = e.cache_stats();
+        assert!(second.hits > first.hits);
+    }
+
+    #[test]
+    fn cite_sql_matches_cite_datalog() {
+        let mut e1 = engine();
+        let mut e2 = engine();
+        let datalog = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let a = e1.cite(&datalog).unwrap();
+        let b = e2
+            .cite_sql(
+                "SELECT f.FName, i.Text FROM Family f, FamilyIntro i \
+                 WHERE f.FID = i.FID AND f.Type = 'gpcr'",
+            )
+            .unwrap();
+        assert_eq!(a.tuples.len(), b.tuples.len());
+        for (ta, tb) in a.tuples.iter().zip(&b.tuples) {
+            assert_eq!(ta.tuple, tb.tuple);
+            assert!(ta.citation.equivalent(&tb.citation));
+        }
+    }
+
+    #[test]
+    fn plan_independence_equivalent_queries_same_citation() {
+        // reordered atoms and renamed variables: same citations
+        let mut e1 = engine().with_options(EngineOptions {
+            mode: RewriteMode::Exhaustive,
+            ..EngineOptions::default()
+        });
+        let mut e2 = engine().with_options(EngineOptions {
+            mode: RewriteMode::Exhaustive,
+            ..EngineOptions::default()
+        });
+        let qa = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let qb = parse_query(
+            "Q(A, B) :- FamilyIntro(X, B), Family(X, A, T), T = \"gpcr\"",
+        )
+        .unwrap();
+        let ca = e1.cite(&qa).unwrap();
+        let cb = e2.cite(&qb).unwrap();
+        assert_eq!(ca.tuples.len(), cb.tuples.len());
+        let find = |c: &QueryCitation, t: &Tuple| {
+            c.tuples
+                .iter()
+                .find(|tc| &tc.tuple == t)
+                .map(|tc| tc.citation.clone())
+        };
+        for tc in &ca.tuples {
+            let other = find(&cb, &tc.tuple).expect("same result set");
+            assert!(
+                tc.citation.equivalent(&other),
+                "citations differ for {}: {} vs {}",
+                tc.tuple,
+                tc.citation,
+                other
+            );
+        }
+    }
+
+    #[test]
+    fn view_name_clash_rejected() {
+        let mut reg = ViewRegistry::new();
+        reg.add(fgc_views::CitationView::new(
+            parse_query("Family(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+            parse_query("CFam(F) :- Family(F, N, Ty)").unwrap(),
+            CitationFunction::from_spec(vec![]),
+        ))
+        .unwrap();
+        assert!(matches!(
+            CitationEngine::new(paper_db(), reg).unwrap_err(),
+            CoreError::ViewNameClash(_)
+        ));
+    }
+
+    #[test]
+    fn join_policy_produces_single_record_per_tuple() {
+        let mut e = engine().with_policy(Policy::join_all());
+        let q = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let result = e.cite(&q).unwrap();
+        for tc in &result.tuples {
+            assert!(
+                matches!(tc.citation, Json::Object(_)),
+                "join policy should merge into one record, got {}",
+                tc.citation
+            );
+        }
+        assert_eq!(result.tuples[0].citation.get("Type"), Some(&Json::str("gpcr")));
+    }
+
+    #[test]
+    fn agg_union_collects_tuple_citations() {
+        let mut e = engine().with_policy(Policy {
+            agg: CombineOp::Union,
+            ..Policy::default()
+        });
+        let q = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let result = e.cite(&q).unwrap();
+        // both tuples share the V5("gpcr") citation: union dedups to 1
+        assert!(matches!(result.aggregate, Json::Object(_)));
+    }
+}

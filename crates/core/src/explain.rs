@@ -1,0 +1,235 @@
+//! Human-readable explanations of citations.
+//!
+//! A citation built by the engine is the end of a chain of choices:
+//! which rewritings were used, which views they invoke, with which
+//! λ-valuations, and what the policy did to combine them. Curators
+//! and downstream users need that chain to *trust* a citation — this
+//! module renders it. (The paper motivates citations as credit and
+//! identification devices, §1; an unexplainable citation serves
+//! neither purpose.)
+
+use crate::engine::QueryCitation;
+use crate::policy::{CombineOp, OrderChoice, Policy};
+use crate::token::CiteToken;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Render a multi-line explanation of a citation result.
+pub fn explain(citation: &QueryCitation, policy: &Policy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "citation explanation ({} output tuple{}, {} rewriting{}{})",
+        citation.tuples.len(),
+        plural(citation.tuples.len()),
+        citation.rewritings.len(),
+        plural(citation.rewritings.len()),
+        if citation.exhaustive {
+            ", exhaustive search"
+        } else {
+            ", pruned/budgeted search"
+        }
+    );
+    if citation.unsatisfiable {
+        let _ = writeln!(
+            out,
+            "  the query is unsatisfiable: it returns no tuples on any database"
+        );
+        return out;
+    }
+
+    let _ = writeln!(out, "rewritings considered:");
+    for (label, rewriting) in &citation.rewritings {
+        let _ = writeln!(
+            out,
+            "  {label}: {rewriting}   [{}, {} view{}, {} uncovered term{}]",
+            if rewriting.is_total() { "total" } else { "partial" },
+            rewriting.num_views(),
+            plural(rewriting.num_views()),
+            rewriting.num_uncovered(),
+            plural(rewriting.num_uncovered()),
+        );
+    }
+
+    let _ = writeln!(out, "policy:");
+    let _ = writeln!(
+        out,
+        "  · = {}, + = {}, +R = {}, Agg = {}, order = {}",
+        op_name(policy.times),
+        op_name(policy.plus),
+        op_name(policy.plus_r),
+        op_name(policy.agg),
+        order_name(policy.order)
+    );
+    if !policy.global_citations.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {} always-present global citation{} (Agg neutral)",
+            policy.global_citations.len(),
+            plural(policy.global_citations.len())
+        );
+    }
+
+    // which views (with valuations) end up credited
+    let mut credited: BTreeSet<String> = BTreeSet::new();
+    let mut uncovered: BTreeSet<String> = BTreeSet::new();
+    for tc in &citation.tuples {
+        for (_, poly) in tc.expr.alternatives() {
+            for token in poly.support() {
+                match token {
+                    CiteToken::View { .. } => {
+                        credited.insert(token.to_string());
+                    }
+                    CiteToken::Base { relation } => {
+                        uncovered.insert(relation.clone());
+                    }
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "credited view citations:");
+    for c in &credited {
+        let _ = writeln!(out, "  {c}");
+    }
+    if !uncovered.is_empty() {
+        let _ = writeln!(
+            out,
+            "warning: base relations accessed without a covering view \
+             (cited only as C_R markers): {}",
+            uncovered.into_iter().collect::<Vec<_>>().join(", ")
+        );
+    }
+
+    // per-tuple symbolic breakdown (first few)
+    let shown = citation.tuples.len().min(5);
+    let _ = writeln!(out, "per-tuple citation expressions (first {shown}):");
+    for tc in citation.tuples.iter().take(shown) {
+        let _ = writeln!(out, "  {} <- {}", tc.tuple, tc.expr);
+    }
+    if citation.tuples.len() > shown {
+        let _ = writeln!(out, "  ... {} more", citation.tuples.len() - shown);
+    }
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn op_name(op: CombineOp) -> &'static str {
+    match op {
+        CombineOp::Union => "union",
+        CombineOp::Join => "join",
+    }
+}
+
+fn order_name(order: OrderChoice) -> &'static str {
+    match order {
+        OrderChoice::None => "none",
+        OrderChoice::FewestViews => "fewest-views (Ex 3.6)",
+        OrderChoice::FewestUncovered => "fewest-uncovered (Ex 3.7)",
+        OrderChoice::ViewInclusion => "view-inclusion (Ex 3.8)",
+        OrderChoice::Composite => "composite",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CitationEngine;
+    use fgc_query::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::{tuple, Database, DataType};
+    use fgc_views::{CitationFunction, CitationView, ViewRegistry};
+
+    fn engine() -> CitationEngine {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Extra",
+                &[("FID", DataType::Str), ("Note", DataType::Str)],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        db.insert("Extra", tuple!["11", "curated"]).unwrap();
+        let mut views = ViewRegistry::new();
+        views
+            .add(CitationView::new(
+                parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+                parse_query("lambda F. CV1(F, N) :- Family(F, N, Ty)").unwrap(),
+                CitationFunction::from_spec(vec![
+                    CitationFunction::scalar("ID", 0),
+                    CitationFunction::scalar("Name", 1),
+                ]),
+            ))
+            .unwrap();
+        CitationEngine::new(db, views).unwrap()
+    }
+
+    #[test]
+    fn explain_mentions_rewritings_and_views() {
+        let mut e = engine();
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        let cited = e.cite(&q).unwrap();
+        let text = explain(&cited, e.policy());
+        assert!(text.contains("rewritings considered:"));
+        assert!(text.contains("V1"));
+        assert!(text.contains("credited view citations:"));
+        assert!(text.contains("CV1(\"11\")"));
+    }
+
+    #[test]
+    fn explain_warns_about_uncovered_relations() {
+        let mut e = engine();
+        // Extra has no covering view: a partial rewriting results
+        let q = parse_query("Q(N, Note) :- Family(F, N, Ty), Extra(F, Note)").unwrap();
+        let cited = e.cite(&q).unwrap();
+        let text = explain(&cited, e.policy());
+        assert!(text.contains("warning"), "{text}");
+        assert!(text.contains("Extra"), "{text}");
+    }
+
+    #[test]
+    fn explain_flags_unsatisfiable_queries() {
+        let mut e = engine();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"a\", Ty = \"b\"").unwrap();
+        let cited = e.cite(&q).unwrap();
+        let text = explain(&cited, e.policy());
+        assert!(text.contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn explain_truncates_long_tuple_lists() {
+        let e = engine();
+        let mut db = (**e.database()).clone();
+        for i in 0..10 {
+            db.insert("Family", tuple![format!("x{i}"), format!("F{i}"), "gpcr"])
+                .unwrap();
+        }
+        let mut e = CitationEngine::new(db, fgc_views::ViewRegistry::new()).unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        let cited = e.cite(&q).unwrap();
+        let text = explain(&cited, e.policy());
+        assert!(text.contains("more"), "{text}");
+    }
+}

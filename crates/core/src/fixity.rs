@@ -1,0 +1,286 @@
+//! Fixity — versioned citations (§4 of the paper):
+//!
+//! > "data may evolve over time, and citations should bring back the
+//! > data as seen at the time it was cited. Thus data sources must
+//! > support versioning, and citations must include timestamps or
+//! > version numbers."
+//!
+//! [`VersionedCitationEngine`] keeps one [`CitationEngine`] per
+//! committed snapshot (built lazily) and stamps every citation with
+//! the version id, label, and timestamp it was computed against.
+
+use crate::engine::{CitationEngine, EngineOptions, QueryCitation};
+use crate::error::{CoreError, Result};
+use crate::policy::Policy;
+use fgc_query::ast::ConjunctiveQuery;
+use fgc_relation::version::{VersionId, VersionedDatabase};
+use fgc_views::{Json, ViewRegistry};
+use std::collections::HashMap;
+
+/// A citation together with its fixity stamp.
+#[derive(Debug, Clone)]
+pub struct VersionedCitation {
+    /// The underlying citation result.
+    pub citation: QueryCitation,
+    /// Version id it was computed against.
+    pub version: VersionId,
+    /// Version label (e.g. `"GtoPdb 23"`).
+    pub label: String,
+    /// Version timestamp.
+    pub timestamp: u64,
+}
+
+impl VersionedCitation {
+    /// The aggregate citation wrapped with the fixity fields —
+    /// "citations must include timestamps or version numbers". The
+    /// aggregate is nested (not merged) so the stamp stays accessible
+    /// whatever shape the policy produced.
+    pub fn stamped_aggregate(&self) -> Json {
+        Json::from_pairs([
+            ("Version", Json::str(self.label.clone())),
+            ("VersionId", Json::Int(self.version as i64)),
+            ("Timestamp", Json::Int(self.timestamp as i64)),
+            ("Citation", self.citation.aggregate.clone()),
+        ])
+    }
+}
+
+/// A citation engine over an evolving, versioned database.
+pub struct VersionedCitationEngine {
+    history: VersionedDatabase,
+    registry: ViewRegistry,
+    policy: Policy,
+    options: EngineOptions,
+    engines: HashMap<VersionId, CitationEngine>,
+}
+
+impl VersionedCitationEngine {
+    /// Build over a version history. Engines per snapshot are
+    /// constructed lazily on first citation.
+    pub fn new(history: VersionedDatabase, registry: ViewRegistry) -> Self {
+        VersionedCitationEngine {
+            history,
+            registry,
+            policy: Policy::default(),
+            options: EngineOptions::default(),
+            engines: HashMap::new(),
+        }
+    }
+
+    /// Replace the policy for subsequently-built engines.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the engine options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The version history.
+    pub fn history(&self) -> &VersionedDatabase {
+        &self.history
+    }
+
+    /// Append a new version (see
+    /// [`VersionedDatabase::commit_with`]).
+    pub fn commit_with<F>(
+        &mut self,
+        timestamp: u64,
+        label: impl Into<String>,
+        mutate: F,
+    ) -> Result<VersionId>
+    where
+        F: FnOnce(&mut fgc_relation::Database) -> fgc_relation::error::Result<()>,
+    {
+        Ok(self.history.commit_with(timestamp, label, mutate)?)
+    }
+
+    fn engine_for(&mut self, version: VersionId) -> Result<&mut CitationEngine> {
+        if !self.engines.contains_key(&version) {
+            let (_, db) = self.history.snapshot(version)?;
+            let engine = CitationEngine::new((**db).clone(), self.registry.clone())?
+                .with_policy(self.policy.clone())
+                .with_options(self.options);
+            self.engines.insert(version, engine);
+        }
+        Ok(self.engines.get_mut(&version).expect("inserted above"))
+    }
+
+    /// Cite against a specific version.
+    pub fn cite_at_version(
+        &mut self,
+        version: VersionId,
+        q: &ConjunctiveQuery,
+    ) -> Result<VersionedCitation> {
+        let (label, timestamp) = {
+            let (info, _) = self.history.snapshot(version)?;
+            (info.label.clone(), info.timestamp)
+        };
+        let citation = self.engine_for(version)?.cite(q)?;
+        Ok(VersionedCitation {
+            citation,
+            version,
+            label,
+            timestamp,
+        })
+    }
+
+    /// Cite against "the data as seen at" a timestamp: the latest
+    /// version not after `at`.
+    pub fn cite_at_time(&mut self, at: u64, q: &ConjunctiveQuery) -> Result<VersionedCitation> {
+        let version = self
+            .history
+            .snapshot_at(at)
+            .map(|(info, _)| info.id)
+            .ok_or_else(|| CoreError::NoSuchVersion(format!("timestamp {at}")))?;
+        self.cite_at_version(version, q)
+    }
+
+    /// Cite against the newest version.
+    pub fn cite_head(&mut self, q: &ConjunctiveQuery) -> Result<VersionedCitation> {
+        let version = self
+            .history
+            .head()
+            .map(|(info, _)| info.id)
+            .ok_or_else(|| CoreError::NoSuchVersion("empty history".into()))?;
+        self.cite_at_version(version, q)
+    }
+
+    /// How a tuple's citation evolved across all versions — §4's
+    /// "the choice of proper citation for output tuples may change".
+    pub fn citation_timeline(
+        &mut self,
+        q: &ConjunctiveQuery,
+    ) -> Result<Vec<(VersionId, Json)>> {
+        let versions: Vec<VersionId> =
+            self.history.iter().map(|(info, _)| info.id).collect();
+        let mut timeline = Vec::with_capacity(versions.len());
+        for v in versions {
+            let cited = self.cite_at_version(v, q)?;
+            timeline.push((v, cited.stamped_aggregate()));
+        }
+        Ok(timeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_query::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::{tuple, Database, DataType};
+    use fgc_views::{CitationFunction, CitationView};
+
+    fn base_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        db
+    }
+
+    fn registry() -> ViewRegistry {
+        let mut reg = ViewRegistry::new();
+        reg.add(CitationView::new(
+            parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+            parse_query("lambda F. CV1(F, N) :- Family(F, N, Ty)").unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("ID", 0),
+                CitationFunction::scalar("Name", 1),
+            ]),
+        ))
+        .unwrap();
+        reg
+    }
+
+    fn history() -> VersionedDatabase {
+        let mut h = VersionedDatabase::new();
+        h.commit(base_db(), 100, "v23").unwrap();
+        h.commit_with(200, "v24", |db| {
+            db.insert("Family", tuple!["12", "Orexin", "gpcr"]).map(|_| ())
+        })
+        .unwrap();
+        h
+    }
+
+    #[test]
+    fn cite_at_old_version_sees_old_data() {
+        let mut e = VersionedCitationEngine::new(history(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        let old = e.cite_at_version(0, &q).unwrap();
+        assert_eq!(old.citation.tuples.len(), 1);
+        assert_eq!(old.label, "v23");
+        let new = e.cite_at_version(1, &q).unwrap();
+        assert_eq!(new.citation.tuples.len(), 2);
+    }
+
+    #[test]
+    fn cite_at_time_resolves_version() {
+        let mut e = VersionedCitationEngine::new(history(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        assert_eq!(e.cite_at_time(150, &q).unwrap().version, 0);
+        assert_eq!(e.cite_at_time(500, &q).unwrap().version, 1);
+        assert!(matches!(
+            e.cite_at_time(50, &q).unwrap_err(),
+            CoreError::NoSuchVersion(_)
+        ));
+    }
+
+    #[test]
+    fn stamped_aggregate_includes_fixity_fields() {
+        let mut e = VersionedCitationEngine::new(history(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        let cited = e.cite_head(&q).unwrap();
+        let stamped = cited.stamped_aggregate();
+        assert_eq!(stamped.get("Version"), Some(&Json::str("v24")));
+        assert_eq!(stamped.get("Timestamp"), Some(&Json::Int(200)));
+    }
+
+    #[test]
+    fn timeline_tracks_citation_evolution() {
+        let mut e = VersionedCitationEngine::new(history(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        let timeline = e.citation_timeline(&q).unwrap();
+        assert_eq!(timeline.len(), 2);
+        assert_ne!(timeline[0].1, timeline[1].1);
+    }
+
+    #[test]
+    fn commit_through_engine() {
+        let mut e = VersionedCitationEngine::new(history(), registry());
+        let id = e
+            .commit_with(300, "v25", |db| {
+                db.insert("Family", tuple!["13", "Kinase", "enzyme"]).map(|_| ())
+            })
+            .unwrap();
+        assert_eq!(id, 2);
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        assert_eq!(e.cite_head(&q).unwrap().citation.tuples.len(), 3);
+    }
+
+    #[test]
+    fn empty_history_errors() {
+        let mut e =
+            VersionedCitationEngine::new(VersionedDatabase::new(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        assert!(matches!(
+            e.cite_head(&q).unwrap_err(),
+            CoreError::NoSuchVersion(_)
+        ));
+    }
+}

@@ -1,0 +1,362 @@
+//! View suggestion from query logs — §4 of the paper:
+//!
+//! > "our future work will also study ... using logs to understand
+//! > database usage and decide what citation views should be
+//! > specified".
+//!
+//! The heuristic: frequent *join patterns* (sets of relations
+//! connected through shared variables) become view bodies; attributes
+//! that are frequently compared against constants become
+//! λ-parameters (so the common selections get absorbed, yielding the
+//! focused citations of Example 2.2). Patterns already expressible by
+//! an existing view are skipped.
+
+use fgc_query::ast::{Atom, ConjunctiveQuery, Term};
+use fgc_query::{is_contained_in, normalize, Normalized};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A recorded query log.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLog {
+    queries: Vec<ConjunctiveQuery>,
+}
+
+impl QueryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        QueryLog::default()
+    }
+
+    /// Record one query.
+    pub fn record(&mut self, q: ConjunctiveQuery) {
+        self.queries.push(q);
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The recorded queries.
+    pub fn queries(&self) -> &[ConjunctiveQuery] {
+        &self.queries
+    }
+}
+
+/// A suggested citation-view definition with its evidence.
+#[derive(Debug, Clone)]
+pub struct SuggestedView {
+    /// The suggested (λ-parameterized) view definition. The citation
+    /// query and function still need curator input — the engine can
+    /// only see *what* is queried, not *who* should be credited.
+    pub definition: ConjunctiveQuery,
+    /// Number of log queries matching the pattern.
+    pub support: usize,
+}
+
+/// A join pattern: relations plus the join edges between them, with
+/// the attribute positions that are selected by constants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Pattern {
+    /// Sorted relation multiset.
+    relations: Vec<String>,
+    /// Join edges `(rel_i, pos_i, rel_j, pos_j)`, canonically ordered.
+    joins: Vec<(String, usize, String, usize)>,
+    /// Selected positions `(rel, pos)` (compared to a constant).
+    selections: Vec<(String, usize)>,
+    /// Arity of each relation (from the actual atoms).
+    arities: BTreeMap<String, usize>,
+}
+
+fn pattern_of(q: &ConjunctiveQuery) -> Option<Pattern> {
+    let normalized = match normalize(q) {
+        Normalized::Query(n) => n,
+        Normalized::Unsatisfiable => return None,
+    };
+    let mut relations: Vec<String> =
+        normalized.atoms.iter().map(|a| a.relation.clone()).collect();
+    relations.sort();
+    let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+    for atom in &normalized.atoms {
+        arities.insert(atom.relation.clone(), atom.terms.len());
+    }
+    // variable occurrence map: var -> [(relation, position)]
+    let mut occurrences: BTreeMap<&str, Vec<(&str, usize)>> = BTreeMap::new();
+    let mut selections: Vec<(String, usize)> = Vec::new();
+    for atom in &normalized.atoms {
+        for (pos, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Var(v) => occurrences
+                    .entry(v.as_str())
+                    .or_default()
+                    .push((atom.relation.as_str(), pos)),
+                Term::Const(_) => selections.push((atom.relation.clone(), pos)),
+            }
+        }
+    }
+    let mut joins: Vec<(String, usize, String, usize)> = Vec::new();
+    for occ in occurrences.values() {
+        for w in occ.windows(2) {
+            let (r1, p1) = w[0];
+            let (r2, p2) = w[1];
+            let edge = if (r1, p1) <= (r2, p2) {
+                (r1.to_string(), p1, r2.to_string(), p2)
+            } else {
+                (r2.to_string(), p2, r1.to_string(), p1)
+            };
+            joins.push(edge);
+        }
+    }
+    joins.sort();
+    joins.dedup();
+    selections.sort();
+    selections.dedup();
+    Some(Pattern {
+        relations,
+        joins,
+        selections,
+        arities,
+    })
+}
+
+/// Build a view definition realizing a pattern: one atom per
+/// relation occurrence, fresh variables, join positions unified, and
+/// a λ-parameter per selected position (exposed in the head).
+fn view_from_pattern(pattern: &Pattern, index: usize) -> ConjunctiveQuery {
+    // One variable per join-connected class of (relation, position)
+    // pairs. Duplicate relations collapse to one atom — a
+    // simplification that suits the suggestion use case (curated-DB
+    // logs rarely self-join); curators refine suggestions anyway.
+    let mut var_names: BTreeMap<(String, usize), String> = BTreeMap::new();
+    // union-find over (rel,pos) pairs joined together
+    let mut canon: BTreeMap<(String, usize), (String, usize)> = BTreeMap::new();
+    fn find(
+        canon: &mut BTreeMap<(String, usize), (String, usize)>,
+        k: (String, usize),
+    ) -> (String, usize) {
+        match canon.get(&k).cloned() {
+            None => k,
+            Some(p) if p == k => k,
+            Some(p) => {
+                let root = find(canon, p);
+                canon.insert(k, root.clone());
+                root
+            }
+        }
+    }
+    for (r1, p1, r2, p2) in &pattern.joins {
+        let a = find(&mut canon, (r1.clone(), *p1));
+        let b = find(&mut canon, (r2.clone(), *p2));
+        if a != b {
+            canon.insert(a, b);
+        }
+    }
+    let mut next_var = 0usize;
+    let mut var_of = |key: (String, usize),
+                      canon: &mut BTreeMap<(String, usize), (String, usize)>|
+     -> String {
+        let root = find(canon, key);
+        var_names
+            .entry(root)
+            .or_insert_with(|| {
+                let v = format!("X{next_var}");
+                next_var += 1;
+                v
+            })
+            .clone()
+    };
+
+    // arity per relation, recorded from the log queries' atoms
+    let arity = &pattern.arities;
+
+    let mut atoms = Vec::new();
+    let mut head: Vec<Term> = Vec::new();
+    let mut head_seen: BTreeSet<String> = BTreeSet::new();
+    let mut params: Vec<String> = Vec::new();
+    let distinct_relations: BTreeSet<&String> = pattern.relations.iter().collect();
+    for rel in &distinct_relations {
+        let n = arity[rel.as_str()];
+        let mut terms = Vec::with_capacity(n);
+        for pos in 0..n {
+            let v = var_of((rel.to_string(), pos), &mut canon);
+            terms.push(Term::Var(v.clone()));
+            if head_seen.insert(v.clone()) {
+                head.push(Term::Var(v));
+            }
+        }
+        atoms.push(Atom::new(rel.to_string(), terms));
+    }
+    for (rel, pos) in &pattern.selections {
+        let v = var_of((rel.clone(), *pos), &mut canon);
+        if !params.contains(&v) {
+            params.push(v);
+        }
+    }
+    ConjunctiveQuery {
+        name: format!("Suggested{index}"),
+        params,
+        head,
+        atoms,
+        comparisons: Vec::new(),
+    }
+}
+
+/// Analyze a log and suggest up to `k` view definitions, most
+/// frequent pattern first. Patterns whose suggested definition is
+/// already answerable by an existing view definition (the suggested
+/// view is contained in it with equal head arity) are skipped.
+pub fn suggest_views(
+    log: &QueryLog,
+    existing: &[ConjunctiveQuery],
+    k: usize,
+    min_support: usize,
+) -> Vec<SuggestedView> {
+    let mut counts: BTreeMap<Pattern, usize> = BTreeMap::new();
+    for q in log.queries() {
+        if let Some(p) = pattern_of(q) {
+            *counts.entry(p).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(Pattern, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let mut out = Vec::new();
+    for (i, (pattern, support)) in ranked.into_iter().enumerate() {
+        if out.len() >= k {
+            break;
+        }
+        if support < min_support {
+            continue;
+        }
+        let definition = view_from_pattern(&pattern, i + 1);
+        let covered = existing.iter().any(|v| {
+            let mut unparameterized = v.clone();
+            unparameterized.params.clear();
+            let mut candidate = definition.clone();
+            candidate.params.clear();
+            candidate.head.len() == unparameterized.head.len()
+                && is_contained_in(&candidate, &unparameterized)
+                && is_contained_in(&unparameterized, &candidate)
+        });
+        if covered {
+            continue;
+        }
+        out.push(SuggestedView {
+            definition,
+            support,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_query::parse_query;
+
+    fn log_with(queries: &[&str], repeat: usize) -> QueryLog {
+        let mut log = QueryLog::new();
+        for _ in 0..repeat {
+            for q in queries {
+                log.record(parse_query(q).unwrap());
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn frequent_join_becomes_view() {
+        let log = log_with(
+            &["Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"],
+            5,
+        );
+        let suggestions = suggest_views(&log, &[], 3, 2);
+        assert_eq!(suggestions.len(), 1);
+        let def = &suggestions[0].definition;
+        assert_eq!(suggestions[0].support, 5);
+        let rels: BTreeSet<&str> =
+            def.atoms.iter().map(|a| a.relation.as_str()).collect();
+        assert_eq!(rels, BTreeSet::from(["Family", "FamilyIntro"]));
+        // join on FID: the two atoms share a variable
+        let family_fid = &def.atoms.iter().find(|a| a.relation == "Family").unwrap().terms[0];
+        let intro_fid = &def
+            .atoms
+            .iter()
+            .find(|a| a.relation == "FamilyIntro")
+            .unwrap()
+            .terms[0];
+        assert_eq!(family_fid, intro_fid);
+    }
+
+    #[test]
+    fn selection_becomes_lambda_parameter() {
+        let log = log_with(
+            &[
+                "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+                "Q(N) :- Family(F, N, Ty), Ty = \"enzyme\"",
+            ],
+            3,
+        );
+        let suggestions = suggest_views(&log, &[], 3, 2);
+        assert!(!suggestions.is_empty());
+        let def = &suggestions[0].definition;
+        // the Type position becomes a λ-parameter (both selections
+        // share the pattern: same relation, same selected position)
+        assert_eq!(def.params.len(), 1);
+        assert_eq!(suggestions[0].support, 6);
+        fgc_query::check_safety(def).unwrap();
+    }
+
+    #[test]
+    fn min_support_filters_rare_patterns() {
+        let log = log_with(&["Q(N) :- Family(F, N, Ty)"], 1);
+        assert!(suggest_views(&log, &[], 3, 2).is_empty());
+    }
+
+    #[test]
+    fn existing_views_not_resuggested() {
+        let log = log_with(&["Q(F, N, Ty) :- Family(F, N, Ty)"], 5);
+        let existing = vec![parse_query("V3(F, N, Ty) :- Family(F, N, Ty)").unwrap()];
+        let suggestions = suggest_views(&log, &existing, 3, 2);
+        assert!(suggestions.is_empty(), "{suggestions:?}");
+    }
+
+    #[test]
+    fn suggestions_ranked_by_support() {
+        let mut log = QueryLog::new();
+        for _ in 0..5 {
+            log.record(
+                parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap(),
+            );
+        }
+        for _ in 0..2 {
+            log.record(parse_query("Q(Pn) :- Person(P, Pn, A)").unwrap());
+        }
+        let suggestions = suggest_views(&log, &[], 5, 2);
+        assert_eq!(suggestions.len(), 2);
+        assert!(suggestions[0].support >= suggestions[1].support);
+    }
+
+    #[test]
+    fn unsatisfiable_queries_ignored() {
+        let log = log_with(&["Q(N) :- Family(F, N, Ty), Ty = \"a\", Ty = \"b\""], 5);
+        assert!(suggest_views(&log, &[], 3, 1).is_empty());
+    }
+
+    #[test]
+    fn suggested_views_are_safe_queries() {
+        let log = log_with(
+            &["Q(N, Pn) :- Family(F, N, Ty), FC(F, P), Person(P, Pn, A), Ty = \"gpcr\""],
+            4,
+        );
+        for s in suggest_views(&log, &[], 5, 2) {
+            fgc_query::check_safety(&s.definition)
+                .unwrap_or_else(|e| panic!("unsafe suggestion {}: {e}", s.definition));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Citation-atom tokens — the base annotations of the citation
+//! semiring.
+//!
+//! Definition 3.1 writes the citation of a binding as
+//! `F_V1(C_V1(B1)) · ... · F_Vn(C_Vn(Bn))`: each factor is determined
+//! by a **view** and the **valuation of its λ-parameters** under the
+//! binding. [`CiteToken::View`] is exactly that pair — kept symbolic
+//! so the polynomial can be normalized and interpreted later.
+//! [`CiteToken::Base`] is the `C_R` marker of Example 3.7, "placed in
+//! the citation whenever the query uses a base relation R".
+
+use fgc_relation::Value;
+use std::fmt;
+
+/// A base citation annotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CiteToken {
+    /// A view citation: `F_V(C_V(Y')(valuation))`, symbolically.
+    View {
+        /// View name.
+        view: String,
+        /// Values of the view's λ-parameters under the binding.
+        /// Empty for unparameterized views (one citation for the
+        /// whole view, like the paper's V3).
+        valuation: Vec<Value>,
+    },
+    /// The `C_R` marker for an uncovered base relation (Example 3.7).
+    Base {
+        /// Relation name.
+        relation: String,
+    },
+}
+
+impl CiteToken {
+    /// A view token.
+    pub fn view(view: impl Into<String>, valuation: Vec<Value>) -> Self {
+        CiteToken::View {
+            view: view.into(),
+            valuation,
+        }
+    }
+
+    /// A base-relation marker token.
+    pub fn base(relation: impl Into<String>) -> Self {
+        CiteToken::Base {
+            relation: relation.into(),
+        }
+    }
+
+    /// Is this a view citation?
+    pub fn is_view(&self) -> bool {
+        matches!(self, CiteToken::View { .. })
+    }
+
+    /// Is this a `C_R` base marker?
+    pub fn is_base(&self) -> bool {
+        matches!(self, CiteToken::Base { .. })
+    }
+
+    /// The view name, if a view token.
+    pub fn view_name(&self) -> Option<&str> {
+        match self {
+            CiteToken::View { view, .. } => Some(view),
+            CiteToken::Base { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for CiteToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiteToken::View { view, valuation } => {
+                if valuation.is_empty() {
+                    write!(f, "C{view}")
+                } else {
+                    write!(f, "C{view}(")?;
+                    for (i, v) in valuation.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{}", v.render())?;
+                    }
+                    f.write_str(")")
+                }
+            }
+            CiteToken::Base { relation } => write!(f, "C_{relation}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = CiteToken::view("V4", vec![Value::str("gpcr")]);
+        assert_eq!(t.to_string(), "CV4(\"gpcr\")");
+        let b = CiteToken::base("Family");
+        assert_eq!(b.to_string(), "C_Family");
+        let u = CiteToken::view("V3", vec![]);
+        assert_eq!(u.to_string(), "CV3");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(CiteToken::view("V1", vec![]).is_view());
+        assert!(!CiteToken::view("V1", vec![]).is_base());
+        assert!(CiteToken::base("R").is_base());
+        assert_eq!(
+            CiteToken::view("V1", vec![]).view_name(),
+            Some("V1")
+        );
+        assert_eq!(CiteToken::base("R").view_name(), None);
+    }
+
+    #[test]
+    fn ordering_distinguishes_valuations() {
+        let a = CiteToken::view("V1", vec![Value::str("11")]);
+        let b = CiteToken::view("V1", vec![Value::str("12")]);
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+}

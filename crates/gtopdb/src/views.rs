@@ -1,0 +1,222 @@
+//! The paper's citation views V1–V5 with their citation queries
+//! CV1–CV5 and citation functions F_V1–F_V5 (Example 2.1).
+
+use fgc_query::parse_query;
+use fgc_views::{CitationFunction, CitationView, ViewRegistry};
+
+/// V1: per-family view, cites the family's committee.
+pub fn v1() -> CitationView {
+    CitationView::new(
+        parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").expect("static"),
+        parse_query(
+            "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+        )
+        .expect("static"),
+        CitationFunction::from_spec(vec![
+            CitationFunction::scalar("ID", 0),
+            CitationFunction::scalar("Name", 1),
+            CitationFunction::collect("Committee", 2),
+        ]),
+    )
+}
+
+/// V2: per-family introduction view, cites the intro's contributors.
+pub fn v2() -> CitationView {
+    CitationView::new(
+        parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").expect("static"),
+        parse_query(
+            "lambda F. CV2(F, N, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)",
+        )
+        .expect("static"),
+        CitationFunction::from_spec(vec![
+            CitationFunction::scalar("ID", 0),
+            CitationFunction::scalar("Name", 1),
+            CitationFunction::scalar("Text", 2),
+            CitationFunction::collect("Contributors", 3),
+        ]),
+    )
+}
+
+/// V3: the whole Family table, cited via the database owner/URL.
+pub fn v3() -> CitationView {
+    CitationView::new(
+        parse_query("V3(F, N, Ty) :- Family(F, N, Ty)").expect("static"),
+        parse_query(
+            "CV3(X1, X2) :- MetaData(T1, X1), T1 = \"Owner\", MetaData(T2, X2), T2 = \"URL\"",
+        )
+        .expect("static"),
+        CitationFunction::from_spec(vec![
+            CitationFunction::scalar("Owner", 0),
+            CitationFunction::scalar("URL", 1),
+        ]),
+    )
+}
+
+/// V4: families by type (λTy), cites each family's committee grouped
+/// per family.
+pub fn v4() -> CitationView {
+    CitationView::new(
+        parse_query("lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)").expect("static"),
+        parse_query(
+            "lambda Ty. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+        )
+        .expect("static"),
+        CitationFunction::from_spec(vec![
+            CitationFunction::scalar("Type", 0),
+            CitationFunction::group(
+                "Contributors",
+                vec![1],
+                vec![
+                    CitationFunction::scalar("Name", 1),
+                    CitationFunction::collect("Committee", 2),
+                ],
+            ),
+        ]),
+    )
+}
+
+/// V5: family ⋈ introduction by type (λTy), cites the intro
+/// contributors grouped per family.
+pub fn v5() -> CitationView {
+    CitationView::new(
+        parse_query(
+            "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+        )
+        .expect("static"),
+        parse_query(
+            "lambda Ty. CV5(N, Ty, Tx, Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A)",
+        )
+        .expect("static"),
+        CitationFunction::from_spec(vec![
+            CitationFunction::scalar("Type", 1),
+            CitationFunction::group(
+                "Contributors",
+                vec![0],
+                vec![
+                    CitationFunction::scalar("Name", 0),
+                    CitationFunction::collect("Committee", 3),
+                ],
+            ),
+        ]),
+    )
+}
+
+/// The full paper registry {V1, ..., V5}.
+pub fn paper_views() -> ViewRegistry {
+    let mut reg = ViewRegistry::new();
+    for v in [v1(), v2(), v3(), v4(), v5()] {
+        reg.add(v).expect("distinct names");
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_instance::paper_instance;
+    use fgc_relation::Value;
+    use fgc_views::Json;
+
+    #[test]
+    fn registry_validates_against_schema() {
+        let db = paper_instance();
+        paper_views().validate(db.catalog()).unwrap();
+        assert_eq!(paper_views().len(), 5);
+    }
+
+    /// FV1 on family 11 — the paper's example output:
+    /// {ID: "11", Name: "Calcitonin", Committee: ["Hay", "Poyner"]}
+    #[test]
+    fn example_2_1_v1_citation() {
+        let db = paper_instance();
+        let citation = v1().citation_for(&db, &[Value::str("11")]).unwrap();
+        assert_eq!(
+            citation.to_compact(),
+            r#"{"ID": "11", "Name": "Calcitonin", "Committee": ["Hay", "Poyner"]}"#
+        );
+    }
+
+    /// FV2 on family 11 — the paper's example output:
+    /// {ID, Name, Text, Contributors: ["Brown", "Smith"]}
+    #[test]
+    fn example_2_1_v2_citation() {
+        let db = paper_instance();
+        let citation = v2().citation_for(&db, &[Value::str("11")]).unwrap();
+        assert_eq!(
+            citation.to_compact(),
+            r#"{"ID": "11", "Name": "Calcitonin", "Text": "The calcitonin peptide family", "Contributors": ["Brown", "Smith"]}"#
+        );
+    }
+
+    /// FV3 — {URL: "guidetopharmacology.org", Owner: "Tony Harmar"}
+    #[test]
+    fn example_2_1_v3_citation() {
+        let db = paper_instance();
+        let citation = v3().citation_for(&db, &[]).unwrap();
+        assert_eq!(citation.get("Owner"), Some(&Json::str("Tony Harmar")));
+        assert_eq!(
+            citation.get("URL"),
+            Some(&Json::str("guidetopharmacology.org"))
+        );
+    }
+
+    /// FV4 on type "gpcr" — groups committees per family, including
+    /// Calcium-sensing with [Bilke, Conigrave, Shoback].
+    #[test]
+    fn example_2_1_v4_citation() {
+        let db = paper_instance();
+        let citation = v4().citation_for(&db, &[Value::str("gpcr")]).unwrap();
+        assert_eq!(citation.get("Type"), Some(&Json::str("gpcr")));
+        let contributors = citation.get("Contributors").unwrap();
+        let Json::Array(groups) = contributors else {
+            panic!("expected array")
+        };
+        let calcium = groups
+            .iter()
+            .find(|g| g.get("Name") == Some(&Json::str("Calcium-sensing")))
+            .expect("Calcium-sensing group");
+        assert_eq!(
+            calcium.get("Committee"),
+            Some(&Json::Array(vec![
+                Json::str("Bilke"),
+                Json::str("Conigrave"),
+                Json::str("Shoback")
+            ]))
+        );
+    }
+
+    /// FV5 on type "gpcr" — credits intro contributors per family.
+    #[test]
+    fn example_2_1_v5_citation() {
+        let db = paper_instance();
+        let citation = v5().citation_for(&db, &[Value::str("gpcr")]).unwrap();
+        assert_eq!(citation.get("Type"), Some(&Json::str("gpcr")));
+        let Json::Array(groups) = citation.get("Contributors").unwrap() else {
+            panic!("expected array")
+        };
+        // families with intros: Calcitonin (Brown, Smith), b (Brown),
+        // Orexin (Alda, Palmer)
+        assert_eq!(groups.len(), 3);
+        let orexin = groups
+            .iter()
+            .find(|g| g.get("Name") == Some(&Json::str("Orexin")))
+            .expect("Orexin group");
+        assert_eq!(
+            orexin.get("Committee"),
+            Some(&Json::Array(vec![Json::str("Alda"), Json::str("Palmer")]))
+        );
+    }
+
+    #[test]
+    fn v4_differs_from_v5_in_credited_people() {
+        // "V4 credits the committee members of families, whereas V5
+        // credits the contributors who wrote the introductions."
+        let db = paper_instance();
+        let c4 = v4().citation_for(&db, &[Value::str("gpcr")]).unwrap();
+        let c5 = v5().citation_for(&db, &[Value::str("gpcr")]).unwrap();
+        assert_ne!(c4, c5);
+        assert!(c4.to_compact().contains("Hay"));
+        assert!(!c5.to_compact().contains("Hay"));
+        assert!(c5.to_compact().contains("Brown"));
+    }
+}

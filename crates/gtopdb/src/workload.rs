@@ -1,0 +1,228 @@
+//! Query workloads over the GtoPdb schema.
+//!
+//! Two families of workloads feed the experiments:
+//!
+//! * **page workload** — the queries behind GtoPdb's web pages
+//!   (family page, intro page, type listing): exactly what the
+//!   hard-coded baseline supports;
+//! * **ad-hoc workload** — template-instantiated general conjunctive
+//!   queries ("the paper's point": selections, joins, projections the
+//!   site never anticipated).
+
+use crate::generator::present_types;
+use fgc_core::baseline::{PageKey, WorkloadItem};
+use fgc_query::{parse_query, ConjunctiveQuery};
+use fgc_relation::{Database, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Query templates for ad-hoc workloads, in increasing join depth.
+const TEMPLATES: [&str; 6] = [
+    // T0: family selection by type
+    "Q(N) :- Family(F, N, Ty), Ty = {TYPE}",
+    // T1: family + intro join with type selection (Example 2.3's Q)
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = {TYPE}",
+    // T2: committee members of a type
+    "Q(Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A), Ty = {TYPE}",
+    // T3: intro contributors of a type
+    "Q(Pn) :- Family(F, N, Ty), FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A), Ty = {TYPE}",
+    // T4: single family by id
+    "Q(N, Ty) :- Family(F, N, Ty), F = {FID}",
+    // T5: families curated by a given person
+    "Q(N) :- Family(F, N, Ty), FC(F, C), C = {PID}",
+];
+
+/// A reproducible ad-hoc workload generator.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    types: Vec<Value>,
+    family_ids: Vec<Value>,
+    person_ids: Vec<Value>,
+    rng: SmallRng,
+}
+
+impl WorkloadGenerator {
+    /// Build from an instance (samples constants from actual data).
+    pub fn new(db: &Database, seed: u64) -> Self {
+        let family_ids = db
+            .relation("Family")
+            .expect("Family exists")
+            .iter()
+            .map(|r| r[0].clone())
+            .collect();
+        let person_ids = db
+            .relation("Person")
+            .expect("Person exists")
+            .iter()
+            .map(|r| r[0].clone())
+            .collect();
+        WorkloadGenerator {
+            types: present_types(db),
+            family_ids,
+            person_ids,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn quoted(v: &Value) -> String {
+        format!("{:?}", v.to_string())
+    }
+
+    /// Instantiate template `t` (mod the template count) with random
+    /// constants from the data.
+    pub fn query_from_template(&mut self, t: usize) -> ConjunctiveQuery {
+        let template = TEMPLATES[t % TEMPLATES.len()];
+        let ty = self
+            .types
+            .get(self.rng.gen_range(0..self.types.len().max(1)))
+            .cloned()
+            .unwrap_or_else(|| Value::str("gpcr"));
+        let fid = self
+            .family_ids
+            .get(self.rng.gen_range(0..self.family_ids.len().max(1)))
+            .cloned()
+            .unwrap_or_else(|| Value::str("f0"));
+        let pid = self
+            .person_ids
+            .get(self.rng.gen_range(0..self.person_ids.len().max(1)))
+            .cloned()
+            .unwrap_or_else(|| Value::str("p0"));
+        let src = template
+            .replace("{TYPE}", &Self::quoted(&ty))
+            .replace("{FID}", &Self::quoted(&fid))
+            .replace("{PID}", &Self::quoted(&pid));
+        parse_query(&src).expect("templates are valid")
+    }
+
+    /// A random ad-hoc query.
+    pub fn ad_hoc(&mut self) -> ConjunctiveQuery {
+        let t = self.rng.gen_range(0..TEMPLATES.len());
+        self.query_from_template(t)
+    }
+
+    /// A batch of `n` ad-hoc queries.
+    pub fn ad_hoc_batch(&mut self, n: usize) -> Vec<ConjunctiveQuery> {
+        (0..n).map(|_| self.ad_hoc()).collect()
+    }
+
+    /// A random page request: family page (V1), intro page (V2) or
+    /// type listing (V4) with constants from the data.
+    pub fn page_request(&mut self) -> PageKey {
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let fid = self.family_ids
+                    [self.rng.gen_range(0..self.family_ids.len())]
+                .clone();
+                ("V1".to_string(), vec![fid])
+            }
+            1 => {
+                let fid = self.family_ids
+                    [self.rng.gen_range(0..self.family_ids.len())]
+                .clone();
+                ("V2".to_string(), vec![fid])
+            }
+            _ => {
+                let ty =
+                    self.types[self.rng.gen_range(0..self.types.len())].clone();
+                ("V4".to_string(), vec![ty])
+            }
+        }
+    }
+
+    /// A mixed workload: `pages` page requests and `ad_hoc` general
+    /// queries, interleaved deterministically.
+    pub fn mixed(&mut self, pages: usize, ad_hoc: usize) -> Vec<WorkloadItem> {
+        let mut items = Vec::with_capacity(pages + ad_hoc);
+        for _ in 0..pages {
+            items.push(WorkloadItem::Page(self.page_request()));
+        }
+        for _ in 0..ad_hoc {
+            items.push(WorkloadItem::AdHoc(self.ad_hoc()));
+        }
+        items
+    }
+
+    /// Number of distinct templates.
+    pub fn template_count() -> usize {
+        TEMPLATES.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use fgc_query::{check_safety, evaluate};
+
+    fn db() -> Database {
+        generate(&GeneratorConfig::tiny())
+    }
+
+    #[test]
+    fn templates_all_parse_and_evaluate() {
+        let db = db();
+        let mut gen = WorkloadGenerator::new(&db, 1);
+        for t in 0..WorkloadGenerator::template_count() {
+            let q = gen.query_from_template(t);
+            check_safety(&q).unwrap();
+            evaluate(&db, &q).unwrap_or_else(|e| panic!("template {t}: {e}"));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let db = db();
+        let a: Vec<String> = WorkloadGenerator::new(&db, 42)
+            .ad_hoc_batch(10)
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        let b: Vec<String> = WorkloadGenerator::new(&db, 42)
+            .ad_hoc_batch(10)
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<String> = WorkloadGenerator::new(&db, 43)
+            .ad_hoc_batch(10)
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn page_requests_reference_existing_data() {
+        let db = db();
+        let mut gen = WorkloadGenerator::new(&db, 7);
+        for _ in 0..20 {
+            let (view, params) = gen.page_request();
+            assert!(["V1", "V2", "V4"].contains(&view.as_str()));
+            assert_eq!(params.len(), 1);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_counts() {
+        let db = db();
+        let mut gen = WorkloadGenerator::new(&db, 7);
+        let items = gen.mixed(5, 3);
+        assert_eq!(items.len(), 8);
+        let pages = items
+            .iter()
+            .filter(|i| matches!(i, WorkloadItem::Page(_)))
+            .count();
+        assert_eq!(pages, 5);
+    }
+
+    #[test]
+    fn string_constants_are_quoted_correctly() {
+        let db = db();
+        let mut gen = WorkloadGenerator::new(&db, 3);
+        // template 4 uses a family id constant
+        let q = gen.query_from_template(4);
+        assert!(q.comparisons.iter().any(|c| {
+            matches!(&c.right, fgc_query::Term::Const(v) if v.as_str().is_some())
+        }));
+    }
+}

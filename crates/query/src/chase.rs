@@ -1,0 +1,298 @@
+//! The chase with key dependencies, and containment modulo keys.
+//!
+//! Plain CQ equivalence (Chandra–Merlin) is dependency-blind: the
+//! rewriting `Q'(N, Ty) :- V6(F, N), V7(F, Ty)` over two projections
+//! of `Family` is **not** equivalent to `Q(N, Ty) :- Family(F, N, Ty)`
+//! in general — two `Family` rows could share `F`. It *is* equivalent
+//! on every database where `FID` is a key, which curated databases
+//! declare (the paper's schema underlines the keys).
+//!
+//! [`chase_keys`] saturates a query under key functional
+//! dependencies: whenever two atoms over the same relation agree on
+//! the key positions, their remaining positions are unified. The
+//! result is satisfiability-equivalent on key-respecting databases,
+//! and containment tested against the chased query is exactly
+//! containment over such databases (chase & backchase, Deutsch–
+//! Popa–Tannen).
+
+use crate::ast::{ConjunctiveQuery, Term};
+use crate::containment::{find_homomorphism_public, normalize, Normalized};
+use crate::subst::{apply_query, resolve, unify_terms, Substitution};
+use std::collections::HashMap;
+
+/// Key dependencies: relation name → key positions (one key per
+/// relation; empty/absent = no key).
+#[derive(Debug, Clone, Default)]
+pub struct Dependencies {
+    keys: HashMap<String, Vec<usize>>,
+}
+
+impl Dependencies {
+    /// No dependencies (plain CQ semantics).
+    pub fn none() -> Self {
+        Dependencies::default()
+    }
+
+    /// Record a key for a relation.
+    pub fn with_key(mut self, relation: impl Into<String>, key: Vec<usize>) -> Self {
+        if !key.is_empty() {
+            self.keys.insert(relation.into(), key);
+        }
+        self
+    }
+
+    /// Harvest every primary key from a catalog.
+    pub fn from_catalog(catalog: &fgc_relation::Catalog) -> Self {
+        let mut deps = Dependencies::default();
+        for schema in catalog.iter() {
+            if schema.has_key() {
+                deps.keys
+                    .insert(schema.name.clone(), schema.key.clone());
+            }
+        }
+        deps
+    }
+
+    /// Key positions of a relation, if declared.
+    pub fn key_of(&self, relation: &str) -> Option<&[usize]> {
+        self.keys.get(relation).map(Vec::as_slice)
+    }
+
+    /// Are there any dependencies at all?
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Result of chasing: the saturated query, or proof that the query
+/// is unsatisfiable on key-respecting databases (two atoms agree on
+/// a key but conflict on a non-key constant).
+#[derive(Debug, Clone)]
+pub enum Chased {
+    /// The chased (saturated, duplicate-free) query.
+    Query(ConjunctiveQuery),
+    /// No key-respecting database satisfies the body.
+    Unsatisfiable,
+}
+
+/// Chase a (normalized) query with key dependencies to fixpoint.
+pub fn chase_keys(q: &ConjunctiveQuery, deps: &Dependencies) -> Chased {
+    let mut current = q.clone();
+    loop {
+        let mut subst = Substitution::new();
+        let mut changed = false;
+        'outer: for i in 0..current.atoms.len() {
+            for j in (i + 1)..current.atoms.len() {
+                let (a, b) = (&current.atoms[i], &current.atoms[j]);
+                if a.relation != b.relation {
+                    continue;
+                }
+                let Some(key) = deps.key_of(&a.relation) else {
+                    continue;
+                };
+                if key.iter().any(|&k| k >= a.terms.len()) {
+                    continue; // arity mismatch guards are upstream
+                }
+                // keys must agree *syntactically* (after resolution)
+                let keys_equal = key.iter().all(|&k| {
+                    resolve(&subst, &a.terms[k]) == resolve(&subst, &b.terms[k])
+                });
+                if !keys_equal {
+                    continue;
+                }
+                // unify every remaining position
+                for pos in 0..a.terms.len() {
+                    if !unify_terms(&mut subst, &a.terms[pos], &b.terms[pos]) {
+                        return Chased::Unsatisfiable;
+                    }
+                }
+                changed = true;
+                break 'outer; // apply and restart (small queries)
+            }
+        }
+        if !changed {
+            break;
+        }
+        current = apply_query(&subst, &current);
+        // drop exact duplicate atoms introduced by the merge
+        let mut seen = Vec::new();
+        current.atoms.retain(|a| {
+            if seen.contains(a) {
+                false
+            } else {
+                seen.push(a.clone());
+                true
+            }
+        });
+    }
+    Chased::Query(current)
+}
+
+/// `q1 ⊆ q2` over all databases satisfying `deps`: chase `q1`, then
+/// search a containment mapping from `q2` into the chased `q1`.
+pub fn is_contained_in_under(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    deps: &Dependencies,
+) -> bool {
+    if deps.is_empty() {
+        return crate::containment::is_contained_in(q1, q2);
+    }
+    let n1 = match normalize(q1) {
+        Normalized::Unsatisfiable => return true,
+        Normalized::Query(q) => q,
+    };
+    let n1 = match chase_keys(&n1, deps) {
+        Chased::Unsatisfiable => return true,
+        Chased::Query(q) => q,
+    };
+    let n2 = match normalize(q2) {
+        Normalized::Unsatisfiable => {
+            return matches!(chase_keys(&n1, deps), Chased::Unsatisfiable)
+        }
+        Normalized::Query(q) => q,
+    };
+    let n1 = n1.freshen("_l");
+    let n2 = n2.freshen("_r");
+    find_homomorphism_public(&n2, &n1)
+}
+
+/// Equivalence over all databases satisfying `deps`.
+pub fn equivalent_under(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    deps: &Dependencies,
+) -> bool {
+    is_contained_in_under(q1, q2, deps) && is_contained_in_under(q2, q1, deps)
+}
+
+/// Convenience: do two terms already resolve to the same thing?
+#[allow(dead_code)]
+fn same(subst: &Substitution, a: &Term, b: &Term) -> bool {
+    resolve(subst, a) == resolve(subst, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use crate::parser::parse_query;
+
+    fn family_key() -> Dependencies {
+        Dependencies::none().with_key("Family", vec![0])
+    }
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn chase_merges_atoms_sharing_a_key() {
+        let query = q("Q(N, Ty) :- Family(F, N, T1), Family(F, N2, Ty)");
+        let chased = match chase_keys(&query, &family_key()) {
+            Chased::Query(c) => c,
+            Chased::Unsatisfiable => panic!("satisfiable"),
+        };
+        assert_eq!(chased.atoms.len(), 1);
+        // equivalent (plain) to the single-atom form after the merge
+        assert!(equivalent(&chased, &q("Q(N, Ty) :- Family(F, N, Ty)")));
+    }
+
+    #[test]
+    fn chase_detects_key_conflicts() {
+        let query =
+            q("Q(F) :- Family(F, N, \"gpcr\"), Family(F, N2, \"enzyme\")");
+        assert!(matches!(
+            chase_keys(&query, &family_key()),
+            Chased::Unsatisfiable
+        ));
+    }
+
+    #[test]
+    fn chase_without_keys_is_identity() {
+        let query = q("Q(N) :- Family(F, N, T1), Family(F, N2, T2)");
+        match chase_keys(&query, &Dependencies::none()) {
+            Chased::Query(c) => assert_eq!(c.atoms.len(), 2),
+            Chased::Unsatisfiable => panic!(),
+        }
+    }
+
+    #[test]
+    fn projection_split_views_equivalent_under_key() {
+        // the motivating case: V6 ⋈ V7 on the key recovers Family
+        let joined = q("Q(N, Ty) :- Family(F, N, T1), Family(F, N2, Ty)");
+        let single = q("Q(N, Ty) :- Family(F, N, Ty)");
+        assert!(!equivalent(&joined, &single), "not equivalent without keys");
+        assert!(equivalent_under(&joined, &single, &family_key()));
+    }
+
+    #[test]
+    fn containment_direction_still_strict() {
+        // selection still matters even with keys
+        let sel = q("Q(N) :- Family(F, N, \"gpcr\")");
+        let all = q("Q(N) :- Family(F, N, Ty)");
+        assert!(is_contained_in_under(&sel, &all, &family_key()));
+        assert!(!is_contained_in_under(&all, &sel, &family_key()));
+    }
+
+    #[test]
+    fn composite_keys() {
+        let deps = Dependencies::none().with_key("FC", vec![0, 1]);
+        // same (FID,PID) pair: atoms merge (no other columns, so
+        // merge only dedups)
+        let query = q("Q(F) :- FC(F, P), FC(F, P)");
+        match chase_keys(&query, &deps) {
+            Chased::Query(c) => assert_eq!(c.atoms.len(), 1),
+            Chased::Unsatisfiable => panic!(),
+        }
+        // different second key component: no merge
+        let query2 = q("Q(F) :- FC(F, P1), FC(F, P2)");
+        match chase_keys(&query2, &deps) {
+            Chased::Query(c) => assert_eq!(c.atoms.len(), 2),
+            Chased::Unsatisfiable => panic!(),
+        }
+    }
+
+    #[test]
+    fn chase_cascades() {
+        // merging on F makes the T positions equal, enabling a
+        // second merge over relation S keyed on its first column
+        let deps = Dependencies::none()
+            .with_key("Family", vec![0])
+            .with_key("S", vec![0]);
+        let query = q(
+            "Q(X, Y) :- Family(F, N, T1), Family(F, N2, T2), S(T1, X), S(T2, Y)",
+        );
+        match chase_keys(&query, &deps) {
+            Chased::Query(c) => {
+                assert_eq!(c.atoms.len(), 2); // one Family, one S
+                // X and Y collapsed to the same variable
+                assert_eq!(c.head[0], c.head[1]);
+            }
+            Chased::Unsatisfiable => panic!(),
+        }
+    }
+
+    #[test]
+    fn dependencies_from_catalog() {
+        use fgc_relation::schema::RelationSchema;
+        use fgc_relation::{Catalog, DataType};
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::with_names(
+                "Family",
+                &[("FID", DataType::Str), ("FName", DataType::Str)],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add(
+            RelationSchema::with_names("MetaData", &[("T", DataType::Str)], &[]).unwrap(),
+        )
+        .unwrap();
+        let deps = Dependencies::from_catalog(&cat);
+        assert_eq!(deps.key_of("Family"), Some(&[0][..]));
+        assert_eq!(deps.key_of("MetaData"), None);
+    }
+}

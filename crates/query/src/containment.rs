@@ -1,0 +1,526 @@
+//! Query containment and equivalence for conjunctive queries with
+//! comparison predicates.
+//!
+//! Definition 2.2 of the paper requires rewritings to be *equivalent*
+//! to the original query; the preference model (Ex. 3.8) additionally
+//! uses *view inclusion*. Both reduce to containment.
+//!
+//! For pure CQs, `Q1 ⊆ Q2` iff there is a containment mapping
+//! (homomorphism) from `Q2` to `Q1` (Chandra–Merlin). We first
+//! normalize both queries by propagating equality comparisons
+//! ([`normalize`]); for queries whose comparisons are all equalities
+//! (every query in the paper) the test is then sound **and
+//! complete**. Residual inequality comparisons are handled by a
+//! syntactic implication check on the homomorphic image, which keeps
+//! the test *sound* but incomplete (containment may be reported
+//! `false` for exotic inequality interactions — the classic
+//! completeness construction enumerates linear orders and is
+//! exponential; see Klug 1988). This restriction is documented in
+//! DESIGN.md §3.
+
+use crate::ast::{Atom, CompOp, Comparison, ConjunctiveQuery, Term};
+use crate::subst::{apply_query, resolve, unify_terms, Substitution};
+use fgc_relation::Value;
+use std::collections::HashMap;
+
+/// Outcome of equality propagation.
+#[derive(Debug, Clone)]
+pub enum Normalized {
+    /// The query is unsatisfiable (contradictory equalities), i.e. it
+    /// always returns the empty set.
+    Unsatisfiable,
+    /// The normalized query: no `=` comparisons remain; ground
+    /// residual comparisons have been evaluated away.
+    Query(ConjunctiveQuery),
+}
+
+/// Propagate equality comparisons into the query: `X = c` substitutes
+/// `c` for `X` everywhere, `X = Y` unifies the variables. Ground
+/// comparisons are evaluated; a false one makes the query
+/// unsatisfiable. The result contains no `Eq` comparisons.
+pub fn normalize(q: &ConjunctiveQuery) -> Normalized {
+    let mut subst = Substitution::new();
+    for c in &q.comparisons {
+        if c.op == CompOp::Eq
+            && !unify_terms(&mut subst, &c.left, &c.right) {
+                return Normalized::Unsatisfiable;
+            }
+    }
+    // fully resolve the substitution
+    let subst: Substitution = q
+        .all_vars()
+        .iter()
+        .filter_map(|v| {
+            let t = resolve(&subst, &Term::Var(v.to_string()));
+            if t == Term::Var(v.to_string()) {
+                None
+            } else {
+                Some((v.to_string(), t))
+            }
+        })
+        .collect();
+    let mut out = apply_query(&subst, q);
+    let mut kept = Vec::new();
+    for c in out.comparisons.drain(..) {
+        if c.op == CompOp::Eq {
+            match (&c.left, &c.right) {
+                (Term::Const(a), Term::Const(b)) => {
+                    if a != b {
+                        return Normalized::Unsatisfiable;
+                    }
+                    // true: drop
+                }
+                (l, r) if l == r => { /* trivially true: drop */ }
+                _ => unreachable!("unify_terms eliminated non-trivial equalities"),
+            }
+        } else {
+            match (&c.left, &c.right) {
+                (Term::Const(a), Term::Const(b)) => {
+                    if !c.op.eval(a, b) {
+                        return Normalized::Unsatisfiable;
+                    }
+                }
+                (l, r) if l == r => {
+                    // X op X: false for Ne/Lt/Gt, true for Le/Ge
+                    if matches!(c.op, CompOp::Ne | CompOp::Lt | CompOp::Gt) {
+                        return Normalized::Unsatisfiable;
+                    }
+                }
+                _ => kept.push(c.normalized()),
+            }
+        }
+    }
+    kept.sort();
+    kept.dedup();
+    out.comparisons = kept;
+    // λ-parameters may have been substituted by constants; keep only
+    // those still appearing as variables (callers deal with absorbed
+    // parameters explicitly).
+    let remaining: Vec<String> = {
+        let vars = out.all_vars();
+        out.params
+            .iter()
+            .filter(|p| vars.contains(p.as_str()))
+            .cloned()
+            .collect()
+    };
+    out.params = remaining;
+    Normalized::Query(out)
+}
+
+/// Interval + exclusion constraints on a single variable, derived
+/// from `Var op Const` comparisons.
+#[derive(Debug, Clone, Default)]
+struct VarConstraint {
+    lower: Option<(Value, bool)>, // (bound, strict)
+    upper: Option<(Value, bool)>,
+    not_equal: Vec<Value>,
+}
+
+impl VarConstraint {
+    fn add(&mut self, op: CompOp, v: &Value) {
+        match op {
+            CompOp::Gt | CompOp::Ge => {
+                let strict = op == CompOp::Gt;
+                let better = match &self.lower {
+                    None => true,
+                    Some((cur, cur_strict)) => {
+                        v > cur || (v == cur && strict && !*cur_strict)
+                    }
+                };
+                if better {
+                    self.lower = Some((v.clone(), strict));
+                }
+            }
+            CompOp::Lt | CompOp::Le => {
+                let strict = op == CompOp::Lt;
+                let better = match &self.upper {
+                    None => true,
+                    Some((cur, cur_strict)) => {
+                        v < cur || (v == cur && strict && !*cur_strict)
+                    }
+                };
+                if better {
+                    self.upper = Some((v.clone(), strict));
+                }
+            }
+            CompOp::Ne => self.not_equal.push(v.clone()),
+            CompOp::Eq => unreachable!("equalities are propagated away"),
+        }
+    }
+
+    /// Does this constraint imply `var op v`?
+    fn implies(&self, op: CompOp, v: &Value) -> bool {
+        match op {
+            CompOp::Gt => matches!(&self.lower, Some((b, strict)) if b > v || (b == v && *strict)),
+            CompOp::Ge => matches!(&self.lower, Some((b, _)) if b >= v),
+            CompOp::Lt => matches!(&self.upper, Some((b, strict)) if b < v || (b == v && *strict)),
+            CompOp::Le => matches!(&self.upper, Some((b, _)) if b <= v),
+            CompOp::Ne => {
+                self.not_equal.contains(v)
+                    || self.implies(CompOp::Lt, v)
+                    || self.implies(CompOp::Gt, v)
+            }
+            CompOp::Eq => false,
+        }
+    }
+}
+
+/// Comparison context of a normalized query.
+struct CompContext {
+    per_var: HashMap<String, VarConstraint>,
+    var_var: Vec<Comparison>,
+}
+
+impl CompContext {
+    fn build(q: &ConjunctiveQuery) -> Self {
+        let mut per_var: HashMap<String, VarConstraint> = HashMap::new();
+        let mut var_var = Vec::new();
+        for c in &q.comparisons {
+            let c = c.normalized();
+            match (&c.left, &c.right) {
+                (Term::Var(x), Term::Const(v)) => {
+                    per_var.entry(x.clone()).or_default().add(c.op, v);
+                }
+                (Term::Var(_), Term::Var(_)) => var_var.push(c.clone()),
+                _ => {}
+            }
+        }
+        CompContext { per_var, var_var }
+    }
+
+    /// Is the (already image-mapped, normalized) comparison implied?
+    fn implies(&self, c: &Comparison) -> bool {
+        match (&c.left, &c.right) {
+            (Term::Const(a), Term::Const(b)) => c.op.eval(a, b),
+            (l, r) if l == r => matches!(c.op, CompOp::Le | CompOp::Ge | CompOp::Eq),
+            (Term::Var(x), Term::Const(v)) => self
+                .per_var
+                .get(x)
+                .is_some_and(|vc| vc.implies(c.op, v)),
+            (Term::Var(_), Term::Var(_)) => self.var_var.iter().any(|own| {
+                own.left == c.left
+                    && own.right == c.right
+                    && op_implies(own.op, c.op)
+            }),
+            _ => false,
+        }
+    }
+}
+
+/// Does `a op1 b` imply `a op2 b` for all values?
+fn op_implies(op1: CompOp, op2: CompOp) -> bool {
+    use CompOp::*;
+    matches!(
+        (op1, op2),
+        (Eq, Eq) | (Eq, Le) | (Eq, Ge)
+            | (Ne, Ne)
+            | (Lt, Lt) | (Lt, Le) | (Lt, Ne)
+            | (Le, Le)
+            | (Gt, Gt) | (Gt, Ge) | (Gt, Ne)
+            | (Ge, Ge)
+    )
+}
+
+/// Search for a containment mapping from `q2` into `q1` (both must be
+/// normalized): a substitution `h` on `q2`'s variables with
+/// `h(head2) = head1`, every atom of `q2` mapped onto an atom of
+/// `q1`, and every comparison of `q2` implied by `q1`'s comparisons.
+fn find_homomorphism(q2: &ConjunctiveQuery, q1: &ConjunctiveQuery) -> Option<Substitution> {
+    if q2.head.len() != q1.head.len() {
+        return None;
+    }
+    let mut h = Substitution::new();
+    // head must map positionally
+    for (t2, t1) in q2.head.iter().zip(&q1.head) {
+        match t2 {
+            Term::Const(c2) => {
+                if t2 != t1 {
+                    // constant in q2's head must appear identically
+                    if t1.as_const() != Some(c2) {
+                        return None;
+                    }
+                }
+            }
+            Term::Var(v) => match h.get(v.as_str()) {
+                Some(existing) => {
+                    if existing != t1 {
+                        return None;
+                    }
+                }
+                None => {
+                    h.insert(v.clone(), t1.clone());
+                }
+            },
+        }
+    }
+    let ctx1 = CompContext::build(q1);
+    fn try_atoms(
+        atoms2: &[Atom],
+        idx: usize,
+        q1: &ConjunctiveQuery,
+        h: &mut Substitution,
+        ctx1: &CompContext,
+        comparisons2: &[Comparison],
+    ) -> bool {
+        if idx == atoms2.len() {
+            // all atoms mapped: check comparisons of q2 under h
+            return comparisons2.iter().all(|c| {
+                let mapped = Comparison {
+                    left: crate::subst::apply_term(h, &c.left),
+                    op: c.op,
+                    right: crate::subst::apply_term(h, &c.right),
+                }
+                .normalized();
+                ctx1.implies(&mapped)
+            });
+        }
+        let a2 = &atoms2[idx];
+        for a1 in &q1.atoms {
+            if a1.relation != a2.relation || a1.terms.len() != a2.terms.len() {
+                continue;
+            }
+            // try mapping a2 onto a1
+            let mut trial = h.clone();
+            let mut ok = true;
+            for (t2, t1) in a2.terms.iter().zip(&a1.terms) {
+                match t2 {
+                    Term::Const(_) => {
+                        if t2 != t1 {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match trial.get(v.as_str()) {
+                        Some(existing) => {
+                            if existing != t1 {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            trial.insert(v.clone(), t1.clone());
+                        }
+                    },
+                }
+            }
+            if ok && try_atoms(atoms2, idx + 1, q1, &mut trial, ctx1, comparisons2) {
+                *h = trial;
+                return true;
+            }
+        }
+        false
+    }
+    let comparisons2 = q2.comparisons.clone();
+    let mut atoms2 = q2.atoms.clone();
+    // heuristic: map atoms with more constants/shared vars first
+    atoms2.sort_by_key(|a| usize::MAX - a.terms.iter().filter(|t| !t.is_var()).count());
+    if try_atoms(&atoms2, 0, q1, &mut h, &ctx1, &comparisons2) {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+/// Crate-internal entry point for [`crate::chase`]: homomorphism
+/// search between *already normalized and freshened* queries.
+pub(crate) fn find_homomorphism_public(
+    q2: &ConjunctiveQuery,
+    q1: &ConjunctiveQuery,
+) -> bool {
+    find_homomorphism(q2, q1).is_some()
+}
+
+/// Is `q1 ⊆ q2`? (Every output of `q1` is an output of `q2`, over
+/// every database.) Sound always; complete when, after equality
+/// propagation, `q2` has no residual inequality comparisons or they
+/// are directly implied (see module docs).
+pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    let n1 = match normalize(q1) {
+        Normalized::Unsatisfiable => return true, // ∅ ⊆ anything
+        Normalized::Query(q) => q,
+    };
+    let n2 = match normalize(q2) {
+        Normalized::Unsatisfiable => {
+            // q2 is empty: containment iff q1 is empty too — we only
+            // know syntactic unsatisfiability, so require it.
+            return matches!(normalize(q1), Normalized::Unsatisfiable);
+        }
+        Normalized::Query(q) => q,
+    };
+    // avoid accidental variable capture between the two queries
+    let n1 = n1.freshen("_l");
+    let n2 = n2.freshen("_r");
+    find_homomorphism(&n2, &n1).is_some()
+}
+
+/// Are the queries equivalent (mutual containment)?
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_are_equivalent() {
+        let a = q("Q(X) :- R(X, Y)");
+        assert!(equivalent(&a, &a));
+    }
+
+    #[test]
+    fn renamed_queries_are_equivalent() {
+        let a = q("Q(X) :- R(X, Y), S(Y, Z)");
+        let b = q("Q(A) :- R(A, B), S(B, C)");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn more_atoms_contained_in_fewer() {
+        // Q1 joins, Q2 only scans: Q1 ⊆ Q2 but not conversely
+        let q1 = q("Q(X) :- R(X, Y), S(Y, Z)");
+        let q2 = q("Q(X) :- R(X, Y)");
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn redundant_atom_is_equivalent() {
+        let a = q("Q(X) :- R(X, Y), R(X, Z)");
+        let b = q("Q(X) :- R(X, Y)");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn selection_restricts() {
+        let sel = q("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"");
+        let all = q("Q(N) :- Family(F, N, Ty)");
+        assert!(is_contained_in(&sel, &all));
+        assert!(!is_contained_in(&all, &sel));
+    }
+
+    #[test]
+    fn equal_selections_are_equivalent() {
+        let a = q("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"");
+        let b = q("Q(N) :- Family(F, N, \"gpcr\")");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_constants_not_equivalent() {
+        let a = q("Q(N) :- Family(F, N, \"gpcr\")");
+        let b = q("Q(N) :- Family(F, N, \"enzyme\")");
+        assert!(!is_contained_in(&a, &b));
+        assert!(!is_contained_in(&b, &a));
+    }
+
+    #[test]
+    fn head_projection_matters() {
+        let a = q("Q(X) :- R(X, Y)");
+        let b = q("Q(Y) :- R(X, Y)");
+        assert!(!is_contained_in(&a, &b));
+    }
+
+    #[test]
+    fn unsatisfiable_contained_in_everything() {
+        let bad = q("Q(X) :- R(X), X = 1, X = 2");
+        let any = q("Q(X) :- R(X)");
+        assert!(is_contained_in(&bad, &any));
+        assert!(!is_contained_in(&any, &bad));
+    }
+
+    #[test]
+    fn paper_example_2_3_rewriting_q4_equivalent() {
+        // Q(N,Tx) :- Family(F,N,Ty), FamilyIntro(F,Tx), Ty="gpcr"
+        // expansion of Q4 = V5("gpcr") is the same modulo renaming
+        let original =
+            q("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"");
+        let expansion =
+            q("Q(N2, Tx2) :- Family(F2, N2, \"gpcr\"), FamilyIntro(F2, Tx2)");
+        assert!(equivalent(&original, &expansion));
+    }
+
+    #[test]
+    fn inequality_containment_sound_cases() {
+        let tight = q("Q(X) :- R(X), X > 5");
+        let loose = q("Q(X) :- R(X), X > 3");
+        assert!(is_contained_in(&tight, &loose));
+        assert!(!is_contained_in(&loose, &tight));
+        // strict implies non-strict
+        let strict = q("Q(X) :- R(X), X > 5");
+        let nonstrict = q("Q(X) :- R(X), X >= 5");
+        assert!(is_contained_in(&strict, &nonstrict));
+        assert!(!is_contained_in(&nonstrict, &strict));
+    }
+
+    #[test]
+    fn ne_implied_by_strict_bound() {
+        let lt = q("Q(X) :- R(X), X < 5");
+        let ne = q("Q(X) :- R(X), X != 5");
+        assert!(is_contained_in(&lt, &ne));
+        assert!(!is_contained_in(&ne, &lt));
+    }
+
+    #[test]
+    fn var_var_comparison_containment() {
+        let lt = q("Q(X, Y) :- R(X, Y), X < Y");
+        let ne = q("Q(X, Y) :- R(X, Y), X != Y");
+        let all = q("Q(X, Y) :- R(X, Y)");
+        assert!(is_contained_in(&lt, &ne));
+        assert!(is_contained_in(&lt, &all));
+        assert!(!is_contained_in(&all, &lt));
+    }
+
+    #[test]
+    fn normalize_eliminates_equalities() {
+        let n = normalize(&q("Q(X, Y) :- R(X, Y), X = Y, Y = 3"));
+        match n {
+            Normalized::Query(nq) => {
+                assert!(nq.comparisons.is_empty());
+                assert_eq!(nq.head, vec![Term::val(3), Term::val(3)]);
+            }
+            Normalized::Unsatisfiable => panic!("should be satisfiable"),
+        }
+    }
+
+    #[test]
+    fn normalize_detects_contradiction() {
+        assert!(matches!(
+            normalize(&q("Q(X) :- R(X), X = 1, X = 2")),
+            Normalized::Unsatisfiable
+        ));
+        assert!(matches!(
+            normalize(&q("Q(X) :- R(X), X = 1, X != 1")),
+            Normalized::Unsatisfiable
+        ));
+        assert!(matches!(
+            normalize(&q("Q(X) :- R(X, Y), X = Y, X < Y")),
+            Normalized::Unsatisfiable
+        ));
+    }
+
+    #[test]
+    fn constants_in_atoms_respected_by_homomorphism() {
+        let a = q("Q(X) :- R(X, \"a\")");
+        let b = q("Q(X) :- R(X, \"b\")");
+        assert!(!is_contained_in(&a, &b));
+        let general = q("Q(X) :- R(X, Y)");
+        assert!(is_contained_in(&a, &general));
+        assert!(!is_contained_in(&general, &a));
+    }
+
+    #[test]
+    fn self_join_vs_single_atom() {
+        // Q(X) :- R(X,X) is contained in Q(X) :- R(X,Y) but not conversely
+        let diag = q("Q(X) :- R(X, X)");
+        let gen = q("Q(X) :- R(X, Y)");
+        assert!(is_contained_in(&diag, &gen));
+        assert!(!is_contained_in(&gen, &diag));
+    }
+}

@@ -1,0 +1,127 @@
+//! Error types for the query crate.
+
+use std::fmt;
+
+/// Errors raised by parsing, validation, and evaluation of queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error while parsing a query.
+    Syntax {
+        /// Byte offset in the input where the error was detected.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A query failed the safety (range-restriction) check.
+    Unsafe {
+        /// Query name.
+        query: String,
+        /// Offending variable.
+        variable: String,
+        /// Why it is unsafe.
+        reason: String,
+    },
+    /// A parameterized query was instantiated with the wrong number
+    /// of arguments.
+    ParameterMismatch {
+        /// Query name.
+        query: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        actual: usize,
+    },
+    /// An atom refers to a relation with the wrong arity.
+    AtomArity {
+        /// Relation name.
+        relation: String,
+        /// Arity in the schema.
+        expected: usize,
+        /// Arity used in the atom.
+        actual: usize,
+    },
+    /// Errors bubbled up from the relational substrate.
+    Relation(fgc_relation::RelationError),
+    /// The evaluator exceeded a configured resource budget.
+    BudgetExceeded {
+        /// What budget was exhausted.
+        what: String,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Syntax { position, message } => {
+                write!(f, "syntax error at byte {position}: {message}")
+            }
+            QueryError::Unsafe {
+                query,
+                variable,
+                reason,
+            } => write!(f, "unsafe query `{query}`: variable {variable} {reason}"),
+            QueryError::ParameterMismatch {
+                query,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "query `{query}` takes {expected} parameters, got {actual}"
+            ),
+            QueryError::AtomArity {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom over `{relation}` has arity {actual}, schema says {expected}"
+            ),
+            QueryError::Relation(e) => write!(f, "{e}"),
+            QueryError::BudgetExceeded { what, limit } => {
+                write!(f, "budget exceeded: more than {limit} {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fgc_relation::RelationError> for QueryError {
+    fn from(e: fgc_relation::RelationError) -> Self {
+        QueryError::Relation(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = QueryError::Unsafe {
+            query: "Q".into(),
+            variable: "X".into(),
+            reason: "appears only in the head".into(),
+        };
+        assert!(e.to_string().contains('X'));
+    }
+
+    #[test]
+    fn relation_errors_convert() {
+        let e: QueryError = fgc_relation::RelationError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, QueryError::Relation(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

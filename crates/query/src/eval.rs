@@ -1,0 +1,617 @@
+//! Evaluation of conjunctive queries over a [`Database`].
+//!
+//! The evaluator is a backtracking index-nested-loop join with a
+//! greedy atom order (most-bound atom first). Three entry points:
+//!
+//! * [`evaluate`] — distinct output tuples (set semantics);
+//! * [`evaluate_grouped`] — output tuples with *all* their bindings,
+//!   the raw material for Definition 3.2's sum over bindings;
+//! * [`evaluate_annotated`] — semiring-annotated evaluation: each
+//!   base tuple carries an annotation, joins multiply (`·`), multiple
+//!   derivations of the same output add (`+`) — §3.1 of the paper.
+//!   This is the "changes ... in terms of query processing (to
+//!   combine citation annotations)" the paper anticipates in §4;
+//!   experiment E6 measures its overhead.
+
+use crate::ast::{ConjunctiveQuery, Term};
+use crate::error::{QueryError, Result};
+use crate::safety::{check_against_catalog, check_safety};
+use fgc_relation::{Database, Tuple, Value};
+use fgc_semiring::CommutativeSemiring;
+use std::collections::HashMap;
+
+/// A total assignment of values to the query's variables.
+pub type Binding = HashMap<String, Value>;
+
+/// Resource limits for evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Maximum number of bindings enumerated before
+    /// [`QueryError::BudgetExceeded`] is raised.
+    pub max_bindings: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            max_bindings: 10_000_000,
+        }
+    }
+}
+
+/// Row provenance: which row of which relation each atom matched.
+/// Entries are `(atom index, relation name, row position)`.
+pub type MatchedRows<'q> = Vec<(usize, &'q str, usize)>;
+
+/// Core enumeration: call `sink` once per complete binding.
+///
+/// The atom order is chosen greedily: at each step pick the atom with
+/// the most already-bound argument positions (constants count as
+/// bound), breaking ties by smaller relation. Comparisons run as soon
+/// as both sides are bound.
+fn for_each_binding<'q>(
+    db: &Database,
+    q: &'q ConjunctiveQuery,
+    options: EvalOptions,
+    sink: &mut dyn FnMut(&Binding, &MatchedRows<'q>) -> Result<()>,
+) -> Result<usize> {
+    check_safety(q)?;
+    check_against_catalog(q, db.catalog())?;
+
+    // Pre-resolve relations.
+    let relations: Vec<&fgc_relation::Relation> = q
+        .atoms
+        .iter()
+        .map(|a| db.relation(&a.relation))
+        .collect::<std::result::Result<_, _>>()?;
+
+    let mut binding: Binding = Binding::new();
+    // Seed bindings from `Var = Const` equality comparisons so they
+    // act as selections, and collect residual comparisons.
+    let mut residual = Vec::new();
+    for c in &q.comparisons {
+        let n = c.normalized();
+        if n.op == crate::ast::CompOp::Eq {
+            if let (Term::Var(v), Term::Const(val)) = (&n.left, &n.right) {
+                if let Some(prev) = binding.get(v.as_str()) {
+                    if prev != val {
+                        return Ok(0); // contradictory selections
+                    }
+                } else {
+                    binding.insert(v.clone(), val.clone());
+                }
+                continue;
+            }
+        }
+        residual.push(n);
+    }
+
+    let mut used = vec![false; q.atoms.len()];
+    let mut comp_done = vec![false; residual.len()];
+    let mut matched: MatchedRows<'q> = Vec::with_capacity(q.atoms.len());
+    let mut budget = options.max_bindings;
+
+    fn resolve_term(binding: &Binding, t: &Term) -> Option<Value> {
+        match t {
+            Term::Const(v) => Some(v.clone()),
+            Term::Var(v) => binding.get(v.as_str()).cloned(),
+        }
+    }
+
+    // Recursive walker. Implemented with an explicit helper fn to keep
+    // the borrow checker happy about the shared state.
+    #[allow(clippy::too_many_arguments)]
+    fn walk<'q>(
+        q: &'q ConjunctiveQuery,
+        relations: &[&fgc_relation::Relation],
+        residual: &[crate::ast::Comparison],
+        binding: &mut Binding,
+        used: &mut [bool],
+        comp_done: &mut [bool],
+        matched: &mut MatchedRows<'q>,
+        budget: &mut usize,
+        sink: &mut dyn FnMut(&Binding, &MatchedRows<'q>) -> Result<()>,
+    ) -> Result<()> {
+        // Apply every not-yet-applied comparison whose terms are bound.
+        let mut applied_here = Vec::new();
+        for (i, c) in residual.iter().enumerate() {
+            if comp_done[i] {
+                continue;
+            }
+            let l = resolve_term(binding, &c.left);
+            let r = resolve_term(binding, &c.right);
+            if let (Some(l), Some(r)) = (l, r) {
+                comp_done[i] = true;
+                applied_here.push(i);
+                if !c.op.eval(&l, &r) {
+                    for j in applied_here {
+                        comp_done[j] = false;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+
+        // All atoms used: emit the binding.
+        if used.iter().all(|u| *u) {
+            if *budget == 0 {
+                return Err(QueryError::BudgetExceeded {
+                    what: "bindings".into(),
+                    limit: 0,
+                });
+            }
+            *budget -= 1;
+            let result = sink(binding, matched);
+            for j in applied_here {
+                comp_done[j] = false;
+            }
+            return result;
+        }
+
+        // Greedy choice: atom with most bound positions.
+        let mut best: Option<(usize, usize, usize)> = None; // (bound count, -size, idx)
+        for (i, a) in q.atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let bound = a
+                .terms
+                .iter()
+                .filter(|t| resolve_term(binding, t).is_some())
+                .count();
+            let size = relations[i].len();
+            let candidate = (bound, usize::MAX - size, i);
+            if best.is_none_or(|b| candidate > b) {
+                best = Some(candidate);
+            }
+        }
+        let (_, _, idx) = best.expect("at least one unused atom");
+        let atom = &q.atoms[idx];
+        let rel = relations[idx];
+        used[idx] = true;
+
+        // Candidate rows: probe a secondary index on the first bound
+        // column if available, otherwise scan.
+        let bound_col = atom
+            .terms
+            .iter()
+            .enumerate()
+            .find_map(|(col, t)| resolve_term(binding, t).map(|v| (col, v)));
+        let positions: Vec<usize> = match &bound_col {
+            Some((col, v)) => match rel.probe(*col, v) {
+                Some(p) => p.to_vec(),
+                None => (0..rel.len()).collect(),
+            },
+            None => (0..rel.len()).collect(),
+        };
+
+        'rows: for pos in positions {
+            let row = &rel.rows()[pos];
+            // match atom terms against the row
+            let mut newly_bound: Vec<&str> = Vec::new();
+            for (col, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(c) => {
+                        if &row[col] != c {
+                            for v in newly_bound.drain(..) {
+                                binding.remove(v);
+                            }
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => match binding.get(v.as_str()) {
+                        Some(existing) => {
+                            if existing != &row[col] {
+                                for v in newly_bound.drain(..) {
+                                    binding.remove(v);
+                                }
+                                continue 'rows;
+                            }
+                        }
+                        None => {
+                            binding.insert(v.clone(), row[col].clone());
+                            newly_bound.push(v.as_str());
+                        }
+                    },
+                }
+            }
+            matched.push((idx, atom.relation.as_str(), pos));
+            let r = walk(
+                q, relations, residual, binding, used, comp_done, matched, budget, sink,
+            );
+            matched.pop();
+            let owned: Vec<String> = newly_bound.iter().map(|s| s.to_string()).collect();
+            for v in owned {
+                binding.remove(&v);
+            }
+            r?;
+        }
+
+        used[idx] = false;
+        for j in applied_here {
+            comp_done[j] = false;
+        }
+        Ok(())
+    }
+
+    let mut count = 0usize;
+    let mut counting_sink = |b: &Binding, m: &MatchedRows<'q>| {
+        count += 1;
+        sink(b, m)
+    };
+    walk(
+        q,
+        &relations,
+        &residual,
+        &mut binding,
+        &mut used,
+        &mut comp_done,
+        &mut matched,
+        &mut budget,
+        &mut counting_sink,
+    )?;
+    Ok(count)
+}
+
+/// Project the head of `q` under a binding. Head terms must resolve
+/// (guaranteed by the safety check).
+fn project_head(q: &ConjunctiveQuery, binding: &Binding) -> Tuple {
+    q.head
+        .iter()
+        .map(|t| match t {
+            Term::Const(v) => v.clone(),
+            Term::Var(v) => binding
+                .get(v.as_str())
+                .cloned()
+                .unwrap_or(Value::Null),
+        })
+        .collect()
+}
+
+/// Evaluate a query, returning distinct output tuples (set
+/// semantics), in first-derivation order.
+pub fn evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+    evaluate_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate`] with explicit limits.
+pub fn evaluate_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for_each_binding(db, q, options, &mut |binding, _| {
+        let t = project_head(q, binding);
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Evaluate and group *all* bindings by output tuple — Definition 3.2
+/// needs "the set of all bindings for Q' that yield a tuple t".
+pub fn evaluate_grouped(
+    db: &Database,
+    q: &ConjunctiveQuery,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate_grouped`] with explicit limits.
+pub fn evaluate_grouped_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut groups: HashMap<Tuple, Vec<Binding>> = HashMap::new();
+    for_each_binding(db, q, options, &mut |binding, _| {
+        let t = project_head(q, binding);
+        let entry = groups.entry(t.clone()).or_default();
+        if entry.is_empty() {
+            order.push(t);
+        }
+        entry.push(binding.clone());
+        Ok(())
+    })?;
+    Ok(order
+        .into_iter()
+        .map(|t| {
+            let b = groups.remove(&t).expect("group exists");
+            (t, b)
+        })
+        .collect())
+}
+
+/// Semiring-annotated evaluation (§3.1): `annotate(relation, row)`
+/// supplies the base annotation of each tuple; per binding the atom
+/// annotations are multiplied, per output tuple the binding products
+/// are summed. Output order is first-derivation order.
+pub fn evaluate_annotated<S, F>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mut annotate: F,
+) -> Result<Vec<(Tuple, S)>>
+where
+    S: CommutativeSemiring,
+    F: FnMut(&str, usize) -> S,
+{
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut acc: HashMap<Tuple, S> = HashMap::new();
+    for_each_binding(db, q, EvalOptions::default(), &mut |binding, matched| {
+        let product = matched
+            .iter()
+            .fold(S::one(), |p, (_, rel, row)| p.times(&annotate(rel, *row)));
+        let t = project_head(q, binding);
+        match acc.get_mut(&t) {
+            Some(existing) => *existing = existing.plus(&product),
+            None => {
+                order.push(t.clone());
+                acc.insert(t, product);
+            }
+        }
+        Ok(())
+    })?;
+    Ok(order
+        .into_iter()
+        .map(|t| {
+            let s = acc.remove(&t).expect("annotation exists");
+            (t, s)
+        })
+        .collect())
+}
+
+/// Count bindings without materializing anything (diagnostics).
+pub fn count_bindings(db: &Database, q: &ConjunctiveQuery) -> Result<usize> {
+    for_each_binding(db, q, EvalOptions::default(), &mut |_, _| Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::{tuple, DataType};
+    use fgc_semiring::{Natural, Polynomial};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names(
+                "FamilyIntro",
+                &[("FID", DataType::Str), ("Text", DataType::Str)],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert_all(
+            "Family",
+            vec![
+                tuple!["11", "Calcitonin", "gpcr"],
+                tuple!["12", "Orexin", "gpcr"],
+                tuple!["13", "Kinase", "enzyme"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "FamilyIntro",
+            vec![
+                tuple!["11", "The calcitonin peptide family"],
+                tuple!["13", "Kinases catalyse"],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_with_comparison() {
+        let db = sample_db();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
+        let out = evaluate(&db, &q).unwrap();
+        assert_eq!(out, vec![tuple!["Calcitonin"], tuple!["Orexin"]]);
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        let db = sample_db();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        let mut out = evaluate(&db, &q).unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                tuple!["Calcitonin", "The calcitonin peptide family"],
+                tuple!["Kinase", "Kinases catalyse"],
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_example_2_2_query() {
+        // names of gpcr families that have an introduction page
+        let db = sample_db();
+        let q = parse_query(
+            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)",
+        )
+        .unwrap();
+        let out = evaluate(&db, &q).unwrap();
+        assert_eq!(out, vec![tuple!["Calcitonin"]]);
+    }
+
+    #[test]
+    fn constants_in_atoms_act_as_selection() {
+        let db = sample_db();
+        let q = parse_query("Q(N) :- Family(\"11\", N, Ty)").unwrap();
+        let out = evaluate(&db, &q).unwrap();
+        assert_eq!(out, vec![tuple!["Calcitonin"]]);
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        let db = sample_db();
+        let q = parse_query("Q(Ty) :- Family(F, N, Ty)").unwrap();
+        let out = evaluate(&db, &q).unwrap();
+        assert_eq!(out.len(), 2); // gpcr, enzyme
+    }
+
+    #[test]
+    fn grouped_collects_all_bindings() {
+        let db = sample_db();
+        let q = parse_query("Q(Ty) :- Family(F, N, Ty)").unwrap();
+        let grouped = evaluate_grouped(&db, &q).unwrap();
+        let gpcr = grouped
+            .iter()
+            .find(|(t, _)| t == &tuple!["gpcr"])
+            .unwrap();
+        assert_eq!(gpcr.1.len(), 2); // two gpcr families
+        let enzyme = grouped
+            .iter()
+            .find(|(t, _)| t == &tuple!["enzyme"])
+            .unwrap();
+        assert_eq!(enzyme.1.len(), 1);
+    }
+
+    #[test]
+    fn annotated_eval_counts_derivations() {
+        let db = sample_db();
+        let q = parse_query("Q(Ty) :- Family(F, N, Ty)").unwrap();
+        let out: Vec<(Tuple, Natural)> =
+            evaluate_annotated(&db, &q, |_, _| Natural(1)).unwrap();
+        let gpcr = out.iter().find(|(t, _)| t == &tuple!["gpcr"]).unwrap();
+        assert_eq!(gpcr.1, Natural(2));
+    }
+
+    #[test]
+    fn annotated_eval_builds_provenance_polynomials() {
+        let db = sample_db();
+        let q =
+            parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        let out: Vec<(Tuple, Polynomial<String>)> =
+            evaluate_annotated(&db, &q, |rel, row| {
+                Polynomial::token(format!("{rel}:{row}"))
+            })
+            .unwrap();
+        let calci = out
+            .iter()
+            .find(|(t, _)| t == &tuple!["Calcitonin"])
+            .unwrap();
+        // exactly one derivation joining Family row 0 and Intro row 0
+        assert_eq!(calci.1.num_monomials(), 1);
+        let m = calci.1.monomials().next().unwrap();
+        assert_eq!(m.degree(), 2);
+        assert_eq!(m.exponent(&"Family:0".to_string()), 1);
+        assert_eq!(m.exponent(&"FamilyIntro:0".to_string()), 1);
+    }
+
+    #[test]
+    fn inequality_comparisons() {
+        let db = sample_db();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), F > \"11\"").unwrap();
+        let out = evaluate(&db, &q).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn var_to_var_comparison() {
+        let db = sample_db();
+        let q =
+            parse_query("Q(A, B) :- Family(F1, A, T1), Family(F2, B, T2), F1 < F2")
+                .unwrap();
+        let out = evaluate(&db, &q).unwrap();
+        assert_eq!(out.len(), 3); // (11,12) (11,13) (12,13)
+    }
+
+    #[test]
+    fn empty_result_is_ok() {
+        let db = sample_db();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"nope\"").unwrap();
+        assert!(evaluate(&db, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn contradictory_selection_yields_empty() {
+        let db = sample_db();
+        let q =
+            parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", Ty = \"enzyme\"")
+                .unwrap();
+        assert!(evaluate(&db, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        let db = sample_db();
+        let q = parse_query("Q(X) :- Family(F, N, Ty)").unwrap();
+        assert!(matches!(
+            evaluate(&db, &q).unwrap_err(),
+            QueryError::Unsafe { .. }
+        ));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let db = sample_db();
+        let q = parse_query("Q(A, B) :- Family(A, X, Y), Family(B, Z, W)").unwrap();
+        let err = evaluate_with(
+            &db,
+            &q,
+            EvalOptions { max_bindings: 4 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn self_join_uses_distinct_atom_occurrences() {
+        let db = sample_db();
+        // pairs of distinct families with the same type
+        let q = parse_query(
+            "Q(A, B) :- Family(A, N1, T), Family(B, N2, T), A != B",
+        )
+        .unwrap();
+        let out = evaluate(&db, &q).unwrap();
+        assert_eq!(out.len(), 2); // (11,12) and (12,11)
+    }
+
+    #[test]
+    fn count_bindings_counts_derivations() {
+        let db = sample_db();
+        let q = parse_query("Q(Ty) :- Family(F, N, Ty)").unwrap();
+        assert_eq!(count_bindings(&db, &q).unwrap(), 3);
+    }
+
+    #[test]
+    fn indexes_do_not_change_results() {
+        let mut db = sample_db();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        let plain = evaluate(&db, &q).unwrap();
+        db.build_default_indexes().unwrap();
+        db.relation_mut("Family").unwrap().build_index(2).unwrap();
+        let indexed = evaluate(&db, &q).unwrap();
+        let mut a = plain;
+        let mut b = indexed;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

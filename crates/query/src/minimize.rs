@@ -1,0 +1,112 @@
+//! Conjunctive-query minimization (core computation).
+//!
+//! Definition 2.2 requires that "no subgoal of Q′ can be removed and
+//! obtain an equivalent query": rewriting candidates are reduced to
+//! their *core* before validity checks. Minimization also underlies
+//! the paper's open question on avoiding exhaustive enumeration —
+//! minimal rewritings are exactly the ones the preference orders rank.
+
+use crate::ast::ConjunctiveQuery;
+use crate::containment::equivalent;
+
+/// Minimize a query by greedily removing redundant atoms: repeatedly
+/// try dropping each atom and keep the removal if the query stays
+/// equivalent. The result is a *core* of the input (unique up to
+/// isomorphism for CQs without comparisons).
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.clone();
+    loop {
+        let mut reduced = None;
+        for i in 0..current.atoms.len() {
+            if current.atoms.len() == 1 {
+                break; // keep at least one atom for safety
+            }
+            let mut candidate = current.clone();
+            candidate.atoms.remove(i);
+            // removal must not strand head/param/comparison variables
+            if crate::safety::check_safety(&candidate).is_err() {
+                continue;
+            }
+            if equivalent(&candidate, q) {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => break,
+        }
+    }
+    current
+}
+
+/// Is the query minimal (no atom can be removed)?
+pub fn is_minimal(q: &ConjunctiveQuery) -> bool {
+    minimize(q).atoms.len() == q.atoms.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn removes_redundant_atom() {
+        let query = q("Q(X) :- R(X, Y), R(X, Z)");
+        let min = minimize(&query);
+        assert_eq!(min.atoms.len(), 1);
+        assert!(equivalent(&min, &query));
+    }
+
+    #[test]
+    fn keeps_necessary_join() {
+        let query = q("Q(X) :- R(X, Y), S(Y, Z)");
+        assert!(is_minimal(&query));
+    }
+
+    #[test]
+    fn keeps_atoms_binding_head_vars() {
+        let query = q("Q(X, Y) :- R(X, Z), R(W, Y)");
+        let min = minimize(&query);
+        assert_eq!(min.atoms.len(), 2);
+    }
+
+    #[test]
+    fn triangle_with_shortcut() {
+        // R(X,Y), R(Y,Z), R(X,Z) is minimal (no hom collapses it)
+        let query = q("Q(X, Z) :- R(X, Y), R(Y, Z), R(X, Z)");
+        let min = minimize(&query);
+        // R(X,Y),R(Y,Z) cannot replace R(X,Z): the triangle is minimal
+        assert_eq!(min.atoms.len(), 3);
+    }
+
+    #[test]
+    fn chain_folds_onto_shorter_chain() {
+        // boolean query: two-step chain folds onto one atom
+        let query = q("Q() :- R(X, Y), R(Y2, Z)");
+        let min = minimize(&query);
+        assert_eq!(min.atoms.len(), 1);
+    }
+
+    #[test]
+    fn comparison_blocks_removal() {
+        let query = q("Q(X) :- R(X, Y), R(X, Z), Z > 5");
+        let min = minimize(&query);
+        // R(X,Z) with Z>5 is a real restriction; R(X,Y) is redundant
+        assert_eq!(min.atoms.len(), 1);
+        assert!(min.comparisons.len() == 1);
+        assert!(equivalent(&min, &query));
+    }
+
+    #[test]
+    fn minimization_preserves_selection_constants() {
+        let query = q("Q(N) :- Family(F, N, \"gpcr\"), Family(F, N, Ty)");
+        let min = minimize(&query);
+        assert_eq!(min.atoms.len(), 1);
+        assert!(equivalent(&min, &query));
+    }
+}

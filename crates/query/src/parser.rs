@@ -1,0 +1,503 @@
+//! Parser for the Datalog-style query syntax used by the paper.
+//!
+//! ```text
+//! lambda F. V1(F, N, Ty) :- Family(F, N, Ty)
+//! Q(N) :- Family(F, N, Ty), Ty = "gpcr", FamilyIntro(F, Tx)
+//! ```
+//!
+//! Conventions:
+//! * identifiers in term position are **variables**;
+//! * constants are quoted strings, numbers, `true`/`false`, `NULL`;
+//! * the optional `lambda x1, ..., xn.` prefix declares parameters
+//!   (the paper's λ-term);
+//! * comparison operators: `=`, `!=` (or `<>`), `<`, `<=`, `>`, `>=`.
+
+use crate::ast::{Atom, CompOp, Comparison, ConjunctiveQuery, Term};
+use crate::error::{QueryError, Result};
+use fgc_relation::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Turnstile, // :-
+    Op(CompOp),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Syntax {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Next token with its starting position, or `None` at end.
+    fn next(&mut self) -> Result<Option<(usize, Token)>> {
+        self.skip_ws();
+        let start = self.pos;
+        let Some(b) = self.peek_byte() else {
+            return Ok(None);
+        };
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b':' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'-') {
+                    self.pos += 2;
+                    Token::Turnstile
+                } else {
+                    return Err(self.error("expected `:-`"));
+                }
+            }
+            b'=' => {
+                self.pos += 1;
+                Token::Op(CompOp::Eq)
+            }
+            b'!' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Op(CompOp::Ne)
+                } else {
+                    return Err(self.error("expected `!=`"));
+                }
+            }
+            b'<' => match self.bytes.get(self.pos + 1) {
+                Some(&b'=') => {
+                    self.pos += 2;
+                    Token::Op(CompOp::Le)
+                }
+                Some(&b'>') => {
+                    self.pos += 2;
+                    Token::Op(CompOp::Ne)
+                }
+                _ => {
+                    self.pos += 1;
+                    Token::Op(CompOp::Lt)
+                }
+            },
+            b'>' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Op(CompOp::Ge)
+                } else {
+                    self.pos += 1;
+                    Token::Op(CompOp::Gt)
+                }
+            }
+            b'"' => {
+                let mut out = String::new();
+                self.pos += 1;
+                loop {
+                    match self.peek_byte() {
+                        None => return Err(self.error("unterminated string literal")),
+                        Some(b'"') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.peek_byte() {
+                                Some(b'"') => out.push('"'),
+                                Some(b'\\') => out.push('\\'),
+                                Some(b'n') => out.push('\n'),
+                                Some(b't') => out.push('\t'),
+                                Some(other) => {
+                                    out.push('\\');
+                                    out.push(other as char);
+                                }
+                                None => return Err(self.error("unterminated escape")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(_) => {
+                            // advance one full UTF-8 character
+                            let rest = &self.src[self.pos..];
+                            let c = rest.chars().next().expect("non-empty");
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                    }
+                }
+                Token::Str(out)
+            }
+            b'-' | b'0'..=b'9' => {
+                let num_start = self.pos;
+                if b == b'-' {
+                    self.pos += 1;
+                }
+                let mut is_float = false;
+                while let Some(c) = self.peek_byte() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if c == b'.' && !is_float
+                        && self
+                            .bytes
+                            .get(self.pos + 1)
+                            .is_some_and(u8::is_ascii_digit)
+                    {
+                        is_float = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[num_start..self.pos];
+                if is_float {
+                    Token::Float(text.parse().map_err(|_| self.error("bad float"))?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| self.error("bad integer"))?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while let Some(c) = self.peek_byte() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Token::Ident(self.src[start..self.pos].to_string())
+            }
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    cursor: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self> {
+        let mut lexer = Lexer::new(src);
+        let mut tokens = Vec::new();
+        while let Some(t) = lexer.next()? {
+            tokens.push(t);
+        }
+        Ok(Parser {
+            tokens,
+            cursor: 0,
+            end: src.len(),
+        })
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.cursor)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.end)
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Syntax {
+            position: self.position(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|(_, t)| t)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.cursor).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        match self.advance() {
+            Some(t) if &t == expected => Ok(()),
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.advance() {
+            Some(Token::Ident(s)) => match s.as_str() {
+                "true" => Ok(Term::Const(Value::Bool(true))),
+                "false" => Ok(Term::Const(Value::Bool(false))),
+                "NULL" => Ok(Term::Const(Value::Null)),
+                _ => Ok(Term::Var(s)),
+            },
+            Some(Token::Str(s)) => Ok(Term::Const(Value::str(s))),
+            Some(Token::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            Some(Token::Float(x)) => Ok(Term::Const(Value::float(x))),
+            _ => Err(self.error("expected a term")),
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<Term>> {
+        self.expect(&Token::LParen, "`(`")?;
+        let mut terms = Vec::new();
+        if self.peek() == Some(&Token::RParen) {
+            self.advance();
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.term()?);
+            match self.advance() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                _ => return Err(self.error("expected `,` or `)`")),
+            }
+        }
+        Ok(terms)
+    }
+
+    fn query(&mut self) -> Result<ConjunctiveQuery> {
+        // optional lambda prefix
+        let mut params = Vec::new();
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == "lambda") {
+            self.advance();
+            loop {
+                params.push(self.ident("parameter name")?);
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.advance();
+                    }
+                    Some(Token::Dot) => {
+                        self.advance();
+                        break;
+                    }
+                    _ => return Err(self.error("expected `,` or `.` after parameter")),
+                }
+            }
+        }
+        let name = self.ident("query name")?;
+        let head = self.term_list()?;
+        self.expect(&Token::Turnstile, "`:-`")?;
+        let mut atoms = Vec::new();
+        let mut comparisons = Vec::new();
+        loop {
+            // lookahead: Ident '(' => atom; otherwise comparison
+            let is_atom = matches!(
+                (self.peek(), self.tokens.get(self.cursor + 1).map(|(_, t)| t)),
+                (Some(Token::Ident(s)), Some(Token::LParen))
+                    if !matches!(s.as_str(), "true" | "false" | "NULL")
+            );
+            if is_atom {
+                let rel = self.ident("relation name")?;
+                let terms = self.term_list()?;
+                atoms.push(Atom::new(rel, terms));
+            } else {
+                let left = self.term()?;
+                let op = match self.advance() {
+                    Some(Token::Op(op)) => op,
+                    _ => return Err(self.error("expected comparison operator")),
+                };
+                let right = self.term()?;
+                comparisons.push(Comparison::new(left, op, right));
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.advance();
+                }
+                None => break,
+                _ => return Err(self.error("expected `,` or end of query")),
+            }
+        }
+        Ok(ConjunctiveQuery {
+            name,
+            params,
+            head,
+            atoms,
+            comparisons,
+        })
+    }
+}
+
+/// Parse a single conjunctive query (with optional λ-prefix).
+pub fn parse_query(src: &str) -> Result<ConjunctiveQuery> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    if p.cursor != p.tokens.len() {
+        return Err(p.error("trailing input after query"));
+    }
+    Ok(q)
+}
+
+/// Parse a program: one query per non-empty, non-`%`-comment line.
+pub fn parse_program(src: &str) -> Result<Vec<ConjunctiveQuery>> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        out.push(parse_query(line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_query() {
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.head, vec![Term::var("N")]);
+        assert_eq!(q.atoms.len(), 1);
+        assert_eq!(q.comparisons.len(), 1);
+        assert_eq!(q.comparisons[0].right, Term::val("gpcr"));
+    }
+
+    #[test]
+    fn parse_lambda_prefix() {
+        let q = parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").unwrap();
+        assert_eq!(q.params, vec!["F"]);
+        assert!(q.is_parameterized());
+    }
+
+    #[test]
+    fn parse_multiple_params() {
+        let q = parse_query("lambda X, Y. V(X, Y) :- R(X, Y)").unwrap();
+        assert_eq!(q.params, vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let sources = [
+            "lambda F. V1(F, N, Ty) :- Family(F, N, Ty)",
+            "Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+            "CV3(X1, X2) :- MetaData(T1, X1), MetaData(T2, X2), T1 = \"Owner\", T2 = \"URL\"",
+            "Q(X) :- R(X, Y), X != Y, Y >= 3",
+        ];
+        for src in sources {
+            let q = parse_query(src).unwrap();
+            let q2 = parse_query(&q.to_string()).unwrap();
+            assert_eq!(q, q2, "display round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn parse_constants_in_atoms() {
+        let q = parse_query("Q(X) :- MetaData(\"Owner\", X)").unwrap();
+        assert_eq!(q.atoms[0].terms[0], Term::val("Owner"));
+    }
+
+    #[test]
+    fn parse_numeric_and_bool_constants() {
+        let q = parse_query("Q(X) :- R(X, 3, -4, 2.5, true, NULL)").unwrap();
+        let t = &q.atoms[0].terms;
+        assert_eq!(t[1], Term::val(3));
+        assert_eq!(t[2], Term::val(-4));
+        assert_eq!(t[3], Term::val(2.5));
+        assert_eq!(t[4], Term::val(true));
+        assert_eq!(t[5], Term::Const(Value::Null));
+    }
+
+    #[test]
+    fn parse_ne_variants() {
+        let a = parse_query("Q(X) :- R(X), X != 1").unwrap();
+        let b = parse_query("Q(X) :- R(X), X <> 1").unwrap();
+        assert_eq!(a.comparisons, b.comparisons);
+    }
+
+    #[test]
+    fn parse_empty_head() {
+        let q = parse_query("Q() :- R(X)").unwrap();
+        assert!(q.head.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_query("Q(N) :- Family(F, N, ").unwrap_err();
+        match err {
+            QueryError::Syntax { position, .. } => assert!(position >= 20),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reject_trailing_garbage() {
+        assert!(parse_query("Q(X) :- R(X) garbage(").is_err());
+    }
+
+    #[test]
+    fn reject_missing_turnstile() {
+        assert!(parse_query("Q(X) R(X)").is_err());
+    }
+
+    #[test]
+    fn reject_unterminated_string() {
+        assert!(parse_query("Q(X) :- R(X), X = \"abc").is_err());
+    }
+
+    #[test]
+    fn parse_program_skips_comments() {
+        let qs = parse_program(
+            "% the paper's V1 and V2\nlambda F. V1(F, N, Ty) :- Family(F, N, Ty)\n\nlambda F. V2(F, Tx) :- FamilyIntro(F, Tx)\n",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1].name, "V2");
+    }
+
+    #[test]
+    fn escaped_strings() {
+        let q = parse_query(r#"Q(X) :- R(X), X = "a\"b\\c""#).unwrap();
+        assert_eq!(q.comparisons[0].right, Term::val("a\"b\\c"));
+    }
+}

@@ -1,0 +1,212 @@
+//! A brute-force reference evaluator for differential testing.
+//!
+//! [`reference_evaluate`] enumerates *every* assignment of the
+//! query's variables to values in the database's active domain and
+//! checks all atoms and comparisons — semantics by definition, no
+//! join ordering, no indexes, no early pruning. It is exponentially
+//! slow and exists purely as an oracle: the optimized evaluator in
+//! [`crate::eval`] must agree with it on every (small) instance.
+//! Property tests in the workspace diff the two.
+
+use crate::ast::{ConjunctiveQuery, Term};
+use crate::error::Result;
+use crate::safety::{check_against_catalog, check_safety};
+use fgc_relation::{Database, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// The active domain: every value occurring anywhere in the database,
+/// plus every constant occurring in the query.
+fn active_domain(db: &Database, q: &ConjunctiveQuery) -> Vec<Value> {
+    let mut domain: BTreeSet<Value> = BTreeSet::new();
+    for schema in db.catalog().iter() {
+        let rel = db.relation(&schema.name).expect("catalog relation");
+        for row in rel.iter() {
+            for v in row.iter() {
+                domain.insert(v.clone());
+            }
+        }
+    }
+    for atom in &q.atoms {
+        for t in &atom.terms {
+            if let Term::Const(c) = t {
+                domain.insert(c.clone());
+            }
+        }
+    }
+    for c in &q.comparisons {
+        for t in [&c.left, &c.right] {
+            if let Term::Const(v) = t {
+                domain.insert(v.clone());
+            }
+        }
+    }
+    domain.into_iter().collect()
+}
+
+/// Evaluate by exhaustive assignment enumeration. Returns distinct
+/// output tuples, sorted (the reference order).
+pub fn reference_evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+    check_safety(q)?;
+    check_against_catalog(q, db.catalog())?;
+    let domain = active_domain(db, q);
+    let vars: Vec<String> = q.all_vars().into_iter().map(str::to_string).collect();
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    let mut assignment: Vec<Value> = Vec::with_capacity(vars.len());
+    enumerate(db, q, &vars, &domain, &mut assignment, &mut out);
+    Ok(out.into_iter().collect())
+}
+
+fn lookup<'a>(vars: &[String], assignment: &'a [Value], t: &'a Term) -> Option<&'a Value> {
+    match t {
+        Term::Const(v) => Some(v),
+        Term::Var(name) => vars
+            .iter()
+            .position(|v| v == name)
+            .and_then(|i| assignment.get(i)),
+    }
+}
+
+fn enumerate(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    vars: &[String],
+    domain: &[Value],
+    assignment: &mut Vec<Value>,
+    out: &mut BTreeSet<Tuple>,
+) {
+    if assignment.len() == vars.len() {
+        // check every atom...
+        for atom in &q.atoms {
+            let tuple: Option<Tuple> = atom
+                .terms
+                .iter()
+                .map(|t| lookup(vars, assignment, t).cloned())
+                .collect::<Option<Vec<Value>>>()
+                .map(Tuple::new);
+            let Some(tuple) = tuple else { return };
+            let rel = db.relation(&atom.relation).expect("checked");
+            if !rel.contains(&tuple) {
+                return;
+            }
+        }
+        // ...and every comparison...
+        for cmp in &q.comparisons {
+            let (Some(l), Some(r)) = (
+                lookup(vars, assignment, &cmp.left),
+                lookup(vars, assignment, &cmp.right),
+            ) else {
+                return;
+            };
+            if !cmp.op.eval(l, r) {
+                return;
+            }
+        }
+        // ...then project the head.
+        let head: Vec<Value> = q
+            .head
+            .iter()
+            .map(|t| {
+                lookup(vars, assignment, t)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        out.insert(Tuple::new(head));
+        return;
+    }
+    for v in domain {
+        assignment.push(v.clone());
+        enumerate(db, q, vars, domain, assignment, out);
+        assignment.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::{tuple, DataType};
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "R",
+                &[("a", DataType::Str), ("b", DataType::Str)],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names(
+                "S",
+                &[("b", DataType::Str), ("c", DataType::Str)],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert_all(
+            "R",
+            vec![tuple!["1", "x"], tuple!["2", "y"], tuple!["3", "x"]],
+        )
+        .unwrap();
+        db.insert_all("S", vec![tuple!["x", "u"], tuple!["y", "v"]])
+            .unwrap();
+        db
+    }
+
+    fn diff(db: &Database, src: &str) {
+        let q = parse_query(src).unwrap();
+        let mut fast = evaluate(db, &q).unwrap();
+        fast.sort();
+        let slow = reference_evaluate(db, &q).unwrap();
+        assert_eq!(fast, slow, "divergence on {src}");
+    }
+
+    #[test]
+    fn agrees_on_scan() {
+        diff(&tiny_db(), "Q(A, B) :- R(A, B)");
+    }
+
+    #[test]
+    fn agrees_on_join() {
+        diff(&tiny_db(), "Q(A, C) :- R(A, B), S(B, C)");
+    }
+
+    #[test]
+    fn agrees_on_selection() {
+        diff(&tiny_db(), "Q(A) :- R(A, B), B = \"x\"");
+        diff(&tiny_db(), "Q(A) :- R(A, \"x\")");
+    }
+
+    #[test]
+    fn agrees_on_inequalities() {
+        diff(&tiny_db(), "Q(A) :- R(A, B), A != \"2\"");
+        diff(&tiny_db(), "Q(A, A2) :- R(A, B), R(A2, B), A < A2");
+    }
+
+    #[test]
+    fn agrees_on_self_join() {
+        diff(&tiny_db(), "Q(A, A2) :- R(A, B), R(A2, B)");
+    }
+
+    #[test]
+    fn agrees_on_empty_result() {
+        diff(&tiny_db(), "Q(A) :- R(A, B), B = \"zzz\"");
+    }
+
+    #[test]
+    fn agrees_on_constant_head() {
+        diff(&tiny_db(), "Q(A, B) :- R(A, C), B = \"k\"");
+    }
+
+    #[test]
+    fn rejects_unsafe_queries_too() {
+        let q = parse_query("Q(X) :- R(A, B)").unwrap();
+        assert!(reference_evaluate(&tiny_db(), &q).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Safety (range restriction) and schema checks for queries.
+
+use crate::ast::{CompOp, ConjunctiveQuery, Term};
+use crate::error::{QueryError, Result};
+use fgc_relation::schema::Catalog;
+use std::collections::BTreeSet;
+
+/// Check that a query is *safe* (range-restricted):
+///
+/// * every head variable, every λ-parameter, and every variable used
+///   in a comparison must be *bound*: it must occur in a relational
+///   atom, or be connected to a bound variable or a constant through
+///   a chain of equality comparisons;
+/// * λ-parameters must occur in the query at all (Def. 2.1's `X ⊆ Y`
+///   for views; for citation queries, `X` must appear in `Q'`).
+pub fn check_safety(q: &ConjunctiveQuery) -> Result<()> {
+    let mut bound: BTreeSet<&str> = q.body_vars();
+    // propagate boundness through equality comparisons
+    loop {
+        let mut changed = false;
+        for c in &q.comparisons {
+            if c.op != CompOp::Eq {
+                continue;
+            }
+            match (&c.left, &c.right) {
+                (Term::Var(v), Term::Const(_)) | (Term::Const(_), Term::Var(v))
+                    if bound.insert(v.as_str()) => {
+                        changed = true;
+                    }
+                (Term::Var(a), Term::Var(b)) => {
+                    if bound.contains(a.as_str()) && bound.insert(b.as_str()) {
+                        changed = true;
+                    }
+                    if bound.contains(b.as_str()) && bound.insert(a.as_str()) {
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for t in &q.head {
+        if let Term::Var(v) = t {
+            if !bound.contains(v.as_str()) {
+                return Err(QueryError::Unsafe {
+                    query: q.name.clone(),
+                    variable: v.clone(),
+                    reason: "appears in the head but is not range-restricted".into(),
+                });
+            }
+        }
+    }
+    for p in &q.params {
+        if !bound.contains(p.as_str()) {
+            return Err(QueryError::Unsafe {
+                query: q.name.clone(),
+                variable: p.clone(),
+                reason: "is a lambda parameter but does not occur in the body".into(),
+            });
+        }
+    }
+    for c in &q.comparisons {
+        for v in c.vars() {
+            if !bound.contains(v) {
+                return Err(QueryError::Unsafe {
+                    query: q.name.clone(),
+                    variable: v.to_string(),
+                    reason: "appears in a comparison but is not range-restricted".into(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check every atom against the catalog: the relation must exist and
+/// the atom arity must match the schema.
+pub fn check_against_catalog(q: &ConjunctiveQuery, catalog: &Catalog) -> Result<()> {
+    for a in &q.atoms {
+        let schema = catalog.get(&a.relation)?;
+        if schema.arity() != a.terms.len() {
+            return Err(QueryError::AtomArity {
+                relation: a.relation.clone(),
+                expected: schema.arity(),
+                actual: a.terms.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::DataType;
+
+    #[test]
+    fn safe_query_passes() {
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
+        check_safety(&q).unwrap();
+    }
+
+    #[test]
+    fn head_var_not_in_body_fails() {
+        let q = parse_query("Q(X) :- R(Y)").unwrap();
+        let err = check_safety(&q).unwrap_err();
+        assert!(matches!(err, QueryError::Unsafe { variable, .. } if variable == "X"));
+    }
+
+    #[test]
+    fn head_var_bound_by_equality_chain_passes() {
+        let q = parse_query("Q(X) :- R(Y), X = Z, Z = Y").unwrap();
+        check_safety(&q).unwrap();
+    }
+
+    #[test]
+    fn head_var_bound_by_constant_equality_passes() {
+        let q = parse_query("Q(X) :- R(Y), X = \"c\"").unwrap();
+        check_safety(&q).unwrap();
+    }
+
+    #[test]
+    fn comparison_var_unbound_fails() {
+        let q = parse_query("Q(Y) :- R(Y), X < 3").unwrap();
+        let err = check_safety(&q).unwrap_err();
+        assert!(matches!(err, QueryError::Unsafe { variable, .. } if variable == "X"));
+    }
+
+    #[test]
+    fn inequality_does_not_bind() {
+        let q = parse_query("Q(X) :- R(Y), X != Y").unwrap();
+        assert!(check_safety(&q).is_err());
+    }
+
+    #[test]
+    fn param_must_occur() {
+        let q = parse_query("lambda P. V(X) :- R(X)").unwrap();
+        let err = check_safety(&q).unwrap_err();
+        assert!(matches!(err, QueryError::Unsafe { variable, .. } if variable == "P"));
+    }
+
+    #[test]
+    fn catalog_check_validates_arity() {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let good = parse_query("Q(F) :- Family(F, N, Ty)").unwrap();
+        check_against_catalog(&good, &cat).unwrap();
+        let bad_arity = parse_query("Q(F) :- Family(F, N)").unwrap();
+        assert!(matches!(
+            check_against_catalog(&bad_arity, &cat).unwrap_err(),
+            QueryError::AtomArity { .. }
+        ));
+        let bad_rel = parse_query("Q(F) :- Nope(F)").unwrap();
+        assert!(matches!(
+            check_against_catalog(&bad_rel, &cat).unwrap_err(),
+            QueryError::Relation(_)
+        ));
+    }
+}

@@ -1,0 +1,546 @@
+//! A small SQL front-end: `SELECT ... FROM ... WHERE ...` over
+//! conjunctive queries.
+//!
+//! The paper's interface is "general queries against the relational
+//! database"; curators think in SQL, the model is defined on CQs.
+//! This module translates the SPJ fragment:
+//!
+//! ```text
+//! SELECT f.FName, i.Text
+//! FROM Family f, FamilyIntro i
+//! WHERE f.FID = i.FID AND f.Type = 'gpcr'
+//! ```
+//!
+//! * every `FROM` item becomes an atom with one fresh variable per
+//!   column (`f_FID`, `f_FName`, ...);
+//! * `alias.col = alias.col` equalities become shared variables
+//!   (joins);
+//! * all other predicates become comparison subgoals;
+//! * `SELECT *` selects every column of every alias in order;
+//! * string literals use single quotes, doubled to escape (`''`).
+
+use crate::ast::{Atom, CompOp, Comparison, ConjunctiveQuery, Term};
+use crate::error::{QueryError, Result};
+use crate::subst::{unify_terms, Substitution};
+use fgc_relation::schema::Catalog;
+use fgc_relation::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    QualIdent(String, String), // alias.column
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Comma,
+    Star,
+    Op(CompOp),
+    KwSelect,
+    KwFrom,
+    KwWhere,
+    KwAnd,
+    KwDistinct,
+    KwAs,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let err = |pos: usize, m: &str| QueryError::Syntax {
+            position: pos,
+            message: m.into(),
+        };
+        match b {
+            b',' => {
+                out.push((start, Tok::Comma));
+                pos += 1;
+            }
+            b'*' => {
+                out.push((start, Tok::Star));
+                pos += 1;
+            }
+            b'=' => {
+                out.push((start, Tok::Op(CompOp::Eq)));
+                pos += 1;
+            }
+            b'!' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push((start, Tok::Op(CompOp::Ne)));
+                pos += 2;
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(&b'=') => {
+                    out.push((start, Tok::Op(CompOp::Le)));
+                    pos += 2;
+                }
+                Some(&b'>') => {
+                    out.push((start, Tok::Op(CompOp::Ne)));
+                    pos += 2;
+                }
+                _ => {
+                    out.push((start, Tok::Op(CompOp::Lt)));
+                    pos += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push((start, Tok::Op(CompOp::Ge)));
+                    pos += 2;
+                } else {
+                    out.push((start, Tok::Op(CompOp::Gt)));
+                    pos += 1;
+                }
+            }
+            b'\'' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => return Err(err(pos, "unterminated string literal")),
+                        Some(b'\'') => {
+                            if bytes.get(pos + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                pos += 2;
+                            } else {
+                                pos += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            let c = src[pos..].chars().next().expect("char");
+                            s.push(c);
+                            pos += c.len_utf8();
+                        }
+                    }
+                }
+                out.push((start, Tok::Str(s)));
+            }
+            b'-' | b'0'..=b'9' => {
+                if b == b'-' {
+                    pos += 1;
+                }
+                let mut is_float = false;
+                while let Some(&c) = bytes.get(pos) {
+                    if c.is_ascii_digit() {
+                        pos += 1;
+                    } else if c == b'.' && !is_float {
+                        is_float = true;
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..pos];
+                if is_float {
+                    out.push((
+                        start,
+                        Tok::Float(text.parse().map_err(|_| err(start, "bad float"))?),
+                    ));
+                } else {
+                    out.push((
+                        start,
+                        Tok::Int(text.parse().map_err(|_| err(start, "bad integer"))?),
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while let Some(&c) = bytes.get(pos) {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..pos];
+                let tok = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Tok::KwSelect,
+                    "FROM" => Tok::KwFrom,
+                    "WHERE" => Tok::KwWhere,
+                    "AND" => Tok::KwAnd,
+                    "DISTINCT" => Tok::KwDistinct,
+                    "AS" => Tok::KwAs,
+                    _ => {
+                        if bytes.get(pos) == Some(&b'.') {
+                            pos += 1;
+                            let col_start = pos;
+                            while let Some(&c) = bytes.get(pos) {
+                                if c.is_ascii_alphanumeric() || c == b'_' {
+                                    pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                            if col_start == pos {
+                                return Err(err(pos, "expected column after `.`"));
+                            }
+                            Tok::QualIdent(word.to_string(), src[col_start..pos].to_string())
+                        } else {
+                            Tok::Ident(word.to_string())
+                        }
+                    }
+                };
+                out.push((start, tok));
+            }
+            other => {
+                return Err(err(start, &format!("unexpected character `{}`", other as char)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Variable name for `alias.column`.
+fn column_var(alias: &str, column: &str) -> String {
+    format!("{alias}_{column}")
+}
+
+/// Translate an SPJ SQL query to a conjunctive query named `Q`.
+pub fn parse_sql(catalog: &Catalog, sql: &str) -> Result<ConjunctiveQuery> {
+    let tokens = lex(sql)?;
+    let mut i = 0usize;
+    let position = |i: usize| tokens.get(i).map(|(p, _)| *p).unwrap_or(sql.len());
+    let err = |i: usize, m: &str| QueryError::Syntax {
+        position: position(i),
+        message: m.into(),
+    };
+    let tok = |i: usize| tokens.get(i).map(|(_, t)| t);
+
+    if tok(i) != Some(&Tok::KwSelect) {
+        return Err(err(i, "expected SELECT"));
+    }
+    i += 1;
+    if tok(i) == Some(&Tok::KwDistinct) {
+        i += 1; // set semantics anyway
+    }
+
+    // --- projection list (resolved after FROM) ---
+    enum Proj {
+        All,
+        Cols(Vec<(String, String)>), // (alias, column)
+    }
+    let projection = if tok(i) == Some(&Tok::Star) {
+        i += 1;
+        Proj::All
+    } else {
+        let mut cols = Vec::new();
+        loop {
+            match tok(i) {
+                Some(Tok::QualIdent(a, c)) => {
+                    cols.push((a.clone(), c.clone()));
+                    i += 1;
+                    // optional "AS name" — citation model ignores output names
+                    if tok(i) == Some(&Tok::KwAs) {
+                        i += 2;
+                    }
+                }
+                _ => return Err(err(i, "expected alias.column in SELECT list")),
+            }
+            if tok(i) == Some(&Tok::Comma) {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        Proj::Cols(cols)
+    };
+
+    // --- FROM ---
+    if tok(i) != Some(&Tok::KwFrom) {
+        return Err(err(i, "expected FROM"));
+    }
+    i += 1;
+    let mut from: Vec<(String, String)> = Vec::new(); // (alias, relation)
+    loop {
+        let rel = match tok(i) {
+            Some(Tok::Ident(r)) => r.clone(),
+            _ => return Err(err(i, "expected relation name in FROM")),
+        };
+        i += 1;
+        if tok(i) == Some(&Tok::KwAs) {
+            i += 1;
+        }
+        let alias = match tok(i) {
+            Some(Tok::Ident(a)) => {
+                i += 1;
+                a.clone()
+            }
+            _ => rel.clone(), // no alias: relation name itself
+        };
+        if from.iter().any(|(a, _)| a == &alias) {
+            return Err(err(i, &format!("duplicate alias `{alias}`")));
+        }
+        from.push((alias, rel));
+        if tok(i) == Some(&Tok::Comma) {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+
+    // build atoms with per-column variables
+    let mut atoms = Vec::new();
+    for (alias, rel) in &from {
+        let schema = catalog.get(rel)?;
+        let terms = schema
+            .attribute_names()
+            .map(|c| Term::Var(column_var(alias, c)))
+            .collect();
+        atoms.push(Atom::new(rel.clone(), terms));
+    }
+    let resolve_col = |i: usize, alias: &str, col: &str| -> Result<String> {
+        let (_, rel) = from
+            .iter()
+            .find(|(a, _)| a == alias)
+            .ok_or_else(|| err(i, &format!("unknown alias `{alias}`")))?;
+        let schema = catalog.get(rel)?;
+        schema.position(col)?; // validates the column exists
+        Ok(column_var(alias, col))
+    };
+
+    // --- WHERE ---
+    let mut join_subst = Substitution::new();
+    let mut comparisons = Vec::new();
+    if tok(i) == Some(&Tok::KwWhere) {
+        i += 1;
+        loop {
+            let lhs = match tok(i) {
+                Some(Tok::QualIdent(a, c)) => {
+                    let v = resolve_col(i, a, c)?;
+                    i += 1;
+                    Term::Var(v)
+                }
+                _ => return Err(err(i, "expected alias.column on the left of a predicate")),
+            };
+            let op = match tok(i) {
+                Some(Tok::Op(op)) => {
+                    i += 1;
+                    *op
+                }
+                _ => return Err(err(i, "expected comparison operator")),
+            };
+            let rhs = match tok(i) {
+                Some(Tok::QualIdent(a, c)) => {
+                    let v = resolve_col(i, a, c)?;
+                    i += 1;
+                    Term::Var(v)
+                }
+                Some(Tok::Str(s)) => {
+                    i += 1;
+                    Term::Const(Value::str(s))
+                }
+                Some(Tok::Int(n)) => {
+                    i += 1;
+                    Term::Const(Value::Int(*n))
+                }
+                Some(Tok::Float(x)) => {
+                    i += 1;
+                    Term::Const(Value::float(*x))
+                }
+                _ => return Err(err(i, "expected column or literal on the right")),
+            };
+            if op == CompOp::Eq && lhs.is_var() && rhs.is_var() {
+                // join condition: unify the two column variables
+                if !unify_terms(&mut join_subst, &lhs, &rhs) {
+                    return Err(err(i, "contradictory join condition"));
+                }
+            } else {
+                comparisons.push(Comparison::new(lhs, op, rhs));
+            }
+            if tok(i) == Some(&Tok::KwAnd) {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    if i != tokens.len() {
+        return Err(err(i, "trailing input after query"));
+    }
+
+    // --- head ---
+    let head: Vec<Term> = match projection {
+        Proj::All => from
+            .iter()
+            .flat_map(|(alias, rel)| {
+                let schema = catalog.get(rel).expect("validated above");
+                schema
+                    .attribute_names()
+                    .map(|c| Term::Var(column_var(alias, c)))
+                    .collect::<Vec<_>>()
+            })
+            .collect(),
+        Proj::Cols(cols) => {
+            let mut out = Vec::new();
+            for (a, c) in cols {
+                out.push(Term::Var(resolve_col(usize::MAX, &a, &c)?));
+            }
+            out
+        }
+    };
+
+    let q = ConjunctiveQuery {
+        name: "Q".into(),
+        params: Vec::new(),
+        head,
+        atoms,
+        comparisons,
+    };
+    Ok(crate::subst::apply_query(&join_subst, &q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use crate::parser::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::DataType;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add(
+            RelationSchema::with_names(
+                "FamilyIntro",
+                &[("FID", DataType::Str), ("Text", DataType::Str)],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn select_project_join_translates() {
+        let cat = catalog();
+        let q = parse_sql(
+            &cat,
+            "SELECT f.FName, i.Text FROM Family f, FamilyIntro i \
+             WHERE f.FID = i.FID AND f.Type = 'gpcr'",
+        )
+        .unwrap();
+        let expected = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        assert!(equivalent(&q, &expected), "got {q}");
+    }
+
+    #[test]
+    fn select_star() {
+        let cat = catalog();
+        let q = parse_sql(&cat, "SELECT * FROM Family f").unwrap();
+        assert_eq!(q.arity(), 3);
+        assert_eq!(q.atoms.len(), 1);
+    }
+
+    #[test]
+    fn no_alias_defaults_to_relation_name() {
+        let cat = catalog();
+        let q = parse_sql(
+            &cat,
+            "SELECT Family.FName FROM Family WHERE Family.Type = 'gpcr'",
+        )
+        .unwrap();
+        let expected =
+            parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
+        assert!(equivalent(&q, &expected));
+    }
+
+    #[test]
+    fn distinct_and_as_are_accepted() {
+        let cat = catalog();
+        let q = parse_sql(
+            &cat,
+            "SELECT DISTINCT f.FName AS name FROM Family AS f",
+        )
+        .unwrap();
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn quoted_string_escapes() {
+        let cat = catalog();
+        let q = parse_sql(
+            &cat,
+            "SELECT f.FName FROM Family f WHERE f.FName = 'O''Brien'",
+        )
+        .unwrap();
+        assert_eq!(q.comparisons[0].right, Term::val("O'Brien"));
+    }
+
+    #[test]
+    fn inequality_predicates() {
+        let cat = catalog();
+        let q = parse_sql(
+            &cat,
+            "SELECT f.FName FROM Family f WHERE f.FID >= '11' AND f.FID != '13'",
+        )
+        .unwrap();
+        assert_eq!(q.comparisons.len(), 2);
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let cat = catalog();
+        assert!(parse_sql(&cat, "SELECT f.Nope FROM Family f").is_err());
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let cat = catalog();
+        assert!(parse_sql(&cat, "SELECT x.A FROM Nope x").is_err());
+    }
+
+    #[test]
+    fn unknown_alias_rejected() {
+        let cat = catalog();
+        assert!(
+            parse_sql(&cat, "SELECT g.FName FROM Family f").is_err()
+        );
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let cat = catalog();
+        assert!(parse_sql(&cat, "SELECT f.FName FROM Family f, FamilyIntro f").is_err());
+    }
+
+    #[test]
+    fn self_join_with_two_aliases() {
+        let cat = catalog();
+        let q = parse_sql(
+            &cat,
+            "SELECT a.FName, b.FName FROM Family a, Family b \
+             WHERE a.Type = b.Type AND a.FID != b.FID",
+        )
+        .unwrap();
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.comparisons.len(), 1); // the != survives; = became a join
+        let expected = parse_query(
+            "Q(N1, N2) :- Family(F1, N1, T), Family(F2, N2, T), F1 != F2",
+        )
+        .unwrap();
+        assert!(equivalent(&q, &expected));
+    }
+}

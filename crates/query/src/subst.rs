@@ -1,0 +1,192 @@
+//! Substitutions over query variables.
+
+use crate::ast::{Atom, Comparison, ConjunctiveQuery, Term};
+use std::collections::HashMap;
+
+/// A substitution: variable name → replacement term.
+pub type Substitution = HashMap<String, Term>;
+
+/// Apply a substitution to a term.
+pub fn apply_term(s: &Substitution, t: &Term) -> Term {
+    match t {
+        Term::Var(v) => s.get(v).cloned().unwrap_or_else(|| t.clone()),
+        Term::Const(_) => t.clone(),
+    }
+}
+
+/// Apply a substitution to an atom.
+pub fn apply_atom(s: &Substitution, a: &Atom) -> Atom {
+    Atom {
+        relation: a.relation.clone(),
+        terms: a.terms.iter().map(|t| apply_term(s, t)).collect(),
+    }
+}
+
+/// Apply a substitution to a comparison.
+pub fn apply_comparison(s: &Substitution, c: &Comparison) -> Comparison {
+    Comparison {
+        left: apply_term(s, &c.left),
+        op: c.op,
+        right: apply_term(s, &c.right),
+    }
+}
+
+/// Apply a substitution to a whole query (head, atoms, comparisons).
+/// λ-parameters are *not* rewritten — callers that substitute
+/// parameters clear or rename them explicitly.
+pub fn apply_query(s: &Substitution, q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    ConjunctiveQuery {
+        name: q.name.clone(),
+        params: q.params.clone(),
+        head: q.head.iter().map(|t| apply_term(s, t)).collect(),
+        atoms: q.atoms.iter().map(|a| apply_atom(s, a)).collect(),
+        comparisons: q
+            .comparisons
+            .iter()
+            .map(|c| apply_comparison(s, c))
+            .collect(),
+    }
+}
+
+/// Compose substitutions: `compose(s1, s2)` applies `s1` first, then
+/// `s2` (i.e. the result maps `v` to `s2(s1(v))`, and includes
+/// bindings of `s2` for variables not bound by `s1`).
+pub fn compose(s1: &Substitution, s2: &Substitution) -> Substitution {
+    let mut out: Substitution = s1
+        .iter()
+        .map(|(v, t)| (v.clone(), apply_term(s2, t)))
+        .collect();
+    for (v, t) in s2 {
+        out.entry(v.clone()).or_insert_with(|| t.clone());
+    }
+    out
+}
+
+/// Unify two terms under an existing substitution, extending it.
+/// Returns `false` (leaving `s` possibly extended with consistent
+/// bindings) when the terms cannot be unified.
+///
+/// Variables are resolved through `s` (path compression is not
+/// needed at our term depths — terms are variables or constants).
+pub fn unify_terms(s: &mut Substitution, a: &Term, b: &Term) -> bool {
+    let ra = resolve(s, a);
+    let rb = resolve(s, b);
+    match (&ra, &rb) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Var(v), t) | (t, Term::Var(v)) => {
+            if let Term::Var(w) = t {
+                if w == v {
+                    return true;
+                }
+            }
+            s.insert(v.clone(), t.clone());
+            true
+        }
+    }
+}
+
+/// Resolve a term through the substitution until fixpoint.
+pub fn resolve(s: &Substitution, t: &Term) -> Term {
+    let mut cur = t.clone();
+    let mut steps = 0;
+    while let Term::Var(v) = &cur {
+        match s.get(v) {
+            Some(next) if next != &cur => {
+                cur = next.clone();
+                steps += 1;
+                // cycle guard: substitutions built via unify_terms are
+                // acyclic, but stay defensive
+                if steps > s.len() + 1 {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CompOp;
+    use fgc_relation::Value;
+
+    fn s(pairs: &[(&str, Term)]) -> Substitution {
+        pairs
+            .iter()
+            .map(|(v, t)| (v.to_string(), t.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn apply_replaces_variables() {
+        let sub = s(&[("X", Term::val("11"))]);
+        let a = Atom::new("R", vec![Term::var("X"), Term::var("Y")]);
+        let applied = apply_atom(&sub, &a);
+        assert_eq!(applied.terms, vec![Term::val("11"), Term::var("Y")]);
+    }
+
+    #[test]
+    fn apply_query_touches_all_parts() {
+        let sub = s(&[("X", Term::var("Z"))]);
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec![Term::var("X")],
+            vec![Atom::new("R", vec![Term::var("X")])],
+        )
+        .with_comparisons(vec![Comparison::new(
+            Term::var("X"),
+            CompOp::Ne,
+            Term::val(0),
+        )]);
+        let applied = apply_query(&sub, &q);
+        assert_eq!(applied.head, vec![Term::var("Z")]);
+        assert_eq!(applied.atoms[0].terms, vec![Term::var("Z")]);
+        assert_eq!(applied.comparisons[0].left, Term::var("Z"));
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        let s1 = s(&[("X", Term::var("Y"))]);
+        let s2 = s(&[("Y", Term::val(1)), ("Z", Term::val(2))]);
+        let c = compose(&s1, &s2);
+        assert_eq!(apply_term(&c, &Term::var("X")), Term::val(1));
+        assert_eq!(apply_term(&c, &Term::var("Z")), Term::val(2));
+    }
+
+    #[test]
+    fn unify_var_with_const() {
+        let mut sub = Substitution::new();
+        assert!(unify_terms(&mut sub, &Term::var("X"), &Term::val("a")));
+        assert_eq!(resolve(&sub, &Term::var("X")), Term::val("a"));
+    }
+
+    #[test]
+    fn unify_conflicting_constants_fails() {
+        let mut sub = Substitution::new();
+        assert!(unify_terms(&mut sub, &Term::var("X"), &Term::val("a")));
+        assert!(!unify_terms(&mut sub, &Term::var("X"), &Term::val("b")));
+    }
+
+    #[test]
+    fn unify_chains_variables() {
+        let mut sub = Substitution::new();
+        assert!(unify_terms(&mut sub, &Term::var("X"), &Term::var("Y")));
+        assert!(unify_terms(&mut sub, &Term::var("Y"), &Term::val(7)));
+        assert_eq!(resolve(&sub, &Term::var("X")), Term::val(7));
+    }
+
+    #[test]
+    fn unify_same_var_is_true_without_binding() {
+        let mut sub = Substitution::new();
+        assert!(unify_terms(&mut sub, &Term::var("X"), &Term::var("X")));
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn resolve_constant_is_identity() {
+        let sub = Substitution::new();
+        assert_eq!(resolve(&sub, &Term::val(true)), Term::Const(Value::Bool(true)));
+    }
+}

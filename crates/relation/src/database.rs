@@ -1,0 +1,244 @@
+//! A database instance: a catalog plus one [`Relation`] per schema.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::{Catalog, RelationSchema};
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-memory relational database.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a schema and create its (empty) relation instance.
+    pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
+        let arc = self.catalog.add(schema)?;
+        self.relations
+            .insert(arc.name.clone(), Relation::new(arc));
+        Ok(())
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Replace a relation's schema with a constraint-modified clone
+    /// (same name/attributes/key). Used by the loader's `@fk` lines.
+    pub fn replace_schema(&mut self, schema: RelationSchema) -> Result<()> {
+        let name = schema.name.clone();
+        let arc = self.catalog.replace(schema)?;
+        self.relations
+            .get_mut(&name)
+            .ok_or(RelationError::UnknownRelation(name))?
+            .set_schema(arc);
+        Ok(())
+    }
+
+    /// A relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
+    }
+
+    /// A mutable relation by name.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
+    }
+
+    /// Insert one tuple (key/type/arity checked; FKs are checked by
+    /// [`Database::check_integrity`], which is deliberately separate so
+    /// bulk loads can insert in any order).
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.insert(tuple)
+    }
+
+    /// Insert many tuples into one relation.
+    pub fn insert_all<I>(&mut self, relation: &str, tuples: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let rel = self.relation_mut(relation)?;
+        let mut added = 0;
+        for t in tuples {
+            if rel.insert(t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Total number of stored tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Validate every foreign key in the instance: for each
+    /// referencing tuple, the referenced key must exist.
+    pub fn check_integrity(&self) -> Result<()> {
+        self.catalog.validate()?;
+        for schema in self.catalog.iter() {
+            let rel = self.relation(&schema.name)?;
+            for fk in &schema.foreign_keys {
+                let target = self.relation(&fk.references)?;
+                for row in rel.iter() {
+                    let key = row.project(&fk.columns);
+                    if key.iter().any(|v| v.is_null()) {
+                        continue; // SQL semantics: null FKs are not checked
+                    }
+                    if target.get_by_key(&key).is_none() {
+                        return Err(RelationError::ForeignKeyViolation {
+                            relation: schema.name.clone(),
+                            references: fk.references.clone(),
+                            key: key.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build secondary indexes on every foreign-key column and every
+    /// key prefix column; useful before running query workloads.
+    pub fn build_default_indexes(&mut self) -> Result<()> {
+        let plans: Vec<(String, Vec<usize>)> = self
+            .catalog
+            .iter()
+            .map(|s| {
+                let mut cols: Vec<usize> =
+                    s.foreign_keys.iter().flat_map(|fk| fk.columns.clone()).collect();
+                cols.extend(s.key.first().copied());
+                cols.sort_unstable();
+                cols.dedup();
+                (s.name.clone(), cols)
+            })
+            .collect();
+        for (name, cols) in plans {
+            let rel = self.relation_mut(&name)?;
+            for c in cols {
+                rel.build_index(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Schemas of all relations (registration order).
+    pub fn schemas(&self) -> impl Iterator<Item = &Arc<RelationSchema>> {
+        self.catalog.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn gtopdb_skeleton() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut fc = RelationSchema::with_names(
+            "FC",
+            &[("FID", DataType::Str), ("PID", DataType::Str)],
+            &["FID", "PID"],
+        )
+        .unwrap();
+        fc.add_foreign_key(&["FID"], "Family").unwrap();
+        db.create_relation(fc).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query() {
+        let mut db = gtopdb_skeleton();
+        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        assert_eq!(db.relation("Family").unwrap().len(), 1);
+        assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = gtopdb_skeleton();
+        assert!(db.insert("Nope", tuple!["x"]).is_err());
+        assert!(db.relation("Nope").is_err());
+    }
+
+    #[test]
+    fn integrity_accepts_satisfied_fk() {
+        let mut db = gtopdb_skeleton();
+        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        db.insert("FC", tuple!["11", "p1"]).unwrap();
+        db.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn integrity_rejects_dangling_fk() {
+        let mut db = gtopdb_skeleton();
+        db.insert("FC", tuple!["99", "p1"]).unwrap();
+        let err = db.check_integrity().unwrap_err();
+        assert!(matches!(err, RelationError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn integrity_skips_null_fk() {
+        let mut db = gtopdb_skeleton();
+        db.insert("FC", tuple![crate::value::Value::Null, "p1"])
+            .unwrap();
+        db.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn default_indexes_cover_fk_columns() {
+        let mut db = gtopdb_skeleton();
+        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        db.insert("FC", tuple!["11", "p1"]).unwrap();
+        db.build_default_indexes().unwrap();
+        let fc = db.relation("FC").unwrap();
+        assert!(fc.probe(0, &crate::value::Value::str("11")).is_some());
+    }
+
+    #[test]
+    fn insert_all_counts_new_tuples() {
+        let mut db = gtopdb_skeleton();
+        let n = db
+            .insert_all(
+                "Family",
+                vec![
+                    tuple!["11", "Calcitonin", "gpcr"],
+                    tuple!["11", "Calcitonin", "gpcr"],
+                    tuple!["12", "Orexin", "gpcr"],
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Plain-text bulk load/dump for database instances.
+//!
+//! Format (line-oriented, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! @create Family(FID* str, FName str, Type str)
+//! @create FC(FID* str, PID* str)
+//! @fk FC(FID) -> Family
+//! @relation Family
+//! "11" | "Calcitonin" | "gpcr"
+//! "12" | "Orexin"     | "gpcr"
+//! ```
+//!
+//! * `@create R(col[*] type, ...)` declares a relation; `*` marks a
+//!   primary-key column; types are `str`, `int`, `float`, `bool`,
+//!   `any`;
+//! * `@fk R(col, ...) -> S` declares a foreign key to `S`'s key;
+//! * `@relation R` switches the insertion target for data lines;
+//! * values use [`crate::value::Value::parse`] syntax.
+//!
+//! Relations may also be pre-registered programmatically and the
+//! file restricted to data lines.
+
+use crate::database::Database;
+use crate::error::{RelationError, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Load tuples from the text format into an existing database.
+/// Returns the number of tuples inserted.
+pub fn load_text(db: &mut Database, text: &str) -> Result<usize> {
+    let mut current: Option<String> = None;
+    let mut inserted = 0;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@create") {
+            let schema = parse_create(rest.trim(), lineno)?;
+            db.create_relation(schema)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@fk") {
+            apply_fk(db, rest.trim(), lineno)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@relation") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(RelationError::Parse {
+                    line: lineno,
+                    message: "@relation needs a name".into(),
+                });
+            }
+            // Fail fast on unknown relations.
+            db.relation(name)?;
+            current = Some(name.to_string());
+            continue;
+        }
+        let target = current.as_ref().ok_or_else(|| RelationError::Parse {
+            line: lineno,
+            message: "tuple before any @relation header".into(),
+        })?;
+        let mut values = Vec::new();
+        for field in split_fields(line) {
+            let v = Value::parse(&field).ok_or_else(|| RelationError::Parse {
+                line: lineno,
+                message: format!("cannot parse value `{field}`"),
+            })?;
+            values.push(v);
+        }
+        if db.insert(target, Tuple::new(values))? {
+            inserted += 1;
+        }
+    }
+    Ok(inserted)
+}
+
+/// Parse `R(col[*] type, ...)` into a schema.
+fn parse_create(spec: &str, lineno: usize) -> Result<crate::schema::RelationSchema> {
+    use crate::schema::RelationSchema;
+    use crate::value::DataType;
+    let err = |message: String| RelationError::Parse {
+        line: lineno,
+        message,
+    };
+    let open = spec
+        .find('(')
+        .ok_or_else(|| err("@create expects R(col type, ...)".into()))?;
+    let close = spec
+        .rfind(')')
+        .ok_or_else(|| err("@create: missing `)`".into()))?;
+    let name = spec[..open].trim();
+    if name.is_empty() {
+        return Err(err("@create: missing relation name".into()));
+    }
+    let mut specs: Vec<(String, DataType)> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    for col in spec[open + 1..close].split(',') {
+        let col = col.trim();
+        if col.is_empty() {
+            continue;
+        }
+        let mut parts = col.split_whitespace();
+        let mut col_name = parts
+            .next()
+            .ok_or_else(|| err(format!("@create: bad column `{col}`")))?
+            .to_string();
+        let ty = match parts.next().unwrap_or("any") {
+            "str" => DataType::Str,
+            "int" => DataType::Int,
+            "float" => DataType::Float,
+            "bool" => DataType::Bool,
+            "any" => DataType::Any,
+            other => return Err(err(format!("@create: unknown type `{other}`"))),
+        };
+        if let Some(stripped) = col_name.strip_suffix('*') {
+            col_name = stripped.to_string();
+            keys.push(col_name.clone());
+        }
+        specs.push((col_name, ty));
+    }
+    let spec_refs: Vec<(&str, DataType)> =
+        specs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    RelationSchema::with_names(name, &spec_refs, &key_refs)
+}
+
+/// Parse and apply `R(col, ...) -> S`.
+fn apply_fk(db: &mut Database, spec: &str, lineno: usize) -> Result<()> {
+    let err = |message: String| RelationError::Parse {
+        line: lineno,
+        message,
+    };
+    let arrow = spec
+        .find("->")
+        .ok_or_else(|| err("@fk expects R(cols) -> S".into()))?;
+    let left = spec[..arrow].trim();
+    let target = spec[arrow + 2..].trim();
+    let open = left
+        .find('(')
+        .ok_or_else(|| err("@fk: missing `(`".into()))?;
+    let close = left
+        .rfind(')')
+        .ok_or_else(|| err("@fk: missing `)`".into()))?;
+    let rel = left[..open].trim().to_string();
+    let cols: Vec<&str> = left[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|c| !c.is_empty())
+        .collect();
+    if rel.is_empty() || target.is_empty() || cols.is_empty() {
+        return Err(err("@fk expects R(cols) -> S".into()));
+    }
+    // Rebuild the schema with the new FK: schemas are Arc-shared, so
+    // register a modified clone.
+    let mut schema = (**db.catalog().get(&rel)?).clone();
+    schema.add_foreign_key(&cols, target)?;
+    db.replace_schema(schema)
+}
+
+/// Split a line on `|` separators that are *outside* quoted strings.
+fn split_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut buf = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_str {
+            buf.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+            buf.push(c);
+        } else if c == '|' {
+            fields.push(buf.trim().to_string());
+            buf.clear();
+        } else {
+            buf.push(c);
+        }
+    }
+    fields.push(buf.trim().to_string());
+    fields
+}
+
+/// Dump a database to the text format (relations in catalog order,
+/// tuples in insertion order). `load_text` of the output reproduces
+/// the instance.
+pub fn dump_text(db: &Database) -> String {
+    let mut out = String::new();
+    for schema in db.catalog().iter() {
+        let rel = db.relation(&schema.name).expect("catalog relation exists");
+        let _ = writeln!(out, "@relation {}", schema.name);
+        for row in rel.iter() {
+            let rendered: Vec<String> =
+                row.iter().map(|v| v.render().into_owned()).collect();
+            let _ = writeln!(out, "{}", rendered.join(" | "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names(
+                "MetaData",
+                &[("Type", DataType::Str), ("Value", DataType::Str)],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn load_basic() {
+        let mut db = db();
+        let n = load_text(
+            &mut db,
+            r#"
+            # GtoPdb sample
+            @relation Family
+            "11" | "Calcitonin" | "gpcr"
+            "12" | "Orexin" | "gpcr"
+            @relation MetaData
+            "Owner" | "Tony Harmar"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(db.relation("Family").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pipe_inside_string_is_data() {
+        let mut db = db();
+        load_text(&mut db, "@relation MetaData\n\"URL\" | \"a|b\"").unwrap();
+        let rel = db.relation("MetaData").unwrap();
+        assert_eq!(rel.rows()[0][1], Value::str("a|b"));
+    }
+
+    #[test]
+    fn tuple_before_header_is_error() {
+        let mut db = db();
+        let err = load_text(&mut db, "\"x\" | \"y\"").unwrap_err();
+        assert!(matches!(err, RelationError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_relation_is_error() {
+        let mut db = db();
+        assert!(load_text(&mut db, "@relation Nope").is_err());
+    }
+
+    #[test]
+    fn create_and_fk_directives() {
+        let mut db = Database::new();
+        let n = load_text(
+            &mut db,
+            r#"
+            @create Family(FID* str, FName str, Type str)
+            @create FC(FID* str, PID* str)
+            @fk FC(FID) -> Family
+            @relation Family
+            "11" | "Calcitonin" | "gpcr"
+            @relation FC
+            "11" | "p1"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.catalog().get("Family").unwrap().key, vec![0]);
+        assert_eq!(db.catalog().get("FC").unwrap().foreign_keys.len(), 1);
+        db.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn fk_violation_detected_after_directive_load() {
+        let mut db = Database::new();
+        load_text(
+            &mut db,
+            r#"@create Family(FID* str)
+@create FC(FID* str)
+@fk FC(FID) -> Family
+@relation FC
+"99""#,
+        )
+        .unwrap();
+        assert!(db.check_integrity().is_err());
+    }
+
+    #[test]
+    fn create_rejects_bad_type() {
+        let mut db = Database::new();
+        let err = load_text(&mut db, "@create R(a wibble)").unwrap_err();
+        assert!(matches!(err, RelationError::Parse { .. }));
+    }
+
+    #[test]
+    fn create_defaults_untyped_columns_to_any() {
+        let mut db = Database::new();
+        load_text(&mut db, "@create R(a, b int)").unwrap();
+        let schema = db.catalog().get("R").unwrap();
+        assert_eq!(schema.attributes[0].ty, crate::value::DataType::Any);
+        assert_eq!(schema.attributes[1].ty, crate::value::DataType::Int);
+    }
+
+    #[test]
+    fn fk_requires_arrow_syntax() {
+        let mut db = Database::new();
+        load_text(&mut db, "@create R(a str)").unwrap();
+        assert!(load_text(&mut db, "@fk R(a) Family").is_err());
+    }
+
+    #[test]
+    fn dump_then_load_round_trips() {
+        let mut original = db();
+        original
+            .insert("Family", tuple!["11", "Calci | tonin", "gpcr"])
+            .unwrap();
+        original.insert("MetaData", tuple!["Version", "23"]).unwrap();
+        let text = dump_text(&original);
+        let mut restored = db();
+        let n = load_text(&mut restored, &text).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(
+            restored.relation("Family").unwrap().rows(),
+            original.relation("Family").unwrap().rows()
+        );
+        assert_eq!(
+            restored.relation("MetaData").unwrap().rows(),
+            original.relation("MetaData").unwrap().rows()
+        );
+    }
+}

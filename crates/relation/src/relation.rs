@@ -1,0 +1,283 @@
+//! A single relation instance: schema + set of tuples + indexes.
+//!
+//! Storage is a row store with set semantics (the paper's model is
+//! set-based conjunctive queries). A hash index over the primary key
+//! enforces key constraints; secondary hash indexes over arbitrary
+//! columns are built on demand and used by the query evaluator for
+//! index-nested-loop joins.
+
+use crate::error::{RelationError, Result};
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One relation instance.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<RelationSchema>,
+    rows: Vec<Tuple>,
+    /// Set-semantics guard: every stored row, for O(1) duplicate checks.
+    row_set: HashMap<Tuple, usize>,
+    /// Primary-key index: key projection -> row position.
+    key_index: HashMap<Tuple, usize>,
+    /// Secondary indexes: column -> (value -> row positions).
+    secondary: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: Arc<RelationSchema>) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+            row_set: HashMap::new(),
+            key_index: HashMap::new(),
+            secondary: HashMap::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// Swap in a replacement schema (same shape; see
+    /// [`crate::schema::Catalog::replace`]). Stored rows and indexes
+    /// are untouched — only constraint metadata may differ.
+    pub(crate) fn set_schema(&mut self, schema: Arc<RelationSchema>) {
+        debug_assert_eq!(self.schema.attributes, schema.attributes);
+        self.schema = schema;
+    }
+
+    /// Relation name (shorthand).
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All tuples in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Check arity and column types of a candidate tuple.
+    fn check_shape(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (i, attr) in self.schema.attributes.iter().enumerate() {
+            if !tuple[i].conforms_to(attr.ty) {
+                return Err(RelationError::TypeMismatch {
+                    relation: self.schema.name.clone(),
+                    attribute: attr.name.clone(),
+                    expected: attr.ty.to_string(),
+                    actual: tuple[i].data_type().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple. Duplicate tuples are ignored (set semantics);
+    /// duplicate *keys* with different non-key columns are an error.
+    /// Returns `true` if the tuple was actually added.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.check_shape(&tuple)?;
+        if self.row_set.contains_key(&tuple) {
+            return Ok(false);
+        }
+        if self.schema.has_key() {
+            let key = tuple.project(&self.schema.key);
+            if self.key_index.contains_key(&key) {
+                return Err(RelationError::KeyViolation {
+                    relation: self.schema.name.clone(),
+                    key: key.to_string(),
+                });
+            }
+            self.key_index.insert(key, self.rows.len());
+        }
+        let pos = self.rows.len();
+        for (&col, index) in &mut self.secondary {
+            index.entry(tuple[col].clone()).or_default().push(pos);
+        }
+        self.row_set.insert(tuple.clone(), pos);
+        self.rows.push(tuple);
+        Ok(true)
+    }
+
+    /// Whether an identical tuple is stored.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.row_set.contains_key(tuple)
+    }
+
+    /// Look up a row by primary key (key must match schema key arity).
+    pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
+        self.key_index.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// Ensure a secondary hash index exists on `column` and return it.
+    pub fn build_index(&mut self, column: usize) -> Result<()> {
+        if column >= self.schema.arity() {
+            return Err(RelationError::UnknownAttribute {
+                relation: self.schema.name.clone(),
+                attribute: format!("#{column}"),
+            });
+        }
+        if self.secondary.contains_key(&column) {
+            return Ok(());
+        }
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (pos, row) in self.rows.iter().enumerate() {
+            index.entry(row[column].clone()).or_default().push(pos);
+        }
+        self.secondary.insert(column, index);
+        Ok(())
+    }
+
+    /// Row positions whose `column` equals `value`, using a secondary
+    /// index if one exists, otherwise `None` (caller should scan).
+    pub fn probe(&self, column: usize, value: &Value) -> Option<&[usize]> {
+        self.secondary
+            .get(&column)
+            .map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Rows whose `column` equals `value` (scans if no index exists).
+    pub fn select_eq<'a>(&'a self, column: usize, value: &'a Value) -> Vec<&'a Tuple> {
+        match self.probe(column, value) {
+            Some(positions) => positions.iter().map(|&i| &self.rows[i]).collect(),
+            None => self
+                .rows
+                .iter()
+                .filter(|row| &row[column] == value)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn family() -> Relation {
+        let schema = RelationSchema::with_names(
+            "Family",
+            &[
+                ("FID", DataType::Str),
+                ("FName", DataType::Str),
+                ("Type", DataType::Str),
+            ],
+            &["FID"],
+        )
+        .unwrap();
+        Relation::new(Arc::new(schema))
+    }
+
+    #[test]
+    fn insert_and_lookup_by_key() {
+        let mut r = family();
+        assert!(r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap());
+        assert_eq!(
+            r.get_by_key(&tuple!["11"]),
+            Some(&tuple!["11", "Calcitonin", "gpcr"])
+        );
+        assert_eq!(r.get_by_key(&tuple!["12"]), None);
+    }
+
+    #[test]
+    fn duplicate_tuple_is_noop() {
+        let mut r = family();
+        assert!(r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap());
+        assert!(!r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_key_rejected() {
+        let mut r = family();
+        r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        let err = r.insert(tuple!["11", "Other", "gpcr"]).unwrap_err();
+        assert!(matches!(err, RelationError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = family();
+        let err = r.insert(tuple!["11", "x"]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_checked() {
+        let mut r = family();
+        let err = r.insert(tuple![11, "x", "y"]).unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_conforms_to_column_type() {
+        let mut r = family();
+        r.insert(tuple!["11", crate::value::Value::Null, "gpcr"])
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn secondary_index_agrees_with_scan() {
+        let mut r = family();
+        r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        r.insert(tuple!["12", "Orexin", "gpcr"]).unwrap();
+        r.insert(tuple!["13", "Kinase", "enzyme"]).unwrap();
+        let scan: Vec<_> = r
+            .select_eq(2, &Value::str("gpcr"))
+            .into_iter()
+            .cloned()
+            .collect();
+        r.build_index(2).unwrap();
+        let indexed: Vec<_> = r
+            .select_eq(2, &Value::str("gpcr"))
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(scan, indexed);
+        assert_eq!(scan.len(), 2);
+    }
+
+    #[test]
+    fn index_maintained_by_later_inserts() {
+        let mut r = family();
+        r.build_index(2).unwrap();
+        r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        assert_eq!(r.probe(2, &Value::str("gpcr")).unwrap().len(), 1);
+        assert_eq!(r.probe(2, &Value::str("nope")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn build_index_out_of_range() {
+        let mut r = family();
+        assert!(r.build_index(9).is_err());
+    }
+}

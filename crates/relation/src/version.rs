@@ -1,0 +1,221 @@
+//! Versioned databases — the paper's *fixity* requirement (§4).
+//!
+//! > "data may evolve over time, and citations should bring back the
+//! > data as seen at the time it was cited. Thus data sources must
+//! > support versioning, and citations must include timestamps or
+//! > version numbers."
+//!
+//! [`VersionedDatabase`] keeps an append-only chain of immutable
+//! snapshots. Each commit stores a full [`Database`] clone behind an
+//! `Arc`; at the scale of curated scientific databases (GtoPdb has
+//! tens of versions, released quarterly) snapshot-per-version is the
+//! honest baseline, and sharing `Arc<str>` values keeps copies cheap.
+//! Experiment E8 measures this design.
+
+use crate::database::Database;
+use crate::error::{RelationError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a committed version (0 = first commit).
+pub type VersionId = u64;
+
+/// Metadata attached to a committed version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// Sequential id, starting at 0.
+    pub id: VersionId,
+    /// Caller-supplied logical timestamp (e.g. seconds since epoch or
+    /// a curation-release counter). Must be non-decreasing.
+    pub timestamp: u64,
+    /// Human-readable label, e.g. `"GtoPdb 23"`.
+    pub label: String,
+}
+
+impl fmt::Display for VersionInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{} ({} @t={})", self.id, self.label, self.timestamp)
+    }
+}
+
+/// An append-only chain of immutable database snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct VersionedDatabase {
+    versions: Vec<(VersionInfo, Arc<Database>)>,
+}
+
+impl VersionedDatabase {
+    /// Empty history.
+    pub fn new() -> Self {
+        VersionedDatabase::default()
+    }
+
+    /// Commit a snapshot. Timestamps must be non-decreasing.
+    pub fn commit(
+        &mut self,
+        db: Database,
+        timestamp: u64,
+        label: impl Into<String>,
+    ) -> Result<VersionId> {
+        if let Some((last, _)) = self.versions.last() {
+            if timestamp < last.timestamp {
+                return Err(RelationError::InvalidSchema(format!(
+                    "version timestamp {timestamp} precedes previous timestamp {}",
+                    last.timestamp
+                )));
+            }
+        }
+        let id = self.versions.len() as VersionId;
+        self.versions.push((
+            VersionInfo {
+                id,
+                timestamp,
+                label: label.into(),
+            },
+            Arc::new(db),
+        ));
+        Ok(id)
+    }
+
+    /// Derive the next version by mutating a copy of the head snapshot.
+    ///
+    /// The closure receives a working copy; the mutated copy becomes
+    /// the new head. Errors from the closure abort the commit.
+    pub fn commit_with<F>(
+        &mut self,
+        timestamp: u64,
+        label: impl Into<String>,
+        mutate: F,
+    ) -> Result<VersionId>
+    where
+        F: FnOnce(&mut Database) -> Result<()>,
+    {
+        let mut working = match self.head() {
+            Some((_, db)) => (**db).clone(),
+            None => Database::new(),
+        };
+        mutate(&mut working)?;
+        self.commit(working, timestamp, label)
+    }
+
+    /// Number of committed versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The most recent version, if any.
+    pub fn head(&self) -> Option<(&VersionInfo, &Arc<Database>)> {
+        self.versions.last().map(|(i, d)| (i, d))
+    }
+
+    /// Snapshot by version id.
+    pub fn snapshot(&self, id: VersionId) -> Result<(&VersionInfo, &Arc<Database>)> {
+        self.versions
+            .get(id as usize)
+            .map(|(i, d)| (i, d))
+            .ok_or(RelationError::UnknownVersion(id))
+    }
+
+    /// Latest version whose timestamp is `<= at` — "the data as seen
+    /// at the time it was cited".
+    pub fn snapshot_at(&self, at: u64) -> Option<(&VersionInfo, &Arc<Database>)> {
+        // Versions are timestamp-sorted by construction: binary search.
+        let idx = self
+            .versions
+            .partition_point(|(info, _)| info.timestamp <= at);
+        idx.checked_sub(1)
+            .map(|i| (&self.versions[i].0, &self.versions[i].1))
+    }
+
+    /// Iterate over `(info, snapshot)` pairs oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (&VersionInfo, &Arc<Database>)> {
+        self.versions.iter().map(|(i, d)| (i, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names("R", &[("x", DataType::Int)], &["x"]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_and_snapshot() {
+        let mut v = VersionedDatabase::new();
+        let id0 = v.commit(base(), 100, "v0").unwrap();
+        assert_eq!(id0, 0);
+        let (info, db) = v.snapshot(0).unwrap();
+        assert_eq!(info.label, "v0");
+        assert_eq!(db.total_tuples(), 0);
+    }
+
+    #[test]
+    fn commit_with_derives_from_head() {
+        let mut v = VersionedDatabase::new();
+        v.commit(base(), 100, "v0").unwrap();
+        v.commit_with(200, "v1", |db| {
+            db.insert("R", tuple![1]).map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(v.snapshot(0).unwrap().1.total_tuples(), 0);
+        assert_eq!(v.snapshot(1).unwrap().1.total_tuples(), 1);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_later_commits() {
+        let mut v = VersionedDatabase::new();
+        v.commit(base(), 100, "v0").unwrap();
+        for ts in 1..5u64 {
+            v.commit_with(100 + ts, format!("v{ts}"), |db| {
+                db.insert("R", tuple![ts as i64]).map(|_| ())
+            })
+            .unwrap();
+        }
+        for (i, (_, db)) in v.iter().enumerate() {
+            assert_eq!(db.total_tuples(), i);
+        }
+    }
+
+    #[test]
+    fn snapshot_at_picks_latest_not_after() {
+        let mut v = VersionedDatabase::new();
+        v.commit(base(), 100, "v0").unwrap();
+        v.commit_with(200, "v1", |_| Ok(())).unwrap();
+        v.commit_with(300, "v2", |_| Ok(())).unwrap();
+        assert!(v.snapshot_at(99).is_none());
+        assert_eq!(v.snapshot_at(100).unwrap().0.id, 0);
+        assert_eq!(v.snapshot_at(250).unwrap().0.id, 1);
+        assert_eq!(v.snapshot_at(1000).unwrap().0.id, 2);
+    }
+
+    #[test]
+    fn decreasing_timestamp_rejected() {
+        let mut v = VersionedDatabase::new();
+        v.commit(base(), 100, "v0").unwrap();
+        assert!(v.commit(base(), 50, "bad").is_err());
+    }
+
+    #[test]
+    fn unknown_version_errors() {
+        let v = VersionedDatabase::new();
+        assert!(matches!(
+            v.snapshot(3).unwrap_err(),
+            RelationError::UnknownVersion(3)
+        ));
+    }
+}

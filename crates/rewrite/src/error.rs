@@ -1,0 +1,99 @@
+//! Error types for the rewriting engine.
+
+use std::fmt;
+
+/// Errors raised during rewriting generation and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteError {
+    /// A rewriting refers to a view that is not in the view set.
+    UnknownView(String),
+    /// A view atom's arity does not match the view head.
+    ViewArity {
+        /// View name.
+        view: String,
+        /// Head arity of the view definition.
+        expected: usize,
+        /// Arity used in the rewriting.
+        actual: usize,
+    },
+    /// A λ-parameter does not occur in the view head (X ⊆ Y violated).
+    ParamNotInHead {
+        /// View name.
+        view: String,
+        /// Offending parameter.
+        parameter: String,
+    },
+    /// A rewriting is internally inconsistent (e.g. head unification
+    /// failed during expansion).
+    Inconsistent {
+        /// View name.
+        view: String,
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// The enumeration budget was exhausted before completion.
+    BudgetExceeded {
+        /// What was being counted.
+        what: String,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// Errors from the query layer.
+    Query(fgc_query::QueryError),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::UnknownView(v) => write!(f, "unknown view `{v}`"),
+            RewriteError::ViewArity {
+                view,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "view `{view}` has head arity {expected}, used with {actual} args"
+            ),
+            RewriteError::ParamNotInHead { view, parameter } => {
+                write!(f, "view `{view}`: parameter {parameter} not in head")
+            }
+            RewriteError::Inconsistent { view, detail } => {
+                write!(f, "inconsistent use of view `{view}`: {detail}")
+            }
+            RewriteError::BudgetExceeded { what, limit } => {
+                write!(f, "rewriting budget exceeded: more than {limit} {what}")
+            }
+            RewriteError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<fgc_query::QueryError> for RewriteError {
+    fn from(e: fgc_query::QueryError) -> Self {
+        RewriteError::Query(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, RewriteError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RewriteError::UnknownView("V9".into()).to_string(),
+            "unknown view `V9`"
+        );
+        let e = RewriteError::ViewArity {
+            view: "V1".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("V1"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # fgc-rewrite — answering queries using views, with λ-absorption
+//!
+//! The rewriting engine of the `fgcite` workspace (reproduction of
+//! *"A Model for Fine-Grained Data Citation"*, CIDR 2017). "Our
+//! approach is to rewrite as much of the query as possible using the
+//! view definitions, and combine their citations to construct a
+//! citation for the input query" (§2.2):
+//!
+//! * [`rewriting`] — rewritings (Definition 2.2): view/base subgoals,
+//!   residual comparisons, total/partial, expansion, extent queries;
+//! * [`bucket`] — candidate generation (bucket/MiniCon-style cover
+//!   mappings) with λ-parameter absorption of comparison predicates
+//!   (Example 2.2);
+//! * [`enumerate`] — budgeted exhaustive enumeration of valid
+//!   rewritings;
+//! * [`prefer`] — the §2.3 preference model and the pruned
+//!   (iterative-deepening) search of §3.4, plus the Example 3.8
+//!   view-inclusion preorder.
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod enumerate;
+pub mod error;
+pub mod prefer;
+pub mod rewriting;
+
+pub use bucket::{candidates, Candidate};
+pub use enumerate::{enumerate_rewritings, Enumeration, RewriteOptions};
+pub use error::{Result, RewriteError};
+pub use prefer::{best_rewritings, rank, score, view_inclusion_matrix};
+pub use rewriting::{Rewriting, Subgoal, ViewAtom, ViewDefs};

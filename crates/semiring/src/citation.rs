@@ -1,0 +1,293 @@
+//! The citation-semiring expression — the paper's two-level structure
+//! (§3.2, Definitions 3.1–3.3).
+//!
+//! For a fixed rewriting `Q'` of a query `Q`, the citation of an
+//! output tuple is a **polynomial** over citation atoms: products
+//! (`·`, Def 3.1) of per-view citations within one binding, summed
+//! (`+`, Def 3.2) across bindings. Across **alternative rewritings**
+//! the results are combined with a *different* operation `+R`
+//! (Def 3.3), with its own neutral element `0R`.
+//!
+//! A [`CitationExpr`] is therefore a finite set of labelled
+//! polynomials, one per rewriting, combined associatively and
+//! commutatively by `+R`. It is a *formal semantics* object: the
+//! engine materializes it symbolically and interprets it later under
+//! an owner policy — which makes citations plan-independent by
+//! construction ("the citations obtained for two equivalent queries
+//! will always be the same").
+
+use crate::order::{normal_form, poly_leq, MonomialOrder};
+use crate::polynomial::Polynomial;
+use crate::traits::CommutativeSemiring;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Debug;
+
+/// A citation expression: `+R` over per-rewriting polynomials.
+///
+/// `R` is the rewriting label type (kept so that explanations can
+/// point back at the rewriting that produced each alternative);
+/// `T` is the citation-atom token type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CitationExpr<R: Ord + Clone, T: Ord + Clone> {
+    /// One polynomial per rewriting. `BTreeMap` gives `+R` its
+    /// commutativity/associativity for free and keeps iteration
+    /// deterministic. Polynomials from identically-labelled rewritings
+    /// are merged with `+` (they denote the same rewriting).
+    alternatives: BTreeMap<R, Polynomial<T>>,
+}
+
+impl<R: Ord + Clone + Debug, T: Ord + Clone + Debug> CitationExpr<R, T> {
+    /// The neutral element `0R` of `+R`.
+    pub fn zero_r() -> Self {
+        CitationExpr {
+            alternatives: BTreeMap::new(),
+        }
+    }
+
+    /// An expression with a single rewriting alternative.
+    pub fn single(rewriting: R, polynomial: Polynomial<T>) -> Self {
+        let mut alternatives = BTreeMap::new();
+        if !polynomial.is_zero_poly() {
+            alternatives.insert(rewriting, polynomial);
+        }
+        CitationExpr { alternatives }
+    }
+
+    /// `+R`: combine alternatives from different rewritings.
+    pub fn plus_r(&self, other: &Self) -> Self {
+        let mut alternatives = self.alternatives.clone();
+        for (r, p) in &other.alternatives {
+            match alternatives.get_mut(r) {
+                Some(existing) => *existing = existing.plus(p),
+                None => {
+                    alternatives.insert(r.clone(), p.clone());
+                }
+            }
+        }
+        CitationExpr { alternatives }
+    }
+
+    /// Is this `0R` (no alternative at all)?
+    pub fn is_zero_r(&self) -> bool {
+        self.alternatives.is_empty()
+    }
+
+    /// Number of rewriting alternatives.
+    pub fn num_alternatives(&self) -> usize {
+        self.alternatives.len()
+    }
+
+    /// Iterate `(rewriting label, polynomial)`.
+    pub fn alternatives(&self) -> impl Iterator<Item = (&R, &Polynomial<T>)> {
+        self.alternatives.iter()
+    }
+
+    /// Total number of monomials across all alternatives — the
+    /// "size of the resulting citation" the paper wants minimized.
+    pub fn total_monomials(&self) -> usize {
+        self.alternatives.values().map(Polynomial::num_monomials).sum()
+    }
+
+    /// Flatten to a single polynomial by interpreting `+R` as `+`
+    /// (the "union" interpretation of §3.3).
+    pub fn flatten(&self) -> Polynomial<T> {
+        self.alternatives
+            .values()
+            .fold(Polynomial::zero(), |acc, p| acc.plus(p))
+    }
+
+    /// Distribute a product over `+R` — the distributivity the paper
+    /// assumes in Example 3.3:
+    /// `(a +R b) · c = a·c +R b·c` (per-alternative multiplication).
+    pub fn times_poly(&self, factor: &Polynomial<T>) -> Self {
+        CitationExpr {
+            alternatives: self
+                .alternatives
+                .iter()
+                .map(|(r, p)| (r.clone(), p.times(factor)))
+                .collect(),
+        }
+    }
+
+    /// Normal form under a monomial order (§3.4):
+    /// 1. normalize each alternative's polynomial;
+    /// 2. apply `p1 +R p2 = p1 if p2 ≤ p1` — keep only the maximal
+    ///    alternatives under the lifted polynomial order; among
+    ///    equivalent alternatives keep the one with the `Ord`-least
+    ///    rewriting label.
+    pub fn normal_form<O: MonomialOrder<T>>(&self, order: &O) -> Self {
+        let normalized: Vec<(R, Polynomial<T>)> = self
+            .alternatives
+            .iter()
+            .map(|(r, p)| (r.clone(), normal_form(p, order)))
+            .collect();
+        let keep = normalized.iter().filter(|(r1, p1)| {
+            !normalized.iter().any(|(r2, p2)| {
+                if r1 == r2 {
+                    return false;
+                }
+                let le = poly_leq(p1, p2, order);
+                let ge = poly_leq(p2, p1, order);
+                if le && !ge {
+                    true // strictly dominated
+                } else if le && ge {
+                    r2 < r1 // equivalent: keep Ord-least label
+                } else {
+                    false
+                }
+            })
+        });
+        CitationExpr {
+            alternatives: keep.cloned().collect(),
+        }
+    }
+
+    /// Interpret the expression under concrete operations: a token
+    /// valuation into a semiring `S` (supplying `+` and `·`) and a
+    /// binary `plus_r` for combining alternatives. Returns `None` for
+    /// `0R` (the caller supplies the neutral citation).
+    pub fn interpret<S, V, P>(&self, mut valuation: V, mut plus_r: P) -> Option<S>
+    where
+        S: CommutativeSemiring,
+        V: FnMut(&T) -> S,
+        P: FnMut(S, S) -> S,
+    {
+        let mut iter = self.alternatives.values();
+        let first = iter.next()?.eval(&mut valuation);
+        Some(iter.fold(first, |acc, p| plus_r(acc, p.eval(&mut valuation))))
+    }
+}
+
+impl<R: Ord + Clone + fmt::Display, T: Ord + Clone + fmt::Display> fmt::Display
+    for CitationExpr<R, T>
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.alternatives.is_empty() {
+            return f.write_str("0R");
+        }
+        let mut first = true;
+        for (r, p) in &self.alternatives {
+            if !first {
+                f.write_str(" +R ")?;
+            }
+            first = false;
+            write!(f, "[{r}: {p}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::Natural;
+    use crate::order::FewestViews;
+    use crate::polynomial::Monomial;
+
+    type Expr = CitationExpr<&'static str, &'static str>;
+
+    fn poly(monos: &[&[&'static str]]) -> Polynomial<&'static str> {
+        Polynomial::from_terms(monos.iter().map(|ts| {
+            (
+                Monomial::from_pairs(ts.iter().map(|t| (*t, 1))),
+                1,
+            )
+        }))
+    }
+
+    #[test]
+    fn plus_r_is_commutative_and_associative() {
+        let a = Expr::single("Q1", poly(&[&["v1"]]));
+        let b = Expr::single("Q2", poly(&[&["v2"]]));
+        let c = Expr::single("Q3", poly(&[&["v3"]]));
+        assert_eq!(a.plus_r(&b), b.plus_r(&a));
+        assert_eq!(a.plus_r(&b).plus_r(&c), a.plus_r(&b.plus_r(&c)));
+    }
+
+    #[test]
+    fn zero_r_is_neutral() {
+        let a = Expr::single("Q1", poly(&[&["v1"]]));
+        assert_eq!(a.plus_r(&Expr::zero_r()), a);
+        assert_eq!(Expr::zero_r().plus_r(&a), a);
+        assert!(Expr::zero_r().is_zero_r());
+    }
+
+    #[test]
+    fn same_rewriting_merges_with_plus() {
+        let a = Expr::single("Q1", poly(&[&["v1"]]));
+        let b = Expr::single("Q1", poly(&[&["v2"]]));
+        let merged = a.plus_r(&b);
+        assert_eq!(merged.num_alternatives(), 1);
+        let (_, p) = merged.alternatives().next().unwrap();
+        assert_eq!(p.num_monomials(), 2);
+    }
+
+    #[test]
+    fn times_poly_distributes_over_alternatives() {
+        // Example 3.3 shape: (CV1(13) +R CV4(gpcr)) · CV2(13)
+        let e = Expr::single("Q1", poly(&[&["cv1_13"]]))
+            .plus_r(&Expr::single("Q2", poly(&[&["cv4_gpcr"]])));
+        let distributed = e.times_poly(&poly(&[&["cv2_13"]]));
+        let expected = Expr::single("Q1", poly(&[&["cv1_13", "cv2_13"]]))
+            .plus_r(&Expr::single("Q2", poly(&[&["cv4_gpcr", "cv2_13"]])));
+        assert_eq!(distributed, expected);
+    }
+
+    #[test]
+    fn normal_form_keeps_preferable_rewriting() {
+        let order = FewestViews::new(|t: &&str| t.starts_with('v'));
+        // Q4 uses one view; Q3 uses two — Example 2.3's preference
+        let e = Expr::single("Q3", poly(&[&["v4", "v2"]]))
+            .plus_r(&Expr::single("Q4", poly(&[&["v5"]])));
+        let nf = e.normal_form(&order);
+        assert_eq!(nf.num_alternatives(), 1);
+        assert_eq!(*nf.alternatives().next().unwrap().0, "Q4");
+    }
+
+    #[test]
+    fn normal_form_keeps_incomparable_alternatives() {
+        // token-identity order: different monomials incomparable
+        let order = crate::order::NoOrder;
+        let e = Expr::single("Q1", poly(&[&["v1"]]))
+            .plus_r(&Expr::single("Q2", poly(&[&["v2"]])));
+        assert_eq!(e.normal_form(&order).num_alternatives(), 2);
+    }
+
+    #[test]
+    fn normal_form_equivalent_keeps_least_label() {
+        let order = FewestViews::new(|t: &&str| t.starts_with('v'));
+        let e = Expr::single("Q2", poly(&[&["v1"]]))
+            .plus_r(&Expr::single("Q1", poly(&[&["v2"]])));
+        let nf = e.normal_form(&order);
+        assert_eq!(nf.num_alternatives(), 1);
+        assert_eq!(*nf.alternatives().next().unwrap().0, "Q1");
+    }
+
+    #[test]
+    fn flatten_unions_alternatives() {
+        let e = Expr::single("Q1", poly(&[&["v1"]]))
+            .plus_r(&Expr::single("Q2", poly(&[&["v2"]])));
+        assert_eq!(e.flatten().num_monomials(), 2);
+        assert_eq!(e.total_monomials(), 2);
+    }
+
+    #[test]
+    fn interpret_counts_derivations() {
+        let e = Expr::single("Q1", poly(&[&["v1"], &["v2"]]))
+            .plus_r(&Expr::single("Q2", poly(&[&["v3"]])));
+        // + within rewriting, max across rewritings
+        let got = e
+            .interpret(|_| Natural(1), |a: Natural, b: Natural| Natural(a.0.max(b.0)))
+            .unwrap();
+        assert_eq!(got, Natural(2));
+        assert_eq!(Expr::zero_r().interpret(|_| Natural(1), |a, b| a.plus(&b)), None);
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let e = Expr::single("Q1", poly(&[&["v1", "v2"]]));
+        assert_eq!(e.to_string(), "[Q1: v1·v2]");
+        assert_eq!(Expr::zero_r().to_string(), "0R");
+    }
+}

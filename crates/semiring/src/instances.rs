@@ -1,0 +1,347 @@
+//! Stock semiring instances from the provenance literature
+//! (Green, Karvounarakis, Tannen — "Provenance semirings", PODS 2007,
+//! the paper's reference \[5\]).
+
+use crate::traits::{CommutativeSemiring, IdempotentPlus};
+use std::collections::BTreeSet;
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Natural numbers (bag semantics)
+// ---------------------------------------------------------------------
+
+/// `(ℕ, +, ·, 0, 1)` — counts how many derivations a tuple has
+/// (bag semantics). Saturating arithmetic keeps the laws exact in the
+/// presence of overflow at the extremes used by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Natural(pub u64);
+
+impl CommutativeSemiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+    fn one() -> Self {
+        Natural(1)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_add(other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_mul(other.0))
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Booleans (set semantics)
+// ---------------------------------------------------------------------
+
+/// `(𝔹, ∨, ∧, false, true)` — set semantics / tuple presence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bool(pub bool);
+
+impl CommutativeSemiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+    fn times(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+}
+
+impl IdempotentPlus for Bool {}
+
+// ---------------------------------------------------------------------
+// Tropical (min, +) — cost of the cheapest derivation
+// ---------------------------------------------------------------------
+
+/// `(ℕ ∪ {∞}, min, +, ∞, 0)` — the cost semiring. Used by the
+/// preference machinery to reason about "cheapest" citations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tropical {
+    /// No derivation (additive neutral).
+    Infinity,
+    /// A derivation of the given cost.
+    Cost(u64),
+}
+
+impl CommutativeSemiring for Tropical {
+    fn zero() -> Self {
+        Tropical::Infinity
+    }
+    fn one() -> Self {
+        Tropical::Cost(0)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, x) | (x, Tropical::Infinity) => *x,
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(*a.min(b)),
+        }
+    }
+    fn times(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(a.saturating_add(*b)),
+        }
+    }
+}
+
+impl IdempotentPlus for Tropical {}
+
+// ---------------------------------------------------------------------
+// Lineage (which-provenance)
+// ---------------------------------------------------------------------
+
+/// Lineage: the set of base tokens involved in *some* derivation.
+/// `+` and `·` are both union (with `0` as the absent annotation).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lineage<T: Ord + Clone + fmt::Debug> {
+    /// Additive neutral: no derivation at all.
+    Empty,
+    /// The set of tokens touched by the derivations.
+    Tokens(BTreeSet<T>),
+}
+
+impl<T: Ord + Clone + fmt::Debug> Lineage<T> {
+    /// A single-token lineage.
+    pub fn token(t: T) -> Self {
+        Lineage::Tokens(BTreeSet::from([t]))
+    }
+
+    /// The token set (empty for `Empty`).
+    pub fn tokens(&self) -> BTreeSet<T> {
+        match self {
+            Lineage::Empty => BTreeSet::new(),
+            Lineage::Tokens(s) => s.clone(),
+        }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> CommutativeSemiring for Lineage<T> {
+    fn zero() -> Self {
+        Lineage::Empty
+    }
+    fn one() -> Self {
+        Lineage::Tokens(BTreeSet::new())
+    }
+    fn plus(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Empty, x) | (x, Lineage::Empty) => x.clone(),
+            (Lineage::Tokens(a), Lineage::Tokens(b)) => {
+                Lineage::Tokens(a.union(b).cloned().collect())
+            }
+        }
+    }
+    fn times(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Empty, _) | (_, Lineage::Empty) => Lineage::Empty,
+            (Lineage::Tokens(a), Lineage::Tokens(b)) => {
+                Lineage::Tokens(a.union(b).cloned().collect())
+            }
+        }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> IdempotentPlus for Lineage<T> {}
+
+// ---------------------------------------------------------------------
+// Why-provenance (witness sets)
+// ---------------------------------------------------------------------
+
+/// Why-provenance: a set of witnesses, each witness being the set of
+/// tokens jointly used by one derivation. `+` is union of witness
+/// sets, `·` is pairwise union of witnesses.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Why<T: Ord + Clone + fmt::Debug> {
+    /// The witness sets. Empty set of witnesses = additive neutral;
+    /// the singleton `{∅}` = multiplicative neutral.
+    pub witnesses: BTreeSet<BTreeSet<T>>,
+}
+
+impl<T: Ord + Clone + fmt::Debug> Why<T> {
+    /// Provenance of a base tuple: one witness containing one token.
+    pub fn token(t: T) -> Self {
+        Why {
+            witnesses: BTreeSet::from([BTreeSet::from([t])]),
+        }
+    }
+
+    /// Minimize to the *minimal witness basis*: drop every witness
+    /// that is a strict superset of another witness.
+    pub fn minimal(&self) -> Self {
+        let keep: BTreeSet<BTreeSet<T>> = self
+            .witnesses
+            .iter()
+            .filter(|w| {
+                !self
+                    .witnesses
+                    .iter()
+                    .any(|other| other != *w && other.is_subset(w))
+            })
+            .cloned()
+            .collect();
+        Why { witnesses: keep }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> CommutativeSemiring for Why<T> {
+    fn zero() -> Self {
+        Why {
+            witnesses: BTreeSet::new(),
+        }
+    }
+    fn one() -> Self {
+        Why {
+            witnesses: BTreeSet::from([BTreeSet::new()]),
+        }
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Why {
+            witnesses: self.witnesses.union(&other.witnesses).cloned().collect(),
+        }
+    }
+    fn times(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.witnesses {
+            for b in &other.witnesses {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        Why { witnesses: out }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> IdempotentPlus for Why<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::laws;
+
+    #[test]
+    fn natural_laws() {
+        let samples = [Natural(0), Natural(1), Natural(2), Natural(17)];
+        for a in &samples {
+            for b in &samples {
+                for c in &samples {
+                    assert_eq!(laws::check_axioms(a, b, c), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bool_laws_and_idempotence() {
+        let samples = [Bool(false), Bool(true)];
+        for a in &samples {
+            assert!(laws::check_idempotent(a));
+            for b in &samples {
+                for c in &samples {
+                    assert_eq!(laws::check_axioms(a, b, c), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tropical_laws() {
+        let samples = [
+            Tropical::Infinity,
+            Tropical::Cost(0),
+            Tropical::Cost(3),
+            Tropical::Cost(9),
+        ];
+        for a in &samples {
+            assert!(laws::check_idempotent(a));
+            for b in &samples {
+                for c in &samples {
+                    assert_eq!(laws::check_axioms(a, b, c), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lineage_collects_all_tokens() {
+        let a = Lineage::token("t1");
+        let b = Lineage::token("t2");
+        let joined = a.times(&b);
+        assert_eq!(
+            joined.tokens(),
+            BTreeSet::from(["t1", "t2"])
+        );
+        // plus also unions, but zero stays absorbing for times
+        assert_eq!(Lineage::<&str>::zero().times(&a), Lineage::zero());
+        assert_eq!(Lineage::<&str>::zero().plus(&a), a);
+    }
+
+    #[test]
+    fn lineage_laws() {
+        let samples = [
+            Lineage::Empty,
+            Lineage::one(),
+            Lineage::token("x"),
+            Lineage::token("y").plus(&Lineage::token("z")),
+        ];
+        for a in &samples {
+            assert!(laws::check_idempotent(a));
+            for b in &samples {
+                for c in &samples {
+                    assert_eq!(laws::check_axioms(a, b, c), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn why_provenance_distinguishes_witnesses() {
+        // (x + y) * z  has witnesses {x,z} and {y,z}
+        let x = Why::token("x");
+        let y = Why::token("y");
+        let z = Why::token("z");
+        let result = x.plus(&y).times(&z);
+        assert_eq!(result.witnesses.len(), 2);
+        assert!(result.witnesses.contains(&BTreeSet::from(["x", "z"])));
+        assert!(result.witnesses.contains(&BTreeSet::from(["y", "z"])));
+    }
+
+    #[test]
+    fn why_minimal_drops_supersets() {
+        let x = Why::token("x");
+        let xy = x.times(&Why::token("y"));
+        let both = x.plus(&xy);
+        assert_eq!(both.witnesses.len(), 2);
+        let min = both.minimal();
+        assert_eq!(min.witnesses, BTreeSet::from([BTreeSet::from(["x"])]));
+    }
+
+    #[test]
+    fn why_laws() {
+        let samples = [
+            Why::zero(),
+            Why::one(),
+            Why::token("x"),
+            Why::token("x").times(&Why::token("y")),
+            Why::token("x").plus(&Why::token("y")),
+        ];
+        for a in &samples {
+            assert!(laws::check_idempotent(a));
+            for b in &samples {
+                for c in &samples {
+                    assert_eq!(laws::check_axioms(a, b, c), None);
+                }
+            }
+        }
+    }
+}

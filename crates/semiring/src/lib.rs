@@ -1,0 +1,37 @@
+//! # fgc-semiring — provenance semirings and the citation algebra
+//!
+//! The algebraic heart of the `fgcite` workspace (reproduction of
+//! *"A Model for Fine-Grained Data Citation"*, CIDR 2017). The paper
+//! models citations as annotations manipulated through queries,
+//! "tak\[ing\] inspiration from work on database provenance, in
+//! particular that of provenance semirings":
+//!
+//! * [`traits`] — the commutative-semiring abstraction plus law
+//!   checkers;
+//! * [`instances`] — ℕ (bag), 𝔹 (set), tropical (cost), lineage and
+//!   why-provenance;
+//! * [`polynomial`] — the free semiring `ℕ[X]` with its universal
+//!   evaluation homomorphism;
+//! * [`citation`] — the paper's two-level citation expressions:
+//!   per-rewriting polynomials combined by the distinct operation
+//!   `+R` (Definitions 3.1–3.3);
+//! * [`order`] — the partial orders of §3.4 (fewest views, fewest
+//!   uncovered terms, view inclusion), normal forms, and the lifting
+//!   from monomials to polynomials.
+
+#![warn(missing_docs)]
+
+pub mod citation;
+pub mod instances;
+pub mod order;
+pub mod polynomial;
+pub mod traits;
+
+pub use citation::CitationExpr;
+pub use instances::{Bool, Lineage, Natural, Tropical, Why};
+pub use order::{
+    normal_form, poly_leq, FewestUncovered, FewestViews, Lexicographic, MonomialOrder, NoOrder,
+    TokenDominance,
+};
+pub use polynomial::{Monomial, Polynomial};
+pub use traits::{laws, CommutativeSemiring, IdempotentPlus};

@@ -1,0 +1,404 @@
+//! Partial orders over monomials and polynomials — §3.4 of the paper.
+//!
+//! > "We first define a partial order ≤ over monomials in the citation
+//! > semiring ... We then impose that a + b = a if b ≤ a ... Such
+//! > order relation can then be lifted to order relation over
+//! > polynomials: to compare polynomials p1 and p2 we first transform
+//! > each polynomial into a 'normal form', removing every monomial M2
+//! > for which there exists a monomial M1 ≥ M2. Then, we say that
+//! > p2 ≤ p1 if for every monomial M2 in the normal form of p2 there
+//! > exists a monomial M1 in the normal form of p1 such that M2 ≤ M1.
+//! > Finally, we impose p1 +R p2 = p1 if p2 ≤ p1."
+//!
+//! The three concrete orders are the paper's Examples 3.6 (fewest
+//! views), 3.7 (fewest uncovered/base terms) and 3.8 (view inclusion).
+//!
+//! Orders here are *preorders* (reflexive + transitive); antisymmetry
+//! may fail, so two distinct monomials can be equivalent. Normal forms
+//! keep one canonical representative (the `Ord`-least) per equivalence
+//! class so that normalization never erases a class entirely.
+
+use crate::polynomial::{Monomial, Polynomial};
+use std::cmp::Ordering;
+use std::fmt::Debug;
+
+/// A preorder over monomials. `leq(a, b)` means "b is at least as
+/// preferable as a" — larger is better, matching the paper's
+/// convention (`a + b = a if b ≤ a`: keep the preferable one).
+pub trait MonomialOrder<T: Ord + Clone> {
+    /// Is `a ≤ b` (b at least as preferable)?
+    fn leq(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool;
+
+    /// Strict comparison: `a < b`.
+    fn lt(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool {
+        self.leq(a, b) && !self.leq(b, a)
+    }
+
+    /// Equivalence: `a ≤ b` and `b ≤ a`.
+    fn equivalent(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool {
+        self.leq(a, b) && self.leq(b, a)
+    }
+
+    /// Three-way partial comparison.
+    fn partial_cmp(&self, a: &Monomial<T>, b: &Monomial<T>) -> Option<Ordering> {
+        match (self.leq(a, b), self.leq(b, a)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Example 3.6 — fewest views
+// ---------------------------------------------------------------------
+
+/// "M1 ≤ M2 if the number of multiplicands in M1 is greater or equal
+/// to that of M2 (note that we only cite views, not base relations)."
+///
+/// `is_view` selects the tokens that count as view citations.
+pub struct FewestViews<F> {
+    is_view: F,
+}
+
+impl<F> FewestViews<F> {
+    /// Build the order with a token classifier.
+    pub fn new(is_view: F) -> Self {
+        FewestViews { is_view }
+    }
+}
+
+impl<T, F> MonomialOrder<T> for FewestViews<F>
+where
+    T: Ord + Clone,
+    F: Fn(&T) -> bool,
+{
+    fn leq(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool {
+        a.degree_where(|t| (self.is_view)(t)) >= b.degree_where(|t| (self.is_view)(t))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Example 3.7 — fewest uncovered terms
+// ---------------------------------------------------------------------
+
+/// "we designate a citation atom C_R to be placed in the citation
+/// whenever the query uses a base relation R. Now we can define
+/// M1 ≤ M2 ... if the number of atoms of the form C_R in M1 is
+/// greater or equal than that in M2."
+pub struct FewestUncovered<F> {
+    is_base: F,
+}
+
+impl<F> FewestUncovered<F> {
+    /// Build the order with a base-relation-marker classifier.
+    pub fn new(is_base: F) -> Self {
+        FewestUncovered { is_base }
+    }
+}
+
+impl<T, F> MonomialOrder<T> for FewestUncovered<F>
+where
+    T: Ord + Clone,
+    F: Fn(&T) -> bool,
+{
+    fn leq(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool {
+        a.degree_where(|t| (self.is_base)(t)) >= b.degree_where(|t| (self.is_base)(t))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Example 3.8 — view inclusion
+// ---------------------------------------------------------------------
+
+/// Order based on an underlying token preorder (e.g. view inclusion:
+/// token `a ≤ b` if a's view *includes* b's view, so b is "best fit").
+///
+/// Lifting per the paper: first normalize each monomial w.r.t. the
+/// token order (`a · b = a if b ≤ a` — drop dominated factors), then
+/// `a1·...·an ≤ b1·...·bm` if for every `ai` there is a `bj` with
+/// `ai ≤ bj`.
+pub struct TokenDominance<F> {
+    token_leq: F,
+}
+
+impl<F> TokenDominance<F> {
+    /// Build from the underlying token preorder.
+    pub fn new(token_leq: F) -> Self {
+        TokenDominance { token_leq }
+    }
+
+    /// Normalize a monomial w.r.t. the token order: keep only factors
+    /// not strictly dominated by another factor, and collapse
+    /// equivalent factors to one representative.
+    pub fn normalize_monomial<T>(&self, m: &Monomial<T>) -> Monomial<T>
+    where
+        T: Ord + Clone,
+        F: Fn(&T, &T) -> bool,
+    {
+        let tokens: Vec<&T> = m.tokens().collect();
+        let leq = &self.token_leq;
+        let mut keep: Vec<&T> = Vec::new();
+        for t in &tokens {
+            let dominated = tokens.iter().any(|other| {
+                if std::ptr::eq(*other, *t) {
+                    return false;
+                }
+                let oge = leq(t, other); // t ≤ other
+                let ole = leq(other, t); // other ≤ t
+                if oge && !ole {
+                    true // strictly dominated
+                } else if oge && ole {
+                    // equivalent: keep the Ord-least representative
+                    *other < *t
+                } else {
+                    false
+                }
+            });
+            if !dominated {
+                keep.push(t);
+            }
+        }
+        Monomial::from_pairs(keep.into_iter().map(|t| (t.clone(), 1)))
+    }
+}
+
+impl<T, F> MonomialOrder<T> for TokenDominance<F>
+where
+    T: Ord + Clone,
+    F: Fn(&T, &T) -> bool,
+{
+    fn leq(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool {
+        let na = self.normalize_monomial(a);
+        let nb = self.normalize_monomial(b);
+        let leq = &self.token_leq;
+        let result = na
+            .tokens()
+            .all(|ai| nb.tokens().any(|bj| leq(ai, bj)));
+        result
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composition and trivial orders
+// ---------------------------------------------------------------------
+
+/// The trivial order: no two distinct monomials comparable. Normal
+/// forms under it are the identity — the "no preference" policy.
+pub struct NoOrder;
+
+impl<T: Ord + Clone> MonomialOrder<T> for NoOrder {
+    fn leq(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool {
+        a == b
+    }
+}
+
+/// Lexicographic composition: use `first`; on ties (equivalence),
+/// refine by `second`.
+pub struct Lexicographic<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Lexicographic<A, B> {
+    /// Compose two orders lexicographically.
+    pub fn new(first: A, second: B) -> Self {
+        Lexicographic { first, second }
+    }
+}
+
+impl<T, A, B> MonomialOrder<T> for Lexicographic<A, B>
+where
+    T: Ord + Clone,
+    A: MonomialOrder<T>,
+    B: MonomialOrder<T>,
+{
+    fn leq(&self, a: &Monomial<T>, b: &Monomial<T>) -> bool {
+        if self.first.equivalent(a, b) {
+            self.second.leq(a, b)
+        } else {
+            self.first.leq(a, b)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Polynomial normal forms and lifted order (§3.4)
+// ---------------------------------------------------------------------
+
+/// Normal form of a polynomial under a monomial order: drop every
+/// monomial strictly dominated by another; among equivalent monomials
+/// keep the `Ord`-least representative. Coefficients are squashed to 1
+/// (the order model presumes idempotent `+`: `a + b = a if b ≤ a`
+/// subsumes `a + a = a`).
+pub fn normal_form<T, O>(p: &Polynomial<T>, order: &O) -> Polynomial<T>
+where
+    T: Ord + Clone + Debug,
+    O: MonomialOrder<T>,
+{
+    let monomials: Vec<&Monomial<T>> = p.monomials().collect();
+    let keep = monomials.iter().filter(|m| {
+        !monomials.iter().any(|other| {
+            if other == *m {
+                return false;
+            }
+            if order.lt(m, other) {
+                true
+            } else if order.equivalent(m, other) {
+                // keep the Ord-least representative of the class
+                *other < **m
+            } else {
+                false
+            }
+        })
+    });
+    Polynomial::from_terms(keep.map(|m| ((*m).clone(), 1)))
+}
+
+/// Lifted order on polynomials: `p2 ≤ p1` iff every monomial in
+/// `nf(p2)` is ≤ some monomial in `nf(p1)`.
+pub fn poly_leq<T, O>(p2: &Polynomial<T>, p1: &Polynomial<T>, order: &O) -> bool
+where
+    T: Ord + Clone + Debug,
+    O: MonomialOrder<T>,
+{
+    let n2 = normal_form(p2, order);
+    let n1 = normal_form(p1, order);
+    let result = n2
+        .monomials()
+        .all(|m2| n1.monomials().any(|m1| order.leq(m2, m1)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M = Monomial<&'static str>;
+    type P = Polynomial<&'static str>;
+
+    fn m(tokens: &[&'static str]) -> M {
+        Monomial::from_pairs(tokens.iter().map(|t| (*t, 1)))
+    }
+
+    fn poly(monos: &[&[&'static str]]) -> P {
+        Polynomial::from_terms(monos.iter().map(|ts| (m(ts), 1)))
+    }
+
+    fn is_view(t: &&str) -> bool {
+        t.starts_with('v')
+    }
+
+    fn is_base(t: &&str) -> bool {
+        t.starts_with("CR")
+    }
+
+    #[test]
+    fn fewest_views_prefers_smaller_monomials() {
+        let order = FewestViews::new(is_view);
+        let one_view = m(&["v5"]);
+        let two_views = m(&["v4", "v2"]);
+        // two_views ≤ one_view (more multiplicands is less preferable)
+        assert!(order.leq(&two_views, &one_view));
+        assert!(!order.leq(&one_view, &two_views));
+        assert!(order.lt(&two_views, &one_view));
+    }
+
+    #[test]
+    fn fewest_views_ignores_base_tokens() {
+        let order = FewestViews::new(is_view);
+        let a = m(&["v1", "CR_Family"]);
+        let b = m(&["v1"]);
+        assert!(order.equivalent(&a, &b));
+    }
+
+    #[test]
+    fn fewest_uncovered_counts_cr_atoms() {
+        let order = FewestUncovered::new(is_base);
+        let covered = m(&["v1", "v2"]);
+        let partial = m(&["v1", "CR_Family"]);
+        assert!(order.lt(&partial, &covered));
+    }
+
+    #[test]
+    fn token_dominance_normalizes_monomials() {
+        // view inclusion: v1 (per-family) ≤ v3 (whole table) means v3's
+        // citation is dominated by the more specific v1?  The paper
+        // says a ≤ b if a stems from V1, b from V2, and V2 ⊑ V1: the
+        // more *general* view is ≤ the more *specific* one.
+        let token_leq = |a: &&str, b: &&str| a == b || (*a == "v3" && *b == "v1");
+        let order = TokenDominance::new(token_leq);
+        // v3·v1 normalizes to v1
+        let norm = order.normalize_monomial(&m(&["v3", "v1"]));
+        assert_eq!(norm, m(&["v1"]));
+        // v3 ≤ v1 lifts to monomials
+        assert!(order.leq(&m(&["v3"]), &m(&["v1"])));
+        assert!(!order.leq(&m(&["v1"]), &m(&["v3"])));
+    }
+
+    #[test]
+    fn token_dominance_equivalent_tokens_keep_one() {
+        let token_leq = |a: &&str, b: &&str| a == b || (*a == "x" && *b == "y") || (*a == "y" && *b == "x");
+        let order = TokenDominance::new(token_leq);
+        let norm = order.normalize_monomial(&m(&["x", "y"]));
+        assert_eq!(norm, m(&["x"])); // Ord-least representative
+    }
+
+    #[test]
+    fn no_order_normal_form_is_identity_on_monomial_sets() {
+        let p = poly(&[&["v1"], &["v1", "v2"]]);
+        let nf = normal_form(&p, &NoOrder);
+        assert_eq!(nf.num_monomials(), 2);
+    }
+
+    #[test]
+    fn normal_form_drops_dominated_monomials() {
+        let order = FewestViews::new(is_view);
+        let p = poly(&[&["v5"], &["v4", "v2"], &["v1", "v2", "v3"]]);
+        let nf = normal_form(&p, &order);
+        assert_eq!(nf.num_monomials(), 1);
+        assert!(nf.monomials().next().unwrap() == &m(&["v5"]));
+    }
+
+    #[test]
+    fn normal_form_keeps_one_of_equivalent_class() {
+        let order = FewestViews::new(is_view);
+        let p = poly(&[&["v1"], &["v2"]]); // equivalent (1 view each)
+        let nf = normal_form(&p, &order);
+        assert_eq!(nf.num_monomials(), 1);
+        // Ord-least representative survives
+        assert_eq!(nf.monomials().next().unwrap(), &m(&["v1"]));
+    }
+
+    #[test]
+    fn poly_leq_lifting() {
+        let order = FewestViews::new(is_view);
+        let concise = poly(&[&["v5"]]);
+        let verbose = poly(&[&["v4", "v2"], &["v1", "v2"]]);
+        assert!(poly_leq(&verbose, &concise, &order));
+        assert!(!poly_leq(&concise, &verbose, &order));
+    }
+
+    #[test]
+    fn lexicographic_breaks_ties() {
+        // primary: fewest views; secondary: fewest uncovered
+        let order = Lexicographic::new(FewestViews::new(is_view), FewestUncovered::new(is_base));
+        let a = m(&["v1", "CR_F"]);
+        let b = m(&["v2"]);
+        // equal view counts; a has more CR atoms so a < b
+        assert!(order.lt(&a, &b));
+    }
+
+    #[test]
+    fn partial_cmp_reports_incomparability() {
+        // token dominance with incomparable tokens
+        let token_leq = |a: &&str, b: &&str| a == b;
+        let order = TokenDominance::new(token_leq);
+        assert_eq!(order.partial_cmp(&m(&["x"]), &m(&["y"])), None);
+        assert_eq!(
+            order.partial_cmp(&m(&["x"]), &m(&["x"])),
+            Some(Ordering::Equal)
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! A text format for declaring citation views — the paper's call for
+//! "a language for the specification of the black boxes, allowing
+//! for their analysis" (§4), in file form:
+//!
+//! ```text
+//! % family pages, cited by their committee
+//! @view
+//! lambda F. V1(F, N, Ty) :- Family(F, N, Ty)
+//! lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
+//! @fields ID = 0, Name = 1, Committee = [2]
+//! ```
+//!
+//! Each `@view` block holds the view definition, the citation query
+//! (parameterized by the same λ), and a `@fields` line describing the
+//! citation function:
+//!
+//! * `Label = N` — scalar from column `N`;
+//! * `Label = [N]` — collect distinct values of column `N`;
+//! * `Label = "text"` — constant field.
+//!
+//! (Nested `Group` functions are API-only; files cover the common
+//! flat citations.)
+
+use crate::function::{CitationFunction, FieldSpec};
+use crate::json::Json;
+use crate::view::{CitationView, Result, ViewError};
+use fgc_query::{parse_query, QueryError};
+
+fn syntax_error(line: usize, message: impl Into<String>) -> ViewError {
+    ViewError::Query(QueryError::Syntax {
+        position: line,
+        message: message.into(),
+    })
+}
+
+/// Parse a `@fields` specification line (without the directive).
+fn parse_fields(spec: &str, line: usize) -> Result<Vec<FieldSpec>> {
+    let mut fields = Vec::new();
+    for part in split_top_level(spec) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let eq = part
+            .find('=')
+            .ok_or_else(|| syntax_error(line, format!("field `{part}` needs `=`")))?;
+        let label = part[..eq].trim().to_string();
+        let rhs = part[eq + 1..].trim();
+        if label.is_empty() {
+            return Err(syntax_error(line, "empty field label"));
+        }
+        let field = if let Some(inner) = rhs.strip_prefix('[') {
+            let inner = inner
+                .strip_suffix(']')
+                .ok_or_else(|| syntax_error(line, format!("unclosed `[` in `{part}`")))?;
+            let column: usize = inner.trim().parse().map_err(|_| {
+                syntax_error(line, format!("bad column index `{inner}`"))
+            })?;
+            FieldSpec::Collect { label, column }
+        } else if rhs.starts_with('"') {
+            let value = fgc_relation::Value::parse(rhs)
+                .and_then(|v| v.as_str().map(|s| s.to_string()))
+                .ok_or_else(|| syntax_error(line, format!("bad constant `{rhs}`")))?;
+            FieldSpec::Constant {
+                label,
+                value: Json::str(value),
+            }
+        } else {
+            let column: usize = rhs
+                .parse()
+                .map_err(|_| syntax_error(line, format!("bad column index `{rhs}`")))?;
+            FieldSpec::Scalar { label, column }
+        };
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Split on commas outside quotes and brackets.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    let mut in_str = false;
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                buf.push(c);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                buf.push(c);
+            }
+            ']' if !in_str => {
+                depth = depth.saturating_sub(1);
+                buf.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                out.push(std::mem::take(&mut buf));
+            }
+            c => buf.push(c),
+        }
+    }
+    out.push(buf);
+    out
+}
+
+/// Parse a whole view file into citation views.
+pub fn parse_view_file(text: &str) -> Result<Vec<CitationView>> {
+    #[derive(Default)]
+    struct Block {
+        start: usize,
+        queries: Vec<(usize, String)>,
+        fields: Option<(usize, String)>,
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut current: Option<Block> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        if line == "@view" {
+            if let Some(block) = current.take() {
+                blocks.push(block);
+            }
+            current = Some(Block {
+                start: lineno,
+                ..Block::default()
+            });
+            continue;
+        }
+        let Some(block) = current.as_mut() else {
+            return Err(syntax_error(lineno, "content before the first @view"));
+        };
+        if let Some(rest) = line.strip_prefix("@fields") {
+            if block.fields.is_some() {
+                return Err(syntax_error(lineno, "duplicate @fields in view block"));
+            }
+            block.fields = Some((lineno, rest.trim().to_string()));
+        } else {
+            block.queries.push((lineno, line.to_string()));
+        }
+    }
+    if let Some(block) = current.take() {
+        blocks.push(block);
+    }
+
+    let mut views = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        if block.queries.len() != 2 {
+            return Err(syntax_error(
+                block.start,
+                format!(
+                    "a @view block needs exactly 2 queries (view + citation query), found {}",
+                    block.queries.len()
+                ),
+            ));
+        }
+        let view = parse_query(&block.queries[0].1)?;
+        let citation_query = parse_query(&block.queries[1].1)?;
+        let function = match &block.fields {
+            Some((line, spec)) => CitationFunction::from_spec(parse_fields(spec, *line)?),
+            None => {
+                // default: every citation-query output column becomes
+                // a scalar field named after its head term
+                let fields = citation_query
+                    .head
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| FieldSpec::Scalar {
+                        label: t.to_string(),
+                        column: i,
+                    })
+                    .collect();
+                CitationFunction::from_spec(fields)
+            }
+        };
+        views.push(CitationView::new(view, citation_query, function));
+    }
+    Ok(views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+% the paper's V1
+@view
+lambda F. V1(F, N, Ty) :- Family(F, N, Ty)
+lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
+@fields ID = 0, Name = 1, Committee = [2]
+
+@view
+V3(F, N, Ty) :- Family(F, N, Ty)
+CV3(X1, X2) :- MetaData(T1, X1), T1 = "Owner", MetaData(T2, X2), T2 = "URL"
+@fields Owner = 0, URL = 1, Database = "GtoPdb"
+"#;
+
+    #[test]
+    fn parses_two_view_blocks() {
+        let views = parse_view_file(SAMPLE).unwrap();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].name, "V1");
+        assert_eq!(views[0].params(), &["F".to_string()]);
+        assert_eq!(views[1].name, "V3");
+        assert!(!views[1].is_parameterized());
+    }
+
+    #[test]
+    fn fields_round_trip_through_function() {
+        use fgc_relation::tuple;
+        let views = parse_view_file(SAMPLE).unwrap();
+        let rows = vec![
+            tuple!["11", "Calcitonin", "Hay"],
+            tuple!["11", "Calcitonin", "Poyner"],
+        ];
+        let citation = views[0].function.apply(&rows);
+        assert_eq!(
+            citation.to_compact(),
+            r#"{"ID": "11", "Name": "Calcitonin", "Committee": ["Hay", "Poyner"]}"#
+        );
+    }
+
+    #[test]
+    fn constant_fields_parse() {
+        let views = parse_view_file(SAMPLE).unwrap();
+        use fgc_relation::tuple;
+        let citation = views[1].function.apply(&[tuple!["o", "u"]]);
+        assert_eq!(citation.get("Database"), Some(&Json::str("GtoPdb")));
+    }
+
+    #[test]
+    fn default_function_uses_head_terms() {
+        let views = parse_view_file(
+            "@view\nlambda F. V(F, N) :- Family(F, N, Ty)\nlambda F. CV(F, N) :- Family(F, N, Ty)",
+        )
+        .unwrap();
+        use fgc_relation::tuple;
+        let citation = views[0].function.apply(&[tuple!["11", "Calcitonin"]]);
+        assert_eq!(citation.get("F"), Some(&Json::str("11")));
+        assert_eq!(citation.get("N"), Some(&Json::str("Calcitonin")));
+    }
+
+    #[test]
+    fn wrong_query_count_rejected() {
+        let err = parse_view_file("@view\nV(F) :- Family(F, N, Ty)").unwrap_err();
+        assert!(err.to_string().contains("exactly 2"));
+    }
+
+    #[test]
+    fn content_before_view_rejected() {
+        assert!(parse_view_file("V(F) :- R(F)").is_err());
+    }
+
+    #[test]
+    fn bad_field_specs_rejected() {
+        let base = "@view\nV(F) :- Family(F, N, Ty)\nCV(F) :- Family(F, N, Ty)\n";
+        for bad in ["@fields ID", "@fields ID = x", "@fields ID = [1", "@fields = 0"] {
+            assert!(
+                parse_view_file(&format!("{base}{bad}")).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_fields_rejected() {
+        let err = parse_view_file(
+            "@view\nV(F) :- R(F)\nCV(F) :- R(F)\n@fields A = 0\n@fields B = 0",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Citation views — Definition 2.1 of the paper:
+//!
+//! > "A citation view is a triple (V, C_V, F_V) where V is the view
+//! > definition of form λX.V(Y) :- Q; C_V is the citation query of
+//! > form λX.C_V(Y') :- Q'; and F_V is the citation function which
+//! > transforms the output of the citation query into a citation."
+//!
+//! `V` and `C_V` are parameterized by the *same* X; for every
+//! valuation of X, F_V(C_V(Y')(a₁..aₙ)) is the citation of every
+//! tuple in V(Y)(a₁..aₙ).
+
+use crate::function::CitationFunction;
+use crate::json::Json;
+use fgc_query::{check_against_catalog, check_safety, evaluate, ConjunctiveQuery, QueryError};
+use fgc_relation::{Database, Tuple, Value};
+
+/// Errors raised by view validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewError {
+    /// The view definition and citation query declare different
+    /// parameter lists (Def. 2.1 requires the same X).
+    ParameterListsDiffer {
+        /// View name.
+        view: String,
+        /// Parameters of V.
+        view_params: Vec<String>,
+        /// Parameters of C_V.
+        citation_params: Vec<String>,
+    },
+    /// A λ-parameter does not appear in the view head (Def. 2.1
+    /// requires X ⊆ Y, which is what lets rewritings treat parameters
+    /// as output columns).
+    ParameterNotInHead {
+        /// View name.
+        view: String,
+        /// The offending parameter.
+        parameter: String,
+    },
+    /// The citation function references a column beyond the citation
+    /// query's head arity.
+    FunctionColumnOutOfRange {
+        /// View name.
+        view: String,
+        /// Largest referenced column.
+        column: usize,
+        /// Citation-query head arity.
+        arity: usize,
+    },
+    /// An underlying query error (safety, schema, evaluation).
+    Query(QueryError),
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::ParameterListsDiffer {
+                view,
+                view_params,
+                citation_params,
+            } => write!(
+                f,
+                "view `{view}`: V is parameterized by [{}] but C_V by [{}]",
+                view_params.join(", "),
+                citation_params.join(", ")
+            ),
+            ViewError::ParameterNotInHead { view, parameter } => write!(
+                f,
+                "view `{view}`: parameter {parameter} does not appear in the view head (X ⊆ Y violated)"
+            ),
+            ViewError::FunctionColumnOutOfRange { view, column, arity } => write!(
+                f,
+                "view `{view}`: citation function references column {column} but C_V has arity {arity}"
+            ),
+            ViewError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+impl From<QueryError> for ViewError {
+    fn from(e: QueryError) -> Self {
+        ViewError::Query(e)
+    }
+}
+
+/// Result alias for view operations.
+pub type Result<T> = std::result::Result<T, ViewError>;
+
+/// A citation view: the triple `(V, C_V, F_V)`.
+#[derive(Debug, Clone)]
+pub struct CitationView {
+    /// View name (also the head predicate name of `V`).
+    pub name: String,
+    /// The view definition `λX. V(Y) :- Q`.
+    pub view: ConjunctiveQuery,
+    /// The citation query `λX. C_V(Y') :- Q'`.
+    pub citation_query: ConjunctiveQuery,
+    /// The citation function `F_V`.
+    pub function: CitationFunction,
+}
+
+impl CitationView {
+    /// Assemble a citation view. Structural validation happens in
+    /// [`CitationView::validate`].
+    pub fn new(
+        view: ConjunctiveQuery,
+        citation_query: ConjunctiveQuery,
+        function: CitationFunction,
+    ) -> Self {
+        CitationView {
+            name: view.name.clone(),
+            view,
+            citation_query,
+            function,
+        }
+    }
+
+    /// λ-parameters (shared by `V` and `C_V`).
+    pub fn params(&self) -> &[String] {
+        &self.view.params
+    }
+
+    /// Is the view parameterized?
+    pub fn is_parameterized(&self) -> bool {
+        self.view.is_parameterized()
+    }
+
+    /// Position of each λ-parameter in the view head — well-defined
+    /// because Def. 2.1 requires `X ⊆ Y`. Errors if violated.
+    pub fn param_positions(&self) -> Result<Vec<usize>> {
+        self.view
+            .params
+            .iter()
+            .map(|p| {
+                self.view
+                    .head
+                    .iter()
+                    .position(|t| t.as_var() == Some(p.as_str()))
+                    .ok_or_else(|| ViewError::ParameterNotInHead {
+                        view: self.name.clone(),
+                        parameter: p.clone(),
+                    })
+            })
+            .collect()
+    }
+
+    /// Validate the triple against a catalog:
+    /// * `V` and `C_V` are safe and schema-conformant;
+    /// * both declare the same parameter list;
+    /// * `X ⊆ Y` (parameters appear in the view head);
+    /// * the citation function's columns fit `C_V`'s head arity.
+    pub fn validate(&self, catalog: &fgc_relation::Catalog) -> Result<()> {
+        check_safety(&self.view)?;
+        check_safety(&self.citation_query)?;
+        check_against_catalog(&self.view, catalog)?;
+        check_against_catalog(&self.citation_query, catalog)?;
+        if self.view.params != self.citation_query.params {
+            return Err(ViewError::ParameterListsDiffer {
+                view: self.name.clone(),
+                view_params: self.view.params.clone(),
+                citation_params: self.citation_query.params.clone(),
+            });
+        }
+        self.param_positions()?;
+        if let Some(max) = self.function.max_column() {
+            if max >= self.citation_query.arity() {
+                return Err(ViewError::FunctionColumnOutOfRange {
+                    view: self.name.clone(),
+                    column: max,
+                    arity: self.citation_query.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The *unparameterized extent* of the view: evaluate `V` with
+    /// the λ ignored. Because `X ⊆ Y`, the instantiation
+    /// `V(Y)(a₁..aₙ)` is exactly the selection of the extent on the
+    /// parameter positions — this is what makes rewritings over
+    /// parameterized views executable against materialized extents.
+    pub fn extent(&self, db: &Database) -> Result<Vec<Tuple>> {
+        let mut unparameterized = self.view.clone();
+        unparameterized.params.clear();
+        Ok(evaluate(db, &unparameterized)?)
+    }
+
+    /// The instantiated view `V(Y)(args)`.
+    pub fn instance(&self, db: &Database, args: &[Value]) -> Result<Vec<Tuple>> {
+        let inst = self.view.instantiate(args)?;
+        Ok(evaluate(db, &inst)?)
+    }
+
+    /// The citation for the valuation `args`:
+    /// `F_V(C_V(Y')(a₁..aₙ))` — Definition 2.1's semantics.
+    pub fn citation_for(&self, db: &Database, args: &[Value]) -> Result<Json> {
+        let inst = self.citation_query.instantiate(args)?;
+        let rows = evaluate(db, &inst)?;
+        Ok(self.function.apply(&rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_query::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::{tuple, DataType};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Person",
+                &[
+                    ("PID", DataType::Str),
+                    ("PName", DataType::Str),
+                    ("Affiliation", DataType::Str),
+                ],
+                &["PID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names(
+                "FC",
+                &[("FID", DataType::Str), ("PID", DataType::Str)],
+                &["FID", "PID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert_all(
+            "Family",
+            vec![
+                tuple!["11", "Calcitonin", "gpcr"],
+                tuple!["12", "Orexin", "gpcr"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "Person",
+            vec![
+                tuple!["p1", "Hay", "UoA"],
+                tuple!["p2", "Poyner", "Aston"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("FC", vec![tuple!["11", "p1"], tuple!["11", "p2"]])
+            .unwrap();
+        db
+    }
+
+    fn v1() -> CitationView {
+        CitationView::new(
+            parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+            parse_query(
+                "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("ID", 0),
+                CitationFunction::scalar("Name", 1),
+                CitationFunction::collect("Committee", 2),
+            ]),
+        )
+    }
+
+    #[test]
+    fn validates_against_catalog() {
+        let db = sample_db();
+        v1().validate(db.catalog()).unwrap();
+    }
+
+    #[test]
+    fn paper_example_2_1_citation_for_family_11() {
+        let db = sample_db();
+        let citation = v1().citation_for(&db, &[Value::str("11")]).unwrap();
+        assert_eq!(
+            citation.to_compact(),
+            r#"{"ID": "11", "Name": "Calcitonin", "Committee": ["Hay", "Poyner"]}"#
+        );
+    }
+
+    #[test]
+    fn citation_for_family_without_committee_is_null() {
+        let db = sample_db();
+        // family 12 has no FC rows -> citation query returns nothing
+        let citation = v1().citation_for(&db, &[Value::str("12")]).unwrap();
+        assert!(citation.is_null());
+    }
+
+    #[test]
+    fn instance_selects_by_parameter() {
+        let db = sample_db();
+        let rows = v1().instance(&db, &[Value::str("11")]).unwrap();
+        assert_eq!(rows, vec![tuple!["11", "Calcitonin", "gpcr"]]);
+    }
+
+    #[test]
+    fn extent_is_union_of_instances() {
+        let db = sample_db();
+        let extent = v1().extent(&db).unwrap();
+        assert_eq!(extent.len(), 2);
+        let pos = v1().param_positions().unwrap();
+        assert_eq!(pos, vec![0]);
+        // selecting the extent on the param position reproduces the instance
+        let selected: Vec<Tuple> = extent
+            .into_iter()
+            .filter(|t| t[0] == Value::str("11"))
+            .collect();
+        assert_eq!(selected, v1().instance(&db, &[Value::str("11")]).unwrap());
+    }
+
+    #[test]
+    fn mismatched_parameter_lists_rejected() {
+        let db = sample_db();
+        let bad = CitationView::new(
+            parse_query("lambda F. V(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
+            parse_query("CV(N) :- Family(F, N, Ty)").unwrap(),
+            CitationFunction::from_spec(vec![]),
+        );
+        assert!(matches!(
+            bad.validate(db.catalog()).unwrap_err(),
+            ViewError::ParameterListsDiffer { .. }
+        ));
+    }
+
+    #[test]
+    fn param_not_in_head_rejected() {
+        let db = sample_db();
+        let bad = CitationView::new(
+            parse_query("lambda Ty. V(F, N) :- Family(F, N, Ty)").unwrap(),
+            parse_query("lambda Ty. CV(N) :- Family(F, N, Ty)").unwrap(),
+            CitationFunction::from_spec(vec![]),
+        );
+        assert!(matches!(
+            bad.validate(db.catalog()).unwrap_err(),
+            ViewError::ParameterNotInHead { .. }
+        ));
+    }
+
+    #[test]
+    fn function_column_out_of_range_rejected() {
+        let db = sample_db();
+        let bad = CitationView::new(
+            parse_query("V(N) :- Family(F, N, Ty)").unwrap(),
+            parse_query("CV(N) :- Family(F, N, Ty)").unwrap(),
+            CitationFunction::from_spec(vec![CitationFunction::scalar("X", 5)]),
+        );
+        assert!(matches!(
+            bad.validate(db.catalog()).unwrap_err(),
+            ViewError::FunctionColumnOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn unsafe_view_rejected() {
+        let db = sample_db();
+        let bad = CitationView::new(
+            parse_query("V(X) :- Family(F, N, Ty)").unwrap(),
+            parse_query("CV(N) :- Family(F, N, Ty)").unwrap(),
+            CitationFunction::from_spec(vec![]),
+        );
+        assert!(matches!(
+            bad.validate(db.catalog()).unwrap_err(),
+            ViewError::Query(QueryError::Unsafe { .. })
+        ));
+    }
+}

@@ -1,0 +1,198 @@
+//! Applying the model to *your own* curated repository: a climate
+//! observation archive where stations are maintained by teams and
+//! datasets are curated per region. Shows how to define a schema,
+//! citation views with declarative citation functions, a custom
+//! policy, and how query-log-based view suggestion works.
+//!
+//! ```sh
+//! cargo run --example custom_repository
+//! ```
+
+use fgcite::engine::{suggest_views, CitationEngine, CombineOp, OrderChoice, Policy, QueryLog};
+use fgcite::prelude::*;
+use fgcite::relation::schema::RelationSchema;
+
+fn build_database() -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        RelationSchema::with_names(
+            "Station",
+            &[
+                ("SID", DataType::Str),
+                ("SName", DataType::Str),
+                ("Region", DataType::Str),
+            ],
+            &["SID"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_relation(
+        RelationSchema::with_names(
+            "Reading",
+            &[
+                ("RID", DataType::Int),
+                ("SID", DataType::Str),
+                ("Year", DataType::Int),
+                ("TempC", DataType::Float),
+            ],
+            &["RID"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_relation(
+        RelationSchema::with_names(
+            "Curator",
+            &[("CID", DataType::Str), ("CName", DataType::Str)],
+            &["CID"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_relation(
+        RelationSchema::with_names(
+            "RegionCurator",
+            &[("Region", DataType::Str), ("CID", DataType::Str)],
+            &["Region", "CID"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    db.insert_all(
+        "Station",
+        vec![
+            tuple!["s1", "Alpine North", "alps"],
+            tuple!["s2", "Alpine South", "alps"],
+            tuple!["s3", "Coastal West", "atlantic"],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "Reading",
+        vec![
+            tuple![1, "s1", 2020, -3.2],
+            tuple![2, "s1", 2021, -2.9],
+            tuple![3, "s2", 2020, -1.5],
+            tuple![4, "s3", 2020, 11.8],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "Curator",
+        vec![
+            tuple!["c1", "Dr. Moreau"],
+            tuple!["c2", "Dr. Ngata"],
+            tuple!["c3", "Dr. Silva"],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "RegionCurator",
+        vec![
+            tuple!["alps", "c1"],
+            tuple!["alps", "c2"],
+            tuple!["atlantic", "c3"],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+fn build_views() -> ViewRegistry {
+    let mut views = ViewRegistry::new();
+    // Per-region station view: citations credit the region's curators.
+    views
+        .add(CitationView::new(
+            parse_query("lambda Rg. RegionStations(S, N, Rg) :- Station(S, N, Rg)").unwrap(),
+            parse_query(
+                "lambda Rg. CRegion(Rg, Cn) :- Station(S, N, Rg), RegionCurator(Rg, C), Curator(C, Cn)",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("Region", 0),
+                CitationFunction::collect("Curators", 1),
+                CitationFunction::constant("Archive", Json::str("Climate Observation Archive")),
+            ]),
+        ))
+        .unwrap();
+    // Per-station readings view: citations credit station + curators.
+    views
+        .add(CitationView::new(
+            parse_query(
+                "lambda S. StationReadings(S, Y, T) :- Reading(R, S, Y, T)",
+            )
+            .unwrap(),
+            parse_query(
+                "lambda S. CStation(S, N, Cn) :- Station(S, N, Rg), RegionCurator(Rg, C), Curator(C, Cn)",
+            )
+            .unwrap(),
+            CitationFunction::from_spec(vec![
+                CitationFunction::scalar("Station", 0),
+                CitationFunction::scalar("Name", 1),
+                CitationFunction::collect("Curators", 2),
+            ]),
+        ))
+        .unwrap();
+    views
+}
+
+fn main() {
+    let db = build_database();
+    let views = build_views();
+
+    // Owner policy: merge joint citations into one record, prefer
+    // covered/compact citations, and always credit the archive.
+    let policy = Policy {
+        times: CombineOp::Join,
+        plus: CombineOp::Union,
+        plus_r: CombineOp::Union,
+        agg: CombineOp::Union,
+        order: OrderChoice::Composite,
+        global_citations: vec![Json::from_pairs([
+            ("Archive", Json::str("Climate Observation Archive")),
+            ("License", Json::str("CC-BY 4.0")),
+        ])],
+    };
+
+    let mut engine = CitationEngine::new(db, views)
+        .unwrap()
+        .with_policy(policy);
+
+    println!("== Citing a cross-table query ==");
+    let q = parse_query(
+        "Q(N, Y, T) :- Station(S, N, Rg), Reading(R, S, Y, T), Rg = \"alps\"",
+    )
+    .unwrap();
+    let cited = engine.cite(&q).unwrap();
+    println!("query: {q}");
+    for tc in &cited.tuples {
+        println!("  {} cited by {}", tc.tuple, tc.citation);
+    }
+    println!("aggregate:\n{}", cited.aggregate.to_pretty());
+
+    println!("\n== View suggestion from a query log ==");
+    let mut log = QueryLog::new();
+    for region in ["alps", "atlantic"] {
+        for _ in 0..4 {
+            log.record(
+                parse_query(&format!(
+                    "Q(N, T) :- Station(S, N, Rg), Reading(R, S, Y, T), Rg = \"{region}\""
+                ))
+                .unwrap(),
+            );
+        }
+    }
+    let existing: Vec<ConjunctiveQuery> = engine
+        .registry()
+        .iter()
+        .map(|v| v.view.clone())
+        .collect();
+    for suggestion in suggest_views(&log, &existing, 3, 4) {
+        println!(
+            "  support {:>2}: {}",
+            suggestion.support, suggestion.definition
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Thin binary wrapper around [`fgcite::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let read_file = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| fgcite::cli::CliError(format!("cannot read `{path}`: {e}")))
+    };
+    match fgcite::cli::run(std::env::args().skip(1), &read_file) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The `fgcite` command-line interface.
+//!
+//! ```text
+//! fgcite cite    --data DB.fgd --views VIEWS.fgv --query "Q(N) :- ..." \
+//!                [--sql "SELECT ..."] [--policy union|join|default]
+//!                [--order none|fewest-views|fewest-uncovered|view-inclusion|composite]
+//!                [--format json|xml|text] [--exhaustive] [--explain]
+//! fgcite views   --data DB.fgd --views VIEWS.fgv        # validate & list
+//! fgcite suggest --data DB.fgd --log QUERIES.fgq [--min-support N]
+//! ```
+//!
+//! The logic lives here (library-testable); `src/bin/fgcite.rs` is a
+//! thin wrapper doing I/O.
+
+use fgc_core::{
+    suggest_views, CitationEngine, EngineOptions, OrderChoice, Policy, QueryLog, RewriteMode,
+};
+use fgc_query::{parse_program, parse_query, parse_sql};
+use fgc_relation::loader::load_text;
+use fgc_relation::Database;
+use fgc_views::{parse_view_file, to_text, to_xml, TextStyle, ViewRegistry};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A CLI failure: message for stderr, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! stringify_errors {
+    ($($ty:ty),* $(,)?) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError(e.to_string())
+            }
+        })*
+    };
+}
+
+stringify_errors!(
+    fgc_relation::RelationError,
+    fgc_query::QueryError,
+    fgc_views::ViewError,
+    fgc_rewrite::RewriteError,
+    fgc_core::CoreError,
+);
+
+/// Parsed command line: flag → value (flags are `--name value`).
+pub struct Args {
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse raw arguments. Boolean flags get the value `"true"`.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| CliError(USAGE.to_string()))?;
+        let mut flags = HashMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected argument `{arg}`\n{USAGE}")));
+            };
+            let is_bool = matches!(name, "exhaustive" | "explain");
+            let value = if is_bool {
+                "true".to_string()
+            } else {
+                iter.next()
+                    .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?
+            };
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError(format!("missing required flag --{name}")))
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  fgcite cite    --data FILE --views FILE (--query Q | --sql S)
+                 [--policy union|join|default] [--order ORDER]
+                 [--format json|xml|text] [--exhaustive] [--explain]
+  fgcite views   --data FILE --views FILE
+  fgcite suggest --data FILE --log FILE [--min-support N]
+
+ORDER: none | fewest-views | fewest-uncovered | view-inclusion | composite
+files: --data uses the fgc-relation text format (@create/@fk/@relation),
+       --views uses the fgc-views @view/@fields format,
+       --log holds one Datalog query per line.";
+
+fn load_database(text: &str) -> Result<Database, CliError> {
+    let mut db = Database::new();
+    load_text(&mut db, text)?;
+    db.check_integrity()?;
+    Ok(db)
+}
+
+fn load_registry(text: &str) -> Result<ViewRegistry, CliError> {
+    let mut registry = ViewRegistry::new();
+    for view in parse_view_file(text)? {
+        registry.add(view)?;
+    }
+    Ok(registry)
+}
+
+fn policy_from(args: &Args) -> Result<Policy, CliError> {
+    let mut policy = match args.get("policy").unwrap_or("default") {
+        "union" => Policy::union_all(),
+        "join" => Policy::join_all(),
+        "default" => Policy::default(),
+        other => return Err(CliError(format!("unknown policy `{other}`"))),
+    };
+    if let Some(order) = args.get("order") {
+        policy = policy.with_order(match order {
+            "none" => OrderChoice::None,
+            "fewest-views" => OrderChoice::FewestViews,
+            "fewest-uncovered" => OrderChoice::FewestUncovered,
+            "view-inclusion" => OrderChoice::ViewInclusion,
+            "composite" => OrderChoice::Composite,
+            other => return Err(CliError(format!("unknown order `{other}`"))),
+        });
+    }
+    Ok(policy)
+}
+
+/// `fgcite cite`: returns the rendered citation output.
+pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError> {
+    let db = load_database(data)?;
+    let registry = load_registry(views)?;
+    let query = match (args.get("query"), args.get("sql")) {
+        (Some(q), None) => parse_query(q)?,
+        (None, Some(sql)) => parse_sql(db.catalog(), sql)?,
+        (Some(_), Some(_)) => {
+            return Err(CliError("--query and --sql are mutually exclusive".into()))
+        }
+        (None, None) => return Err(CliError("need --query or --sql".into())),
+    };
+    let mut engine = CitationEngine::new(db, registry)?
+        .with_policy(policy_from(args)?)
+        .with_options(EngineOptions {
+            mode: if args.get("exhaustive").is_some() {
+                RewriteMode::Exhaustive
+            } else {
+                RewriteMode::Pruned
+            },
+            ..EngineOptions::default()
+        });
+    let cited = engine.cite(&query)?;
+
+    let mut out = String::new();
+    match args.get("format").unwrap_or("json") {
+        "json" => {
+            let _ = writeln!(out, "{}", cited.aggregate.to_pretty());
+        }
+        "xml" => {
+            let _ = write!(out, "{}", to_xml(&cited.aggregate, "citation"));
+        }
+        "text" => {
+            let _ = writeln!(
+                out,
+                "{}",
+                to_text(&cited.aggregate, &TextStyle::default())
+            );
+        }
+        other => return Err(CliError(format!("unknown format `{other}`"))),
+    }
+    if args.get("explain").is_some() {
+        let _ = writeln!(out, "\n{}", fgc_core::explain(&cited, engine.policy()));
+    }
+    Ok(out)
+}
+
+/// `fgcite views`: validate the view file against the data's catalog
+/// and list the views.
+pub fn run_views(data: &str, views: &str) -> Result<String, CliError> {
+    let db = load_database(data)?;
+    let registry = load_registry(views)?;
+    registry.validate(db.catalog())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} citation view(s), all valid:", registry.len());
+    for v in registry.iter() {
+        let _ = writeln!(out, "  {}", v.view);
+        let _ = writeln!(out, "    citation query: {}", v.citation_query);
+    }
+    Ok(out)
+}
+
+/// `fgcite suggest`: analyze a query log and propose view definitions.
+pub fn run_suggest(args: &Args, data: &str, log_text: &str) -> Result<String, CliError> {
+    let db = load_database(data)?;
+    let min_support: usize = args
+        .get("min-support")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| CliError("--min-support must be a number".into()))?;
+    let mut log = QueryLog::new();
+    for q in parse_program(log_text)? {
+        fgc_query::check_against_catalog(&q, db.catalog())?;
+        log.record(q);
+    }
+    let suggestions = suggest_views(&log, &[], 10, min_support);
+    let mut out = String::new();
+    if suggestions.is_empty() {
+        let _ = writeln!(
+            out,
+            "no patterns with support >= {min_support} in {} queries",
+            log.len()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "suggested citation-view definitions (from {} logged queries):",
+            log.len()
+        );
+        for s in suggestions {
+            let _ = writeln!(out, "  support {:>3}: {}", s.support, s.definition);
+        }
+    }
+    Ok(out)
+}
+
+/// Dispatch a full command line (excluding argv 0); returns stdout
+/// content.
+pub fn run<I: IntoIterator<Item = String>>(
+    raw: I,
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "cite" => {
+            let data = read_file(args.require("data")?)?;
+            let views = read_file(args.require("views")?)?;
+            run_cite(&args, &data, &views)
+        }
+        "views" => {
+            let data = read_file(args.require("data")?)?;
+            let views = read_file(args.require("views")?)?;
+            run_views(&data, &views)
+        }
+        "suggest" => {
+            let data = read_file(args.require("data")?)?;
+            let log = read_file(args.require("log")?)?;
+            run_suggest(&args, &data, &log)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: &str = r#"
+@create Family(FID* str, FName str, Type str)
+@create FC(FID str, PID str)
+@create Person(PID* str, PName str, Affiliation str)
+@fk FC(FID) -> Family
+@relation Family
+"11" | "Calcitonin" | "gpcr"
+"12" | "Orexin" | "gpcr"
+@relation Person
+"p1" | "Hay" | "U1"
+"p2" | "Poyner" | "U2"
+@relation FC
+"11" | "p1"
+"11" | "p2"
+"#;
+
+    const VIEWS: &str = r#"
+@view
+lambda F. V1(F, N, Ty) :- Family(F, N, Ty)
+lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
+@fields ID = 0, Name = 1, Committee = [2]
+"#;
+
+    fn files() -> impl Fn(&str) -> Result<String, CliError> {
+        |name: &str| match name {
+            "db" => Ok(DATA.to_string()),
+            "views" => Ok(VIEWS.to_string()),
+            "log" => Ok("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"\n\
+                         Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"\n"
+                .to_string()),
+            other => Err(CliError(format!("no such file {other}"))),
+        }
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        run(line.iter().map(|s| s.to_string()), &files())
+    }
+
+    #[test]
+    fn cite_json() {
+        let out = run_line(&[
+            "cite", "--data", "db", "--views", "views", "--query",
+            "Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        assert!(out.contains("Calcitonin"));
+        assert!(out.contains("Hay"));
+    }
+
+    #[test]
+    fn cite_text_format() {
+        let out = run_line(&[
+            "cite", "--data", "db", "--views", "views", "--format", "text", "--query",
+            "Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        assert!(out.contains("Hay, Poyner (committee). Calcitonin."));
+    }
+
+    #[test]
+    fn cite_xml_format() {
+        let out = run_line(&[
+            "cite", "--data", "db", "--views", "views", "--format", "xml", "--query",
+            "Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        assert!(out.contains("<citation>"));
+        assert!(out.contains("<item>Hay</item>"));
+    }
+
+    #[test]
+    fn cite_sql_and_explain() {
+        let out = run_line(&[
+            "cite", "--data", "db", "--views", "views", "--explain", "--sql",
+            "SELECT f.FName FROM Family f WHERE f.FID = '11'",
+        ])
+        .unwrap();
+        assert!(out.contains("rewritings considered:"));
+    }
+
+    #[test]
+    fn views_command_lists() {
+        let out = run_line(&["views", "--data", "db", "--views", "views"]).unwrap();
+        assert!(out.contains("1 citation view(s)"));
+        assert!(out.contains("V1(F, N, Ty)"));
+    }
+
+    #[test]
+    fn suggest_command() {
+        let out =
+            run_line(&["suggest", "--data", "db", "--log", "log"]).unwrap();
+        assert!(out.contains("support"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_line(&["cite", "--data", "db", "--views", "views"]).is_err());
+        assert!(run_line(&["nope"]).is_err());
+        assert!(run_line(&["cite", "--data", "missing", "--views", "views", "--query", "Q(X) :- R(X)"]).is_err());
+        let bad_policy = run_line(&[
+            "cite", "--data", "db", "--views", "views", "--policy", "wat", "--query",
+            "Q(N) :- Family(F, N, Ty)",
+        ]);
+        assert!(bad_policy.is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_line(&["help"]).unwrap().contains("usage:"));
+    }
+}

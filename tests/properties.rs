@@ -1,0 +1,493 @@
+//! Property-based tests over the core invariants of the model.
+
+use fgcite::prelude::*;
+use fgcite::query::{equivalent, evaluate, minimize, parse_query};
+use fgcite::semiring::{
+    laws, normal_form, poly_leq, Bool, CommutativeSemiring, FewestViews, Monomial, Natural,
+    Polynomial, Why,
+};
+use fgcite::views::{join_records, union_records};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("v1".to_string()),
+        Just("v2".to_string()),
+        Just("v3".to_string()),
+        Just("CR_Family".to_string()),
+        Just("CR_Intro".to_string()),
+    ]
+}
+
+fn monomial() -> impl Strategy<Value = Monomial<String>> {
+    proptest::collection::vec((token(), 1u32..3), 0..4)
+        .prop_map(Monomial::from_pairs)
+}
+
+fn polynomial() -> impl Strategy<Value = Polynomial<String>> {
+    proptest::collection::vec((monomial(), 1u64..3), 0..4)
+        .prop_map(Polynomial::from_terms)
+}
+
+fn json_value() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-100i64..100).prop_map(Json::Int),
+        "[a-z]{0,6}".prop_map(Json::str),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
+            proptest::collection::btree_map("[a-z]{1,4}", inner, 0..4)
+                .prop_map(Json::from_pairs),
+        ]
+    })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::float),
+        "[ -~]{0,12}".prop_map(Value::str),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Semiring laws on random polynomials
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn polynomial_semiring_laws(a in polynomial(), b in polynomial(), c in polynomial()) {
+        prop_assert_eq!(laws::check_axioms(&a, &b, &c), None);
+    }
+
+    #[test]
+    fn polynomial_eval_is_homomorphic(a in polynomial(), b in polynomial()) {
+        let val = |t: &String| Natural(t.len() as u64 % 3);
+        prop_assert_eq!(a.plus(&b).eval(val), a.eval(val).plus(&b.eval(val)));
+        prop_assert_eq!(a.times(&b).eval(val), a.eval(val).times(&b.eval(val)));
+    }
+
+    #[test]
+    fn polynomial_eval_bool_tracks_zero(p in polynomial()) {
+        // valuating everything true: zero polynomial ⇔ false
+        let truth = p.eval(|_| Bool(true));
+        prop_assert_eq!(truth, Bool(!p.is_zero_poly()));
+    }
+
+    #[test]
+    fn why_provenance_laws(a in polynomial(), b in polynomial(), c in polynomial()) {
+        let to_why = |p: &Polynomial<String>| p.eval(|t| Why::token(t.clone()));
+        prop_assert_eq!(
+            laws::check_axioms(&to_why(&a), &to_why(&b), &to_why(&c)),
+            None
+        );
+    }
+
+    #[test]
+    fn squash_is_idempotent(p in polynomial()) {
+        prop_assert_eq!(p.squash().squash(), p.squash());
+        prop_assert_eq!(
+            p.squash_coefficients().squash_coefficients(),
+            p.squash_coefficients()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// §3.4 normal forms
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn normal_form_is_idempotent(p in polynomial()) {
+        let order = FewestViews::new(|t: &String| t.starts_with('v'));
+        let nf = normal_form(&p, &order);
+        prop_assert_eq!(normal_form(&nf, &order), nf);
+    }
+
+    #[test]
+    fn normal_form_never_grows(p in polynomial()) {
+        let order = FewestViews::new(|t: &String| t.starts_with('v'));
+        prop_assert!(normal_form(&p, &order).num_monomials() <= p.num_monomials());
+    }
+
+    #[test]
+    fn normal_form_equivalent_to_original(p in polynomial()) {
+        // p ≤ nf(p) and nf(p) ≤ p under the lifted order
+        let order = FewestViews::new(|t: &String| t.starts_with('v'));
+        let nf = normal_form(&p, &order);
+        if !p.is_zero_poly() {
+            prop_assert!(poly_leq(&nf, &p, &order));
+            prop_assert!(poly_leq(&p, &nf, &order));
+        }
+    }
+
+    #[test]
+    fn poly_leq_is_reflexive_and_transitive(
+        a in polynomial(), b in polynomial(), c in polynomial()
+    ) {
+        let order = FewestViews::new(|t: &String| t.starts_with('v'));
+        prop_assert!(poly_leq(&a, &a, &order));
+        if poly_leq(&a, &b, &order) && poly_leq(&b, &c, &order) {
+            prop_assert!(poly_leq(&a, &c, &order));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON combinators (Example 3.5 algebra)
+// ---------------------------------------------------------------------
+
+/// Union treats its operands as record *sets*: flatten one level,
+/// drop the empty citation (`Null`), deduplicate. The algebra laws
+/// hold on union-normalized values (the closure of that domain).
+fn norm(a: &Json) -> Json {
+    union_records(a, &Json::Null)
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_up_to_equivalence(a in json_value(), b in json_value()) {
+        let ab = union_records(&a, &b);
+        let ba = union_records(&b, &a);
+        prop_assert!(ab.equivalent(&ba), "{} vs {}", ab, ba);
+    }
+
+    #[test]
+    fn union_is_idempotent(a in json_value()) {
+        let n = norm(&a);
+        let u = union_records(&n, &n);
+        prop_assert!(u.equivalent(&n), "{} vs {}", u, n);
+    }
+
+    #[test]
+    fn union_is_associative_up_to_equivalence(
+        a in json_value(), b in json_value(), c in json_value()
+    ) {
+        let (a, b, c) = (norm(&a), norm(&b), norm(&c));
+        let l = union_records(&union_records(&a, &b), &c);
+        let r = union_records(&a, &union_records(&b, &c));
+        prop_assert!(l.equivalent(&r), "{} vs {}", l, r);
+    }
+
+    #[test]
+    fn null_is_neutral_for_both_combinators(a in json_value()) {
+        let n = norm(&a);
+        prop_assert_eq!(union_records(&n, &Json::Null), n.clone());
+        prop_assert_eq!(join_records(&n, &Json::Null), n.clone());
+    }
+
+    #[test]
+    fn join_is_idempotent_on_objects(a in json_value()) {
+        if matches!(a, Json::Object(_)) {
+            prop_assert!(join_records(&a, &a).equivalent(&a));
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_canonical(a in json_value()) {
+        // canonical is a fixpoint
+        prop_assert_eq!(a.canonical().canonical(), a.canonical());
+        // compact output of canonical forms decides equivalence
+        prop_assert_eq!(
+            a.canonical().to_compact() == a.canonical().to_compact(),
+            true
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value total order and loader round-trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn value_render_parse_round_trips(v in value()) {
+        let rendered = v.render();
+        let parsed = Value::parse(&rendered);
+        prop_assert_eq!(parsed, Some(v));
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_antisymmetric(a in value(), b in value()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in value(), b in value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query layer: containment, minimization, evaluation consistency
+// ---------------------------------------------------------------------
+
+/// A pool of small safe queries over the GtoPdb schema.
+fn query_pool() -> Vec<ConjunctiveQuery> {
+    [
+        "Q(N) :- Family(F, N, Ty)",
+        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+        "Q(N) :- Family(F, N, \"gpcr\")",
+        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        "Q(Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+        "Q(N) :- Family(F, N, Ty), Family(F, N2, Ty2)",
+        "Q(F) :- FC(F, P), FIC(F, P2)",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn containment_is_reflexive_and_respects_renaming(idx in 0usize..8) {
+        let q = &query_pool()[idx];
+        prop_assert!(equivalent(q, q));
+        let renamed = q.freshen("_zz");
+        prop_assert!(equivalent(q, &renamed));
+    }
+
+    #[test]
+    fn minimization_preserves_equivalence(idx in 0usize..8) {
+        let q = &query_pool()[idx];
+        let min = minimize(q);
+        prop_assert!(equivalent(&min, q), "{} vs {}", min, q);
+        prop_assert!(min.atoms.len() <= q.atoms.len());
+    }
+
+    #[test]
+    fn evaluation_agrees_with_minimized_query(idx in 0usize..8, seed in 0u64..50) {
+        let db = fgcite::gtopdb::generate(
+            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
+        );
+        let q = &query_pool()[idx];
+        let min = minimize(q);
+        let mut a = evaluate(&db, q).unwrap();
+        let mut b = evaluate(&db, &min).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn atom_order_does_not_change_results(idx in 0usize..8, seed in 0u64..20) {
+        let db = fgcite::gtopdb::generate(
+            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
+        );
+        let q = query_pool()[idx].clone();
+        let mut reversed = q.clone();
+        reversed.atoms.reverse();
+        reversed.comparisons.reverse();
+        let mut a = evaluate(&db, &q).unwrap();
+        let mut b = evaluate(&db, &reversed).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine: rewriting soundness and plan independence at scale
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn rewriting_expansions_evaluate_like_the_query(seed in 0u64..20, idx in 0usize..5) {
+        use fgcite::rewrite::{enumerate_rewritings, RewriteOptions, ViewDefs};
+        let db = fgcite::gtopdb::generate(
+            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
+        );
+        let q = &query_pool()[idx];
+        let views = ViewDefs::new(
+            fgcite::gtopdb::paper_views().iter().map(|v| v.view.clone()),
+        );
+        let e = enumerate_rewritings(q, &views, RewriteOptions::default()).unwrap();
+        let mut expected = evaluate(&db, q).unwrap();
+        expected.sort();
+        for r in &e.rewritings {
+            let expansion = r.expand(&views).unwrap();
+            let mut got = evaluate(&db, &expansion).unwrap();
+            got.sort();
+            prop_assert_eq!(&got, &expected, "rewriting {} diverges", r);
+        }
+    }
+
+    #[test]
+    fn engine_citations_are_plan_independent(seed in 0u64..10) {
+        use fgcite::engine::{CitationEngine, EngineOptions, Policy, RewriteMode};
+        let db = fgcite::gtopdb::generate(
+            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
+        );
+        let q = parse_query(
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        )
+        .unwrap();
+        let mut permuted = q.clone();
+        permuted.atoms.reverse();
+        let opts = EngineOptions {
+            mode: RewriteMode::Exhaustive,
+            ..EngineOptions::default()
+        };
+        let mut e1 = CitationEngine::new(db.clone(), fgcite::gtopdb::paper_views())
+            .unwrap()
+            .with_policy(Policy::union_all())
+            .with_options(opts);
+        let mut e2 = CitationEngine::new(db, fgcite::gtopdb::paper_views())
+            .unwrap()
+            .with_policy(Policy::union_all())
+            .with_options(opts);
+        let c1 = e1.cite(&q).unwrap();
+        let c2 = e2.cite(&permuted).unwrap();
+        prop_assert_eq!(c1.tuples.len(), c2.tuples.len());
+        for tc in &c1.tuples {
+            let other = c2.tuples.iter().find(|t| t.tuple == tc.tuple).unwrap();
+            prop_assert_eq!(&tc.expr, &other.expr);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Versioning: snapshot immutability
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn snapshots_immutable_under_later_commits(extra in 1usize..6) {
+        let mut history = VersionedDatabase::new();
+        history.commit(fgcite::gtopdb::paper_instance(), 0, "v0").unwrap();
+        let baseline = history.snapshot(0).unwrap().1.total_tuples();
+        for i in 0..extra {
+            history
+                .commit_with((i as u64 + 1) * 10, format!("v{}", i + 1), |db| {
+                    db.insert(
+                        "Family",
+                        tuple![format!("x{i}"), format!("Fam-x{i}"), "gpcr"],
+                    )
+                    .map(|_| ())
+                })
+                .unwrap();
+        }
+        prop_assert_eq!(history.snapshot(0).unwrap().1.total_tuples(), baseline);
+        prop_assert_eq!(
+            history.head().unwrap().1.total_tuples(),
+            baseline + extra
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential testing against the brute-force reference evaluator
+// ---------------------------------------------------------------------
+
+/// Random tiny databases over a two-relation schema, plus random
+/// small queries; the optimized evaluator must agree with the
+/// exhaustive reference semantics on all of them.
+mod differential {
+    use super::*;
+    use fgcite::query::reference_evaluate;
+    use fgcite::relation::schema::RelationSchema;
+
+    fn tiny_random_db(rows_r: &[(i64, i64)], rows_s: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names("R", &[("a", DataType::Int), ("b", DataType::Int)], &[])
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names("S", &[("b", DataType::Int), ("c", DataType::Int)], &[])
+                .unwrap(),
+        )
+        .unwrap();
+        for (a, b) in rows_r {
+            db.insert("R", tuple![*a, *b]).unwrap();
+        }
+        for (b, c) in rows_s {
+            db.insert("S", tuple![*b, *c]).unwrap();
+        }
+        db
+    }
+
+    fn small_queries() -> Vec<&'static str> {
+        vec![
+            "Q(A, B) :- R(A, B)",
+            "Q(A) :- R(A, B)",
+            "Q(A, C) :- R(A, B), S(B, C)",
+            "Q(A) :- R(A, B), S(B, C), C > 1",
+            "Q(A, A2) :- R(A, B), R(A2, B), A != A2",
+            "Q(A) :- R(A, B), B = 1",
+            "Q(A) :- R(A, 2)",
+            "Q(A, C) :- R(A, B), S(B, C), A <= C",
+            "Q() :- R(A, B), S(B, C)",
+            "Q(B) :- R(A, B), R(A2, B), A < A2",
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn optimized_evaluator_matches_reference(
+            rows_r in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
+            rows_s in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
+            qidx in 0usize..10,
+        ) {
+            let db = tiny_random_db(&rows_r, &rows_s);
+            let q = parse_query(small_queries()[qidx]).unwrap();
+            let mut fast = evaluate(&db, &q).unwrap();
+            fast.sort();
+            let slow = reference_evaluate(&db, &q).unwrap();
+            prop_assert_eq!(fast, slow, "divergence on {}", small_queries()[qidx]);
+        }
+
+        #[test]
+        fn indexes_never_change_semantics(
+            rows_r in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
+            rows_s in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
+            qidx in 0usize..10,
+        ) {
+            let mut db = tiny_random_db(&rows_r, &rows_s);
+            let q = parse_query(small_queries()[qidx]).unwrap();
+            let mut before = evaluate(&db, &q).unwrap();
+            before.sort();
+            for rel in ["R", "S"] {
+                for col in 0..2 {
+                    db.relation_mut(rel).unwrap().build_index(col).unwrap();
+                }
+            }
+            let mut after = evaluate(&db, &q).unwrap();
+            after.sort();
+            prop_assert_eq!(before, after);
+        }
+    }
+}
