@@ -14,28 +14,16 @@ fn bench_e1(c: &mut Criterion) {
     group.sample_size(10);
     for views in [5usize, 8, 12, 16, 24] {
         let defs = view_defs_of_size(views);
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive", views),
-            &views,
-            |b, _| {
-                b.iter(|| {
-                    enumerate_rewritings(
-                        black_box(&q),
-                        black_box(&defs),
-                        RewriteOptions::default(),
-                    )
+        group.bench_with_input(BenchmarkId::new("exhaustive", views), &views, |b, _| {
+            b.iter(|| {
+                enumerate_rewritings(black_box(&q), black_box(&defs), RewriteOptions::default())
                     .expect("enumeration succeeds")
-                })
-            },
-        );
+            })
+        });
         group.bench_with_input(BenchmarkId::new("pruned", views), &views, |b, _| {
             b.iter(|| {
-                best_rewritings(
-                    black_box(&q),
-                    black_box(&defs),
-                    RewriteOptions::default(),
-                )
-                .expect("pruned search succeeds")
+                best_rewritings(black_box(&q), black_box(&defs), RewriteOptions::default())
+                    .expect("pruned search succeeds")
             })
         });
     }

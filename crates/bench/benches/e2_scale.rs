@@ -12,7 +12,7 @@ fn bench_e2(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_scale");
     group.sample_size(10);
     for families in [100usize, 1_000, 10_000] {
-        let mut engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+        let engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
         let mut workload = WorkloadGenerator::new(engine.database(), 11);
         // one query per class, reused every iteration (warm extents)
         let queries: Vec<_> = (0..3).map(|t| workload.query_from_template(t)).collect();

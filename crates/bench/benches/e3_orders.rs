@@ -18,7 +18,7 @@ fn bench_e3(c: &mut Criterion) {
         ("view-inclusion", OrderChoice::ViewInclusion),
         ("composite", OrderChoice::Composite),
     ] {
-        let mut engine = CitationEngine::new(paper_instance(), paper_views())
+        let engine = CitationEngine::new(paper_instance(), paper_views())
             .expect("views validate")
             .with_policy(Policy::union_all().with_order(order))
             .with_options(EngineOptions {

@@ -15,7 +15,7 @@ fn bench_e4(c: &mut Criterion) {
         ("join-all", Policy::join_all()),
         ("default", Policy::default()),
     ] {
-        let mut engine = engine_at_scale(1_000, RewriteMode::Pruned, policy);
+        let engine = engine_at_scale(1_000, RewriteMode::Pruned, policy);
         let mut workload = WorkloadGenerator::new(engine.database(), 13);
         let q = workload.query_from_template(1);
         let _ = engine.cite(&q).expect("warmup");

@@ -13,7 +13,7 @@ fn bench_e5(c: &mut Criterion) {
     let mut workload = WorkloadGenerator::new(&db, 17);
     let pages: Vec<_> = (0..50).map(|_| workload.page_request()).collect();
     let ad_hoc = workload.ad_hoc_batch(10);
-    let mut engine = CitationEngine::new(db, paper_views()).expect("views validate");
+    let engine = CitationEngine::new(db, paper_views()).expect("views validate");
     let _ = engine.cite(&ad_hoc[0]).expect("warmup");
 
     let mut group = c.benchmark_group("e5_baseline");
@@ -35,9 +35,7 @@ fn bench_e5(c: &mut Criterion) {
     group.bench_function("baseline_materialize_all_pages", |b| {
         let db = db_at_scale(1_000);
         b.iter(|| {
-            black_box(
-                PageCitationStore::materialize(&db, &paper_views()).expect("materialize"),
-            )
+            black_box(PageCitationStore::materialize(&db, &paper_views()).expect("materialize"))
         })
     });
     group.finish();

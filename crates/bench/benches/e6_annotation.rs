@@ -37,11 +37,10 @@ fn bench_e6(c: &mut Criterion) {
     });
     group.bench_function("polynomial", |b| {
         b.iter(|| {
-            let out: Vec<(Tuple, Polynomial<String>)> =
-                evaluate_annotated(&db, &q, |rel, row| {
-                    Polynomial::token(format!("{rel}:{row}"))
-                })
-                .expect("annotated");
+            let out: Vec<(Tuple, Polynomial<String>)> = evaluate_annotated(&db, &q, |rel, row| {
+                Polynomial::token(format!("{rel}:{row}"))
+            })
+            .expect("annotated");
             black_box(out)
         })
     });

@@ -12,7 +12,7 @@ fn bench_e7(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("cold_cite", |b| {
-        let mut engine = engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
+        let engine = engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
         let mut workload = WorkloadGenerator::new(engine.database(), 29);
         let q = workload.query_from_template(2);
         b.iter(|| {
@@ -22,7 +22,7 @@ fn bench_e7(c: &mut Criterion) {
     });
 
     group.bench_function("warm_cite", |b| {
-        let mut engine = engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
+        let engine = engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
         let mut workload = WorkloadGenerator::new(engine.database(), 29);
         let q = workload.query_from_template(2);
         let _ = engine.cite(&q).expect("warmup");

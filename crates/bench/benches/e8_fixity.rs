@@ -39,7 +39,7 @@ fn bench_e8(c: &mut Criterion) {
             BenchmarkId::new("warm_historical_cite", versions),
             &versions,
             |b, &v| {
-                let mut engine = VersionedCitationEngine::new(history_of(v), paper_views());
+                let engine = VersionedCitationEngine::new(history_of(v), paper_views());
                 let _ = engine.cite_at_time(5, &q).expect("warmup");
                 b.iter(|| black_box(engine.cite_at_time(5, &q).expect("cite")))
             },

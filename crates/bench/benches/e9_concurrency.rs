@@ -1,0 +1,42 @@
+//! E9 — concurrent serving throughput on one shared engine.
+//!
+//! The API-redesign payoff: `cite` takes `&self`, so a single engine
+//! (and its shared token cache + materialized extents) serves a batch
+//! of requests across 1/2/4/8 threads. The benchmark fixes the batch
+//! and sweeps the worker count; perfect scaling halves the time per
+//! doubling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::engine_at_scale;
+use fgc_core::{CiteRequest, Policy, RewriteMode};
+use fgc_gtopdb::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_e9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_concurrency");
+    group.sample_size(10);
+
+    let engine = engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
+    let mut workload = WorkloadGenerator::new(engine.database(), 47);
+    let requests: Vec<CiteRequest> = workload
+        .ad_hoc_batch(32)
+        .into_iter()
+        .map(CiteRequest::query)
+        .collect();
+    // warm extents + token cache so the sweep measures serving, not
+    // first-touch materialization
+    let _ = engine.cite_batch_threads(&requests, 1);
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cite_batch_32", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(engine.cite_batch_threads(&requests, threads))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e9);
+criterion_main!(benches);

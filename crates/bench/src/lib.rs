@@ -92,19 +92,14 @@ pub fn paper_view_defs() -> ViewDefs {
 /// relations, the realistic "many similar landing pages" case that
 /// blows up enumeration).
 pub fn view_defs_of_size(n: usize) -> ViewDefs {
-    let mut defs: Vec<ConjunctiveQuery> = paper_views()
-        .iter()
-        .map(|v| v.view.clone())
-        .collect();
+    let mut defs: Vec<ConjunctiveQuery> = paper_views().iter().map(|v| v.view.clone()).collect();
     let mut i = 0usize;
     while defs.len() < n {
         let q = match i % 4 {
             0 => format!("lambda F. W{i}(F, N, Ty) :- Family(F, N, Ty)"),
             1 => format!("lambda Ty. W{i}(F, N, Ty) :- Family(F, N, Ty)"),
             2 => format!("lambda F. W{i}(F, Tx) :- FamilyIntro(F, Tx)"),
-            _ => format!(
-                "lambda Ty. W{i}(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"
-            ),
+            _ => format!("lambda Ty. W{i}(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"),
         };
         defs.push(parse_query(&q).expect("static template"));
         i += 1;
@@ -147,8 +142,8 @@ pub fn e1_table(view_counts: &[usize]) -> Table {
             .expect("enumeration succeeds");
         let t_ex = t0.elapsed();
         let t0 = Instant::now();
-        let pruned = best_rewritings(&q, &defs, RewriteOptions::default())
-            .expect("pruned search succeeds");
+        let pruned =
+            best_rewritings(&q, &defs, RewriteOptions::default()).expect("pruned search succeeds");
         let t_pr = t0.elapsed();
         rows.push(vec![
             n.to_string(),
@@ -161,8 +156,7 @@ pub fn e1_table(view_counts: &[usize]) -> Table {
         ]);
     }
     Table {
-        title: "E1 — rewriting enumeration vs pruned preference search (query: Ex 2.3)"
-            .into(),
+        title: "E1 — rewriting enumeration vs pruned preference search (query: Ex 2.3)".into(),
         headers: vec![
             "views".into(),
             "rewritings".into(),
@@ -186,7 +180,7 @@ pub fn e1_table(view_counts: &[usize]) -> Table {
 pub fn e2_table(scales: &[usize]) -> Table {
     let mut rows = Vec::new();
     for &families in scales {
-        let mut engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+        let engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
         let mut workload = WorkloadGenerator::new(engine.database(), 11);
         for class in 0..3usize {
             let q = workload.query_from_template(class);
@@ -231,7 +225,7 @@ pub fn e3_table() -> Table {
         ("view-inclusion", OrderChoice::ViewInclusion),
         ("composite", OrderChoice::Composite),
     ] {
-        let mut engine = CitationEngine::new(paper_instance(), paper_views())
+        let engine = CitationEngine::new(paper_instance(), paper_views())
             .expect("views validate")
             .with_policy(Policy::union_all().with_order(order))
             .with_options(EngineOptions {
@@ -250,8 +244,7 @@ pub fn e3_table() -> Table {
         ]);
     }
     Table {
-        title: "E3 — citation size under the §3.4 orders (exhaustive +R, query: Ex 2.3)"
-            .into(),
+        title: "E3 — citation size under the §3.4 orders (exhaustive +R, query: Ex 2.3)".into(),
         headers: vec![
             "order".into(),
             "rewritings".into(),
@@ -275,7 +268,7 @@ pub fn e4_table(families: usize) -> Table {
         ("join-all", Policy::join_all()),
         ("default", Policy::default()),
     ] {
-        let mut engine = engine_at_scale(families, RewriteMode::Exhaustive, policy);
+        let engine = engine_at_scale(families, RewriteMode::Exhaustive, policy);
         let mut workload = WorkloadGenerator::new(engine.database(), 13);
         let q = workload.query_from_template(1);
         let _ = engine.cite(&q).expect("warmup");
@@ -319,7 +312,7 @@ pub fn e5_table(families: usize) -> Table {
     let pages_only = workload.mixed(100, 0);
     let mixed = workload.mixed(50, 50);
 
-    let mut engine = CitationEngine::new(db, views).expect("views validate");
+    let engine = CitationEngine::new(db, views).expect("views validate");
 
     // baseline lookup latency (averaged over the page workload)
     let t0 = Instant::now();
@@ -359,9 +352,7 @@ pub fn e5_table(families: usize) -> Table {
         ],
     ];
     Table {
-        title: format!(
-            "E5 — hard-coded page citations vs the engine ({families} families)"
-        ),
+        title: format!("E5 — hard-coded page citations vs the engine ({families} families)"),
         headers: vec![
             "system".into(),
             "coverage(pages)".into(),
@@ -427,9 +418,7 @@ pub fn e6_table(families: usize) -> Table {
         vec!["N[X] polynomials".into(), ms(t_poly), rel(t_poly)],
     ];
     Table {
-        title: format!(
-            "E6 — semiring-annotated evaluation overhead ({families} families, T1)"
-        ),
+        title: format!("E6 — semiring-annotated evaluation overhead ({families} families, T1)"),
         headers: vec!["evaluation".into(), "ms".into(), "vs plain".into()],
         rows,
     }
@@ -441,7 +430,7 @@ pub fn e6_table(families: usize) -> Table {
 
 /// E7 table: cold vs warm citation latency and hit rates.
 pub fn e7_table(families: usize) -> Table {
-    let mut engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+    let engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
     let mut workload = WorkloadGenerator::new(engine.database(), 29);
     let queries = workload.ad_hoc_batch(20);
 
@@ -486,7 +475,9 @@ pub fn e7_table(families: usize) -> Table {
         ],
     ];
     Table {
-        title: format!("E7 — citation + extent caches, cold vs warm ({families} families, 20 queries)"),
+        title: format!(
+            "E7 — citation + extent caches, cold vs warm ({families} families, 20 queries)"
+        ),
         headers: vec![
             "pass".into(),
             "ms/query".into(),
@@ -515,11 +506,7 @@ pub fn e8_table(version_counts: &[usize]) -> Table {
                 .commit_with(i as u64 * 10, format!("v{i}"), |db| {
                     db.insert(
                         "Family",
-                        fgc_relation::tuple![
-                            format!("g{i}"),
-                            format!("Generated-{i}"),
-                            "gpcr"
-                        ],
+                        fgc_relation::tuple![format!("g{i}"), format!("Generated-{i}"), "gpcr"],
                     )
                     .map(|_| ())
                 })
@@ -527,13 +514,11 @@ pub fn e8_table(version_counts: &[usize]) -> Table {
         }
         let t_build = t0.elapsed();
 
-        let mut engine = VersionedCitationEngine::new(history, paper_views());
+        let engine = VersionedCitationEngine::new(history, paper_views());
         let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").expect("static");
         // first historical citation (engine construction + cite)
         let t0 = Instant::now();
-        let old = engine
-            .cite_at_time(5, &q)
-            .expect("historical citation");
+        let old = engine.cite_at_time(5, &q).expect("historical citation");
         let t_first = t0.elapsed();
         // repeat citation against the same snapshot (warm engine)
         let t0 = Instant::now();
@@ -575,12 +560,12 @@ pub fn ablation_table(families: usize) -> Table {
         let mut w = WorkloadGenerator::new(&db, 37);
         w.query_from_template(0)
     };
-    let mut with_memo = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+    let with_memo = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
     let _ = with_memo.cite(&q_t0).expect("warmup");
     let t0 = Instant::now();
     let _ = with_memo.cite(&q_t0).expect("cite");
     let t_memo = t0.elapsed();
-    let mut without_memo = engine_at_scale(families, RewriteMode::Pruned, Policy::default())
+    let without_memo = engine_at_scale(families, RewriteMode::Pruned, Policy::default())
         .with_options(EngineOptions {
             memoize_interpretation: false,
             ..EngineOptions::default()

@@ -49,8 +49,7 @@ impl PageCitationStore {
             let extent = evaluate(db, &unparameterized)?;
             let mut seen: Vec<Vec<Value>> = Vec::new();
             for row in &extent {
-                let valuation: Vec<Value> =
-                    positions.iter().map(|&p| row[p].clone()).collect();
+                let valuation: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
                 if !seen.contains(&valuation) {
                     seen.push(valuation);
                 }
@@ -118,9 +117,7 @@ pub fn baseline_coverage(store: &PageCitationStore, workload: &[WorkloadItem]) -
     let covered = workload
         .iter()
         .filter(|item| match item {
-            WorkloadItem::Page((view, params)) => {
-                store.cite_page(view, params).is_some()
-            }
+            WorkloadItem::Page((view, params)) => store.cite_page(view, params).is_some(),
             WorkloadItem::AdHoc(_) => false,
         })
         .count();
@@ -183,7 +180,8 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert("MetaData", tuple!["Owner", "Tony Harmar"]).unwrap();
+        db.insert("MetaData", tuple!["Owner", "Tony Harmar"])
+            .unwrap();
         db
     }
 
@@ -241,9 +239,7 @@ mod tests {
         let store = PageCitationStore::materialize(&db(), &registry()).unwrap();
         let workload = vec![
             WorkloadItem::Page(("V1".into(), vec![Value::str("11")])),
-            WorkloadItem::AdHoc(
-                parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap(),
-            ),
+            WorkloadItem::AdHoc(parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap()),
         ];
         assert_eq!(baseline_coverage(&store, &workload), 0.5);
     }

@@ -9,12 +9,25 @@
 //! * extent materialization lives in the engine (per database
 //!   snapshot).
 //!
+//! Both sit behind **interior mutability** so the engine can serve
+//! concurrent `cite(&self)` calls from one shared instance: the memo
+//! table is sharded across [`SHARDS`] `RwLock`-protected maps (the
+//! shard is picked by token hash, so unrelated tokens never contend),
+//! and the hit/miss counters are relaxed atomics, keeping
+//! [`CitationCache::stats`] accurate under concurrency.
+//!
 //! Caches are keyed per database version: bumping the version drops
 //! the entries (curated databases change by release, §4's fixity).
 
 use crate::token::CiteToken;
 use fgc_views::Json;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Number of independent lock shards in [`CitationCache`].
+pub const SHARDS: usize = 16;
 
 /// Hit/miss counters for diagnostics and the E7 benchmark.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,14 +52,31 @@ impl CacheStats {
     }
 }
 
-/// A memo table for interpreted citation tokens.
-#[derive(Debug, Default)]
+/// A sharded, thread-safe memo table for interpreted citation tokens.
+///
+/// All methods take `&self`; an engine holding one of these can be
+/// shared across threads (`Arc<CitationEngine>`) with every thread
+/// reading from and filling the same cache.
+#[derive(Debug)]
 pub struct CitationCache {
-    map: HashMap<CiteToken, Json>,
-    hits: u64,
-    misses: u64,
+    shards: Vec<RwLock<HashMap<CiteToken, Json>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
     /// Database version the entries were computed against.
-    version: u64,
+    version: AtomicU64,
+}
+
+impl Default for CitationCache {
+    fn default() -> Self {
+        CitationCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+        }
+    }
 }
 
 impl CitationCache {
@@ -55,42 +85,72 @@ impl CitationCache {
         CitationCache::default()
     }
 
+    fn shard(&self, token: &CiteToken) -> &RwLock<HashMap<CiteToken, Json>> {
+        &self.shards[(self.hasher.hash_one(token) as usize) % SHARDS]
+    }
+
     /// Fetch or compute the citation for a token. `compute` runs on
-    /// miss and its result is stored.
-    pub fn get_or_compute<F>(&mut self, token: &CiteToken, compute: F) -> Json
+    /// miss and its result is stored. Returns the citation and
+    /// whether it was a hit (per-request metadata for
+    /// [`crate::engine::CiteResponse`]).
+    ///
+    /// `compute` runs *outside* any lock: two threads missing the
+    /// same token may both compute (the result is deterministic, so
+    /// either insert wins harmlessly), but a slow citation query
+    /// never blocks unrelated lookups.
+    pub fn lookup_or_compute<F>(&self, token: &CiteToken, compute: F) -> (Json, bool)
     where
         F: FnOnce() -> Json,
     {
-        if let Some(hit) = self.map.get(token) {
-            self.hits += 1;
-            return hit.clone();
+        let shard = self.shard(token);
+        if let Some(hit) = shard.read().expect("cache shard poisoned").get(token) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), true);
         }
-        self.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        self.map.insert(token.clone(), value.clone());
-        value
+        shard
+            .write()
+            .expect("cache shard poisoned")
+            .entry(token.clone())
+            .or_insert_with(|| value.clone());
+        (value, false)
+    }
+
+    /// Fetch or compute, discarding the hit flag.
+    pub fn get_or_compute<F>(&self, token: &CiteToken, compute: F) -> Json
+    where
+        F: FnOnce() -> Json,
+    {
+        self.lookup_or_compute(token, compute).0
     }
 
     /// Invalidate everything if the database version moved.
-    pub fn sync_version(&mut self, version: u64) {
-        if version != self.version {
-            self.map.clear();
-            self.version = version;
+    pub fn sync_version(&self, version: u64) {
+        if self.version.swap(version, Ordering::AcqRel) != version {
+            self.clear();
         }
     }
 
-    /// Current statistics.
+    /// Current statistics. Counters are read with relaxed ordering:
+    /// exact for quiescent engines, monotone under concurrency.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            entries: self.map.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache shard poisoned").len())
+                .sum(),
         }
     }
 
     /// Drop all entries (keeps counters).
-    pub fn clear(&mut self) {
-        self.map.clear();
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache shard poisoned").clear();
+        }
     }
 }
 
@@ -98,6 +158,7 @@ impl CitationCache {
 mod tests {
     use super::*;
     use fgc_relation::Value;
+    use std::sync::Arc;
 
     fn token() -> CiteToken {
         CiteToken::view("V1", vec![Value::str("11")])
@@ -105,7 +166,7 @@ mod tests {
 
     #[test]
     fn memoizes_computation() {
-        let mut cache = CitationCache::new();
+        let cache = CitationCache::new();
         let mut computed = 0;
         for _ in 0..3 {
             let v = cache.get_or_compute(&token(), || {
@@ -123,8 +184,18 @@ mod tests {
     }
 
     #[test]
+    fn lookup_reports_hit_flag() {
+        let cache = CitationCache::new();
+        let (_, hit) = cache.lookup_or_compute(&token(), || Json::str("a"));
+        assert!(!hit);
+        let (v, hit) = cache.lookup_or_compute(&token(), || Json::str("other"));
+        assert!(hit);
+        assert_eq!(v, Json::str("a"));
+    }
+
+    #[test]
     fn distinct_tokens_distinct_entries() {
-        let mut cache = CitationCache::new();
+        let cache = CitationCache::new();
         cache.get_or_compute(&CiteToken::view("V1", vec![Value::str("11")]), || {
             Json::str("a")
         });
@@ -136,7 +207,7 @@ mod tests {
 
     #[test]
     fn version_bump_invalidates() {
-        let mut cache = CitationCache::new();
+        let cache = CitationCache::new();
         cache.get_or_compute(&token(), || Json::str("old"));
         cache.sync_version(1);
         assert_eq!(cache.stats().entries, 0);
@@ -150,5 +221,27 @@ mod tests {
     #[test]
     fn empty_cache_hit_rate_is_zero() {
         assert_eq!(CitationCache::new().stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_fill_counts_every_lookup() {
+        let cache = Arc::new(CitationCache::new());
+        let threads = 8;
+        let per_thread = 100u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let t = CiteToken::view("V1", vec![Value::str(format!("{}", i % 10))]);
+                        let v = cache.get_or_compute(&t, || Json::str(format!("{}", i % 10)));
+                        assert_eq!(v, Json::str(format!("{}", i % 10)));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, threads * per_thread);
+        assert_eq!(stats.entries, 10);
     }
 }

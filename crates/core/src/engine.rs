@@ -19,18 +19,19 @@
 use crate::cache::{CacheStats, CitationCache};
 use crate::error::{CoreError, Result};
 use crate::policy::{interpret_expr, Policy};
+use crate::request::{CiteRequest, CiteResponse, QuerySpec};
 use crate::token::CiteToken;
 use fgc_query::ast::{ConjunctiveQuery, Term};
 use fgc_query::{evaluate, evaluate_grouped, parse_sql, Binding};
 use fgc_relation::schema::RelationSchema;
-use fgc_relation::{Database, DataType, Tuple, Value};
-use fgc_rewrite::{
-    best_rewritings, enumerate_rewritings, Rewriting, RewriteOptions, ViewDefs,
-};
+use fgc_relation::{DataType, Database, Tuple, Value};
+use fgc_rewrite::{best_rewritings, enumerate_rewritings, RewriteOptions, Rewriting, ViewDefs};
 use fgc_semiring::{CitationExpr, CommutativeSemiring, Monomial, Polynomial};
 use fgc_views::{Json, ViewRegistry};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::Instant;
 
 /// How rewritings are obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,7 +115,30 @@ impl QueryCitation {
     }
 }
 
+/// Per-request view of the engine configuration after applying
+/// [`CiteRequest`] overrides.
+struct EffectiveConfig<'a> {
+    policy: &'a Policy,
+    mode: RewriteMode,
+    rewrite: RewriteOptions,
+    memoize_interpretation: bool,
+}
+
+/// Token-cache traffic attributable to a single request.
+#[derive(Default)]
+struct RequestCounters {
+    hits: u64,
+    misses: u64,
+}
+
 /// The citation engine over one database snapshot.
+///
+/// All serving entry points ([`cite`](Self::cite),
+/// [`cite_sql`](Self::cite_sql), [`cite_request`](Self::cite_request),
+/// [`cite_batch`](Self::cite_batch)) take `&self`: the mutable state
+/// (token-citation cache, lazily materialized view extents) sits
+/// behind interior mutability, so one engine wrapped in an `Arc` can
+/// serve many threads concurrently, all sharing the same caches.
 #[derive(Debug)]
 pub struct CitationEngine {
     db: Arc<Database>,
@@ -123,7 +147,7 @@ pub struct CitationEngine {
     policy: Policy,
     options: EngineOptions,
     inclusion: BTreeMap<(String, String), bool>,
-    extent_db: Option<Arc<Database>>,
+    extent_db: RwLock<Option<Arc<Database>>>,
     cache: CitationCache,
 }
 
@@ -147,7 +171,7 @@ impl CitationEngine {
             policy: Policy::default(),
             options: EngineOptions::default(),
             inclusion,
-            extent_db: None,
+            extent_db: RwLock::new(None),
             cache: CitationCache::new(),
         })
     }
@@ -185,15 +209,46 @@ impl CitationEngine {
     }
 
     /// Drop cached citations and extents (e.g. for cold-start runs).
-    pub fn clear_caches(&mut self) {
+    pub fn clear_caches(&self) {
         self.cache.clear();
-        self.extent_db = None;
+        *self.extent_db.write().expect("extent lock poisoned") = None;
+    }
+
+    /// The engine's default configuration, with a request's overrides
+    /// applied on top.
+    fn effective<'a>(&'a self, request: Option<&'a CiteRequest>) -> EffectiveConfig<'a> {
+        match request {
+            None => EffectiveConfig {
+                policy: &self.policy,
+                mode: self.options.mode,
+                rewrite: self.options.rewrite,
+                memoize_interpretation: self.options.memoize_interpretation,
+            },
+            Some(r) => EffectiveConfig {
+                policy: r.policy.as_ref().unwrap_or(&self.policy),
+                mode: r.mode.unwrap_or(self.options.mode),
+                rewrite: r.rewrite.unwrap_or(self.options.rewrite),
+                memoize_interpretation: r
+                    .memoize_interpretation
+                    .unwrap_or(self.options.memoize_interpretation),
+            },
+        }
     }
 
     /// The database extended with one relation per view extent;
-    /// rewritings evaluate against this. Built lazily, cached.
-    fn extent_database(&mut self) -> Result<Arc<Database>> {
-        if let Some(db) = &self.extent_db {
+    /// rewritings evaluate against this. Built lazily under the write
+    /// lock (double-checked), shared by all threads afterwards.
+    fn extent_database(&self) -> Result<Arc<Database>> {
+        if let Some(db) = self
+            .extent_db
+            .read()
+            .expect("extent lock poisoned")
+            .as_ref()
+        {
+            return Ok(Arc::clone(db));
+        }
+        let mut slot = self.extent_db.write().expect("extent lock poisoned");
+        if let Some(db) = slot.as_ref() {
             return Ok(Arc::clone(db));
         }
         let mut extended = (*self.db).clone();
@@ -202,10 +257,8 @@ impl CitationEngine {
             let specs: Vec<(String, DataType)> = (0..arity)
                 .map(|i| (format!("c{i}"), DataType::Any))
                 .collect();
-            let spec_refs: Vec<(&str, DataType)> = specs
-                .iter()
-                .map(|(n, t)| (n.as_str(), *t))
-                .collect();
+            let spec_refs: Vec<(&str, DataType)> =
+                specs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
             extended.create_relation(RelationSchema::with_names(
                 view.name.clone(),
                 &spec_refs,
@@ -224,24 +277,27 @@ impl CitationEngine {
             }
         }
         let arc = Arc::new(extended);
-        self.extent_db = Some(Arc::clone(&arc));
+        *slot = Some(Arc::clone(&arc));
         Ok(arc)
     }
 
     /// The rewritings used for citations, labelled `Q1, Q2, ...` in
     /// rank order (best first).
-    fn rewritings(&self, q: &ConjunctiveQuery) -> Result<LabelledRewritings> {
-        let enumeration = match self.options.mode {
+    fn rewritings(
+        &self,
+        q: &ConjunctiveQuery,
+        mode: RewriteMode,
+        options: RewriteOptions,
+    ) -> Result<LabelledRewritings> {
+        let enumeration = match mode {
             RewriteMode::Exhaustive => {
-                let e = enumerate_rewritings(q, &self.view_defs, self.options.rewrite)?;
+                let e = enumerate_rewritings(q, &self.view_defs, options)?;
                 fgc_rewrite::Enumeration {
                     rewritings: fgc_rewrite::rank(e.rewritings),
                     ..e
                 }
             }
-            RewriteMode::Pruned => {
-                best_rewritings(q, &self.view_defs, self.options.rewrite)?
-            }
+            RewriteMode::Pruned => best_rewritings(q, &self.view_defs, options)?,
         };
         let labelled = enumeration
             .rewritings
@@ -263,7 +319,7 @@ impl CitationEngine {
     /// The symbolic citation expressions for every output tuple of
     /// `q` (Defs. 3.1–3.3), before normalization.
     fn symbolic_citations(
-        &mut self,
+        &self,
         rewritings: &[(String, Rewriting)],
     ) -> Result<HashMap<Tuple, CitationExpr<String, CiteToken>>> {
         let extent_db = self.extent_database()?;
@@ -285,9 +341,7 @@ impl CitationEngine {
                                     .collect();
                                 CiteToken::view(v.view.clone(), valuation)
                             }
-                            fgc_rewrite::Subgoal::Base(a) => {
-                                CiteToken::base(a.relation.clone())
-                            }
+                            fgc_rewrite::Subgoal::Base(a) => CiteToken::base(a.relation.clone()),
                         };
                         monomial = monomial.times(&Monomial::token(token));
                     }
@@ -305,29 +359,40 @@ impl CitationEngine {
         Ok(exprs)
     }
 
-    /// Interpret a token to its JSON citation (memoized).
-    fn token_citation(&mut self, token: &CiteToken) -> Json {
+    /// Interpret a token to its JSON citation (memoized in the shared
+    /// cache; hit/miss attributed to the current request).
+    fn token_citation(&self, token: &CiteToken, counters: &mut RequestCounters) -> Json {
         let db = Arc::clone(&self.db);
         let registry = &self.registry;
-        self.cache.get_or_compute(token, || match token {
+        let (citation, hit) = self.cache.lookup_or_compute(token, || match token {
             CiteToken::View { view, valuation } => registry
                 .get(view)
-                .map(|v| {
-                    v.citation_for(&db, valuation)
-                        .unwrap_or(Json::Null)
-                })
+                .map(|v| v.citation_for(&db, valuation).unwrap_or(Json::Null))
                 .unwrap_or(Json::Null),
-            CiteToken::Base { relation } => Json::from_pairs([(
-                "UncitedRelation",
-                Json::str(relation.clone()),
-            )]),
-        })
+            CiteToken::Base { relation } => {
+                Json::from_pairs([("UncitedRelation", Json::str(relation.clone()))])
+            }
+        });
+        if hit {
+            counters.hits += 1;
+        } else {
+            counters.misses += 1;
+        }
+        citation
     }
 
-    /// Cite a query: the full Def. 3.1–3.4 pipeline.
-    pub fn cite(&mut self, q: &ConjunctiveQuery) -> Result<QueryCitation> {
+    /// The full Def. 3.1–3.4 pipeline under an effective (engine
+    /// defaults ⊕ request overrides) configuration.
+    fn cite_under(
+        &self,
+        q: &ConjunctiveQuery,
+        config: &EffectiveConfig<'_>,
+        counters: &mut RequestCounters,
+    ) -> Result<QueryCitation> {
+        let policy = config.policy;
         let answers = evaluate(&self.db, q)?;
-        let (rewritings, exhaustive, unsatisfiable) = self.rewritings(q)?;
+        let (rewritings, exhaustive, unsatisfiable) =
+            self.rewritings(q, config.mode, config.rewrite)?;
         let mut exprs = if rewritings.is_empty() {
             HashMap::new()
         } else {
@@ -337,16 +402,16 @@ impl CitationEngine {
         // Equal symbolic expressions interpret to equal citations, and
         // result sets over curated hierarchies share few distinct
         // expressions (e.g. one per family type) — memoize the
-        // interpretation per normalized expression.
+        // interpretation per normalized expression. The memo is
+        // request-local: it depends on the (possibly overridden)
+        // policy, unlike the policy-independent shared token cache.
         let mut interp_memo: HashMap<CitationExpr<String, CiteToken>, Json> = HashMap::new();
         let mut distinct_citations: Vec<Json> = Vec::new();
         let mut tuples = Vec::with_capacity(answers.len());
         for tuple in answers {
-            let expr = exprs
-                .remove(&tuple)
-                .unwrap_or_else(CitationExpr::zero_r);
-            let normalized = self.policy.normalize(&expr, &self.inclusion);
-            let memo_hit = if self.options.memoize_interpretation {
+            let expr = exprs.remove(&tuple).unwrap_or_else(CitationExpr::zero_r);
+            let normalized = policy.normalize(&expr, &self.inclusion);
+            let memo_hit = if config.memoize_interpretation {
                 interp_memo.get(&normalized).cloned()
             } else {
                 None
@@ -354,10 +419,9 @@ impl CitationEngine {
             let citation = match memo_hit {
                 Some(hit) => hit,
                 None => {
-                    let policy = self.policy.clone();
-                    let mut value_of = |t: &CiteToken| self.token_citation(t);
-                    let citation = interpret_expr(&policy, &normalized, &mut value_of)
-                        .unwrap_or(Json::Null);
+                    let mut value_of = |t: &CiteToken| self.token_citation(t, counters);
+                    let citation =
+                        interpret_expr(policy, &normalized, &mut value_of).unwrap_or(Json::Null);
                     if interp_memo
                         .insert(normalized.clone(), citation.clone())
                         .is_none()
@@ -379,11 +443,11 @@ impl CitationEngine {
         // interpretations are idempotent, so aggregating the distinct
         // citations once each is equivalent to folding all tuples.
         let mut aggregate = Json::Null;
-        for g in &self.policy.global_citations {
-            aggregate = self.policy.agg.apply(&aggregate, g);
+        for g in &policy.global_citations {
+            aggregate = policy.agg.apply(&aggregate, g);
         }
         for citation in &distinct_citations {
-            aggregate = self.policy.agg.apply(&aggregate, citation);
+            aggregate = policy.agg.apply(&aggregate, citation);
         }
 
         Ok(QueryCitation {
@@ -395,10 +459,96 @@ impl CitationEngine {
         })
     }
 
+    /// Cite a query with the engine's default policy and options: the
+    /// full Def. 3.1–3.4 pipeline.
+    pub fn cite(&self, q: &ConjunctiveQuery) -> Result<QueryCitation> {
+        let mut counters = RequestCounters::default();
+        self.cite_under(q, &self.effective(None), &mut counters)
+    }
+
     /// Cite an SQL query (SPJ fragment).
-    pub fn cite_sql(&mut self, sql: &str) -> Result<QueryCitation> {
+    pub fn cite_sql(&self, sql: &str) -> Result<QueryCitation> {
         let q = parse_sql(self.db.catalog(), sql)?;
         self.cite(&q)
+    }
+
+    /// Serve one [`CiteRequest`]: apply its per-call overrides on top
+    /// of the engine defaults and wrap the result with timing and
+    /// cache metadata.
+    pub fn cite_request(&self, request: &CiteRequest) -> Result<CiteResponse> {
+        let started = Instant::now();
+        let q = match &request.query {
+            QuerySpec::Datalog(q) => q.clone(),
+            QuerySpec::Sql(sql) => parse_sql(self.db.catalog(), sql)?,
+        };
+        let mut counters = RequestCounters::default();
+        let citation = self.cite_under(&q, &self.effective(Some(request)), &mut counters)?;
+        Ok(CiteResponse {
+            citation,
+            elapsed: started.elapsed(),
+            cache_hits: counters.hits,
+            cache_misses: counters.misses,
+        })
+    }
+
+    /// Serve a batch of requests, fanning out across a scoped thread
+    /// pool over this shared engine. Results come back in request
+    /// order regardless of scheduling, and each request honors its
+    /// own overrides; all threads share the engine's caches.
+    ///
+    /// The pool is sized `min(batch len, available parallelism)`;
+    /// pass `threads` through [`Self::cite_batch_threads`] to pin it
+    /// (the E9 benchmark sweeps 1/2/4/8).
+    pub fn cite_batch(&self, requests: &[CiteRequest]) -> Vec<Result<CiteResponse>> {
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.cite_batch_threads(requests, parallelism)
+    }
+
+    /// [`Self::cite_batch`] with an explicit worker count.
+    pub fn cite_batch_threads(
+        &self,
+        requests: &[CiteRequest],
+        threads: usize,
+    ) -> Vec<Result<CiteResponse>> {
+        let workers = threads.clamp(1, requests.len().max(1));
+        if workers <= 1 || requests.len() <= 1 {
+            return requests.iter().map(|r| self.cite_request(r)).collect();
+        }
+        // Materialize extents once up front: otherwise every worker
+        // would immediately queue on the build write-lock. A failure
+        // here recurs deterministically inside each request.
+        let _ = self.extent_database();
+
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, Result<CiteResponse>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    if sender.send((i, self.cite_request(request))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(sender);
+
+        let mut slots: Vec<Option<Result<CiteResponse>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (i, result) in receiver {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every request produced a result"))
+            .collect()
     }
 }
 
@@ -416,7 +566,11 @@ mod tests {
         for (name, specs, key) in [
             (
                 "Family",
-                vec![("FID", DataType::Str), ("FName", DataType::Str), ("Type", DataType::Str)],
+                vec![
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
                 vec!["FID"],
             ),
             (
@@ -426,19 +580,33 @@ mod tests {
             ),
             (
                 "Person",
-                vec![("PID", DataType::Str), ("PName", DataType::Str), ("Affiliation", DataType::Str)],
+                vec![
+                    ("PID", DataType::Str),
+                    ("PName", DataType::Str),
+                    ("Affiliation", DataType::Str),
+                ],
                 vec!["PID"],
             ),
-            ("FC", vec![("FID", DataType::Str), ("PID", DataType::Str)], vec!["FID", "PID"]),
-            ("FIC", vec![("FID", DataType::Str), ("PID", DataType::Str)], vec!["FID", "PID"]),
-            ("MetaData", vec![("Type", DataType::Str), ("Value", DataType::Str)], vec![]),
+            (
+                "FC",
+                vec![("FID", DataType::Str), ("PID", DataType::Str)],
+                vec!["FID", "PID"],
+            ),
+            (
+                "FIC",
+                vec![("FID", DataType::Str), ("PID", DataType::Str)],
+                vec!["FID", "PID"],
+            ),
+            (
+                "MetaData",
+                vec![("Type", DataType::Str), ("Value", DataType::Str)],
+                vec![],
+            ),
         ] {
             let specs: Vec<(&str, DataType)> = specs.into_iter().collect();
             let keys: Vec<&str> = key;
-            db.create_relation(
-                RelationSchema::with_names(name, &specs, &keys).unwrap(),
-            )
-            .unwrap();
+            db.create_relation(RelationSchema::with_names(name, &specs, &keys).unwrap())
+                .unwrap();
         }
         db.insert_all(
             "Family",
@@ -467,10 +635,16 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert_all("FC", vec![tuple!["11", "p1"], tuple!["11", "p2"], tuple!["12", "p1"]])
-            .unwrap();
-        db.insert_all("FIC", vec![tuple!["11", "p3"], tuple!["11", "p4"], tuple!["12", "p4"]])
-            .unwrap();
+        db.insert_all(
+            "FC",
+            vec![tuple!["11", "p1"], tuple!["11", "p2"], tuple!["12", "p1"]],
+        )
+        .unwrap();
+        db.insert_all(
+            "FIC",
+            vec![tuple!["11", "p3"], tuple!["11", "p4"], tuple!["12", "p4"]],
+        )
+        .unwrap();
         db.insert_all(
             "MetaData",
             vec![
@@ -488,10 +662,8 @@ mod tests {
         let mut reg = ViewRegistry::new();
         reg.add(fgc_views::CitationView::new(
             parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
-            parse_query(
-                "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
-            )
-            .unwrap(),
+            parse_query("lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)")
+                .unwrap(),
             CitationFunction::from_spec(vec![
                 CitationFunction::scalar("ID", 0),
                 CitationFunction::scalar("Name", 1),
@@ -575,19 +747,14 @@ mod tests {
 
     #[test]
     fn cite_example_2_3_query_pruned() {
-        let mut e = engine();
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let e = engine();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let result = e.cite(&q).unwrap();
         assert_eq!(result.tuples.len(), 2); // Calcitonin, Orexin rows
-        // pruned mode with the preference model lands on Q4 = V5("gpcr")
+                                            // pruned mode with the preference model lands on Q4 = V5("gpcr")
         assert_eq!(result.rewritings[0].1.num_views(), 1);
-        assert!(result.rewritings[0]
-            .1
-            .view_atoms()
-            .any(|v| v.view == "V5"));
+        assert!(result.rewritings[0].1.view_atoms().any(|v| v.view == "V5"));
         // every tuple cites V5 with valuation "gpcr"
         for tc in &result.tuples {
             let tokens: Vec<String> = tc
@@ -605,32 +772,36 @@ mod tests {
 
     #[test]
     fn cite_exhaustive_keeps_alternatives_without_order() {
-        let mut e = engine().with_policy(Policy::union_all()).with_options(EngineOptions {
-            mode: RewriteMode::Exhaustive,
-            ..EngineOptions::default()
-        });
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let e = engine()
+            .with_policy(Policy::union_all())
+            .with_options(EngineOptions {
+                mode: RewriteMode::Exhaustive,
+                ..EngineOptions::default()
+            });
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let result = e.cite(&q).unwrap();
         assert!(result.exhaustive);
-        assert!(result.rewritings.len() >= 4, "found {}", result.rewritings.len());
+        assert!(
+            result.rewritings.len() >= 4,
+            "found {}",
+            result.rewritings.len()
+        );
         // with no order, each tuple's expression keeps >1 alternative
         assert!(result.tuples[0].expr.num_alternatives() >= 4);
     }
 
     #[test]
     fn normalization_shrinks_citations() {
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
-        let mut raw = engine().with_policy(Policy::union_all()).with_options(EngineOptions {
-            mode: RewriteMode::Exhaustive,
-            ..EngineOptions::default()
-        });
-        let mut ordered = engine()
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        let raw = engine()
+            .with_policy(Policy::union_all())
+            .with_options(EngineOptions {
+                mode: RewriteMode::Exhaustive,
+                ..EngineOptions::default()
+            });
+        let ordered = engine()
             .with_policy(Policy::union_all().with_order(OrderChoice::Composite))
             .with_options(EngineOptions {
                 mode: RewriteMode::Exhaustive,
@@ -648,7 +819,7 @@ mod tests {
     fn unparameterized_view_gives_single_citation() {
         // Q over all families rewrites (among others) to V3; citation
         // of V3 is the owner/URL record, same for all tuples
-        let mut e = engine();
+        let e = engine();
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         let result = e.cite(&q).unwrap();
         assert_eq!(result.tuples.len(), 3);
@@ -659,24 +830,18 @@ mod tests {
 
     #[test]
     fn empty_result_still_aggregates_globals() {
-        let mut e = engine().with_policy(
-            Policy::default().with_global(Json::from_pairs([(
-                "Database",
-                Json::str("GtoPdb"),
-            )])),
+        let e = engine().with_policy(
+            Policy::default().with_global(Json::from_pairs([("Database", Json::str("GtoPdb"))])),
         );
         let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"nope\"").unwrap();
         let result = e.cite(&q).unwrap();
         assert!(result.tuples.is_empty());
-        assert_eq!(
-            result.aggregate.get("Database"),
-            Some(&Json::str("GtoPdb"))
-        );
+        assert_eq!(result.aggregate.get("Database"), Some(&Json::str("GtoPdb")));
     }
 
     #[test]
     fn unsatisfiable_query_flagged() {
-        let mut e = engine();
+        let e = engine();
         let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"a\", Ty = \"b\"").unwrap();
         let result = e.cite(&q).unwrap();
         assert!(result.unsatisfiable);
@@ -685,11 +850,9 @@ mod tests {
 
     #[test]
     fn cache_hits_on_repeated_citations() {
-        let mut e = engine();
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let e = engine();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         e.cite(&q).unwrap();
         let first = e.cache_stats();
         e.cite(&q).unwrap();
@@ -699,12 +862,10 @@ mod tests {
 
     #[test]
     fn cite_sql_matches_cite_datalog() {
-        let mut e1 = engine();
-        let mut e2 = engine();
-        let datalog = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let e1 = engine();
+        let e2 = engine();
+        let datalog =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let a = e1.cite(&datalog).unwrap();
         let b = e2
             .cite_sql(
@@ -722,22 +883,18 @@ mod tests {
     #[test]
     fn plan_independence_equivalent_queries_same_citation() {
         // reordered atoms and renamed variables: same citations
-        let mut e1 = engine().with_options(EngineOptions {
+        let e1 = engine().with_options(EngineOptions {
             mode: RewriteMode::Exhaustive,
             ..EngineOptions::default()
         });
-        let mut e2 = engine().with_options(EngineOptions {
+        let e2 = engine().with_options(EngineOptions {
             mode: RewriteMode::Exhaustive,
             ..EngineOptions::default()
         });
-        let qa = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
-        let qb = parse_query(
-            "Q(A, B) :- FamilyIntro(X, B), Family(X, A, T), T = \"gpcr\"",
-        )
-        .unwrap();
+        let qa =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        let qb =
+            parse_query("Q(A, B) :- FamilyIntro(X, B), Family(X, A, T), T = \"gpcr\"").unwrap();
         let ca = e1.cite(&qa).unwrap();
         let cb = e2.cite(&qb).unwrap();
         assert_eq!(ca.tuples.len(), cb.tuples.len());
@@ -776,11 +933,9 @@ mod tests {
 
     #[test]
     fn join_policy_produces_single_record_per_tuple() {
-        let mut e = engine().with_policy(Policy::join_all());
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let e = engine().with_policy(Policy::join_all());
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let result = e.cite(&q).unwrap();
         for tc in &result.tuples {
             assert!(
@@ -789,21 +944,148 @@ mod tests {
                 tc.citation
             );
         }
-        assert_eq!(result.tuples[0].citation.get("Type"), Some(&Json::str("gpcr")));
+        assert_eq!(
+            result.tuples[0].citation.get("Type"),
+            Some(&Json::str("gpcr"))
+        );
     }
 
     #[test]
     fn agg_union_collects_tuple_citations() {
-        let mut e = engine().with_policy(Policy {
+        let e = engine().with_policy(Policy {
             agg: CombineOp::Union,
             ..Policy::default()
         });
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let result = e.cite(&q).unwrap();
         // both tuples share the V5("gpcr") citation: union dedups to 1
         assert!(matches!(result.aggregate, Json::Object(_)));
+    }
+
+    #[test]
+    fn request_overrides_do_not_rebuild_the_engine() {
+        let e = engine(); // defaults: pruned mode, default policy
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        let pruned = e.cite_request(&CiteRequest::query(q.clone())).unwrap();
+        let exhaustive = e
+            .cite_request(
+                &CiteRequest::query(q.clone())
+                    .with_policy(Policy::union_all())
+                    .with_mode(RewriteMode::Exhaustive),
+            )
+            .unwrap();
+        assert!(!pruned.citation.exhaustive || pruned.citation.rewritings.len() == 1);
+        assert!(exhaustive.citation.exhaustive);
+        assert!(
+            exhaustive.citation.rewritings.len() > pruned.citation.rewritings.len(),
+            "exhaustive override must widen the search: {} vs {}",
+            exhaustive.citation.rewritings.len(),
+            pruned.citation.rewritings.len()
+        );
+        // the engine's own defaults are untouched by the overrides
+        let again = e.cite(&q).unwrap();
+        assert_eq!(again.rewritings.len(), pruned.citation.rewritings.len());
+    }
+
+    #[test]
+    fn request_reports_timing_and_cache_metadata() {
+        let e = engine();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        let first = e.cite_request(&CiteRequest::query(q.clone())).unwrap();
+        assert!(first.cache_misses > 0);
+        assert_eq!(first.cache_hits, 0);
+        let second = e.cite_request(&CiteRequest::query(q)).unwrap();
+        assert_eq!(second.cache_misses, 0);
+        assert!(second.cache_hits > 0);
+        assert!((second.cache_hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sql_requests_parse_against_the_catalog() {
+        let e = engine();
+        let response = e
+            .cite_request(&CiteRequest::sql(
+                "SELECT f.FName FROM Family f WHERE f.Type = 'gpcr'",
+            ))
+            .unwrap();
+        assert_eq!(response.citation.tuples.len(), 2);
+        assert!(e
+            .cite_request(&CiteRequest::sql("SELECT nope FROM"))
+            .is_err());
+    }
+
+    #[test]
+    fn cite_batch_preserves_request_order() {
+        let e = engine();
+        let requests: Vec<CiteRequest> = (0..8)
+            .map(|i| {
+                let ty = if i % 2 == 0 { "gpcr" } else { "enzyme" };
+                CiteRequest::query(
+                    parse_query(&format!("Q(N) :- Family(F, N, Ty), Ty = \"{ty}\"")).unwrap(),
+                )
+            })
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let responses = e.cite_batch_threads(&requests, threads);
+            assert_eq!(responses.len(), 8);
+            for (i, r) in responses.iter().enumerate() {
+                let citation = &r.as_ref().unwrap().citation;
+                let expected = if i % 2 == 0 { 2 } else { 1 };
+                assert_eq!(
+                    citation.tuples.len(),
+                    expected,
+                    "slot {i} at {threads} threads answered the wrong query"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cite_batch_keeps_per_request_errors_in_place() {
+        let e = engine();
+        let good =
+            CiteRequest::query(parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap());
+        let bad = CiteRequest::query(parse_query("Q(X) :- Nope(X)").unwrap());
+        let responses = e.cite_batch_threads(&[good.clone(), bad, good], 4);
+        assert!(responses[0].is_ok());
+        assert!(responses[1].is_err());
+        assert!(responses[2].is_ok());
+    }
+
+    #[test]
+    fn shared_engine_cites_identically_across_threads() {
+        let e = Arc::new(engine());
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        let serial = e.cite(&q).unwrap();
+        let rendered: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let e = Arc::clone(&e);
+                    let q = q.clone();
+                    scope.spawn(move || {
+                        let c = e.cite(&q).unwrap();
+                        c.tuples
+                            .iter()
+                            .map(|t| t.citation.to_compact())
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let expected = serial
+            .tuples
+            .iter()
+            .map(|t| t.citation.to_compact())
+            .collect::<Vec<_>>()
+            .join("\n");
+        for r in rendered {
+            assert_eq!(r, expected);
+        }
     }
 }

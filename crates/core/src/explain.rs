@@ -43,7 +43,11 @@ pub fn explain(citation: &QueryCitation, policy: &Policy) -> String {
         let _ = writeln!(
             out,
             "  {label}: {rewriting}   [{}, {} view{}, {} uncovered term{}]",
-            if rewriting.is_total() { "total" } else { "partial" },
+            if rewriting.is_total() {
+                "total"
+            } else {
+                "partial"
+            },
             rewriting.num_views(),
             plural(rewriting.num_views()),
             rewriting.num_uncovered(),
@@ -143,7 +147,7 @@ mod tests {
     use crate::engine::CitationEngine;
     use fgc_query::parse_query;
     use fgc_relation::schema::RelationSchema;
-    use fgc_relation::{tuple, Database, DataType};
+    use fgc_relation::{tuple, DataType, Database};
     use fgc_views::{CitationFunction, CitationView, ViewRegistry};
 
     fn engine() -> CitationEngine {
@@ -170,7 +174,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
         db.insert("Extra", tuple!["11", "curated"]).unwrap();
         let mut views = ViewRegistry::new();
         views
@@ -188,7 +193,7 @@ mod tests {
 
     #[test]
     fn explain_mentions_rewritings_and_views() {
-        let mut e = engine();
+        let e = engine();
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         let cited = e.cite(&q).unwrap();
         let text = explain(&cited, e.policy());
@@ -200,7 +205,7 @@ mod tests {
 
     #[test]
     fn explain_warns_about_uncovered_relations() {
-        let mut e = engine();
+        let e = engine();
         // Extra has no covering view: a partial rewriting results
         let q = parse_query("Q(N, Note) :- Family(F, N, Ty), Extra(F, Note)").unwrap();
         let cited = e.cite(&q).unwrap();
@@ -211,7 +216,7 @@ mod tests {
 
     #[test]
     fn explain_flags_unsatisfiable_queries() {
-        let mut e = engine();
+        let e = engine();
         let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"a\", Ty = \"b\"").unwrap();
         let cited = e.cite(&q).unwrap();
         let text = explain(&cited, e.policy());
@@ -226,7 +231,7 @@ mod tests {
             db.insert("Family", tuple![format!("x{i}"), format!("F{i}"), "gpcr"])
                 .unwrap();
         }
-        let mut e = CitationEngine::new(db, fgc_views::ViewRegistry::new()).unwrap();
+        let e = CitationEngine::new(db, fgc_views::ViewRegistry::new()).unwrap();
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         let cited = e.cite(&q).unwrap();
         let text = explain(&cited, e.policy());

@@ -16,6 +16,7 @@ use fgc_query::ast::ConjunctiveQuery;
 use fgc_relation::version::{VersionId, VersionedDatabase};
 use fgc_views::{Json, ViewRegistry};
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// A citation together with its fixity stamp.
 #[derive(Debug, Clone)]
@@ -46,12 +47,18 @@ impl VersionedCitation {
 }
 
 /// A citation engine over an evolving, versioned database.
+///
+/// Citation entry points take `&self`: per-snapshot engines are built
+/// lazily behind a lock and shared via `Arc`, so one versioned engine
+/// can serve concurrent historical citations. Only
+/// [`commit_with`](Self::commit_with) (which appends a version)
+/// needs `&mut self`.
 pub struct VersionedCitationEngine {
     history: VersionedDatabase,
     registry: ViewRegistry,
     policy: Policy,
     options: EngineOptions,
-    engines: HashMap<VersionId, CitationEngine>,
+    engines: RwLock<HashMap<VersionId, Arc<CitationEngine>>>,
 }
 
 impl VersionedCitationEngine {
@@ -63,7 +70,7 @@ impl VersionedCitationEngine {
             registry,
             policy: Policy::default(),
             options: EngineOptions::default(),
-            engines: HashMap::new(),
+            engines: RwLock::new(HashMap::new()),
         }
     }
 
@@ -98,20 +105,34 @@ impl VersionedCitationEngine {
         Ok(self.history.commit_with(timestamp, label, mutate)?)
     }
 
-    fn engine_for(&mut self, version: VersionId) -> Result<&mut CitationEngine> {
-        if !self.engines.contains_key(&version) {
-            let (_, db) = self.history.snapshot(version)?;
-            let engine = CitationEngine::new((**db).clone(), self.registry.clone())?
-                .with_policy(self.policy.clone())
-                .with_options(self.options);
-            self.engines.insert(version, engine);
+    fn engine_for(&self, version: VersionId) -> Result<Arc<CitationEngine>> {
+        if let Some(engine) = self
+            .engines
+            .read()
+            .expect("engine map poisoned")
+            .get(&version)
+        {
+            return Ok(Arc::clone(engine));
         }
-        Ok(self.engines.get_mut(&version).expect("inserted above"))
+        // Build outside any lock: snapshot cloning plus engine
+        // construction is O(|DB|), and holding the write lock for it
+        // would stall concurrent citations against warm versions.
+        // Construction is deterministic, so when two threads race the
+        // loser's build is wasted work, not divergence; the first
+        // insert wins so all callers share one (cache-warm) engine.
+        let (_, db) = self.history.snapshot(version)?;
+        let engine = Arc::new(
+            CitationEngine::new((**db).clone(), self.registry.clone())?
+                .with_policy(self.policy.clone())
+                .with_options(self.options),
+        );
+        let mut map = self.engines.write().expect("engine map poisoned");
+        Ok(Arc::clone(map.entry(version).or_insert(engine)))
     }
 
     /// Cite against a specific version.
     pub fn cite_at_version(
-        &mut self,
+        &self,
         version: VersionId,
         q: &ConjunctiveQuery,
     ) -> Result<VersionedCitation> {
@@ -130,7 +151,7 @@ impl VersionedCitationEngine {
 
     /// Cite against "the data as seen at" a timestamp: the latest
     /// version not after `at`.
-    pub fn cite_at_time(&mut self, at: u64, q: &ConjunctiveQuery) -> Result<VersionedCitation> {
+    pub fn cite_at_time(&self, at: u64, q: &ConjunctiveQuery) -> Result<VersionedCitation> {
         let version = self
             .history
             .snapshot_at(at)
@@ -140,7 +161,7 @@ impl VersionedCitationEngine {
     }
 
     /// Cite against the newest version.
-    pub fn cite_head(&mut self, q: &ConjunctiveQuery) -> Result<VersionedCitation> {
+    pub fn cite_head(&self, q: &ConjunctiveQuery) -> Result<VersionedCitation> {
         let version = self
             .history
             .head()
@@ -151,12 +172,8 @@ impl VersionedCitationEngine {
 
     /// How a tuple's citation evolved across all versions — §4's
     /// "the choice of proper citation for output tuples may change".
-    pub fn citation_timeline(
-        &mut self,
-        q: &ConjunctiveQuery,
-    ) -> Result<Vec<(VersionId, Json)>> {
-        let versions: Vec<VersionId> =
-            self.history.iter().map(|(info, _)| info.id).collect();
+    pub fn citation_timeline(&self, q: &ConjunctiveQuery) -> Result<Vec<(VersionId, Json)>> {
+        let versions: Vec<VersionId> = self.history.iter().map(|(info, _)| info.id).collect();
         let mut timeline = Vec::with_capacity(versions.len());
         for v in versions {
             let cited = self.cite_at_version(v, q)?;
@@ -171,7 +188,7 @@ mod tests {
     use super::*;
     use fgc_query::parse_query;
     use fgc_relation::schema::RelationSchema;
-    use fgc_relation::{tuple, Database, DataType};
+    use fgc_relation::{tuple, DataType, Database};
     use fgc_views::{CitationFunction, CitationView};
 
     fn base_db() -> Database {
@@ -212,7 +229,8 @@ mod tests {
         let mut h = VersionedDatabase::new();
         h.commit(base_db(), 100, "v23").unwrap();
         h.commit_with(200, "v24", |db| {
-            db.insert("Family", tuple!["12", "Orexin", "gpcr"]).map(|_| ())
+            db.insert("Family", tuple!["12", "Orexin", "gpcr"])
+                .map(|_| ())
         })
         .unwrap();
         h
@@ -220,7 +238,7 @@ mod tests {
 
     #[test]
     fn cite_at_old_version_sees_old_data() {
-        let mut e = VersionedCitationEngine::new(history(), registry());
+        let e = VersionedCitationEngine::new(history(), registry());
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         let old = e.cite_at_version(0, &q).unwrap();
         assert_eq!(old.citation.tuples.len(), 1);
@@ -231,7 +249,7 @@ mod tests {
 
     #[test]
     fn cite_at_time_resolves_version() {
-        let mut e = VersionedCitationEngine::new(history(), registry());
+        let e = VersionedCitationEngine::new(history(), registry());
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         assert_eq!(e.cite_at_time(150, &q).unwrap().version, 0);
         assert_eq!(e.cite_at_time(500, &q).unwrap().version, 1);
@@ -243,7 +261,7 @@ mod tests {
 
     #[test]
     fn stamped_aggregate_includes_fixity_fields() {
-        let mut e = VersionedCitationEngine::new(history(), registry());
+        let e = VersionedCitationEngine::new(history(), registry());
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         let cited = e.cite_head(&q).unwrap();
         let stamped = cited.stamped_aggregate();
@@ -253,7 +271,7 @@ mod tests {
 
     #[test]
     fn timeline_tracks_citation_evolution() {
-        let mut e = VersionedCitationEngine::new(history(), registry());
+        let e = VersionedCitationEngine::new(history(), registry());
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         let timeline = e.citation_timeline(&q).unwrap();
         assert_eq!(timeline.len(), 2);
@@ -265,7 +283,8 @@ mod tests {
         let mut e = VersionedCitationEngine::new(history(), registry());
         let id = e
             .commit_with(300, "v25", |db| {
-                db.insert("Family", tuple!["13", "Kinase", "enzyme"]).map(|_| ())
+                db.insert("Family", tuple!["13", "Kinase", "enzyme"])
+                    .map(|_| ())
             })
             .unwrap();
         assert_eq!(id, 2);
@@ -275,8 +294,7 @@ mod tests {
 
     #[test]
     fn empty_history_errors() {
-        let mut e =
-            VersionedCitationEngine::new(VersionedDatabase::new(), registry());
+        let e = VersionedCitationEngine::new(VersionedDatabase::new(), registry());
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         assert!(matches!(
             e.cite_head(&q).unwrap_err(),

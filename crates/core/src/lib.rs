@@ -10,9 +10,15 @@
 //!   `Agg` (§3.3) and the §3.4 order choices;
 //! * [`engine`] — `cite(D, Q, V)`: evaluate, rewrite using citation
 //!   views, build the symbolic citation expression (Defs. 3.1–3.3),
-//!   normalize, interpret, aggregate (Def. 3.4);
-//! * [`cache`] — memoized `(view, valuation) → citation` (§4:
-//!   caching/materialization);
+//!   normalize, interpret, aggregate (Def. 3.4); every serving entry
+//!   point takes `&self`, so an `Arc`-shared engine cites
+//!   concurrently;
+//! * [`request`] — the serving layer: [`CiteRequest`] per-call
+//!   overrides (policy, mode, budgets, memoization) and
+//!   [`CiteResponse`] timing/cache metadata, plus batch fan-out via
+//!   [`CitationEngine::cite_batch`];
+//! * [`cache`] — sharded, thread-safe memoized
+//!   `(view, valuation) → citation` (§4: caching/materialization);
 //! * [`mod@explain`] — human-readable provenance of a citation (which
 //!   rewritings, views, valuations, and policy produced it);
 //! * [`fixity`] — versioned citations with timestamps (§4: fixity);
@@ -44,11 +50,22 @@
 //!     ]),
 //! )).unwrap();
 //!
-//! let mut engine = CitationEngine::new(db, views).unwrap();
+//! // `cite` takes `&self`: no `mut`, and the engine can be shared
+//! // across threads via `Arc` for concurrent serving.
+//! let engine = CitationEngine::new(db, views).unwrap();
 //! let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
 //! let cited = engine.cite(&q).unwrap();
 //! assert_eq!(cited.tuples.len(), 1);
 //! assert!(!cited.tuples[0].citation.is_null());
+//!
+//! // Per-request overrides and batch serving:
+//! use fgc_core::{CiteRequest, RewriteMode};
+//! let requests = vec![
+//!     CiteRequest::query(q.clone()),
+//!     CiteRequest::query(q).with_mode(RewriteMode::Exhaustive),
+//! ];
+//! let responses = engine.cite_batch(&requests);
+//! assert!(responses.iter().all(|r| r.is_ok()));
 //! ```
 
 #![warn(missing_docs)]
@@ -60,17 +77,17 @@ pub mod error;
 pub mod explain;
 pub mod fixity;
 pub mod policy;
+pub mod request;
 pub mod suggest;
 pub mod token;
 
 pub use baseline::{baseline_coverage, PageCitationStore, WorkloadItem};
 pub use cache::{CacheStats, CitationCache};
-pub use engine::{
-    CitationEngine, EngineOptions, QueryCitation, RewriteMode, TupleCitation,
-};
+pub use engine::{CitationEngine, EngineOptions, QueryCitation, RewriteMode, TupleCitation};
 pub use error::{CoreError, Result};
 pub use explain::explain;
 pub use fixity::{VersionedCitation, VersionedCitationEngine};
 pub use policy::{CombineOp, OrderChoice, Policy};
+pub use request::{CiteRequest, CiteResponse, QuerySpec};
 pub use suggest::{suggest_views, QueryLog, SuggestedView};
 pub use token::CiteToken;

@@ -139,9 +139,7 @@ impl Policy {
     ) -> CitationExpr<R, CiteToken> {
         match self.order {
             OrderChoice::None => expr.normal_form(&NoOrder),
-            OrderChoice::FewestViews => {
-                expr.normal_form(&FewestViews::new(CiteToken::is_view))
-            }
+            OrderChoice::FewestViews => expr.normal_form(&FewestViews::new(CiteToken::is_view)),
             OrderChoice::FewestUncovered => {
                 expr.normal_form(&FewestUncovered::new(CiteToken::is_base))
             }
@@ -180,12 +178,9 @@ fn token_inclusion_leq(
             return true;
         }
         match (a, b) {
-            (
-                CiteToken::View { view: va, .. },
-                CiteToken::View { view: vb, .. },
-            ) => *inclusion
-                .get(&(va.clone(), vb.clone()))
-                .unwrap_or(&false),
+            (CiteToken::View { view: va, .. }, CiteToken::View { view: vb, .. }) => {
+                *inclusion.get(&(va.clone(), vb.clone())).unwrap_or(&false)
+            }
             _ => false,
         }
     }
@@ -293,11 +288,9 @@ mod tests {
 
     #[test]
     fn plus_r_union_keeps_alternatives() {
-        let e = CitationExpr::single("Q1".to_string(), Polynomial::token(token_v1()))
-            .plus_r(&CitationExpr::single(
-                "Q2".to_string(),
-                Polynomial::token(token_v2()),
-            ));
+        let e = CitationExpr::single("Q1".to_string(), Polynomial::token(token_v1())).plus_r(
+            &CitationExpr::single("Q2".to_string(), Polynomial::token(token_v2())),
+        );
         let policy = Policy::union_all();
         let out = interpret_expr(&policy, &e, value_of).unwrap();
         assert!(matches!(out, Json::Array(items) if items.len() == 2));
@@ -306,8 +299,9 @@ mod tests {
     #[test]
     fn normalize_with_fewest_views_drops_bigger_monomial() {
         let poly_small = Polynomial::token(token_v1());
-        let poly_big =
-            Polynomial::from_monomial(Monomial::token(token_v1()).times(&Monomial::token(token_v2())));
+        let poly_big = Polynomial::from_monomial(
+            Monomial::token(token_v1()).times(&Monomial::token(token_v2())),
+        );
         let e = CitationExpr::single("Qbig".to_string(), poly_big)
             .plus_r(&CitationExpr::single("Qsmall".to_string(), poly_small));
         let policy = Policy::default().with_order(OrderChoice::FewestViews);
@@ -322,11 +316,9 @@ mod tests {
         let mut inclusion = BTreeMap::new();
         inclusion.insert(("V3".to_string(), "V1".to_string()), true);
         let tok_v3 = CiteToken::view("V3", vec![]);
-        let e = CitationExpr::single("Qgen".to_string(), Polynomial::token(tok_v3))
-            .plus_r(&CitationExpr::single(
-                "Qspec".to_string(),
-                Polynomial::token(token_v1()),
-            ));
+        let e = CitationExpr::single("Qgen".to_string(), Polynomial::token(tok_v3)).plus_r(
+            &CitationExpr::single("Qspec".to_string(), Polynomial::token(token_v1())),
+        );
         let policy = Policy::default().with_order(OrderChoice::ViewInclusion);
         let nf = policy.normalize(&e, &inclusion);
         assert_eq!(nf.num_alternatives(), 1);
@@ -335,11 +327,9 @@ mod tests {
 
     #[test]
     fn normalize_none_keeps_everything() {
-        let e = CitationExpr::single("Q1".to_string(), Polynomial::token(token_v1()))
-            .plus_r(&CitationExpr::single(
-                "Q2".to_string(),
-                Polynomial::token(token_v2()),
-            ));
+        let e = CitationExpr::single("Q1".to_string(), Polynomial::token(token_v1())).plus_r(
+            &CitationExpr::single("Q2".to_string(), Polynomial::token(token_v2())),
+        );
         let policy = Policy::union_all(); // OrderChoice::None
         assert_eq!(policy.normalize(&e, &BTreeMap::new()).num_alternatives(), 2);
     }

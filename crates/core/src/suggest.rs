@@ -78,8 +78,11 @@ fn pattern_of(q: &ConjunctiveQuery) -> Option<Pattern> {
         Normalized::Query(n) => n,
         Normalized::Unsatisfiable => return None,
     };
-    let mut relations: Vec<String> =
-        normalized.atoms.iter().map(|a| a.relation.clone()).collect();
+    let mut relations: Vec<String> = normalized
+        .atoms
+        .iter()
+        .map(|a| a.relation.clone())
+        .collect();
     relations.sort();
     let mut arities: BTreeMap<String, usize> = BTreeMap::new();
     for atom in &normalized.atoms {
@@ -157,19 +160,18 @@ fn view_from_pattern(pattern: &Pattern, index: usize) -> ConjunctiveQuery {
         }
     }
     let mut next_var = 0usize;
-    let mut var_of = |key: (String, usize),
-                      canon: &mut BTreeMap<(String, usize), (String, usize)>|
-     -> String {
-        let root = find(canon, key);
-        var_names
-            .entry(root)
-            .or_insert_with(|| {
-                let v = format!("X{next_var}");
-                next_var += 1;
-                v
-            })
-            .clone()
-    };
+    let mut var_of =
+        |key: (String, usize), canon: &mut BTreeMap<(String, usize), (String, usize)>| -> String {
+            let root = find(canon, key);
+            var_names
+                .entry(root)
+                .or_insert_with(|| {
+                    let v = format!("X{next_var}");
+                    next_var += 1;
+                    v
+                })
+                .clone()
+        };
 
     // arity per relation, recorded from the log queries' atoms
     let arity = &pattern.arities;
@@ -271,19 +273,20 @@ mod tests {
 
     #[test]
     fn frequent_join_becomes_view() {
-        let log = log_with(
-            &["Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"],
-            5,
-        );
+        let log = log_with(&["Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)"], 5);
         let suggestions = suggest_views(&log, &[], 3, 2);
         assert_eq!(suggestions.len(), 1);
         let def = &suggestions[0].definition;
         assert_eq!(suggestions[0].support, 5);
-        let rels: BTreeSet<&str> =
-            def.atoms.iter().map(|a| a.relation.as_str()).collect();
+        let rels: BTreeSet<&str> = def.atoms.iter().map(|a| a.relation.as_str()).collect();
         assert_eq!(rels, BTreeSet::from(["Family", "FamilyIntro"]));
         // join on FID: the two atoms share a variable
-        let family_fid = &def.atoms.iter().find(|a| a.relation == "Family").unwrap().terms[0];
+        let family_fid = &def
+            .atoms
+            .iter()
+            .find(|a| a.relation == "Family")
+            .unwrap()
+            .terms[0];
         let intro_fid = &def
             .atoms
             .iter()
@@ -330,9 +333,7 @@ mod tests {
     fn suggestions_ranked_by_support() {
         let mut log = QueryLog::new();
         for _ in 0..5 {
-            log.record(
-                parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap(),
-            );
+            log.record(parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap());
         }
         for _ in 0..2 {
             log.record(parse_query("Q(Pn) :- Person(P, Pn, A)").unwrap());

@@ -107,10 +107,7 @@ mod tests {
         assert!(CiteToken::view("V1", vec![]).is_view());
         assert!(!CiteToken::view("V1", vec![]).is_base());
         assert!(CiteToken::base("R").is_base());
-        assert_eq!(
-            CiteToken::view("V1", vec![]).view_name(),
-            Some("V1")
-        );
+        assert_eq!(CiteToken::view("V1", vec![]).view_name(), Some("V1"));
         assert_eq!(CiteToken::base("R").view_name(), None);
     }
 

@@ -16,10 +16,9 @@
 //! Everything is driven by a seeded [`SmallRng`]: the same config
 //! yields byte-identical databases on every platform.
 
+use crate::rng::SmallRng;
 use crate::schema::create_schema;
 use fgc_relation::{tuple, Database, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -121,11 +120,8 @@ pub fn generate(config: &GeneratorConfig) -> Database {
     for f in 0..config.families {
         let fid = format!("f{f}");
         let ty = type_name(rng.gen_range(0..config.types.max(1)));
-        db.insert(
-            "Family",
-            tuple![fid.clone(), format!("Family-{f}"), ty],
-        )
-        .expect("unique family ids");
+        db.insert("Family", tuple![fid.clone(), format!("Family-{f}"), ty])
+            .expect("unique family ids");
 
         let committee_size = rng.gen_range(1..=config.max_committee.max(1));
         let mut members: Vec<usize> = Vec::with_capacity(committee_size);

@@ -21,6 +21,7 @@
 
 pub mod generator;
 pub mod paper_instance;
+pub mod rng;
 pub mod schema;
 pub mod views;
 pub mod workload;

@@ -104,10 +104,8 @@ mod tests {
     #[test]
     fn family_11_is_calcitonin_with_hay_poyner() {
         let db = paper_instance();
-        let q = parse_query(
-            "Q(Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A), F = \"11\"",
-        )
-        .unwrap();
+        let q = parse_query("Q(Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A), F = \"11\"")
+            .unwrap();
         let mut names = evaluate(&db, &q).unwrap();
         names.sort();
         assert_eq!(names, vec![tuple!["Hay"], tuple!["Poyner"]]);
@@ -116,10 +114,8 @@ mod tests {
     #[test]
     fn family_11_contributors_are_brown_smith() {
         let db = paper_instance();
-        let q = parse_query(
-            "Q(Pn) :- FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A), F = \"11\"",
-        )
-        .unwrap();
+        let q = parse_query("Q(Pn) :- FamilyIntro(F, Tx), FIC(F, C), Person(C, Pn, A), F = \"11\"")
+            .unwrap();
         let mut names = evaluate(&db, &q).unwrap();
         names.sort();
         assert_eq!(names, vec![tuple!["Brown"], tuple!["Smith"]]);
@@ -128,10 +124,9 @@ mod tests {
     #[test]
     fn example_3_3_family_13() {
         let db = paper_instance();
-        let q = parse_query(
-            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx), F = \"13\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx), F = \"13\"")
+                .unwrap();
         assert_eq!(evaluate(&db, &q).unwrap(), vec![tuple!["b"]]);
     }
 }

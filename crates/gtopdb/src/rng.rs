@@ -1,0 +1,137 @@
+//! A tiny deterministic PRNG, replacing the external `rand` crate
+//! (the workspace builds offline, so third-party crates are not
+//! available).
+//!
+//! [`SmallRng`] keeps the call-site API the generator and workload
+//! modules were written against: `seed_from_u64`, `gen_range` over
+//! half-open and inclusive `usize` ranges, and `gen_bool`. The core
+//! is SplitMix64 — fast, full-period over the 64-bit state, and
+//! platform-independent, so a given seed yields byte-identical
+//! databases everywhere (the property the generator documents and the
+//! determinism tests assert).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, seedable, deterministic random-number generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// The next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from `range` (panics on an empty range, like
+    /// `rand`).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> usize {
+        let (lo, hi_inclusive) = range.bounds();
+        assert!(lo <= hi_inclusive, "cannot sample from an empty range");
+        let span = (hi_inclusive - lo) as u64 + 1;
+        // multiply-shift keeps the bias below 2^-64 for the small
+        // spans used here
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // p == 1.0 must always be true, but u64 values within 2048 of
+        // 2^64 round to 2^64 as f64, making the quotient exactly 1.0
+        // and failing the strict `<`.
+        if p >= 1.0 {
+            self.next_u64();
+            return true;
+        }
+        (self.next_u64() as f64 / u64::MAX as f64) < p.max(0.0)
+    }
+}
+
+/// The `usize` range shapes `gen_range` accepts.
+pub trait SampleRange {
+    /// `(low, high_inclusive)` bounds of the range.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SampleRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(43);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(1..=5);
+            assert!((1..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(3..3);
+    }
+}

@@ -10,7 +10,7 @@
 //! ```
 
 use fgc_relation::schema::RelationSchema;
-use fgc_relation::{Database, DataType};
+use fgc_relation::{DataType, Database};
 
 /// Create the six GtoPdb relations (with keys and foreign keys) in a
 /// fresh database.

@@ -8,10 +8,8 @@ use fgc_views::{CitationFunction, CitationView, ViewRegistry};
 pub fn v1() -> CitationView {
     CitationView::new(
         parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").expect("static"),
-        parse_query(
-            "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
-        )
-        .expect("static"),
+        parse_query("lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)")
+            .expect("static"),
         CitationFunction::from_spec(vec![
             CitationFunction::scalar("ID", 0),
             CitationFunction::scalar("Name", 1),
@@ -57,10 +55,8 @@ pub fn v3() -> CitationView {
 pub fn v4() -> CitationView {
     CitationView::new(
         parse_query("lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)").expect("static"),
-        parse_query(
-            "lambda Ty. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
-        )
-        .expect("static"),
+        parse_query("lambda Ty. CV4(Ty, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)")
+            .expect("static"),
         CitationFunction::from_spec(vec![
             CitationFunction::scalar("Type", 0),
             CitationFunction::group(

@@ -10,11 +10,10 @@
 //!   site never anticipated).
 
 use crate::generator::present_types;
+use crate::rng::SmallRng;
 use fgc_core::baseline::{PageKey, WorkloadItem};
 use fgc_query::{parse_query, ConjunctiveQuery};
 use fgc_relation::{Database, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Query templates for ad-hoc workloads, in increasing join depth.
 const TEMPLATES: [&str; 6] = [
@@ -110,20 +109,15 @@ impl WorkloadGenerator {
     pub fn page_request(&mut self) -> PageKey {
         match self.rng.gen_range(0..3) {
             0 => {
-                let fid = self.family_ids
-                    [self.rng.gen_range(0..self.family_ids.len())]
-                .clone();
+                let fid = self.family_ids[self.rng.gen_range(0..self.family_ids.len())].clone();
                 ("V1".to_string(), vec![fid])
             }
             1 => {
-                let fid = self.family_ids
-                    [self.rng.gen_range(0..self.family_ids.len())]
-                .clone();
+                let fid = self.family_ids[self.rng.gen_range(0..self.family_ids.len())].clone();
                 ("V2".to_string(), vec![fid])
             }
             _ => {
-                let ty =
-                    self.types[self.rng.gen_range(0..self.types.len())].clone();
+                let ty = self.types[self.rng.gen_range(0..self.types.len())].clone();
                 ("V4".to_string(), vec![ty])
             }
         }
@@ -221,8 +215,9 @@ mod tests {
         let mut gen = WorkloadGenerator::new(&db, 3);
         // template 4 uses a family id constant
         let q = gen.query_from_template(4);
-        assert!(q.comparisons.iter().any(|c| {
-            matches!(&c.right, fgc_query::Term::Const(v) if v.as_str().is_some())
-        }));
+        assert!(q
+            .comparisons
+            .iter()
+            .any(|c| { matches!(&c.right, fgc_query::Term::Const(v) if v.as_str().is_some()) }));
     }
 }

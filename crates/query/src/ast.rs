@@ -194,7 +194,9 @@ impl Comparison {
 
     /// Variables occurring in the comparison.
     pub fn vars(&self) -> impl Iterator<Item = &str> {
-        [&self.left, &self.right].into_iter().filter_map(Term::as_var)
+        [&self.left, &self.right]
+            .into_iter()
+            .filter_map(Term::as_var)
     }
 }
 
@@ -314,11 +316,7 @@ impl ConjunctiveQuery {
             .map(|v| (v.to_string(), Term::Var(format!("{v}{suffix}"))))
             .collect();
         let mut renamed = crate::subst::apply_query(&subst, self);
-        renamed.params = self
-            .params
-            .iter()
-            .map(|p| format!("{p}{suffix}"))
-            .collect();
+        renamed.params = self.params.iter().map(|p| format!("{p}{suffix}")).collect();
         renamed
     }
 }
@@ -395,10 +393,7 @@ mod tests {
             CompOp::Eq,
             Term::val("gpcr"),
         )]);
-        assert_eq!(
-            q.to_string(),
-            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\""
-        );
+        assert_eq!(q.to_string(), "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"");
     }
 
     #[test]
@@ -447,7 +442,14 @@ mod tests {
         use fgc_relation::Value;
         assert!(CompOp::Lt.eval(&Value::Int(1), &Value::Int(2)));
         assert!(!CompOp::Ge.eval(&Value::Int(1), &Value::Int(2)));
-        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+        for op in [
+            CompOp::Eq,
+            CompOp::Ne,
+            CompOp::Lt,
+            CompOp::Le,
+            CompOp::Gt,
+            CompOp::Ge,
+        ] {
             // a op b == b flip(op) a on samples
             let a = Value::Int(3);
             let b = Value::Int(5);

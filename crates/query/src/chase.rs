@@ -46,8 +46,7 @@ impl Dependencies {
         let mut deps = Dependencies::default();
         for schema in catalog.iter() {
             if schema.has_key() {
-                deps.keys
-                    .insert(schema.name.clone(), schema.key.clone());
+                deps.keys.insert(schema.name.clone(), schema.key.clone());
             }
         }
         deps
@@ -94,9 +93,9 @@ pub fn chase_keys(q: &ConjunctiveQuery, deps: &Dependencies) -> Chased {
                     continue; // arity mismatch guards are upstream
                 }
                 // keys must agree *syntactically* (after resolution)
-                let keys_equal = key.iter().all(|&k| {
-                    resolve(&subst, &a.terms[k]) == resolve(&subst, &b.terms[k])
-                });
+                let keys_equal = key
+                    .iter()
+                    .all(|&k| resolve(&subst, &a.terms[k]) == resolve(&subst, &b.terms[k]));
                 if !keys_equal {
                     continue;
                 }
@@ -147,9 +146,7 @@ pub fn is_contained_in_under(
         Chased::Query(q) => q,
     };
     let n2 = match normalize(q2) {
-        Normalized::Unsatisfiable => {
-            return matches!(chase_keys(&n1, deps), Chased::Unsatisfiable)
-        }
+        Normalized::Unsatisfiable => return matches!(chase_keys(&n1, deps), Chased::Unsatisfiable),
         Normalized::Query(q) => q,
     };
     let n1 = n1.freshen("_l");
@@ -158,11 +155,7 @@ pub fn is_contained_in_under(
 }
 
 /// Equivalence over all databases satisfying `deps`.
-pub fn equivalent_under(
-    q1: &ConjunctiveQuery,
-    q2: &ConjunctiveQuery,
-    deps: &Dependencies,
-) -> bool {
+pub fn equivalent_under(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, deps: &Dependencies) -> bool {
     is_contained_in_under(q1, q2, deps) && is_contained_in_under(q2, q1, deps)
 }
 
@@ -200,8 +193,7 @@ mod tests {
 
     #[test]
     fn chase_detects_key_conflicts() {
-        let query =
-            q("Q(F) :- Family(F, N, \"gpcr\"), Family(F, N2, \"enzyme\")");
+        let query = q("Q(F) :- Family(F, N, \"gpcr\"), Family(F, N2, \"enzyme\")");
         assert!(matches!(
             chase_keys(&query, &family_key()),
             Chased::Unsatisfiable
@@ -260,13 +252,11 @@ mod tests {
         let deps = Dependencies::none()
             .with_key("Family", vec![0])
             .with_key("S", vec![0]);
-        let query = q(
-            "Q(X, Y) :- Family(F, N, T1), Family(F, N2, T2), S(T1, X), S(T2, Y)",
-        );
+        let query = q("Q(X, Y) :- Family(F, N, T1), Family(F, N2, T2), S(T1, X), S(T2, Y)");
         match chase_keys(&query, &deps) {
             Chased::Query(c) => {
                 assert_eq!(c.atoms.len(), 2); // one Family, one S
-                // X and Y collapsed to the same variable
+                                              // X and Y collapsed to the same variable
                 assert_eq!(c.head[0], c.head[1]);
             }
             Chased::Unsatisfiable => panic!(),
@@ -287,10 +277,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        cat.add(
-            RelationSchema::with_names("MetaData", &[("T", DataType::Str)], &[]).unwrap(),
-        )
-        .unwrap();
+        cat.add(RelationSchema::with_names("MetaData", &[("T", DataType::Str)], &[]).unwrap())
+            .unwrap();
         let deps = Dependencies::from_catalog(&cat);
         assert_eq!(deps.key_of("Family"), Some(&[0][..]));
         assert_eq!(deps.key_of("MetaData"), None);

@@ -41,10 +41,9 @@ pub enum Normalized {
 pub fn normalize(q: &ConjunctiveQuery) -> Normalized {
     let mut subst = Substitution::new();
     for c in &q.comparisons {
-        if c.op == CompOp::Eq
-            && !unify_terms(&mut subst, &c.left, &c.right) {
-                return Normalized::Unsatisfiable;
-            }
+        if c.op == CompOp::Eq && !unify_terms(&mut subst, &c.left, &c.right) {
+            return Normalized::Unsatisfiable;
+        }
     }
     // fully resolve the substitution
     let subst: Substitution = q
@@ -124,9 +123,7 @@ impl VarConstraint {
                 let strict = op == CompOp::Gt;
                 let better = match &self.lower {
                     None => true,
-                    Some((cur, cur_strict)) => {
-                        v > cur || (v == cur && strict && !*cur_strict)
-                    }
+                    Some((cur, cur_strict)) => v > cur || (v == cur && strict && !*cur_strict),
                 };
                 if better {
                     self.lower = Some((v.clone(), strict));
@@ -136,9 +133,7 @@ impl VarConstraint {
                 let strict = op == CompOp::Lt;
                 let better = match &self.upper {
                     None => true,
-                    Some((cur, cur_strict)) => {
-                        v < cur || (v == cur && strict && !*cur_strict)
-                    }
+                    Some((cur, cur_strict)) => v < cur || (v == cur && strict && !*cur_strict),
                 };
                 if better {
                     self.upper = Some((v.clone(), strict));
@@ -194,15 +189,13 @@ impl CompContext {
         match (&c.left, &c.right) {
             (Term::Const(a), Term::Const(b)) => c.op.eval(a, b),
             (l, r) if l == r => matches!(c.op, CompOp::Le | CompOp::Ge | CompOp::Eq),
-            (Term::Var(x), Term::Const(v)) => self
-                .per_var
-                .get(x)
-                .is_some_and(|vc| vc.implies(c.op, v)),
-            (Term::Var(_), Term::Var(_)) => self.var_var.iter().any(|own| {
-                own.left == c.left
-                    && own.right == c.right
-                    && op_implies(own.op, c.op)
-            }),
+            (Term::Var(x), Term::Const(v)) => {
+                self.per_var.get(x).is_some_and(|vc| vc.implies(c.op, v))
+            }
+            (Term::Var(_), Term::Var(_)) => self
+                .var_var
+                .iter()
+                .any(|own| own.left == c.left && own.right == c.right && op_implies(own.op, c.op)),
             _ => false,
         }
     }
@@ -213,11 +206,17 @@ fn op_implies(op1: CompOp, op2: CompOp) -> bool {
     use CompOp::*;
     matches!(
         (op1, op2),
-        (Eq, Eq) | (Eq, Le) | (Eq, Ge)
+        (Eq, Eq)
+            | (Eq, Le)
+            | (Eq, Ge)
             | (Ne, Ne)
-            | (Lt, Lt) | (Lt, Le) | (Lt, Ne)
+            | (Lt, Lt)
+            | (Lt, Le)
+            | (Lt, Ne)
             | (Le, Le)
-            | (Gt, Gt) | (Gt, Ge) | (Gt, Ne)
+            | (Gt, Gt)
+            | (Gt, Ge)
+            | (Gt, Ne)
             | (Ge, Ge)
     )
 }
@@ -324,10 +323,7 @@ fn find_homomorphism(q2: &ConjunctiveQuery, q1: &ConjunctiveQuery) -> Option<Sub
 
 /// Crate-internal entry point for [`crate::chase`]: homomorphism
 /// search between *already normalized and freshened* queries.
-pub(crate) fn find_homomorphism_public(
-    q2: &ConjunctiveQuery,
-    q1: &ConjunctiveQuery,
-) -> bool {
+pub(crate) fn find_homomorphism_public(q2: &ConjunctiveQuery, q1: &ConjunctiveQuery) -> bool {
     find_homomorphism(q2, q1).is_some()
 }
 
@@ -439,10 +435,8 @@ mod tests {
     fn paper_example_2_3_rewriting_q4_equivalent() {
         // Q(N,Tx) :- Family(F,N,Ty), FamilyIntro(F,Tx), Ty="gpcr"
         // expansion of Q4 = V5("gpcr") is the same modulo renaming
-        let original =
-            q("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"");
-        let expansion =
-            q("Q(N2, Tx2) :- Family(F2, N2, \"gpcr\"), FamilyIntro(F2, Tx2)");
+        let original = q("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"");
+        let expansion = q("Q(N2, Tx2) :- Family(F2, N2, \"gpcr\"), FamilyIntro(F2, Tx2)");
         assert!(equivalent(&original, &expansion));
     }
 

@@ -260,10 +260,7 @@ fn project_head(q: &ConjunctiveQuery, binding: &Binding) -> Tuple {
         .iter()
         .map(|t| match t {
             Term::Const(v) => v.clone(),
-            Term::Var(v) => binding
-                .get(v.as_str())
-                .cloned()
-                .unwrap_or(Value::Null),
+            Term::Var(v) => binding.get(v.as_str()).cloned().unwrap_or(Value::Null),
         })
         .collect()
 }
@@ -294,10 +291,7 @@ pub fn evaluate_with(
 
 /// Evaluate and group *all* bindings by output tuple — Definition 3.2
 /// needs "the set of all bindings for Q' that yield a tuple t".
-pub fn evaluate_grouped(
-    db: &Database,
-    q: &ConjunctiveQuery,
-) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+pub fn evaluate_grouped(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>> {
     evaluate_grouped_with(db, q, EvalOptions::default())
 }
 
@@ -433,8 +427,7 @@ mod tests {
     #[test]
     fn join_via_shared_variable() {
         let db = sample_db();
-        let q =
-            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
         let mut out = evaluate(&db, &q).unwrap();
         out.sort();
         assert_eq!(
@@ -450,10 +443,7 @@ mod tests {
     fn paper_example_2_2_query() {
         // names of gpcr families that have an introduction page
         let db = sample_db();
-        let q = parse_query(
-            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)",
-        )
-        .unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)").unwrap();
         let out = evaluate(&db, &q).unwrap();
         assert_eq!(out, vec![tuple!["Calcitonin"]]);
     }
@@ -479,10 +469,7 @@ mod tests {
         let db = sample_db();
         let q = parse_query("Q(Ty) :- Family(F, N, Ty)").unwrap();
         let grouped = evaluate_grouped(&db, &q).unwrap();
-        let gpcr = grouped
-            .iter()
-            .find(|(t, _)| t == &tuple!["gpcr"])
-            .unwrap();
+        let gpcr = grouped.iter().find(|(t, _)| t == &tuple!["gpcr"]).unwrap();
         assert_eq!(gpcr.1.len(), 2); // two gpcr families
         let enzyme = grouped
             .iter()
@@ -495,8 +482,7 @@ mod tests {
     fn annotated_eval_counts_derivations() {
         let db = sample_db();
         let q = parse_query("Q(Ty) :- Family(F, N, Ty)").unwrap();
-        let out: Vec<(Tuple, Natural)> =
-            evaluate_annotated(&db, &q, |_, _| Natural(1)).unwrap();
+        let out: Vec<(Tuple, Natural)> = evaluate_annotated(&db, &q, |_, _| Natural(1)).unwrap();
         let gpcr = out.iter().find(|(t, _)| t == &tuple!["gpcr"]).unwrap();
         assert_eq!(gpcr.1, Natural(2));
     }
@@ -504,13 +490,11 @@ mod tests {
     #[test]
     fn annotated_eval_builds_provenance_polynomials() {
         let db = sample_db();
-        let q =
-            parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
-        let out: Vec<(Tuple, Polynomial<String>)> =
-            evaluate_annotated(&db, &q, |rel, row| {
-                Polynomial::token(format!("{rel}:{row}"))
-            })
-            .unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        let out: Vec<(Tuple, Polynomial<String>)> = evaluate_annotated(&db, &q, |rel, row| {
+            Polynomial::token(format!("{rel}:{row}"))
+        })
+        .unwrap();
         let calci = out
             .iter()
             .find(|(t, _)| t == &tuple!["Calcitonin"])
@@ -534,9 +518,7 @@ mod tests {
     #[test]
     fn var_to_var_comparison() {
         let db = sample_db();
-        let q =
-            parse_query("Q(A, B) :- Family(F1, A, T1), Family(F2, B, T2), F1 < F2")
-                .unwrap();
+        let q = parse_query("Q(A, B) :- Family(F1, A, T1), Family(F2, B, T2), F1 < F2").unwrap();
         let out = evaluate(&db, &q).unwrap();
         assert_eq!(out.len(), 3); // (11,12) (11,13) (12,13)
     }
@@ -551,9 +533,7 @@ mod tests {
     #[test]
     fn contradictory_selection_yields_empty() {
         let db = sample_db();
-        let q =
-            parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", Ty = \"enzyme\"")
-                .unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", Ty = \"enzyme\"").unwrap();
         assert!(evaluate(&db, &q).unwrap().is_empty());
     }
 
@@ -571,12 +551,7 @@ mod tests {
     fn budget_enforced() {
         let db = sample_db();
         let q = parse_query("Q(A, B) :- Family(A, X, Y), Family(B, Z, W)").unwrap();
-        let err = evaluate_with(
-            &db,
-            &q,
-            EvalOptions { max_bindings: 4 },
-        )
-        .unwrap_err();
+        let err = evaluate_with(&db, &q, EvalOptions { max_bindings: 4 }).unwrap_err();
         assert!(matches!(err, QueryError::BudgetExceeded { .. }));
     }
 
@@ -584,10 +559,7 @@ mod tests {
     fn self_join_uses_distinct_atom_occurrences() {
         let db = sample_db();
         // pairs of distinct families with the same type
-        let q = parse_query(
-            "Q(A, B) :- Family(A, N1, T), Family(B, N2, T), A != B",
-        )
-        .unwrap();
+        let q = parse_query("Q(A, B) :- Family(A, N1, T), Family(B, N2, T), A != B").unwrap();
         let out = evaluate(&db, &q).unwrap();
         assert_eq!(out.len(), 2); // (11,12) and (12,11)
     }
@@ -602,8 +574,7 @@ mod tests {
     #[test]
     fn indexes_do_not_change_results() {
         let mut db = sample_db();
-        let q =
-            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
         let plain = evaluate(&db, &q).unwrap();
         db.build_default_indexes().unwrap();
         db.relation_mut("Family").unwrap().build_index(2).unwrap();

@@ -174,11 +174,9 @@ impl<'a> Lexer<'a> {
                 while let Some(c) = self.peek_byte() {
                     if c.is_ascii_digit() {
                         self.pos += 1;
-                    } else if c == b'.' && !is_float
-                        && self
-                            .bytes
-                            .get(self.pos + 1)
-                            .is_some_and(u8::is_ascii_digit)
+                    } else if c == b'.'
+                        && !is_float
+                        && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
                     {
                         is_float = true;
                         self.pos += 1;
@@ -203,9 +201,7 @@ impl<'a> Lexer<'a> {
                 }
                 Token::Ident(self.src[start..self.pos].to_string())
             }
-            other => {
-                return Err(self.error(format!("unexpected character `{}`", other as char)))
-            }
+            other => return Err(self.error(format!("unexpected character `{}`", other as char))),
         };
         Ok(Some((start, tok)))
     }

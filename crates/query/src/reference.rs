@@ -105,11 +105,7 @@ fn enumerate(
         let head: Vec<Value> = q
             .head
             .iter()
-            .map(|t| {
-                lookup(vars, assignment, t)
-                    .cloned()
-                    .unwrap_or(Value::Null)
-            })
+            .map(|t| lookup(vars, assignment, t).cloned().unwrap_or(Value::Null))
             .collect();
         out.insert(Tuple::new(head));
         return;
@@ -132,21 +128,13 @@ mod tests {
     fn tiny_db() -> Database {
         let mut db = Database::new();
         db.create_relation(
-            RelationSchema::with_names(
-                "R",
-                &[("a", DataType::Str), ("b", DataType::Str)],
-                &[],
-            )
-            .unwrap(),
+            RelationSchema::with_names("R", &[("a", DataType::Str), ("b", DataType::Str)], &[])
+                .unwrap(),
         )
         .unwrap();
         db.create_relation(
-            RelationSchema::with_names(
-                "S",
-                &[("b", DataType::Str), ("c", DataType::Str)],
-                &[],
-            )
-            .unwrap(),
+            RelationSchema::with_names("S", &[("b", DataType::Str), ("c", DataType::Str)], &[])
+                .unwrap(),
         )
         .unwrap();
         db.insert_all(

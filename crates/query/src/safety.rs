@@ -24,9 +24,10 @@ pub fn check_safety(q: &ConjunctiveQuery) -> Result<()> {
             }
             match (&c.left, &c.right) {
                 (Term::Var(v), Term::Const(_)) | (Term::Const(_), Term::Var(v))
-                    if bound.insert(v.as_str()) => {
-                        changed = true;
-                    }
+                    if bound.insert(v.as_str()) =>
+                {
+                    changed = true;
+                }
                 (Term::Var(a), Term::Var(b)) => {
                     if bound.contains(a.as_str()) && bound.insert(b.as_str()) {
                         changed = true;

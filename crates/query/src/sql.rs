@@ -189,7 +189,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>> {
                 out.push((start, tok));
             }
             other => {
-                return Err(err(start, &format!("unexpected character `{}`", other as char)));
+                return Err(err(
+                    start,
+                    &format!("unexpected character `{}`", other as char),
+                ));
             }
         }
     }
@@ -439,10 +442,8 @@ mod tests {
              WHERE f.FID = i.FID AND f.Type = 'gpcr'",
         )
         .unwrap();
-        let expected = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let expected =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         assert!(equivalent(&q, &expected), "got {q}");
     }
 
@@ -462,19 +463,14 @@ mod tests {
             "SELECT Family.FName FROM Family WHERE Family.Type = 'gpcr'",
         )
         .unwrap();
-        let expected =
-            parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
+        let expected = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
         assert!(equivalent(&q, &expected));
     }
 
     #[test]
     fn distinct_and_as_are_accepted() {
         let cat = catalog();
-        let q = parse_sql(
-            &cat,
-            "SELECT DISTINCT f.FName AS name FROM Family AS f",
-        )
-        .unwrap();
+        let q = parse_sql(&cat, "SELECT DISTINCT f.FName AS name FROM Family AS f").unwrap();
         assert_eq!(q.arity(), 1);
     }
 
@@ -515,9 +511,7 @@ mod tests {
     #[test]
     fn unknown_alias_rejected() {
         let cat = catalog();
-        assert!(
-            parse_sql(&cat, "SELECT g.FName FROM Family f").is_err()
-        );
+        assert!(parse_sql(&cat, "SELECT g.FName FROM Family f").is_err());
     }
 
     #[test]
@@ -537,10 +531,8 @@ mod tests {
         .unwrap();
         assert_eq!(q.atoms.len(), 2);
         assert_eq!(q.comparisons.len(), 1); // the != survives; = became a join
-        let expected = parse_query(
-            "Q(N1, N2) :- Family(F1, N1, T), Family(F2, N2, T), F1 != F2",
-        )
-        .unwrap();
+        let expected =
+            parse_query("Q(N1, N2) :- Family(F1, N1, T), Family(F2, N2, T), F1 != F2").unwrap();
         assert!(equivalent(&q, &expected));
     }
 }

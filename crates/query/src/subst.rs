@@ -187,6 +187,9 @@ mod tests {
     #[test]
     fn resolve_constant_is_identity() {
         let sub = Substitution::new();
-        assert_eq!(resolve(&sub, &Term::val(true)), Term::Const(Value::Bool(true)));
+        assert_eq!(
+            resolve(&sub, &Term::val(true)),
+            Term::Const(Value::Bool(true))
+        );
     }
 }

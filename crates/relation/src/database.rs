@@ -23,8 +23,7 @@ impl Database {
     /// Register a schema and create its (empty) relation instance.
     pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
         let arc = self.catalog.add(schema)?;
-        self.relations
-            .insert(arc.name.clone(), Relation::new(arc));
+        self.relations.insert(arc.name.clone(), Relation::new(arc));
         Ok(())
     }
 
@@ -119,8 +118,11 @@ impl Database {
             .catalog
             .iter()
             .map(|s| {
-                let mut cols: Vec<usize> =
-                    s.foreign_keys.iter().flat_map(|fk| fk.columns.clone()).collect();
+                let mut cols: Vec<usize> = s
+                    .foreign_keys
+                    .iter()
+                    .flat_map(|fk| fk.columns.clone())
+                    .collect();
                 cols.extend(s.key.first().copied());
                 cols.sort_unstable();
                 cols.dedup();

@@ -123,8 +123,7 @@ fn parse_create(spec: &str, lineno: usize) -> Result<crate::schema::RelationSche
         }
         specs.push((col_name, ty));
     }
-    let spec_refs: Vec<(&str, DataType)> =
-        specs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let spec_refs: Vec<(&str, DataType)> = specs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
     RelationSchema::with_names(name, &spec_refs, &key_refs)
 }
@@ -201,8 +200,7 @@ pub fn dump_text(db: &Database) -> String {
         let rel = db.relation(&schema.name).expect("catalog relation exists");
         let _ = writeln!(out, "@relation {}", schema.name);
         for row in rel.iter() {
-            let rendered: Vec<String> =
-                row.iter().map(|v| v.render().into_owned()).collect();
+            let rendered: Vec<String> = row.iter().map(|v| v.render().into_owned()).collect();
             let _ = writeln!(out, "{}", rendered.join(" | "));
         }
     }
@@ -349,7 +347,9 @@ mod tests {
         original
             .insert("Family", tuple!["11", "Calci | tonin", "gpcr"])
             .unwrap();
-        original.insert("MetaData", tuple!["Version", "23"]).unwrap();
+        original
+            .insert("MetaData", tuple!["Version", "23"])
+            .unwrap();
         let text = dump_text(&original);
         let mut restored = db();
         let n = load_text(&mut restored, &text).unwrap();

@@ -305,12 +305,9 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        let err = RelationSchema::with_names(
-            "R",
-            &[("a", DataType::Int), ("a", DataType::Str)],
-            &[],
-        )
-        .unwrap_err();
+        let err =
+            RelationSchema::with_names("R", &[("a", DataType::Int), ("a", DataType::Str)], &[])
+                .unwrap_err();
         assert!(matches!(err, RelationError::InvalidSchema(_)));
     }
 
@@ -323,8 +320,7 @@ mod tests {
 
     #[test]
     fn unknown_key_name_rejected() {
-        let err =
-            RelationSchema::with_names("R", &[("a", DataType::Int)], &["nope"]).unwrap_err();
+        let err = RelationSchema::with_names("R", &[("a", DataType::Int)], &["nope"]).unwrap_err();
         assert!(matches!(err, RelationError::UnknownAttribute { .. }));
     }
 
@@ -367,12 +363,9 @@ mod tests {
     fn catalog_validate_rejects_arity_mismatch() {
         let mut cat = Catalog::new();
         cat.add(family_schema()).unwrap();
-        let mut r = RelationSchema::with_names(
-            "R",
-            &[("a", DataType::Str), ("b", DataType::Str)],
-            &[],
-        )
-        .unwrap();
+        let mut r =
+            RelationSchema::with_names("R", &[("a", DataType::Str), ("b", DataType::Str)], &[])
+                .unwrap();
         r.add_foreign_key(&["a", "b"], "Family").unwrap();
         cat.add(r).unwrap();
         assert!(matches!(

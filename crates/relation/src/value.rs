@@ -372,11 +372,13 @@ mod tests {
 
     #[test]
     fn cross_type_ordering_is_total() {
-        let mut vals = [Value::str("a"),
+        let mut vals = [
+            Value::str("a"),
             Value::Int(1),
             Value::Null,
             Value::Bool(true),
-            Value::float(0.5)];
+            Value::float(0.5),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

@@ -168,10 +168,8 @@ mod tests {
     fn commit_with_derives_from_head() {
         let mut v = VersionedDatabase::new();
         v.commit(base(), 100, "v0").unwrap();
-        v.commit_with(200, "v1", |db| {
-            db.insert("R", tuple![1]).map(|_| ())
-        })
-        .unwrap();
+        v.commit_with(200, "v1", |db| db.insert("R", tuple![1]).map(|_| ()))
+            .unwrap();
         assert_eq!(v.snapshot(0).unwrap().1.total_tuples(), 0);
         assert_eq!(v.snapshot(1).unwrap().1.total_tuples(), 1);
     }

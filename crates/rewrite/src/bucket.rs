@@ -92,9 +92,7 @@ fn map_atoms(
     }
     let body_atom = &view.atoms[idx];
     for (qi, q_atom) in query.atoms.iter().enumerate() {
-        if q_atom.relation != body_atom.relation
-            || q_atom.terms.len() != body_atom.terms.len()
-        {
+        if q_atom.relation != body_atom.relation || q_atom.terms.len() != body_atom.terms.len() {
             continue;
         }
         // try extending the assignment so body_atom ↦ q_atom
@@ -153,10 +151,8 @@ mod tests {
             parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").unwrap(),
             parse_query("V3(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
             parse_query("lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
-            parse_query(
-                "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
-            )
-            .unwrap(),
+            parse_query("lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)")
+                .unwrap(),
         ])
     }
 
@@ -171,10 +167,7 @@ mod tests {
     fn single_atom_query_gets_family_views() {
         let q = normalized("Q(N) :- Family(F, N, Ty)");
         let cands = candidates(&q, &views()).unwrap();
-        let names: BTreeSet<&str> = cands
-            .iter()
-            .map(|c| c.view_atom.view.as_str())
-            .collect();
+        let names: BTreeSet<&str> = cands.iter().map(|c| c.view_atom.view.as_str()).collect();
         // V1, V3, V4 cover Family; V5 needs FamilyIntro too, and its
         // body cannot map (no FamilyIntro atom in Q)
         assert_eq!(names, BTreeSet::from(["V1", "V3", "V4"]));
@@ -196,9 +189,7 @@ mod tests {
 
     #[test]
     fn multi_atom_view_covers_both_atoms() {
-        let q = normalized(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        );
+        let q = normalized("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"");
         let cands = candidates(&q, &views()).unwrap();
         let v5 = cands
             .iter()
@@ -212,8 +203,7 @@ mod tests {
     fn view_with_unmatchable_constant_is_skipped() {
         let mut vd = views();
         // add a view hard-wired to enzyme families
-        let enzyme =
-            parse_query("VE(F, N) :- Family(F, N, \"enzyme\")").unwrap();
+        let enzyme = parse_query("VE(F, N) :- Family(F, N, \"enzyme\")").unwrap();
         vd = ViewDefs::new(vd.iter().cloned().chain([enzyme]));
         let q = normalized("Q(N) :- Family(F, N, \"gpcr\")");
         let cands = candidates(&q, &vd).unwrap();

@@ -319,11 +319,8 @@ impl<'a> Search<'a> {
                 if cand.covered.is_empty() {
                     continue;
                 }
-                let reduced_base: BTreeSet<usize> = self
-                    .base
-                    .difference(&cand.covered)
-                    .copied()
-                    .collect();
+                let reduced_base: BTreeSet<usize> =
+                    self.base.difference(&cand.covered).copied().collect();
                 let mut replaced = self.build(&reduced_base, &self.chosen);
                 replaced
                     .subgoals
@@ -352,10 +349,8 @@ mod tests {
             parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").unwrap(),
             parse_query("V3(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
             parse_query("lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
-            parse_query(
-                "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
-            )
-            .unwrap(),
+            parse_query("lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)")
+                .unwrap(),
         ])
     }
 
@@ -372,16 +367,10 @@ mod tests {
     /// has (at least) the four rewritings Q1..Q4 from the paper.
     #[test]
     fn example_2_3_rewritings_found() {
-        let e = enumerate(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        );
+        let e = enumerate("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"");
         assert!(e.exhaustive);
         let shown: Vec<String> = e.rewritings.iter().map(|r| r.to_string()).collect();
-        let has = |needle: &[&str]| {
-            shown
-                .iter()
-                .any(|s| needle.iter().all(|n| s.contains(n)))
-        };
+        let has = |needle: &[&str]| shown.iter().any(|s| needle.iter().all(|n| s.contains(n)));
         // Q1: V1 + V2 (with residual "gpcr" on V1's Ty output)
         assert!(has(&["V1(", "V2("]), "missing Q1 in {shown:#?}");
         // Q2: V3 + V2
@@ -404,9 +393,7 @@ mod tests {
     /// Example 2.2: Q(N) :- Family(F,N,Ty), Ty="gpcr", FamilyIntro(F,Tx)
     #[test]
     fn example_2_2_rewritings_found() {
-        let e = enumerate(
-            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)",
-        );
+        let e = enumerate("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)");
         let shown: Vec<String> = e.rewritings.iter().map(|r| r.to_string()).collect();
         // Q1 uses V1 and V2; Q2 uses V4("gpcr") and V2
         assert!(shown.iter().any(|s| s.contains("V1(") && s.contains("V2(")));
@@ -418,10 +405,8 @@ mod tests {
         for r in &e.rewritings {
             assert!(r
                 .is_equivalent_to(
-                    &parse_query(
-                        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)"
-                    )
-                    .unwrap(),
+                    &parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)")
+                        .unwrap(),
                     &paper_views()
                 )
                 .unwrap());
@@ -430,13 +415,9 @@ mod tests {
 
     #[test]
     fn all_rewritings_are_equivalent_and_minimal() {
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
-        let e = enumerate(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        );
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        let e = enumerate("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"");
         for r in &e.rewritings {
             assert!(r.is_equivalent_to(&q, &paper_views()).unwrap(), "{r}");
             // no subgoal removable
@@ -489,9 +470,7 @@ mod tests {
     fn partial_rewriting_not_emitted_when_view_could_cover() {
         // With V2 available, leaving FamilyIntro as a base atom
         // violates condition 4 (V2 can replace it).
-        let e = enumerate(
-            "Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
-        );
+        let e = enumerate("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)");
         for r in &e.rewritings {
             for b in r.base_atoms() {
                 assert_ne!(b.relation, "FamilyIntro", "condition 4 violated by {r}");
@@ -510,10 +489,8 @@ mod tests {
     #[test]
     fn budget_cuts_off_search() {
         let e = enumerate_rewritings(
-            &parse_query(
-                "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-            )
-            .unwrap(),
+            &parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"")
+                .unwrap(),
             &paper_views(),
             RewriteOptions {
                 max_combinations: 2,
@@ -527,10 +504,8 @@ mod tests {
     #[test]
     fn stop_after_limits_results() {
         let e = enumerate_rewritings(
-            &parse_query(
-                "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-            )
-            .unwrap(),
+            &parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"")
+                .unwrap(),
             &paper_views(),
             RewriteOptions {
                 stop_after: 1,
@@ -545,10 +520,8 @@ mod tests {
     #[test]
     fn max_views_bounds_rewriting_size() {
         let e = enumerate_rewritings(
-            &parse_query(
-                "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-            )
-            .unwrap(),
+            &parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"")
+                .unwrap(),
             &paper_views(),
             RewriteOptions {
                 max_views: 1,
@@ -559,7 +532,10 @@ mod tests {
         .unwrap();
         assert!(e.rewritings.iter().all(|r| r.num_views() <= 1));
         // Q4 (single V5) must still be there
-        assert!(e.rewritings.iter().any(|r| r.view_atoms().any(|v| v.view == "V5")));
+        assert!(e
+            .rewritings
+            .iter()
+            .any(|r| r.view_atoms().any(|v| v.view == "V5")));
     }
 }
 
@@ -590,8 +566,15 @@ mod augmentation_tests {
             .rewritings
             .iter()
             .find(|r| r.is_total())
-            .unwrap_or_else(|| panic!("no total rewriting in {:?}",
-                e.rewritings.iter().map(|r| r.to_string()).collect::<Vec<_>>()));
+            .unwrap_or_else(|| {
+                panic!(
+                    "no total rewriting in {:?}",
+                    e.rewritings
+                        .iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                )
+            });
         assert_eq!(total.num_views(), 2);
         let names: std::collections::BTreeSet<&str> =
             total.view_atoms().map(|v| v.view.as_str()).collect();
@@ -611,7 +594,10 @@ mod augmentation_tests {
         assert!(
             e.rewritings.iter().all(|r| !r.is_total()),
             "projection-split rewriting accepted without the key: {:?}",
-            e.rewritings.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+            e.rewritings
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -627,9 +613,7 @@ mod augmentation_tests {
         let q = parse_query("Q(N) :- Family(F, N, Ty), Ty > \"a\"").unwrap();
         let e = enumerate_rewritings(&q, &views, RewriteOptions::default()).unwrap();
         assert!(e.rewritings.iter().any(|r| {
-            r.is_total()
-                && r.comparisons.len() == 1
-                && r.view_atoms().any(|v| v.view == "V7")
+            r.is_total() && r.comparisons.len() == 1 && r.view_atoms().any(|v| v.view == "V7")
         }));
     }
 
@@ -641,16 +625,16 @@ mod augmentation_tests {
             "lambda T. VPair(A, B, T) :- Family(A, N1, T), Family(B, N2, T)",
         )
         .unwrap()]);
-        let q = parse_query(
-            "Q(A, B) :- Family(A, N1, T), Family(B, N2, T), T = \"gpcr\"",
-        )
-        .unwrap();
+        let q = parse_query("Q(A, B) :- Family(A, N1, T), Family(B, N2, T), T = \"gpcr\"").unwrap();
         let e = enumerate_rewritings(&q, &views, RewriteOptions::default()).unwrap();
         let total = e.rewritings.iter().find(|r| r.is_total());
         assert!(
             total.is_some(),
             "expected VPair rewriting in {:?}",
-            e.rewritings.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+            e.rewritings
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
         );
         let total = total.unwrap();
         let atom = total.view_atoms().next().unwrap();
@@ -661,9 +645,10 @@ mod augmentation_tests {
     /// A view over a different relation can never participate.
     #[test]
     fn irrelevant_views_ignored() {
-        let views = ViewDefs::new(vec![
-            parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").unwrap(),
-        ]);
+        let views = ViewDefs::new(vec![parse_query(
+            "lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)",
+        )
+        .unwrap()]);
         let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
         let e = enumerate_rewritings(&q, &views, RewriteOptions::default()).unwrap();
         assert_eq!(e.rewritings.len(), 1);

@@ -136,10 +136,8 @@ mod tests {
             parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").unwrap(),
             parse_query("V3(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
             parse_query("lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
-            parse_query(
-                "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
-            )
-            .unwrap(),
+            parse_query("lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)")
+                .unwrap(),
         ])
     }
 
@@ -149,10 +147,8 @@ mod tests {
     /// matched by the lambda term of the view."
     #[test]
     fn example_2_3_preference_picks_q4() {
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let best = best_rewritings(&q, &paper_views(), RewriteOptions::default()).unwrap();
         let top = &best.rewritings[0];
         assert!(top.is_total());
@@ -163,16 +159,9 @@ mod tests {
 
     #[test]
     fn pruned_matches_exhaustive_optimum() {
-        let q = parse_query(
-            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)",
-        )
-        .unwrap();
-        let exhaustive = enumerate_rewritings(
-            &q,
-            &paper_views(),
-            RewriteOptions::default(),
-        )
-        .unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)").unwrap();
+        let exhaustive =
+            enumerate_rewritings(&q, &paper_views(), RewriteOptions::default()).unwrap();
         let full_ranked = rank(exhaustive.rewritings);
         let pruned = best_rewritings(&q, &paper_views(), RewriteOptions::default()).unwrap();
         assert_eq!(
@@ -184,14 +173,11 @@ mod tests {
 
     #[test]
     fn pruned_is_cheaper_when_single_view_suffices() {
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let exhaustive =
             enumerate_rewritings(&q, &paper_views(), RewriteOptions::default()).unwrap();
-        let pruned =
-            best_rewritings(&q, &paper_views(), RewriteOptions::default()).unwrap();
+        let pruned = best_rewritings(&q, &paper_views(), RewriteOptions::default()).unwrap();
         assert!(
             pruned.combinations_tried < exhaustive.combinations_tried,
             "pruned {} vs exhaustive {}",
@@ -203,11 +189,11 @@ mod tests {
     #[test]
     fn fallback_to_partial_when_no_total_exists() {
         // only V2 available: Family must stay a base atom
-        let views = ViewDefs::new(vec![
-            parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").unwrap()
-        ]);
-        let q =
-            parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        let views = ViewDefs::new(vec![parse_query(
+            "lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)",
+        )
+        .unwrap()]);
+        let q = parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
         let best = best_rewritings(&q, &views, RewriteOptions::default()).unwrap();
         assert!(!best.rewritings.is_empty());
         assert!(!best.rewritings[0].is_total());
@@ -216,10 +202,8 @@ mod tests {
 
     #[test]
     fn rank_orders_by_score() {
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let e = enumerate_rewritings(&q, &paper_views(), RewriteOptions::default()).unwrap();
         let ranked = rank(e.rewritings);
         for pair in ranked.windows(2) {

@@ -33,16 +33,16 @@ pub struct ViewAtom {
 impl ViewAtom {
     /// The λ-parameter terms (`args` at the parameter positions).
     pub fn param_terms(&self) -> Vec<&Term> {
-        self.param_positions.iter().map(|&i| &self.args[i]).collect()
+        self.param_positions
+            .iter()
+            .map(|&i| &self.args[i])
+            .collect()
     }
 
     /// Number of parameters already bound to constants (absorbed
     /// comparison predicates, as in Example 2.2's `Q2`).
     pub fn absorbed_params(&self) -> usize {
-        self.param_terms()
-            .iter()
-            .filter(|t| !t.is_var())
-            .count()
+        self.param_terms().iter().filter(|t| !t.is_var()).count()
     }
 }
 
@@ -93,9 +93,7 @@ pub struct Rewriting {
 impl Rewriting {
     /// Is the rewriting total (no base-relation subgoal)?
     pub fn is_total(&self) -> bool {
-        self.subgoals
-            .iter()
-            .all(|s| matches!(s, Subgoal::View(_)))
+        self.subgoals.iter().all(|s| matches!(s, Subgoal::View(_)))
     }
 
     /// Number of view subgoals.
@@ -296,12 +294,7 @@ impl Rewriting {
             }
         }
         for c in &sorted.comparisons {
-            parts.push(format!(
-                "{} {} {}",
-                rename(&c.left),
-                c.op,
-                rename(&c.right)
-            ));
+            parts.push(format!("{} {} {}", rename(&c.left), c.op, rename(&c.right)));
         }
         parts.join(" & ")
     }
@@ -420,10 +413,8 @@ mod tests {
             parse_query("lambda F. V2(F, Tx) :- FamilyIntro(F, Tx)").unwrap(),
             parse_query("V3(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
             parse_query("lambda Ty. V4(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
-            parse_query(
-                "lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
-            )
-            .unwrap(),
+            parse_query("lambda Ty. V5(F, N, Ty, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)")
+                .unwrap(),
         ])
     }
 
@@ -476,11 +467,12 @@ mod tests {
     fn expansion_of_q4_matches_paper() {
         let r = q4_rewriting();
         let exp = r.expand(&views()).unwrap();
-        let original = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
-        assert!(fgc_query::equivalent(&exp, &original), "expansion was {exp}");
+        let original =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        assert!(
+            fgc_query::equivalent(&exp, &original),
+            "expansion was {exp}"
+        );
         assert!(r.is_equivalent_to(&original, &views()).unwrap());
     }
 
@@ -510,10 +502,8 @@ mod tests {
         };
         assert!(r.is_total());
         assert_eq!(r.num_uncovered(), 1); // the residual comparison
-        let original = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let original =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         assert!(r.is_equivalent_to(&original, &views()).unwrap());
     }
 
@@ -537,10 +527,8 @@ mod tests {
         };
         assert!(!r.is_total());
         assert_eq!(r.num_base(), 1);
-        let original = parse_query(
-            "Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let original =
+            parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         assert!(r.is_equivalent_to(&original, &views()).unwrap());
     }
 
@@ -557,10 +545,8 @@ mod tests {
             })],
             comparisons: vec![],
         };
-        let original = parse_query(
-            "Q(Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+        let original =
+            parse_query("Q(Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         assert!(!r.is_equivalent_to(&original, &views()).unwrap());
     }
 

@@ -86,7 +86,10 @@ impl<R: Ord + Clone + Debug, T: Ord + Clone + Debug> CitationExpr<R, T> {
     /// Total number of monomials across all alternatives — the
     /// "size of the resulting citation" the paper wants minimized.
     pub fn total_monomials(&self) -> usize {
-        self.alternatives.values().map(Polynomial::num_monomials).sum()
+        self.alternatives
+            .values()
+            .map(Polynomial::num_monomials)
+            .sum()
     }
 
     /// Flatten to a single polynomial by interpreting `+R` as `+`
@@ -188,12 +191,11 @@ mod tests {
     type Expr = CitationExpr<&'static str, &'static str>;
 
     fn poly(monos: &[&[&'static str]]) -> Polynomial<&'static str> {
-        Polynomial::from_terms(monos.iter().map(|ts| {
-            (
-                Monomial::from_pairs(ts.iter().map(|t| (*t, 1))),
-                1,
-            )
-        }))
+        Polynomial::from_terms(
+            monos
+                .iter()
+                .map(|ts| (Monomial::from_pairs(ts.iter().map(|t| (*t, 1))), 1)),
+        )
     }
 
     #[test]
@@ -249,16 +251,14 @@ mod tests {
     fn normal_form_keeps_incomparable_alternatives() {
         // token-identity order: different monomials incomparable
         let order = crate::order::NoOrder;
-        let e = Expr::single("Q1", poly(&[&["v1"]]))
-            .plus_r(&Expr::single("Q2", poly(&[&["v2"]])));
+        let e = Expr::single("Q1", poly(&[&["v1"]])).plus_r(&Expr::single("Q2", poly(&[&["v2"]])));
         assert_eq!(e.normal_form(&order).num_alternatives(), 2);
     }
 
     #[test]
     fn normal_form_equivalent_keeps_least_label() {
         let order = FewestViews::new(|t: &&str| t.starts_with('v'));
-        let e = Expr::single("Q2", poly(&[&["v1"]]))
-            .plus_r(&Expr::single("Q1", poly(&[&["v2"]])));
+        let e = Expr::single("Q2", poly(&[&["v1"]])).plus_r(&Expr::single("Q1", poly(&[&["v2"]])));
         let nf = e.normal_form(&order);
         assert_eq!(nf.num_alternatives(), 1);
         assert_eq!(*nf.alternatives().next().unwrap().0, "Q1");
@@ -266,8 +266,7 @@ mod tests {
 
     #[test]
     fn flatten_unions_alternatives() {
-        let e = Expr::single("Q1", poly(&[&["v1"]]))
-            .plus_r(&Expr::single("Q2", poly(&[&["v2"]])));
+        let e = Expr::single("Q1", poly(&[&["v1"]])).plus_r(&Expr::single("Q2", poly(&[&["v2"]])));
         assert_eq!(e.flatten().num_monomials(), 2);
         assert_eq!(e.total_monomials(), 2);
     }
@@ -278,10 +277,16 @@ mod tests {
             .plus_r(&Expr::single("Q2", poly(&[&["v3"]])));
         // + within rewriting, max across rewritings
         let got = e
-            .interpret(|_| Natural(1), |a: Natural, b: Natural| Natural(a.0.max(b.0)))
+            .interpret(
+                |_| Natural(1),
+                |a: Natural, b: Natural| Natural(a.0.max(b.0)),
+            )
             .unwrap();
         assert_eq!(got, Natural(2));
-        assert_eq!(Expr::zero_r().interpret(|_| Natural(1), |a, b| a.plus(&b)), None);
+        assert_eq!(
+            Expr::zero_r().interpret(|_| Natural(1), |a, b| a.plus(&b)),
+            None
+        );
     }
 
     #[test]

@@ -277,10 +277,7 @@ mod tests {
         let a = Lineage::token("t1");
         let b = Lineage::token("t2");
         let joined = a.times(&b);
-        assert_eq!(
-            joined.tokens(),
-            BTreeSet::from(["t1", "t2"])
-        );
+        assert_eq!(joined.tokens(), BTreeSet::from(["t1", "t2"]));
         // plus also unions, but zero stays absorbing for times
         assert_eq!(Lineage::<&str>::zero().times(&a), Lineage::zero());
         assert_eq!(Lineage::<&str>::zero().plus(&a), a);

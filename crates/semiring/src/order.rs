@@ -173,9 +173,7 @@ where
         let na = self.normalize_monomial(a);
         let nb = self.normalize_monomial(b);
         let leq = &self.token_leq;
-        let result = na
-            .tokens()
-            .all(|ai| nb.tokens().any(|bj| leq(ai, bj)));
+        let result = na.tokens().all(|ai| nb.tokens().any(|bj| leq(ai, bj)));
         result
     }
 }
@@ -339,7 +337,8 @@ mod tests {
 
     #[test]
     fn token_dominance_equivalent_tokens_keep_one() {
-        let token_leq = |a: &&str, b: &&str| a == b || (*a == "x" && *b == "y") || (*a == "y" && *b == "x");
+        let token_leq =
+            |a: &&str, b: &&str| a == b || (*a == "x" && *b == "y") || (*a == "y" && *b == "x");
         let order = TokenDominance::new(token_leq);
         let norm = order.normalize_monomial(&m(&["x", "y"]));
         assert_eq!(norm, m(&["x"])); // Ord-least representative

@@ -338,7 +338,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let p = x().times(&x()).plus(&x().times(&y())).plus(&x().times(&y()));
+        let p = x()
+            .times(&x())
+            .plus(&x().times(&y()))
+            .plus(&x().times(&y()));
         assert_eq!(p.to_string(), "2·x·y + x^2");
         assert_eq!(Polynomial::<&str>::zero().to_string(), "0");
         assert_eq!(Polynomial::<&str>::one().to_string(), "1");
@@ -360,10 +363,7 @@ mod tests {
     fn eval_to_bool_is_satisfiability() {
         let p = x().times(&y());
         assert_eq!(p.eval(|_| Bool(true)), Bool(true));
-        assert_eq!(
-            p.eval(|t| Bool(*t != "y")),
-            Bool(false)
-        );
+        assert_eq!(p.eval(|t| Bool(*t != "y")), Bool(false));
     }
 
     #[test]
@@ -381,14 +381,8 @@ mod tests {
         let p1 = x().plus(&y().times(&y()));
         let p2 = z().plus(&Polynomial::one());
         let val = |t: &&str| Natural(t.len() as u64 + 1);
-        assert_eq!(
-            p1.plus(&p2).eval(val),
-            p1.eval(val).plus(&p2.eval(val))
-        );
-        assert_eq!(
-            p1.times(&p2).eval(val),
-            p1.eval(val).times(&p2.eval(val))
-        );
+        assert_eq!(p1.plus(&p2).eval(val), p1.eval(val).plus(&p2.eval(val)));
+        assert_eq!(p1.times(&p2).eval(val), p1.eval(val).times(&p2.eval(val)));
     }
 
     #[test]

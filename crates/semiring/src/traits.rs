@@ -41,9 +41,7 @@ pub trait CommutativeSemiring: Clone + PartialEq + Debug {
 
     /// Sum of an iterator of elements (`0` if empty).
     fn sum<I: IntoIterator<Item = Self>>(items: I) -> Self {
-        items
-            .into_iter()
-            .fold(Self::zero(), |acc, x| acc.plus(&x))
+        items.into_iter().fold(Self::zero(), |acc, x| acc.plus(&x))
     }
 
     /// Product of an iterator of elements (`1` if empty).

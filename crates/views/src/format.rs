@@ -211,9 +211,7 @@ fn record_line(record: &Json, style: &TextStyle) -> Option<String> {
     if let Some(Json::Array(groups)) = record.get("Contributors") {
         let mut group_parts = Vec::new();
         for g in groups {
-            if let (Some(Json::Str(name)), Some(members)) =
-                (g.get("Name"), g.get("Committee"))
-            {
+            if let (Some(Json::Str(name)), Some(members)) = (g.get("Name"), g.get("Committee")) {
                 let members = names_of(members);
                 if !members.is_empty() {
                     group_parts.push(format!("{name} [{}]", members.join(", ")));

@@ -95,8 +95,7 @@ impl FieldSpec {
                 // group rows by key projection, preserving order
                 let mut groups: Vec<(Vec<fgc_relation::Value>, Vec<&Tuple>)> = Vec::new();
                 for r in rows {
-                    let k: Vec<fgc_relation::Value> =
-                        key.iter().map(|&c| r[c].clone()).collect();
+                    let k: Vec<fgc_relation::Value> = key.iter().map(|&c| r[c].clone()).collect();
                     match groups.iter_mut().find(|(gk, _)| gk == &k) {
                         Some((_, members)) => members.push(r),
                         None => groups.push((k, vec![r])),
@@ -105,9 +104,7 @@ impl FieldSpec {
                 let items = groups
                     .into_iter()
                     .map(|(_, members)| {
-                        Json::Object(
-                            fields.iter().map(|f| f.apply(&members)).collect(),
-                        )
+                        Json::Object(fields.iter().map(|f| f.apply(&members)).collect())
                     })
                     .collect();
                 (label.clone(), Json::Array(items))
@@ -221,11 +218,7 @@ impl CitationFunction {
     }
 
     /// `Group` field shorthand.
-    pub fn group(
-        label: impl Into<String>,
-        key: Vec<usize>,
-        fields: Vec<FieldSpec>,
-    ) -> FieldSpec {
+    pub fn group(label: impl Into<String>, key: Vec<usize>, fields: Vec<FieldSpec>) -> FieldSpec {
         FieldSpec::Group {
             label: label.into(),
             key,

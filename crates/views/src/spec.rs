@@ -53,9 +53,10 @@ fn parse_fields(spec: &str, line: usize) -> Result<Vec<FieldSpec>> {
             let inner = inner
                 .strip_suffix(']')
                 .ok_or_else(|| syntax_error(line, format!("unclosed `[` in `{part}`")))?;
-            let column: usize = inner.trim().parse().map_err(|_| {
-                syntax_error(line, format!("bad column index `{inner}`"))
-            })?;
+            let column: usize = inner
+                .trim()
+                .parse()
+                .map_err(|_| syntax_error(line, format!("bad column index `{inner}`")))?;
             FieldSpec::Collect { label, column }
         } else if rhs.starts_with('"') {
             let value = fgc_relation::Value::parse(rhs)
@@ -259,7 +260,12 @@ CV3(X1, X2) :- MetaData(T1, X1), T1 = "Owner", MetaData(T2, X2), T2 = "URL"
     #[test]
     fn bad_field_specs_rejected() {
         let base = "@view\nV(F) :- Family(F, N, Ty)\nCV(F) :- Family(F, N, Ty)\n";
-        for bad in ["@fields ID", "@fields ID = x", "@fields ID = [1", "@fields = 0"] {
+        for bad in [
+            "@fields ID",
+            "@fields ID = x",
+            "@fields ID = [1",
+            "@fields = 0",
+        ] {
             assert!(
                 parse_view_file(&format!("{base}{bad}")).is_err(),
                 "accepted {bad}"
@@ -269,10 +275,9 @@ CV3(X1, X2) :- MetaData(T1, X1), T1 = "Owner", MetaData(T2, X2), T2 = "URL"
 
     #[test]
     fn duplicate_fields_rejected() {
-        let err = parse_view_file(
-            "@view\nV(F) :- R(F)\nCV(F) :- R(F)\n@fields A = 0\n@fields B = 0",
-        )
-        .unwrap_err();
+        let err =
+            parse_view_file("@view\nV(F) :- R(F)\nCV(F) :- R(F)\n@fields A = 0\n@fields B = 0")
+                .unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 }

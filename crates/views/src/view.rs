@@ -255,10 +255,7 @@ mod tests {
         .unwrap();
         db.insert_all(
             "Person",
-            vec![
-                tuple!["p1", "Hay", "UoA"],
-                tuple!["p2", "Poyner", "Aston"],
-            ],
+            vec![tuple!["p1", "Hay", "UoA"], tuple!["p2", "Poyner", "Aston"]],
         )
         .unwrap();
         db.insert_all("FC", vec![tuple!["11", "p1"], tuple!["11", "p2"]])
@@ -269,10 +266,8 @@ mod tests {
     fn v1() -> CitationView {
         CitationView::new(
             parse_query("lambda F. V1(F, N, Ty) :- Family(F, N, Ty)").unwrap(),
-            parse_query(
-                "lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
-            )
-            .unwrap(),
+            parse_query("lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)")
+                .unwrap(),
             CitationFunction::from_spec(vec![
                 CitationFunction::scalar("ID", 0),
                 CitationFunction::scalar("Name", 1),

@@ -31,7 +31,7 @@ fn main() {
 
     // The engine handles every item: page requests correspond to view
     // instantiations, ad-hoc queries go through rewriting.
-    let mut engine = CitationEngine::new(db, views).unwrap();
+    let engine = CitationEngine::new(db, views).unwrap();
     let mut engine_covered = 0usize;
     let mut total = 0usize;
     for item in &workload {
@@ -68,9 +68,7 @@ fn main() {
         .find_map(|i| match i {
             // pick a page that actually exists (a V2 request for a
             // family without an intro page is a 404 in both worlds)
-            WorkloadItem::Page(k) if store.cite_page(&k.0, &k.1).is_some() => {
-                Some(k.clone())
-            }
+            WorkloadItem::Page(k) if store.cite_page(&k.0, &k.1).is_some() => Some(k.clone()),
             _ => None,
         })
         .expect("workload has at least one existing page");

@@ -156,15 +156,11 @@ fn main() {
         ])],
     };
 
-    let mut engine = CitationEngine::new(db, views)
-        .unwrap()
-        .with_policy(policy);
+    let engine = CitationEngine::new(db, views).unwrap().with_policy(policy);
 
     println!("== Citing a cross-table query ==");
-    let q = parse_query(
-        "Q(N, Y, T) :- Station(S, N, Rg), Reading(R, S, Y, T), Rg = \"alps\"",
-    )
-    .unwrap();
+    let q =
+        parse_query("Q(N, Y, T) :- Station(S, N, Rg), Reading(R, S, Y, T), Rg = \"alps\"").unwrap();
     let cited = engine.cite(&q).unwrap();
     println!("query: {q}");
     for tc in &cited.tuples {
@@ -184,11 +180,8 @@ fn main() {
             );
         }
     }
-    let existing: Vec<ConjunctiveQuery> = engine
-        .registry()
-        .iter()
-        .map(|v| v.view.clone())
-        .collect();
+    let existing: Vec<ConjunctiveQuery> =
+        engine.registry().iter().map(|v| v.view.clone()).collect();
     for suggestion in suggest_views(&log, &existing, 3, 4) {
         println!(
             "  support {:>2}: {}",

@@ -36,10 +36,7 @@ fn main() {
     );
 
     heading("Example 2.3 — one query, many rewritings");
-    let q = parse_query(
-        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-    )
-    .unwrap();
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
     let defs = ViewDefs::new(paper_views().iter().map(|v| v.view.clone()));
     let enumeration = enumerate_rewritings(&q, &defs, RewriteOptions::default()).unwrap();
     println!("query: {q}");
@@ -59,17 +56,15 @@ fn main() {
     );
 
     heading("Example 3.3 — +R across rewritings (symbolic citations)");
-    let mut exhaustive = CitationEngine::new(paper_instance(), paper_views())
+    let exhaustive = CitationEngine::new(paper_instance(), paper_views())
         .unwrap()
         .with_policy(Policy::union_all())
         .with_options(EngineOptions {
             mode: RewriteMode::Exhaustive,
             ..EngineOptions::default()
         });
-    let q13 = parse_query(
-        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx), N = \"b\"",
-    )
-    .unwrap();
+    let q13 = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx), N = \"b\"")
+        .unwrap();
     let cited = exhaustive.cite(&q13).unwrap();
     for tc in &cited.tuples {
         println!("tuple {}:", tc.tuple);
@@ -83,10 +78,10 @@ fn main() {
     println!("join : {}", join_records(&c1, &c2));
 
     heading("Examples 3.6–3.8 — orders make citations concise");
-    let q = parse_query(
-        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-    )
-    .unwrap();
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+    // One engine; the order sweep rides on per-request policy
+    // overrides instead of rebuilding anything.
+    let engine = CitationEngine::new(paper_instance(), paper_views()).unwrap();
     for (name, order) in [
         ("no order        ", OrderChoice::None),
         ("fewest views    ", OrderChoice::FewestViews),
@@ -94,23 +89,22 @@ fn main() {
         ("view inclusion  ", OrderChoice::ViewInclusion),
         ("composite       ", OrderChoice::Composite),
     ] {
-        let mut engine = CitationEngine::new(paper_instance(), paper_views())
-            .unwrap()
-            .with_policy(Policy::union_all().with_order(order))
-            .with_options(EngineOptions {
-                mode: RewriteMode::Exhaustive,
-                ..EngineOptions::default()
-            });
-        let cited = engine.cite(&q).unwrap();
+        let response = engine
+            .cite_request(
+                &CiteRequest::query(q.clone())
+                    .with_policy(Policy::union_all().with_order(order))
+                    .with_mode(RewriteMode::Exhaustive),
+            )
+            .unwrap();
         println!(
             "{name}: {:>3} monomials, {:>5} JSON bytes",
-            cited.total_monomials(),
-            cited.total_json_bytes()
+            response.citation.total_monomials(),
+            response.citation.total_json_bytes()
         );
     }
 
     heading("Pruned vs exhaustive (the §3.4 hope)");
-    let mut pruned = CitationEngine::new(paper_instance(), paper_views()).unwrap();
+    let pruned = CitationEngine::new(paper_instance(), paper_views()).unwrap();
     let cited = pruned.cite(&q).unwrap();
     println!(
         "pruned engine picked: {} — citation:\n{}",

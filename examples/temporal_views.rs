@@ -56,7 +56,8 @@ fn main() {
     )
     .unwrap();
 
-    db.insert("Family", tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+    db.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+        .unwrap();
     db.insert_all(
         "Person",
         vec![
@@ -83,10 +84,7 @@ fn main() {
     let mut views = ViewRegistry::new();
     views
         .add(CitationView::new(
-            parse_query(
-                "lambda F, R. VAt(F, N, R) :- Family(F, N, Ty), FCAt(F, P, R)",
-            )
-            .unwrap(),
+            parse_query("lambda F, R. VAt(F, N, R) :- Family(F, N, Ty), FCAt(F, P, R)").unwrap(),
             parse_query(
                 "lambda F, R. CVAt(F, N, R, Pn) :- Family(F, N, Ty), FCAt(F, P, R), Person(P, Pn)",
             )
@@ -100,7 +98,7 @@ fn main() {
         ))
         .unwrap();
 
-    let mut engine = CitationEngine::new(db, views).unwrap();
+    let engine = CitationEngine::new(db, views).unwrap();
 
     for release in [23i64, 24] {
         let q = parse_query(&format!(

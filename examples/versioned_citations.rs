@@ -33,12 +33,9 @@ fn main() {
         })
         .unwrap();
 
-    let mut engine = VersionedCitationEngine::new(history, paper_views());
+    let engine = VersionedCitationEngine::new(history, paper_views());
 
-    let q = parse_query(
-        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-    )
-    .unwrap();
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
 
     println!("== Citing against the head release ==");
     let head = engine.cite_head(&q).unwrap();

@@ -13,9 +13,9 @@
 //! thin wrapper doing I/O.
 
 use fgc_core::{
-    suggest_views, CitationEngine, EngineOptions, OrderChoice, Policy, QueryLog, RewriteMode,
+    suggest_views, CitationEngine, CiteRequest, OrderChoice, Policy, QueryLog, RewriteMode,
 };
-use fgc_query::{parse_program, parse_query, parse_sql};
+use fgc_query::{parse_program, parse_query};
 use fgc_relation::loader::load_text;
 use fgc_relation::Database;
 use fgc_views::{parse_view_file, to_text, to_xml, TextStyle, ViewRegistry};
@@ -62,9 +62,7 @@ impl Args {
     /// Parse raw arguments. Boolean flags get the value `"true"`.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
         let mut iter = raw.into_iter().peekable();
-        let command = iter
-            .next()
-            .ok_or_else(|| CliError(USAGE.to_string()))?;
+        let command = iter.next().ok_or_else(|| CliError(USAGE.to_string()))?;
         let mut flags = HashMap::new();
         while let Some(arg) = iter.next() {
             let Some(name) = arg.strip_prefix("--") else {
@@ -142,28 +140,28 @@ fn policy_from(args: &Args) -> Result<Policy, CliError> {
 }
 
 /// `fgcite cite`: returns the rendered citation output.
+///
+/// The engine is built with defaults; the policy/mode flags become
+/// per-request [`CiteRequest`] overrides — the same path a serving
+/// deployment would take for each query of its traffic.
 pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError> {
     let db = load_database(data)?;
     let registry = load_registry(views)?;
-    let query = match (args.get("query"), args.get("sql")) {
-        (Some(q), None) => parse_query(q)?,
-        (None, Some(sql)) => parse_sql(db.catalog(), sql)?,
+    let request = match (args.get("query"), args.get("sql")) {
+        (Some(q), None) => CiteRequest::query(parse_query(q)?),
+        (None, Some(sql)) => CiteRequest::sql(sql),
         (Some(_), Some(_)) => {
             return Err(CliError("--query and --sql are mutually exclusive".into()))
         }
         (None, None) => return Err(CliError("need --query or --sql".into())),
     };
-    let mut engine = CitationEngine::new(db, registry)?
-        .with_policy(policy_from(args)?)
-        .with_options(EngineOptions {
-            mode: if args.get("exhaustive").is_some() {
-                RewriteMode::Exhaustive
-            } else {
-                RewriteMode::Pruned
-            },
-            ..EngineOptions::default()
-        });
-    let cited = engine.cite(&query)?;
+    let policy = policy_from(args)?;
+    let mut request = request.with_policy(policy.clone());
+    if args.get("exhaustive").is_some() {
+        request = request.with_mode(RewriteMode::Exhaustive);
+    }
+    let engine = CitationEngine::new(db, registry)?;
+    let cited = engine.cite_request(&request)?.citation;
 
     let mut out = String::new();
     match args.get("format").unwrap_or("json") {
@@ -174,16 +172,12 @@ pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError
             let _ = write!(out, "{}", to_xml(&cited.aggregate, "citation"));
         }
         "text" => {
-            let _ = writeln!(
-                out,
-                "{}",
-                to_text(&cited.aggregate, &TextStyle::default())
-            );
+            let _ = writeln!(out, "{}", to_text(&cited.aggregate, &TextStyle::default()));
         }
         other => return Err(CliError(format!("unknown format `{other}`"))),
     }
     if args.get("explain").is_some() {
-        let _ = writeln!(out, "\n{}", fgc_core::explain(&cited, engine.policy()));
+        let _ = writeln!(out, "\n{}", fgc_core::explain(&cited, &policy));
     }
     Ok(out)
 }
@@ -310,7 +304,12 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
     #[test]
     fn cite_json() {
         let out = run_line(&[
-            "cite", "--data", "db", "--views", "views", "--query",
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--query",
             "Q(N) :- Family(F, N, Ty), F = \"11\"",
         ])
         .unwrap();
@@ -321,7 +320,14 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
     #[test]
     fn cite_text_format() {
         let out = run_line(&[
-            "cite", "--data", "db", "--views", "views", "--format", "text", "--query",
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--format",
+            "text",
+            "--query",
             "Q(N) :- Family(F, N, Ty), F = \"11\"",
         ])
         .unwrap();
@@ -331,7 +337,14 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
     #[test]
     fn cite_xml_format() {
         let out = run_line(&[
-            "cite", "--data", "db", "--views", "views", "--format", "xml", "--query",
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--format",
+            "xml",
+            "--query",
             "Q(N) :- Family(F, N, Ty), F = \"11\"",
         ])
         .unwrap();
@@ -342,7 +355,13 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
     #[test]
     fn cite_sql_and_explain() {
         let out = run_line(&[
-            "cite", "--data", "db", "--views", "views", "--explain", "--sql",
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--explain",
+            "--sql",
             "SELECT f.FName FROM Family f WHERE f.FID = '11'",
         ])
         .unwrap();
@@ -358,8 +377,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
 
     #[test]
     fn suggest_command() {
-        let out =
-            run_line(&["suggest", "--data", "db", "--log", "log"]).unwrap();
+        let out = run_line(&["suggest", "--data", "db", "--log", "log"]).unwrap();
         assert!(out.contains("support"), "{out}");
     }
 
@@ -367,9 +385,25 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
     fn errors_are_reported() {
         assert!(run_line(&["cite", "--data", "db", "--views", "views"]).is_err());
         assert!(run_line(&["nope"]).is_err());
-        assert!(run_line(&["cite", "--data", "missing", "--views", "views", "--query", "Q(X) :- R(X)"]).is_err());
+        assert!(run_line(&[
+            "cite",
+            "--data",
+            "missing",
+            "--views",
+            "views",
+            "--query",
+            "Q(X) :- R(X)"
+        ])
+        .is_err());
         let bad_policy = run_line(&[
-            "cite", "--data", "db", "--views", "views", "--policy", "wat", "--query",
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--policy",
+            "wat",
+            "--query",
             "Q(N) :- Family(F, N, Ty)",
         ]);
         assert!(bad_policy.is_err());

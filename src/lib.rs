@@ -32,7 +32,9 @@
 //! let db = fgcite::gtopdb::paper_instance();
 //! let views = fgcite::gtopdb::paper_views();
 //!
-//! let mut engine = CitationEngine::new(db, views).unwrap();
+//! // `cite` takes `&self`: share one engine across threads via
+//! // `Arc` and serve batches with `cite_batch`.
+//! let engine = CitationEngine::new(db, views).unwrap();
 //!
 //! // Example 2.3's query: names and intro texts of gpcr families.
 //! let q = parse_query(
@@ -42,6 +44,12 @@
 //! let cited = engine.cite(&q).unwrap();
 //! assert!(!cited.tuples.is_empty());
 //! println!("{}", cited.aggregate.to_pretty());
+//!
+//! // Per-request overrides without rebuilding the engine:
+//! let response = engine
+//!     .cite_request(&CiteRequest::query(q).with_policy(Policy::join_all()))
+//!     .unwrap();
+//! assert!(response.elapsed.as_nanos() > 0);
 //! ```
 
 pub mod cli;
@@ -57,8 +65,8 @@ pub use fgc_views as views;
 /// The common imports for applications.
 pub mod prelude {
     pub use fgc_core::{
-        CitationEngine, CombineOp, EngineOptions, OrderChoice, Policy, QueryCitation,
-        RewriteMode, VersionedCitationEngine,
+        CitationEngine, CiteRequest, CiteResponse, CombineOp, EngineOptions, OrderChoice, Policy,
+        QueryCitation, RewriteMode, VersionedCitationEngine,
     };
     pub use fgc_query::{parse_query, parse_sql, ConjunctiveQuery};
     pub use fgc_relation::prelude::*;

@@ -3,8 +3,8 @@
 //! injection.
 
 use fgcite::engine::{
-    baseline_coverage, suggest_views, CitationEngine, CoreError, EngineOptions,
-    PageCitationStore, Policy, QueryLog, RewriteMode, WorkloadItem,
+    baseline_coverage, suggest_views, CitationEngine, CoreError, EngineOptions, PageCitationStore,
+    Policy, QueryLog, RewriteMode, WorkloadItem,
 };
 use fgcite::gtopdb::{generate, paper_views, GeneratorConfig, WorkloadGenerator};
 use fgcite::prelude::*;
@@ -21,7 +21,7 @@ fn scale_db(families: usize, seed: u64) -> Database {
 #[test]
 fn every_workload_template_is_citable_at_scale() {
     let db = scale_db(200, 1);
-    let mut engine = CitationEngine::new(db, paper_views()).unwrap();
+    let engine = CitationEngine::new(db, paper_views()).unwrap();
     let mut workload = WorkloadGenerator::new(engine.database(), 2);
     for t in 0..WorkloadGenerator::template_count() {
         let q = workload.query_from_template(t);
@@ -55,7 +55,7 @@ fn citations_respect_the_data_families_cited_by_their_own_curators() {
     let committee = fgcite::query::evaluate(&db, &committee_q).unwrap();
     assert!(!committee.is_empty());
 
-    let mut engine = CitationEngine::new(db, paper_views()).unwrap();
+    let engine = CitationEngine::new(db, paper_views()).unwrap();
     let q = parse_query(&format!(
         "Q(N, Ty) :- Family(F, N, Ty), F = {:?}",
         fid.to_string()
@@ -79,8 +79,8 @@ fn pruned_and_exhaustive_agree_on_best_rewriting_score() {
     let mut workload = WorkloadGenerator::new(&db, 5);
     for t in 0..WorkloadGenerator::template_count() {
         let q = workload.query_from_template(t);
-        let mut pruned = CitationEngine::new(db.clone(), paper_views()).unwrap();
-        let mut exhaustive = CitationEngine::new(db.clone(), paper_views())
+        let pruned = CitationEngine::new(db.clone(), paper_views()).unwrap();
+        let exhaustive = CitationEngine::new(db.clone(), paper_views())
             .unwrap()
             .with_options(EngineOptions {
                 mode: RewriteMode::Exhaustive,
@@ -108,10 +108,7 @@ fn suggest_then_adopt_improves_rewritings() {
     // adopting the suggestion turns partial rewritings into total ones.
     let db = scale_db(60, 8);
     let mut log = QueryLog::new();
-    let q = parse_query(
-        "Q(Pn, N) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
-    )
-    .unwrap();
+    let q = parse_query("Q(Pn, N) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)").unwrap();
     for _ in 0..5 {
         log.record(q.clone());
     }
@@ -130,24 +127,26 @@ fn suggest_then_adopt_improves_rewritings() {
             CitationFunction::from_spec(vec![CitationFunction::collect("Keys", 0)]),
         ))
         .unwrap();
-    let mut engine = CitationEngine::new(db, views).unwrap();
+    let engine = CitationEngine::new(db, views).unwrap();
     let cited = engine.cite(&q).unwrap();
     assert!(
         cited.rewritings.iter().any(|(_, r)| r.is_total()),
         "adopted view should totally rewrite the logged query: {:?}",
-        cited.rewritings.iter().map(|(_, r)| r.to_string()).collect::<Vec<_>>()
+        cited
+            .rewritings
+            .iter()
+            .map(|(_, r)| r.to_string())
+            .collect::<Vec<_>>()
     );
 }
 
 #[test]
 fn sql_and_datalog_citations_agree_at_scale() {
     let db = scale_db(150, 13);
-    let mut e1 = CitationEngine::new(db.clone(), paper_views()).unwrap();
-    let mut e2 = CitationEngine::new(db, paper_views()).unwrap();
-    let datalog = parse_query(
-        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-    )
-    .unwrap();
+    let e1 = CitationEngine::new(db.clone(), paper_views()).unwrap();
+    let e2 = CitationEngine::new(db, paper_views()).unwrap();
+    let datalog =
+        parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
     let a = e1.cite(&datalog).unwrap();
     let b = e2
         .cite_sql(
@@ -175,18 +174,15 @@ fn baseline_covers_pages_but_not_ad_hoc() {
 #[test]
 fn engine_rejects_queries_over_unknown_relations() {
     let db = scale_db(20, 30);
-    let mut engine = CitationEngine::new(db, paper_views()).unwrap();
+    let engine = CitationEngine::new(db, paper_views()).unwrap();
     let q = parse_query("Q(X) :- Nope(X)").unwrap();
-    assert!(matches!(
-        engine.cite(&q).unwrap_err(),
-        CoreError::Query(_)
-    ));
+    assert!(matches!(engine.cite(&q).unwrap_err(), CoreError::Query(_)));
 }
 
 #[test]
 fn engine_rejects_unsafe_queries() {
     let db = scale_db(20, 30);
-    let mut engine = CitationEngine::new(db, paper_views()).unwrap();
+    let engine = CitationEngine::new(db, paper_views()).unwrap();
     let q = parse_query("Q(X) :- Family(F, N, Ty)").unwrap();
     assert!(engine.cite(&q).is_err());
 }
@@ -195,12 +191,8 @@ fn engine_rejects_unsafe_queries() {
 fn global_citation_survives_every_policy() {
     let db = scale_db(50, 31);
     let nar = Json::from_pairs([("NARIssue", Json::str("Pawson et al. 2014"))]);
-    for policy in [
-        Policy::union_all(),
-        Policy::join_all(),
-        Policy::default(),
-    ] {
-        let mut engine = CitationEngine::new(db.clone(), paper_views())
+    for policy in [Policy::union_all(), Policy::join_all(), Policy::default()] {
+        let engine = CitationEngine::new(db.clone(), paper_views())
             .unwrap()
             .with_policy(policy.with_global(nar.clone()));
         let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
@@ -221,8 +213,8 @@ fn dump_load_round_trip_preserves_citations() {
     fgcite::relation::loader::load_text(&mut restored, &text).unwrap();
 
     let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
-    let mut e1 = CitationEngine::new(db, paper_views()).unwrap();
-    let mut e2 = CitationEngine::new(restored, paper_views()).unwrap();
+    let e1 = CitationEngine::new(db, paper_views()).unwrap();
+    let e2 = CitationEngine::new(restored, paper_views()).unwrap();
     let a = e1.cite(&q).unwrap();
     let b = e2.cite(&q).unwrap();
     assert_eq!(a.tuples.len(), b.tuples.len());

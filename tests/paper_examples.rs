@@ -4,9 +4,7 @@
 //! each test states which example it reproduces and asserts the
 //! paper's printed output (or the property the example illustrates).
 
-use fgcite::engine::{
-    CiteToken, CitationEngine, EngineOptions, OrderChoice, Policy, RewriteMode,
-};
+use fgcite::engine::{CitationEngine, CiteToken, EngineOptions, OrderChoice, Policy, RewriteMode};
 use fgcite::gtopdb::{paper_instance, paper_views, v1, v2, v3, v4, v5};
 use fgcite::prelude::*;
 use fgcite::query::parse_query;
@@ -136,7 +134,10 @@ fn example_2_1_v5_credits_contributors_not_committee() {
     let c = v5().citation_for(&db, &[Value::str("gpcr")]).unwrap();
     let text = c.to_compact();
     assert!(text.contains("Brown") && text.contains("Alda"));
-    assert!(!text.contains("Hay"), "V5 must not credit committees: {text}");
+    assert!(
+        !text.contains("Hay"),
+        "V5 must not credit committees: {text}"
+    );
 }
 
 // =====================================================================
@@ -145,12 +146,8 @@ fn example_2_1_v5_credits_contributors_not_committee() {
 
 #[test]
 fn example_2_2_both_rewritings_exist() {
-    let q = parse_query(
-        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)",
-    )
-    .unwrap();
-    let e =
-        enumerate_rewritings(&q, &paper_view_defs(), RewriteOptions::default()).unwrap();
+    let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)").unwrap();
+    let e = enumerate_rewritings(&q, &paper_view_defs(), RewriteOptions::default()).unwrap();
     assert!(e.exhaustive);
     let shown: Vec<String> = e.rewritings.iter().map(|r| r.to_string()).collect();
     // Q1(N) :- V1(F,N,Ty), Ty="gpcr", V2(F,Tx)  — constant at V1's
@@ -159,9 +156,7 @@ fn example_2_2_both_rewritings_exist() {
     let q1 = e
         .rewritings
         .iter()
-        .find(|r| {
-            r.view_atoms().any(|v| v.view == "V1") && r.view_atoms().any(|v| v.view == "V2")
-        })
+        .find(|r| r.view_atoms().any(|v| v.view == "V1") && r.view_atoms().any(|v| v.view == "V2"))
         .unwrap_or_else(|| panic!("missing Q1 in {shown:#?}"));
     assert_eq!(q1.num_uncovered(), 1, "Q1 keeps a residual predicate");
     // Q2(N) :- V4(F,N,Ty)("gpcr"), V2(F,Tx) — the comparison is
@@ -169,9 +164,7 @@ fn example_2_2_both_rewritings_exist() {
     let q2 = e
         .rewritings
         .iter()
-        .find(|r| {
-            r.view_atoms().any(|v| v.view == "V4") && r.view_atoms().any(|v| v.view == "V2")
-        })
+        .find(|r| r.view_atoms().any(|v| v.view == "V4") && r.view_atoms().any(|v| v.view == "V2"))
         .unwrap_or_else(|| panic!("missing Q2 in {shown:#?}"));
     let v4_atom = q2.view_atoms().find(|v| v.view == "V4").unwrap();
     assert_eq!(v4_atom.absorbed_params(), 1);
@@ -184,11 +177,8 @@ fn example_2_2_citation_granularity_differs() {
     // together all tuples sharing the type gpcr, yielding a single
     // citation" — with Q1 (V1), each family id yields its own token.
     let db = paper_instance();
-    let q = parse_query(
-        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)",
-    )
-    .unwrap();
-    let mut e = CitationEngine::new(db, paper_views())
+    let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)").unwrap();
+    let e = CitationEngine::new(db, paper_views())
         .unwrap()
         .with_policy(Policy::union_all())
         .with_options(EngineOptions {
@@ -227,15 +217,10 @@ fn example_2_2_citation_granularity_differs() {
 
 #[test]
 fn example_2_3_all_four_rewritings_found() {
-    let q = parse_query(
-        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-    )
-    .unwrap();
-    let e =
-        enumerate_rewritings(&q, &paper_view_defs(), RewriteOptions::default()).unwrap();
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+    let e = enumerate_rewritings(&q, &paper_view_defs(), RewriteOptions::default()).unwrap();
     let uses = |r: &fgcite::rewrite::Rewriting, names: &[&str]| {
-        names.iter().all(|n| r.view_atoms().any(|v| v.view == *n))
-            && r.num_views() == names.len()
+        names.iter().all(|n| r.view_atoms().any(|v| v.view == *n)) && r.num_views() == names.len()
     };
     assert!(e.rewritings.iter().any(|r| uses(r, &["V1", "V2"])), "Q1");
     assert!(e.rewritings.iter().any(|r| uses(r, &["V3", "V2"])), "Q2");
@@ -252,11 +237,8 @@ fn example_2_3_preference_selects_q4() {
     // "(i) it is a total rewriting; (ii) it uses the smallest number
     // of views; and (iii) the comparison predicate ... is matched by
     // the lambda term"
-    let mut e = engine(); // pruned mode by default
-    let q = parse_query(
-        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-    )
-    .unwrap();
+    let e = engine(); // pruned mode by default
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
     let result = e.cite(&q).unwrap();
     let (label, best) = &result.rewritings[0];
     assert_eq!(label, "Q1"); // best-ranked label
@@ -290,11 +272,8 @@ fn example_3_1_joint_use_of_v1_and_v2() {
 fn example_3_1_engine_builds_the_product() {
     // The engine's symbolic expression for the Calcitonin tuple under
     // the V1·V2 rewriting is a single monomial CV1("11")·CV2("11").
-    let q = parse_query(
-        "Q(N) :- Family(F, N, Ty), F = \"11\", FamilyIntro(F, Tx)",
-    )
-    .unwrap();
-    let mut e = exhaustive_engine(Policy::union_all());
+    let q = parse_query("Q(N) :- Family(F, N, Ty), F = \"11\", FamilyIntro(F, Tx)").unwrap();
+    let e = exhaustive_engine(Policy::union_all());
     let result = e.cite(&q).unwrap();
     assert_eq!(result.tuples.len(), 1);
     let has_product = result.tuples[0].expr.alternatives().any(|(_, poly)| {
@@ -315,21 +294,20 @@ fn example_3_2_shared_family_name_sums_bindings() {
     // Two families named "Calcitonin" -> two bindings for the output
     // tuple ("Calcitonin") -> the citation is a + of two monomials.
     let mut db = paper_instance();
-    db.insert("Family", tuple!["16", "Calcitonin", "gpcr"]).unwrap();
+    db.insert("Family", tuple!["16", "Calcitonin", "gpcr"])
+        .unwrap();
     db.insert("FamilyIntro", tuple!["16", "Another calcitonin intro"])
         .unwrap();
     db.insert("FIC", tuple!["16", "p4"]).unwrap();
-    let mut e = CitationEngine::new(db, paper_views())
+    let e = CitationEngine::new(db, paper_views())
         .unwrap()
         .with_policy(Policy::union_all())
         .with_options(EngineOptions {
             mode: RewriteMode::Exhaustive,
             ..EngineOptions::default()
         });
-    let q = parse_query(
-        "Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx), N = \"Calcitonin\"",
-    )
-    .unwrap();
+    let q =
+        parse_query("Q(N) :- Family(F, N, Ty), FamilyIntro(F, Tx), N = \"Calcitonin\"").unwrap();
     let result = e.cite(&q).unwrap();
     assert_eq!(result.tuples.len(), 1);
     // under the V1·V2 rewriting, the polynomial has two monomials:
@@ -337,11 +315,7 @@ fn example_3_2_shared_family_name_sums_bindings() {
     let v1v2_poly = result.tuples[0]
         .expr
         .alternatives()
-        .find(|(_, poly)| {
-            poly.support()
-                .iter()
-                .any(|t| t.view_name() == Some("V1"))
-        })
+        .find(|(_, poly)| poly.support().iter().any(|t| t.view_name() == Some("V1")))
         .map(|(_, p)| p.clone())
         .expect("V1-based rewriting present");
     assert_eq!(v1v2_poly.num_monomials(), 2, "{v1v2_poly}");
@@ -356,11 +330,9 @@ fn example_3_3_family_13_citation_structure() {
     // Output tuple ("b"): per Q1 the citation is CV1("13")·CV2("13"),
     // per Q2 it is CV4("gpcr")·CV2("13"); the combination factors as
     // (CV1("13") +R CV4("gpcr")) · CV2("13").
-    let q = parse_query(
-        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx), N = \"b\"",
-    )
-    .unwrap();
-    let mut e = exhaustive_engine(Policy::union_all());
+    let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx), N = \"b\"")
+        .unwrap();
+    let e = exhaustive_engine(Policy::union_all());
     let result = e.cite(&q).unwrap();
     assert_eq!(result.tuples.len(), 1);
     let expr = &result.tuples[0].expr;
@@ -395,16 +367,10 @@ fn example_3_3_family_13_citation_structure() {
 fn example_3_3_citations_insensitive_to_query_plans() {
     // "the citations obtained for two equivalent queries will always
     // be the same" — atom order and variable names don't matter.
-    let qa = parse_query(
-        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)",
-    )
-    .unwrap();
-    let qb = parse_query(
-        "Q(Z) :- FamilyIntro(K, W), Family(K, Z, T2), T2 = \"gpcr\"",
-    )
-    .unwrap();
-    let mut ea = exhaustive_engine(Policy::union_all());
-    let mut eb = exhaustive_engine(Policy::union_all());
+    let qa = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\", FamilyIntro(F, Tx)").unwrap();
+    let qb = parse_query("Q(Z) :- FamilyIntro(K, W), Family(K, Z, T2), T2 = \"gpcr\"").unwrap();
+    let ea = exhaustive_engine(Policy::union_all());
+    let eb = exhaustive_engine(Policy::union_all());
     let ca = ea.cite(&qa).unwrap();
     let cb = eb.cite(&qb).unwrap();
     assert_eq!(ca.tuples.len(), cb.tuples.len());
@@ -431,11 +397,8 @@ fn example_3_4_fully_absorbed_rewriting_gives_single_citation() {
     // Query whose best rewriting binds every λ-parameter to a
     // constant: all tuples share one citation; with idempotent + and
     // Agg we get a single citation for the whole result set.
-    let q = parse_query(
-        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-    )
-    .unwrap();
-    let mut e = engine(); // pruned: the V5("gpcr") rewriting wins
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+    let e = engine(); // pruned: the V5("gpcr") rewriting wins
     let result = e.cite(&q).unwrap();
     assert!(result.tuples.len() > 1);
     let first = &result.tuples[0].citation;
@@ -516,13 +479,12 @@ fn example_3_5_plus_r_join_merges_member_lists() {
 fn example_3_6_fewest_views_order() {
     // the Q4 (one view) citation dominates the Q3 (two views) one
     let m_q4 = Monomial::token(CiteToken::view("V5", vec![Value::str("gpcr")]));
-    let m_q3 = Monomial::token(CiteToken::view("V4", vec![Value::str("gpcr")]))
-        .times(&Monomial::token(CiteToken::view("V2", vec![Value::str("11")])));
-    let expr = CitationExpr::single("Q3".to_string(), Polynomial::from_monomial(m_q3))
-        .plus_r(&CitationExpr::single(
-            "Q4".to_string(),
-            Polynomial::from_monomial(m_q4),
-        ));
+    let m_q3 = Monomial::token(CiteToken::view("V4", vec![Value::str("gpcr")])).times(
+        &Monomial::token(CiteToken::view("V2", vec![Value::str("11")])),
+    );
+    let expr = CitationExpr::single("Q3".to_string(), Polynomial::from_monomial(m_q3)).plus_r(
+        &CitationExpr::single("Q4".to_string(), Polynomial::from_monomial(m_q4)),
+    );
     let policy = Policy::union_all().with_order(OrderChoice::FewestViews);
     let nf = policy.normalize(&expr, &std::collections::BTreeMap::new());
     assert_eq!(nf.num_alternatives(), 1);
@@ -535,14 +497,10 @@ fn example_3_7_fewest_uncovered_order() {
     let covered = Monomial::token(CiteToken::view("V1", vec![Value::str("11")]));
     let partial = Monomial::token(CiteToken::view("V2", vec![Value::str("11")]))
         .times(&Monomial::token(CiteToken::base("Family")));
-    let expr = CitationExpr::single(
-        "Qpartial".to_string(),
-        Polynomial::from_monomial(partial),
-    )
-    .plus_r(&CitationExpr::single(
-        "Qtotal".to_string(),
-        Polynomial::from_monomial(covered),
-    ));
+    let expr =
+        CitationExpr::single("Qpartial".to_string(), Polynomial::from_monomial(partial)).plus_r(
+            &CitationExpr::single("Qtotal".to_string(), Polynomial::from_monomial(covered)),
+        );
     let policy = Policy::union_all().with_order(OrderChoice::FewestUncovered);
     let nf = policy.normalize(&expr, &std::collections::BTreeMap::new());
     assert_eq!(nf.num_alternatives(), 1);
@@ -582,10 +540,11 @@ fn section_4_fixity_citations_bring_back_the_data_as_cited() {
     history.commit(paper_instance(), 1000, "GtoPdb 23").unwrap();
     history
         .commit_with(2000, "GtoPdb 24", |db| {
-            db.insert("Family", tuple!["20", "Melatonin", "gpcr"]).map(|_| ())
+            db.insert("Family", tuple!["20", "Melatonin", "gpcr"])
+                .map(|_| ())
         })
         .unwrap();
-    let mut engine = VersionedCitationEngine::new(history, paper_views());
+    let engine = VersionedCitationEngine::new(history, paper_views());
     let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
     let old = engine.cite_at_time(1500, &q).unwrap();
     let new = engine.cite_at_time(2500, &q).unwrap();

@@ -1,5 +1,12 @@
 //! Property-based tests over the core invariants of the model.
+//!
+//! The workspace builds offline, so instead of `proptest` these use a
+//! small hand-rolled harness: seeded generators over
+//! [`fgcite::gtopdb::rng::SmallRng`] drive each property across a few
+//! hundred random cases. Failures print the failing case; rerunning
+//! is deterministic because every case derives from its loop index.
 
+use fgcite::gtopdb::rng::SmallRng;
 use fgcite::prelude::*;
 use fgcite::query::{equivalent, evaluate, minimize, parse_query};
 use fgcite::semiring::{
@@ -7,140 +14,204 @@ use fgcite::semiring::{
     Polynomial, Why,
 };
 use fgcite::views::{join_records, union_records};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
-// Strategies
+// Generators
 // ---------------------------------------------------------------------
 
-fn token() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("v1".to_string()),
-        Just("v2".to_string()),
-        Just("v3".to_string()),
-        Just("CR_Family".to_string()),
-        Just("CR_Intro".to_string()),
-    ]
+fn token(g: &mut SmallRng) -> String {
+    const TOKENS: [&str; 5] = ["v1", "v2", "v3", "CR_Family", "CR_Intro"];
+    TOKENS[g.gen_range(0..TOKENS.len())].to_string()
 }
 
-fn monomial() -> impl Strategy<Value = Monomial<String>> {
-    proptest::collection::vec((token(), 1u32..3), 0..4)
-        .prop_map(Monomial::from_pairs)
+fn monomial(g: &mut SmallRng) -> Monomial<String> {
+    let n = g.gen_range(0..4);
+    Monomial::from_pairs(
+        (0..n)
+            .map(|_| (token(g), g.gen_range(1..3) as u32))
+            .collect::<Vec<_>>(),
+    )
 }
 
-fn polynomial() -> impl Strategy<Value = Polynomial<String>> {
-    proptest::collection::vec((monomial(), 1u64..3), 0..4)
-        .prop_map(Polynomial::from_terms)
+fn polynomial(g: &mut SmallRng) -> Polynomial<String> {
+    let n = g.gen_range(0..4);
+    Polynomial::from_terms(
+        (0..n)
+            .map(|_| (monomial(g), g.gen_range(1..3) as u64))
+            .collect::<Vec<_>>(),
+    )
 }
 
-fn json_value() -> impl Strategy<Value = Json> {
-    let leaf = prop_oneof![
-        Just(Json::Null),
-        any::<bool>().prop_map(Json::Bool),
-        (-100i64..100).prop_map(Json::Int),
-        "[a-z]{0,6}".prop_map(Json::str),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
-            proptest::collection::btree_map("[a-z]{1,4}", inner, 0..4)
-                .prop_map(Json::from_pairs),
-        ]
-    })
+fn lowercase_str(g: &mut SmallRng, min: usize, max: usize) -> String {
+    let n = g.gen_range(min..=max);
+    (0..n)
+        .map(|_| (b'a' + g.gen_range(0..26) as u8) as char)
+        .collect()
 }
 
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_map(Value::float),
-        "[ -~]{0,12}".prop_map(Value::str),
-    ]
+fn json_leaf(g: &mut SmallRng) -> Json {
+    match g.gen_range(0..4) {
+        0 => Json::Null,
+        1 => Json::Bool(g.gen_bool(0.5)),
+        2 => Json::Int(g.gen_range(0..200) as i64 - 100),
+        _ => Json::str(lowercase_str(g, 0, 6)),
+    }
+}
+
+fn json_value_at(g: &mut SmallRng, depth: usize) -> Json {
+    if depth == 0 || g.gen_bool(0.4) {
+        return json_leaf(g);
+    }
+    if g.gen_bool(0.5) {
+        let n = g.gen_range(0..4);
+        Json::Array((0..n).map(|_| json_value_at(g, depth - 1)).collect())
+    } else {
+        let n = g.gen_range(0..4);
+        Json::from_pairs(
+            (0..n)
+                .map(|_| (lowercase_str(g, 1, 4), json_value_at(g, depth - 1)))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+fn json_value(g: &mut SmallRng) -> Json {
+    json_value_at(g, 3)
+}
+
+fn value(g: &mut SmallRng) -> Value {
+    match g.gen_range(0..5) {
+        0 => Value::Null,
+        1 => Value::Bool(g.gen_bool(0.5)),
+        2 => Value::Int(g.next_u64() as i64),
+        3 => {
+            // finite floats only (the loader round-trips those)
+            let numerator = g.gen_range(0..2_000_001) as f64 - 1_000_000.0;
+            let denominator = [1.0, 2.0, 4.0, 10.0, 1000.0][g.gen_range(0..5)];
+            Value::float(numerator / denominator)
+        }
+        _ => {
+            let n = g.gen_range(0..=12);
+            Value::str(
+                (0..n)
+                    .map(|_| (b' ' + g.gen_range(0..95) as u8) as char)
+                    .collect::<String>(),
+            )
+        }
+    }
+}
+
+/// Run `body` over `cases` deterministic seeds.
+fn forall(cases: u64, mut body: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let mut g = SmallRng::seed_from_u64(0xF0F0_0000 + case);
+        body(&mut g);
+    }
 }
 
 // ---------------------------------------------------------------------
 // Semiring laws on random polynomials
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn polynomial_semiring_laws(a in polynomial(), b in polynomial(), c in polynomial()) {
-        prop_assert_eq!(laws::check_axioms(&a, &b, &c), None);
-    }
+#[test]
+fn polynomial_semiring_laws() {
+    forall(128, |g| {
+        let (a, b, c) = (polynomial(g), polynomial(g), polynomial(g));
+        assert_eq!(laws::check_axioms(&a, &b, &c), None, "{a} {b} {c}");
+    });
+}
 
-    #[test]
-    fn polynomial_eval_is_homomorphic(a in polynomial(), b in polynomial()) {
+#[test]
+fn polynomial_eval_is_homomorphic() {
+    forall(128, |g| {
+        let (a, b) = (polynomial(g), polynomial(g));
         let val = |t: &String| Natural(t.len() as u64 % 3);
-        prop_assert_eq!(a.plus(&b).eval(val), a.eval(val).plus(&b.eval(val)));
-        prop_assert_eq!(a.times(&b).eval(val), a.eval(val).times(&b.eval(val)));
-    }
+        assert_eq!(a.plus(&b).eval(val), a.eval(val).plus(&b.eval(val)));
+        assert_eq!(a.times(&b).eval(val), a.eval(val).times(&b.eval(val)));
+    });
+}
 
-    #[test]
-    fn polynomial_eval_bool_tracks_zero(p in polynomial()) {
+#[test]
+fn polynomial_eval_bool_tracks_zero() {
+    forall(128, |g| {
         // valuating everything true: zero polynomial ⇔ false
+        let p = polynomial(g);
         let truth = p.eval(|_| Bool(true));
-        prop_assert_eq!(truth, Bool(!p.is_zero_poly()));
-    }
+        assert_eq!(truth, Bool(!p.is_zero_poly()), "{p}");
+    });
+}
 
-    #[test]
-    fn why_provenance_laws(a in polynomial(), b in polynomial(), c in polynomial()) {
+#[test]
+fn why_provenance_laws() {
+    forall(128, |g| {
+        let (a, b, c) = (polynomial(g), polynomial(g), polynomial(g));
         let to_why = |p: &Polynomial<String>| p.eval(|t| Why::token(t.clone()));
-        prop_assert_eq!(
+        assert_eq!(
             laws::check_axioms(&to_why(&a), &to_why(&b), &to_why(&c)),
             None
         );
-    }
+    });
+}
 
-    #[test]
-    fn squash_is_idempotent(p in polynomial()) {
-        prop_assert_eq!(p.squash().squash(), p.squash());
-        prop_assert_eq!(
+#[test]
+fn squash_is_idempotent() {
+    forall(128, |g| {
+        let p = polynomial(g);
+        assert_eq!(p.squash().squash(), p.squash());
+        assert_eq!(
             p.squash_coefficients().squash_coefficients(),
             p.squash_coefficients()
         );
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // §3.4 normal forms
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn normal_form_is_idempotent(p in polynomial()) {
+#[test]
+fn normal_form_is_idempotent() {
+    forall(128, |g| {
+        let p = polynomial(g);
         let order = FewestViews::new(|t: &String| t.starts_with('v'));
         let nf = normal_form(&p, &order);
-        prop_assert_eq!(normal_form(&nf, &order), nf);
-    }
+        assert_eq!(normal_form(&nf, &order), nf);
+    });
+}
 
-    #[test]
-    fn normal_form_never_grows(p in polynomial()) {
+#[test]
+fn normal_form_never_grows() {
+    forall(128, |g| {
+        let p = polynomial(g);
         let order = FewestViews::new(|t: &String| t.starts_with('v'));
-        prop_assert!(normal_form(&p, &order).num_monomials() <= p.num_monomials());
-    }
+        assert!(normal_form(&p, &order).num_monomials() <= p.num_monomials());
+    });
+}
 
-    #[test]
-    fn normal_form_equivalent_to_original(p in polynomial()) {
+#[test]
+fn normal_form_equivalent_to_original() {
+    forall(128, |g| {
         // p ≤ nf(p) and nf(p) ≤ p under the lifted order
+        let p = polynomial(g);
         let order = FewestViews::new(|t: &String| t.starts_with('v'));
         let nf = normal_form(&p, &order);
         if !p.is_zero_poly() {
-            prop_assert!(poly_leq(&nf, &p, &order));
-            prop_assert!(poly_leq(&p, &nf, &order));
+            assert!(poly_leq(&nf, &p, &order), "{nf} vs {p}");
+            assert!(poly_leq(&p, &nf, &order), "{p} vs {nf}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn poly_leq_is_reflexive_and_transitive(
-        a in polynomial(), b in polynomial(), c in polynomial()
-    ) {
+#[test]
+fn poly_leq_is_reflexive_and_transitive() {
+    forall(128, |g| {
+        let (a, b, c) = (polynomial(g), polynomial(g), polynomial(g));
         let order = FewestViews::new(|t: &String| t.starts_with('v'));
-        prop_assert!(poly_leq(&a, &a, &order));
+        assert!(poly_leq(&a, &a, &order));
         if poly_leq(&a, &b, &order) && poly_leq(&b, &c, &order) {
-            prop_assert!(poly_leq(&a, &c, &order));
+            assert!(poly_leq(&a, &c, &order));
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -154,91 +225,110 @@ fn norm(a: &Json) -> Json {
     union_records(a, &Json::Null)
 }
 
-proptest! {
-    #[test]
-    fn union_is_commutative_up_to_equivalence(a in json_value(), b in json_value()) {
+#[test]
+fn union_is_commutative_up_to_equivalence() {
+    forall(256, |g| {
+        let (a, b) = (json_value(g), json_value(g));
         let ab = union_records(&a, &b);
         let ba = union_records(&b, &a);
-        prop_assert!(ab.equivalent(&ba), "{} vs {}", ab, ba);
-    }
+        assert!(ab.equivalent(&ba), "{ab} vs {ba}");
+    });
+}
 
-    #[test]
-    fn union_is_idempotent(a in json_value()) {
-        let n = norm(&a);
+#[test]
+fn union_is_idempotent() {
+    forall(256, |g| {
+        let n = norm(&json_value(g));
         let u = union_records(&n, &n);
-        prop_assert!(u.equivalent(&n), "{} vs {}", u, n);
-    }
+        assert!(u.equivalent(&n), "{u} vs {n}");
+    });
+}
 
-    #[test]
-    fn union_is_associative_up_to_equivalence(
-        a in json_value(), b in json_value(), c in json_value()
-    ) {
-        let (a, b, c) = (norm(&a), norm(&b), norm(&c));
+#[test]
+fn union_is_associative_up_to_equivalence() {
+    forall(256, |g| {
+        let (a, b, c) = (
+            norm(&json_value(g)),
+            norm(&json_value(g)),
+            norm(&json_value(g)),
+        );
         let l = union_records(&union_records(&a, &b), &c);
         let r = union_records(&a, &union_records(&b, &c));
-        prop_assert!(l.equivalent(&r), "{} vs {}", l, r);
-    }
+        assert!(l.equivalent(&r), "{l} vs {r}");
+    });
+}
 
-    #[test]
-    fn null_is_neutral_for_both_combinators(a in json_value()) {
-        let n = norm(&a);
-        prop_assert_eq!(union_records(&n, &Json::Null), n.clone());
-        prop_assert_eq!(join_records(&n, &Json::Null), n.clone());
-    }
+#[test]
+fn null_is_neutral_for_both_combinators() {
+    forall(256, |g| {
+        let n = norm(&json_value(g));
+        assert_eq!(union_records(&n, &Json::Null), n.clone());
+        assert_eq!(join_records(&n, &Json::Null), n.clone());
+    });
+}
 
-    #[test]
-    fn join_is_idempotent_on_objects(a in json_value()) {
+#[test]
+fn join_is_idempotent_on_objects() {
+    forall(256, |g| {
+        let a = json_value(g);
         if matches!(a, Json::Object(_)) {
-            prop_assert!(join_records(&a, &a).equivalent(&a));
+            assert!(join_records(&a, &a).equivalent(&a));
         }
-    }
+    });
+}
 
-    #[test]
-    fn serialization_round_trips_canonical(a in json_value()) {
+#[test]
+fn serialization_round_trips_canonical() {
+    forall(256, |g| {
+        let a = json_value(g);
         // canonical is a fixpoint
-        prop_assert_eq!(a.canonical().canonical(), a.canonical());
+        assert_eq!(a.canonical().canonical(), a.canonical());
         // compact output of canonical forms decides equivalence
-        prop_assert_eq!(
-            a.canonical().to_compact() == a.canonical().to_compact(),
-            true
-        );
-    }
+        assert!(a.canonical().to_compact() == a.canonical().to_compact());
+    });
 }
 
 // ---------------------------------------------------------------------
 // Value total order and loader round-trip
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn value_render_parse_round_trips(v in value()) {
+#[test]
+fn value_render_parse_round_trips() {
+    forall(512, |g| {
+        let v = value(g);
         let rendered = v.render();
         let parsed = Value::parse(&rendered);
-        prop_assert_eq!(parsed, Some(v));
-    }
+        assert_eq!(parsed, Some(v), "rendered as {rendered}");
+    });
+}
 
-    #[test]
-    fn value_ordering_is_total_and_antisymmetric(a in value(), b in value()) {
+#[test]
+fn value_ordering_is_total_and_antisymmetric() {
+    forall(512, |g| {
         use std::cmp::Ordering;
+        let (a, b) = (value(g), value(g));
         match a.cmp(&b) {
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
-            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+            Ordering::Less => assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => assert_eq!(b.cmp(&a), Ordering::Equal),
         }
-    }
+    });
+}
 
-    #[test]
-    fn equal_values_hash_equal(a in value(), b in value()) {
+#[test]
+fn equal_values_hash_equal() {
+    forall(512, |g| {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
+        let (a, b) = (value(g), value(g));
         if a == b {
             let mut ha = DefaultHasher::new();
             let mut hb = DefaultHasher::new();
             a.hash(&mut ha);
             b.hash(&mut hb);
-            prop_assert_eq!(ha.finish(), hb.finish());
+            assert_eq!(ha.finish(), hb.finish());
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -262,53 +352,53 @@ fn query_pool() -> Vec<ConjunctiveQuery> {
     .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn containment_is_reflexive_and_respects_renaming(idx in 0usize..8) {
-        let q = &query_pool()[idx];
-        prop_assert!(equivalent(q, q));
+#[test]
+fn containment_is_reflexive_and_respects_renaming() {
+    for q in &query_pool() {
+        assert!(equivalent(q, q));
         let renamed = q.freshen("_zz");
-        prop_assert!(equivalent(q, &renamed));
+        assert!(equivalent(q, &renamed));
     }
+}
 
-    #[test]
-    fn minimization_preserves_equivalence(idx in 0usize..8) {
-        let q = &query_pool()[idx];
+#[test]
+fn minimization_preserves_equivalence() {
+    for q in &query_pool() {
         let min = minimize(q);
-        prop_assert!(equivalent(&min, q), "{} vs {}", min, q);
-        prop_assert!(min.atoms.len() <= q.atoms.len());
+        assert!(equivalent(&min, q), "{min} vs {q}");
+        assert!(min.atoms.len() <= q.atoms.len());
     }
+}
 
-    #[test]
-    fn evaluation_agrees_with_minimized_query(idx in 0usize..8, seed in 0u64..50) {
-        let db = fgcite::gtopdb::generate(
-            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
-        );
-        let q = &query_pool()[idx];
-        let min = minimize(q);
-        let mut a = evaluate(&db, q).unwrap();
-        let mut b = evaluate(&db, &min).unwrap();
-        a.sort();
-        b.sort();
-        prop_assert_eq!(a, b);
+#[test]
+fn evaluation_agrees_with_minimized_query() {
+    for seed in 0u64..8 {
+        let db = fgcite::gtopdb::generate(&fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed));
+        for q in &query_pool() {
+            let min = minimize(q);
+            let mut a = evaluate(&db, q).unwrap();
+            let mut b = evaluate(&db, &min).unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "seed {seed}, query {q}");
+        }
     }
+}
 
-    #[test]
-    fn atom_order_does_not_change_results(idx in 0usize..8, seed in 0u64..20) {
-        let db = fgcite::gtopdb::generate(
-            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
-        );
-        let q = query_pool()[idx].clone();
-        let mut reversed = q.clone();
-        reversed.atoms.reverse();
-        reversed.comparisons.reverse();
-        let mut a = evaluate(&db, &q).unwrap();
-        let mut b = evaluate(&db, &reversed).unwrap();
-        a.sort();
-        b.sort();
-        prop_assert_eq!(a, b);
+#[test]
+fn atom_order_does_not_change_results() {
+    for seed in 0u64..5 {
+        let db = fgcite::gtopdb::generate(&fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed));
+        for q in &query_pool() {
+            let mut reversed = q.clone();
+            reversed.atoms.reverse();
+            reversed.comparisons.reverse();
+            let mut a = evaluate(&db, q).unwrap();
+            let mut b = evaluate(&db, &reversed).unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "seed {seed}, query {q}");
+        }
     }
 }
 
@@ -316,60 +406,53 @@ proptest! {
 // Engine: rewriting soundness and plan independence at scale
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn rewriting_expansions_evaluate_like_the_query(seed in 0u64..20, idx in 0usize..5) {
-        use fgcite::rewrite::{enumerate_rewritings, RewriteOptions, ViewDefs};
-        let db = fgcite::gtopdb::generate(
-            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
-        );
-        let q = &query_pool()[idx];
-        let views = ViewDefs::new(
-            fgcite::gtopdb::paper_views().iter().map(|v| v.view.clone()),
-        );
-        let e = enumerate_rewritings(q, &views, RewriteOptions::default()).unwrap();
-        let mut expected = evaluate(&db, q).unwrap();
-        expected.sort();
-        for r in &e.rewritings {
-            let expansion = r.expand(&views).unwrap();
-            let mut got = evaluate(&db, &expansion).unwrap();
-            got.sort();
-            prop_assert_eq!(&got, &expected, "rewriting {} diverges", r);
+#[test]
+fn rewriting_expansions_evaluate_like_the_query() {
+    use fgcite::rewrite::{enumerate_rewritings, RewriteOptions, ViewDefs};
+    for seed in 0u64..4 {
+        let db = fgcite::gtopdb::generate(&fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed));
+        let views = ViewDefs::new(fgcite::gtopdb::paper_views().iter().map(|v| v.view.clone()));
+        for q in query_pool().iter().take(5) {
+            let e = enumerate_rewritings(q, &views, RewriteOptions::default()).unwrap();
+            let mut expected = evaluate(&db, q).unwrap();
+            expected.sort();
+            for r in &e.rewritings {
+                let expansion = r.expand(&views).unwrap();
+                let mut got = evaluate(&db, &expansion).unwrap();
+                got.sort();
+                assert_eq!(&got, &expected, "rewriting {r} diverges on seed {seed}");
+            }
         }
     }
+}
 
-    #[test]
-    fn engine_citations_are_plan_independent(seed in 0u64..10) {
-        use fgcite::engine::{CitationEngine, EngineOptions, Policy, RewriteMode};
-        let db = fgcite::gtopdb::generate(
-            &fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed),
-        );
-        let q = parse_query(
-            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
-        )
-        .unwrap();
+#[test]
+fn engine_citations_are_plan_independent() {
+    use fgcite::engine::{CitationEngine, EngineOptions, Policy, RewriteMode};
+    for seed in 0u64..10 {
+        let db = fgcite::gtopdb::generate(&fgcite::gtopdb::GeneratorConfig::tiny().with_seed(seed));
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
         let mut permuted = q.clone();
         permuted.atoms.reverse();
         let opts = EngineOptions {
             mode: RewriteMode::Exhaustive,
             ..EngineOptions::default()
         };
-        let mut e1 = CitationEngine::new(db.clone(), fgcite::gtopdb::paper_views())
+        let e1 = CitationEngine::new(db.clone(), fgcite::gtopdb::paper_views())
             .unwrap()
             .with_policy(Policy::union_all())
             .with_options(opts);
-        let mut e2 = CitationEngine::new(db, fgcite::gtopdb::paper_views())
+        let e2 = CitationEngine::new(db, fgcite::gtopdb::paper_views())
             .unwrap()
             .with_policy(Policy::union_all())
             .with_options(opts);
         let c1 = e1.cite(&q).unwrap();
         let c2 = e2.cite(&permuted).unwrap();
-        prop_assert_eq!(c1.tuples.len(), c2.tuples.len());
+        assert_eq!(c1.tuples.len(), c2.tuples.len());
         for tc in &c1.tuples {
             let other = c2.tuples.iter().find(|t| t.tuple == tc.tuple).unwrap();
-            prop_assert_eq!(&tc.expr, &other.expr);
+            assert_eq!(&tc.expr, &other.expr);
         }
     }
 }
@@ -378,13 +461,13 @@ proptest! {
 // Versioning: snapshot immutability
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn snapshots_immutable_under_later_commits(extra in 1usize..6) {
+#[test]
+fn snapshots_immutable_under_later_commits() {
+    for extra in 1usize..6 {
         let mut history = VersionedDatabase::new();
-        history.commit(fgcite::gtopdb::paper_instance(), 0, "v0").unwrap();
+        history
+            .commit(fgcite::gtopdb::paper_instance(), 0, "v0")
+            .unwrap();
         let baseline = history.snapshot(0).unwrap().1.total_tuples();
         for i in 0..extra {
             history
@@ -397,11 +480,8 @@ proptest! {
                 })
                 .unwrap();
         }
-        prop_assert_eq!(history.snapshot(0).unwrap().1.total_tuples(), baseline);
-        prop_assert_eq!(
-            history.head().unwrap().1.total_tuples(),
-            baseline + extra
-        );
+        assert_eq!(history.snapshot(0).unwrap().1.total_tuples(), baseline);
+        assert_eq!(history.head().unwrap().1.total_tuples(), baseline + extra);
     }
 }
 
@@ -438,6 +518,13 @@ mod differential {
         db
     }
 
+    fn random_rows(g: &mut SmallRng) -> Vec<(i64, i64)> {
+        let n = g.gen_range(0..6);
+        (0..n)
+            .map(|_| (g.gen_range(0..4) as i64, g.gen_range(0..4) as i64))
+            .collect()
+    }
+
     fn small_queries() -> Vec<&'static str> {
         vec![
             "Q(A, B) :- R(A, B)",
@@ -453,41 +540,42 @@ mod differential {
         ]
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn optimized_evaluator_matches_reference() {
+        forall(48, |g| {
+            let db = tiny_random_db(&random_rows(g), &random_rows(g));
+            for src in small_queries() {
+                let q = parse_query(src).unwrap();
+                let mut fast = evaluate(&db, &q).unwrap();
+                fast.sort();
+                let slow = reference_evaluate(&db, &q).unwrap();
+                assert_eq!(fast, slow, "divergence on {src}");
+            }
+        });
+    }
 
-        #[test]
-        fn optimized_evaluator_matches_reference(
-            rows_r in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
-            rows_s in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
-            qidx in 0usize..10,
-        ) {
-            let db = tiny_random_db(&rows_r, &rows_s);
-            let q = parse_query(small_queries()[qidx]).unwrap();
-            let mut fast = evaluate(&db, &q).unwrap();
-            fast.sort();
-            let slow = reference_evaluate(&db, &q).unwrap();
-            prop_assert_eq!(fast, slow, "divergence on {}", small_queries()[qidx]);
-        }
-
-        #[test]
-        fn indexes_never_change_semantics(
-            rows_r in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
-            rows_s in proptest::collection::vec((0i64..4, 0i64..4), 0..6),
-            qidx in 0usize..10,
-        ) {
-            let mut db = tiny_random_db(&rows_r, &rows_s);
-            let q = parse_query(small_queries()[qidx]).unwrap();
-            let mut before = evaluate(&db, &q).unwrap();
-            before.sort();
+    #[test]
+    fn indexes_never_change_semantics() {
+        forall(48, |g| {
+            let mut db = tiny_random_db(&random_rows(g), &random_rows(g));
+            let before: Vec<Vec<Tuple>> = small_queries()
+                .iter()
+                .map(|src| {
+                    let mut r = evaluate(&db, &parse_query(src).unwrap()).unwrap();
+                    r.sort();
+                    r
+                })
+                .collect();
             for rel in ["R", "S"] {
                 for col in 0..2 {
                     db.relation_mut(rel).unwrap().build_index(col).unwrap();
                 }
             }
-            let mut after = evaluate(&db, &q).unwrap();
-            after.sort();
-            prop_assert_eq!(before, after);
-        }
+            for (src, expected) in small_queries().iter().zip(&before) {
+                let mut after = evaluate(&db, &parse_query(src).unwrap()).unwrap();
+                after.sort();
+                assert_eq!(&after, expected, "divergence on {src}");
+            }
+        });
     }
 }
