@@ -1,4 +1,4 @@
-//! # fgc-bench — the experiment harness (E1–E8)
+//! # fgc-bench — the experiment harness (E1–E10)
 //!
 //! The paper ("A Model for Fine-Grained Data Citation", CIDR 2017)
 //! publishes no quantitative evaluation; this crate turns each of its
@@ -9,6 +9,12 @@
 //!   one target per experiment;
 //! * `cargo run -p fgc-bench --release` — prints the experiment
 //!   tables (rows/series) that EXPERIMENTS.md records.
+//!
+//! E10 (the `e10_serving` bench and [`load::e10_table`]) drives the
+//! `fgc-server` HTTP front-end end to end with the [`load`] module's
+//! closed/open-loop generator — crud-bench style: closed loop for
+//! peak throughput, open loop (latency charged from *scheduled*
+//! departure) for coordinated-omission-free tail latency.
 
 use fgc_core::{
     baseline_coverage, CitationEngine, EngineOptions, OrderChoice, PageCitationStore, Policy,
@@ -22,6 +28,10 @@ use fgc_semiring::{Natural, Polynomial, Why};
 use fgc_views::ViewRegistry;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+pub mod load;
+
+pub use load::{cite_bodies, e10_table, run_load, LoadConfig, LoadMode, LoadReport};
 
 /// A printable experiment table.
 #[derive(Debug, Clone)]
@@ -635,6 +645,7 @@ pub fn all_tables() -> Vec<Table> {
         e6_table(1_000),
         e7_table(1_000),
         e8_table(&[4, 16, 64]),
+        e10_table(1_000, &[1, 2, 4, 8]),
         ablation_table(1_000),
     ]
 }

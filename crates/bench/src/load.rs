@@ -1,0 +1,402 @@
+//! An in-process HTTP load generator for the serving benchmark
+//! (E10), modelled on crud-bench's closed/open-loop split:
+//!
+//! * **closed loop** — `clients` connections, each issuing its next
+//!   request the moment the previous response lands. Measures peak
+//!   sustainable throughput; latency excludes think time.
+//! * **open loop** — requests *depart on a fixed schedule* (`rate`
+//!   per second) regardless of how fast responses return, issued by a
+//!   pool of `clients` connections. Latency is measured from the
+//!   **scheduled departure**, not the actual send, so queueing delay
+//!   under overload is charged to the server — the
+//!   coordinated-omission-free measurement.
+//!
+//! Both loops drive the real `fgc-server` HTTP path end to end
+//! (TCP, framing, JSON decode, batching admission, `cite_batch`),
+//! not the engine API.
+
+use fgc_server::Client;
+use fgc_views::Json;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How requests are generated.
+#[derive(Debug, Clone, Copy)]
+pub enum LoadMode {
+    /// Each client fires its next request when the previous response
+    /// arrives; `requests_per_client` requests per connection.
+    Closed {
+        /// Requests each client issues.
+        requests_per_client: usize,
+    },
+    /// `total` requests depart at `rate` per second, spread over the
+    /// client pool.
+    Open {
+        /// Scheduled departures per second.
+        rate: f64,
+        /// Total requests in the run.
+        total: usize,
+    },
+}
+
+/// A load-generation run description.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent connections.
+    pub clients: usize,
+    /// Closed or open loop.
+    pub mode: LoadMode,
+}
+
+/// The measured outcome of one run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub sent: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// Non-200 responses plus transport failures.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latencies, sorted ascending.
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadReport {
+    /// Served requests per second over the run.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.sent as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// The `p`-th percentile latency (`p` in `[0, 100]`).
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[rank.min(self.latencies.len() - 1)]
+    }
+}
+
+/// Run one load generation pass against a served address. `bodies`
+/// are the JSON payloads POSTed to `path`, cycled per request.
+pub fn run_load(
+    addr: SocketAddr,
+    path: &str,
+    bodies: &[String],
+    config: &LoadConfig,
+) -> std::io::Result<LoadReport> {
+    assert!(!bodies.is_empty(), "need at least one request body");
+    let clients = config.clients.max(1);
+    let started = Instant::now();
+    let results: Mutex<(usize, usize, Vec<Duration>)> = Mutex::new((0, 0, Vec::new()));
+    // open-loop departure cursor, shared by the pool
+    let next_departure = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let results = &results;
+            let next_departure = &next_departure;
+            handles.push(scope.spawn(move || -> std::io::Result<()> {
+                let mut client = Client::connect(addr)?;
+                let mut local: (usize, usize, Vec<Duration>) = (0, 0, Vec::new());
+                match config.mode {
+                    LoadMode::Closed {
+                        requests_per_client,
+                    } => {
+                        for r in 0..requests_per_client {
+                            let body = &bodies[(c * requests_per_client + r) % bodies.len()];
+                            let t0 = Instant::now();
+                            match client.post(path, body) {
+                                Ok(response) if response.status == 200 => local.0 += 1,
+                                Ok(_) | Err(_) => local.1 += 1,
+                            }
+                            local.2.push(t0.elapsed());
+                        }
+                    }
+                    LoadMode::Open { rate, total } => {
+                        let interval = Duration::from_secs_f64(1.0 / rate.max(1e-6));
+                        loop {
+                            let i = next_departure.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let departure = started + interval.mul_f64(i as f64);
+                            if let Some(wait) = departure.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            match client.post(path, &bodies[i % bodies.len()]) {
+                                Ok(response) if response.status == 200 => local.0 += 1,
+                                Ok(_) | Err(_) => local.1 += 1,
+                            }
+                            // latency from *scheduled* departure
+                            local.2.push(departure.elapsed());
+                        }
+                    }
+                }
+                let mut merged = results.lock().expect("results lock");
+                merged.0 += local.0;
+                merged.1 += local.1;
+                merged.2.extend(local.2);
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("load client thread panicked")?;
+        }
+        Ok(())
+    })?;
+
+    let elapsed = started.elapsed();
+    let (ok, errors, mut latencies) = results.into_inner().expect("results lock");
+    latencies.sort();
+    Ok(LoadReport {
+        sent: ok + errors,
+        ok,
+        errors,
+        elapsed,
+        latencies,
+    })
+}
+
+/// Render Datalog queries as `POST /cite` JSON bodies.
+pub fn cite_bodies<I>(queries: I) -> Vec<String>
+where
+    I: IntoIterator,
+    I::Item: std::fmt::Display,
+{
+    queries
+        .into_iter()
+        .map(|q| Json::from_pairs([("query", Json::str(q.to_string()))]).to_compact())
+        .collect()
+}
+
+// =====================================================================
+// E10 — serving throughput through the HTTP front-end
+// =====================================================================
+
+/// E10 table: end-to-end serving latency/throughput through the full
+/// HTTP path (TCP → framing → JSON → batching admission →
+/// `cite_batch` → encode), closed-loop client sweep plus one
+/// open-loop row at a fixed arrival rate. Claim: the batching
+/// admission queue lets one shared engine serve concurrent clients
+/// at near-linear throughput (the network-side complement of E9).
+pub fn e10_table(families: usize, client_sweep: &[usize]) -> crate::Table {
+    use fgc_server::{CiteServer, ServerConfig};
+    use std::sync::Arc;
+
+    let engine = Arc::new(crate::engine_at_scale(
+        families,
+        fgc_core::RewriteMode::Pruned,
+        fgc_core::Policy::default(),
+    ));
+    let db = Arc::clone(engine.database());
+    let mut workload = fgc_gtopdb::WorkloadGenerator::new(&db, 59);
+    let bodies = cite_bodies(workload.ad_hoc_batch(16));
+    let server = CiteServer::start(
+        engine,
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_threads(8)
+            .with_batch_window(Duration::from_millis(1)),
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // warm extents + token cache so the sweep measures serving
+    let _ = run_load(
+        addr,
+        "/cite",
+        &bodies,
+        &LoadConfig {
+            clients: 1,
+            mode: LoadMode::Closed {
+                requests_per_client: bodies.len(),
+            },
+        },
+    )
+    .expect("warmup");
+
+    let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+    let mut rows = Vec::new();
+    for &clients in client_sweep {
+        let report = run_load(
+            addr,
+            "/cite",
+            &bodies,
+            &LoadConfig {
+                clients,
+                mode: LoadMode::Closed {
+                    requests_per_client: 32,
+                },
+            },
+        )
+        .expect("closed loop");
+        rows.push(vec![
+            "closed".into(),
+            clients.to_string(),
+            report.sent.to_string(),
+            format!("{:.0}", report.throughput()),
+            ms(report.percentile(50.0)),
+            ms(report.percentile(95.0)),
+            ms(report.percentile(99.0)),
+            report.errors.to_string(),
+        ]);
+    }
+    let open = run_load(
+        addr,
+        "/cite",
+        &bodies,
+        &LoadConfig {
+            clients: 4,
+            mode: LoadMode::Open {
+                rate: 200.0,
+                total: 100,
+            },
+        },
+    )
+    .expect("open loop");
+    rows.push(vec![
+        "open@200/s".into(),
+        "4".into(),
+        open.sent.to_string(),
+        format!("{:.0}", open.throughput()),
+        ms(open.percentile(50.0)),
+        ms(open.percentile(95.0)),
+        ms(open.percentile(99.0)),
+        open.errors.to_string(),
+    ]);
+    server.shutdown();
+
+    crate::Table {
+        title: format!(
+            "E10 — HTTP serving: closed-loop sweep + open loop ({families} families, batch window 1ms)"
+        ),
+        headers: vec![
+            "mode".into(),
+            "clients".into(),
+            "requests".into(),
+            "rps".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+            "errors".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_core::CitationEngine;
+    use fgc_gtopdb::{paper_instance, paper_views};
+    use fgc_server::{CiteServer, ServerConfig};
+    use std::sync::Arc;
+
+    fn server() -> CiteServer {
+        let engine = Arc::new(CitationEngine::new(paper_instance(), paper_views()).unwrap());
+        CiteServer::start(
+            engine,
+            ServerConfig::default()
+                .with_addr("127.0.0.1:0")
+                .with_threads(4)
+                .with_batch_window(Duration::from_millis(1)),
+        )
+        .unwrap()
+    }
+
+    fn bodies() -> Vec<String> {
+        cite_bodies([
+            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+        ])
+    }
+
+    #[test]
+    fn closed_loop_serves_everything() {
+        let server = server();
+        let report = run_load(
+            server.addr(),
+            "/cite",
+            &bodies(),
+            &LoadConfig {
+                clients: 4,
+                mode: LoadMode::Closed {
+                    requests_per_client: 5,
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sent, 20);
+        assert_eq!(report.ok, 20);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latencies.len(), 20);
+        assert!(report.throughput() > 0.0);
+        assert!(report.percentile(99.0) >= report.percentile(50.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_issues_the_scheduled_total() {
+        let server = server();
+        let report = run_load(
+            server.addr(),
+            "/cite",
+            &bodies(),
+            &LoadConfig {
+                clients: 2,
+                mode: LoadMode::Open {
+                    rate: 500.0,
+                    total: 12,
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sent, 12);
+        assert_eq!(report.errors, 0);
+        // 12 departures spaced 2ms apart: the run takes ≥ 22ms
+        assert!(report.elapsed >= Duration::from_millis(20), "{report:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn generated_workload_queries_survive_the_wire() {
+        // Display → JSON body → server-side parse_query must round
+        // trip for the synthetic workload the E10 bench uses
+        let db = crate::db_at_scale(100);
+        let engine = Arc::new(CitationEngine::new(db, paper_views()).unwrap());
+        let db_arc = Arc::clone(engine.database());
+        let mut workload = fgc_gtopdb::WorkloadGenerator::new(&db_arc, 53);
+        let queries = workload.ad_hoc_batch(4);
+        let server = CiteServer::start(
+            engine,
+            ServerConfig::default()
+                .with_addr("127.0.0.1:0")
+                .with_threads(2),
+        )
+        .unwrap();
+        let report = run_load(
+            server.addr(),
+            "/cite",
+            &cite_bodies(queries),
+            &LoadConfig {
+                clients: 2,
+                mode: LoadMode::Closed {
+                    requests_per_client: 4,
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(report.ok, 8, "errors: {}", report.errors);
+        server.shutdown();
+    }
+}

@@ -16,6 +16,18 @@
 //! and the hit/miss counters are relaxed atomics, keeping
 //! [`CitationCache::stats`] accurate under concurrency.
 //!
+//! Each shard is **size-bounded** with second-chance (CLOCK)
+//! eviction: every slot carries a referenced bit that hits set under
+//! the read lock; when a full shard needs room, the clock hand sweeps
+//! slots, sparing (and clearing) referenced ones and evicting the
+//! first unreferenced slot it finds. Hot tokens — re-touched between
+//! two hand visits — therefore survive sustained scans, which is the
+//! behavior the serving workloads need (a few curated landing-page
+//! tokens stay resident while ad-hoc one-off valuations churn).
+//! Evictions are counted in [`CacheStats::evictions`]; the hit/miss
+//! accounting (and so [`CacheStats::hit_rate`]) is untouched by
+//! eviction — a re-computed evictee is simply a miss again.
+//!
 //! Caches are keyed per database version: bumping the version drops
 //! the entries (curated databases change by release, §4's fixity).
 
@@ -23,11 +35,15 @@ use crate::token::CiteToken;
 use fgc_views::Json;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Number of independent lock shards in [`CitationCache`].
 pub const SHARDS: usize = 16;
+
+/// Default per-shard slot capacity (total default capacity is
+/// `SHARDS * DEFAULT_SHARD_CAPACITY` entries).
+pub const DEFAULT_SHARD_CAPACITY: usize = 4096;
 
 /// Hit/miss counters for diagnostics and the E7 benchmark.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +54,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of entries currently stored.
     pub entries: usize,
+    /// Number of entries evicted to make room (CLOCK second-chance).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -52,40 +70,113 @@ impl CacheStats {
     }
 }
 
-/// A sharded, thread-safe memo table for interpreted citation tokens.
+/// One resident entry: the cached citation plus its CLOCK bit.
+#[derive(Debug)]
+struct Slot {
+    token: CiteToken,
+    value: Json,
+    /// Second-chance bit; set on hit under the shard's *read* lock.
+    referenced: AtomicBool,
+}
+
+/// One lock shard: token → slot index, plus the CLOCK ring.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CiteToken, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+}
+
+impl Shard {
+    /// Insert `token → value`, evicting via CLOCK when at capacity.
+    /// Returns whether an entry was evicted.
+    fn insert(&mut self, token: CiteToken, value: Json, capacity: usize) -> bool {
+        if self.map.contains_key(&token) {
+            return false; // another thread raced the same miss
+        }
+        if self.slots.len() < capacity {
+            let index = self.slots.len();
+            self.slots.push(Slot {
+                token: token.clone(),
+                value,
+                referenced: AtomicBool::new(false),
+            });
+            self.map.insert(token, index);
+            return false;
+        }
+        // CLOCK sweep: clear referenced bits until an unreferenced
+        // slot comes up; that victim is replaced. Terminates within
+        // two laps because the first lap clears every bit.
+        loop {
+            let index = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let slot = &mut self.slots[index];
+            if slot.referenced.swap(false, Ordering::Relaxed) {
+                continue; // spared: second chance
+            }
+            self.map.remove(&slot.token);
+            self.map.insert(token.clone(), index);
+            *slot = Slot {
+                token,
+                value,
+                referenced: AtomicBool::new(false),
+            };
+            return true;
+        }
+    }
+}
+
+/// A sharded, thread-safe, size-bounded memo table for interpreted
+/// citation tokens.
 ///
 /// All methods take `&self`; an engine holding one of these can be
 /// shared across threads (`Arc<CitationEngine>`) with every thread
 /// reading from and filling the same cache.
 #[derive(Debug)]
 pub struct CitationCache {
-    shards: Vec<RwLock<HashMap<CiteToken, Json>>>,
+    shards: Vec<RwLock<Shard>>,
     hasher: RandomState,
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     /// Database version the entries were computed against.
     version: AtomicU64,
 }
 
 impl Default for CitationCache {
     fn default() -> Self {
-        CitationCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            hasher: RandomState::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            version: AtomicU64::new(0),
-        }
+        CitationCache::with_shard_capacity(DEFAULT_SHARD_CAPACITY)
     }
 }
 
 impl CitationCache {
-    /// An empty cache (version 0).
+    /// An empty cache (version 0) with the default capacity.
     pub fn new() -> Self {
         CitationCache::default()
     }
 
-    fn shard(&self, token: &CiteToken) -> &RwLock<HashMap<CiteToken, Json>> {
+    /// An empty cache holding at most `capacity` entries **per
+    /// shard** (clamped to ≥ 1; total capacity is `SHARDS` times
+    /// this).
+    pub fn with_shard_capacity(capacity: usize) -> Self {
+        CitationCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            hasher: RandomState::new(),
+            shard_capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of entries this cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+
+    fn shard(&self, token: &CiteToken) -> &RwLock<Shard> {
         &self.shards[(self.hasher.hash_one(token) as usize) % SHARDS]
     }
 
@@ -103,17 +194,25 @@ impl CitationCache {
         F: FnOnce() -> Json,
     {
         let shard = self.shard(token);
-        if let Some(hit) = shard.read().expect("cache shard poisoned").get(token) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (hit.clone(), true);
+        {
+            let guard = shard.read().expect("cache shard poisoned");
+            if let Some(&index) = guard.map.get(token) {
+                let slot = &guard.slots[index];
+                slot.referenced.store(true, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (slot.value.clone(), true);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        shard
-            .write()
-            .expect("cache shard poisoned")
-            .entry(token.clone())
-            .or_insert_with(|| value.clone());
+        let evicted = shard.write().expect("cache shard poisoned").insert(
+            token.clone(),
+            value.clone(),
+            self.shard_capacity,
+        );
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         (value, false)
     }
 
@@ -141,15 +240,19 @@ impl CitationCache {
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.read().expect("cache shard poisoned").len())
+                .map(|s| s.read().expect("cache shard poisoned").map.len())
                 .sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drop all entries (keeps counters).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache shard poisoned").clear();
+            let mut guard = shard.write().expect("cache shard poisoned");
+            guard.map.clear();
+            guard.slots.clear();
+            guard.hand = 0;
         }
     }
 }
@@ -162,6 +265,10 @@ mod tests {
 
     fn token() -> CiteToken {
         CiteToken::view("V1", vec![Value::str("11")])
+    }
+
+    fn nth_token(i: usize) -> CiteToken {
+        CiteToken::view("V1", vec![Value::str(format!("t{i}"))])
     }
 
     #[test]
@@ -180,6 +287,7 @@ mod tests {
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
     }
 
@@ -224,6 +332,72 @@ mod tests {
     }
 
     #[test]
+    fn capacity_bounds_entries_and_counts_evictions() {
+        let cache = CitationCache::with_shard_capacity(4);
+        for i in 0..10 * cache.capacity() {
+            cache.get_or_compute(&nth_token(i), || Json::str(format!("{i}")));
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= cache.capacity(),
+            "{} entries exceed capacity {}",
+            stats.entries,
+            cache.capacity()
+        );
+        assert!(stats.evictions > 0);
+        // every lookup above was a distinct token: all misses
+        assert_eq!(stats.misses, 10 * cache.capacity() as u64);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hot_token_survives_scan_churn() {
+        let cache = CitationCache::with_shard_capacity(4);
+        let hot = token();
+        cache.get_or_compute(&hot, || Json::str("hot"));
+        let mut hot_computes = 0;
+        for i in 0..20 * cache.capacity() {
+            // touch the hot token before every filler insert: its
+            // referenced bit is always set when the hand sweeps by
+            cache.get_or_compute(&hot, || {
+                hot_computes += 1;
+                Json::str("hot")
+            });
+            cache.get_or_compute(&nth_token(i), || Json::str("cold"));
+        }
+        assert_eq!(hot_computes, 0, "second chance must spare the hot token");
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn eviction_then_recompute_is_a_fresh_miss() {
+        let cache = CitationCache::with_shard_capacity(1);
+        // fill well past capacity so `token()`'s slot gets churned
+        cache.get_or_compute(&token(), || Json::str("first"));
+        for i in 0..20 * cache.capacity() {
+            cache.get_or_compute(&nth_token(i), || Json::str("filler"));
+        }
+        let before = cache.stats();
+        let v = cache.get_or_compute(&token(), || Json::str("second"));
+        let after = cache.stats();
+        // evicted → recomputed as a miss, and the new value is served
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(v, Json::str("second"));
+    }
+
+    #[test]
+    fn clear_resets_the_clock() {
+        let cache = CitationCache::with_shard_capacity(2);
+        for i in 0..10 * cache.capacity() {
+            cache.get_or_compute(&nth_token(i), || Json::str("x"));
+        }
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        cache.get_or_compute(&token(), || Json::str("fresh"));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
     fn concurrent_fill_counts_every_lookup() {
         let cache = Arc::new(CitationCache::new());
         let threads = 8;
@@ -243,5 +417,22 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, threads * per_thread);
         assert_eq!(stats.entries, 10);
+    }
+
+    #[test]
+    fn concurrent_churn_respects_capacity() {
+        let cache = Arc::new(CitationCache::with_shard_capacity(8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..2_000usize {
+                        let tok = nth_token(t * 10_000 + i);
+                        cache.get_or_compute(&tok, || Json::str("v"));
+                    }
+                });
+            }
+        });
+        assert!(cache.stats().entries <= cache.capacity());
     }
 }

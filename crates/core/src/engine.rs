@@ -188,6 +188,15 @@ impl CitationEngine {
         self
     }
 
+    /// Bound the token cache at `per_shard` entries per shard
+    /// (builder style; replaces the cache, dropping any entries).
+    /// Excess entries are evicted second-chance (CLOCK) — see
+    /// [`CitationCache`].
+    pub fn with_cache_capacity(mut self, per_shard: usize) -> Self {
+        self.cache = CitationCache::with_shard_capacity(per_shard);
+        self
+    }
+
     /// The underlying database.
     pub fn database(&self) -> &Arc<Database> {
         &self.db

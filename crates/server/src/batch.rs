@@ -1,0 +1,260 @@
+//! Batching admission: coalesce concurrent HTTP requests into
+//! [`CitationEngine::cite_batch_threads`] calls.
+//!
+//! Workers do not call the engine directly. They submit decoded
+//! [`CiteRequest`]s into a **bounded** queue (`try_send`: a full
+//! queue is an immediate 503, the admission-control half) and block
+//! on a per-request reply channel. A dedicated batcher thread drains
+//! the queue: it waits for the first request, keeps collecting until
+//! either the *batch window* elapses or the batch hits its size cap,
+//! then issues one `cite_batch_threads` call over the shared engine —
+//! so bursts of concurrent traffic amortize fan-out overhead and
+//! share the token cache warm-up, while a lone request only ever
+//! waits one window. A zero window degenerates to per-request
+//! dispatch (the queue still bounds admission).
+//!
+//! Shutdown is by hang-up: dropping the [`Batcher`] drops the sender
+//! side, the thread drains what is left, answers it, and exits; the
+//! `Drop` impl joins it, so no request is ever abandoned without a
+//! reply.
+
+use crate::stats::ServerStats;
+use fgc_core::{CitationEngine, CiteRequest, CiteResponse, Result as CoreResult};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued request plus the channel its answer goes back on.
+struct BatchItem {
+    request: CiteRequest,
+    reply: mpsc::Sender<CoreResult<CiteResponse>>,
+}
+
+/// The submission error: the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded;
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("admission queue full")
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// Handle to the batching thread. Cloneable submission is via
+/// [`Batcher::submit`]; dropping the handle shuts the thread down.
+#[derive(Debug)]
+pub struct Batcher {
+    sender: Option<SyncSender<BatchItem>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Start the batcher over a shared engine.
+    ///
+    /// * `window` — how long to wait for co-travellers after the
+    ///   first request of a batch;
+    /// * `max_batch` — batch size cap (≥ 1);
+    /// * `queue_depth` — bounded admission queue length;
+    /// * `threads` — worker count handed to `cite_batch_threads`.
+    pub fn start(
+        engine: Arc<CitationEngine>,
+        stats: Arc<ServerStats>,
+        window: Duration,
+        max_batch: usize,
+        queue_depth: usize,
+        threads: usize,
+    ) -> Batcher {
+        let (sender, receiver) = mpsc::sync_channel::<BatchItem>(queue_depth.max(1));
+        let max_batch = max_batch.max(1);
+        let worker = std::thread::Builder::new()
+            .name("fgcite-batcher".into())
+            .spawn(move || loop {
+                // block for the batch leader
+                let first = match receiver.recv() {
+                    Ok(item) => item,
+                    Err(_) => return, // all senders gone: shutdown
+                };
+                let mut items = vec![first];
+                let deadline = Instant::now() + window;
+                let mut disconnected = false;
+                while items.len() < max_batch {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    match receiver.recv_timeout(left) {
+                        Ok(item) => items.push(item),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+
+                let requests: Vec<CiteRequest> = items.iter().map(|i| i.request.clone()).collect();
+                let results = engine.cite_batch_threads(&requests, threads);
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .batched_requests
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                for (item, result) in items.into_iter().zip(results) {
+                    // a worker that gave up (client hung up) just
+                    // drops its receiver; ignore
+                    let _ = item.reply.send(result);
+                }
+                if disconnected {
+                    return;
+                }
+            })
+            .expect("spawn batcher thread");
+        Batcher {
+            sender: Some(sender),
+            worker: Some(worker),
+        }
+    }
+
+    /// Submit one request for batched serving. Returns the channel
+    /// the response arrives on, or [`Overloaded`] when the bounded
+    /// queue is full (the caller answers 503).
+    pub fn submit(
+        &self,
+        request: CiteRequest,
+    ) -> Result<mpsc::Receiver<CoreResult<CiteResponse>>, Overloaded> {
+        let (reply, receiver) = mpsc::channel();
+        let item = BatchItem { request, reply };
+        match self
+            .sender
+            .as_ref()
+            .expect("batcher running")
+            .try_send(item)
+        {
+            Ok(()) => Ok(receiver),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(Overloaded),
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // hang up: thread drains and exits
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_gtopdb::{paper_instance, paper_views};
+    use fgc_query::parse_query;
+
+    fn engine() -> Arc<CitationEngine> {
+        Arc::new(CitationEngine::new(paper_instance(), paper_views()).unwrap())
+    }
+
+    fn request(ty: &str) -> CiteRequest {
+        CiteRequest::query(
+            parse_query(&format!("Q(N) :- Family(F, N, Ty), Ty = \"{ty}\"")).unwrap(),
+        )
+    }
+
+    #[test]
+    fn answers_every_submission() {
+        let engine = engine();
+        let direct = engine.cite_request(&request("gpcr")).unwrap();
+        let stats = Arc::new(ServerStats::default());
+        let batcher = Batcher::start(
+            Arc::clone(&engine),
+            Arc::clone(&stats),
+            Duration::from_millis(2),
+            8,
+            64,
+            2,
+        );
+        let receivers: Vec<_> = (0..10)
+            .map(|_| batcher.submit(request("gpcr")).unwrap())
+            .collect();
+        for rx in receivers {
+            let response = rx.recv().unwrap().unwrap();
+            assert_eq!(
+                response.citation.aggregate.to_compact(),
+                direct.citation.aggregate.to_compact()
+            );
+        }
+        drop(batcher); // joins cleanly
+        assert_eq!(stats.batched_requests.load(Ordering::Relaxed), 10);
+        assert!(stats.batches.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn coalesces_concurrent_submissions() {
+        let stats = Arc::new(ServerStats::default());
+        let batcher = Batcher::start(
+            engine(),
+            Arc::clone(&stats),
+            Duration::from_millis(50),
+            16,
+            64,
+            2,
+        );
+        let receivers: Vec<_> = (0..6)
+            .map(|_| batcher.submit(request("gpcr")).unwrap())
+            .collect();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok());
+        }
+        drop(batcher);
+        // all six went down in well under the 50ms window: few batches
+        assert!(stats.mean_batch_size() > 1.0, "{:?}", stats);
+    }
+
+    #[test]
+    fn full_queue_reports_overloaded() {
+        let stats = Arc::new(ServerStats::default());
+        // single-item batches: while the batcher is inside a cite
+        // call, a flood overruns the depth-1 queue
+        let batcher = Batcher::start(engine(), Arc::clone(&stats), Duration::ZERO, 1, 1, 1);
+        let mut overloaded = false;
+        let mut receivers = Vec::new();
+        for _ in 0..200 {
+            match batcher.submit(request("gpcr")) {
+                Ok(rx) => receivers.push(rx),
+                Err(Overloaded) => {
+                    overloaded = true;
+                    break;
+                }
+            }
+        }
+        assert!(overloaded, "depth-1 queue should reject a flood");
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_window_still_serves() {
+        let stats = Arc::new(ServerStats::default());
+        let batcher = Batcher::start(engine(), stats, Duration::ZERO, 8, 8, 1);
+        let rx = batcher.submit(request("enzyme")).unwrap();
+        let response = rx.recv().unwrap().unwrap();
+        assert_eq!(response.citation.tuples.len(), 1);
+    }
+
+    #[test]
+    fn per_request_errors_stay_isolated() {
+        let stats = Arc::new(ServerStats::default());
+        let batcher = Batcher::start(engine(), stats, Duration::from_millis(5), 8, 8, 2);
+        let bad = batcher
+            .submit(CiteRequest::query(parse_query("Q(X) :- Nope(X)").unwrap()))
+            .unwrap();
+        let good = batcher.submit(request("gpcr")).unwrap();
+        assert!(bad.recv().unwrap().is_err());
+        assert!(good.recv().unwrap().is_ok());
+    }
+}

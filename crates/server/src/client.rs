@@ -1,0 +1,120 @@
+//! A minimal blocking HTTP/1.1 client for the integration tests, the
+//! load generator, and the examples.
+//!
+//! One [`Client`] owns one keep-alive connection; `get`/`post` return
+//! the status code and body. This is intentionally tiny — it speaks
+//! exactly the dialect [`crate::http`] emits (Content-Length framed
+//! bodies, `Connection: keep-alive|close`).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+/// A keep-alive connection to the citation service.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to the server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issue a `GET`.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Issue a `POST` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Issue a request and read the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let stream = self.reader.get_mut();
+        match body {
+            Some(b) => write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: fgcite\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
+                b.len()
+            )?,
+            None => write!(stream, "{method} {path} HTTP/1.1\r\nHost: fgcite\r\n\r\n")?,
+        }
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// Send raw bytes (for malformed-input tests) and try to read
+    /// whatever response comes back.
+    pub fn send_raw(&mut self, raw: &[u8]) -> io::Result<ClientResponse> {
+        self.reader.get_mut().write_all(raw)?;
+        self.reader.get_mut().flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line `{status_line}`"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        Ok(ClientResponse { status, body })
+    }
+}

@@ -1,0 +1,291 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Just enough of RFC 9112 for the citation service and its load
+//! generator: request-line + header parsing with hard size limits,
+//! `Content-Length` bodies, keep-alive/`Connection: close`
+//! negotiation, and response serialization. Anything outside the
+//! accepted subset maps to a 4xx [`HttpError`] rather than a panic or
+//! a wedged read — the workers recycle the connection and move on.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line plus all header lines, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum number of header lines accepted.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request head plus its body.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request target path (query strings are not interpreted).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open
+    /// (HTTP/1.1 defaults to keep-alive).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read. Carries the status line the
+/// server should answer with (when the connection is still usable
+/// enough to answer at all).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean end of stream before any request byte: not an error,
+    /// the peer just closed an idle connection.
+    Closed,
+    /// The stream timed out or failed mid-request.
+    Io(io::Error),
+    /// Syntactically invalid or unsupported request → 400.
+    BadRequest(String),
+    /// Body larger than the configured limit → 413.
+    PayloadTooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn read_line_limited(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::BadRequest("truncated request head".into()));
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(HttpError::BadRequest("request head too large".into()));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-utf8 request head".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Read one request from the stream. `Err(Closed)` means the peer
+/// hung up between requests (normal keep-alive teardown); every other
+/// error names the 4xx the caller should send.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<HttpRequest, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line_limited(reader, &mut budget)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v),
+        _ => return Err(HttpError::BadRequest("malformed request line".into())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = HttpRequest {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding not supported; send Content-Length".into(),
+        ));
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("invalid Content-Length".into()))?,
+    };
+    if length > max_body_bytes {
+        return Err(HttpError::PayloadTooLarge(length));
+    }
+    let mut body = vec![0u8; length];
+    if length > 0 {
+        match reader.read_exact(&mut body) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(HttpError::BadRequest("truncated body".into()))
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(HttpRequest { body, ..request })
+}
+
+/// Reason phrase for the handful of statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize one response. `keep_alive` controls the `Connection`
+/// header; bodies are always `Content-Length`-framed JSON.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /cite HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/cite");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn empty_stream_reports_closed() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn truncated_head_and_body_are_bad_requests() {
+        assert!(matches!(
+            parse("POST /cite HTTP/1.1\r\nContent-Le"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST /cite HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        assert!(matches!(
+            parse("POST /cite HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::PayloadTooLarge(9999))
+        ));
+    }
+
+    #[test]
+    fn garbage_request_line_is_rejected() {
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/9\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # fgc-server — the std-only HTTP citation service
+//!
+//! The network front-end over the `&self` serving API of
+//! [`fgc_core::CitationEngine`] (the production-scale direction of
+//! §4): a dependency-free HTTP/1.1 service on
+//! [`std::net::TcpListener`] with a fixed worker pool and a
+//! **batching admission queue** — concurrent `POST /cite` requests
+//! are coalesced into [`CitationEngine::cite_batch_threads`] calls
+//! over one shared engine, so every worker shares the same token
+//! cache and materialized extents.
+//!
+//! Routes:
+//!
+//! | route            | body                                   |
+//! |------------------|----------------------------------------|
+//! | `POST /cite`     | `{"query": "Q(N) :- ...", ...}`        |
+//! | `POST /cite_sql` | `{"sql": "SELECT ...", ...}`           |
+//! | `GET /views`     | the registered citation views          |
+//! | `GET /stats`     | per-endpoint latency/throughput + cache|
+//! | `GET /healthz`   | liveness probe                         |
+//!
+//! Per-request overrides (policy, order, mode, rewrite budgets,
+//! memoization) ride on the JSON body — see [`wire`] for the exact
+//! field set. Malformed HTTP or JSON, oversized bodies, unknown
+//! routes, and bad request fields all answer 4xx without wedging a
+//! worker; a full admission queue answers 503.
+//!
+//! ```no_run
+//! use fgc_core::CitationEngine;
+//! use fgc_server::{CiteServer, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(CitationEngine::new(
+//!     fgc_gtopdb::paper_instance(),
+//!     fgc_gtopdb::paper_views(),
+//! ).unwrap());
+//! let server = CiteServer::start(
+//!     engine,
+//!     ServerConfig::default().with_addr("127.0.0.1:0"),
+//! ).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! server.shutdown(); // graceful: drains and joins every thread
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use batch::{Batcher, Overloaded};
+pub use client::{Client, ClientResponse};
+pub use json::{parse_json, JsonError};
+pub use server::{CiteServer, ServerConfig};
+pub use stats::{EndpointStats, ServerStats};
+pub use wire::{decode_cite_request, encode_response, error_body, QueryKind, WireError};

@@ -1,0 +1,420 @@
+//! The HTTP citation service: listener, worker pool, router,
+//! graceful shutdown.
+//!
+//! Topology:
+//!
+//! ```text
+//! acceptor thread ──► bounded connection queue ──► N worker threads
+//!                                                    │  GET routes answer inline
+//!                                                    ▼
+//!                                          batching admission queue
+//!                                                    │ (coalesce ≤ window)
+//!                                                    ▼
+//!                                 CitationEngine::cite_batch_threads(&self, ..)
+//! ```
+//!
+//! One [`CitationEngine`] is shared by everything (the whole point of
+//! the `&self` serving API): workers decode requests, the batcher
+//! fans batches out over the engine, and all of them share its token
+//! cache and materialized extents.
+//!
+//! Shutdown ([`CiteServer::shutdown`]) is graceful and total: the
+//! accept loop is woken and exits, the connection queue drains,
+//! workers finish their in-flight responses and join, and finally the
+//! batcher answers its last batch and joins.
+
+use crate::batch::Batcher;
+use crate::http::{read_request, write_response, HttpError, HttpRequest};
+use crate::json::parse_json;
+use crate::stats::{EndpointStats, ServerStats};
+use crate::wire::{decode_cite_request, encode_response, error_body, QueryKind};
+use fgc_core::CitationEngine;
+use fgc_views::Json;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration; the defaults suit a loopback deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads handling connections (also the fan-out width
+    /// handed to `cite_batch_threads`).
+    pub threads: usize,
+    /// How long the batcher waits for co-travellers after the first
+    /// request of a batch. Zero disables coalescing.
+    pub batch_window: Duration,
+    /// Maximum requests coalesced into one engine batch.
+    pub max_batch: usize,
+    /// Bounded admission-queue depth (overflow → 503).
+    pub queue_depth: usize,
+    /// Largest accepted request body (overflow → 413).
+    pub max_body_bytes: usize,
+    /// Idle keep-alive read timeout before a connection is recycled.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8787".into(),
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            batch_window: Duration::from_millis(1),
+            max_batch: 64,
+            queue_depth: 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Builder: bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Builder: worker thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder: batch window.
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+}
+
+/// A running citation service. Dropping the handle shuts it down.
+#[derive(Debug)]
+pub struct CiteServer {
+    addr: SocketAddr,
+    engine: Arc<CitationEngine>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    // dropped after the workers join, which is what stops the batcher
+    batcher: Option<Arc<Batcher>>,
+}
+
+impl CiteServer {
+    /// Bind and start serving `engine` under `config`.
+    pub fn start(engine: Arc<CitationEngine>, config: ServerConfig) -> io::Result<CiteServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let batcher = Arc::new(Batcher::start(
+            Arc::clone(&engine),
+            Arc::clone(&stats),
+            config.batch_window,
+            config.max_batch,
+            config.queue_depth,
+            config.threads,
+        ));
+
+        // Bounded connection queue: when every worker is busy and the
+        // queue is full, `send` blocks the acceptor — kernel-level
+        // backpressure instead of unbounded connection pile-up.
+        let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let ctx = WorkerContext {
+                    engine: Arc::clone(&engine),
+                    stats: Arc::clone(&stats),
+                    batcher: Arc::clone(&batcher),
+                    shutdown: Arc::clone(&shutdown),
+                    max_body_bytes: config.max_body_bytes,
+                };
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("fgcite-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx, &conn_rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let read_timeout = config.read_timeout;
+            std::thread::Builder::new()
+                .name("fgcite-acceptor".into())
+                .spawn(move || accept_loop(&listener, &conn_tx, &shutdown, read_timeout))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(CiteServer {
+            addr,
+            engine,
+            stats,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> Arc<CitationEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Graceful shutdown: stop accepting, drain, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block until the server is shut down from elsewhere (the
+    /// `fgcite serve` foreground mode; runs until the process dies).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // wake the blocking accept with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // acceptor gone → its conn_tx is dropped → workers drain the
+        // queue and see Disconnected
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // last handle on the batcher → its Drop joins the thread
+        self.batcher.take();
+    }
+}
+
+impl Drop for CiteServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        if conn_tx.send(stream).is_err() {
+            return; // workers gone
+        }
+    }
+}
+
+/// Everything a worker needs to serve connections.
+struct WorkerContext {
+    engine: Arc<CitationEngine>,
+    stats: Arc<ServerStats>,
+    batcher: Arc<Batcher>,
+    shutdown: Arc<AtomicBool>,
+    max_body_bytes: usize,
+}
+
+fn worker_loop(ctx: &WorkerContext, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // take the lock only to pop one connection
+        let stream = {
+            let rx = conn_rx.lock().expect("connection queue lock");
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(ctx, stream),
+            Err(_) => return, // acceptor hung up: shutdown
+        }
+    }
+}
+
+/// Serve requests off one connection until it closes, errors, times
+/// out, or the server shuts down. Never panics on malformed input —
+/// the worker answers 4xx and recycles itself.
+fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, ctx.max_body_bytes) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
+                let (status, body) = route(ctx, &request);
+                if write_response(&mut write_half, status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(_)) => return, // timeout or broken pipe
+            Err(HttpError::BadRequest(message)) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut write_half, 400, &error_body(&message), false);
+                return; // framing is unrecoverable: drop the stream
+            }
+            Err(HttpError::PayloadTooLarge(n)) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let message = format!("body of {n} bytes exceeds limit of {}", ctx.max_body_bytes);
+                let _ = write_response(&mut write_half, 413, &error_body(&message), false);
+                return; // the oversized body was never read: resync is impossible
+            }
+        }
+    }
+}
+
+/// Dispatch one request; returns `(status, body)`. Matched on path
+/// first so a known route with the wrong method (any method, not
+/// just GET/POST) answers 405 rather than a misleading 404.
+fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
+    let method = request.method.as_str();
+    let expected = match request.path.as_str() {
+        "/cite" if method == "POST" => {
+            return timed(&ctx.stats.cite, || {
+                serve_cite(ctx, &request.body, QueryKind::Datalog)
+            })
+        }
+        "/cite_sql" if method == "POST" => {
+            return timed(&ctx.stats.cite_sql, || {
+                serve_cite(ctx, &request.body, QueryKind::Sql)
+            })
+        }
+        "/views" if method == "GET" => return timed(&ctx.stats.views, || (200, serve_views(ctx))),
+        "/stats" if method == "GET" => return timed(&ctx.stats.stats, || (200, serve_stats(ctx))),
+        "/healthz" if method == "GET" => {
+            return timed(&ctx.stats.healthz, || {
+                (200, r#"{"status": "ok"}"#.to_string())
+            })
+        }
+        "/cite" | "/cite_sql" => "POST",
+        "/views" | "/stats" | "/healthz" => "GET",
+        path => {
+            ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
+            return (404, error_body(&format!("no such route `{path}`")));
+        }
+    };
+    ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
+    (
+        405,
+        error_body(&format!(
+            "method {method} not allowed on {} (use {expected})",
+            request.path
+        )),
+    )
+}
+
+fn timed(endpoint: &EndpointStats, serve: impl FnOnce() -> (u16, String)) -> (u16, String) {
+    let started = Instant::now();
+    let (status, body) = serve();
+    endpoint.record(started.elapsed(), status < 400);
+    (status, body)
+}
+
+fn serve_cite(ctx: &WorkerContext, body: &[u8], kind: QueryKind) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not valid utf-8")),
+    };
+    let parsed = match parse_json(text) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+    };
+    let request = match decode_cite_request(&parsed, kind, ctx.engine.policy()) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&e.0)),
+    };
+    let receiver = match ctx.batcher.submit(request) {
+        Ok(rx) => rx,
+        Err(_) => {
+            ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return (503, error_body("admission queue full, retry later"));
+        }
+    };
+    match receiver.recv() {
+        Ok(Ok(response)) => (200, encode_response(&response).to_compact()),
+        // engine errors are request-shaped (unknown relation, SQL
+        // parse failure against the catalog, ...): the client's fault
+        Ok(Err(e)) => (400, error_body(&e.to_string())),
+        Err(_) => (500, error_body("batcher dropped the request")),
+    }
+}
+
+fn serve_views(ctx: &WorkerContext) -> String {
+    let views: Vec<Json> = ctx
+        .engine
+        .registry()
+        .iter()
+        .map(|v| {
+            Json::from_pairs([
+                ("name", Json::str(v.name.clone())),
+                ("definition", Json::str(v.view.to_string())),
+                ("citation_query", Json::str(v.citation_query.to_string())),
+            ])
+        })
+        .collect();
+    Json::from_pairs([
+        ("count", Json::Int(views.len() as i64)),
+        ("views", Json::Array(views)),
+    ])
+    .to_compact()
+}
+
+fn serve_stats(ctx: &WorkerContext) -> String {
+    let cache = ctx.engine.cache_stats();
+    let mut body = ctx.stats.to_json();
+    body.set("served", Json::Int(ctx.stats.served() as i64));
+    body.set(
+        "mean_batch_size",
+        Json::Float((ctx.stats.mean_batch_size() * 100.0).round() / 100.0),
+    );
+    body.set(
+        "engine_cache",
+        Json::from_pairs([
+            ("hits", Json::Int(cache.hits as i64)),
+            ("misses", Json::Int(cache.misses as i64)),
+            ("entries", Json::Int(cache.entries as i64)),
+            ("evictions", Json::Int(cache.evictions as i64)),
+            (
+                "hit_rate",
+                Json::Float((cache.hit_rate() * 1000.0).round() / 1000.0),
+            ),
+        ]),
+    );
+    body.to_compact()
+}

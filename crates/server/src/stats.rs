@@ -1,0 +1,157 @@
+//! Per-endpoint serving counters surfaced at `GET /stats`.
+//!
+//! Everything is a relaxed atomic: recording is wait-free on the
+//! worker hot path, and readers get a monotone (if instantaneously
+//! slightly torn) view — the same contract as
+//! [`fgc_core::CacheStats`].
+
+use fgc_views::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters for one route.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Requests answered (any status).
+    pub requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Total serving time, microseconds.
+    pub total_micros: AtomicU64,
+    /// Slowest single request, microseconds.
+    pub max_micros: AtomicU64,
+}
+
+impl EndpointStats {
+    /// Record one served request.
+    pub fn record(&self, elapsed: Duration, ok: bool) {
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let total = self.total_micros.load(Ordering::Relaxed);
+        let mean = total.checked_div(requests).unwrap_or(0);
+        Json::from_pairs([
+            ("requests", Json::Int(requests as i64)),
+            (
+                "errors",
+                Json::Int(self.errors.load(Ordering::Relaxed) as i64),
+            ),
+            ("mean_us", Json::Int(mean as i64)),
+            (
+                "max_us",
+                Json::Int(self.max_micros.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
+}
+
+/// All serving counters: one [`EndpointStats`] per route plus the
+/// admission/batching figures.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// `POST /cite`.
+    pub cite: EndpointStats,
+    /// `POST /cite_sql`.
+    pub cite_sql: EndpointStats,
+    /// `GET /views`.
+    pub views: EndpointStats,
+    /// `GET /stats`.
+    pub stats: EndpointStats,
+    /// `GET /healthz`.
+    pub healthz: EndpointStats,
+    /// Requests that did not match any route (404/405).
+    pub unrouted: AtomicU64,
+    /// Requests rejected because the admission queue was full (503).
+    pub rejected: AtomicU64,
+    /// Connections whose request could not be parsed (400/413/408).
+    pub malformed: AtomicU64,
+    /// `cite_batch` calls issued by the batcher.
+    pub batches: AtomicU64,
+    /// Requests served through those batches.
+    pub batched_requests: AtomicU64,
+}
+
+impl ServerStats {
+    /// Total requests answered across the citation endpoints.
+    pub fn served(&self) -> u64 {
+        self.cite.requests.load(Ordering::Relaxed) + self.cite_sql.requests.load(Ordering::Relaxed)
+    }
+
+    /// Mean coalesced batch size (1.0 when nothing was batched yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            1.0
+        } else {
+            self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
+        }
+    }
+
+    /// The `GET /stats` body (without engine cache stats; the server
+    /// layer merges those in).
+    pub fn to_json(&self) -> Json {
+        Json::from_pairs([
+            ("cite", self.cite.to_json()),
+            ("cite_sql", self.cite_sql.to_json()),
+            ("views", self.views.to_json()),
+            ("stats", self.stats.to_json()),
+            ("healthz", self.healthz.to_json()),
+            (
+                "unrouted",
+                Json::Int(self.unrouted.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "rejected",
+                Json::Int(self.rejected.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "malformed",
+                Json::Int(self.malformed.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "batches",
+                Json::Int(self.batches.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "batched_requests",
+                Json::Int(self.batched_requests.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let s = ServerStats::default();
+        s.cite.record(Duration::from_micros(100), true);
+        s.cite.record(Duration::from_micros(300), false);
+        s.cite_sql.record(Duration::from_micros(50), true);
+        assert_eq!(s.served(), 3);
+        let j = s.to_json();
+        assert_eq!(j.get("cite").unwrap().get("requests"), Some(&Json::Int(2)));
+        assert_eq!(j.get("cite").unwrap().get("errors"), Some(&Json::Int(1)));
+        assert_eq!(j.get("cite").unwrap().get("mean_us"), Some(&Json::Int(200)));
+        assert_eq!(j.get("cite").unwrap().get("max_us"), Some(&Json::Int(300)));
+    }
+
+    #[test]
+    fn batch_size_defaults_to_one() {
+        let s = ServerStats::default();
+        assert_eq!(s.mean_batch_size(), 1.0);
+        s.batches.fetch_add(2, Ordering::Relaxed);
+        s.batched_requests.fetch_add(6, Ordering::Relaxed);
+        assert_eq!(s.mean_batch_size(), 3.0);
+    }
+}

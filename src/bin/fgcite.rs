@@ -1,13 +1,35 @@
 //! Thin binary wrapper around [`fgcite::cli`].
+//!
+//! `serve` is dispatched here rather than through [`fgcite::cli::run`]
+//! because it never returns: the process blocks on the server handle
+//! until it is killed.
 
 use std::process::ExitCode;
 
+fn read_file(path: &str) -> Result<String, fgcite::cli::CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| fgcite::cli::CliError(format!("cannot read `{path}`: {e}")))
+}
+
+fn serve(raw: Vec<String>) -> Result<(), fgcite::cli::CliError> {
+    let args = fgcite::cli::Args::parse(raw)?;
+    let data = read_file(args.require("data")?)?;
+    let views = read_file(args.require("views")?)?;
+    let server = fgcite::cli::run_serve(&args, &data, &views)?;
+    println!("fgcite serving on http://{}", server.addr());
+    println!("routes: POST /cite, POST /cite_sql, GET /views, GET /stats, GET /healthz");
+    server.wait();
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let read_file = |path: &str| {
-        std::fs::read_to_string(path)
-            .map_err(|e| fgcite::cli::CliError(format!("cannot read `{path}`: {e}")))
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = if raw.first().map(String::as_str) == Some("serve") {
+        serve(raw).map(|()| String::new())
+    } else {
+        fgcite::cli::run(raw, &read_file)
     };
-    match fgcite::cli::run(std::env::args().skip(1), &read_file) {
+    match result {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

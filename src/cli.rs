@@ -52,14 +52,17 @@ stringify_errors!(
     fgc_core::CoreError,
 );
 
-/// Parsed command line: flag → value (flags are `--name value`).
+/// Parsed command line: flag → value (flags are `--name value` or
+/// `--name=value`).
 pub struct Args {
     pub command: String,
     flags: HashMap<String, String>,
 }
 
 impl Args {
-    /// Parse raw arguments. Boolean flags get the value `"true"`.
+    /// Parse raw arguments. Both `--name value` and `--name=value`
+    /// are accepted; boolean flags get the value `"true"` when no
+    /// `=value` is attached.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
         let mut iter = raw.into_iter().peekable();
         let command = iter.next().ok_or_else(|| CliError(USAGE.to_string()))?;
@@ -68,25 +71,42 @@ impl Args {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(CliError(format!("unexpected argument `{arg}`\n{USAGE}")));
             };
-            let is_bool = matches!(name, "exhaustive" | "explain");
-            let value = if is_bool {
-                "true".to_string()
-            } else {
-                iter.next()
-                    .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?
+            if name.is_empty() || name.starts_with('=') {
+                return Err(CliError(format!("malformed flag `{arg}`\n{USAGE}")));
+            }
+            let (name, value) = match name.split_once('=') {
+                Some((name, value)) => (name, value.to_string()),
+                None => {
+                    let is_bool = matches!(name, "exhaustive" | "explain");
+                    let value = if is_bool {
+                        "true".to_string()
+                    } else {
+                        iter.next()
+                            .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?
+                    };
+                    (name, value)
+                }
             };
             flags.insert(name.to_string(), value);
         }
         Ok(Args { command, flags })
     }
 
-    fn get(&self, name: &str) -> Option<&str> {
+    /// Look up a flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
     }
 
-    fn require(&self, name: &str) -> Result<&str, CliError> {
+    /// Look up a flag value, erroring when absent.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
         self.get(name)
             .ok_or_else(|| CliError(format!("missing required flag --{name}")))
+    }
+
+    /// Whether a boolean flag is enabled: present as `--name` or
+    /// `--name=true`; `--name=false` explicitly disables it.
+    pub fn enabled(&self, name: &str) -> bool {
+        matches!(self.get(name), Some(v) if v != "false")
     }
 }
 
@@ -98,11 +118,16 @@ usage:
                  [--format json|xml|text] [--exhaustive] [--explain]
   fgcite views   --data FILE --views FILE
   fgcite suggest --data FILE --log FILE [--min-support N]
+  fgcite serve   --data FILE --views FILE [--addr HOST:PORT]
+                 [--threads N] [--batch-window MS]
 
+Flags accept both `--name value` and `--name=value`.
 ORDER: none | fewest-views | fewest-uncovered | view-inclusion | composite
 files: --data uses the fgc-relation text format (@create/@fk/@relation),
        --views uses the fgc-views @view/@fields format,
-       --log holds one Datalog query per line.";
+       --log holds one Datalog query per line.
+serve: HTTP routes POST /cite, POST /cite_sql, GET /views, GET /stats,
+       GET /healthz (default --addr 127.0.0.1:8787).";
 
 fn load_database(text: &str) -> Result<Database, CliError> {
     let mut db = Database::new();
@@ -157,7 +182,7 @@ pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError
     };
     let policy = policy_from(args)?;
     let mut request = request.with_policy(policy.clone());
-    if args.get("exhaustive").is_some() {
+    if args.enabled("exhaustive") {
         request = request.with_mode(RewriteMode::Exhaustive);
     }
     let engine = CitationEngine::new(db, registry)?;
@@ -176,7 +201,7 @@ pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError
         }
         other => return Err(CliError(format!("unknown format `{other}`"))),
     }
-    if args.get("explain").is_some() {
+    if args.enabled("explain") {
         let _ = writeln!(out, "\n{}", fgc_core::explain(&cited, &policy));
     }
     Ok(out)
@@ -231,6 +256,42 @@ pub fn run_suggest(args: &Args, data: &str, log_text: &str) -> Result<String, Cl
     Ok(out)
 }
 
+/// Build a [`fgc_server::ServerConfig`] from the `serve` flags
+/// (`--addr`, `--threads`, `--batch-window` in milliseconds).
+pub fn serve_config(args: &Args) -> Result<fgc_server::ServerConfig, CliError> {
+    let mut config = fgc_server::ServerConfig::default();
+    if let Some(addr) = args.get("addr") {
+        config = config.with_addr(addr);
+    }
+    if let Some(threads) = args.get("threads") {
+        let threads: usize = threads
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError("--threads must be a positive number".into()))?;
+        config = config.with_threads(threads);
+    }
+    if let Some(window) = args.get("batch-window") {
+        let ms: u64 = window
+            .parse()
+            .map_err(|_| CliError("--batch-window must be a number of milliseconds".into()))?;
+        config = config.with_batch_window(std::time::Duration::from_millis(ms));
+    }
+    Ok(config)
+}
+
+/// `fgcite serve`: build an engine from the data/view files and start
+/// the HTTP citation service. Returns the running server; the binary
+/// blocks on [`fgc_server::CiteServer::wait`].
+pub fn run_serve(args: &Args, data: &str, views: &str) -> Result<fgc_server::CiteServer, CliError> {
+    let db = load_database(data)?;
+    let registry = load_registry(views)?;
+    let engine = CitationEngine::new(db, registry)?;
+    let config = serve_config(args)?;
+    fgc_server::CiteServer::start(std::sync::Arc::new(engine), config)
+        .map_err(|e| CliError(format!("cannot start server: {e}")))
+}
+
 /// Dispatch a full command line (excluding argv 0); returns stdout
 /// content.
 pub fn run<I: IntoIterator<Item = String>>(
@@ -254,6 +315,14 @@ pub fn run<I: IntoIterator<Item = String>>(
             let log = read_file(args.require("log")?)?;
             run_suggest(&args, &data, &log)
         }
+        // long-running: the binary dispatches serve before run() so
+        // it can block on the handle; reaching this branch means a
+        // library caller wants the handle-returning API instead
+        "serve" => Err(CliError(
+            "`serve` starts a long-running server: use the fgcite binary, or call \
+             fgcite::cli::run_serve for the handle"
+                .into(),
+        )),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -412,5 +481,125 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
     #[test]
     fn help_prints_usage() {
         assert!(run_line(&["help"]).unwrap().contains("usage:"));
+    }
+
+    #[test]
+    fn equals_syntax_parses_like_spaced() {
+        let spaced = run_line(&[
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--query",
+            "Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        let equals = run_line(&[
+            "cite",
+            "--data=db",
+            "--views=views",
+            "--query=Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        assert_eq!(spaced, equals);
+    }
+
+    #[test]
+    fn equals_syntax_mixes_with_spaced_and_bools() {
+        let out = run_line(&[
+            "cite",
+            "--data=db",
+            "--views",
+            "views",
+            "--format=text",
+            "--explain",
+            "--query",
+            "Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        assert!(out.contains("Hay, Poyner"));
+        assert!(out.contains("rewritings considered:"));
+    }
+
+    #[test]
+    fn equals_syntax_edge_cases() {
+        // empty value is allowed (flag explicitly set to "")
+        let args = Args::parse(["views".to_string(), "--data=".to_string()]).unwrap();
+        assert_eq!(args.get("data"), Some(""));
+        // value may itself contain `=`: split at the first one only
+        let args = Args::parse([
+            "cite".to_string(),
+            "--query=Q(X) :- R(X), X = \"a\"".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(args.get("query"), Some("Q(X) :- R(X), X = \"a\""));
+        // a boolean flag works in both spellings, and `=false`
+        // actually disables it
+        let args = Args::parse(["cite".to_string(), "--exhaustive=false".to_string()]).unwrap();
+        assert_eq!(args.get("exhaustive"), Some("false"));
+        assert!(!args.enabled("exhaustive"));
+        let args = Args::parse(["cite".to_string(), "--exhaustive".to_string()]).unwrap();
+        assert!(args.enabled("exhaustive"));
+        let args = Args::parse(["cite".to_string(), "--exhaustive=true".to_string()]).unwrap();
+        assert!(args.enabled("exhaustive"));
+        assert!(!args.enabled("absent"));
+        // malformed: no name before `=`
+        assert!(Args::parse(["cite".to_string(), "--=x".to_string()]).is_err());
+        assert!(Args::parse(["cite".to_string(), "--".to_string()]).is_err());
+    }
+
+    #[test]
+    fn serve_config_parses_flags() {
+        let args = Args::parse(
+            [
+                "serve",
+                "--addr=127.0.0.1:9900",
+                "--threads=3",
+                "--batch-window=7",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let config = serve_config(&args).unwrap();
+        assert_eq!(config.addr, "127.0.0.1:9900");
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.batch_window, std::time::Duration::from_millis(7));
+
+        let bad = Args::parse(["serve".to_string(), "--threads=zero".to_string()]).unwrap();
+        assert!(serve_config(&bad).is_err());
+        let zero = Args::parse(["serve".to_string(), "--threads=0".to_string()]).unwrap();
+        assert!(serve_config(&zero).is_err());
+        let bad_window =
+            Args::parse(["serve".to_string(), "--batch-window=fast".to_string()]).unwrap();
+        assert!(serve_config(&bad_window).is_err());
+    }
+
+    #[test]
+    fn run_serve_starts_and_answers_healthz() {
+        let args = Args::parse(
+            [
+                "serve",
+                "--addr=127.0.0.1:0",
+                "--threads=2",
+                "--batch-window=1",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let server = run_serve(&args, DATA, VIEWS).unwrap();
+        let mut client = fgc_server::Client::connect(server.addr()).unwrap();
+        let response = client.get("/healthz").unwrap();
+        assert_eq!(response.status, 200);
+        assert!(response.body.contains("ok"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_via_run_points_at_the_binary() {
+        let err = run_line(&["serve", "--data", "db", "--views", "views"]).unwrap_err();
+        assert!(err.0.contains("run_serve"), "{err}");
     }
 }

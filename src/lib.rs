@@ -21,7 +21,10 @@
 //! * [`engine`] — the citation engine, policies, caching, fixity,
 //!   view suggestion, and the hard-coded-pages baseline;
 //! * [`gtopdb`] — the paper's GtoPdb running example, a synthetic
-//!   scale generator, and query workloads.
+//!   scale generator, and query workloads;
+//! * [`server`] — the std-only HTTP/1.1 citation service (`fgcite
+//!   serve`): worker pool, batching admission over `cite_batch`, and
+//!   per-endpoint serving stats.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +63,7 @@ pub use fgc_query as query;
 pub use fgc_relation as relation;
 pub use fgc_rewrite as rewrite;
 pub use fgc_semiring as semiring;
+pub use fgc_server as server;
 pub use fgc_views as views;
 
 /// The common imports for applications.
@@ -70,5 +74,6 @@ pub mod prelude {
     };
     pub use fgc_query::{parse_query, parse_sql, ConjunctiveQuery};
     pub use fgc_relation::prelude::*;
+    pub use fgc_server::{CiteServer, ServerConfig};
     pub use fgc_views::{CitationFunction, CitationView, Json, ViewRegistry};
 }

@@ -1,0 +1,338 @@
+//! Loopback integration tests for the `fgc-server` HTTP citation
+//! service: concurrent clients must receive **byte-identical**
+//! citations to direct `CitationEngine::cite` calls, `/stats` must
+//! account for every served request, shutdown must join all workers,
+//! and malformed input of every flavor must come back 4xx without
+//! panicking or wedging a worker.
+
+use fgcite::prelude::*;
+use fgcite::server::{parse_json, CiteServer, Client, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<CitationEngine> {
+    Arc::new(
+        CitationEngine::new(
+            fgcite::gtopdb::paper_instance(),
+            fgcite::gtopdb::paper_views(),
+        )
+        .expect("paper views validate"),
+    )
+}
+
+fn start_server(threads: usize) -> (CiteServer, SocketAddr) {
+    let config = ServerConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_threads(threads)
+        .with_batch_window(Duration::from_millis(1));
+    let server = CiteServer::start(engine(), config).expect("bind loopback");
+    let addr = server.addr();
+    (server, addr)
+}
+
+/// The wire queries the concurrency test cycles through, with the
+/// Datalog text the server will parse.
+const QUERIES: &[&str] = &[
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+    "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+    "Q(N) :- Family(F, N, Ty), Ty = \"enzyme\"",
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = \"11\"",
+];
+
+fn cite_body(query: &str) -> String {
+    format!(
+        r#"{{"query": "{}"}}"#,
+        query.replace('\\', "\\\\").replace('"', "\\\"")
+    )
+}
+
+/// Extract and compact-render the `aggregate` field of a response.
+fn aggregate_of(body: &str) -> String {
+    parse_json(body)
+        .expect("response is valid JSON")
+        .get("aggregate")
+        .expect("response has an aggregate")
+        .to_compact()
+}
+
+/// Compact-render every per-tuple citation of a response.
+fn tuple_citations_of(body: &str) -> Vec<String> {
+    let parsed = parse_json(body).expect("response is valid JSON");
+    let Some(fgcite::views::Json::Array(tuples)) = parsed.get("tuples") else {
+        panic!("response has no tuples array: {body}");
+    };
+    tuples
+        .iter()
+        .map(|t| t.get("citation").expect("tuple has citation").to_compact())
+        .collect()
+}
+
+#[test]
+fn eight_concurrent_clients_get_byte_identical_citations() {
+    let reference = engine();
+    let (server, addr) = start_server(8);
+
+    // ground truth from direct &self cite() calls
+    let expected: Vec<(String, Vec<String>)> = QUERIES
+        .iter()
+        .map(|q| {
+            let cited = reference
+                .cite(&fgcite::query::parse_query(q).unwrap())
+                .unwrap();
+            (
+                cited.aggregate.to_compact(),
+                cited
+                    .tuples
+                    .iter()
+                    .map(|t| t.citation.to_compact())
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let clients = 8;
+    let rounds = 6;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for r in 0..rounds {
+                    let i = (c + r) % QUERIES.len();
+                    let response = client.post("/cite", &cite_body(QUERIES[i])).expect("post");
+                    assert_eq!(response.status, 200, "client {c}: {}", response.body);
+                    assert_eq!(
+                        aggregate_of(&response.body),
+                        expected[i].0,
+                        "client {c} round {r}: aggregate differs from direct cite()"
+                    );
+                    assert_eq!(
+                        tuple_citations_of(&response.body),
+                        expected[i].1,
+                        "client {c} round {r}: tuple citations differ from direct cite()"
+                    );
+                }
+            });
+        }
+    });
+
+    // /stats accounts for every served request
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let parsed = parse_json(&stats.body).unwrap();
+    assert_eq!(
+        parsed.get("served"),
+        Some(&fgcite::views::Json::Int((clients * rounds) as i64)),
+        "stats: {}",
+        stats.body
+    );
+    let cite = parsed.get("cite").unwrap();
+    assert_eq!(
+        cite.get("requests"),
+        Some(&fgcite::views::Json::Int((clients * rounds) as i64))
+    );
+    assert_eq!(cite.get("errors"), Some(&fgcite::views::Json::Int(0)));
+    drop(client);
+
+    // graceful shutdown joins every worker (returning at all is the
+    // assertion; a wedged worker would hang the test here)
+    server.shutdown();
+}
+
+#[test]
+fn sql_endpoint_matches_datalog_citations() {
+    let reference = engine();
+    let (server, addr) = start_server(4);
+    let datalog = fgcite::query::parse_query(QUERIES[0]).unwrap();
+    let expected = reference.cite(&datalog).unwrap().aggregate;
+
+    let mut client = Client::connect(addr).unwrap();
+    let response = client
+        .post(
+            "/cite_sql",
+            r#"{"sql": "SELECT f.FName, i.Text FROM Family f, FamilyIntro i WHERE f.FID = i.FID AND f.Type = 'gpcr'"}"#,
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    // SQL and Datalog render the same result set: equivalent
+    // citations (field order may differ across assembly paths)
+    let sql_aggregate = parse_json(&response.body)
+        .unwrap()
+        .get("aggregate")
+        .unwrap()
+        .clone();
+    assert!(
+        sql_aggregate.equivalent(&expected),
+        "{sql_aggregate} vs {expected}"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn per_request_overrides_ride_the_wire() {
+    let (server, addr) = start_server(4);
+    let mut client = Client::connect(addr).unwrap();
+
+    let pruned = client.post("/cite", &cite_body(QUERIES[0])).unwrap();
+    assert_eq!(pruned.status, 200);
+    let exhaustive = client
+        .post(
+            "/cite",
+            &format!(
+                r#"{{"query": "{}", "mode": "exhaustive", "policy": "union"}}"#,
+                QUERIES[0].replace('"', "\\\"")
+            ),
+        )
+        .unwrap();
+    assert_eq!(exhaustive.status, 200);
+
+    let n = |body: &str, field: &str| -> i64 {
+        match parse_json(body).unwrap().get(field) {
+            Some(fgcite::views::Json::Int(i)) => *i,
+            other => panic!("field {field} missing or non-int: {other:?}"),
+        }
+    };
+    assert!(
+        n(&exhaustive.body, "rewritings") > n(&pruned.body, "rewritings"),
+        "exhaustive mode must widen the search on the wire"
+    );
+    assert_eq!(
+        parse_json(&exhaustive.body).unwrap().get("exhaustive"),
+        Some(&fgcite::views::Json::Bool(true))
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn views_and_healthz_routes_answer() {
+    let (server, addr) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, r#"{"status": "ok"}"#);
+
+    let views = client.get("/views").unwrap();
+    assert_eq!(views.status, 200);
+    let parsed = parse_json(&views.body).unwrap();
+    assert_eq!(parsed.get("count"), Some(&fgcite::views::Json::Int(5)));
+    let body = views.body;
+    for name in ["V1", "V2", "V3", "V4", "V5"] {
+        assert!(body.contains(name), "missing {name} in {body}");
+    }
+    drop(client);
+    server.shutdown();
+}
+
+/// Malformed traffic of every flavor: 4xx, no panic, and — the
+/// important part — the worker that handled the garbage keeps
+/// serving wellformed requests afterwards.
+#[test]
+fn malformed_input_is_4xx_and_never_wedges_workers() {
+    // a single worker: if anything wedged it, the follow-up requests
+    // below would hang (the harness timeout would catch it)
+    let (server, addr) = start_server(1);
+
+    // 1. unknown route and wrong method
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/cite").unwrap().status, 405);
+    assert_eq!(client.post("/healthz", "{}").unwrap().status, 405);
+    // a known route with *any* unsupported method is 405, not 404
+    assert_eq!(client.request("DELETE", "/cite", None).unwrap().status, 405);
+    assert_eq!(client.request("PUT", "/stats", None).unwrap().status, 405);
+
+    // 2. invalid JSON, bad fields, bad query text
+    for (body, what) in [
+        ("{not json", "unparsable JSON"),
+        (
+            r#"{"query": "Q(N) :- Family(F, N, Ty)", "polcy": "union"}"#,
+            "unknown field",
+        ),
+        (
+            r#"{"query": "Q(N) :- Family(F, N, Ty)", "policy": "maximal"}"#,
+            "bad policy",
+        ),
+        (r#"{"query": "not datalog at all"}"#, "bad query"),
+        (r#"{"sql": "SELECT 1"}"#, "sql on /cite"),
+        (r#"{}"#, "missing query"),
+        (r#"[1,2,3]"#, "non-object body"),
+        (
+            r#"{"query": "Q(X) :- NoSuchRelation(X)"}"#,
+            "unknown relation",
+        ),
+    ] {
+        let response = client.post("/cite", body).unwrap();
+        assert_eq!(response.status, 400, "{what}: {}", response.body);
+        assert!(
+            parse_json(&response.body).unwrap().get("error").is_some(),
+            "{what}: error body expected, got {}",
+            response.body
+        );
+    }
+
+    // 3. oversized body: declared length over the limit → 413
+    let response = client
+        .send_raw(b"POST /cite HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999\r\n\r\n")
+        .unwrap();
+    assert_eq!(response.status, 413);
+
+    // 4. truncated request: half a request line, then hang up
+    // (a raw stream, not `Client`: nobody waits for a response)
+    {
+        use std::io::Write as _;
+        let mut truncated = std::net::TcpStream::connect(addr).unwrap();
+        truncated.write_all(b"POST /ci").unwrap();
+        // dropping the stream closes it; the worker sees EOF
+        // mid-head and must recover
+    }
+
+    // 5. raw garbage
+    {
+        let mut garbage = Client::connect(addr).unwrap();
+        let response = garbage.send_raw(b"echo hello world\r\n\r\n").unwrap();
+        assert_eq!(response.status, 400);
+    }
+
+    // the single worker still serves wellformed traffic
+    let mut client = Client::connect(addr).unwrap();
+    let response = client.post("/cite", &cite_body(QUERIES[1])).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let stats = client.get("/stats").unwrap();
+    let parsed = parse_json(&stats.body).unwrap();
+    match parsed.get("malformed") {
+        Some(fgcite::views::Json::Int(n)) => assert!(*n >= 2, "stats: {}", stats.body),
+        other => panic!("malformed counter missing: {other:?}"),
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn batching_coalesces_under_concurrency() {
+    let (server, addr) = start_server(8);
+    let stats = server.stats();
+    let clients = 8;
+    let rounds = 4;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for r in 0..rounds {
+                    let i = (c + r) % QUERIES.len();
+                    let response = client.post("/cite", &cite_body(QUERIES[i])).expect("post");
+                    assert_eq!(response.status, 200);
+                }
+            });
+        }
+    });
+    let served = stats.served();
+    let batches = stats.batches.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(served, (clients * rounds) as u64);
+    assert!(batches >= 1 && batches <= served);
+    server.shutdown();
+}
