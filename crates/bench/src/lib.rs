@@ -1,4 +1,4 @@
-//! # fgc-bench — the experiment harness (E1–E10)
+//! # fgc-bench — the experiment harness (E1–E11)
 //!
 //! The paper ("A Model for Fine-Grained Data Citation", CIDR 2017)
 //! publishes no quantitative evaluation; this crate turns each of its
@@ -14,7 +14,9 @@
 //! `fgc-server` HTTP front-end end to end with the [`load`] module's
 //! closed/open-loop generator — crud-bench style: closed loop for
 //! peak throughput, open loop (latency charged from *scheduled*
-//! departure) for coordinated-omission-free tail latency.
+//! departure) for coordinated-omission-free tail latency. E11
+//! ([`load::e11_table`]) sweeps the same serving workload over shard
+//! counts of the partitioned relation store.
 
 use fgc_core::{
     baseline_coverage, CitationEngine, EngineOptions, OrderChoice, PageCitationStore, Policy,
@@ -31,7 +33,7 @@ use std::time::Instant;
 
 pub mod load;
 
-pub use load::{cite_bodies, e10_table, run_load, LoadConfig, LoadMode, LoadReport};
+pub use load::{cite_bodies, e10_table, e11_table, run_load, LoadConfig, LoadMode, LoadReport};
 
 /// A printable experiment table.
 #[derive(Debug, Clone)]
@@ -133,6 +135,15 @@ pub fn engine_at_scale(families: usize, mode: RewriteMode, policy: Policy) -> Ci
 /// Generated database at scale (shared by several experiments).
 pub fn db_at_scale(families: usize) -> Database {
     generate(&GeneratorConfig::default().with_families(families))
+}
+
+/// [`engine_at_scale`] (pruned mode, default policy) with the base
+/// store partitioned across `shards` shards under the GtoPdb key
+/// spec — the engine the E11 sharding experiment serves.
+pub fn sharded_engine_at_scale(families: usize, shards: usize) -> CitationEngine {
+    engine_at_scale(families, RewriteMode::Pruned, Policy::default())
+        .with_shards(shards, fgc_gtopdb::paper_shard_spec())
+        .expect("GtoPdb shard spec resolves")
 }
 
 // =====================================================================
@@ -646,6 +657,7 @@ pub fn all_tables() -> Vec<Table> {
         e7_table(1_000),
         e8_table(&[4, 16, 64]),
         e10_table(1_000, &[1, 2, 4, 8]),
+        e11_table(1_000, &[1, 2, 4, 8]),
         ablation_table(1_000),
     ]
 }

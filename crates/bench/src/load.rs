@@ -75,11 +75,15 @@ impl LoadReport {
         }
     }
 
-    /// The `p`-th percentile latency (`p` in `[0, 100]`).
+    /// The `p`-th percentile latency. `p` is clamped to `[0, 100]`
+    /// (so `p < 0` is the minimum and `p > 100` the maximum) and a
+    /// NaN argument returns `Duration::ZERO` — a bad percentile must
+    /// never index out of range or pick a garbage rank.
     pub fn percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() {
+        if self.latencies.is_empty() || p.is_nan() {
             return Duration::ZERO;
         }
+        let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
         self.latencies[rank.min(self.latencies.len() - 1)]
     }
@@ -180,6 +184,62 @@ where
 }
 
 // =====================================================================
+// Shared serving-bench scaffolding (E10 / E11)
+// =====================================================================
+
+/// Start the serving-bench server (loopback, 8 workers, 1ms batch
+/// window) over an engine and a query workload, warm the extents and
+/// token cache with one pass over the bodies, and return the handle.
+/// E10 and E11 must measure the same protocol — change it here.
+fn start_warmed_server(
+    engine: std::sync::Arc<fgc_core::CitationEngine>,
+    bodies: &[String],
+) -> fgc_server::CiteServer {
+    let server = fgc_server::CiteServer::start(
+        engine,
+        fgc_server::ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_threads(8)
+            .with_batch_window(Duration::from_millis(1)),
+    )
+    .expect("bind loopback");
+    let warmup = LoadConfig {
+        clients: 1,
+        mode: LoadMode::Closed {
+            requests_per_client: bodies.len(),
+        },
+    };
+    let _ = run_load(server.addr(), "/cite", bodies, &warmup).expect("warmup");
+    server
+}
+
+/// The 16-query ad-hoc workload both serving benches POST.
+fn serving_bodies(db: &fgc_relation::Database, seed: u64) -> Vec<String> {
+    let mut workload = fgc_gtopdb::WorkloadGenerator::new(db, seed);
+    cite_bodies(workload.ad_hoc_batch(16))
+}
+
+/// One closed-loop measurement, milliseconds formatter included.
+fn closed_loop(addr: SocketAddr, bodies: &[String], clients: usize) -> LoadReport {
+    run_load(
+        addr,
+        "/cite",
+        bodies,
+        &LoadConfig {
+            clients,
+            mode: LoadMode::Closed {
+                requests_per_client: 32,
+            },
+        },
+    )
+    .expect("closed loop")
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+// =====================================================================
 // E10 — serving throughput through the HTTP front-end
 // =====================================================================
 
@@ -190,7 +250,6 @@ where
 /// admission queue lets one shared engine serve concurrent clients
 /// at near-linear throughput (the network-side complement of E9).
 pub fn e10_table(families: usize, client_sweep: &[usize]) -> crate::Table {
-    use fgc_server::{CiteServer, ServerConfig};
     use std::sync::Arc;
 
     let engine = Arc::new(crate::engine_at_scale(
@@ -199,55 +258,21 @@ pub fn e10_table(families: usize, client_sweep: &[usize]) -> crate::Table {
         fgc_core::Policy::default(),
     ));
     let db = Arc::clone(engine.database());
-    let mut workload = fgc_gtopdb::WorkloadGenerator::new(&db, 59);
-    let bodies = cite_bodies(workload.ad_hoc_batch(16));
-    let server = CiteServer::start(
-        engine,
-        ServerConfig::default()
-            .with_addr("127.0.0.1:0")
-            .with_threads(8)
-            .with_batch_window(Duration::from_millis(1)),
-    )
-    .expect("bind loopback");
+    let bodies = serving_bodies(&db, 59);
+    let server = start_warmed_server(engine, &bodies);
     let addr = server.addr();
 
-    // warm extents + token cache so the sweep measures serving
-    let _ = run_load(
-        addr,
-        "/cite",
-        &bodies,
-        &LoadConfig {
-            clients: 1,
-            mode: LoadMode::Closed {
-                requests_per_client: bodies.len(),
-            },
-        },
-    )
-    .expect("warmup");
-
-    let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
     let mut rows = Vec::new();
     for &clients in client_sweep {
-        let report = run_load(
-            addr,
-            "/cite",
-            &bodies,
-            &LoadConfig {
-                clients,
-                mode: LoadMode::Closed {
-                    requests_per_client: 32,
-                },
-            },
-        )
-        .expect("closed loop");
+        let report = closed_loop(addr, &bodies, clients);
         rows.push(vec![
             "closed".into(),
             clients.to_string(),
             report.sent.to_string(),
             format!("{:.0}", report.throughput()),
-            ms(report.percentile(50.0)),
-            ms(report.percentile(95.0)),
-            ms(report.percentile(99.0)),
+            fmt_ms(report.percentile(50.0)),
+            fmt_ms(report.percentile(95.0)),
+            fmt_ms(report.percentile(99.0)),
             report.errors.to_string(),
         ]);
     }
@@ -269,13 +294,12 @@ pub fn e10_table(families: usize, client_sweep: &[usize]) -> crate::Table {
         "4".into(),
         open.sent.to_string(),
         format!("{:.0}", open.throughput()),
-        ms(open.percentile(50.0)),
-        ms(open.percentile(95.0)),
-        ms(open.percentile(99.0)),
+        fmt_ms(open.percentile(50.0)),
+        fmt_ms(open.percentile(95.0)),
+        fmt_ms(open.percentile(99.0)),
         open.errors.to_string(),
     ]);
     server.shutdown();
-
     crate::Table {
         title: format!(
             "E10 — HTTP serving: closed-loop sweep + open loop ({families} families, batch window 1ms)"
@@ -288,6 +312,64 @@ pub fn e10_table(families: usize, client_sweep: &[usize]) -> crate::Table {
             "p50 ms".into(),
             "p95 ms".into(),
             "p99 ms".into(),
+            "errors".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
+// E11 — shard scaling through the HTTP front-end
+// =====================================================================
+
+/// E11 table: the same closed-loop serving workload as E10, swept
+/// over shard counts. Claim: hash-partitioning the relation store
+/// (with routed evaluation pruning keyed selections to one shard)
+/// serves the ad-hoc workload at throughput comparable to the
+/// unsharded engine — sharding buys capacity headroom, not citation
+/// drift (citations stay byte-identical; see
+/// `tests/sharding_equivalence.rs`).
+pub fn e11_table(families: usize, shard_counts: &[usize]) -> crate::Table {
+    use std::sync::Arc;
+
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let engine = Arc::new(crate::sharded_engine_at_scale(families, shards));
+        let db = Arc::clone(engine.database());
+        let bodies = serving_bodies(&db, 67);
+        let server = start_warmed_server(Arc::clone(&engine), &bodies);
+
+        let report = closed_loop(server.addr(), &bodies, 8);
+        let sharding = engine.shard_stats().expect("engine is sharded");
+        rows.push(vec![
+            shards.to_string(),
+            report.sent.to_string(),
+            format!("{:.0}", report.throughput()),
+            fmt_ms(report.percentile(50.0)),
+            fmt_ms(report.percentile(95.0)),
+            fmt_ms(report.percentile(99.0)),
+            sharding.atoms_pruned.to_string(),
+            sharding.atoms_fanout.to_string(),
+            format!("{:.2}", sharding.store.imbalance()),
+            report.errors.to_string(),
+        ]);
+        server.shutdown();
+    }
+    crate::Table {
+        title: format!(
+            "E11 — sharded serving: closed loop, 8 clients ({families} families, key spec {})",
+            fgc_gtopdb::paper_shard_spec()
+        ),
+        headers: vec![
+            "shards".into(),
+            "requests".into(),
+            "rps".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+            "pruned".into(),
+            "fanout".into(),
+            "imbalance".into(),
             "errors".into(),
         ],
         rows,
@@ -319,6 +401,59 @@ mod tests {
             "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
             "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
         ])
+    }
+
+    fn report_with(latencies: Vec<Duration>) -> LoadReport {
+        LoadReport {
+            sent: latencies.len(),
+            ok: latencies.len(),
+            errors: 0,
+            elapsed: Duration::from_secs(1),
+            latencies,
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_and_rejects_nan() {
+        let sorted: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let report = report_with(sorted);
+        // p = 0 is the minimum, p = 100 the maximum
+        assert_eq!(report.percentile(0.0), Duration::from_millis(1));
+        assert_eq!(report.percentile(100.0), Duration::from_millis(10));
+        // out-of-range inputs clamp instead of indexing out of range
+        assert_eq!(report.percentile(-5.0), Duration::from_millis(1));
+        assert_eq!(report.percentile(150.0), Duration::from_millis(10));
+        assert_eq!(report.percentile(f64::INFINITY), Duration::from_millis(10));
+        assert_eq!(
+            report.percentile(f64::NEG_INFINITY),
+            Duration::from_millis(1)
+        );
+        // NaN is rejected outright
+        assert_eq!(report.percentile(f64::NAN), Duration::ZERO);
+        // midpoints still interpolate by rank
+        assert_eq!(report.percentile(50.0), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn percentile_single_sample_and_empty() {
+        let single = report_with(vec![Duration::from_millis(7)]);
+        for p in [-1.0, 0.0, 50.0, 100.0, 400.0] {
+            assert_eq!(single.percentile(p), Duration::from_millis(7), "p={p}");
+        }
+        assert_eq!(single.percentile(f64::NAN), Duration::ZERO);
+        let empty = report_with(Vec::new());
+        assert_eq!(empty.percentile(50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn e11_small_sweep_reports_per_shard_rows() {
+        let t = e11_table(60, &[1, 2]);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let rps: f64 = row[2].parse().unwrap();
+            assert!(rps > 0.0, "{row:?}");
+            assert_eq!(row[9], "0", "errors in {row:?}");
+        }
     }
 
     #[test]

@@ -42,6 +42,10 @@ fn main() {
         print!("{}", fgc_bench::e10_table(1_000, &[1, 2, 4, 8]).render());
         println!();
     }
+    if want("e11") {
+        print!("{}", fgc_bench::e11_table(1_000, &[1, 2, 4, 8]).render());
+        println!();
+    }
     if want("a1") || want("ablation") {
         print!("{}", fgc_bench::ablation_table(10_000).render());
         println!();

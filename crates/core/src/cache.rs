@@ -91,6 +91,11 @@ impl Shard {
     /// Insert `token → value`, evicting via CLOCK when at capacity.
     /// Returns whether an entry was evicted.
     fn insert(&mut self, token: CiteToken, value: Json, capacity: usize) -> bool {
+        if capacity == 0 {
+            // cache disabled: nothing to store, and the CLOCK sweep
+            // below would divide by an empty slot ring
+            return false;
+        }
         if self.map.contains_key(&token) {
             return false; // another thread raced the same miss
         }
@@ -157,13 +162,14 @@ impl CitationCache {
     }
 
     /// An empty cache holding at most `capacity` entries **per
-    /// shard** (clamped to ≥ 1; total capacity is `SHARDS` times
-    /// this).
+    /// shard** (total capacity is `SHARDS` times this). A capacity
+    /// of 0 disables caching entirely: every lookup computes, nothing
+    /// is stored, and no eviction runs.
     pub fn with_shard_capacity(capacity: usize) -> Self {
         CitationCache {
             shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
             hasher: RandomState::new(),
-            shard_capacity: capacity.max(1),
+            shard_capacity: capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -205,6 +211,9 @@ impl CitationCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
+        if self.shard_capacity == 0 {
+            return (value, false); // disabled: never store
+        }
         let evicted = shard.write().expect("cache shard poisoned").insert(
             token.clone(),
             value.clone(),
@@ -348,6 +357,34 @@ mod tests {
         // every lookup above was a distinct token: all misses
         assert_eq!(stats.misses, 10 * cache.capacity() as u64);
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache_without_panicking() {
+        // regression: the CLOCK sweep divided by `slots.len()` when a
+        // full shard had zero slots
+        let cache = CitationCache::with_shard_capacity(0);
+        assert_eq!(cache.capacity(), 0);
+        let mut computed = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(&token(), || {
+                computed += 1;
+                Json::str("fresh")
+            });
+            assert_eq!(v, Json::str("fresh"));
+        }
+        // every lookup computes; nothing is stored or evicted
+        assert_eq!(computed, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.evictions, 0);
+        // churn across many distinct tokens stays panic-free
+        for i in 0..100 {
+            cache.get_or_compute(&nth_token(i), || Json::str("x"));
+        }
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

@@ -22,14 +22,19 @@ use crate::policy::{interpret_expr, Policy};
 use crate::request::{CiteRequest, CiteResponse, QuerySpec};
 use crate::token::CiteToken;
 use fgc_query::ast::{ConjunctiveQuery, Term};
-use fgc_query::{evaluate, evaluate_grouped, parse_sql, Binding};
+use fgc_query::eval::EvalOptions;
+use fgc_query::{
+    evaluate, evaluate_grouped, evaluate_grouped_sharded_with_plan, evaluate_sharded_with_plan,
+    parse_sql, Binding, RoutePlan, ShardRouter,
+};
 use fgc_relation::schema::RelationSchema;
+use fgc_relation::sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
 use fgc_relation::{DataType, Database, Tuple, Value};
 use fgc_rewrite::{best_rewritings, enumerate_rewritings, RewriteOptions, Rewriting, ViewDefs};
 use fgc_semiring::{CitationExpr, CommutativeSemiring, Monomial, Polynomial};
 use fgc_views::{Json, ViewRegistry};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, RwLock};
 use std::time::Instant;
 
@@ -131,6 +136,32 @@ struct RequestCounters {
     misses: u64,
 }
 
+/// Routing counters for a sharded engine (relaxed atomics, same
+/// contract as [`CacheStats`]).
+#[derive(Debug, Default)]
+struct ShardCounters {
+    /// Evaluations that went through the routed path.
+    routed_evals: AtomicU64,
+    /// Atom scans proven confined to one shard.
+    atoms_pruned: AtomicU64,
+    /// Atom scans that fanned out to every shard.
+    atoms_fanout: AtomicU64,
+}
+
+/// Snapshot of a sharded engine's store layout and routing activity
+/// (surfaced on `GET /stats` and by the E11 table).
+#[derive(Debug, Clone)]
+pub struct ShardServingStats {
+    /// Static distribution of the base-relation store.
+    pub store: ShardStats,
+    /// Evaluations served through the routed path so far.
+    pub routed_evals: u64,
+    /// Atom scans pruned to a single shard.
+    pub atoms_pruned: u64,
+    /// Atom scans that fanned out to all shards.
+    pub atoms_fanout: u64,
+}
+
 /// The citation engine over one database snapshot.
 ///
 /// All serving entry points ([`cite`](Self::cite),
@@ -149,6 +180,13 @@ pub struct CitationEngine {
     inclusion: BTreeMap<(String, String), bool>,
     extent_db: RwLock<Option<Arc<Database>>>,
     cache: CitationCache,
+    /// Sharded base store, when [`Self::with_shards`] was applied;
+    /// answers and rewritings then evaluate through shard routing.
+    sharded: Option<Arc<ShardedDatabase>>,
+    /// Lazily built sharded view of the extent database (base
+    /// relations + view extents), same shard count and key spec.
+    extent_sharded: RwLock<Option<Arc<ShardedDatabase>>>,
+    shard_counters: ShardCounters,
 }
 
 impl CitationEngine {
@@ -173,6 +211,9 @@ impl CitationEngine {
             inclusion,
             extent_db: RwLock::new(None),
             cache: CitationCache::new(),
+            sharded: None,
+            extent_sharded: RwLock::new(None),
+            shard_counters: ShardCounters::default(),
         })
     }
 
@@ -191,10 +232,31 @@ impl CitationEngine {
     /// Bound the token cache at `per_shard` entries per shard
     /// (builder style; replaces the cache, dropping any entries).
     /// Excess entries are evicted second-chance (CLOCK) — see
-    /// [`CitationCache`].
+    /// [`CitationCache`]. A capacity of 0 disables the cache.
     pub fn with_cache_capacity(mut self, per_shard: usize) -> Self {
         self.cache = CitationCache::with_shard_capacity(per_shard);
         self
+    }
+
+    /// Partition the base store across `shards` hash-routed shards
+    /// (builder style). `key_spec` names the shard-key column per
+    /// relation (CLI syntax: `Family=FID,FC=FID`); relations it
+    /// omits fall back to whole-tuple hashing — still balanced, but
+    /// equality selections on them can never prune to one shard.
+    ///
+    /// Answer evaluation and rewriting evaluation then run through
+    /// the [`ShardRouter`]; citations stay **byte-identical** to the
+    /// unsharded engine (the sharded store preserves global tuple
+    /// order, and the router only removes scans that cannot match).
+    pub fn with_shards(mut self, shards: usize, key_spec: ShardKeySpec) -> Result<Self> {
+        key_spec.resolve(self.db.catalog())?;
+        let sharded = ShardedDatabase::from_database(&self.db, shards, key_spec)?;
+        self.sharded = Some(Arc::new(sharded));
+        *self
+            .extent_sharded
+            .write()
+            .expect("extent shard lock poisoned") = None;
+        Ok(self)
     }
 
     /// The underlying database.
@@ -217,10 +279,31 @@ impl CitationEngine {
         self.cache.stats()
     }
 
+    /// Number of shards the base store is partitioned into (1 when
+    /// unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |s| s.shard_count())
+    }
+
+    /// Store layout and routing counters — `None` when the engine is
+    /// not sharded.
+    pub fn shard_stats(&self) -> Option<ShardServingStats> {
+        self.sharded.as_ref().map(|s| ShardServingStats {
+            store: s.stats(),
+            routed_evals: self.shard_counters.routed_evals.load(Ordering::Relaxed),
+            atoms_pruned: self.shard_counters.atoms_pruned.load(Ordering::Relaxed),
+            atoms_fanout: self.shard_counters.atoms_fanout.load(Ordering::Relaxed),
+        })
+    }
+
     /// Drop cached citations and extents (e.g. for cold-start runs).
     pub fn clear_caches(&self) {
         self.cache.clear();
         *self.extent_db.write().expect("extent lock poisoned") = None;
+        *self
+            .extent_sharded
+            .write()
+            .expect("extent shard lock poisoned") = None;
     }
 
     /// The engine's default configuration, with a request's overrides
@@ -290,6 +373,69 @@ impl CitationEngine {
         Ok(arc)
     }
 
+    /// Routed counterpart of [`Self::extent_database`]: the extent
+    /// database partitioned with the base store's shard count and key
+    /// spec (view-extent relations fall back to whole-tuple hashing).
+    /// Built lazily under the write lock, shared afterwards.
+    fn extent_sharded_database(&self, base: &Arc<ShardedDatabase>) -> Result<Arc<ShardedDatabase>> {
+        if let Some(db) = self
+            .extent_sharded
+            .read()
+            .expect("extent shard lock poisoned")
+            .as_ref()
+        {
+            return Ok(Arc::clone(db));
+        }
+        let extent = self.extent_database()?;
+        let mut slot = self
+            .extent_sharded
+            .write()
+            .expect("extent shard lock poisoned");
+        if let Some(db) = slot.as_ref() {
+            return Ok(Arc::clone(db));
+        }
+        let sharded =
+            ShardedDatabase::from_database(&extent, base.shard_count(), base.spec().clone())?;
+        let arc = Arc::new(sharded);
+        *slot = Some(Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Plan a query's routing and record it in the serving counters;
+    /// the returned plan is handed straight to the routed evaluator
+    /// so planning happens once per evaluation.
+    fn plan_and_count(&self, sharded: &ShardedDatabase, q: &ConjunctiveQuery) -> RoutePlan {
+        let plan = ShardRouter::new(sharded).plan(q);
+        self.shard_counters
+            .routed_evals
+            .fetch_add(1, Ordering::Relaxed);
+        self.shard_counters
+            .atoms_pruned
+            .fetch_add(plan.pruned_atoms() as u64, Ordering::Relaxed);
+        self.shard_counters
+            .atoms_fanout
+            .fetch_add(plan.fanout_atoms() as u64, Ordering::Relaxed);
+        plan
+    }
+
+    /// The answer set of `q` — routed over the shards when the engine
+    /// is sharded, byte-identical to the unsharded evaluation either
+    /// way.
+    fn answers(&self, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+        match &self.sharded {
+            None => Ok(evaluate(&self.db, q)?),
+            Some(sharded) => {
+                let plan = self.plan_and_count(sharded, q);
+                Ok(evaluate_sharded_with_plan(
+                    sharded,
+                    q,
+                    &plan,
+                    EvalOptions::default(),
+                )?)
+            }
+        }
+    }
+
     /// The rewritings used for citations, labelled `Q1, Q2, ...` in
     /// rank order (best first).
     fn rewritings(
@@ -331,11 +477,33 @@ impl CitationEngine {
         &self,
         rewritings: &[(String, Rewriting)],
     ) -> Result<HashMap<Tuple, CitationExpr<String, CiteToken>>> {
-        let extent_db = self.extent_database()?;
+        // Sharded engines evaluate rewritings over the sharded extent
+        // store through the router; the routed evaluator preserves
+        // binding order, so the resulting polynomials are identical.
+        let extent_sharded = match &self.sharded {
+            Some(base) => Some(self.extent_sharded_database(base)?),
+            None => None,
+        };
+        let extent_db = match extent_sharded {
+            Some(_) => None,
+            None => Some(self.extent_database()?),
+        };
         let mut exprs: HashMap<Tuple, CitationExpr<String, CiteToken>> = HashMap::new();
         for (label, rewriting) in rewritings {
             let extent_query = rewriting.as_extent_query();
-            let grouped = evaluate_grouped(&extent_db, &extent_query)?;
+            let grouped = match (&extent_sharded, &extent_db) {
+                (Some(sharded), _) => {
+                    let plan = self.plan_and_count(sharded, &extent_query);
+                    evaluate_grouped_sharded_with_plan(
+                        sharded,
+                        &extent_query,
+                        &plan,
+                        EvalOptions::default(),
+                    )?
+                }
+                (None, Some(whole)) => evaluate_grouped(whole, &extent_query)?,
+                (None, None) => unreachable!("one extent backend is always built"),
+            };
             for (tuple, bindings) in grouped {
                 let mut poly: Polynomial<CiteToken> = Polynomial::zero();
                 for binding in &bindings {
@@ -399,7 +567,7 @@ impl CitationEngine {
         counters: &mut RequestCounters,
     ) -> Result<QueryCitation> {
         let policy = config.policy;
-        let answers = evaluate(&self.db, q)?;
+        let answers = self.answers(q)?;
         let (rewritings, exhaustive, unsatisfiable) =
             self.rewritings(q, config.mode, config.rewrite)?;
         let mut exprs = if rewritings.is_empty() {
@@ -528,7 +696,10 @@ impl CitationEngine {
         // Materialize extents once up front: otherwise every worker
         // would immediately queue on the build write-lock. A failure
         // here recurs deterministically inside each request.
-        let _ = self.extent_database();
+        let _ = match &self.sharded {
+            Some(base) => self.extent_sharded_database(base).map(|_| ()),
+            None => self.extent_database().map(|_| ()),
+        };
 
         let next = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<(usize, Result<CiteResponse>)>();
@@ -858,6 +1029,27 @@ mod tests {
     }
 
     #[test]
+    fn cache_capacity_zero_disables_caching_but_cites_correctly() {
+        // regression: capacity 0 used to be clamped to 1 (and an
+        // unclamped 0 panicked in the CLOCK sweep)
+        let cached = engine();
+        let uncached = engine().with_cache_capacity(0);
+        let q =
+            parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+        let a = cached.cite(&q).unwrap();
+        let b = uncached.cite(&q).unwrap();
+        uncached.cite(&q).unwrap(); // repeat: still no stored entries
+        assert_eq!(a.tuples.len(), b.tuples.len());
+        for (ta, tb) in a.tuples.iter().zip(&b.tuples) {
+            assert_eq!(ta.citation.to_compact(), tb.citation.to_compact());
+        }
+        let stats = uncached.cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 0);
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
     fn cache_hits_on_repeated_citations() {
         let e = engine();
         let q =
@@ -921,6 +1113,112 @@ mod tests {
                 tc.tuple,
                 tc.citation,
                 other
+            );
+        }
+    }
+
+    /// Render a citation result in full: tuple order, symbolic
+    /// expressions, interpreted citations, aggregate, rewriting
+    /// labels. Byte-level equality of this string is the sharding
+    /// acceptance bar.
+    fn render(citation: &QueryCitation) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for tc in &citation.tuples {
+            let _ = writeln!(out, "{} | {:?} | {}", tc.tuple, tc.expr, tc.citation);
+        }
+        let _ = writeln!(out, "aggregate: {}", citation.aggregate.to_compact());
+        for (label, r) in &citation.rewritings {
+            let _ = writeln!(out, "{label}: {r}");
+        }
+        let _ = writeln!(
+            out,
+            "exhaustive={} unsatisfiable={}",
+            citation.exhaustive, citation.unsatisfiable
+        );
+        out
+    }
+
+    fn paper_shard_spec() -> ShardKeySpec {
+        ShardKeySpec::new()
+            .with("Family", "FID")
+            .with("FamilyIntro", "FID")
+            .with("FC", "FID")
+            .with("FIC", "FID")
+            .with("Person", "PID")
+    }
+
+    #[test]
+    fn sharded_engine_cites_byte_identically() {
+        let reference = engine();
+        let queries = [
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+            "Q(N) :- Family(F, N, Ty)",
+            "Q(N) :- Family(\"11\", N, Ty)",
+            "Q(N) :- Family(F, N, Ty), Ty = \"nope\"",
+        ];
+        for shards in [1, 2, 4, 7] {
+            let sharded = engine().with_shards(shards, paper_shard_spec()).unwrap();
+            for q in queries {
+                let q = parse_query(q).unwrap();
+                assert_eq!(
+                    render(&reference.cite(&q).unwrap()),
+                    render(&sharded.cite(&q).unwrap()),
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_reports_stats_and_routing() {
+        let e = engine().with_shards(4, paper_shard_spec()).unwrap();
+        assert_eq!(e.shard_count(), 4);
+        let before = e.shard_stats().unwrap();
+        assert_eq!(before.store.shards, 4);
+        assert_eq!(
+            before.store.total_tuples,
+            before.store.tuples_per_shard.iter().sum::<usize>()
+        );
+        assert_eq!(before.routed_evals, 0);
+        // a keyed selection routes its answer scan to one shard
+        let q = parse_query("Q(N) :- Family(\"11\", N, Ty)").unwrap();
+        e.cite(&q).unwrap();
+        let after = e.shard_stats().unwrap();
+        assert!(after.routed_evals > before.routed_evals);
+        assert!(after.atoms_pruned >= 1, "{after:?}");
+        // the unsharded engine has no shard stats
+        assert!(engine().shard_stats().is_none());
+        assert_eq!(engine().shard_count(), 1);
+    }
+
+    #[test]
+    fn with_shards_validates_the_key_spec() {
+        assert!(engine()
+            .with_shards(2, ShardKeySpec::new().with("Family", "Bogus"))
+            .is_err());
+        assert!(engine()
+            .with_shards(2, ShardKeySpec::new().with("Nope", "FID"))
+            .is_err());
+    }
+
+    #[test]
+    fn sharded_engine_serves_batches_identically() {
+        let reference = engine();
+        let sharded = engine().with_shards(3, paper_shard_spec()).unwrap();
+        let requests: Vec<CiteRequest> = [
+            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+        ]
+        .iter()
+        .map(|q| CiteRequest::query(parse_query(q).unwrap()))
+        .collect();
+        let a = reference.cite_batch_threads(&requests, 4);
+        let b = sharded.cite_batch_threads(&requests, 4);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(
+                render(&ra.as_ref().unwrap().citation),
+                render(&rb.as_ref().unwrap().citation)
             );
         }
     }

@@ -83,9 +83,12 @@ pub mod token;
 
 pub use baseline::{baseline_coverage, PageCitationStore, WorkloadItem};
 pub use cache::{CacheStats, CitationCache};
-pub use engine::{CitationEngine, EngineOptions, QueryCitation, RewriteMode, TupleCitation};
+pub use engine::{
+    CitationEngine, EngineOptions, QueryCitation, RewriteMode, ShardServingStats, TupleCitation,
+};
 pub use error::{CoreError, Result};
 pub use explain::explain;
+pub use fgc_relation::sharded::{ShardKeySpec, ShardStats};
 pub use fixity::{VersionedCitation, VersionedCitationEngine};
 pub use policy::{CombineOp, OrderChoice, Policy};
 pub use request::{CiteRequest, CiteResponse, QuerySpec};

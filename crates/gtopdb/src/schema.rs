@@ -10,6 +10,7 @@
 //! ```
 
 use fgc_relation::schema::RelationSchema;
+use fgc_relation::sharded::ShardKeySpec;
 use fgc_relation::{DataType, Database};
 
 /// Create the six GtoPdb relations (with keys and foreign keys) in a
@@ -81,9 +82,32 @@ pub fn create_schema() -> Database {
     db
 }
 
+/// The natural shard-key spec for the GtoPdb schema: the family
+/// hierarchy co-partitions on `FID` (so a landing-page lookup routes
+/// to one shard end to end) and `Person` partitions on its own key;
+/// `MetaData` — tiny and keyless — falls back to whole-tuple hashing.
+pub fn paper_shard_spec() -> ShardKeySpec {
+    ShardKeySpec::new()
+        .with("Family", "FID")
+        .with("FamilyIntro", "FID")
+        .with("FC", "FID")
+        .with("FIC", "FID")
+        .with("Person", "PID")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_spec_resolves_against_the_schema() {
+        let db = create_schema();
+        let resolved = paper_shard_spec().resolve(db.catalog()).unwrap();
+        assert_eq!(resolved["Family"], 0);
+        assert_eq!(resolved["Person"], 0);
+        assert_eq!(resolved.len(), 5);
+        assert_eq!(paper_shard_spec().column("MetaData"), None);
+    }
 
     #[test]
     fn schema_has_six_relations() {

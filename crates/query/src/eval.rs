@@ -40,8 +40,122 @@ impl Default for EvalOptions {
 }
 
 /// Row provenance: which row of which relation each atom matched.
-/// Entries are `(atom index, relation name, row position)`.
+/// Entries are `(atom index, relation name, row position)` — for a
+/// sharded store the position is the **global** insertion rank, equal
+/// to the row position the unsharded database would report.
 pub type MatchedRows<'q> = Vec<(usize, &'q str, usize)>;
+
+/// What one atom scans: the whole relation, or the routed shard
+/// fragments presented in **global insertion order**. Keeping the
+/// global order (and reporting global row ids) is what makes routed
+/// evaluation bit-compatible with the unsharded evaluator: the same
+/// bindings are enumerated in the same sequence, so first-derivation
+/// output order, grouped binding order, and semiring accumulation
+/// order all coincide.
+/// All three variants borrow straight from the store — building a
+/// view is O(shards), not O(tuples), so a routed lookup pays for the
+/// fragment it scans, never for the relation it skipped.
+#[derive(Debug)]
+pub(crate) enum AtomView<'a> {
+    /// An unsharded relation: view position = row position.
+    Whole(&'a fgc_relation::Relation),
+    /// One routed shard fragment: view position = local position
+    /// (per-shard locals are appended in global order, so local order
+    /// *is* the global order restricted to the shard).
+    Fragment {
+        /// The single fragment the router proved sufficient.
+        fragment: &'a fgc_relation::Relation,
+        /// Local position → global row id (ascending).
+        global_ids: &'a [usize],
+        /// Global relation size (all shards), so the greedy atom
+        /// order sees the same statistics as the unsharded planner.
+        planned_len: usize,
+    },
+    /// Fan-out over every shard: view position = global rank.
+    Scatter {
+        /// One fragment per shard, indexed by shard id.
+        fragments: Vec<&'a fgc_relation::Relation>,
+        /// Global rank → `(shard, local position)`.
+        placement: &'a [(u32, u32)],
+        /// Per shard: local position → global rank.
+        global_ids: Vec<&'a [usize]>,
+    },
+}
+
+impl AtomView<'_> {
+    /// Size used by the greedy atom-order heuristic. For routed views
+    /// this is the *global* relation size: the plan must not depend
+    /// on how much routing pruned, or sharded and unsharded runs
+    /// could pick different join orders (and different output order).
+    fn planned_len(&self) -> usize {
+        match self {
+            AtomView::Whole(rel) => rel.len(),
+            AtomView::Fragment { planned_len, .. } => *planned_len,
+            AtomView::Scatter { placement, .. } => placement.len(),
+        }
+    }
+
+    /// Number of rows this view actually scans.
+    fn scan_len(&self) -> usize {
+        match self {
+            AtomView::Whole(rel) => rel.len(),
+            AtomView::Fragment { fragment, .. } => fragment.len(),
+            AtomView::Scatter { placement, .. } => placement.len(),
+        }
+    }
+
+    /// The tuple at a view position.
+    fn row(&self, pos: usize) -> &Tuple {
+        match self {
+            AtomView::Whole(rel) => &rel.rows()[pos],
+            AtomView::Fragment { fragment, .. } => &fragment.rows()[pos],
+            AtomView::Scatter {
+                fragments,
+                placement,
+                ..
+            } => {
+                let (shard, local) = placement[pos];
+                &fragments[shard as usize].rows()[local as usize]
+            }
+        }
+    }
+
+    /// The global row id at a view position (what [`MatchedRows`]
+    /// reports).
+    fn global_id(&self, pos: usize) -> usize {
+        match self {
+            AtomView::Whole(_) | AtomView::Scatter { .. } => pos,
+            AtomView::Fragment { global_ids, .. } => global_ids[pos],
+        }
+    }
+
+    /// Index probe: view positions whose `column` equals `value`, in
+    /// ascending (global) order — `None` when any underlying fragment
+    /// lacks the index (caller scans).
+    fn probe(&self, column: usize, value: &Value) -> Option<Vec<usize>> {
+        match self {
+            AtomView::Whole(rel) => rel.probe(column, value).map(|p| p.to_vec()),
+            // fragment-local positions are already ascending in the
+            // global order
+            AtomView::Fragment { fragment, .. } => {
+                fragment.probe(column, value).map(|p| p.to_vec())
+            }
+            AtomView::Scatter {
+                fragments,
+                global_ids,
+                ..
+            } => {
+                let mut merged = Vec::new();
+                for (shard, fragment) in fragments.iter().enumerate() {
+                    let locals = fragment.probe(column, value)?;
+                    merged.extend(locals.iter().map(|&l| global_ids[shard][l]));
+                }
+                merged.sort_unstable();
+                Some(merged)
+            }
+        }
+    }
+}
 
 /// Core enumeration: call `sink` once per complete binding.
 ///
@@ -57,14 +171,23 @@ fn for_each_binding<'q>(
 ) -> Result<usize> {
     check_safety(q)?;
     check_against_catalog(q, db.catalog())?;
-
-    // Pre-resolve relations.
-    let relations: Vec<&fgc_relation::Relation> = q
+    let views: Vec<AtomView<'_>> = q
         .atoms
         .iter()
-        .map(|a| db.relation(&a.relation))
+        .map(|a| db.relation(&a.relation).map(AtomView::Whole))
         .collect::<std::result::Result<_, _>>()?;
+    for_each_binding_views(q, &views, options, sink)
+}
 
+/// [`for_each_binding`] over pre-built atom views. Safety and catalog
+/// checks are the caller's responsibility (both entry points run them
+/// before building views).
+pub(crate) fn for_each_binding_views<'q>(
+    q: &'q ConjunctiveQuery,
+    relations: &[AtomView<'_>],
+    options: EvalOptions,
+    sink: &mut dyn FnMut(&Binding, &MatchedRows<'q>) -> Result<()>,
+) -> Result<usize> {
     let mut binding: Binding = Binding::new();
     // Seed bindings from `Var = Const` equality comparisons so they
     // act as selections, and collect residual comparisons.
@@ -103,7 +226,7 @@ fn for_each_binding<'q>(
     #[allow(clippy::too_many_arguments)]
     fn walk<'q>(
         q: &'q ConjunctiveQuery,
-        relations: &[&fgc_relation::Relation],
+        relations: &[AtomView<'_>],
         residual: &[crate::ast::Comparison],
         binding: &mut Binding,
         used: &mut [bool],
@@ -159,7 +282,7 @@ fn for_each_binding<'q>(
                 .iter()
                 .filter(|t| resolve_term(binding, t).is_some())
                 .count();
-            let size = relations[i].len();
+            let size = relations[i].planned_len();
             let candidate = (bound, usize::MAX - size, i);
             if best.is_none_or(|b| candidate > b) {
                 best = Some(candidate);
@@ -167,7 +290,7 @@ fn for_each_binding<'q>(
         }
         let (_, _, idx) = best.expect("at least one unused atom");
         let atom = &q.atoms[idx];
-        let rel = relations[idx];
+        let rel = &relations[idx];
         used[idx] = true;
 
         // Candidate rows: probe a secondary index on the first bound
@@ -179,14 +302,14 @@ fn for_each_binding<'q>(
             .find_map(|(col, t)| resolve_term(binding, t).map(|v| (col, v)));
         let positions: Vec<usize> = match &bound_col {
             Some((col, v)) => match rel.probe(*col, v) {
-                Some(p) => p.to_vec(),
-                None => (0..rel.len()).collect(),
+                Some(p) => p,
+                None => (0..rel.scan_len()).collect(),
             },
-            None => (0..rel.len()).collect(),
+            None => (0..rel.scan_len()).collect(),
         };
 
         'rows: for pos in positions {
-            let row = &rel.rows()[pos];
+            let row = rel.row(pos);
             // match atom terms against the row
             let mut newly_bound: Vec<&str> = Vec::new();
             for (col, t) in atom.terms.iter().enumerate() {
@@ -215,7 +338,7 @@ fn for_each_binding<'q>(
                     },
                 }
             }
-            matched.push((idx, atom.relation.as_str(), pos));
+            matched.push((idx, atom.relation.as_str(), rel.global_id(pos)));
             let r = walk(
                 q, relations, residual, binding, used, comp_done, matched, budget, sink,
             );
@@ -241,7 +364,7 @@ fn for_each_binding<'q>(
     };
     walk(
         q,
-        &relations,
+        relations,
         &residual,
         &mut binding,
         &mut used,
@@ -265,21 +388,16 @@ fn project_head(q: &ConjunctiveQuery, binding: &Binding) -> Tuple {
         .collect()
 }
 
-/// Evaluate a query, returning distinct output tuples (set
-/// semantics), in first-derivation order.
-pub fn evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
-    evaluate_with(db, q, EvalOptions::default())
-}
-
-/// [`evaluate`] with explicit limits.
-pub fn evaluate_with(
-    db: &Database,
+/// Distinct-output collection over pre-built views (shared by the
+/// whole-database and sharded entry points).
+pub(crate) fn evaluate_views(
     q: &ConjunctiveQuery,
+    views: &[AtomView<'_>],
     options: EvalOptions,
 ) -> Result<Vec<Tuple>> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
-    for_each_binding(db, q, options, &mut |binding, _| {
+    for_each_binding_views(q, views, options, &mut |binding, _| {
         let t = project_head(q, binding);
         if seen.insert(t.clone()) {
             out.push(t);
@@ -289,21 +407,15 @@ pub fn evaluate_with(
     Ok(out)
 }
 
-/// Evaluate and group *all* bindings by output tuple — Definition 3.2
-/// needs "the set of all bindings for Q' that yield a tuple t".
-pub fn evaluate_grouped(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>> {
-    evaluate_grouped_with(db, q, EvalOptions::default())
-}
-
-/// [`evaluate_grouped`] with explicit limits.
-pub fn evaluate_grouped_with(
-    db: &Database,
+/// Grouped-bindings collection over pre-built views.
+pub(crate) fn evaluate_grouped_views(
     q: &ConjunctiveQuery,
+    views: &[AtomView<'_>],
     options: EvalOptions,
 ) -> Result<Vec<(Tuple, Vec<Binding>)>> {
     let mut order: Vec<Tuple> = Vec::new();
     let mut groups: HashMap<Tuple, Vec<Binding>> = HashMap::new();
-    for_each_binding(db, q, options, &mut |binding, _| {
+    for_each_binding_views(q, views, options, &mut |binding, _| {
         let t = project_head(q, binding);
         let entry = groups.entry(t.clone()).or_default();
         if entry.is_empty() {
@@ -321,13 +433,14 @@ pub fn evaluate_grouped_with(
         .collect())
 }
 
-/// Semiring-annotated evaluation (§3.1): `annotate(relation, row)`
-/// supplies the base annotation of each tuple; per binding the atom
-/// annotations are multiplied, per output tuple the binding products
-/// are summed. Output order is first-derivation order.
-pub fn evaluate_annotated<S, F>(
-    db: &Database,
+/// Semiring-annotated collection over pre-built views. Products run
+/// over each binding's matched rows (by global row id), sums over the
+/// bindings of one output tuple — in enumeration order, so sharded
+/// and unsharded runs accumulate identically.
+pub(crate) fn evaluate_annotated_views<S, F>(
     q: &ConjunctiveQuery,
+    views: &[AtomView<'_>],
+    options: EvalOptions,
     mut annotate: F,
 ) -> Result<Vec<(Tuple, S)>>
 where
@@ -336,7 +449,7 @@ where
 {
     let mut order: Vec<Tuple> = Vec::new();
     let mut acc: HashMap<Tuple, S> = HashMap::new();
-    for_each_binding(db, q, EvalOptions::default(), &mut |binding, matched| {
+    for_each_binding_views(q, views, options, &mut |binding, matched| {
         let product = matched
             .iter()
             .fold(S::one(), |p, (_, rel, row)| p.times(&annotate(rel, *row)));
@@ -357,6 +470,64 @@ where
             (t, s)
         })
         .collect())
+}
+
+/// Whole-relation views for an unsharded database (checks first, so
+/// error order matches the historical behavior).
+fn whole_views<'a>(db: &'a Database, q: &ConjunctiveQuery) -> Result<Vec<AtomView<'a>>> {
+    check_safety(q)?;
+    check_against_catalog(q, db.catalog())?;
+    q.atoms
+        .iter()
+        .map(|a| db.relation(&a.relation).map(AtomView::Whole))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(Into::into)
+}
+
+/// Evaluate a query, returning distinct output tuples (set
+/// semantics), in first-derivation order.
+pub fn evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+    evaluate_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate`] with explicit limits.
+pub fn evaluate_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    evaluate_views(q, &whole_views(db, q)?, options)
+}
+
+/// Evaluate and group *all* bindings by output tuple — Definition 3.2
+/// needs "the set of all bindings for Q' that yield a tuple t".
+pub fn evaluate_grouped(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate_grouped`] with explicit limits.
+pub fn evaluate_grouped_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_views(q, &whole_views(db, q)?, options)
+}
+
+/// Semiring-annotated evaluation (§3.1): `annotate(relation, row)`
+/// supplies the base annotation of each tuple; per binding the atom
+/// annotations are multiplied, per output tuple the binding products
+/// are summed. Output order is first-derivation order.
+pub fn evaluate_annotated<S, F>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    annotate: F,
+) -> Result<Vec<(Tuple, S)>>
+where
+    S: CommutativeSemiring,
+    F: FnMut(&str, usize) -> S,
+{
+    evaluate_annotated_views(q, &whole_views(db, q)?, EvalOptions::default(), annotate)
 }
 
 /// Count bindings without materializing anything (diagnostics).

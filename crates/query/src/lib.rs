@@ -13,6 +13,10 @@
 //! * [`safety`] — range restriction and schema checks;
 //! * [`eval`] — backtracking evaluation: plain, grouped-by-output
 //!   bindings (Def. 3.2), and semiring-annotated (§3.1);
+//! * [`sharded`] — shard routing ([`ShardRouter`]) and the same three
+//!   evaluations over a horizontally partitioned
+//!   [`ShardedDatabase`](fgc_relation::sharded::ShardedDatabase),
+//!   byte-compatible with the unsharded evaluator;
 //! * [`containment`] — homomorphism-based containment/equivalence
 //!   (needed by Def. 2.2 rewriting validity and Ex. 3.8 view
 //!   inclusion);
@@ -34,6 +38,7 @@ pub mod minimize;
 pub mod parser;
 pub mod reference;
 pub mod safety;
+pub mod sharded;
 pub mod sql;
 pub mod subst;
 
@@ -49,5 +54,10 @@ pub use minimize::{is_minimal, minimize};
 pub use parser::{parse_program, parse_query};
 pub use reference::reference_evaluate;
 pub use safety::{check_against_catalog, check_safety};
+pub use sharded::{
+    evaluate_annotated_sharded, evaluate_grouped_sharded, evaluate_grouped_sharded_with,
+    evaluate_grouped_sharded_with_plan, evaluate_sharded, evaluate_sharded_with,
+    evaluate_sharded_with_plan, RoutePlan, ShardRouter, ShardSet,
+};
 pub use sql::parse_sql;
 pub use subst::Substitution;

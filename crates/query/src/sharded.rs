@@ -1,0 +1,464 @@
+//! Routed evaluation over a [`ShardedDatabase`].
+//!
+//! The [`ShardRouter`] statically plans which shards each atom of a
+//! [`ConjunctiveQuery`] must touch: an equality selection on the
+//! relation's shard-key column — a constant in the atom itself, or a
+//! `Var = Const` comparison — proves every matching tuple lives on
+//! one shard (`hash(const) % N`), so that atom scans a single
+//! fragment; anything else fans out to all shards.
+//!
+//! Evaluation then runs the standard backtracking join over per-shard
+//! fragments presented in **global insertion order** (see
+//! [`crate::eval`]'s `AtomView`). Derivations whose rows live on
+//! different shards merge exactly where the unsharded evaluator
+//! merges them: set-semantics union in [`evaluate_sharded`], and the
+//! semiring `+` over bindings in [`evaluate_annotated_sharded`] —
+//! Definition 3.2's sum over bindings is accumulated in the identical
+//! sequence, which keeps citations **byte-for-byte** equal to the
+//! unsharded engine (not merely set-equal).
+
+use crate::ast::{CompOp, ConjunctiveQuery, Term};
+use crate::error::Result;
+use crate::eval::{
+    evaluate_annotated_views, evaluate_grouped_views, evaluate_views, AtomView, Binding,
+    EvalOptions,
+};
+use crate::safety::{check_against_catalog, check_safety};
+use fgc_relation::sharded::{shard_of_value, ShardedDatabase};
+use fgc_relation::{Tuple, Value};
+use fgc_semiring::CommutativeSemiring;
+use std::collections::HashMap;
+
+/// The shards one atom's scan must touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSet {
+    /// Routing proved the atom confined to a single shard.
+    One(usize),
+    /// No usable selection on the shard key: scan every shard.
+    All,
+}
+
+/// A per-atom routing plan for one query.
+#[derive(Debug, Clone)]
+pub struct RoutePlan {
+    /// Number of shards in the store the plan was made for.
+    pub shards: usize,
+    /// One entry per query atom, in atom order.
+    pub atoms: Vec<ShardSet>,
+}
+
+impl RoutePlan {
+    /// Atoms routed to exactly one shard.
+    pub fn pruned_atoms(&self) -> usize {
+        self.atoms
+            .iter()
+            .filter(|s| matches!(s, ShardSet::One(_)))
+            .count()
+    }
+
+    /// Atoms that fan out to every shard.
+    pub fn fanout_atoms(&self) -> usize {
+        self.atoms.len() - self.pruned_atoms()
+    }
+
+    /// Whether every atom was pruned to a single shard.
+    pub fn fully_routed(&self) -> bool {
+        !self.atoms.is_empty() && self.fanout_atoms() == 0
+    }
+
+    /// Total fragments scanned under this plan (the unsharded
+    /// equivalent would scan `atoms.len()` whole relations).
+    pub fn fragments_scanned(&self) -> usize {
+        self.atoms
+            .iter()
+            .map(|s| match s {
+                ShardSet::One(_) => 1,
+                ShardSet::All => self.shards,
+            })
+            .sum()
+    }
+}
+
+/// Plans shard routing for conjunctive queries against one store.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter<'a> {
+    db: &'a ShardedDatabase,
+}
+
+impl<'a> ShardRouter<'a> {
+    /// A router over a sharded store.
+    pub fn new(db: &'a ShardedDatabase) -> Self {
+        ShardRouter { db }
+    }
+
+    /// Statically plan the shards each atom must touch. Only
+    /// selections that hold *before* enumeration starts are used
+    /// (constants in atom positions and `Var = Const` comparisons);
+    /// bindings produced mid-join are deliberately ignored so the
+    /// plan — like the unsharded planner's statistics — is a pure
+    /// function of the query.
+    pub fn plan(&self, q: &ConjunctiveQuery) -> RoutePlan {
+        let shards = self.db.shard_count();
+        // Seed constants exactly like the evaluator does. On a
+        // contradictory second constant the first seed stays: the
+        // evaluation is empty either way, and any single-shard scan
+        // of an empty result is sound.
+        let mut consts: HashMap<String, Value> = HashMap::new();
+        for c in &q.comparisons {
+            let n = c.normalized();
+            if n.op == CompOp::Eq {
+                if let (Term::Var(v), Term::Const(val)) = (&n.left, &n.right) {
+                    consts.entry(v.clone()).or_insert_with(|| val.clone());
+                }
+            }
+        }
+        let atoms = q
+            .atoms
+            .iter()
+            .map(|atom| {
+                let Some(col) = self.db.shard_key_column(&atom.relation) else {
+                    return ShardSet::All;
+                };
+                match atom.terms.get(col) {
+                    Some(Term::Const(v)) => ShardSet::One(shard_of_value(v, shards)),
+                    Some(Term::Var(x)) => match consts.get(x.as_str()) {
+                        Some(v) => ShardSet::One(shard_of_value(v, shards)),
+                        None => ShardSet::All,
+                    },
+                    None => ShardSet::All, // arity mismatch: caught by the catalog check
+                }
+            })
+            .collect();
+        RoutePlan { shards, atoms }
+    }
+}
+
+/// Build the per-atom views a plan prescribes, in global order.
+fn routed_views<'a>(
+    db: &'a ShardedDatabase,
+    q: &ConjunctiveQuery,
+    plan: &RoutePlan,
+) -> Result<Vec<AtomView<'a>>> {
+    check_safety(q)?;
+    check_against_catalog(q, db.catalog())?;
+    q.atoms
+        .iter()
+        .zip(&plan.atoms)
+        .map(|(atom, set)| routed_view(db, &atom.relation, *set))
+        .collect()
+}
+
+fn routed_view<'a>(db: &'a ShardedDatabase, relation: &str, set: ShardSet) -> Result<AtomView<'a>> {
+    // everything borrows from the store's precomputed placement maps:
+    // building a view costs O(shards), not O(tuples), so a pruned
+    // lookup pays only for the fragment it actually scans
+    match set {
+        // a single shard holds the whole relation: the fragment *is*
+        // the relation, in global order already
+        ShardSet::All if db.shard_count() == 1 => {
+            Ok(AtomView::Whole(db.shards()[0].relation(relation)?))
+        }
+        ShardSet::All => Ok(AtomView::Scatter {
+            fragments: db.fragments(relation)?,
+            placement: db.placement(relation)?,
+            global_ids: db
+                .shard_global_ids(relation)?
+                .iter()
+                .map(Vec::as_slice)
+                .collect(),
+        }),
+        ShardSet::One(s) => Ok(AtomView::Fragment {
+            fragment: db.shards()[s].relation(relation)?,
+            global_ids: &db.shard_global_ids(relation)?[s],
+            planned_len: db.placement(relation)?.len(),
+        }),
+    }
+}
+
+/// [`crate::evaluate`] over a sharded store: identical output (tuples
+/// *and* order) to evaluating the assembled unsharded database.
+pub fn evaluate_sharded(db: &ShardedDatabase, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+    evaluate_sharded_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate_sharded`] with explicit limits.
+pub fn evaluate_sharded_with(
+    db: &ShardedDatabase,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    evaluate_sharded_with_plan(db, q, &ShardRouter::new(db).plan(q), options)
+}
+
+/// [`evaluate_sharded_with`] under a caller-supplied [`RoutePlan`]
+/// (callers that inspect the plan — e.g. for routing counters — pass
+/// it back instead of planning twice).
+pub fn evaluate_sharded_with_plan(
+    db: &ShardedDatabase,
+    q: &ConjunctiveQuery,
+    plan: &RoutePlan,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    evaluate_views(q, &routed_views(db, q, plan)?, options)
+}
+
+/// [`crate::evaluate_grouped`] over a sharded store.
+pub fn evaluate_grouped_sharded(
+    db: &ShardedDatabase,
+    q: &ConjunctiveQuery,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_sharded_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate_grouped_sharded`] with explicit limits.
+pub fn evaluate_grouped_sharded_with(
+    db: &ShardedDatabase,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_sharded_with_plan(db, q, &ShardRouter::new(db).plan(q), options)
+}
+
+/// [`evaluate_grouped_sharded_with`] under a caller-supplied plan.
+pub fn evaluate_grouped_sharded_with_plan(
+    db: &ShardedDatabase,
+    q: &ConjunctiveQuery,
+    plan: &RoutePlan,
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_views(q, &routed_views(db, q, plan)?, options)
+}
+
+/// [`crate::evaluate_annotated`] over a sharded store. Row ids handed
+/// to `annotate` are **global** insertion ranks — the same ids the
+/// unsharded evaluator reports — and per-tuple sums accumulate in the
+/// same order, so provenance polynomials come out byte-identical.
+pub fn evaluate_annotated_sharded<S, F>(
+    db: &ShardedDatabase,
+    q: &ConjunctiveQuery,
+    annotate: F,
+) -> Result<Vec<(Tuple, S)>>
+where
+    S: CommutativeSemiring,
+    F: FnMut(&str, usize) -> S,
+{
+    let plan = ShardRouter::new(db).plan(q);
+    evaluate_annotated_views(
+        q,
+        &routed_views(db, q, &plan)?,
+        EvalOptions::default(),
+        annotate,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::{evaluate, evaluate_annotated, evaluate_grouped};
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::sharded::ShardKeySpec;
+    use fgc_relation::{tuple, DataType, Database};
+    use fgc_semiring::Polynomial;
+
+    fn plain_db(families: usize) -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::with_names(
+                "FamilyIntro",
+                &[("FID", DataType::Str), ("Text", DataType::Str)],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let types = ["gpcr", "enzyme", "channel"];
+        for i in 0..families {
+            db.insert(
+                "Family",
+                tuple![format!("f{i}"), format!("Name{i}"), types[i % 3]],
+            )
+            .unwrap();
+            if i % 2 == 0 {
+                db.insert("FamilyIntro", tuple![format!("f{i}"), format!("Intro{i}")])
+                    .unwrap();
+            }
+        }
+        db
+    }
+
+    fn spec() -> ShardKeySpec {
+        ShardKeySpec::new()
+            .with("Family", "FID")
+            .with("FamilyIntro", "FID")
+    }
+
+    fn queries() -> Vec<ConjunctiveQuery> {
+        [
+            "Q(N) :- Family(F, N, Ty)",
+            "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+            "Q(N) :- Family(\"f3\", N, Ty)",
+            "Q(N) :- Family(F, N, Ty), F = \"f4\"",
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+            "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = \"f2\"",
+            "Q(Ty) :- Family(F, N, Ty)",
+            "Q(A, B) :- Family(A, N1, T), Family(B, N2, T), A != B",
+        ]
+        .iter()
+        .map(|q| parse_query(q).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn sharded_evaluation_matches_unsharded_exactly() {
+        let db = plain_db(23);
+        for shards in [1, 2, 4, 7] {
+            let sharded = ShardedDatabase::from_database(&db, shards, spec()).unwrap();
+            for q in queries() {
+                let plain = evaluate(&db, &q).unwrap();
+                let routed = evaluate_sharded(&sharded, &q).unwrap();
+                assert_eq!(plain, routed, "shards={shards} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_grouped_matches_unsharded_exactly() {
+        let db = plain_db(17);
+        for shards in [2, 5] {
+            let sharded = ShardedDatabase::from_database(&db, shards, spec()).unwrap();
+            for q in queries() {
+                let plain = evaluate_grouped(&db, &q).unwrap();
+                let routed = evaluate_grouped_sharded(&sharded, &q).unwrap();
+                assert_eq!(plain, routed, "shards={shards} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_annotated_polynomials_are_byte_identical() {
+        let db = plain_db(17);
+        for shards in [1, 2, 4, 7] {
+            let sharded = ShardedDatabase::from_database(&db, shards, spec()).unwrap();
+            for q in queries() {
+                let plain: Vec<(Tuple, Polynomial<String>)> =
+                    evaluate_annotated(&db, &q, |rel, row| {
+                        Polynomial::token(format!("{rel}:{row}"))
+                    })
+                    .unwrap();
+                let routed: Vec<(Tuple, Polynomial<String>)> =
+                    evaluate_annotated_sharded(&sharded, &q, |rel, row| {
+                        Polynomial::token(format!("{rel}:{row}"))
+                    })
+                    .unwrap();
+                assert_eq!(plain.len(), routed.len(), "shards={shards} q={q}");
+                for ((t1, p1), (t2, p2)) in plain.iter().zip(&routed) {
+                    assert_eq!(t1, t2, "shards={shards} q={q}");
+                    assert_eq!(
+                        format!("{p1:?}"),
+                        format!("{p2:?}"),
+                        "shards={shards} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn router_prunes_constant_selections_on_the_shard_key() {
+        let db = plain_db(12);
+        let sharded = ShardedDatabase::from_database(&db, 4, spec()).unwrap();
+        let router = ShardRouter::new(&sharded);
+
+        // constant in the atom's shard-key position
+        let plan = router.plan(&parse_query("Q(N) :- Family(\"f3\", N, Ty)").unwrap());
+        assert_eq!(plan.pruned_atoms(), 1);
+        assert_eq!(plan.fragments_scanned(), 1);
+        assert!(plan.fully_routed());
+
+        // equality comparison binding the shard-key variable
+        let plan = router.plan(&parse_query("Q(N) :- Family(F, N, Ty), F = \"f3\"").unwrap());
+        assert_eq!(
+            plan.atoms,
+            vec![ShardSet::One(shard_of_value(&Value::str("f3"), 4))]
+        );
+
+        // selection on a non-key column cannot prune
+        let plan = router.plan(&parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap());
+        assert_eq!(plan.atoms, vec![ShardSet::All]);
+        assert_eq!(plan.fragments_scanned(), 4);
+
+        // joins route per atom: the keyed selection prunes its atom,
+        // the join partner fans out
+        let plan = router.plan(
+            &parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(G, Tx), F = \"f3\"").unwrap(),
+        );
+        assert_eq!(plan.pruned_atoms(), 1);
+        assert_eq!(plan.fanout_atoms(), 1);
+        assert_eq!(plan.fragments_scanned(), 5);
+    }
+
+    #[test]
+    fn whole_tuple_fallback_never_prunes() {
+        let db = plain_db(12);
+        let sharded = ShardedDatabase::from_database(&db, 4, ShardKeySpec::new()).unwrap();
+        let router = ShardRouter::new(&sharded);
+        let plan = router.plan(&parse_query("Q(N) :- Family(\"f3\", N, Ty)").unwrap());
+        assert_eq!(plan.atoms, vec![ShardSet::All]);
+        // ... but evaluation is still exact
+        let q = parse_query("Q(N) :- Family(\"f3\", N, Ty)").unwrap();
+        assert_eq!(
+            evaluate(&db, &q).unwrap(),
+            evaluate_sharded(&sharded, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn pruned_scan_sees_only_one_fragment_yet_stays_exact() {
+        // indexes on each shard so the pruned path exercises probes
+        let db = plain_db(40);
+        let mut sharded = ShardedDatabase::from_database(&db, 4, spec()).unwrap();
+        sharded.build_index("Family", 0).unwrap();
+        sharded.build_index("FamilyIntro", 0).unwrap();
+        for fid in ["f0", "f7", "f13", "f39"] {
+            let q = parse_query(&format!(
+                "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = \"{fid}\""
+            ))
+            .unwrap();
+            assert_eq!(
+                evaluate(&db, &q).unwrap(),
+                evaluate_sharded(&sharded, &q).unwrap(),
+                "{fid}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_match_the_unsharded_evaluator() {
+        let db = plain_db(5);
+        let sharded = ShardedDatabase::from_database(&db, 3, spec()).unwrap();
+        let unsafe_q = parse_query("Q(X) :- Family(F, N, Ty)").unwrap();
+        assert!(matches!(
+            evaluate_sharded(&sharded, &unsafe_q).unwrap_err(),
+            crate::QueryError::Unsafe { .. }
+        ));
+        let unknown = parse_query("Q(X) :- Nope(X)").unwrap();
+        assert!(evaluate_sharded(&sharded, &unknown).is_err());
+        let q = parse_query("Q(A, B) :- Family(A, X, Y), Family(B, Z, W)").unwrap();
+        let err = evaluate_sharded_with(&sharded, &q, EvalOptions { max_bindings: 4 }).unwrap_err();
+        assert!(matches!(err, crate::QueryError::BudgetExceeded { .. }));
+    }
+}

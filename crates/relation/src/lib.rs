@@ -9,6 +9,9 @@
 //! ([`schema`], [`relation`], [`database`]), a plain-text loader
 //! ([`loader`]), and — for the paper's *fixity* discussion (§4) —
 //! an append-only version chain of immutable snapshots ([`version`]).
+//! For serving beyond one node's memory budget, [`sharded`] partitions
+//! every relation across hash-routed shards while preserving the
+//! global tuple order routed evaluation depends on.
 //!
 //! ```
 //! use fgc_relation::prelude::*;
@@ -30,6 +33,7 @@ pub mod error;
 pub mod loader;
 pub mod relation;
 pub mod schema;
+pub mod sharded;
 pub mod tuple;
 pub mod value;
 pub mod version;
@@ -40,6 +44,7 @@ pub mod prelude {
     pub use crate::error::{RelationError, Result as RelationResult};
     pub use crate::relation::Relation;
     pub use crate::schema::{Attribute, Catalog, ForeignKey, RelationSchema};
+    pub use crate::sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
     pub use crate::tuple;
     pub use crate::tuple::Tuple;
     pub use crate::value::{DataType, Value};
@@ -50,6 +55,7 @@ pub use database::Database;
 pub use error::RelationError;
 pub use relation::Relation;
 pub use schema::{Attribute, Catalog, ForeignKey, RelationSchema};
+pub use sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};
 pub use version::{VersionId, VersionInfo, VersionedDatabase};

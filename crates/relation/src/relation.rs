@@ -76,8 +76,10 @@ impl Relation {
         self.rows.iter()
     }
 
-    /// Check arity and column types of a candidate tuple.
-    fn check_shape(&self, tuple: &Tuple) -> Result<()> {
+    /// Check arity and column types of a candidate tuple (also used
+    /// by the sharded store, which must report shape errors before
+    /// its global key guard fires).
+    pub(crate) fn check_shape(&self, tuple: &Tuple) -> Result<()> {
         if tuple.arity() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {
                 relation: self.schema.name.clone(),
@@ -152,6 +154,14 @@ impl Relation {
         }
         self.secondary.insert(column, index);
         Ok(())
+    }
+
+    /// Columns with a secondary hash index, in ascending order. Used
+    /// to mirror index choices onto shard fragments.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.secondary.keys().copied().collect();
+        cols.sort_unstable();
+        cols
     }
 
     /// Row positions whose `column` equals `value`, using a secondary

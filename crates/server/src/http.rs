@@ -56,6 +56,10 @@ pub enum HttpError {
     Io(io::Error),
     /// Syntactically invalid or unsupported request → 400.
     BadRequest(String),
+    /// A body-bearing method without a `Content-Length` header → 411.
+    /// (Without a declared length the server would silently read an
+    /// empty body and answer a misleading parse error.)
+    LengthRequired,
     /// Body larger than the configured limit → 413.
     PayloadTooLarge(usize),
 }
@@ -66,6 +70,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Closed => write!(f, "connection closed"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::LengthRequired => write!(f, "Content-Length required"),
             HttpError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
         }
     }
@@ -153,6 +158,12 @@ pub fn read_request(
         ));
     }
     let length = match request.header("content-length") {
+        // every POST this service routes carries a JSON body: an
+        // absent header is indistinguishable from an empty body and
+        // used to surface as a confusing parse error — answer 411
+        // Length Required (RFC 9110 §8.6). Other methods legitimately
+        // send no body and proceed to routing (404/405 as usual).
+        None if request.method == "POST" => return Err(HttpError::LengthRequired),
         None => 0,
         Some(v) => v
             .parse::<usize>()
@@ -182,6 +193,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        411 => "Length Required",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -246,6 +258,33 @@ mod tests {
         ));
         assert!(matches!(
             parse("POST /cite HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn post_without_content_length_is_411() {
+        // regression: an absent Content-Length was read as an empty
+        // body and answered with a confusing JSON parse error
+        assert!(matches!(
+            parse("POST /cite HTTP/1.1\r\nHost: x\r\n\r\n{\"query\": \"Q\"}"),
+            Err(HttpError::LengthRequired)
+        ));
+        // non-POST methods legitimately carry no body: they parse
+        // (and get routed to 404/405 later) instead of 411
+        for head in ["GET /stats HTTP/1.1\r\n\r\n", "PUT /cite HTTP/1.1\r\n\r\n"] {
+            let req = parse(head).unwrap();
+            assert!(req.body.is_empty(), "{head}");
+        }
+        assert_eq!(reason(411), "Length Required");
+    }
+
+    #[test]
+    fn transfer_encoding_is_still_rejected_4xx() {
+        // chunked framing is unsupported; the 400 must fire even
+        // though the request also lacks a Content-Length
+        assert!(matches!(
+            parse("POST /cite HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
             Err(HttpError::BadRequest(_))
         ));
     }

@@ -289,6 +289,18 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
                 let _ = write_response(&mut write_half, 400, &error_body(&message), false);
                 return; // framing is unrecoverable: drop the stream
             }
+            Err(HttpError::LengthRequired) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut write_half,
+                    411,
+                    &error_body("POST requires a Content-Length header"),
+                    false,
+                );
+                // an undeclared body may still be in flight: resync
+                // is impossible, drop the stream
+                return;
+            }
             Err(HttpError::PayloadTooLarge(n)) => {
                 ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
                 let message = format!("body of {n} bytes exceeds limit of {}", ctx.max_body_bytes);
@@ -398,6 +410,37 @@ fn serve_views(ctx: &WorkerContext) -> String {
 fn serve_stats(ctx: &WorkerContext) -> String {
     let cache = ctx.engine.cache_stats();
     let mut body = ctx.stats.to_json();
+    if let Some(sharding) = ctx.engine.shard_stats() {
+        body.set(
+            "sharding",
+            Json::from_pairs([
+                ("shards", Json::Int(sharding.store.shards as i64)),
+                (
+                    "tuples_per_shard",
+                    Json::Array(
+                        sharding
+                            .store
+                            .tuples_per_shard
+                            .iter()
+                            .map(|&n| Json::Int(n as i64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "total_tuples",
+                    Json::Int(sharding.store.total_tuples as i64),
+                ),
+                ("key_spec", Json::str(sharding.store.key_spec.clone())),
+                (
+                    "imbalance",
+                    Json::Float((sharding.store.imbalance() * 100.0).round() / 100.0),
+                ),
+                ("routed_evals", Json::Int(sharding.routed_evals as i64)),
+                ("atoms_pruned", Json::Int(sharding.atoms_pruned as i64)),
+                ("atoms_fanout", Json::Int(sharding.atoms_fanout as i64)),
+            ]),
+        );
+    }
     body.set("served", Json::Int(ctx.stats.served() as i64));
     body.set(
         "mean_batch_size",

@@ -120,6 +120,7 @@ usage:
   fgcite suggest --data FILE --log FILE [--min-support N]
   fgcite serve   --data FILE --views FILE [--addr HOST:PORT]
                  [--threads N] [--batch-window MS]
+                 [--shards N [--shard-key Rel=Col,Rel2=Col2]]
 
 Flags accept both `--name value` and `--name=value`.
 ORDER: none | fewest-views | fewest-uncovered | view-inclusion | composite
@@ -127,7 +128,11 @@ files: --data uses the fgc-relation text format (@create/@fk/@relation),
        --views uses the fgc-views @view/@fields format,
        --log holds one Datalog query per line.
 serve: HTTP routes POST /cite, POST /cite_sql, GET /views, GET /stats,
-       GET /healthz (default --addr 127.0.0.1:8787).";
+       GET /healthz (default --addr 127.0.0.1:8787).
+       --shards partitions the store across N hash-routed shards;
+       --shard-key names the partition column per relation (relations
+       omitted fall back to whole-tuple hashing). Shard layout and
+       routing counters appear under `sharding` in GET /stats.";
 
 fn load_database(text: &str) -> Result<Database, CliError> {
     let mut db = Database::new();
@@ -280,13 +285,35 @@ pub fn serve_config(args: &Args) -> Result<fgc_server::ServerConfig, CliError> {
     Ok(config)
 }
 
+/// Apply the `--shards` / `--shard-key` flags to a freshly built
+/// engine: `--shards N` partitions the base store N ways, routed by
+/// the `--shard-key` column spec (`Rel=Col,Rel2=Col2`).
+pub fn apply_shards(args: &Args, engine: CitationEngine) -> Result<CitationEngine, CliError> {
+    let Some(shards) = args.get("shards") else {
+        if args.get("shard-key").is_some() {
+            return Err(CliError("--shard-key requires --shards".into()));
+        }
+        return Ok(engine);
+    };
+    let shards: usize = shards
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| CliError("--shards must be a positive number".into()))?;
+    let spec = match args.get("shard-key") {
+        Some(text) => fgc_relation::ShardKeySpec::parse(text)?,
+        None => fgc_relation::ShardKeySpec::new(),
+    };
+    Ok(engine.with_shards(shards, spec)?)
+}
+
 /// `fgcite serve`: build an engine from the data/view files and start
 /// the HTTP citation service. Returns the running server; the binary
 /// blocks on [`fgc_server::CiteServer::wait`].
 pub fn run_serve(args: &Args, data: &str, views: &str) -> Result<fgc_server::CiteServer, CliError> {
     let db = load_database(data)?;
     let registry = load_registry(views)?;
-    let engine = CitationEngine::new(db, registry)?;
+    let engine = apply_shards(args, CitationEngine::new(db, registry)?)?;
     let config = serve_config(args)?;
     fgc_server::CiteServer::start(std::sync::Arc::new(engine), config)
         .map_err(|e| CliError(format!("cannot start server: {e}")))
@@ -594,6 +621,81 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
         let response = client.get("/healthz").unwrap();
         assert_eq!(response.status, 200);
         assert!(response.body.contains("ok"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shard_flags_validate() {
+        let parse = |line: &[&str]| Args::parse(line.iter().map(|s| s.to_string())).unwrap();
+        // --shards must be a positive number
+        for bad in ["--shards=0", "--shards=lots"] {
+            let args = parse(&["serve", bad]);
+            let engine =
+                CitationEngine::new(load_database(DATA).unwrap(), load_registry(VIEWS).unwrap())
+                    .unwrap();
+            assert!(apply_shards(&args, engine).is_err(), "{bad}");
+        }
+        // --shard-key without --shards is rejected, as is a bad spec
+        let engine = |_: ()| {
+            CitationEngine::new(load_database(DATA).unwrap(), load_registry(VIEWS).unwrap())
+                .unwrap()
+        };
+        let orphan = parse(&["serve", "--shard-key=Family=FID"]);
+        assert!(apply_shards(&orphan, engine(())).is_err());
+        let bad_spec = parse(&["serve", "--shards=2", "--shard-key=nonsense"]);
+        assert!(apply_shards(&bad_spec, engine(())).is_err());
+        let bad_col = parse(&["serve", "--shards=2", "--shard-key=Family=Nope"]);
+        assert!(apply_shards(&bad_col, engine(())).is_err());
+        // a good spec shards the engine; no flags leave it unsharded
+        let good = parse(&["serve", "--shards=3", "--shard-key=Family=FID,FC=FID"]);
+        let sharded = apply_shards(&good, engine(())).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        assert!(sharded.shard_stats().is_some());
+        let none = parse(&["serve"]);
+        assert_eq!(apply_shards(&none, engine(())).unwrap().shard_count(), 1);
+    }
+
+    #[test]
+    fn serve_with_shards_reports_sharding_stats() {
+        let args = Args::parse(
+            [
+                "serve",
+                "--addr=127.0.0.1:0",
+                "--threads=2",
+                "--shards=2",
+                "--shard-key=Family=FID,FC=FID,Person=PID",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let server = run_serve(&args, DATA, VIEWS).unwrap();
+        let mut client = fgc_server::Client::connect(server.addr()).unwrap();
+        // a cite through the sharded engine answers normally...
+        let response = client
+            .post(
+                "/cite",
+                r#"{"query": "Q(N) :- Family(F, N, Ty), F = \"11\""}"#,
+            )
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(response.body.contains("Calcitonin"), "{}", response.body);
+        // ...and /stats exposes the shard layout + routing counters
+        let stats = client.get("/stats").unwrap();
+        assert_eq!(stats.status, 200);
+        let parsed = fgc_server::parse_json(&stats.body).unwrap();
+        let sharding = parsed.get("sharding").expect("sharding block");
+        assert_eq!(
+            sharding.get("shards"),
+            Some(&fgc_views::Json::Int(2)),
+            "{}",
+            stats.body
+        );
+        match sharding.get("atoms_pruned") {
+            Some(fgc_views::Json::Int(n)) => assert!(*n >= 1, "{}", stats.body),
+            other => panic!("atoms_pruned missing: {other:?}"),
+        }
+        drop(client);
         server.shutdown();
     }
 

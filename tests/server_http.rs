@@ -281,6 +281,34 @@ fn malformed_input_is_4xx_and_never_wedges_workers() {
         .unwrap();
     assert_eq!(response.status, 413);
 
+    // 3b. POST without Content-Length → 411 Length Required
+    // (regression: used to read an empty body and answer a confusing
+    // JSON parse error); chunked framing stays a 4xx as well
+    {
+        let mut no_length = Client::connect(addr).unwrap();
+        let response = no_length
+            .send_raw(b"POST /cite HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(response.status, 411, "{}", response.body);
+        assert!(
+            parse_json(&response.body).unwrap().get("error").is_some(),
+            "411 should carry an error body: {}",
+            response.body
+        );
+        assert!(
+            response.body.contains("Content-Length"),
+            "411 body should name the missing header: {}",
+            response.body
+        );
+    }
+    {
+        let mut chunked = Client::connect(addr).unwrap();
+        let response = chunked
+            .send_raw(b"POST /cite HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+        assert_eq!(response.status, 400, "{}", response.body);
+    }
+
     // 4. truncated request: half a request line, then hang up
     // (a raw stream, not `Client`: nobody waits for a response)
     {
