@@ -1,0 +1,75 @@
+//! E12 — compiled query plans: slot-frame execution vs the seed
+//! interpreter, and the engine plan cache cold vs warm.
+//!
+//! Three sweeps over the E2 workload (GtoPdb at 100/1k/10k
+//! families, template query T1):
+//!
+//! * `eval_interpreted` — the retained `HashMap`-binding
+//!   interpreter (the pre-plan cost model);
+//! * `eval_compiled` — one [`fgc_query::QueryPlan`] compiled up
+//!   front, executed per iteration (the warm plan-cache cost model);
+//! * `cite_cold_plans` / `cite_warm_plans` — end-to-end `cite` with
+//!   the plan cache cleared before every call vs left warm
+//!   (token/extent caches warm in both, so the delta is planning).
+
+#![allow(deprecated)] // the interpreter is the baseline under test
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::{db_at_scale, engine_at_scale};
+use fgc_core::{Policy, RewriteMode};
+use fgc_gtopdb::WorkloadGenerator;
+use fgc_query::{evaluate_interpreted, evaluate_plan_with, EvalOptions, QueryPlan};
+use std::hint::black_box;
+
+fn bench_e12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_plans");
+    group.sample_size(10);
+
+    for families in [100usize, 1_000, 10_000] {
+        let db = db_at_scale(families);
+        let mut workload = WorkloadGenerator::new(&db, 11); // E2's seed
+        let q = workload.query_from_template(1);
+
+        group.bench_with_input(
+            BenchmarkId::new("eval_interpreted", families),
+            &families,
+            |b, _| b.iter(|| evaluate_interpreted(&db, black_box(&q)).expect("interpreted")),
+        );
+
+        let plan = QueryPlan::compile(&q, &db).expect("plan compiles");
+        group.bench_with_input(
+            BenchmarkId::new("eval_compiled", families),
+            &families,
+            |b, _| {
+                b.iter(|| {
+                    evaluate_plan_with(&db, black_box(&plan), EvalOptions::default())
+                        .expect("compiled")
+                })
+            },
+        );
+
+        let engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+        let _ = engine.cite(&q).expect("warmup");
+        group.bench_with_input(
+            BenchmarkId::new("cite_cold_plans", families),
+            &families,
+            |b, _| {
+                b.iter(|| {
+                    engine.clear_plan_cache();
+                    engine.cite(black_box(&q)).expect("cite succeeds")
+                })
+            },
+        );
+        let _ = engine.cite(&q).expect("refill plan cache");
+        group.bench_with_input(
+            BenchmarkId::new("cite_warm_plans", families),
+            &families,
+            |b, _| b.iter(|| engine.cite(black_box(&q)).expect("cite succeeds")),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e12);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! # fgc-bench — the experiment harness (E1–E11)
+//! # fgc-bench — the experiment harness (E1–E12)
 //!
 //! The paper ("A Model for Fine-Grained Data Citation", CIDR 2017)
 //! publishes no quantitative evaluation; this crate turns each of its
@@ -16,7 +16,9 @@
 //! peak throughput, open loop (latency charged from *scheduled*
 //! departure) for coordinated-omission-free tail latency. E11
 //! ([`load::e11_table`]) sweeps the same serving workload over shard
-//! counts of the partitioned relation store.
+//! counts of the partitioned relation store. E12 ([`e12_table`])
+//! diffs the compiled slot-frame evaluator against the retained seed
+//! interpreter and the engine plan cache cold vs warm.
 
 use fgc_core::{
     baseline_coverage, CitationEngine, EngineOptions, OrderChoice, PageCitationStore, Policy,
@@ -567,6 +569,152 @@ pub fn e8_table(version_counts: &[usize]) -> Table {
 }
 
 // =====================================================================
+// E12 — compiled query plans and the engine plan cache
+// =====================================================================
+
+/// E12 table: interpreted vs compiled evaluation on the E2 workload
+/// (every scale, every query class), plus `cite` latency with the
+/// engine plan cache cold (cleared before every call) vs warm —
+/// per-query on the E2 workload and batched (32 ad-hoc requests, 8
+/// threads, `batch_families` families) on the E9 workload, where the
+/// per-request planning cost is a visible fraction of serving time.
+/// Claim (ISSUE 4 / ROADMAP "fast as the hardware allows"):
+/// slot-frame execution beats the `HashMap`-binding interpreter, and
+/// plan reuse removes parse-order-validate from the warm serving
+/// path.
+#[allow(deprecated)] // the interpreter is the E12 baseline
+pub fn e12_table(scales: &[usize], batch_families: usize) -> Table {
+    use fgc_query::{evaluate_interpreted, evaluate_plan_with, EvalOptions, QueryPlan};
+    let mut rows = Vec::new();
+    let reps = 5u32;
+    for &families in scales {
+        let db = db_at_scale(families);
+        let mut workload = WorkloadGenerator::new(&db, 11); // E2's seed
+                                                            // E2's three classes plus T4, the keyed single-family lookup
+                                                            // (the landing-page serving pattern, where planning is a
+                                                            // visible fraction of the cite); cheap queries get more reps
+                                                            // so the margin is measured, not guessed
+        for class in [0usize, 1, 2, 4] {
+            let q = workload.query_from_template(class);
+            // keyed lookups run in microseconds: give them enough
+            // iterations that the timer resolves the comparison
+            let eval_reps = if class == 4 { 2_000 } else { reps };
+            let reps = if class == 4 { 50 } else { reps };
+
+            let t0 = Instant::now();
+            for _ in 0..eval_reps {
+                let _ = evaluate_interpreted(&db, &q).expect("interpreted");
+            }
+            let t_interp = t0.elapsed() / eval_reps;
+
+            // compile once, execute repeatedly — the plan-cache cost
+            // model of a warm serving engine
+            let plan = QueryPlan::compile(&q, &db).expect("plan compiles");
+            let t0 = Instant::now();
+            for _ in 0..eval_reps {
+                let _ = evaluate_plan_with(&db, &plan, EvalOptions::default()).expect("compiled");
+            }
+            let t_compiled = t0.elapsed() / eval_reps;
+
+            // end-to-end cite: plan cache cleared before the call
+            // (cold) vs left warm; token/extent caches stay warm in
+            // both so the delta isolates planning. The two passes
+            // are *interleaved* — warm cite on cached plans, clear,
+            // cold cite recompiles (and refills for the next round)
+            // — so clock drift hits both sides equally.
+            let engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+            let _ = engine.cite(&q).expect("warmup");
+            let mut warm_total = std::time::Duration::ZERO;
+            let mut cold_total = std::time::Duration::ZERO;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let _ = engine.cite(&q).expect("cite succeeds");
+                warm_total += t0.elapsed();
+                engine.clear_plan_cache();
+                let t0 = Instant::now();
+                let _ = engine.cite(&q).expect("cite succeeds");
+                cold_total += t0.elapsed();
+            }
+            let t_warm = warm_total / reps;
+            let t_cold = cold_total / reps;
+            let plans = engine.plan_stats();
+
+            rows.push(vec![
+                families.to_string(),
+                format!("T{class}"),
+                ms(t_interp),
+                ms(t_compiled),
+                format!(
+                    "{:.2}x",
+                    t_interp.as_secs_f64() / t_compiled.as_secs_f64().max(1e-12)
+                ),
+                ms(t_cold),
+                ms(t_warm),
+                format!("{}/{}", plans.hits, plans.misses),
+            ]);
+        }
+    }
+
+    // E9 workload: one shared engine, 32 ad-hoc keyed requests,
+    // batch fan-out sized to the hardware (oversubscribing a small
+    // box would only measure scheduler noise). Every request carries
+    // its own answer + extent queries, so a cold batch re-plans
+    // hundreds of queries — the regime the plan cache exists for.
+    {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let engine = engine_at_scale(batch_families, RewriteMode::Pruned, Policy::default());
+        let mut workload = WorkloadGenerator::new(engine.database(), 47); // E9's seed
+        let requests: Vec<fgc_core::CiteRequest> = workload
+            .ad_hoc_batch(32)
+            .into_iter()
+            .map(fgc_core::CiteRequest::query)
+            .collect();
+        let _ = engine.cite_batch_threads(&requests, threads); // warm everything
+        let mut warm_total = std::time::Duration::ZERO;
+        let mut cold_total = std::time::Duration::ZERO;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let _ = engine.cite_batch_threads(&requests, threads);
+            warm_total += t0.elapsed();
+            engine.clear_plan_cache();
+            let t0 = Instant::now();
+            let _ = engine.cite_batch_threads(&requests, threads);
+            cold_total += t0.elapsed();
+        }
+        let plans = engine.plan_stats();
+        rows.push(vec![
+            batch_families.to_string(),
+            "E9 batch32".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            ms(cold_total / reps),
+            ms(warm_total / reps),
+            format!("{}/{}", plans.hits, plans.misses),
+        ]);
+    }
+
+    Table {
+        title:
+            "E12 — compiled plans vs interpreter, and plan-cache cold vs warm (E2 + E9 workloads)"
+                .into(),
+        headers: vec![
+            "families".into(),
+            "query".into(),
+            "interp ms".into(),
+            "compiled ms".into(),
+            "speedup".into(),
+            "cite cold-plan ms".into(),
+            "cite warm-plan ms".into(),
+            "plan hits/misses".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
 // A-series — ablations of our own design choices (DESIGN.md §6)
 // =====================================================================
 
@@ -658,6 +806,7 @@ pub fn all_tables() -> Vec<Table> {
         e8_table(&[4, 16, 64]),
         e10_table(1_000, &[1, 2, 4, 8]),
         e11_table(1_000, &[1, 2, 4, 8]),
+        e12_table(&[100, 1_000, 10_000], 1_000),
         ablation_table(1_000),
     ]
 }
@@ -718,5 +867,17 @@ mod tests {
         let t = e8_table(&[2, 4]);
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.rows[0][2], "v0"); // timestamp 5 resolves to v0
+    }
+
+    #[test]
+    fn e12_small_sweep_runs() {
+        let t = e12_table(&[50], 50);
+        assert_eq!(t.rows.len(), 5); // T0-T2 + T4 + E9 batch
+        for row in &t.rows {
+            // warm passes must have hit the plan cache
+            let (hits, misses) = row[7].split_once('/').expect("hits/misses cell");
+            assert!(hits.parse::<u64>().unwrap() > 0, "{row:?}");
+            assert!(misses.parse::<u64>().unwrap() > 0, "{row:?}");
+        }
     }
 }

@@ -46,6 +46,13 @@ fn main() {
         print!("{}", fgc_bench::e11_table(1_000, &[1, 2, 4, 8]).render());
         println!();
     }
+    if want("e12") {
+        print!(
+            "{}",
+            fgc_bench::e12_table(&[100, 1_000, 10_000], 1_000).render()
+        );
+        println!();
+    }
     if want("a1") || want("ablation") {
         print!("{}", fgc_bench::ablation_table(10_000).render());
         println!();

@@ -18,14 +18,15 @@
 
 use crate::cache::{CacheStats, CitationCache};
 use crate::error::{CoreError, Result};
+use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::policy::{interpret_expr, Policy};
 use crate::request::{CiteRequest, CiteResponse, QuerySpec};
 use crate::token::CiteToken;
 use fgc_query::ast::{ConjunctiveQuery, Term};
 use fgc_query::eval::EvalOptions;
 use fgc_query::{
-    evaluate, evaluate_grouped, evaluate_grouped_sharded_with_plan, evaluate_sharded_with_plan,
-    parse_sql, Binding, RoutePlan, ShardRouter,
+    evaluate_grouped_plan_with, evaluate_grouped_sharded_compiled, evaluate_plan_with,
+    evaluate_sharded_compiled, parse_sql, Binding, QueryPlan, RoutePlan, ShardRouter,
 };
 use fgc_relation::schema::RelationSchema;
 use fgc_relation::sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
@@ -187,6 +188,11 @@ pub struct CitationEngine {
     /// relations + view extents), same shard count and key spec.
     extent_sharded: RwLock<Option<Arc<ShardedDatabase>>>,
     shard_counters: ShardCounters,
+    /// Compiled [`QueryPlan`]s, keyed by query — answer queries and
+    /// rewriting extent queries share it (see [`crate::plan_cache`]
+    /// for why one keyspace is sound). Warm `cite`/`cite_sql`/
+    /// `cite_batch` calls skip parse-order-validate entirely.
+    plans: PlanCache,
 }
 
 impl CitationEngine {
@@ -214,6 +220,7 @@ impl CitationEngine {
             sharded: None,
             extent_sharded: RwLock::new(None),
             shard_counters: ShardCounters::default(),
+            plans: PlanCache::new(),
         })
     }
 
@@ -235,6 +242,17 @@ impl CitationEngine {
     /// [`CitationCache`]. A capacity of 0 disables the cache.
     pub fn with_cache_capacity(mut self, per_shard: usize) -> Self {
         self.cache = CitationCache::with_shard_capacity(per_shard);
+        self
+    }
+
+    /// Bound the compiled-plan cache at `per_shard` entries per
+    /// shard (builder style; replaces the cache, dropping any
+    /// plans). A capacity of 0 disables plan caching: every
+    /// evaluation re-compiles — the interpreter-era cost model,
+    /// kept switchable for the E12 ablation and the equivalence
+    /// tests.
+    pub fn with_plan_cache_capacity(mut self, per_shard: usize) -> Self {
+        self.plans = PlanCache::with_shard_capacity(per_shard);
         self
     }
 
@@ -279,6 +297,18 @@ impl CitationEngine {
         self.cache.stats()
     }
 
+    /// Compiled-plan cache statistics (experiment E12; surfaced on
+    /// `GET /stats` as `plan_cache` and by `fgcite cite --explain`).
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Drop cached plans only (token/extent caches stay warm) — the
+    /// E12 cold-plan sweep isolates the planning cost this way.
+    pub fn clear_plan_cache(&self) {
+        self.plans.clear();
+    }
+
     /// Number of shards the base store is partitioned into (1 when
     /// unsharded).
     pub fn shard_count(&self) -> usize {
@@ -296,9 +326,11 @@ impl CitationEngine {
         })
     }
 
-    /// Drop cached citations and extents (e.g. for cold-start runs).
+    /// Drop cached citations, extents, and compiled plans (e.g. for
+    /// cold-start runs).
     pub fn clear_caches(&self) {
         self.cache.clear();
+        self.plans.clear();
         *self.extent_db.write().expect("extent lock poisoned") = None;
         *self
             .extent_sharded
@@ -418,18 +450,27 @@ impl CitationEngine {
         plan
     }
 
+    /// The cached compiled plan for a query evaluated against the
+    /// given database (compiling on miss). The base and sharded
+    /// stores present identical catalogs and global sizes, so one
+    /// plan serves both — and every routing of the query.
+    fn cached_plan(&self, q: &ConjunctiveQuery, db: &Database) -> Result<Arc<QueryPlan>> {
+        Ok(self.plans.get_or_compile(q, || QueryPlan::compile(q, db))?)
+    }
+
     /// The answer set of `q` — routed over the shards when the engine
     /// is sharded, byte-identical to the unsharded evaluation either
-    /// way.
+    /// way. Plans come from the engine's plan cache.
     fn answers(&self, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+        let plan = self.cached_plan(q, &self.db)?;
         match &self.sharded {
-            None => Ok(evaluate(&self.db, q)?),
+            None => Ok(evaluate_plan_with(&self.db, &plan, EvalOptions::default())?),
             Some(sharded) => {
-                let plan = self.plan_and_count(sharded, q);
-                Ok(evaluate_sharded_with_plan(
+                let route = self.plan_and_count(sharded, q);
+                Ok(evaluate_sharded_compiled(
                     sharded,
-                    q,
                     &plan,
+                    &route,
                     EvalOptions::default(),
                 )?)
             }
@@ -480,29 +521,30 @@ impl CitationEngine {
         // Sharded engines evaluate rewritings over the sharded extent
         // store through the router; the routed evaluator preserves
         // binding order, so the resulting polynomials are identical.
+        // Extent queries compile against the (unsharded) extent
+        // database — its global sizes equal the sharded extent
+        // store's — and their plans share the engine's plan cache, so
+        // a repeated `cite` re-plans nothing.
+        let extent_db = self.extent_database()?;
         let extent_sharded = match &self.sharded {
             Some(base) => Some(self.extent_sharded_database(base)?),
             None => None,
         };
-        let extent_db = match extent_sharded {
-            Some(_) => None,
-            None => Some(self.extent_database()?),
-        };
         let mut exprs: HashMap<Tuple, CitationExpr<String, CiteToken>> = HashMap::new();
         for (label, rewriting) in rewritings {
             let extent_query = rewriting.as_extent_query();
-            let grouped = match (&extent_sharded, &extent_db) {
-                (Some(sharded), _) => {
-                    let plan = self.plan_and_count(sharded, &extent_query);
-                    evaluate_grouped_sharded_with_plan(
+            let plan = self.cached_plan(&extent_query, &extent_db)?;
+            let grouped = match &extent_sharded {
+                Some(sharded) => {
+                    let route = self.plan_and_count(sharded, &extent_query);
+                    evaluate_grouped_sharded_compiled(
                         sharded,
-                        &extent_query,
                         &plan,
+                        &route,
                         EvalOptions::default(),
                     )?
                 }
-                (None, Some(whole)) => evaluate_grouped(whole, &extent_query)?,
-                (None, None) => unreachable!("one extent backend is always built"),
+                None => evaluate_grouped_plan_with(&extent_db, &plan, EvalOptions::default())?,
             };
             for (tuple, bindings) in grouped {
                 let mut poly: Polynomial<CiteToken> = Polynomial::zero();

@@ -19,6 +19,9 @@
 //!   [`CitationEngine::cite_batch`];
 //! * [`cache`] — sharded, thread-safe memoized
 //!   `(view, valuation) → citation` (§4: caching/materialization);
+//! * [`plan_cache`] — sharded, thread-safe memoized
+//!   `query → compiled QueryPlan`, so warm serving skips
+//!   order-and-validate query compilation entirely;
 //! * [`mod@explain`] — human-readable provenance of a citation (which
 //!   rewritings, views, valuations, and policy produced it);
 //! * [`fixity`] — versioned citations with timestamps (§4: fixity);
@@ -76,6 +79,7 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod fixity;
+pub mod plan_cache;
 pub mod policy;
 pub mod request;
 pub mod suggest;
@@ -90,6 +94,7 @@ pub use error::{CoreError, Result};
 pub use explain::explain;
 pub use fgc_relation::sharded::{ShardKeySpec, ShardStats};
 pub use fixity::{VersionedCitation, VersionedCitationEngine};
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use policy::{CombineOp, OrderChoice, Policy};
 pub use request::{CiteRequest, CiteResponse, QuerySpec};
 pub use suggest::{suggest_views, QueryLog, SuggestedView};

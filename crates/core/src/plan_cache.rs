@@ -1,0 +1,352 @@
+//! The engine's compiled-plan cache.
+//!
+//! [`fgc_query::QueryPlan`] compilation re-runs the safety check,
+//! the catalog check, and the greedy join ordering — work that is a
+//! pure function of the query once the database is fixed. Serving
+//! workloads repeat queries (landing pages, dashboards, retries) and
+//! every `cite` call additionally evaluates one extent query per
+//! rewriting, so an engine that caches plans skips
+//! parse-order-validate entirely on the warm path.
+//!
+//! Same concurrency recipe as [`crate::cache::CitationCache`]: the
+//! memo table is sharded across [`SHARDS`] `RwLock`-protected maps
+//! (shard picked by query hash, so unrelated queries never contend),
+//! hit/miss counters are relaxed atomics, and each shard is
+//! size-bounded with second-chance (CLOCK) eviction — hot plans
+//! survive ad-hoc churn. A capacity of 0 disables caching (every
+//! lookup compiles, nothing is stored).
+//!
+//! **Key invariant:** plans are keyed by the [`ConjunctiveQuery`]
+//! alone. That is sound inside one engine because every database a
+//! plan can be compiled against here (base store, sharded store,
+//! extent store) presents identical *global* sizes for the relations
+//! they share, and relations exclusive to one store (view extents)
+//! can only appear in queries that compile against that store — so a
+//! query never has two distinct valid plans. Engines over different
+//! snapshots ([`crate::fixity`]) each own their cache.
+
+use fgc_query::{ConjunctiveQuery, QueryPlan};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent lock shards.
+pub const SHARDS: usize = 16;
+
+/// Default per-shard plan capacity (total default capacity is
+/// `SHARDS * DEFAULT_SHARD_CAPACITY` plans). Plans are small (a few
+/// hundred bytes), but distinct queries are far fewer than distinct
+/// citation tokens, so the default is modest.
+pub const DEFAULT_SHARD_CAPACITY: usize = 512;
+
+/// Hit/miss/size counters for `GET /stats`, the CLI, and E12.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered with a cached plan.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Plans currently stored.
+    pub entries: usize,
+    /// Plans evicted to make room (CLOCK second-chance).
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One resident plan plus its CLOCK bit.
+#[derive(Debug)]
+struct Slot {
+    query: ConjunctiveQuery,
+    plan: Arc<QueryPlan>,
+    referenced: AtomicBool,
+}
+
+/// One lock shard: query → slot index, plus the CLOCK ring.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<ConjunctiveQuery, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+}
+
+impl Shard {
+    /// Insert `query → plan`, evicting via CLOCK when at capacity.
+    /// Returns whether an entry was evicted.
+    fn insert(&mut self, query: ConjunctiveQuery, plan: Arc<QueryPlan>, capacity: usize) -> bool {
+        if capacity == 0 || self.map.contains_key(&query) {
+            return false;
+        }
+        if self.slots.len() < capacity {
+            let index = self.slots.len();
+            self.slots.push(Slot {
+                query: query.clone(),
+                plan,
+                referenced: AtomicBool::new(false),
+            });
+            self.map.insert(query, index);
+            return false;
+        }
+        loop {
+            let index = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let slot = &mut self.slots[index];
+            if slot.referenced.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            self.map.remove(&slot.query);
+            self.map.insert(query.clone(), index);
+            *slot = Slot {
+                query,
+                plan,
+                referenced: AtomicBool::new(false),
+            };
+            return true;
+        }
+    }
+}
+
+/// A sharded, thread-safe, size-bounded memo table for compiled
+/// query plans. All methods take `&self`.
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<RwLock<Shard>>,
+    hasher: RandomState,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_shard_capacity(DEFAULT_SHARD_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` plans **per shard**
+    /// (total is `SHARDS` times this). Capacity 0 disables caching.
+    pub fn with_shard_capacity(capacity: usize) -> Self {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            hasher: RandomState::new(),
+            shard_capacity: capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of plans this cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+
+    fn shard(&self, q: &ConjunctiveQuery) -> &RwLock<Shard> {
+        &self.shards[(self.hasher.hash_one(q) as usize) % SHARDS]
+    }
+
+    /// Fetch the plan for `q`, compiling on miss. `compile` runs
+    /// *outside* any lock (two threads missing the same query may
+    /// both compile; either deterministic result wins harmlessly).
+    /// Compilation errors are returned and never cached, so invalid
+    /// queries keep reporting their error.
+    pub fn get_or_compile<F>(
+        &self,
+        q: &ConjunctiveQuery,
+        compile: F,
+    ) -> fgc_query::Result<Arc<QueryPlan>>
+    where
+        F: FnOnce() -> fgc_query::Result<QueryPlan>,
+    {
+        let shard = self.shard(q);
+        {
+            let guard = shard.read().expect("plan cache shard poisoned");
+            if let Some(&index) = guard.map.get(q) {
+                let slot = &guard.slots[index];
+                slot.referenced.store(true, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&slot.plan));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compile()?);
+        if self.shard_capacity > 0 {
+            let evicted = shard.write().expect("plan cache shard poisoned").insert(
+                q.clone(),
+                Arc::clone(&plan),
+                self.shard_capacity,
+            );
+            if evicted {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Current statistics (relaxed counters: exact when quiescent,
+    /// monotone under concurrency).
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("plan cache shard poisoned").map.len())
+                .sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all plans (keeps counters) — cold-start runs and E12's
+    /// cold sweep.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.write().expect("plan cache shard poisoned");
+            guard.map.clear();
+            guard.slots.clear();
+            guard.hand = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_query::parse_query;
+    use fgc_relation::schema::RelationSchema;
+    use fgc_relation::{tuple, DataType, Database};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names("R", &[("a", DataType::Str), ("b", DataType::Str)], &[])
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert_all("R", vec![tuple!["1", "x"], tuple!["2", "y"]])
+            .unwrap();
+        db
+    }
+
+    fn nth_query(i: usize) -> ConjunctiveQuery {
+        parse_query(&format!("Q(A) :- R(A, B), B = \"{i}\"")).unwrap()
+    }
+
+    #[test]
+    fn caches_compiled_plans() {
+        let db = db();
+        let cache = PlanCache::new();
+        let q = parse_query("Q(A, B) :- R(A, B)").unwrap();
+        let mut compiles = 0;
+        for _ in 0..3 {
+            let plan = cache
+                .get_or_compile(&q, || {
+                    compiles += 1;
+                    QueryPlan::compile(&q, &db)
+                })
+                .unwrap();
+            assert_eq!(plan.num_atoms(), 1);
+        }
+        assert_eq!(compiles, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let db = db();
+        let cache = PlanCache::new();
+        let bad = parse_query("Q(X) :- R(A, B)").unwrap(); // unsafe
+        for _ in 0..2 {
+            assert!(cache
+                .get_or_compile(&bad, || QueryPlan::compile(&bad, &db))
+                .is_err());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_and_zero_disables() {
+        let db = db();
+        let bounded = PlanCache::with_shard_capacity(2);
+        for i in 0..20 * bounded.capacity() {
+            let q = nth_query(i);
+            bounded
+                .get_or_compile(&q, || QueryPlan::compile(&q, &db))
+                .unwrap();
+        }
+        let stats = bounded.stats();
+        assert!(stats.entries <= bounded.capacity());
+        assert!(stats.evictions > 0);
+
+        let disabled = PlanCache::with_shard_capacity(0);
+        let q = nth_query(0);
+        for _ in 0..3 {
+            disabled
+                .get_or_compile(&q, || QueryPlan::compile(&q, &db))
+                .unwrap();
+        }
+        let stats = disabled.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 0));
+    }
+
+    #[test]
+    fn clear_drops_plans() {
+        let db = db();
+        let cache = PlanCache::new();
+        let q = nth_query(1);
+        cache
+            .get_or_compile(&q, || QueryPlan::compile(&q, &db))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_count_every_access() {
+        let db = std::sync::Arc::new(db());
+        let cache = std::sync::Arc::new(PlanCache::new());
+        let threads = 8;
+        let per_thread = 50u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = std::sync::Arc::clone(&cache);
+                let db = std::sync::Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let q = nth_query((i % 5) as usize);
+                        cache
+                            .get_or_compile(&q, || QueryPlan::compile(&q, &db))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, threads * per_thread);
+        assert_eq!(stats.entries, 5);
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::ast::{ConjunctiveQuery, Term};
 use crate::error::{QueryError, Result};
+use crate::plan::{for_each_frame, QueryPlan};
 use crate::safety::{check_against_catalog, check_safety};
 use fgc_relation::{Database, Tuple, Value};
 use fgc_semiring::CommutativeSemiring;
@@ -96,7 +97,7 @@ impl AtomView<'_> {
     }
 
     /// Number of rows this view actually scans.
-    fn scan_len(&self) -> usize {
+    pub(crate) fn scan_len(&self) -> usize {
         match self {
             AtomView::Whole(rel) => rel.len(),
             AtomView::Fragment { fragment, .. } => fragment.len(),
@@ -105,7 +106,7 @@ impl AtomView<'_> {
     }
 
     /// The tuple at a view position.
-    fn row(&self, pos: usize) -> &Tuple {
+    pub(crate) fn row(&self, pos: usize) -> &Tuple {
         match self {
             AtomView::Whole(rel) => &rel.rows()[pos],
             AtomView::Fragment { fragment, .. } => &fragment.rows()[pos],
@@ -122,7 +123,7 @@ impl AtomView<'_> {
 
     /// The global row id at a view position (what [`MatchedRows`]
     /// reports).
-    fn global_id(&self, pos: usize) -> usize {
+    pub(crate) fn global_id(&self, pos: usize) -> usize {
         match self {
             AtomView::Whole(_) | AtomView::Scatter { .. } => pos,
             AtomView::Fragment { global_ids, .. } => global_ids[pos],
@@ -131,57 +132,33 @@ impl AtomView<'_> {
 
     /// Index probe: view positions whose `column` equals `value`, in
     /// ascending (global) order — `None` when any underlying fragment
-    /// lacks the index (caller scans).
+    /// lacks the index (caller scans). Thin materializing wrapper
+    /// over [`Self::probe_positions`] (the one authoritative probe
+    /// implementation, in [`crate::plan`]) so the interpreter and
+    /// the compiled executor can never diverge here.
     fn probe(&self, column: usize, value: &Value) -> Option<Vec<usize>> {
-        match self {
-            AtomView::Whole(rel) => rel.probe(column, value).map(|p| p.to_vec()),
-            // fragment-local positions are already ascending in the
-            // global order
-            AtomView::Fragment { fragment, .. } => {
-                fragment.probe(column, value).map(|p| p.to_vec())
-            }
-            AtomView::Scatter {
-                fragments,
-                global_ids,
-                ..
-            } => {
-                let mut merged = Vec::new();
-                for (shard, fragment) in fragments.iter().enumerate() {
-                    let locals = fragment.probe(column, value)?;
-                    merged.extend(locals.iter().map(|&l| global_ids[shard][l]));
-                }
-                merged.sort_unstable();
-                Some(merged)
-            }
-        }
+        use crate::plan::Candidates;
+        self.probe_positions(column, value).map(|c| match c {
+            Candidates::Borrowed(positions) => positions.to_vec(),
+            Candidates::Owned(positions) => positions,
+            Candidates::Scan(_) => unreachable!("probe_positions never returns Scan"),
+        })
     }
 }
 
-/// Core enumeration: call `sink` once per complete binding.
+/// Core enumeration of the **seed interpreter**, over pre-built atom
+/// views: call `sink` once per complete binding.
 ///
 /// The atom order is chosen greedily: at each step pick the atom with
 /// the most already-bound argument positions (constants count as
 /// bound), breaking ties by smaller relation. Comparisons run as soon
-/// as both sides are bound.
-fn for_each_binding<'q>(
-    db: &Database,
-    q: &'q ConjunctiveQuery,
-    options: EvalOptions,
-    sink: &mut dyn FnMut(&Binding, &MatchedRows<'q>) -> Result<()>,
-) -> Result<usize> {
-    check_safety(q)?;
-    check_against_catalog(q, db.catalog())?;
-    let views: Vec<AtomView<'_>> = q
-        .atoms
-        .iter()
-        .map(|a| db.relation(&a.relation).map(AtomView::Whole))
-        .collect::<std::result::Result<_, _>>()?;
-    for_each_binding_views(q, &views, options, sink)
-}
-
-/// [`for_each_binding`] over pre-built atom views. Safety and catalog
-/// checks are the caller's responsibility (both entry points run them
-/// before building views).
+/// as both sides are bound. Safety and catalog checks are the
+/// caller's responsibility.
+///
+/// The serving paths no longer run this; [`crate::plan`] compiles
+/// the same choices once and executes them over slot frames. This
+/// interpreter is the ground truth the compiled executor is diffed
+/// against (`tests/plan_equivalence.rs`).
 pub(crate) fn for_each_binding_views<'q>(
     q: &'q ConjunctiveQuery,
     relations: &[AtomView<'_>],
@@ -388,16 +365,239 @@ fn project_head(q: &ConjunctiveQuery, binding: &Binding) -> Tuple {
         .collect()
 }
 
-/// Distinct-output collection over pre-built views (shared by the
-/// whole-database and sharded entry points).
-pub(crate) fn evaluate_views(
-    q: &ConjunctiveQuery,
+/// How much to pre-size output containers: the bindings budget is
+/// the only statically known bound on distinct outputs, capped so a
+/// large default budget does not translate into a large upfront
+/// allocation.
+fn capacity_hint(options: EvalOptions) -> usize {
+    options.max_bindings.min(1024)
+}
+
+/// Distinct-output collection over a compiled plan and pre-built
+/// views (shared by the whole-database and sharded entry points).
+/// The dedup map *owns* each distinct tuple — nothing is cloned per
+/// emission — and first-derivation order is restored from insertion
+/// ranks at the end.
+pub(crate) fn evaluate_frames(
+    plan: &QueryPlan,
     views: &[AtomView<'_>],
     options: EvalOptions,
 ) -> Result<Vec<Tuple>> {
+    let mut seen: HashMap<Tuple, usize> = HashMap::with_capacity(capacity_hint(options));
+    for_each_frame(plan, views, options, &mut |frame, _| {
+        let t = plan.project_head(frame);
+        let rank = seen.len();
+        seen.entry(t).or_insert(rank);
+        Ok(())
+    })?;
+    let mut out: Vec<(usize, Tuple)> = seen.into_iter().map(|(t, i)| (i, t)).collect();
+    out.sort_unstable_by_key(|(i, _)| *i);
+    Ok(out.into_iter().map(|(_, t)| t).collect())
+}
+
+/// Grouped-bindings collection over a compiled plan. Frames convert
+/// to name-keyed [`Binding`]s only at emission — the public grouped
+/// API is unchanged.
+pub(crate) fn evaluate_grouped_frames(
+    plan: &QueryPlan,
+    views: &[AtomView<'_>],
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    let mut groups: HashMap<Tuple, (usize, Vec<Binding>)> =
+        HashMap::with_capacity(capacity_hint(options));
+    for_each_frame(plan, views, options, &mut |frame, _| {
+        let t = plan.project_head(frame);
+        let rank = groups.len();
+        groups
+            .entry(t)
+            .or_insert_with(|| (rank, Vec::new()))
+            .1
+            .push(plan.binding(frame));
+        Ok(())
+    })?;
+    let mut out: Vec<(usize, Tuple, Vec<Binding>)> =
+        groups.into_iter().map(|(t, (i, b))| (i, t, b)).collect();
+    out.sort_unstable_by_key(|(i, _, _)| *i);
+    Ok(out.into_iter().map(|(_, t, b)| (t, b)).collect())
+}
+
+/// Semiring-annotated collection over a compiled plan. Products run
+/// over each binding's matched rows (by global row id), sums over the
+/// bindings of one output tuple — in enumeration order, so sharded
+/// and unsharded runs accumulate identically.
+pub(crate) fn evaluate_annotated_frames<S, F>(
+    plan: &QueryPlan,
+    views: &[AtomView<'_>],
+    options: EvalOptions,
+    mut annotate: F,
+) -> Result<Vec<(Tuple, S)>>
+where
+    S: CommutativeSemiring,
+    F: FnMut(&str, usize) -> S,
+{
+    let mut acc: HashMap<Tuple, (usize, S)> = HashMap::with_capacity(capacity_hint(options));
+    for_each_frame(plan, views, options, &mut |frame, matched| {
+        let product = matched
+            .iter()
+            .fold(S::one(), |p, (_, rel, row)| p.times(&annotate(rel, *row)));
+        let t = plan.project_head(frame);
+        let rank = acc.len();
+        match acc.entry(t) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (_, s) = e.get_mut();
+                *s = s.plus(&product);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((rank, product));
+            }
+        }
+        Ok(())
+    })?;
+    let mut out: Vec<(usize, Tuple, S)> = acc.into_iter().map(|(t, (i, s))| (i, t, s)).collect();
+    out.sort_unstable_by_key(|(i, _, _)| *i);
+    Ok(out.into_iter().map(|(_, t, s)| (t, s)).collect())
+}
+
+/// Evaluate a query, returning distinct output tuples (set
+/// semantics), in first-derivation order. Compiles a [`QueryPlan`]
+/// and executes it; callers evaluating the same query repeatedly
+/// should compile once (or use the engine's plan cache) and call
+/// [`evaluate_plan_with`].
+pub fn evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+    evaluate_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate`] with explicit limits.
+pub fn evaluate_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    evaluate_plan_with(db, &QueryPlan::compile(q, db)?, options)
+}
+
+/// Execute a pre-compiled plan against an unsharded database.
+pub fn evaluate_plan_with(
+    db: &Database,
+    plan: &QueryPlan,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    evaluate_frames(plan, &plan.whole_views(db)?, options)
+}
+
+/// Evaluate and group *all* bindings by output tuple — Definition 3.2
+/// needs "the set of all bindings for Q' that yield a tuple t".
+pub fn evaluate_grouped(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate_grouped`] with explicit limits.
+pub fn evaluate_grouped_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_plan_with(db, &QueryPlan::compile(q, db)?, options)
+}
+
+/// [`evaluate_grouped_with`] over a pre-compiled plan.
+pub fn evaluate_grouped_plan_with(
+    db: &Database,
+    plan: &QueryPlan,
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_frames(plan, &plan.whole_views(db)?, options)
+}
+
+/// Semiring-annotated evaluation (§3.1): `annotate(relation, row)`
+/// supplies the base annotation of each tuple; per binding the atom
+/// annotations are multiplied, per output tuple the binding products
+/// are summed. Output order is first-derivation order.
+pub fn evaluate_annotated<S, F>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    annotate: F,
+) -> Result<Vec<(Tuple, S)>>
+where
+    S: CommutativeSemiring,
+    F: FnMut(&str, usize) -> S,
+{
+    evaluate_annotated_plan_with(
+        db,
+        &QueryPlan::compile(q, db)?,
+        EvalOptions::default(),
+        annotate,
+    )
+}
+
+/// [`evaluate_annotated`] over a pre-compiled plan.
+pub fn evaluate_annotated_plan_with<S, F>(
+    db: &Database,
+    plan: &QueryPlan,
+    options: EvalOptions,
+    annotate: F,
+) -> Result<Vec<(Tuple, S)>>
+where
+    S: CommutativeSemiring,
+    F: FnMut(&str, usize) -> S,
+{
+    evaluate_annotated_frames(plan, &plan.whole_views(db)?, options, annotate)
+}
+
+/// Count bindings without materializing anything (diagnostics).
+pub fn count_bindings(db: &Database, q: &ConjunctiveQuery) -> Result<usize> {
+    let plan = QueryPlan::compile(q, db)?;
+    for_each_frame(
+        &plan,
+        &plan.whole_views(db)?,
+        EvalOptions::default(),
+        &mut |_, _| Ok(()),
+    )
+}
+
+// =====================================================================
+// The seed interpreter — retained as the differential baseline
+// =====================================================================
+
+/// Whole-relation views for an unsharded database (checks first, so
+/// error order matches the historical behavior).
+fn whole_views<'a>(db: &'a Database, q: &ConjunctiveQuery) -> Result<Vec<AtomView<'a>>> {
+    check_safety(q)?;
+    check_against_catalog(q, db.catalog())?;
+    q.atoms
+        .iter()
+        .map(|a| db.relation(&a.relation).map(AtomView::Whole))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(Into::into)
+}
+
+/// [`evaluate`] on the seed interpreter (per-step `HashMap` bindings,
+/// no compiled plan). Kept so `tests/plan_equivalence.rs` and the
+/// E12 benchmark can diff the compiled executor against the original
+/// semantics; not a serving path.
+#[deprecated(
+    note = "superseded by compiled QueryPlan execution; retained only as the \
+            differential-testing and E12 baseline"
+)]
+pub fn evaluate_interpreted(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+    #[allow(deprecated)]
+    evaluate_interpreted_with(db, q, EvalOptions::default())
+}
+
+/// [`evaluate_interpreted`] with explicit limits.
+#[deprecated(
+    note = "superseded by compiled QueryPlan execution; retained only as the \
+            differential-testing and E12 baseline"
+)]
+pub fn evaluate_interpreted_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    let views = whole_views(db, q)?;
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
-    for_each_binding_views(q, views, options, &mut |binding, _| {
+    for_each_binding_views(q, &views, options, &mut |binding, _| {
         let t = project_head(q, binding);
         if seen.insert(t.clone()) {
             out.push(t);
@@ -407,15 +607,19 @@ pub(crate) fn evaluate_views(
     Ok(out)
 }
 
-/// Grouped-bindings collection over pre-built views.
-pub(crate) fn evaluate_grouped_views(
+/// [`evaluate_grouped`] on the seed interpreter.
+#[deprecated(
+    note = "superseded by compiled QueryPlan execution; retained only as the \
+            differential-testing and E12 baseline"
+)]
+pub fn evaluate_grouped_interpreted(
+    db: &Database,
     q: &ConjunctiveQuery,
-    views: &[AtomView<'_>],
-    options: EvalOptions,
 ) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    let views = whole_views(db, q)?;
     let mut order: Vec<Tuple> = Vec::new();
     let mut groups: HashMap<Tuple, Vec<Binding>> = HashMap::new();
-    for_each_binding_views(q, views, options, &mut |binding, _| {
+    for_each_binding_views(q, &views, EvalOptions::default(), &mut |binding, _| {
         let t = project_head(q, binding);
         let entry = groups.entry(t.clone()).or_default();
         if entry.is_empty() {
@@ -433,36 +637,42 @@ pub(crate) fn evaluate_grouped_views(
         .collect())
 }
 
-/// Semiring-annotated collection over pre-built views. Products run
-/// over each binding's matched rows (by global row id), sums over the
-/// bindings of one output tuple — in enumeration order, so sharded
-/// and unsharded runs accumulate identically.
-pub(crate) fn evaluate_annotated_views<S, F>(
+/// [`evaluate_annotated`] on the seed interpreter.
+#[deprecated(
+    note = "superseded by compiled QueryPlan execution; retained only as the \
+            differential-testing and E12 baseline"
+)]
+pub fn evaluate_annotated_interpreted<S, F>(
+    db: &Database,
     q: &ConjunctiveQuery,
-    views: &[AtomView<'_>],
-    options: EvalOptions,
     mut annotate: F,
 ) -> Result<Vec<(Tuple, S)>>
 where
     S: CommutativeSemiring,
     F: FnMut(&str, usize) -> S,
 {
+    let views = whole_views(db, q)?;
     let mut order: Vec<Tuple> = Vec::new();
     let mut acc: HashMap<Tuple, S> = HashMap::new();
-    for_each_binding_views(q, views, options, &mut |binding, matched| {
-        let product = matched
-            .iter()
-            .fold(S::one(), |p, (_, rel, row)| p.times(&annotate(rel, *row)));
-        let t = project_head(q, binding);
-        match acc.get_mut(&t) {
-            Some(existing) => *existing = existing.plus(&product),
-            None => {
-                order.push(t.clone());
-                acc.insert(t, product);
+    for_each_binding_views(
+        q,
+        &views,
+        EvalOptions::default(),
+        &mut |binding, matched| {
+            let product = matched
+                .iter()
+                .fold(S::one(), |p, (_, rel, row)| p.times(&annotate(rel, *row)));
+            let t = project_head(q, binding);
+            match acc.get_mut(&t) {
+                Some(existing) => *existing = existing.plus(&product),
+                None => {
+                    order.push(t.clone());
+                    acc.insert(t, product);
+                }
             }
-        }
-        Ok(())
-    })?;
+            Ok(())
+        },
+    )?;
     Ok(order
         .into_iter()
         .map(|t| {
@@ -470,69 +680,6 @@ where
             (t, s)
         })
         .collect())
-}
-
-/// Whole-relation views for an unsharded database (checks first, so
-/// error order matches the historical behavior).
-fn whole_views<'a>(db: &'a Database, q: &ConjunctiveQuery) -> Result<Vec<AtomView<'a>>> {
-    check_safety(q)?;
-    check_against_catalog(q, db.catalog())?;
-    q.atoms
-        .iter()
-        .map(|a| db.relation(&a.relation).map(AtomView::Whole))
-        .collect::<std::result::Result<_, _>>()
-        .map_err(Into::into)
-}
-
-/// Evaluate a query, returning distinct output tuples (set
-/// semantics), in first-derivation order.
-pub fn evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
-    evaluate_with(db, q, EvalOptions::default())
-}
-
-/// [`evaluate`] with explicit limits.
-pub fn evaluate_with(
-    db: &Database,
-    q: &ConjunctiveQuery,
-    options: EvalOptions,
-) -> Result<Vec<Tuple>> {
-    evaluate_views(q, &whole_views(db, q)?, options)
-}
-
-/// Evaluate and group *all* bindings by output tuple — Definition 3.2
-/// needs "the set of all bindings for Q' that yield a tuple t".
-pub fn evaluate_grouped(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>> {
-    evaluate_grouped_with(db, q, EvalOptions::default())
-}
-
-/// [`evaluate_grouped`] with explicit limits.
-pub fn evaluate_grouped_with(
-    db: &Database,
-    q: &ConjunctiveQuery,
-    options: EvalOptions,
-) -> Result<Vec<(Tuple, Vec<Binding>)>> {
-    evaluate_grouped_views(q, &whole_views(db, q)?, options)
-}
-
-/// Semiring-annotated evaluation (§3.1): `annotate(relation, row)`
-/// supplies the base annotation of each tuple; per binding the atom
-/// annotations are multiplied, per output tuple the binding products
-/// are summed. Output order is first-derivation order.
-pub fn evaluate_annotated<S, F>(
-    db: &Database,
-    q: &ConjunctiveQuery,
-    annotate: F,
-) -> Result<Vec<(Tuple, S)>>
-where
-    S: CommutativeSemiring,
-    F: FnMut(&str, usize) -> S,
-{
-    evaluate_annotated_views(q, &whole_views(db, q)?, EvalOptions::default(), annotate)
-}
-
-/// Count bindings without materializing anything (diagnostics).
-pub fn count_bindings(db: &Database, q: &ConjunctiveQuery) -> Result<usize> {
-    for_each_binding(db, q, EvalOptions::default(), &mut |_, _| Ok(()))
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod error;
 pub mod eval;
 pub mod minimize;
 pub mod parser;
+pub mod plan;
 pub mod reference;
 pub mod safety;
 pub mod sharded;
@@ -47,17 +48,25 @@ pub use chase::{chase_keys, equivalent_under, is_contained_in_under, Chased, Dep
 pub use containment::{equivalent, is_contained_in, normalize, Normalized};
 pub use error::{QueryError, Result};
 pub use eval::{
-    count_bindings, evaluate, evaluate_annotated, evaluate_grouped, evaluate_grouped_with,
-    evaluate_with, Binding, EvalOptions,
+    count_bindings, evaluate, evaluate_annotated, evaluate_annotated_plan_with, evaluate_grouped,
+    evaluate_grouped_plan_with, evaluate_grouped_with, evaluate_plan_with, evaluate_with, Binding,
+    EvalOptions,
+};
+#[allow(deprecated)]
+pub use eval::{
+    evaluate_annotated_interpreted, evaluate_grouped_interpreted, evaluate_interpreted,
+    evaluate_interpreted_with,
 };
 pub use minimize::{is_minimal, minimize};
 pub use parser::{parse_program, parse_query};
+pub use plan::QueryPlan;
 pub use reference::reference_evaluate;
 pub use safety::{check_against_catalog, check_safety};
 pub use sharded::{
-    evaluate_annotated_sharded, evaluate_grouped_sharded, evaluate_grouped_sharded_with,
-    evaluate_grouped_sharded_with_plan, evaluate_sharded, evaluate_sharded_with,
-    evaluate_sharded_with_plan, RoutePlan, ShardRouter, ShardSet,
+    evaluate_annotated_sharded, evaluate_annotated_sharded_compiled, evaluate_grouped_sharded,
+    evaluate_grouped_sharded_compiled, evaluate_grouped_sharded_with,
+    evaluate_grouped_sharded_with_plan, evaluate_sharded, evaluate_sharded_compiled,
+    evaluate_sharded_with, evaluate_sharded_with_plan, RoutePlan, ShardRouter, ShardSet,
 };
 pub use sql::parse_sql;
 pub use subst::Substitution;

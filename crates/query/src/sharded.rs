@@ -20,10 +20,10 @@
 use crate::ast::{CompOp, ConjunctiveQuery, Term};
 use crate::error::Result;
 use crate::eval::{
-    evaluate_annotated_views, evaluate_grouped_views, evaluate_views, AtomView, Binding,
+    evaluate_annotated_frames, evaluate_frames, evaluate_grouped_frames, AtomView, Binding,
     EvalOptions,
 };
-use crate::safety::{check_against_catalog, check_safety};
+use crate::plan::QueryPlan;
 use fgc_relation::sharded::{shard_of_value, ShardedDatabase};
 use fgc_relation::{Tuple, Value};
 use fgc_semiring::CommutativeSemiring;
@@ -133,18 +133,26 @@ impl<'a> ShardRouter<'a> {
     }
 }
 
-/// Build the per-atom views a plan prescribes, in global order.
+/// Build the per-atom views a route prescribes, in global order.
+/// Validation already ran when the [`QueryPlan`] was compiled; the
+/// route must come from the same query the plan was compiled from.
 fn routed_views<'a>(
     db: &'a ShardedDatabase,
-    q: &ConjunctiveQuery,
-    plan: &RoutePlan,
+    plan: &QueryPlan,
+    route: &RoutePlan,
 ) -> Result<Vec<AtomView<'a>>> {
-    check_safety(q)?;
-    check_against_catalog(q, db.catalog())?;
-    q.atoms
+    // A plan/route pair from different queries would zip-truncate
+    // here and index out of bounds (or scan wrong fragments) in the
+    // executor — fail fast instead, in release builds too.
+    assert_eq!(
+        plan.atom_relations().len(),
+        route.atoms.len(),
+        "QueryPlan and RoutePlan must come from the same query"
+    );
+    plan.atom_relations()
         .iter()
-        .zip(&plan.atoms)
-        .map(|(atom, set)| routed_view(db, &atom.relation, *set))
+        .zip(&route.atoms)
+        .map(|(relation, set)| routed_view(db, relation, *set))
         .collect()
 }
 
@@ -191,15 +199,30 @@ pub fn evaluate_sharded_with(
 }
 
 /// [`evaluate_sharded_with`] under a caller-supplied [`RoutePlan`]
-/// (callers that inspect the plan — e.g. for routing counters — pass
-/// it back instead of planning twice).
+/// (callers that inspect the route — e.g. for routing counters —
+/// pass it back instead of planning twice). Compiles a [`QueryPlan`]
+/// per call; use [`evaluate_sharded_compiled`] to reuse one.
 pub fn evaluate_sharded_with_plan(
     db: &ShardedDatabase,
     q: &ConjunctiveQuery,
-    plan: &RoutePlan,
+    route: &RoutePlan,
     options: EvalOptions,
 ) -> Result<Vec<Tuple>> {
-    evaluate_views(q, &routed_views(db, q, plan)?, options)
+    evaluate_sharded_compiled(db, &QueryPlan::compile_sharded(q, db)?, route, options)
+}
+
+/// [`evaluate_sharded_with_plan`] over a pre-compiled [`QueryPlan`].
+/// One plan serves every routing of its query: the router prunes
+/// *which fragments* each atom scans, while the plan fixes the join
+/// order and slot layout from global sizes, so the two compose
+/// without recompilation.
+pub fn evaluate_sharded_compiled(
+    db: &ShardedDatabase,
+    plan: &QueryPlan,
+    route: &RoutePlan,
+    options: EvalOptions,
+) -> Result<Vec<Tuple>> {
+    evaluate_frames(plan, &routed_views(db, plan, route)?, options)
 }
 
 /// [`crate::evaluate_grouped`] over a sharded store.
@@ -219,14 +242,24 @@ pub fn evaluate_grouped_sharded_with(
     evaluate_grouped_sharded_with_plan(db, q, &ShardRouter::new(db).plan(q), options)
 }
 
-/// [`evaluate_grouped_sharded_with`] under a caller-supplied plan.
+/// [`evaluate_grouped_sharded_with`] under a caller-supplied route.
 pub fn evaluate_grouped_sharded_with_plan(
     db: &ShardedDatabase,
     q: &ConjunctiveQuery,
-    plan: &RoutePlan,
+    route: &RoutePlan,
     options: EvalOptions,
 ) -> Result<Vec<(Tuple, Vec<Binding>)>> {
-    evaluate_grouped_views(q, &routed_views(db, q, plan)?, options)
+    evaluate_grouped_sharded_compiled(db, &QueryPlan::compile_sharded(q, db)?, route, options)
+}
+
+/// [`evaluate_grouped_sharded_with_plan`] over a pre-compiled plan.
+pub fn evaluate_grouped_sharded_compiled(
+    db: &ShardedDatabase,
+    plan: &QueryPlan,
+    route: &RoutePlan,
+    options: EvalOptions,
+) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+    evaluate_grouped_frames(plan, &routed_views(db, plan, route)?, options)
 }
 
 /// [`crate::evaluate_annotated`] over a sharded store. Row ids handed
@@ -242,13 +275,30 @@ where
     S: CommutativeSemiring,
     F: FnMut(&str, usize) -> S,
 {
-    let plan = ShardRouter::new(db).plan(q);
-    evaluate_annotated_views(
-        q,
-        &routed_views(db, q, &plan)?,
+    let route = ShardRouter::new(db).plan(q);
+    evaluate_annotated_sharded_compiled(
+        db,
+        &QueryPlan::compile_sharded(q, db)?,
+        &route,
         EvalOptions::default(),
         annotate,
     )
+}
+
+/// [`evaluate_annotated_sharded`] over a pre-compiled plan and
+/// route.
+pub fn evaluate_annotated_sharded_compiled<S, F>(
+    db: &ShardedDatabase,
+    plan: &QueryPlan,
+    route: &RoutePlan,
+    options: EvalOptions,
+    annotate: F,
+) -> Result<Vec<(Tuple, S)>>
+where
+    S: CommutativeSemiring,
+    F: FnMut(&str, usize) -> S,
+{
+    evaluate_annotated_frames(plan, &routed_views(db, plan, route)?, options, annotate)
 }
 
 #[cfg(test)]

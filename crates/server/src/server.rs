@@ -409,6 +409,7 @@ fn serve_views(ctx: &WorkerContext) -> String {
 
 fn serve_stats(ctx: &WorkerContext) -> String {
     let cache = ctx.engine.cache_stats();
+    let plans = ctx.engine.plan_stats();
     let mut body = ctx.stats.to_json();
     if let Some(sharding) = ctx.engine.shard_stats() {
         body.set(
@@ -456,6 +457,19 @@ fn serve_stats(ctx: &WorkerContext) -> String {
             (
                 "hit_rate",
                 Json::Float((cache.hit_rate() * 1000.0).round() / 1000.0),
+            ),
+        ]),
+    );
+    body.set(
+        "plan_cache",
+        Json::from_pairs([
+            ("hits", Json::Int(plans.hits as i64)),
+            ("misses", Json::Int(plans.misses as i64)),
+            ("size", Json::Int(plans.entries as i64)),
+            ("evictions", Json::Int(plans.evictions as i64)),
+            (
+                "hit_rate",
+                Json::Float((plans.hit_rate() * 1000.0).round() / 1000.0),
             ),
         ]),
     );

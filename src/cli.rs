@@ -132,7 +132,9 @@ serve: HTTP routes POST /cite, POST /cite_sql, GET /views, GET /stats,
        --shards partitions the store across N hash-routed shards;
        --shard-key names the partition column per relation (relations
        omitted fall back to whole-tuple hashing). Shard layout and
-       routing counters appear under `sharding` in GET /stats.";
+       routing counters appear under `sharding` in GET /stats; the
+       compiled-plan cache's hits/misses/size appear under
+       `plan_cache` (and in `cite --explain` output).";
 
 fn load_database(text: &str) -> Result<Database, CliError> {
     let mut db = Database::new();
@@ -208,6 +210,12 @@ pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError
     }
     if args.enabled("explain") {
         let _ = writeln!(out, "\n{}", fgc_core::explain(&cited, &policy));
+        let plans = engine.plan_stats();
+        let _ = writeln!(
+            out,
+            "plan cache: hits={} misses={} size={}",
+            plans.hits, plans.misses, plans.entries
+        );
     }
     Ok(out)
 }
@@ -462,6 +470,31 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
         ])
         .unwrap();
         assert!(out.contains("rewritings considered:"));
+    }
+
+    #[test]
+    fn explain_reports_plan_cache_counters() {
+        let out = run_line(&[
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--explain",
+            "--query",
+            "Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        // one cite on a fresh engine: every plan (answer query +
+        // extent queries) is a compile miss, and all are retained
+        assert!(out.contains("plan cache: hits="), "{out}");
+        let misses: u64 = out
+            .split("misses=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("misses counter present");
+        assert!(misses >= 1, "{out}");
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Compiled-plan vs seed-interpreter equivalence — the acceptance
+//! bar of the compiled [`fgcite::query::QueryPlan`] evaluator: on
+//! every query of every instance, the compiled executor must produce
+//! **byte-identical** results to the seed interpreter it replaced —
+//! same tuples in the same (first-derivation) order, same grouped
+//! bindings in the same order, same provenance polynomials term for
+//! term, same errors. Differential, property-style: the retained
+//! interpreter (`evaluate_interpreted` and friends, deprecated but
+//! kept exactly for this) is the ground truth.
+
+#![allow(deprecated)]
+
+use fgcite::gtopdb::{
+    generate, paper_instance, paper_shard_spec, GeneratorConfig, WorkloadGenerator,
+};
+use fgcite::query::{
+    evaluate, evaluate_annotated, evaluate_annotated_interpreted, evaluate_annotated_sharded,
+    evaluate_grouped, evaluate_grouped_interpreted, evaluate_interpreted,
+    evaluate_interpreted_with, evaluate_sharded, evaluate_with, parse_query, reference_evaluate,
+    ConjunctiveQuery, EvalOptions, QueryError, QueryPlan,
+};
+use fgcite::relation::sharded::ShardedDatabase;
+use fgcite::relation::{Database, Tuple};
+use fgcite::semiring::Polynomial;
+
+/// Hand-written queries covering the shapes the evaluator supports:
+/// scans, selections (atom constants and comparisons), joins,
+/// self-joins, inequalities, duplicate-heavy projections, empty and
+/// contradictory results.
+const PAPER_QUERIES: &[&str] = &[
+    "Q(N) :- Family(F, N, Ty)",
+    "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+    "Q(N) :- Family(\"11\", N, Ty)",
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"",
+    "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), F = \"11\"",
+    "Q(N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)",
+    "Q(Ty) :- Family(F, N, Ty)",
+    "Q(A, B) :- Family(A, N1, T), Family(B, N2, T), A != B",
+    "Q(A, B) :- Family(A, N1, T1), Family(B, N2, T2), A < B",
+    "Q(N) :- Family(F, N, Ty), F > \"11\"",
+    "Q(N) :- Family(F, N, Ty), Ty = \"nope\"",
+    "Q(N) :- Family(F, N, Ty), Ty = \"a\", Ty = \"b\"",
+    "Q(N, X) :- Family(F, N, Ty), X = \"const\"",
+];
+
+fn paper_queries() -> Vec<ConjunctiveQuery> {
+    PAPER_QUERIES
+        .iter()
+        .map(|q| parse_query(q).expect("static query"))
+        .collect()
+}
+
+fn assert_equivalent(db: &Database, q: &ConjunctiveQuery, context: &str) {
+    // distinct outputs, first-derivation order
+    let compiled = evaluate(db, q).expect("compiled evaluation");
+    let interpreted = evaluate_interpreted(db, q).expect("interpreted evaluation");
+    assert_eq!(compiled, interpreted, "evaluate diverges: {context} q={q}");
+
+    // grouped bindings, tuple order and binding order
+    let compiled_g = evaluate_grouped(db, q).expect("compiled grouped");
+    let interpreted_g = evaluate_grouped_interpreted(db, q).expect("interpreted grouped");
+    assert_eq!(
+        compiled_g, interpreted_g,
+        "evaluate_grouped diverges: {context} q={q}"
+    );
+
+    // provenance polynomials, term for term (Debug formatting is the
+    // canonical monomial order)
+    let compiled_a: Vec<(Tuple, Polynomial<String>)> =
+        evaluate_annotated(db, q, |rel, row| Polynomial::token(format!("{rel}:{row}")))
+            .expect("compiled annotated");
+    let interpreted_a: Vec<(Tuple, Polynomial<String>)> =
+        evaluate_annotated_interpreted(db, q, |rel, row| Polynomial::token(format!("{rel}:{row}")))
+            .expect("interpreted annotated");
+    assert_eq!(
+        compiled_a.len(),
+        interpreted_a.len(),
+        "annotated arity diverges: {context} q={q}"
+    );
+    for ((t1, p1), (t2, p2)) in compiled_a.iter().zip(&interpreted_a) {
+        assert_eq!(t1, t2, "annotated tuple order diverges: {context} q={q}");
+        assert_eq!(
+            format!("{p1:?}"),
+            format!("{p2:?}"),
+            "polynomials diverge: {context} q={q}"
+        );
+    }
+}
+
+#[test]
+fn paper_instance_queries_are_byte_identical() {
+    let db = paper_instance();
+    for q in paper_queries() {
+        assert_equivalent(&db, &q, "paper instance");
+    }
+}
+
+#[test]
+fn randomized_gtopdb_instances_are_byte_identical() {
+    // property-style sweep: several seeds and scales, template plus
+    // ad-hoc workload queries, with and without secondary indexes
+    for (seed, families) in [(3u64, 30usize), (17, 75), (91, 140)] {
+        let db = generate(
+            &GeneratorConfig::default()
+                .with_families(families)
+                .with_seed(seed),
+        );
+        let queries: Vec<ConjunctiveQuery> = {
+            let mut w = WorkloadGenerator::new(&db, seed ^ 0x5eed);
+            let mut qs = w.ad_hoc_batch(10);
+            for t in 0..WorkloadGenerator::template_count() {
+                qs.push(w.query_from_template(t));
+            }
+            qs
+        };
+        for q in &queries {
+            assert_equivalent(&db, q, &format!("seed={seed} families={families}"));
+        }
+    }
+}
+
+#[test]
+fn hand_written_queries_survive_generated_instances() {
+    let db = generate(&GeneratorConfig::default().with_families(50).with_seed(7));
+    for q in paper_queries() {
+        assert_equivalent(&db, &q, "generated instance");
+    }
+}
+
+#[test]
+fn compiled_sharded_evaluation_matches_the_interpreter() {
+    // interpreted unsharded vs compiled routed: both the sharding
+    // layer and the compiled executor must preserve bindings exactly
+    let db = generate(&GeneratorConfig::default().with_families(90).with_seed(23));
+    let queries: Vec<ConjunctiveQuery> = {
+        let mut w = WorkloadGenerator::new(&db, 29);
+        w.ad_hoc_batch(8)
+    };
+    for shards in [1usize, 2, 4, 7] {
+        let store = ShardedDatabase::from_database(&db, shards, paper_shard_spec()).unwrap();
+        for q in queries.iter().chain(&paper_queries()) {
+            let interpreted = evaluate_interpreted(&db, q).unwrap();
+            let routed = evaluate_sharded(&store, q).unwrap();
+            assert_eq!(interpreted, routed, "shards={shards} q={q}");
+            let interpreted_a: Vec<(Tuple, Polynomial<String>)> =
+                evaluate_annotated_interpreted(&db, q, |rel, row| {
+                    Polynomial::token(format!("{rel}:{row}"))
+                })
+                .unwrap();
+            let routed_a: Vec<(Tuple, Polynomial<String>)> =
+                evaluate_annotated_sharded(&store, q, |rel, row| {
+                    Polynomial::token(format!("{rel}:{row}"))
+                })
+                .unwrap();
+            assert_eq!(
+                format!("{interpreted_a:?}"),
+                format!("{routed_a:?}"),
+                "shards={shards} q={q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn agrees_with_the_brute_force_oracle() {
+    // small instance so the exponential oracle stays tractable
+    let db = paper_instance();
+    for src in [
+        "Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"",
+        "Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)",
+        "Q(T1) :- MetaData(T1, X1)",
+    ] {
+        let q = parse_query(src).unwrap();
+        let mut compiled = evaluate(&db, &q).unwrap();
+        compiled.sort();
+        let oracle = reference_evaluate(&db, &q).unwrap();
+        assert_eq!(compiled, oracle, "oracle divergence on {src}");
+    }
+}
+
+#[test]
+fn errors_match_the_interpreter() {
+    let db = paper_instance();
+
+    let unsafe_q = parse_query("Q(X) :- Family(F, N, Ty)").unwrap();
+    assert!(matches!(
+        evaluate(&db, &unsafe_q).unwrap_err(),
+        QueryError::Unsafe { .. }
+    ));
+    assert!(matches!(
+        evaluate_interpreted(&db, &unsafe_q).unwrap_err(),
+        QueryError::Unsafe { .. }
+    ));
+
+    let unknown = parse_query("Q(X) :- Nope(X)").unwrap();
+    assert!(evaluate(&db, &unknown).is_err());
+    assert!(evaluate_interpreted(&db, &unknown).is_err());
+
+    // budget exhaustion fires at the same binding count
+    let q = parse_query("Q(A, B) :- Family(A, X, Y), Family(B, Z, W)").unwrap();
+    let options = EvalOptions { max_bindings: 4 };
+    let compiled = evaluate_with(&db, &q, options).unwrap_err();
+    let interpreted = evaluate_interpreted_with(&db, &q, options).unwrap_err();
+    assert!(matches!(compiled, QueryError::BudgetExceeded { .. }));
+    assert!(matches!(interpreted, QueryError::BudgetExceeded { .. }));
+    // ...and a budget exactly at the binding count (5 × 5 families)
+    // succeeds on both
+    let enough = EvalOptions { max_bindings: 25 };
+    assert_eq!(
+        evaluate_with(&db, &q, enough).unwrap(),
+        evaluate_interpreted_with(&db, &q, enough).unwrap()
+    );
+}
+
+#[test]
+fn plans_are_reusable_across_evaluations() {
+    // one compiled plan, many executions — the engine plan-cache
+    // contract at the query-crate level
+    let db = generate(&GeneratorConfig::default().with_families(40).with_seed(11));
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx), Ty = \"gpcr\"").unwrap();
+    let plan = QueryPlan::compile(&q, &db).unwrap();
+    let first = fgcite::query::evaluate_plan_with(&db, &plan, EvalOptions::default()).unwrap();
+    for _ in 0..3 {
+        let again = fgcite::query::evaluate_plan_with(&db, &plan, EvalOptions::default()).unwrap();
+        assert_eq!(first, again);
+    }
+    assert_eq!(first, evaluate_interpreted(&db, &q).unwrap());
+}

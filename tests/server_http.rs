@@ -134,6 +134,22 @@ fn eight_concurrent_clients_get_byte_identical_citations() {
         Some(&fgcite::views::Json::Int((clients * rounds) as i64))
     );
     assert_eq!(cite.get("errors"), Some(&fgcite::views::Json::Int(0)));
+
+    // the plan cache block reports hits/misses/size: the few distinct
+    // queries compile once each (misses == size) and every repeat is
+    // a hit
+    let plans = parsed.get("plan_cache").expect("plan_cache block");
+    let int_of = |key: &str| match plans.get(key) {
+        Some(fgcite::views::Json::Int(n)) => *n,
+        other => panic!("plan_cache.{key} missing: {other:?} in {}", stats.body),
+    };
+    assert!(int_of("misses") >= 1, "stats: {}", stats.body);
+    assert!(int_of("size") >= 1, "stats: {}", stats.body);
+    assert!(
+        int_of("hits") >= 1,
+        "repeated queries must hit the plan cache: {}",
+        stats.body
+    );
     drop(client);
 
     // graceful shutdown joins every worker (returning at all is the

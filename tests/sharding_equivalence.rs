@@ -143,6 +143,55 @@ fn annotated_provenance_polynomials_are_byte_identical() {
 }
 
 #[test]
+fn plan_cache_on_and_off_cite_byte_identically_across_shard_counts() {
+    // the compiled-plan cache is an execution detail: citations must
+    // come out byte-identical with caching enabled (warm AND cold
+    // passes) and disabled (every cite re-compiles), sharded or not
+    let reference = engine_with(RewriteMode::Pruned, Policy::default());
+    let expected: Vec<String> = QUERIES
+        .iter()
+        .map(|q| render(&reference.cite(&parse_query(q).unwrap()).unwrap()))
+        .collect();
+    for shards in SHARD_COUNTS {
+        let cached = engine_with(RewriteMode::Pruned, Policy::default())
+            .with_shards(shards, paper_shard_spec())
+            .expect("spec resolves");
+        let uncached = engine_with(RewriteMode::Pruned, Policy::default())
+            .with_plan_cache_capacity(0)
+            .with_shards(shards, paper_shard_spec())
+            .expect("spec resolves");
+        for (q, want) in QUERIES.iter().zip(&expected) {
+            let q = parse_query(q).unwrap();
+            // two passes through the cached engine: the second runs
+            // entirely on cached plans
+            assert_eq!(
+                &render(&cached.cite(&q).unwrap()),
+                want,
+                "cold plans, shards={shards} q={q}"
+            );
+            assert_eq!(
+                &render(&cached.cite(&q).unwrap()),
+                want,
+                "warm plans, shards={shards} q={q}"
+            );
+            assert_eq!(
+                &render(&uncached.cite(&q).unwrap()),
+                want,
+                "plan cache disabled, shards={shards} q={q}"
+            );
+        }
+        let cached_stats = cached.plan_stats();
+        assert!(
+            cached_stats.hits > 0,
+            "second pass must hit the plan cache: {cached_stats:?}"
+        );
+        let uncached_stats = uncached.plan_stats();
+        assert_eq!(uncached_stats.hits, 0, "{uncached_stats:?}");
+        assert_eq!(uncached_stats.entries, 0, "{uncached_stats:?}");
+    }
+}
+
+#[test]
 fn per_request_overrides_survive_sharding() {
     let reference = engine_with(RewriteMode::Pruned, Policy::default());
     let sharded = engine_with(RewriteMode::Pruned, Policy::default())
