@@ -1,0 +1,83 @@
+//! E13 — incremental snapshot maintenance: first-touch citations
+//! across a K-commit history with delta-derived engines vs a full
+//! rebuild per version (the ROADMAP's materialized-view-maintenance
+//! item; `tests/versioned_equivalence.rs` pins that both paths cite
+//! byte-identically).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::commit_history;
+use fgc_core::{CitationEngine, VersionedCitationEngine};
+use fgc_gtopdb::paper_views;
+use fgc_query::parse_query;
+use std::hint::black_box;
+
+fn bench_e13(c: &mut Criterion) {
+    let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").expect("static");
+    let mut group = c.benchmark_group("e13_incremental");
+    group.sample_size(10);
+    for commits in [4usize, 16] {
+        let history = commit_history(300, commits);
+        group.bench_with_input(
+            BenchmarkId::new("walk_incremental", commits),
+            &commits,
+            |b, _| {
+                b.iter(|| {
+                    let engine = VersionedCitationEngine::new(history.clone(), paper_views());
+                    black_box(fgc_bench::walk_history(&engine, &q))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("walk_rebuild", commits),
+            &commits,
+            |b, _| {
+                b.iter(|| {
+                    let engine = VersionedCitationEngine::new(history.clone(), paper_views())
+                        .with_derive_threshold(0);
+                    black_box(fgc_bench::walk_history(&engine, &q))
+                })
+            },
+        );
+        // The acceptance comparison: one first touch of the head
+        // version, derived from a warm neighbor vs rebuilt from its
+        // snapshot, each followed by the same cite.
+        let warm = VersionedCitationEngine::new(history.clone(), paper_views());
+        let _ = warm
+            .cite_at_version(commits as u64 - 1, &q)
+            .expect("warm neighbor");
+        let parent = warm
+            .engine_for_version(commits as u64 - 1)
+            .expect("neighbor engine");
+        let delta = history.delta(commits as u64).expect("delta recorded");
+        group.bench_with_input(
+            BenchmarkId::new("first_touch_derive", commits),
+            &commits,
+            |b, _| {
+                b.iter(|| {
+                    let engine = parent.derive_with_delta(delta).expect("derive");
+                    black_box(engine.cite(&q).expect("cite"))
+                })
+            },
+        );
+        let snapshot = history
+            .snapshot(commits as u64)
+            .expect("head snapshot")
+            .1
+            .clone();
+        group.bench_with_input(
+            BenchmarkId::new("first_touch_rebuild", commits),
+            &commits,
+            |b, _| {
+                b.iter(|| {
+                    let engine =
+                        CitationEngine::new((*snapshot).clone(), paper_views()).expect("rebuild");
+                    black_box(engine.cite(&q).expect("cite"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e13);
+criterion_main!(benches);

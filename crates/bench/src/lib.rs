@@ -1,4 +1,4 @@
-//! # fgc-bench — the experiment harness (E1–E12)
+//! # fgc-bench — the experiment harness (E1–E13)
 //!
 //! The paper ("A Model for Fine-Grained Data Citation", CIDR 2017)
 //! publishes no quantitative evaluation; this crate turns each of its
@@ -18,7 +18,9 @@
 //! ([`load::e11_table`]) sweeps the same serving workload over shard
 //! counts of the partitioned relation store. E12 ([`e12_table`])
 //! diffs the compiled slot-frame evaluator against the retained seed
-//! interpreter and the engine plan cache cold vs warm.
+//! interpreter and the engine plan cache cold vs warm. E13
+//! ([`e13_table`]) walks a K-commit history comparing delta-derived
+//! version engines against rebuild-per-version.
 
 use fgc_core::{
     baseline_coverage, CitationEngine, EngineOptions, OrderChoice, PageCitationStore, Policy,
@@ -715,6 +717,99 @@ pub fn e12_table(scales: &[usize], batch_families: usize) -> Table {
 }
 
 // =====================================================================
+// E13 — incremental snapshot maintenance under commits
+// =====================================================================
+
+/// A K-commit history of small deltas over a generated GtoPdb
+/// instance — the curated-database commit shape E13 measures:
+/// contributor churn on `FIC` (one intro-contributor row added, one
+/// removed per commit). `FIC` feeds only V2 and V5, so a derived
+/// engine recomputes two view extents and keeps V1/V3/V4's extents,
+/// tokens, and plans — the selective-invalidation case the
+/// incremental path is built for.
+pub fn commit_history(families: usize, commits: usize) -> VersionedDatabase {
+    let mut history = VersionedDatabase::new();
+    history
+        .commit(db_at_scale(families), 0, "v0")
+        .expect("first commit");
+    for i in 1..=commits {
+        history
+            .commit_with(i as u64 * 10, format!("v{i}"), |db| {
+                let fid = format!("f{}", (i * 13) % families.max(1));
+                let pid = format!("p{}", (i * 7) % (families / 2).max(10));
+                db.insert("FIC", fgc_relation::tuple![fid, pid])
+                    .map(|_| ())?;
+                let doomed = db.relation("FIC")?.rows().first().cloned();
+                if let Some(t) = doomed {
+                    db.remove("FIC", &t)?;
+                }
+                Ok(())
+            })
+            .expect("commit");
+    }
+    history
+}
+
+/// First-touch cite at every version of the history, oldest first —
+/// with a warm ascending walk each non-root version can derive its
+/// engine from its neighbor instead of rebuilding.
+pub fn walk_history(engine: &VersionedCitationEngine, q: &ConjunctiveQuery) -> std::time::Duration {
+    let versions = engine.history().len() as u64;
+    let t0 = Instant::now();
+    for v in 0..versions {
+        let _ = engine.cite_at_version(v, q).expect("historical citation");
+    }
+    t0.elapsed()
+}
+
+/// E13 table: cite latency across a K-commit history — incremental
+/// (delta-derived engines) vs rebuild-per-version, same citations.
+pub fn e13_table(families: usize, commit_counts: &[usize]) -> Table {
+    let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").expect("static");
+    let mut rows = Vec::new();
+    for &commits in commit_counts {
+        let history = commit_history(families, commits);
+        let incremental = VersionedCitationEngine::new(history.clone(), paper_views());
+        let rebuild = VersionedCitationEngine::new(history, paper_views()).with_derive_threshold(0);
+        let t_incremental = walk_history(&incremental, &q);
+        let t_rebuild = walk_history(&rebuild, &q);
+        let t0 = Instant::now();
+        let _ = incremental
+            .cite_at_version(commits as u64, &q)
+            .expect("warm");
+        let t_warm = t0.elapsed();
+        let stats = incremental.version_stats();
+        rows.push(vec![
+            families.to_string(),
+            commits.to_string(),
+            ms(t_incremental),
+            ms(t_rebuild),
+            format!(
+                "{:.2}x",
+                t_rebuild.as_secs_f64() / t_incremental.as_secs_f64().max(1e-9)
+            ),
+            format!("{}/{}", stats.derived, stats.rebuilt),
+            ms(t_warm),
+        ]);
+    }
+    Table {
+        title: "E13 — incremental snapshot maintenance: derived vs rebuilt engines \
+                across a commit history"
+            .into(),
+        headers: vec![
+            "families".into(),
+            "commits".into(),
+            "incremental walk ms".into(),
+            "rebuild walk ms".into(),
+            "speedup".into(),
+            "derived/rebuilt".into(),
+            "warm cite ms".into(),
+        ],
+        rows,
+    }
+}
+
+// =====================================================================
 // A-series — ablations of our own design choices (DESIGN.md §6)
 // =====================================================================
 
@@ -807,6 +902,7 @@ pub fn all_tables() -> Vec<Table> {
         e10_table(1_000, &[1, 2, 4, 8]),
         e11_table(1_000, &[1, 2, 4, 8]),
         e12_table(&[100, 1_000, 10_000], 1_000),
+        e13_table(1_000, &[4, 16, 64]),
         ablation_table(1_000),
     ]
 }
@@ -867,6 +963,14 @@ mod tests {
         let t = e8_table(&[2, 4]);
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.rows[0][2], "v0"); // timestamp 5 resolves to v0
+    }
+
+    #[test]
+    fn e13_small_sweep_runs() {
+        let t = e13_table(60, &[3]);
+        assert_eq!(t.rows.len(), 1);
+        // ascending walk: every non-root version derived
+        assert_eq!(t.rows[0][5], "3/1", "{:?}", t.rows[0]);
     }
 
     #[test]

@@ -53,6 +53,10 @@ fn main() {
         );
         println!();
     }
+    if want("e13") {
+        print!("{}", fgc_bench::e13_table(1_000, &[4, 16, 64]).render());
+        println!();
+    }
     if want("a1") || want("ablation") {
         print!("{}", fgc_bench::ablation_table(10_000).render());
         println!();

@@ -264,6 +264,31 @@ impl CitationCache {
             guard.hand = 0;
         }
     }
+
+    /// A fresh cache (same capacity, zeroed counters) seeded with the
+    /// entries whose token satisfies `keep` — how a derived engine
+    /// invalidates only the entries a commit delta touched while the
+    /// rest stay warm. Values are cloned (the cache stores `Json`
+    /// directly, same as every hit returns); `Arc`-sharing them is a
+    /// ROADMAP item that would also cheapen the hit path.
+    pub fn filtered_copy<F>(&self, keep: F) -> CitationCache
+    where
+        F: Fn(&CiteToken) -> bool,
+    {
+        let copy = CitationCache::with_shard_capacity(self.shard_capacity);
+        for shard in &self.shards {
+            let guard = shard.read().expect("cache shard poisoned");
+            for slot in &guard.slots {
+                if keep(&slot.token) {
+                    copy.shard(&slot.token)
+                        .write()
+                        .expect("cache shard poisoned")
+                        .insert(slot.token.clone(), slot.value.clone(), copy.shard_capacity);
+                }
+            }
+        }
+        copy
+    }
 }
 
 #[cfg(test)]

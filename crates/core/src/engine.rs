@@ -30,11 +30,11 @@ use fgc_query::{
 };
 use fgc_relation::schema::RelationSchema;
 use fgc_relation::sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
-use fgc_relation::{DataType, Database, Tuple, Value};
+use fgc_relation::{DataType, Database, DatabaseDelta, Tuple, Value};
 use fgc_rewrite::{best_rewritings, enumerate_rewritings, RewriteOptions, Rewriting, ViewDefs};
 use fgc_semiring::{CitationExpr, CommutativeSemiring, Monomial, Polynomial};
 use fgc_views::{Json, ViewRegistry};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, RwLock};
 use std::time::Instant;
@@ -326,6 +326,115 @@ impl CitationEngine {
         })
     }
 
+    /// Derive the engine for the *next* database version from this
+    /// one by replaying a commit delta — the incremental alternative
+    /// to `CitationEngine::new` over the child snapshot.
+    ///
+    /// Cost is O(|DB| store copy + delta replay + affected-view
+    /// extents): the parent store (and, when warm, its extent store)
+    /// is still deep-cloned before replay — what derivation avoids is
+    /// re-validating views, recomputing the inclusion matrix,
+    /// re-evaluating *unaffected* view extents, and recompiling or
+    /// re-interpreting everything the caches already hold.
+    /// (Cross-version structural sharing of unchanged relations,
+    /// which would drop the copy too, is future work.) Concretely:
+    ///
+    /// * the relation store (rows and indexes) is updated by replay,
+    ///   which reproduces the child snapshot structurally — same row
+    ///   order, same index state — so citations stay **byte-identical**
+    ///   to a full rebuild (global row order included);
+    /// * view extents are recomputed only for *affected* views (those
+    ///   whose view or citation query mentions a touched relation);
+    ///   unaffected extents are carried over wholesale;
+    /// * the token cache keeps every entry except those of affected
+    ///   views; the plan cache keeps every plan whose query avoids
+    ///   touched relations and affected view extents (plans encode
+    ///   size-dependent join orders, so stale sizes must recompile).
+    ///
+    /// Errors with [`fgc_relation::RelationError::DeltaMismatch`]
+    /// (via [`CoreError::Relation`]) when the delta is structural or
+    /// this engine's database is not the delta's parent; callers fall
+    /// back to a full rebuild.
+    pub fn derive_with_delta(&self, delta: &DatabaseDelta) -> Result<CitationEngine> {
+        let mut db = (*self.db).clone();
+        db.apply_delta(delta)?;
+        let db = Arc::new(db);
+
+        let touched: HashSet<&str> = delta.touched().collect();
+        let affected: HashSet<&str> = self
+            .registry
+            .iter()
+            .filter(|v| {
+                v.view
+                    .atoms
+                    .iter()
+                    .chain(v.citation_query.atoms.iter())
+                    .any(|a| touched.contains(a.relation.as_str()))
+            })
+            .map(|v| v.name.as_str())
+            .collect();
+
+        let cache = self.cache.filtered_copy(|token| match token {
+            CiteToken::View { view, .. } => !affected.contains(view.as_str()),
+            // base-relation citations carry no data, only the name
+            CiteToken::Base { .. } => true,
+        });
+        let plans = self.plans.filtered_copy(|q| {
+            !q.atoms.iter().any(|a| {
+                touched.contains(a.relation.as_str()) || affected.contains(a.relation.as_str())
+            })
+        });
+
+        // Carry the extent store forward only if this engine built
+        // one; otherwise the derived engine builds it lazily as usual.
+        let extent = match self
+            .extent_db
+            .read()
+            .expect("extent lock poisoned")
+            .as_ref()
+        {
+            None => None,
+            Some(parent) => {
+                let mut extended = (*db).clone();
+                for view in self.registry.iter() {
+                    if affected.contains(view.name.as_str()) {
+                        Self::materialize_extent(&mut extended, view, &db)?;
+                    } else {
+                        extended.adopt_relation(parent.relation(&view.name)?.clone())?;
+                    }
+                }
+                Some(Arc::new(extended))
+            }
+        };
+
+        // A sharded parent re-partitions the derived store with the
+        // same layout (delta replay inside shard fragments is not
+        // supported; fixity engines are unsharded anyway).
+        let sharded = match &self.sharded {
+            None => None,
+            Some(s) => Some(Arc::new(ShardedDatabase::from_database(
+                &db,
+                s.shard_count(),
+                s.spec().clone(),
+            )?)),
+        };
+
+        Ok(CitationEngine {
+            db,
+            registry: self.registry.clone(),
+            view_defs: self.view_defs.clone(),
+            policy: self.policy.clone(),
+            options: self.options,
+            inclusion: self.inclusion.clone(),
+            extent_db: RwLock::new(extent),
+            cache,
+            sharded,
+            extent_sharded: RwLock::new(None),
+            shard_counters: ShardCounters::default(),
+            plans,
+        })
+    }
+
     /// Drop cached citations, extents, and compiled plans (e.g. for
     /// cold-start runs).
     pub fn clear_caches(&self) {
@@ -377,32 +486,43 @@ impl CitationEngine {
         }
         let mut extended = (*self.db).clone();
         for view in self.registry.iter() {
-            let arity = view.view.arity();
-            let specs: Vec<(String, DataType)> = (0..arity)
-                .map(|i| (format!("c{i}"), DataType::Any))
-                .collect();
-            let spec_refs: Vec<(&str, DataType)> =
-                specs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-            extended.create_relation(RelationSchema::with_names(
-                view.name.clone(),
-                &spec_refs,
-                &[],
-            )?)?;
-            let extent = view.extent(&self.db)?;
-            extended.insert_all(&view.name, extent)?;
-            // index every parameter position and the first column:
-            // rewritings probe extents on parameter constants
-            let rel = extended.relation_mut(&view.name)?;
-            for p in view.param_positions()? {
-                rel.build_index(p)?;
-            }
-            if arity > 0 {
-                rel.build_index(0)?;
-            }
+            Self::materialize_extent(&mut extended, view, &self.db)?;
         }
         let arc = Arc::new(extended);
         *slot = Some(Arc::clone(&arc));
         Ok(arc)
+    }
+
+    /// Materialize one view's extent relation into `extended`,
+    /// evaluating the view over `db`. Indexes every parameter
+    /// position and the first column: rewritings probe extents on
+    /// parameter constants.
+    fn materialize_extent(
+        extended: &mut Database,
+        view: &fgc_views::CitationView,
+        db: &Database,
+    ) -> Result<()> {
+        let arity = view.view.arity();
+        let specs: Vec<(String, DataType)> = (0..arity)
+            .map(|i| (format!("c{i}"), DataType::Any))
+            .collect();
+        let spec_refs: Vec<(&str, DataType)> =
+            specs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        extended.create_relation(RelationSchema::with_names(
+            view.name.clone(),
+            &spec_refs,
+            &[],
+        )?)?;
+        let extent = view.extent(db)?;
+        extended.insert_all(&view.name, extent)?;
+        let rel = extended.relation_mut(&view.name)?;
+        for p in view.param_positions()? {
+            rel.build_index(p)?;
+        }
+        if arity > 0 {
+            rel.build_index(0)?;
+        }
+        Ok(())
     }
 
     /// Routed counterpart of [`Self::extent_database`]: the extent

@@ -8,6 +8,20 @@
 //! [`VersionedCitationEngine`] keeps one [`CitationEngine`] per
 //! committed snapshot (built lazily) and stamps every citation with
 //! the version id, label, and timestamp it was computed against.
+//!
+//! First touch of a version no longer always pays O(|DB|): when the
+//! previous version's engine is warm and the commit recorded a
+//! [`fgc_relation::DatabaseDelta`], the new engine is **derived** by
+//! replaying the delta ([`CitationEngine::derive_with_delta`]) —
+//! updating the relation store, recomputing only affected view
+//! extents, and invalidating only the touched entries of the token
+//! and plan caches. Derivation falls back to a full rebuild when no
+//! warm neighbor exists, the delta is structural, or it exceeds the
+//! [`derive threshold`](VersionedCitationEngine::with_derive_threshold).
+//! Either path produces byte-identical citations (the differential
+//! suite in `tests/versioned_equivalence.rs` pins this); the
+//! [`VersionStats`] counters report which path served each first
+//! touch.
 
 use crate::engine::{CitationEngine, EngineOptions, QueryCitation};
 use crate::error::{CoreError, Result};
@@ -15,8 +29,18 @@ use crate::policy::Policy;
 use fgc_query::ast::ConjunctiveQuery;
 use fgc_relation::version::{VersionId, VersionedDatabase};
 use fgc_views::{Json, ViewRegistry};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Default maximum delta size (effective ops) the engine will replay
+/// instead of rebuilding. Curated-database commits are far smaller.
+/// The op count is not the whole story — removals compact their
+/// relation, so the engine additionally falls back when a delta's
+/// size-weighted removal cost exceeds a few database scans (see
+/// [`VersionedCitationEngine::with_derive_threshold`]).
+pub const DEFAULT_DERIVE_THRESHOLD: usize = 4096;
 
 /// A citation together with its fixity stamp.
 #[derive(Debug, Clone)]
@@ -46,6 +70,40 @@ impl VersionedCitation {
     }
 }
 
+/// How a versioned engine has served its versions so far — the
+/// derived-vs-rebuilt accounting surfaced as the `fixity` block of
+/// `GET /stats` and asserted by the E13 experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionStats {
+    /// Committed versions in the history.
+    pub versions: usize,
+    /// Versions whose engine is currently warm (built and cached).
+    pub warm_engines: usize,
+    /// `engine_for` calls answered from the warm map.
+    pub hits: u64,
+    /// First touches served by delta replay from a warm neighbor.
+    pub derived: u64,
+    /// First touches served by a full rebuild from the snapshot.
+    pub rebuilt: u64,
+    /// Rebuilds forced although a delta existed (structural delta,
+    /// over-threshold delta, or replay mismatch) — a warm-neighbor
+    /// miss is counted only under `rebuilt`.
+    pub fallbacks: u64,
+    /// Current derivation threshold (max delta ops to replay).
+    pub derive_threshold: usize,
+}
+
+/// Relaxed counters behind [`VersionStats`] (same contract as
+/// [`crate::cache::CacheStats`]: exact when quiescent, monotone under
+/// concurrency).
+#[derive(Debug, Default)]
+struct VersionCounters {
+    hits: AtomicU64,
+    derived: AtomicU64,
+    rebuilt: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
 /// A citation engine over an evolving, versioned database.
 ///
 /// Citation entry points take `&self`: per-snapshot engines are built
@@ -59,6 +117,8 @@ pub struct VersionedCitationEngine {
     policy: Policy,
     options: EngineOptions,
     engines: RwLock<HashMap<VersionId, Arc<CitationEngine>>>,
+    derive_threshold: usize,
+    counters: VersionCounters,
 }
 
 impl VersionedCitationEngine {
@@ -71,6 +131,8 @@ impl VersionedCitationEngine {
             policy: Policy::default(),
             options: EngineOptions::default(),
             engines: RwLock::new(HashMap::new()),
+            derive_threshold: DEFAULT_DERIVE_THRESHOLD,
+            counters: VersionCounters::default(),
         }
     }
 
@@ -84,6 +146,32 @@ impl VersionedCitationEngine {
     pub fn with_options(mut self, options: EngineOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Replace the derivation threshold: deltas with more effective
+    /// ops than this rebuild from the snapshot instead of replaying.
+    /// `0` disables derivation entirely (every first touch rebuilds —
+    /// the E13 baseline). Independently of this knob, removal-heavy
+    /// deltas rebuild when their size-weighted removal cost (each
+    /// removal compacts its relation, O(rows)) exceeds a few database
+    /// scans, since replay would then be slower than the rebuild it
+    /// replaces.
+    pub fn with_derive_threshold(mut self, max_ops: usize) -> Self {
+        self.derive_threshold = max_ops;
+        self
+    }
+
+    /// Derived-vs-rebuilt serving counters.
+    pub fn version_stats(&self) -> VersionStats {
+        VersionStats {
+            versions: self.history.len(),
+            warm_engines: self.engines.read().expect("engine map poisoned").len(),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            derived: self.counters.derived.load(Ordering::Relaxed),
+            rebuilt: self.counters.rebuilt.load(Ordering::Relaxed),
+            fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
+            derive_threshold: self.derive_threshold,
+        }
     }
 
     /// The version history.
@@ -105,29 +193,132 @@ impl VersionedCitationEngine {
         Ok(self.history.commit_with(timestamp, label, mutate)?)
     }
 
-    fn engine_for(&self, version: VersionId) -> Result<Arc<CitationEngine>> {
+    /// Resolve a version id, mapping the relation-layer error to the
+    /// engine's structured [`CoreError::NoSuchVersion`].
+    fn snapshot_of(
+        &self,
+        version: VersionId,
+    ) -> Result<(
+        &fgc_relation::version::VersionInfo,
+        &Arc<fgc_relation::Database>,
+    )> {
+        self.history
+            .snapshot(version)
+            .map_err(|_| CoreError::NoSuchVersion(format!("version id {version}")))
+    }
+
+    /// Try to derive `version`'s engine by replaying its commit delta
+    /// onto the previous version's warm engine. `None` (with the
+    /// fallback accounting) sends the caller to the rebuild path.
+    fn derive_from_neighbor(&self, version: VersionId) -> Option<Arc<CitationEngine>> {
+        let delta = self.history.delta(version)?;
+        // threshold 0 is a full disable (even empty deltas rebuild)
+        if self.derive_threshold == 0
+            || delta.is_structural()
+            || delta.op_count() > self.derive_threshold
+        {
+            self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let parent = self
+            .engines
+            .read()
+            .expect("engine map poisoned")
+            .get(&(version - 1))
+            .map(Arc::clone)?;
+        // The op threshold alone is blind to removal cost:
+        // `Relation::remove` keeps insertion order by compacting, so
+        // each removal is O(relation size). Weight removals by their
+        // relation's size and rebuild when replay would cost several
+        // database scans — the point past which the rebuild's own
+        // O(|DB|) work is the cheaper path.
+        let parent_db = parent.database();
+        let removal_cost: usize = delta
+            .relations()
+            .map(|rd| {
+                let removes = rd
+                    .ops
+                    .iter()
+                    .filter(|op| matches!(op, fgc_relation::DeltaOp::Remove(_)))
+                    .count();
+                let rows = parent_db.relation(&rd.relation).map_or(0, |r| r.len());
+                removes.saturating_mul(rows)
+            })
+            .fold(0usize, usize::saturating_add);
+        if removal_cost > parent_db.total_tuples().saturating_mul(4) {
+            self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match parent.derive_with_delta(delta) {
+            Ok(engine) => Some(Arc::new(engine)),
+            Err(_) => {
+                // replay mismatch: evidence the warm neighbor diverged
+                // from its snapshot — rebuild from the source of truth
+                self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The engine serving `version`, derived or (re)built on first
+    /// touch. Public so servers can pin the head engine and tests can
+    /// inspect per-version cache counters.
+    pub fn engine_for_version(&self, version: VersionId) -> Result<Arc<CitationEngine>> {
         if let Some(engine) = self
             .engines
             .read()
             .expect("engine map poisoned")
             .get(&version)
         {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(engine));
         }
-        // Build outside any lock: snapshot cloning plus engine
-        // construction is O(|DB|), and holding the write lock for it
-        // would stall concurrent citations against warm versions.
-        // Construction is deterministic, so when two threads race the
-        // loser's build is wasted work, not divergence; the first
-        // insert wins so all callers share one (cache-warm) engine.
-        let (_, db) = self.history.snapshot(version)?;
-        let engine = Arc::new(
-            CitationEngine::new((**db).clone(), self.registry.clone())?
-                .with_policy(self.policy.clone())
-                .with_options(self.options),
-        );
+        // Build outside any lock: derivation is O(delta) and rebuild
+        // O(|DB|), and holding the write lock for either would stall
+        // concurrent citations against warm versions. Both paths are
+        // deterministic functions of the history, so when two threads
+        // race — even one deriving while the other rebuilds — the
+        // loser's work is wasted, not divergent; the first insert
+        // wins so all callers share one (cache-warm) engine. The
+        // debug assertion below checks the agreement that reasoning
+        // relies on.
+        let engine = match self.derive_from_neighbor(version) {
+            Some(derived) => {
+                self.counters.derived.fetch_add(1, Ordering::Relaxed);
+                derived
+            }
+            None => {
+                let (_, db) = self.snapshot_of(version)?;
+                let rebuilt = Arc::new(
+                    CitationEngine::new((**db).clone(), self.registry.clone())?
+                        .with_policy(self.policy.clone())
+                        .with_options(self.options),
+                );
+                self.counters.rebuilt.fetch_add(1, Ordering::Relaxed);
+                rebuilt
+            }
+        };
         let mut map = self.engines.write().expect("engine map poisoned");
-        Ok(Arc::clone(map.entry(version).or_insert(engine)))
+        match map.entry(version) {
+            Entry::Occupied(existing) => {
+                debug_assert!(
+                    existing.get().database().content_eq(engine.database()),
+                    "racing builders derived different databases for version {version}"
+                );
+                Ok(Arc::clone(existing.get()))
+            }
+            Entry::Vacant(slot) => Ok(Arc::clone(slot.insert(engine))),
+        }
+    }
+
+    /// The engine serving the newest version.
+    pub fn head_engine(&self) -> Result<Arc<CitationEngine>> {
+        let version = self
+            .history
+            .head()
+            .map(|(info, _)| info.id)
+            .ok_or_else(|| CoreError::NoSuchVersion("empty history".into()))?;
+        self.engine_for_version(version)
     }
 
     /// Cite against a specific version.
@@ -137,10 +328,10 @@ impl VersionedCitationEngine {
         q: &ConjunctiveQuery,
     ) -> Result<VersionedCitation> {
         let (label, timestamp) = {
-            let (info, _) = self.history.snapshot(version)?;
+            let (info, _) = self.snapshot_of(version)?;
             (info.label.clone(), info.timestamp)
         };
-        let citation = self.engine_for(version)?.cite(q)?;
+        let citation = self.engine_for_version(version)?.cite(q)?;
         Ok(VersionedCitation {
             citation,
             version,
@@ -300,5 +491,156 @@ mod tests {
             e.cite_head(&q).unwrap_err(),
             CoreError::NoSuchVersion(_)
         ));
+        assert!(matches!(
+            e.head_engine().unwrap_err(),
+            CoreError::NoSuchVersion(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_a_structured_error() {
+        let e = VersionedCitationEngine::new(history(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        assert!(matches!(
+            e.cite_at_version(99, &q).unwrap_err(),
+            CoreError::NoSuchVersion(_)
+        ));
+    }
+
+    #[test]
+    fn warm_neighbor_derives_instead_of_rebuilding() {
+        let e = VersionedCitationEngine::new(history(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        e.cite_at_version(0, &q).unwrap(); // rebuild (no delta for v0)
+        e.cite_at_version(1, &q).unwrap(); // derive from warm v0
+        let stats = e.version_stats();
+        assert_eq!(stats.rebuilt, 1, "{stats:?}");
+        assert_eq!(stats.derived, 1, "{stats:?}");
+        assert_eq!(stats.fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.warm_engines, 2);
+        assert_eq!(stats.versions, 2);
+        // second touch hits the warm map
+        e.cite_at_version(1, &q).unwrap();
+        assert!(e.version_stats().hits >= 1);
+    }
+
+    #[test]
+    fn derived_engine_cites_identically_to_rebuilt() {
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        let incremental = VersionedCitationEngine::new(history(), registry());
+        let rebuild_only =
+            VersionedCitationEngine::new(history(), registry()).with_derive_threshold(0);
+        for v in 0..2 {
+            incremental.cite_at_version(0, &q).unwrap(); // keep neighbor warm
+            let a = incremental.cite_at_version(v, &q).unwrap();
+            let b = rebuild_only.cite_at_version(v, &q).unwrap();
+            assert_eq!(
+                a.stamped_aggregate().to_compact(),
+                b.stamped_aggregate().to_compact()
+            );
+            assert_eq!(a.citation.tuples.len(), b.citation.tuples.len());
+            for (ta, tb) in a.citation.tuples.iter().zip(&b.citation.tuples) {
+                assert_eq!(ta.tuple, tb.tuple);
+                assert_eq!(ta.citation.to_compact(), tb.citation.to_compact());
+            }
+        }
+        assert!(incremental.version_stats().derived >= 1);
+        let stats = rebuild_only.version_stats();
+        assert_eq!(stats.derived, 0);
+        assert_eq!(stats.rebuilt, 2);
+        // threshold 0 counts the skipped replayable delta as fallback
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.derive_threshold, 0);
+    }
+
+    #[test]
+    fn out_of_order_first_touch_rebuilds_then_later_versions_derive() {
+        let mut h = history();
+        h.commit_with(300, "v25", |db| {
+            db.insert("Family", tuple!["13", "Kinase", "enzyme"])
+                .map(|_| ())
+        })
+        .unwrap();
+        let e = VersionedCitationEngine::new(h, registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        // first touch of v1 has no warm neighbor: rebuild
+        e.cite_at_version(1, &q).unwrap();
+        // v2 derives from the now-warm v1
+        e.cite_at_version(2, &q).unwrap();
+        let stats = e.version_stats();
+        assert_eq!(stats.rebuilt, 1, "{stats:?}");
+        assert_eq!(stats.derived, 1, "{stats:?}");
+        assert_eq!(stats.fallbacks, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn snapshot_commits_have_no_delta_and_rebuild() {
+        let mut h = history();
+        h.commit(base_db(), 300, "whole-snapshot").unwrap();
+        let e = VersionedCitationEngine::new(h, registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        e.cite_at_version(1, &q).unwrap();
+        e.cite_at_version(2, &q).unwrap(); // no delta: rebuild despite warm v1
+        let stats = e.version_stats();
+        assert_eq!(stats.rebuilt, 2);
+        assert_eq!(stats.derived, 0);
+    }
+
+    #[test]
+    fn removal_heavy_commit_falls_back_even_under_the_op_threshold() {
+        let mut db = base_db();
+        for i in 0..50 {
+            db.insert(
+                "Family",
+                tuple![format!("b{i}"), format!("Bulk-{i}"), "gpcr"],
+            )
+            .unwrap();
+        }
+        let mut h = VersionedDatabase::new();
+        h.commit(db, 100, "v0").unwrap();
+        h.commit_with(200, "purge", |db| {
+            let doomed: Vec<_> = db
+                .relation("Family")?
+                .rows()
+                .iter()
+                .take(25)
+                .cloned()
+                .collect();
+            for t in doomed {
+                db.remove("Family", &t)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // 25 ops is far under the op threshold, but 25 removals × ~50
+        // rows ≫ 4×|DB|: replay would out-cost the rebuild
+        let e = VersionedCitationEngine::new(h, registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        e.cite_at_version(0, &q).unwrap();
+        let cited = e.cite_at_version(1, &q).unwrap();
+        assert_eq!(cited.citation.tuples.len(), 26);
+        let stats = e.version_stats();
+        assert_eq!(stats.derived, 0, "{stats:?}");
+        assert_eq!(stats.fallbacks, 1, "{stats:?}");
+        assert_eq!(stats.rebuilt, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn structural_commit_falls_back_to_rebuild() {
+        use fgc_relation::schema::RelationSchema;
+        let mut h = history();
+        h.commit_with(300, "schema-change", |db| {
+            db.create_relation(
+                RelationSchema::with_names("Extra", &[("x", DataType::Int)], &[]).unwrap(),
+            )
+        })
+        .unwrap();
+        let e = VersionedCitationEngine::new(h, registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        e.cite_at_version(1, &q).unwrap();
+        e.cite_at_version(2, &q).unwrap();
+        let stats = e.version_stats();
+        assert_eq!(stats.derived, 0);
+        assert_eq!(stats.fallbacks, 1, "{stats:?}");
     }
 }

@@ -93,7 +93,9 @@ pub use engine::{
 pub use error::{CoreError, Result};
 pub use explain::explain;
 pub use fgc_relation::sharded::{ShardKeySpec, ShardStats};
-pub use fixity::{VersionedCitation, VersionedCitationEngine};
+pub use fixity::{
+    VersionStats, VersionedCitation, VersionedCitationEngine, DEFAULT_DERIVE_THRESHOLD,
+};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use policy::{CombineOp, OrderChoice, Policy};
 pub use request::{CiteRequest, CiteResponse, QuerySpec};

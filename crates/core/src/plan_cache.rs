@@ -226,6 +226,35 @@ impl PlanCache {
             guard.hand = 0;
         }
     }
+
+    /// A fresh cache (same capacity, zeroed counters) seeded with the
+    /// plans whose query satisfies `keep`. Plans are `Arc`-shared
+    /// with the source cache. A derived engine keeps plans whose
+    /// queries touch only relations a commit delta left alone —
+    /// plans over touched relations must recompile because the
+    /// greedy order and probe choices depend on relation sizes.
+    pub fn filtered_copy<F>(&self, keep: F) -> PlanCache
+    where
+        F: Fn(&ConjunctiveQuery) -> bool,
+    {
+        let copy = PlanCache::with_shard_capacity(self.shard_capacity);
+        for shard in &self.shards {
+            let guard = shard.read().expect("plan cache shard poisoned");
+            for slot in &guard.slots {
+                if keep(&slot.query) {
+                    copy.shard(&slot.query)
+                        .write()
+                        .expect("plan cache shard poisoned")
+                        .insert(
+                            slot.query.clone(),
+                            Arc::clone(&slot.plan),
+                            copy.shard_capacity,
+                        );
+                }
+            }
+        }
+        copy
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! A database instance: a catalog plus one [`Relation`] per schema.
 
+use crate::delta::{DatabaseDelta, DeltaOp, RelationDelta};
 use crate::error::{RelationError, Result};
 use crate::relation::Relation;
 use crate::schema::{Catalog, RelationSchema};
@@ -12,6 +13,12 @@ use std::sync::Arc;
 pub struct Database {
     catalog: Catalog,
     relations: HashMap<String, Relation>,
+    /// Whether a commit delta is being captured (see
+    /// [`Database::begin_delta`]).
+    recording: bool,
+    /// A structural change (relation created, schema replaced)
+    /// happened while recording.
+    structural_change: bool,
 }
 
 impl Database {
@@ -23,7 +30,12 @@ impl Database {
     /// Register a schema and create its (empty) relation instance.
     pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
         let arc = self.catalog.add(schema)?;
-        self.relations.insert(arc.name.clone(), Relation::new(arc));
+        let mut relation = Relation::new(arc);
+        if self.recording {
+            self.structural_change = true;
+            relation.start_recording();
+        }
+        self.relations.insert(relation.name().to_string(), relation);
         Ok(())
     }
 
@@ -41,6 +53,9 @@ impl Database {
             .get_mut(&name)
             .ok_or(RelationError::UnknownRelation(name))?
             .set_schema(arc);
+        if self.recording {
+            self.structural_change = true;
+        }
         Ok(())
     }
 
@@ -78,6 +93,121 @@ impl Database {
             }
         }
         Ok(added)
+    }
+
+    /// Remove one tuple. Returns `true` if it was stored. Like
+    /// [`Database::insert`], foreign keys are not enforced here;
+    /// [`Database::check_integrity`] validates the whole instance.
+    pub fn remove(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.remove(tuple)
+    }
+
+    /// Start capturing a commit delta: every subsequent effective
+    /// insert or removal (including through
+    /// [`Database::relation_mut`]) is logged until
+    /// [`Database::take_delta`]. Structural changes — creating a
+    /// relation, replacing a schema, building an index — mark the
+    /// delta structural, which tells consumers to rebuild instead of
+    /// replay.
+    pub fn begin_delta(&mut self) {
+        self.recording = true;
+        self.structural_change = false;
+        for relation in self.relations.values_mut() {
+            relation.start_recording();
+        }
+    }
+
+    /// Stop capturing and return the recorded delta. Per-relation
+    /// logs come back in catalog (registration) order; ops on
+    /// different relations commute, so that order is canonical.
+    pub fn take_delta(&mut self) -> DatabaseDelta {
+        self.recording = false;
+        let mut structural = self.structural_change;
+        self.structural_change = false;
+        let mut relations = Vec::new();
+        let names: Vec<String> = self.catalog.iter().map(|s| s.name.clone()).collect();
+        for name in names {
+            let Some(relation) = self.relations.get_mut(&name) else {
+                continue;
+            };
+            let Some(log) = relation.take_log() else {
+                continue;
+            };
+            structural |= log.structural;
+            if !log.ops.is_empty() {
+                relations.push(RelationDelta {
+                    relation: name,
+                    ops: log.ops,
+                });
+            }
+        }
+        DatabaseDelta::new(relations, structural)
+    }
+
+    /// Replay a recorded delta onto this database.
+    ///
+    /// Sound only when `self` is structurally identical to the
+    /// database the delta was recorded against (its parent version):
+    /// then every logged op is effective again and the result is
+    /// structurally identical — same row order, same index state — to
+    /// the database the recording produced. A structural delta, or an
+    /// op that is not effective (evidence the base diverged), aborts
+    /// with [`RelationError::DeltaMismatch`]; the database may then
+    /// be partially updated and should be discarded.
+    pub fn apply_delta(&mut self, delta: &DatabaseDelta) -> Result<()> {
+        if delta.is_structural() {
+            return Err(RelationError::DeltaMismatch(
+                "structural delta cannot be replayed".into(),
+            ));
+        }
+        for rd in delta.relations() {
+            let relation = self.relation_mut(&rd.relation)?;
+            for op in &rd.ops {
+                let effective = match op {
+                    DeltaOp::Insert(t) => relation.insert(t.clone())?,
+                    DeltaOp::Remove(t) => relation.remove(t)?,
+                };
+                if !effective {
+                    return Err(RelationError::DeltaMismatch(format!(
+                        "op had no effect on `{}`: base is not the delta's parent",
+                        rd.relation
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopt a fully built relation (rows and indexes included) under
+    /// its existing schema. Used when deriving one database from
+    /// another to carry over relations known to be unchanged.
+    pub fn adopt_relation(&mut self, relation: Relation) -> Result<()> {
+        self.catalog.add((**relation.schema()).clone())?;
+        let mut relation = relation;
+        if self.recording {
+            // like create_relation: op replay cannot reproduce a
+            // wholesale adoption, so the delta must force a rebuild
+            self.structural_change = true;
+            relation.start_recording();
+        }
+        self.relations.insert(relation.name().to_string(), relation);
+        Ok(())
+    }
+
+    /// Structural equality of the stored data: same catalog (names,
+    /// registration order) and, per relation, the same rows in the
+    /// same order. Used by debug assertions that independent
+    /// derivations of one version agree.
+    pub fn content_eq(&self, other: &Database) -> bool {
+        let mine: Vec<&str> = self.catalog.iter().map(|s| s.name.as_str()).collect();
+        let theirs: Vec<&str> = other.catalog.iter().map(|s| s.name.as_str()).collect();
+        mine == theirs
+            && mine
+                .iter()
+                .all(|name| match (self.relation(name), other.relation(name)) {
+                    (Ok(a), Ok(b)) => a.rows() == b.rows(),
+                    _ => false,
+                })
     }
 
     /// Total number of stored tuples across all relations.
@@ -226,6 +356,133 @@ mod tests {
         db.build_default_indexes().unwrap();
         let fc = db.relation("FC").unwrap();
         assert!(fc.probe(0, &crate::value::Value::str("11")).is_some());
+    }
+
+    #[test]
+    fn delta_round_trip_reproduces_the_mutated_database() {
+        let mut parent = gtopdb_skeleton();
+        parent
+            .insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        parent.insert("FC", tuple!["11", "p1"]).unwrap();
+        parent.build_default_indexes().unwrap();
+
+        let mut child = parent.clone();
+        child.begin_delta();
+        child
+            .insert("Family", tuple!["12", "Orexin", "gpcr"])
+            .unwrap();
+        child.remove("FC", &tuple!["11", "p1"]).unwrap();
+        child.insert("FC", tuple!["12", "p2"]).unwrap();
+        let delta = child.take_delta();
+        assert!(!delta.is_structural());
+        assert_eq!(delta.op_count(), 3);
+
+        let mut replayed = parent.clone();
+        replayed.apply_delta(&delta).unwrap();
+        assert!(replayed.content_eq(&child));
+        // indexes replayed identically too
+        assert_eq!(
+            replayed.relation("FC").unwrap().indexed_columns(),
+            child.relation("FC").unwrap().indexed_columns()
+        );
+    }
+
+    #[test]
+    fn relation_mut_mutations_are_recorded() {
+        let mut db = gtopdb_skeleton();
+        db.begin_delta();
+        db.relation_mut("Family")
+            .unwrap()
+            .insert(tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        let delta = db.take_delta();
+        assert_eq!(delta.op_count(), 1);
+        assert_eq!(delta.touched().collect::<Vec<_>>(), vec!["Family"]);
+    }
+
+    #[test]
+    fn structural_commits_are_flagged_and_not_replayable() {
+        let mut db = gtopdb_skeleton();
+        db.begin_delta();
+        db.create_relation(
+            RelationSchema::with_names("New", &[("x", DataType::Int)], &[]).unwrap(),
+        )
+        .unwrap();
+        let delta = db.take_delta();
+        assert!(delta.is_structural());
+        let mut other = gtopdb_skeleton();
+        assert!(matches!(
+            other.apply_delta(&delta).unwrap_err(),
+            RelationError::DeltaMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn apply_delta_rejects_diverged_base() {
+        let mut parent = gtopdb_skeleton();
+        parent.begin_delta();
+        parent
+            .insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        let delta = parent.take_delta();
+        // replaying onto a base that already holds the tuple: the
+        // insert is ineffective, which is evidence of divergence
+        assert!(matches!(
+            parent.apply_delta(&delta).unwrap_err(),
+            RelationError::DeltaMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn content_eq_detects_row_and_catalog_differences() {
+        let mut a = gtopdb_skeleton();
+        let mut b = gtopdb_skeleton();
+        assert!(a.content_eq(&b));
+        a.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        assert!(!a.content_eq(&b));
+        b.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        assert!(a.content_eq(&b));
+        b.create_relation(RelationSchema::with_names("Z", &[("x", DataType::Int)], &[]).unwrap())
+            .unwrap();
+        assert!(!a.content_eq(&b));
+    }
+
+    #[test]
+    fn adopt_relation_while_recording_is_structural() {
+        let mut src = gtopdb_skeleton();
+        src.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        let mut db = Database::new();
+        db.begin_delta();
+        db.adopt_relation(src.relation("Family").unwrap().clone())
+            .unwrap();
+        // adoption cannot be replayed op-by-op: the delta must force
+        // consumers down the rebuild path, and later inserts into the
+        // adopted relation are still logged
+        db.insert("Family", tuple!["12", "Orexin", "gpcr"]).unwrap();
+        let delta = db.take_delta();
+        assert!(delta.is_structural());
+        assert_eq!(delta.op_count(), 1);
+    }
+
+    #[test]
+    fn adopt_relation_carries_rows_and_indexes() {
+        let mut src = gtopdb_skeleton();
+        src.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        src.relation_mut("Family").unwrap().build_index(2).unwrap();
+        let mut dst = Database::new();
+        dst.adopt_relation(src.relation("Family").unwrap().clone())
+            .unwrap();
+        assert_eq!(dst.relation("Family").unwrap().len(), 1);
+        assert_eq!(dst.relation("Family").unwrap().indexed_columns(), vec![2]);
+        // adopting a second relation with the same name collides
+        assert!(dst
+            .adopt_relation(src.relation("Family").unwrap().clone())
+            .is_err());
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub enum RelationError {
     },
     /// A version id was requested that does not exist.
     UnknownVersion(u64),
+    /// A commit delta could not be replayed (structural change, or
+    /// the base database is not the delta's parent version).
+    DeltaMismatch(String),
 }
 
 impl fmt::Display for RelationError {
@@ -110,6 +113,7 @@ impl fmt::Display for RelationError {
                 write!(f, "parse error at line {line}: {message}")
             }
             RelationError::UnknownVersion(v) => write!(f, "unknown database version {v}"),
+            RelationError::DeltaMismatch(msg) => write!(f, "delta not applicable: {msg}"),
         }
     }
 }

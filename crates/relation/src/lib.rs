@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod loader;
 pub mod relation;
@@ -41,6 +42,7 @@ pub mod version;
 /// Convenient glob-import of the common types.
 pub mod prelude {
     pub use crate::database::Database;
+    pub use crate::delta::{DatabaseDelta, DeltaOp, RelationDelta};
     pub use crate::error::{RelationError, Result as RelationResult};
     pub use crate::relation::Relation;
     pub use crate::schema::{Attribute, Catalog, ForeignKey, RelationSchema};
@@ -52,6 +54,7 @@ pub mod prelude {
 }
 
 pub use database::Database;
+pub use delta::{DatabaseDelta, DeltaOp, RelationDelta};
 pub use error::RelationError;
 pub use relation::Relation;
 pub use schema::{Attribute, Catalog, ForeignKey, RelationSchema};

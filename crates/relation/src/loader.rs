@@ -25,6 +25,7 @@ use crate::database::Database;
 use crate::error::{RelationError, Result};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use crate::version::VersionedDatabase;
 use std::fmt::Write as _;
 
 /// Load tuples from the text format into an existing database.
@@ -191,6 +192,110 @@ fn split_fields(line: &str) -> Vec<String> {
     fields
 }
 
+/// Load a commit history from the commits text format into a
+/// [`VersionedDatabase`] (appending after its current head). Returns
+/// the number of commits applied.
+///
+/// Format, one commit per `@commit` section:
+///
+/// ```text
+/// # deltas over the base snapshot
+/// @commit 200 GtoPdb 24
+/// + Family | "20" | "Melatonin" | "gpcr"
+/// - FC | "11" | "p1"
+/// ```
+///
+/// `@commit TIMESTAMP LABEL...` opens a commit; `+ R | v...` inserts
+/// a tuple into `R`, `- R | v...` removes one. Commits go through
+/// [`VersionedDatabase::commit_with`], so each version records its
+/// delta and derived engines can replay it.
+///
+/// Application is **all-or-nothing**: commits are staged on a copy of
+/// the history (snapshots are `Arc`-shared, so the copy is cheap) and
+/// the history is only replaced once every section applied — on error
+/// it is left exactly as passed in, so a caller can fix the file and
+/// retry without double-applying earlier commits.
+pub fn load_commits(history: &mut VersionedDatabase, text: &str) -> Result<usize> {
+    // (timestamp, label, ops); op = (lineno, insert?, relation, tuple)
+    type Op = (usize, bool, String, Tuple);
+    let mut commits: Vec<(u64, String, Vec<Op>)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        let err = |message: String| RelationError::Parse {
+            line: lineno,
+            message,
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@commit") {
+            let rest = rest.trim();
+            let (ts, label) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            let timestamp: u64 = ts
+                .parse()
+                .map_err(|_| err(format!("@commit expects a numeric timestamp, got `{ts}`")))?;
+            let label = if label.trim().is_empty() {
+                format!("commit@{timestamp}")
+            } else {
+                label.trim().to_string()
+            };
+            commits.push((timestamp, label, Vec::new()));
+            continue;
+        }
+        let (insert, rest) = match (line.strip_prefix('+'), line.strip_prefix('-')) {
+            (Some(rest), _) => (true, rest),
+            (_, Some(rest)) => (false, rest),
+            _ => return Err(err("expected `@commit`, `+ R | ...`, or `- R | ...`".into())),
+        };
+        let mut fields = split_fields(rest);
+        if fields.len() < 2 {
+            return Err(err("op needs a relation and at least one value".into()));
+        }
+        let relation = fields.remove(0);
+        if relation.is_empty() {
+            return Err(err("op is missing its relation name".into()));
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for field in fields {
+            values.push(
+                Value::parse(&field).ok_or_else(|| err(format!("cannot parse value `{field}`")))?,
+            );
+        }
+        commits
+            .last_mut()
+            .ok_or_else(|| err("op before any @commit header".into()))?
+            .2
+            .push((lineno, insert, relation, Tuple::new(values)));
+    }
+    let applied = commits.len();
+    let mut staged = history.clone();
+    for (timestamp, label, ops) in commits {
+        staged.commit_with(timestamp, label, |db| {
+            for (lineno, insert, relation, tuple) in ops {
+                let effective = if insert {
+                    db.insert(&relation, tuple)?
+                } else {
+                    db.remove(&relation, &tuple)?
+                };
+                if !effective {
+                    return Err(RelationError::Parse {
+                        line: lineno,
+                        message: format!(
+                            "{} on `{relation}` had no effect (tuple {})",
+                            if insert { "insert" } else { "remove" },
+                            if insert { "already stored" } else { "absent" },
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        })?;
+    }
+    *history = staged;
+    Ok(applied)
+}
+
 /// Dump a database to the text format (relations in catalog order,
 /// tuples in insertion order). `load_text` of the output reproduces
 /// the instance.
@@ -258,6 +363,90 @@ mod tests {
         .unwrap();
         assert_eq!(n, 3);
         assert_eq!(db.relation("Family").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn load_commits_builds_versions_with_deltas() {
+        let mut db = db();
+        load_text(
+            &mut db,
+            "@relation Family\n\"11\" | \"Calcitonin\" | \"gpcr\"",
+        )
+        .unwrap();
+        let mut history = VersionedDatabase::new();
+        history.commit(db, 100, "base").unwrap();
+        let n = load_commits(
+            &mut history,
+            r#"
+            # two curation releases
+            @commit 200 GtoPdb 24
+            + Family | "12" | "Orexin" | "gpcr"
+            + MetaData | "Curator" | "Hay"
+            @commit 300
+            - Family | "11" | "Calcitonin" | "gpcr"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(history.len(), 3);
+        assert_eq!(history.snapshot(1).unwrap().0.label, "GtoPdb 24");
+        assert_eq!(history.snapshot(2).unwrap().0.label, "commit@300");
+        assert_eq!(history.snapshot(2).unwrap().1.total_tuples(), 2);
+        let d1 = history.delta(1).unwrap();
+        assert_eq!((d1.inserted(), d1.removed()), (2, 0));
+        assert_eq!((history.delta(2).unwrap().removed()), 1);
+    }
+
+    #[test]
+    fn load_commits_rejects_malformed_input() {
+        let mut history = VersionedDatabase::new();
+        history.commit(db(), 100, "base").unwrap();
+        // op before any @commit
+        assert!(matches!(
+            load_commits(&mut history, "+ Family | \"x\" | \"y\" | \"z\""),
+            Err(RelationError::Parse { line: 1, .. })
+        ));
+        // bad timestamp
+        assert!(load_commits(&mut history, "@commit soon v1").is_err());
+        // neither +/- nor @commit
+        assert!(load_commits(&mut history, "@commit 200 v1\nFamily | \"x\"").is_err());
+        // ineffective op aborts the commit (and the history is unchanged)
+        let before = history.len();
+        let err = load_commits(
+            &mut history,
+            "@commit 200 v1\n- Family | \"99\" | \"no\" | \"pe\"",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no effect"), "{err}");
+        assert_eq!(history.len(), before);
+        // all-or-nothing: a failure in a *later* section rolls back
+        // the earlier (valid) commits too, so a fixed file can be
+        // retried without double-applying
+        let err = load_commits(
+            &mut history,
+            "@commit 200 ok\n+ Family | \"55\" | \"Fifty\" | \"gpcr\"\n\
+             @commit 300 bad\n- Family | \"99\" | \"no\" | \"pe\"",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no effect"), "{err}");
+        assert_eq!(history.len(), before);
+        assert!(!history
+            .head()
+            .unwrap()
+            .1
+            .relation("Family")
+            .unwrap()
+            .contains(&tuple!["55", "Fifty", "gpcr"]));
+        // and the retry of the fixed file succeeds cleanly
+        assert_eq!(
+            load_commits(
+                &mut history,
+                "@commit 200 ok\n+ Family | \"55\" | \"Fifty\" | \"gpcr\""
+            )
+            .unwrap(),
+            1
+        );
+        assert_eq!(history.len(), before + 1);
     }
 
     #[test]

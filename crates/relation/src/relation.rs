@@ -6,6 +6,7 @@
 //! columns are built on demand and used by the query evaluator for
 //! index-nested-loop joins.
 
+use crate::delta::{DeltaOp, RelationLog};
 use crate::error::{RelationError, Result};
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
@@ -24,6 +25,11 @@ pub struct Relation {
     key_index: HashMap<Tuple, usize>,
     /// Secondary indexes: column -> (value -> row positions).
     secondary: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Effective-op log, recording while the owning database captures
+    /// a commit delta (see [`crate::Database::begin_delta`]). Lives
+    /// here rather than on the database so mutations through
+    /// [`crate::Database::relation_mut`] are captured too.
+    log: Option<RelationLog>,
 }
 
 impl Relation {
@@ -35,7 +41,22 @@ impl Relation {
             row_set: HashMap::new(),
             key_index: HashMap::new(),
             secondary: HashMap::new(),
+            log: None,
         }
+    }
+
+    /// Start recording effective ops (idempotent: an active log is
+    /// kept).
+    pub(crate) fn start_recording(&mut self) {
+        if self.log.is_none() {
+            self.log = Some(RelationLog::default());
+        }
+    }
+
+    /// Stop recording and hand back the log (`None` when recording
+    /// was never started).
+    pub(crate) fn take_log(&mut self) -> Option<RelationLog> {
+        self.log.take()
     }
 
     /// The relation's schema.
@@ -123,7 +144,58 @@ impl Relation {
             index.entry(tuple[col].clone()).or_default().push(pos);
         }
         self.row_set.insert(tuple.clone(), pos);
+        if let Some(log) = &mut self.log {
+            log.ops.push(DeltaOp::Insert(tuple.clone()));
+        }
         self.rows.push(tuple);
+        Ok(true)
+    }
+
+    /// Remove a stored tuple. Returns `true` if it was present.
+    ///
+    /// Removal preserves insertion order for the surviving rows (the
+    /// global tuple order that evaluation, sharding, and citations
+    /// rely on): the row is taken out of the middle and every stored
+    /// position past it shifts down — O(rows + index entries) per
+    /// removal, the right trade for curated databases whose commits
+    /// remove a handful of tuples.
+    pub fn remove(&mut self, tuple: &Tuple) -> Result<bool> {
+        self.check_shape(tuple)?;
+        let Some(pos) = self.row_set.remove(tuple) else {
+            return Ok(false);
+        };
+        self.rows.remove(pos);
+        if self.schema.has_key() {
+            self.key_index.remove(&tuple.project(&self.schema.key));
+        }
+        for p in self.row_set.values_mut() {
+            if *p > pos {
+                *p -= 1;
+            }
+        }
+        for p in self.key_index.values_mut() {
+            if *p > pos {
+                *p -= 1;
+            }
+        }
+        for (&col, index) in &mut self.secondary {
+            if let Some(list) = index.get_mut(&tuple[col]) {
+                list.retain(|&p| p != pos);
+                if list.is_empty() {
+                    index.remove(&tuple[col]);
+                }
+            }
+            for list in index.values_mut() {
+                for p in list {
+                    if *p > pos {
+                        *p -= 1;
+                    }
+                }
+            }
+        }
+        if let Some(log) = &mut self.log {
+            log.ops.push(DeltaOp::Remove(tuple.clone()));
+        }
         Ok(true)
     }
 
@@ -153,6 +225,11 @@ impl Relation {
             index.entry(row[column].clone()).or_default().push(pos);
         }
         self.secondary.insert(column, index);
+        if let Some(log) = &mut self.log {
+            // a mid-commit index build changes evaluation structure in
+            // a way op replay cannot reproduce: force a rebuild
+            log.structural = true;
+        }
         Ok(())
     }
 
@@ -289,5 +366,79 @@ mod tests {
     fn build_index_out_of_range() {
         let mut r = family();
         assert!(r.build_index(9).is_err());
+    }
+
+    #[test]
+    fn remove_preserves_row_order_and_indexes() {
+        let mut r = family();
+        r.build_index(2).unwrap();
+        r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        r.insert(tuple!["12", "Orexin", "gpcr"]).unwrap();
+        r.insert(tuple!["13", "Kinase", "enzyme"]).unwrap();
+        assert!(r.remove(&tuple!["11", "Calcitonin", "gpcr"]).unwrap());
+        // order preserved, positions shifted
+        assert_eq!(
+            r.rows(),
+            &[
+                tuple!["12", "Orexin", "gpcr"],
+                tuple!["13", "Kinase", "enzyme"]
+            ]
+        );
+        assert_eq!(r.get_by_key(&tuple!["11"]), None);
+        assert_eq!(
+            r.get_by_key(&tuple!["12"]),
+            Some(&tuple!["12", "Orexin", "gpcr"])
+        );
+        assert_eq!(r.probe(2, &Value::str("gpcr")).unwrap(), &[0]);
+        assert_eq!(r.probe(2, &Value::str("enzyme")).unwrap(), &[1]);
+        // the key can be reused after removal
+        r.insert(tuple!["11", "Calcitonin-2", "gpcr"]).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut r = family();
+        r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        assert!(!r.remove(&tuple!["11", "Other", "gpcr"]).unwrap());
+        assert_eq!(r.len(), 1);
+        // shape is still checked
+        assert!(r.remove(&tuple!["11"]).is_err());
+    }
+
+    #[test]
+    fn recording_captures_effective_ops_only() {
+        use crate::delta::DeltaOp;
+        let mut r = family();
+        r.insert(tuple!["10", "Pre", "gpcr"]).unwrap();
+        r.start_recording();
+        r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap();
+        r.insert(tuple!["11", "Calcitonin", "gpcr"]).unwrap(); // duplicate: no-op
+        r.remove(&tuple!["99", "Absent", "gpcr"]).unwrap(); // absent: no-op
+        r.remove(&tuple!["10", "Pre", "gpcr"]).unwrap();
+        let log = r.take_log().unwrap();
+        assert_eq!(
+            log.ops,
+            vec![
+                DeltaOp::Insert(tuple!["11", "Calcitonin", "gpcr"]),
+                DeltaOp::Remove(tuple!["10", "Pre", "gpcr"]),
+            ]
+        );
+        assert!(!log.structural);
+        assert!(r.take_log().is_none());
+    }
+
+    #[test]
+    fn index_build_while_recording_is_structural() {
+        let mut r = family();
+        r.start_recording();
+        r.build_index(1).unwrap();
+        assert!(r.take_log().unwrap().structural);
+        // re-building an existing index is not structural
+        let mut r2 = family();
+        r2.build_index(1).unwrap();
+        r2.start_recording();
+        r2.build_index(1).unwrap();
+        assert!(!r2.take_log().unwrap().structural);
     }
 }

@@ -11,8 +11,17 @@
 //! tens of versions, released quarterly) snapshot-per-version is the
 //! honest baseline, and sharing `Arc<str>` values keeps copies cheap.
 //! Experiment E8 measures this design.
+//!
+//! Commits made through [`VersionedDatabase::commit_with`]
+//! additionally record a [`DatabaseDelta`] — the effective inserts
+//! and removals the commit performed — retrievable via
+//! [`VersionedDatabase::delta`]. Consumers holding state for version
+//! *v* (e.g. a citation engine) can replay the delta to reach *v+1*
+//! instead of rebuilding from the snapshot; experiment E13 measures
+//! that path.
 
 use crate::database::Database;
+use crate::delta::DatabaseDelta;
 use crate::error::{RelationError, Result};
 use std::fmt;
 use std::sync::Arc;
@@ -38,10 +47,21 @@ impl fmt::Display for VersionInfo {
     }
 }
 
+/// One committed version: metadata, snapshot, and (when known) the
+/// delta that produced it from its predecessor.
+#[derive(Debug, Clone)]
+struct VersionEntry {
+    info: VersionInfo,
+    snapshot: Arc<Database>,
+    /// Recorded by [`VersionedDatabase::commit_with`]; `None` for
+    /// snapshots committed whole (no parent lineage is known).
+    delta: Option<Arc<DatabaseDelta>>,
+}
+
 /// An append-only chain of immutable database snapshots.
 #[derive(Debug, Clone, Default)]
 pub struct VersionedDatabase {
-    versions: Vec<(VersionInfo, Arc<Database>)>,
+    versions: Vec<VersionEntry>,
 }
 
 impl VersionedDatabase {
@@ -57,30 +77,33 @@ impl VersionedDatabase {
         timestamp: u64,
         label: impl Into<String>,
     ) -> Result<VersionId> {
-        if let Some((last, _)) = self.versions.last() {
-            if timestamp < last.timestamp {
+        if let Some(last) = self.versions.last() {
+            if timestamp < last.info.timestamp {
                 return Err(RelationError::InvalidSchema(format!(
                     "version timestamp {timestamp} precedes previous timestamp {}",
-                    last.timestamp
+                    last.info.timestamp
                 )));
             }
         }
         let id = self.versions.len() as VersionId;
-        self.versions.push((
-            VersionInfo {
+        self.versions.push(VersionEntry {
+            info: VersionInfo {
                 id,
                 timestamp,
                 label: label.into(),
             },
-            Arc::new(db),
-        ));
+            snapshot: Arc::new(db),
+            delta: None,
+        });
         Ok(id)
     }
 
     /// Derive the next version by mutating a copy of the head snapshot.
     ///
     /// The closure receives a working copy; the mutated copy becomes
-    /// the new head. Errors from the closure abort the commit.
+    /// the new head. Errors from the closure abort the commit. The
+    /// effective ops the closure performs are captured as the new
+    /// version's [`delta`](Self::delta).
     pub fn commit_with<F>(
         &mut self,
         timestamp: u64,
@@ -90,12 +113,22 @@ impl VersionedDatabase {
     where
         F: FnOnce(&mut Database) -> Result<()>,
     {
-        let mut working = match self.head() {
-            Some((_, db)) => (**db).clone(),
-            None => Database::new(),
+        // Version 0 has no parent to replay from ([`Self::delta`]
+        // documents `None` there), so don't record its ops at all —
+        // the log of a from-scratch first commit can be as large as
+        // the whole initial load.
+        let (mut working, record) = match self.head() {
+            Some((_, db)) => ((**db).clone(), true),
+            None => (Database::new(), false),
         };
+        if record {
+            working.begin_delta();
+        }
         mutate(&mut working)?;
-        self.commit(working, timestamp, label)
+        let delta = record.then(|| Arc::new(working.take_delta()));
+        let id = self.commit(working, timestamp, label)?;
+        self.versions[id as usize].delta = delta;
+        Ok(id)
     }
 
     /// Number of committed versions.
@@ -110,31 +143,39 @@ impl VersionedDatabase {
 
     /// The most recent version, if any.
     pub fn head(&self) -> Option<(&VersionInfo, &Arc<Database>)> {
-        self.versions.last().map(|(i, d)| (i, d))
+        self.versions.last().map(|e| (&e.info, &e.snapshot))
     }
 
     /// Snapshot by version id.
     pub fn snapshot(&self, id: VersionId) -> Result<(&VersionInfo, &Arc<Database>)> {
         self.versions
             .get(id as usize)
-            .map(|(i, d)| (i, d))
+            .map(|e| (&e.info, &e.snapshot))
             .ok_or(RelationError::UnknownVersion(id))
+    }
+
+    /// The delta that produced version `id` from version `id - 1`.
+    /// `None` when unknown: version 0, snapshots committed whole via
+    /// [`commit`](Self::commit), or an id out of range.
+    pub fn delta(&self, id: VersionId) -> Option<&Arc<DatabaseDelta>> {
+        if id == 0 {
+            return None;
+        }
+        self.versions.get(id as usize)?.delta.as_ref()
     }
 
     /// Latest version whose timestamp is `<= at` — "the data as seen
     /// at the time it was cited".
     pub fn snapshot_at(&self, at: u64) -> Option<(&VersionInfo, &Arc<Database>)> {
         // Versions are timestamp-sorted by construction: binary search.
-        let idx = self
-            .versions
-            .partition_point(|(info, _)| info.timestamp <= at);
+        let idx = self.versions.partition_point(|e| e.info.timestamp <= at);
         idx.checked_sub(1)
-            .map(|i| (&self.versions[i].0, &self.versions[i].1))
+            .map(|i| (&self.versions[i].info, &self.versions[i].snapshot))
     }
 
     /// Iterate over `(info, snapshot)` pairs oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = (&VersionInfo, &Arc<Database>)> {
-        self.versions.iter().map(|(i, d)| (i, d))
+        self.versions.iter().map(|e| (&e.info, &e.snapshot))
     }
 }
 
@@ -215,5 +256,39 @@ mod tests {
             v.snapshot(3).unwrap_err(),
             RelationError::UnknownVersion(3)
         ));
+    }
+
+    #[test]
+    fn commit_with_records_a_replayable_delta() {
+        let mut v = VersionedDatabase::new();
+        v.commit(base(), 100, "v0").unwrap();
+        v.commit_with(200, "v1", |db| {
+            db.insert("R", tuple![1]).map(|_| ())?;
+            db.insert("R", tuple![2]).map(|_| ())
+        })
+        .unwrap();
+        v.commit_with(300, "v2", |db| db.remove("R", &tuple![1]).map(|_| ()))
+            .unwrap();
+        let d1 = v.delta(1).expect("delta recorded");
+        assert_eq!((d1.inserted(), d1.removed()), (2, 0));
+        let d2 = v.delta(2).expect("delta recorded");
+        assert_eq!((d2.inserted(), d2.removed()), (0, 1));
+        // replaying delta 2 onto snapshot 1 reproduces snapshot 2
+        let mut replayed = (**v.snapshot(1).unwrap().1).clone();
+        replayed.apply_delta(d2).unwrap();
+        assert!(replayed.content_eq(v.snapshot(2).unwrap().1));
+        // plain commits and version 0 have no delta
+        assert!(v.delta(0).is_none());
+        assert!(v.delta(99).is_none());
+        v.commit(base(), 400, "whole").unwrap();
+        assert!(v.delta(3).is_none());
+    }
+
+    #[test]
+    fn empty_commit_records_an_empty_delta() {
+        let mut v = VersionedDatabase::new();
+        v.commit(base(), 100, "v0").unwrap();
+        v.commit_with(200, "v1", |_| Ok(())).unwrap();
+        assert!(v.delta(1).unwrap().is_empty());
     }
 }

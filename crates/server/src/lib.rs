@@ -15,9 +15,17 @@
 //! |------------------|----------------------------------------|
 //! | `POST /cite`     | `{"query": "Q(N) :- ...", ...}`        |
 //! | `POST /cite_sql` | `{"sql": "SELECT ...", ...}`           |
+//! | `POST /cite_at`  | `{"query": ..., "version": 2}` (versioned deployments; `"at": ts` resolves a timestamp) |
 //! | `GET /views`     | the registered citation views          |
+//! | `GET /versions`  | the commit history (versioned deployments) |
 //! | `GET /stats`     | per-endpoint latency/throughput + cache|
 //! | `GET /healthz`   | liveness probe                         |
+//!
+//! A versioned deployment ([`CiteServer::start_versioned`]) serves
+//! `/cite` from the head version's engine and historical citations
+//! from per-version engines that are *derived* incrementally from
+//! warm neighbors when the commit recorded a delta (`GET /stats`
+//! reports the derived-vs-rebuilt counters under `fixity`).
 //!
 //! Per-request overrides (policy, order, mode, rewrite budgets,
 //! memoization) ride on the JSON body — see [`wire`] for the exact

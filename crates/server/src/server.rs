@@ -28,11 +28,11 @@ use crate::http::{read_request, write_response, HttpError, HttpRequest};
 use crate::json::parse_json;
 use crate::stats::{EndpointStats, ServerStats};
 use crate::wire::{decode_cite_request, encode_response, error_body, QueryKind};
-use fgc_core::CitationEngine;
+use fgc_core::{CitationEngine, VersionedCitationEngine};
 use fgc_views::Json;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -111,6 +111,30 @@ pub struct CiteServer {
 impl CiteServer {
     /// Bind and start serving `engine` under `config`.
     pub fn start(engine: Arc<CitationEngine>, config: ServerConfig) -> io::Result<CiteServer> {
+        CiteServer::start_inner(engine, None, config)
+    }
+
+    /// Bind and start serving a **versioned** engine: the head
+    /// version's engine answers `/cite` and `/cite_sql` (batched, as
+    /// in [`CiteServer::start`]), while `POST /cite_at` serves
+    /// fixity-stamped citations against any committed version and
+    /// `GET /versions` lists the history. `GET /stats` gains a
+    /// `fixity` block with the derived-vs-rebuilt engine counters.
+    pub fn start_versioned(
+        versioned: Arc<VersionedCitationEngine>,
+        config: ServerConfig,
+    ) -> io::Result<CiteServer> {
+        let head = versioned
+            .head_engine()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        CiteServer::start_inner(head, Some(versioned), config)
+    }
+
+    fn start_inner(
+        engine: Arc<CitationEngine>,
+        versioned: Option<Arc<VersionedCitationEngine>>,
+        config: ServerConfig,
+    ) -> io::Result<CiteServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
@@ -130,14 +154,19 @@ impl CiteServer {
         let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
-        let workers = (0..config.threads.max(1))
+        let threads = config.threads.max(1);
+        let cite_at_inflight = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
             .map(|i| {
                 let ctx = WorkerContext {
                     engine: Arc::clone(&engine),
+                    versioned: versioned.clone(),
                     stats: Arc::clone(&stats),
                     batcher: Arc::clone(&batcher),
                     shutdown: Arc::clone(&shutdown),
                     max_body_bytes: config.max_body_bytes,
+                    cite_at_inflight: Arc::clone(&cite_at_inflight),
+                    cite_at_limit: threads.saturating_sub(1).max(1),
                 };
                 let conn_rx = Arc::clone(&conn_rx);
                 std::thread::Builder::new()
@@ -241,10 +270,29 @@ fn accept_loop(
 /// Everything a worker needs to serve connections.
 struct WorkerContext {
     engine: Arc<CitationEngine>,
+    /// Present in versioned deployments; enables `/cite_at`,
+    /// `/versions`, and the `fixity` stats block.
+    versioned: Option<Arc<VersionedCitationEngine>>,
     stats: Arc<ServerStats>,
     batcher: Arc<Batcher>,
     shutdown: Arc<AtomicBool>,
     max_body_bytes: usize,
+    /// `/cite_at` runs inline (it does not coalesce like `/cite`'s
+    /// batched admission, and a cold version's first touch builds a
+    /// whole engine), so concurrent versioned citations are capped at
+    /// `threads - 1`: one worker always stays free for the cheap
+    /// routes, and the overflow is shed with 503 like the batcher's.
+    cite_at_inflight: Arc<AtomicUsize>,
+    cite_at_limit: usize,
+}
+
+/// Decrements the `/cite_at` inflight counter on every exit path.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 fn worker_loop(ctx: &WorkerContext, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
@@ -327,6 +375,12 @@ fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
                 serve_cite(ctx, &request.body, QueryKind::Sql)
             })
         }
+        "/cite_at" if method == "POST" => {
+            return timed(&ctx.stats.cite_at, || serve_cite_at(ctx, &request.body))
+        }
+        "/versions" if method == "GET" => {
+            return timed(&ctx.stats.versions, || serve_versions(ctx))
+        }
         "/views" if method == "GET" => return timed(&ctx.stats.views, || (200, serve_views(ctx))),
         "/stats" if method == "GET" => return timed(&ctx.stats.stats, || (200, serve_stats(ctx))),
         "/healthz" if method == "GET" => {
@@ -334,8 +388,8 @@ fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
                 (200, r#"{"status": "ok"}"#.to_string())
             })
         }
-        "/cite" | "/cite_sql" => "POST",
-        "/views" | "/stats" | "/healthz" => "GET",
+        "/cite" | "/cite_sql" | "/cite_at" => "POST",
+        "/views" | "/versions" | "/stats" | "/healthz" => "GET",
         path => {
             ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
             return (404, error_body(&format!("no such route `{path}`")));
@@ -385,6 +439,120 @@ fn serve_cite(ctx: &WorkerContext, body: &[u8], kind: QueryKind) -> (u16, String
         Ok(Err(e)) => (400, error_body(&e.to_string())),
         Err(_) => (500, error_body("batcher dropped the request")),
     }
+}
+
+/// `POST /cite_at`: a fixity-stamped citation against a specific
+/// version (`"version": id`), a point in time (`"at": timestamp`),
+/// or the head when neither is given. Body: `{"query": "Q(...) :-
+/// ...", "version": 2}`.
+fn serve_cite_at(ctx: &WorkerContext, body: &[u8]) -> (u16, String) {
+    let Some(versioned) = &ctx.versioned else {
+        return (
+            404,
+            error_body("this deployment is not versioned (start with a commit history)"),
+        );
+    };
+    let inflight = ctx.cite_at_inflight.fetch_add(1, Ordering::AcqRel);
+    let _guard = InflightGuard(&ctx.cite_at_inflight);
+    if inflight >= ctx.cite_at_limit {
+        ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return (
+            503,
+            error_body("versioned citation capacity saturated, retry later"),
+        );
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not valid utf-8")),
+    };
+    let parsed = match parse_json(text) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+    };
+    // same wire contract as /cite: a typo silently ignored would
+    // serve the wrong version with a 200
+    let Json::Object(fields) = &parsed else {
+        return (400, error_body("request body must be a JSON object"));
+    };
+    if let Some((unknown, _)) = fields
+        .iter()
+        .find(|(key, _)| !matches!(key.as_str(), "query" | "version" | "at"))
+    {
+        return (
+            400,
+            error_body(&format!(
+                "unknown field `{unknown}` (expected query, version, at)"
+            )),
+        );
+    }
+    let query = match parsed.get("query") {
+        Some(Json::Str(q)) => match fgc_query::parse_query(q) {
+            Ok(q) => q,
+            Err(e) => return (400, error_body(&format!("bad query: {e}"))),
+        },
+        Some(_) => return (400, error_body("`query` must be a string")),
+        None => return (400, error_body("missing `query` field")),
+    };
+    let int_field = |name: &str| -> Result<Option<u64>, String> {
+        match parsed.get(name) {
+            None => Ok(None),
+            Some(Json::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+            Some(other) => Err(format!(
+                "`{name}` must be a non-negative integer, got {other}"
+            )),
+        }
+    };
+    let (version, at) = match (int_field("version"), int_field("at")) {
+        (Ok(v), Ok(a)) => (v, a),
+        (Err(e), _) | (_, Err(e)) => return (400, error_body(&e)),
+    };
+    let cited = match (version, at) {
+        (Some(_), Some(_)) => {
+            return (400, error_body("`version` and `at` are mutually exclusive"))
+        }
+        (Some(v), None) => versioned.cite_at_version(v, &query),
+        (None, Some(t)) => versioned.cite_at_time(t, &query),
+        (None, None) => versioned.cite_head(&query),
+    };
+    match cited {
+        Ok(cited) => {
+            let mut body = cited.stamped_aggregate();
+            body.set("Tuples", Json::Int(cited.citation.tuples.len() as i64));
+            (200, body.to_compact())
+        }
+        // version/query shaped errors are the client's fault
+        Err(e) => (400, error_body(&e.to_string())),
+    }
+}
+
+/// `GET /versions`: the committed history, oldest first.
+fn serve_versions(ctx: &WorkerContext) -> (u16, String) {
+    let Some(versioned) = &ctx.versioned else {
+        return (
+            404,
+            error_body("this deployment is not versioned (start with a commit history)"),
+        );
+    };
+    let versions: Vec<Json> = versioned
+        .history()
+        .iter()
+        .map(|(info, db)| {
+            Json::from_pairs([
+                ("id", Json::Int(info.id as i64)),
+                ("label", Json::str(info.label.clone())),
+                ("timestamp", Json::Int(info.timestamp as i64)),
+                ("tuples", Json::Int(db.total_tuples() as i64)),
+            ])
+        })
+        .collect();
+    (
+        200,
+        Json::from_pairs([
+            ("count", Json::Int(versions.len() as i64)),
+            ("versions", Json::Array(versions)),
+        ])
+        .to_compact(),
+    )
 }
 
 fn serve_views(ctx: &WorkerContext) -> String {
@@ -439,6 +607,24 @@ fn serve_stats(ctx: &WorkerContext) -> String {
                 ("routed_evals", Json::Int(sharding.routed_evals as i64)),
                 ("atoms_pruned", Json::Int(sharding.atoms_pruned as i64)),
                 ("atoms_fanout", Json::Int(sharding.atoms_fanout as i64)),
+            ]),
+        );
+    }
+    if let Some(versioned) = &ctx.versioned {
+        let fixity = versioned.version_stats();
+        body.set(
+            "fixity",
+            Json::from_pairs([
+                ("versions", Json::Int(fixity.versions as i64)),
+                ("warm_engines", Json::Int(fixity.warm_engines as i64)),
+                ("hits", Json::Int(fixity.hits as i64)),
+                ("derived", Json::Int(fixity.derived as i64)),
+                ("rebuilt", Json::Int(fixity.rebuilt as i64)),
+                ("fallbacks", Json::Int(fixity.fallbacks as i64)),
+                (
+                    "derive_threshold",
+                    Json::Int(fixity.derive_threshold.min(i64::MAX as usize) as i64),
+                ),
             ]),
         );
     }

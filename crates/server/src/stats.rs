@@ -61,6 +61,10 @@ pub struct ServerStats {
     pub cite: EndpointStats,
     /// `POST /cite_sql`.
     pub cite_sql: EndpointStats,
+    /// `POST /cite_at` (versioned deployments only).
+    pub cite_at: EndpointStats,
+    /// `GET /versions` (versioned deployments only).
+    pub versions: EndpointStats,
     /// `GET /views`.
     pub views: EndpointStats,
     /// `GET /stats`.
@@ -82,7 +86,9 @@ pub struct ServerStats {
 impl ServerStats {
     /// Total requests answered across the citation endpoints.
     pub fn served(&self) -> u64 {
-        self.cite.requests.load(Ordering::Relaxed) + self.cite_sql.requests.load(Ordering::Relaxed)
+        self.cite.requests.load(Ordering::Relaxed)
+            + self.cite_sql.requests.load(Ordering::Relaxed)
+            + self.cite_at.requests.load(Ordering::Relaxed)
     }
 
     /// Mean coalesced batch size (1.0 when nothing was batched yet).
@@ -101,6 +107,8 @@ impl ServerStats {
         Json::from_pairs([
             ("cite", self.cite.to_json()),
             ("cite_sql", self.cite_sql.to_json()),
+            ("cite_at", self.cite_at.to_json()),
+            ("versions", self.versions.to_json()),
             ("views", self.views.to_json()),
             ("stats", self.stats.to_json()),
             ("healthz", self.healthz.to_json()),

@@ -15,9 +15,18 @@ fn serve(raw: Vec<String>) -> Result<(), fgcite::cli::CliError> {
     let args = fgcite::cli::Args::parse(raw)?;
     let data = read_file(args.require("data")?)?;
     let views = read_file(args.require("views")?)?;
-    let server = fgcite::cli::run_serve(&args, &data, &views)?;
+    let commits = args.get("commits").map(read_file).transpose()?;
+    let versioned = commits.is_some();
+    let server = fgcite::cli::run_serve(&args, &data, &views, commits.as_deref())?;
     println!("fgcite serving on http://{}", server.addr());
-    println!("routes: POST /cite, POST /cite_sql, GET /views, GET /stats, GET /healthz");
+    if versioned {
+        println!(
+            "routes: POST /cite, POST /cite_sql, POST /cite_at, GET /views, GET /versions, \
+             GET /stats, GET /healthz"
+        );
+    } else {
+        println!("routes: POST /cite, POST /cite_sql, GET /views, GET /stats, GET /healthz");
+    }
     server.wait();
     Ok(())
 }

@@ -14,10 +14,11 @@
 
 use fgc_core::{
     suggest_views, CitationEngine, CiteRequest, OrderChoice, Policy, QueryLog, RewriteMode,
+    VersionedCitationEngine,
 };
 use fgc_query::{parse_program, parse_query};
-use fgc_relation::loader::load_text;
-use fgc_relation::Database;
+use fgc_relation::loader::{load_commits, load_text};
+use fgc_relation::{Database, VersionedDatabase};
 use fgc_views::{parse_view_file, to_text, to_xml, TextStyle, ViewRegistry};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -116,19 +117,32 @@ usage:
   fgcite cite    --data FILE --views FILE (--query Q | --sql S)
                  [--policy union|join|default] [--order ORDER]
                  [--format json|xml|text] [--exhaustive] [--explain]
+                 [--commits FILE [--version N | --at TS]]
   fgcite views   --data FILE --views FILE
   fgcite suggest --data FILE --log FILE [--min-support N]
   fgcite serve   --data FILE --views FILE [--addr HOST:PORT]
                  [--threads N] [--batch-window MS]
                  [--shards N [--shard-key Rel=Col,Rel2=Col2]]
+                 [--commits FILE]
 
 Flags accept both `--name value` and `--name=value`.
 ORDER: none | fewest-views | fewest-uncovered | view-inclusion | composite
 files: --data uses the fgc-relation text format (@create/@fk/@relation),
        --views uses the fgc-views @view/@fields format,
-       --log holds one Datalog query per line.
+       --log holds one Datalog query per line,
+       --commits holds versioned deltas over the --data snapshot:
+       `@commit TIMESTAMP LABEL` sections of `+ Rel | v...` inserts
+       and `- Rel | v...` removals.
+cite with --commits answers against the commit history (--version id,
+       --at timestamp, default head) and stamps the citation with the
+       version fixity fields (§4). A one-shot cite builds the one
+       engine it needs from scratch; the incremental neighbor-derived
+       engines pay off under `serve --commits`, where versions stay
+       warm across requests (see `fixity` in GET /stats).
 serve: HTTP routes POST /cite, POST /cite_sql, GET /views, GET /stats,
-       GET /healthz (default --addr 127.0.0.1:8787).
+       GET /healthz (default --addr 127.0.0.1:8787); with --commits
+       also POST /cite_at and GET /versions, and GET /stats gains a
+       `fixity` block (derived vs rebuilt engine counters).
        --shards partitions the store across N hash-routed shards;
        --shard-key names the partition column per relation (relations
        omitted fall back to whole-tuple hashing). Shard layout and
@@ -171,12 +185,34 @@ fn policy_from(args: &Args) -> Result<Policy, CliError> {
     Ok(policy)
 }
 
+/// Build a commit history: the `--data` snapshot becomes version 0
+/// (timestamp 0, label `base`), the `--commits` file appends one
+/// version per `@commit` section.
+fn build_history(data: &str, commits: &str) -> Result<VersionedDatabase, CliError> {
+    let db = load_database(data)?;
+    let mut history = VersionedDatabase::new();
+    history.commit(db, 0, "base")?;
+    load_commits(&mut history, commits)?;
+    Ok(history)
+}
+
 /// `fgcite cite`: returns the rendered citation output.
 ///
 /// The engine is built with defaults; the policy/mode flags become
 /// per-request [`CiteRequest`] overrides — the same path a serving
-/// deployment would take for each query of its traffic.
-pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError> {
+/// deployment would take for each query of its traffic. With
+/// `commits`, the query is answered against the versioned history
+/// instead (`--version`/`--at` select the snapshot; default head)
+/// and the output carries the fixity stamp.
+pub fn run_cite(
+    args: &Args,
+    data: &str,
+    views: &str,
+    commits: Option<&str>,
+) -> Result<String, CliError> {
+    if let Some(commits) = commits {
+        return run_cite_versioned(args, data, views, commits);
+    }
     let db = load_database(data)?;
     let registry = load_registry(views)?;
     let request = match (args.get("query"), args.get("sql")) {
@@ -215,6 +251,75 @@ pub fn run_cite(args: &Args, data: &str, views: &str) -> Result<String, CliError
             out,
             "plan cache: hits={} misses={} size={}",
             plans.hits, plans.misses, plans.entries
+        );
+    }
+    Ok(out)
+}
+
+/// The `--commits` arm of `fgcite cite`: versioned, fixity-stamped.
+fn run_cite_versioned(
+    args: &Args,
+    data: &str,
+    views: &str,
+    commits: &str,
+) -> Result<String, CliError> {
+    let query = match (args.get("query"), args.get("sql")) {
+        (Some(q), None) => parse_query(q)?,
+        (None, Some(_)) => {
+            return Err(CliError(
+                "--sql is not supported with --commits yet; use --query".into(),
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError("--query and --sql are mutually exclusive".into()))
+        }
+        (None, None) => return Err(CliError("need --query".into())),
+    };
+    let history = build_history(data, commits)?;
+    let mut engine = VersionedCitationEngine::new(history, load_registry(views)?)
+        .with_policy(policy_from(args)?);
+    if args.enabled("exhaustive") {
+        engine = engine.with_options(fgc_core::EngineOptions {
+            mode: RewriteMode::Exhaustive,
+            ..fgc_core::EngineOptions::default()
+        });
+    }
+    let parse_u64 = |name: &str| -> Result<Option<u64>, CliError> {
+        args.get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError(format!("--{name} must be a non-negative number")))
+            })
+            .transpose()
+    };
+    let cited = match (parse_u64("version")?, parse_u64("at")?) {
+        (Some(_), Some(_)) => {
+            return Err(CliError("--version and --at are mutually exclusive".into()))
+        }
+        (Some(v), None) => engine.cite_at_version(v, &query)?,
+        (None, Some(t)) => engine.cite_at_time(t, &query)?,
+        (None, None) => engine.cite_head(&query)?,
+    };
+    let mut out = String::new();
+    let stamped = cited.stamped_aggregate();
+    match args.get("format").unwrap_or("json") {
+        "json" => {
+            let _ = writeln!(out, "{}", stamped.to_pretty());
+        }
+        "xml" => {
+            let _ = write!(out, "{}", to_xml(&stamped, "citation"));
+        }
+        "text" => {
+            let _ = writeln!(out, "{}", to_text(&stamped, &TextStyle::default()));
+        }
+        other => return Err(CliError(format!("unknown format `{other}`"))),
+    }
+    if args.enabled("explain") {
+        let stats = engine.version_stats();
+        let _ = writeln!(
+            out,
+            "fixity: versions={} derived={} rebuilt={} fallbacks={}",
+            stats.versions, stats.derived, stats.rebuilt, stats.fallbacks
         );
     }
     Ok(out)
@@ -317,12 +422,30 @@ pub fn apply_shards(args: &Args, engine: CitationEngine) -> Result<CitationEngin
 
 /// `fgcite serve`: build an engine from the data/view files and start
 /// the HTTP citation service. Returns the running server; the binary
-/// blocks on [`fgc_server::CiteServer::wait`].
-pub fn run_serve(args: &Args, data: &str, views: &str) -> Result<fgc_server::CiteServer, CliError> {
-    let db = load_database(data)?;
-    let registry = load_registry(views)?;
-    let engine = apply_shards(args, CitationEngine::new(db, registry)?)?;
+/// blocks on [`fgc_server::CiteServer::wait`]. With `commits`, the
+/// service is versioned: `/cite` answers from the head version and
+/// `/cite_at` serves the history.
+pub fn run_serve(
+    args: &Args,
+    data: &str,
+    views: &str,
+    commits: Option<&str>,
+) -> Result<fgc_server::CiteServer, CliError> {
     let config = serve_config(args)?;
+    let registry = load_registry(views)?;
+    if let Some(commits) = commits {
+        if args.get("shards").is_some() || args.get("shard-key").is_some() {
+            return Err(CliError(
+                "--shards is not supported together with --commits".into(),
+            ));
+        }
+        let history = build_history(data, commits)?;
+        let versioned = VersionedCitationEngine::new(history, registry);
+        return fgc_server::CiteServer::start_versioned(std::sync::Arc::new(versioned), config)
+            .map_err(|e| CliError(format!("cannot start server: {e}")));
+    }
+    let db = load_database(data)?;
+    let engine = apply_shards(args, CitationEngine::new(db, registry)?)?;
     fgc_server::CiteServer::start(std::sync::Arc::new(engine), config)
         .map_err(|e| CliError(format!("cannot start server: {e}")))
 }
@@ -338,7 +461,8 @@ pub fn run<I: IntoIterator<Item = String>>(
         "cite" => {
             let data = read_file(args.require("data")?)?;
             let views = read_file(args.require("views")?)?;
-            run_cite(&args, &data, &views)
+            let commits = args.get("commits").map(read_file).transpose()?;
+            run_cite(&args, &data, &views, commits.as_deref())
         }
         "views" => {
             let data = read_file(args.require("data")?)?;
@@ -390,10 +514,19 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
 @fields ID = 0, Name = 1, Committee = [2]
 "#;
 
+    const COMMITS: &str = r#"
+@commit 100 GtoPdb 24
++ Family | "13" | "Melatonin" | "gpcr"
++ FC | "13" | "p1"
+@commit 200 GtoPdb 25
+- Family | "12" | "Orexin" | "gpcr"
+"#;
+
     fn files() -> impl Fn(&str) -> Result<String, CliError> {
         |name: &str| match name {
             "db" => Ok(DATA.to_string()),
             "views" => Ok(VIEWS.to_string()),
+            "commits" => Ok(COMMITS.to_string()),
             "log" => Ok("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"\n\
                          Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"\n"
                 .to_string()),
@@ -495,6 +628,155 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
             .and_then(|s| s.parse().ok())
             .expect("misses counter present");
         assert!(misses >= 1, "{out}");
+    }
+
+    #[test]
+    fn cite_with_commits_stamps_versions() {
+        let base = |version: &[&str]| {
+            let mut line = vec![
+                "cite",
+                "--data",
+                "db",
+                "--views",
+                "views",
+                "--commits",
+                "commits",
+                "--query",
+                "Q(N) :- Family(F, N, Ty)",
+            ];
+            line.extend_from_slice(version);
+            run_line(&line).unwrap()
+        };
+        // head (version 2): Orexin removed, Melatonin present
+        let head = base(&[]);
+        assert!(head.contains("GtoPdb 25"), "{head}");
+        assert!(head.contains("\"VersionId\": 2"), "{head}");
+        // explicit historical version
+        let v0 = base(&["--version", "0"]);
+        assert!(v0.contains("\"base\""), "{v0}");
+        // timestamp resolution lands on version 1
+        let at = base(&["--at", "150"]);
+        assert!(at.contains("GtoPdb 24"), "{at}");
+        // --explain surfaces the derived/rebuilt counters
+        let explained = run_line(&[
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--commits",
+            "commits",
+            "--explain",
+            "--query",
+            "Q(N) :- Family(F, N, Ty)",
+        ])
+        .unwrap();
+        assert!(explained.contains("fixity: versions=3"), "{explained}");
+    }
+
+    #[test]
+    fn cite_with_commits_rejects_bad_flags() {
+        let run_with = |extra: &[&str]| {
+            let mut line = vec![
+                "cite",
+                "--data",
+                "db",
+                "--views",
+                "views",
+                "--commits",
+                "commits",
+            ];
+            line.extend_from_slice(extra);
+            run_line(&line)
+        };
+        assert!(run_with(&["--query", "Q(N) :- Family(F, N, Ty)", "--version", "9"]).is_err());
+        assert!(run_with(&[
+            "--query",
+            "Q(N) :- Family(F, N, Ty)",
+            "--version",
+            "1",
+            "--at",
+            "100"
+        ])
+        .is_err());
+        assert!(run_with(&["--sql", "SELECT f.FName FROM Family f"]).is_err());
+        assert!(run_with(&["--query", "Q(N) :- Family(F, N, Ty)", "--version", "soon"]).is_err());
+        assert!(run_with(&["--query", "Q(N) :- Family(F, N, Ty)", "--format", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn cite_with_commits_honors_format_and_exhaustive() {
+        let run_with = |extra: &[&str]| {
+            let mut line = vec![
+                "cite",
+                "--data",
+                "db",
+                "--views",
+                "views",
+                "--commits",
+                "commits",
+                "--query",
+                "Q(N) :- Family(F, N, Ty), F = \"11\"",
+            ];
+            line.extend_from_slice(extra);
+            run_line(&line).unwrap()
+        };
+        let xml = run_with(&["--format", "xml", "--version", "0"]);
+        assert!(xml.contains("<citation>"), "{xml}");
+        assert!(xml.contains("<Version>base</Version>"), "{xml}");
+        let text = run_with(&["--format", "text", "--version", "0"]);
+        assert!(text.contains("Version: base"), "{text}");
+        assert!(
+            !text.contains('{'),
+            "text format must not emit JSON: {text}"
+        );
+        // --exhaustive reaches the versioned engine's rewrite search
+        // (the single-view fixture makes pruned and exhaustive agree
+        // on content; this pins that the flag is at least accepted
+        // and still produces the stamped citation)
+        let exhaustive = run_with(&["--exhaustive"]);
+        assert!(exhaustive.contains("\"VersionId\": 2"), "{exhaustive}");
+        assert!(exhaustive.contains("Calcitonin"), "{exhaustive}");
+    }
+
+    #[test]
+    fn serve_with_commits_is_versioned() {
+        let args = Args::parse(
+            ["serve", "--addr=127.0.0.1:0", "--threads=2"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let server = run_serve(&args, DATA, VIEWS, Some(COMMITS)).unwrap();
+        let mut client = fgc_server::Client::connect(server.addr()).unwrap();
+        // historical citation via /cite_at
+        let response = client
+            .post(
+                "/cite_at",
+                r#"{"query": "Q(N) :- Family(F, N, Ty)", "version": 0}"#,
+            )
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(response.body.contains("\"base\""), "{}", response.body);
+        // /versions lists the whole history
+        let versions = client.get("/versions").unwrap();
+        assert_eq!(versions.status, 200);
+        assert!(versions.body.contains("\"count\": 3"), "{}", versions.body);
+        // /stats carries the fixity block
+        let stats = client.get("/stats").unwrap();
+        let parsed = fgc_server::parse_json(&stats.body).unwrap();
+        assert!(parsed.get("fixity").is_some(), "{}", stats.body);
+        drop(client);
+        server.shutdown();
+
+        // sharding a versioned deployment is rejected
+        let sharded = Args::parse(
+            ["serve", "--addr=127.0.0.1:0", "--shards=2"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(run_serve(&sharded, DATA, VIEWS, Some(COMMITS)).is_err());
     }
 
     #[test]
@@ -649,7 +931,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
             .map(|s| s.to_string()),
         )
         .unwrap();
-        let server = run_serve(&args, DATA, VIEWS).unwrap();
+        let server = run_serve(&args, DATA, VIEWS, None).unwrap();
         let mut client = fgc_server::Client::connect(server.addr()).unwrap();
         let response = client.get("/healthz").unwrap();
         assert_eq!(response.status, 200);
@@ -702,7 +984,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
             .map(|s| s.to_string()),
         )
         .unwrap();
-        let server = run_serve(&args, DATA, VIEWS).unwrap();
+        let server = run_serve(&args, DATA, VIEWS, None).unwrap();
         let mut client = fgc_server::Client::connect(server.addr()).unwrap();
         // a cite through the sharded engine answers normally...
         let response = client

@@ -70,7 +70,7 @@ pub use fgc_views as views;
 pub mod prelude {
     pub use fgc_core::{
         CitationEngine, CiteRequest, CiteResponse, CombineOp, EngineOptions, OrderChoice, Policy,
-        QueryCitation, RewriteMode, VersionedCitationEngine,
+        QueryCitation, RewriteMode, VersionStats, VersionedCitation, VersionedCitationEngine,
     };
     pub use fgc_query::{parse_query, parse_sql, ConjunctiveQuery};
     pub use fgc_relation::prelude::*;

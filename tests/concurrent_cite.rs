@@ -150,6 +150,78 @@ fn per_request_overrides_isolated_under_concurrency() {
 }
 
 #[test]
+fn eight_threads_racing_to_derive_one_version_agree() {
+    // Build a short history, pre-warm version 1, then race 8 threads
+    // at versions 2 and 3: every thread tries to derive from the same
+    // neighbor (or rebuilds if it loses the race), first insert wins,
+    // and the debug assertion inside `engine_for_version` checks the
+    // racers produced identical databases. All results must be
+    // byte-identical to a cold single-threaded engine.
+    let mut history = VersionedDatabase::new();
+    history
+        .commit(
+            generate(&GeneratorConfig::default().with_families(120).with_seed(7)),
+            0,
+            "v0",
+        )
+        .unwrap();
+    for step in 0u64..3 {
+        history
+            .commit_with((step + 1) * 10, format!("v{}", step + 1), |db| {
+                db.insert(
+                    "Family",
+                    tuple![format!("r{step}"), format!("Race-{step}"), "gpcr"],
+                )
+                .map(|_| ())?;
+                let doomed = db.relation("FC")?.rows().first().cloned();
+                if let Some(t) = doomed {
+                    db.remove("FC", &t)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+    let q = fgcite::query::parse_query("Q(N) :- Family(F, N, Ty), Ty = \"gpcr\"").unwrap();
+
+    let reference = VersionedCitationEngine::new(history.clone(), paper_views());
+    let expected: Vec<String> = (0..4u64)
+        .map(|v| {
+            reference
+                .cite_at_version(v, &q)
+                .unwrap()
+                .stamped_aggregate()
+                .to_compact()
+        })
+        .collect();
+
+    let engine = Arc::new(VersionedCitationEngine::new(history, paper_views()));
+    engine.cite_at_version(1, &q).unwrap(); // warm the shared neighbor
+    std::thread::scope(|scope| {
+        for thread in 0..8 {
+            let engine = Arc::clone(&engine);
+            let q = q.clone();
+            let expected = &expected;
+            scope.spawn(move || {
+                // half the threads start at v2, half at v3, so both
+                // derive-from-warm and rebuild-on-cold race paths run
+                for &version in &[2 + (thread % 2) as u64, 3, 2, 0, 1] {
+                    let cited = engine.cite_at_version(version, &q).unwrap();
+                    assert_eq!(
+                        cited.stamped_aggregate().to_compact(),
+                        expected[version as usize],
+                        "thread {thread} diverged at version {version}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = engine.version_stats();
+    assert_eq!(stats.warm_engines, 4, "{stats:?}");
+    assert!(stats.derived + stats.rebuilt >= 4, "{stats:?}");
+    assert!(stats.derived >= 1, "{stats:?}");
+}
+
+#[test]
 fn versioned_engine_serves_concurrent_historical_citations() {
     let mut history = VersionedDatabase::new();
     history

@@ -485,6 +485,82 @@ fn snapshots_immutable_under_later_commits() {
     }
 }
 
+#[test]
+fn old_version_citations_unaffected_by_later_commits() {
+    // Cite a version, keep committing (inserts *and* removals), cite
+    // it again: the rendered citation must not move by a byte, even
+    // though the later first-touches derive their engines from the
+    // version being pinned.
+    let mut engine = {
+        let mut history = VersionedDatabase::new();
+        history
+            .commit(fgcite::gtopdb::paper_instance(), 0, "v0")
+            .unwrap();
+        VersionedCitationEngine::new(history, fgcite::gtopdb::paper_views())
+    };
+    let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+    let mut pinned: Vec<String> = Vec::new();
+    let snapshot = |c: &fgcite::engine::VersionedCitation| {
+        let tuples: Vec<String> = c
+            .citation
+            .tuples
+            .iter()
+            .map(|t| format!("{} | {} | {}", t.tuple, t.expr, t.citation.to_compact()))
+            .collect();
+        format!(
+            "{}\n{}",
+            c.stamped_aggregate().to_compact(),
+            tuples.join("\n")
+        )
+    };
+    for step in 0u64..5 {
+        pinned.push(snapshot(&engine.cite_at_version(step, &q).unwrap()));
+        engine
+            .commit_with((step + 1) * 10, format!("v{}", step + 1), |db| {
+                let removed = db.relation("FamilyIntro")?.rows().first().cloned();
+                if let Some(t) = removed {
+                    db.remove("FamilyIntro", &t)?;
+                }
+                db.insert(
+                    "FamilyIntro",
+                    tuple![format!("1{step}"), format!("intro {step}")],
+                )
+                .map(|_| ())
+            })
+            .unwrap();
+        for (v, expected) in pinned.iter().enumerate() {
+            let again = snapshot(&engine.cite_at_version(v as u64, &q).unwrap());
+            assert_eq!(&again, expected, "version {v} drifted after commit {step}");
+        }
+    }
+    assert!(engine.version_stats().derived >= 1);
+}
+
+#[test]
+fn unknown_version_cite_is_a_structured_error_not_a_panic() {
+    let mut history = VersionedDatabase::new();
+    history
+        .commit(fgcite::gtopdb::paper_instance(), 0, "v0")
+        .unwrap();
+    history
+        .commit_with(10, "v1", |db| {
+            db.insert("Family", tuple!["zz", "Z", "gpcr"]).map(|_| ())
+        })
+        .unwrap();
+    let engine = VersionedCitationEngine::new(history, fgcite::gtopdb::paper_views());
+    let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+    engine.cite_at_version(1, &q).unwrap(); // warm the delta path
+    for bad in [2u64, 17, u64::MAX] {
+        assert!(
+            matches!(
+                engine.cite_at_version(bad, &q).unwrap_err(),
+                fgcite::engine::CoreError::NoSuchVersion(_)
+            ),
+            "version {bad}"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Differential testing against the brute-force reference evaluator
 // ---------------------------------------------------------------------

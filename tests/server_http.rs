@@ -248,6 +248,114 @@ fn views_and_healthz_routes_answer() {
 /// important part — the worker that handled the garbage keeps
 /// serving wellformed requests afterwards.
 #[test]
+fn versioned_routes_serve_history_and_unversioned_deployments_404() {
+    // unversioned: the versioned routes answer 404, /stats has no fixity
+    let (server, addr) = start_server(2);
+    let mut client = Client::connect(addr).expect("connect");
+    let response = client
+        .post("/cite_at", &cite_body(QUERIES[1]))
+        .expect("response");
+    assert_eq!(response.status, 404, "{}", response.body);
+    assert_eq!(client.get("/versions").expect("response").status, 404);
+    let stats = client.get("/stats").expect("response");
+    assert!(parse_json(&stats.body).unwrap().get("fixity").is_none());
+    drop(client);
+    server.shutdown();
+
+    // versioned: /cite_at serves any committed version, /cite serves
+    // the head, and /stats reports the derived/rebuilt counters
+    let mut history = VersionedDatabase::new();
+    history
+        .commit(fgcite::gtopdb::paper_instance(), 100, "v23")
+        .unwrap();
+    history
+        .commit_with(200, "v24", |db| {
+            db.insert("Family", tuple!["20", "Melatonin", "gpcr"])
+                .map(|_| ())
+        })
+        .unwrap();
+    history
+        .commit_with(300, "v25", |db| {
+            db.insert("Family", tuple!["21", "Ghrelin", "gpcr"])
+                .map(|_| ())
+        })
+        .unwrap();
+    let versioned = Arc::new(VersionedCitationEngine::new(
+        history,
+        fgcite::gtopdb::paper_views(),
+    ));
+    let server = CiteServer::start_versioned(
+        versioned,
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_threads(2),
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let old = client
+        .post(
+            "/cite_at",
+            &format!(
+                r#"{{"query": "{}", "version": 0}}"#,
+                QUERIES[1].replace('"', "\\\"")
+            ),
+        )
+        .expect("response");
+    assert_eq!(old.status, 200, "{}", old.body);
+    let parsed = parse_json(&old.body).unwrap();
+    assert_eq!(parsed.get("Version"), Some(&Json::str("v23")));
+    // version 1's first touch derives from the now-warm version 0
+    let at = client
+        .post(
+            "/cite_at",
+            &format!(
+                r#"{{"query": "{}", "at": 250}}"#,
+                QUERIES[1].replace('"', "\\\"")
+            ),
+        )
+        .expect("response");
+    assert!(at.body.contains("v24"), "{}", at.body);
+    for bad in [
+        r#"{"at": 500}"#,
+        r#"{"query": "Q(N) :- Family(F, N, Ty)", "version": 0, "at": 1}"#,
+        r#"{"query": "Q(N) :- Family(F, N, Ty)", "version": 99}"#,
+        r#"{"query": "Q(N) :- Family(F, N, Ty)", "version": -3}"#,
+        // a typo'd selector must not silently serve the head version
+        r#"{"query": "Q(N) :- Family(F, N, Ty)", "verison": 2}"#,
+    ] {
+        let response = client.post("/cite_at", bad).expect("response");
+        assert_eq!(response.status, 400, "{bad} -> {}", response.body);
+    }
+    // /cite serves the head version's engine
+    let head = client
+        .post("/cite", &cite_body(QUERIES[1]))
+        .expect("response");
+    assert_eq!(head.status, 200, "{}", head.body);
+    assert!(head.body.contains("Melatonin"), "{}", head.body);
+    // /versions + fixity block
+    let versions = client.get("/versions").expect("response");
+    assert!(versions.body.contains("\"count\": 3"), "{}", versions.body);
+    let stats = client.get("/stats").expect("response");
+    let fixity = parse_json(&stats.body)
+        .unwrap()
+        .get("fixity")
+        .cloned()
+        .expect("fixity block");
+    assert_eq!(
+        fixity.get("versions"),
+        Some(&Json::Int(3)),
+        "{}",
+        stats.body
+    );
+    match fixity.get("derived") {
+        Some(Json::Int(n)) => assert!(*n >= 1, "{}", stats.body),
+        other => panic!("derived missing: {other:?}"),
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn malformed_input_is_4xx_and_never_wedges_workers() {
     // a single worker: if anything wedged it, the follow-up requests
     // below would hang (the harness timeout would catch it)
