@@ -1,0 +1,64 @@
+//! E14 — distributed scatter/gather serving throughput.
+//!
+//! Where E10 measures the single-process serving stack and E11 the
+//! sharded store behind one server, E14 measures the full distributed
+//! tier: a stateless coordinator scattering each `POST /cite` to N
+//! shard replicas over HTTP, gathering `(gid, seq)`-ordered fragments
+//! and merging them into the byte-identical single-process response.
+//! The sweep over replica counts prices the scatter overhead: one
+//! fragment round trip per scattered shard plus the global-order
+//! merge, paid per request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgc_bench::{cite_bodies, run_load, start_dist_cluster, LoadConfig, LoadMode};
+use fgc_gtopdb::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_e14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_dist");
+    group.sample_size(10);
+
+    let db = fgc_bench::db_at_scale(1_000);
+    let mut workload = WorkloadGenerator::new(&db, 73);
+    let bodies = cite_bodies(workload.ad_hoc_batch(16));
+
+    for shards in [1usize, 2, 4] {
+        let (replicas, front) = start_dist_cluster(1_000, shards);
+        let addr = front.addr();
+
+        // warm replica extents + token caches through the coordinator:
+        // the sweep measures scatter/gather, not first-touch
+        // materialization
+        let warmup = LoadConfig {
+            clients: 1,
+            mode: LoadMode::Closed {
+                requests_per_client: bodies.len(),
+            },
+        };
+        let _ = run_load(addr, "/cite", &bodies, &warmup).expect("warmup");
+
+        group.bench_with_input(
+            BenchmarkId::new("closed_loop_8rpc_4clients", shards),
+            &shards,
+            |b, _| {
+                let config = LoadConfig {
+                    clients: 4,
+                    mode: LoadMode::Closed {
+                        requests_per_client: 8,
+                    },
+                };
+                b.iter(|| black_box(run_load(addr, "/cite", &bodies, &config).expect("load")));
+            },
+        );
+
+        front.shutdown();
+        for replica in replicas {
+            replica.shutdown();
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e14);
+criterion_main!(benches);

@@ -37,7 +37,10 @@ use std::time::Instant;
 
 pub mod load;
 
-pub use load::{cite_bodies, e10_table, e11_table, run_load, LoadConfig, LoadMode, LoadReport};
+pub use load::{
+    cite_bodies, e10_table, e11_table, e14_table, run_load, start_dist_cluster, LoadConfig,
+    LoadMode, LoadReport,
+};
 
 /// A printable experiment table.
 #[derive(Debug, Clone)]
@@ -85,6 +88,27 @@ impl Table {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
         out
+    }
+
+    /// The table as a JSON document (`{title, headers, rows}`) — the
+    /// machine-readable artifact the harness persists as
+    /// `BENCH_<id>.json` next to the printable rendering.
+    pub fn to_json(&self) -> fgc_views::Json {
+        use fgc_views::Json;
+        let row_json = |row: &Vec<String>| {
+            Json::Array(row.iter().map(|cell| Json::str(cell.as_str())).collect())
+        };
+        Json::from_pairs([
+            ("title", Json::str(self.title.as_str())),
+            (
+                "headers",
+                Json::Array(self.headers.iter().map(|h| Json::str(h.as_str())).collect()),
+            ),
+            (
+                "rows",
+                Json::Array(self.rows.iter().map(row_json).collect()),
+            ),
+        ])
     }
 }
 

@@ -376,6 +376,109 @@ pub fn e11_table(families: usize, shard_counts: &[usize]) -> crate::Table {
     }
 }
 
+// =====================================================================
+// E14 — distributed scatter/gather serving
+// =====================================================================
+
+/// Start an N-shard scatter/gather cluster at benchmark scale: N
+/// replica `CiteServer`s (each holding shard `i/N` of the identical
+/// deterministic store, with the `/fragment/*` handler mounted) and a
+/// stateless coordinator front end over them. Returns the replica
+/// handles and the coordinator server; shut the coordinator down
+/// first.
+pub fn start_dist_cluster(
+    families: usize,
+    shards: usize,
+) -> (Vec<fgc_server::CiteServer>, fgc_dist::DistServer) {
+    use std::sync::Arc;
+
+    let replicas: Vec<fgc_server::CiteServer> = (0..shards)
+        .map(|shard| {
+            let engine = Arc::new(crate::sharded_engine_at_scale(families, shards));
+            fgc_server::CiteServer::start_with_handler(
+                Arc::clone(&engine),
+                fgc_server::ServerConfig::default()
+                    .with_addr("127.0.0.1:0")
+                    .with_threads(8)
+                    .with_batch_window(Duration::from_millis(1))
+                    .with_role("replica")
+                    .with_shard(shard, shards),
+                fgc_dist::fragment_handler(engine),
+            )
+            .expect("bind replica")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+    let coordinator = fgc_dist::Coordinator::connect(fgc_dist::CoordinatorConfig::new(addrs))
+        .expect("coordinator connects");
+    let front = fgc_dist::DistServer::start(
+        Arc::new(coordinator),
+        fgc_server::ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_threads(8)
+            .with_role("coordinator"),
+    )
+    .expect("bind coordinator");
+    (replicas, front)
+}
+
+/// E14 table: the E10 serving workload POSTed at a scatter/gather
+/// cluster, swept over replica counts. Claim: the stateless
+/// coordinator serves the ad-hoc workload correctly (zero errors —
+/// responses are byte-identical to single-process serving, see
+/// `tests/dist_equivalence.rs`) at a bounded scatter overhead per
+/// added shard: each request costs one fragment round trip per
+/// scattered shard plus the global-order merge.
+pub fn e14_table(families: usize, shard_counts: &[usize]) -> crate::Table {
+    let db = crate::db_at_scale(families);
+    let bodies = serving_bodies(&db, 73);
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let (replicas, front) = start_dist_cluster(families, shards);
+        let addr = front.addr();
+        // warm replica extents + token caches through the coordinator
+        let warmup = LoadConfig {
+            clients: 1,
+            mode: LoadMode::Closed {
+                requests_per_client: bodies.len(),
+            },
+        };
+        let _ = run_load(addr, "/cite", &bodies, &warmup).expect("warmup");
+
+        let report = closed_loop(addr, &bodies, 8);
+        rows.push(vec![
+            shards.to_string(),
+            report.sent.to_string(),
+            format!("{:.0}", report.throughput()),
+            fmt_ms(report.percentile(50.0)),
+            fmt_ms(report.percentile(95.0)),
+            fmt_ms(report.percentile(99.0)),
+            report.errors.to_string(),
+        ]);
+        front.shutdown();
+        for replica in replicas {
+            replica.shutdown();
+        }
+    }
+    crate::Table {
+        title: format!(
+            "E14 — distributed serving: coordinator scatter/gather, closed loop, 8 clients \
+             ({families} families, key spec {})",
+            fgc_gtopdb::paper_shard_spec()
+        ),
+        headers: vec![
+            "replicas".into(),
+            "requests".into(),
+            "rps".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+            "errors".into(),
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +556,22 @@ mod tests {
             let rps: f64 = row[2].parse().unwrap();
             assert!(rps > 0.0, "{row:?}");
             assert_eq!(row[9], "0", "errors in {row:?}");
+        }
+    }
+
+    #[test]
+    fn e14_small_sweep_serves_without_errors() {
+        let t = e14_table(60, &[1, 2]);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let rps: f64 = row[2].parse().unwrap();
+            assert!(rps > 0.0, "{row:?}");
+            assert_eq!(row[6], "0", "errors in {row:?}");
+        }
+        // the persisted artifact shape: {title, headers, rows}
+        let json = t.to_json().to_compact();
+        for field in ["title", "headers", "rows", "E14"] {
+            assert!(json.contains(field), "{json}");
         }
     }
 

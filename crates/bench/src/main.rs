@@ -1,6 +1,17 @@
 //! Print all experiment tables (the `--print-tables` mode referenced
 //! by DESIGN.md). Run with `--release`; pass experiment ids (e.g.
-//! `e1 e3`) to restrict.
+//! `e1 e3`) to restrict. The load-generator experiments (E10, E14)
+//! additionally persist their results as `BENCH_E10.json` /
+//! `BENCH_E14.json` in the working directory.
+
+/// Persist a table as a machine-readable artifact next to the
+/// printable rendering.
+fn persist(path: &str, table: &fgc_bench::Table) {
+    let body = format!("{}\n", table.to_json().to_pretty());
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: cannot write {path}: {e}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,7 +50,9 @@ fn main() {
         println!();
     }
     if want("e10") {
-        print!("{}", fgc_bench::e10_table(1_000, &[1, 2, 4, 8]).render());
+        let table = fgc_bench::e10_table(1_000, &[1, 2, 4, 8]);
+        persist("BENCH_E10.json", &table);
+        print!("{}", table.render());
         println!();
     }
     if want("e11") {
@@ -55,6 +68,12 @@ fn main() {
     }
     if want("e13") {
         print!("{}", fgc_bench::e13_table(1_000, &[4, 16, 64]).render());
+        println!();
+    }
+    if want("e14") {
+        let table = fgc_bench::e14_table(1_000, &[1, 2, 4]);
+        persist("BENCH_E14.json", &table);
+        print!("{}", table.render());
         println!();
     }
     if want("a1") || want("ablation") {

@@ -89,6 +89,13 @@ pub struct TupleCitation {
 /// unsatisfiable) flags of the search that produced them.
 type LabelledRewritings = (Vec<(String, Rewriting)>, bool, bool);
 
+/// Per-tuple symbolic citation expressions plus the sorted superset
+/// of tokens they mention.
+type SymbolicCitations = (
+    HashMap<Tuple, CitationExpr<String, CiteToken>>,
+    Vec<CiteToken>,
+);
+
 /// The citation for a whole query result (Def. 3.4).
 #[derive(Debug, Clone)]
 pub struct QueryCitation {
@@ -135,6 +142,80 @@ struct EffectiveConfig<'a> {
 struct RequestCounters {
     hits: u64,
     misses: u64,
+}
+
+/// The data-access half of the citation pipeline.
+///
+/// [`CitationEngine::cite_with_plane`] drives the *whole* Def.
+/// 3.1–3.4 control plane — rewriting search, polynomial construction,
+/// normalization, interpretation, aggregation — through this trait,
+/// so a data plane only answers three questions: what are the answer
+/// tuples, what are a rewriting's extent bindings, and what does a
+/// token cite to. The local implementation reads the engine's own
+/// store; a distributed one scatters the same three questions to
+/// shard replicas. Because every byte of citation assembly is shared,
+/// any data plane that returns the same rows in the same order
+/// produces byte-identical citations.
+pub trait CiteDataPlane {
+    /// The answer set of the cited query, in global first-derivation
+    /// order (the order [`fgc_query::evaluate`] produces).
+    fn answer_tuples(&mut self, q: &ConjunctiveQuery) -> Result<Vec<Tuple>>;
+
+    /// The grouped bindings of a rewriting's extent query, evaluated
+    /// over base relations *plus* view extents, in global derivation
+    /// order (the order [`fgc_query::evaluate_grouped`] produces).
+    fn extent_groups(&mut self, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>>;
+
+    /// Hint that these tokens are about to be interpreted. A remote
+    /// plane batch-fetches them in one round trip; the local plane
+    /// ignores the hint (its token cache is already in-process).
+    fn prefetch_tokens(&mut self, _tokens: &[CiteToken]) -> Result<()> {
+        Ok(())
+    }
+
+    /// Interpret one token to its JSON citation.
+    fn token_citation(&mut self, token: &CiteToken) -> Result<Json>;
+
+    /// Token-cache `(hits, misses)` attributable to the current
+    /// request, for [`CiteResponse`] metadata.
+    fn cache_traffic(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// The in-process data plane: reads the engine's own (possibly
+/// sharded) store. [`CitationEngine::cite`] and friends are thin
+/// wrappers over this.
+struct LocalDataPlane<'a> {
+    engine: &'a CitationEngine,
+    counters: RequestCounters,
+}
+
+impl<'a> LocalDataPlane<'a> {
+    fn new(engine: &'a CitationEngine) -> Self {
+        LocalDataPlane {
+            engine,
+            counters: RequestCounters::default(),
+        }
+    }
+}
+
+impl CiteDataPlane for LocalDataPlane<'_> {
+    fn answer_tuples(&mut self, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
+        self.engine.answers(q)
+    }
+
+    fn extent_groups(&mut self, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+        self.engine.extent_groups(q)
+    }
+
+    fn token_citation(&mut self, token: &CiteToken) -> Result<Json> {
+        Ok(self.engine.token_citation(token, &mut self.counters))
+    }
+
+    fn cache_traffic(&self) -> (u64, u64) {
+        (self.counters.hits, self.counters.misses)
+    }
 }
 
 /// Routing counters for a sharded engine (relaxed atomics, same
@@ -632,40 +713,50 @@ impl CitationEngine {
         }
     }
 
+    /// The grouped bindings of one extent query, evaluated over the
+    /// extent database (base relations + view extents) — routed over
+    /// the sharded extent store when the engine is sharded, identical
+    /// output either way. Extent queries compile against the
+    /// (unsharded) extent database — its global sizes equal the
+    /// sharded extent store's — and their plans share the engine's
+    /// plan cache, so a repeated `cite` re-plans nothing.
+    fn extent_groups(&self, q: &ConjunctiveQuery) -> Result<Vec<(Tuple, Vec<Binding>)>> {
+        let extent_db = self.extent_database()?;
+        let plan = self.cached_plan(q, &extent_db)?;
+        match &self.sharded {
+            Some(base) => {
+                let sharded = self.extent_sharded_database(base)?;
+                let route = self.plan_and_count(&sharded, q);
+                Ok(evaluate_grouped_sharded_compiled(
+                    &sharded,
+                    &plan,
+                    &route,
+                    EvalOptions::default(),
+                )?)
+            }
+            None => Ok(evaluate_grouped_plan_with(
+                &extent_db,
+                &plan,
+                EvalOptions::default(),
+            )?),
+        }
+    }
+
     /// The symbolic citation expressions for every output tuple of
-    /// `q` (Defs. 3.1–3.3), before normalization.
-    fn symbolic_citations(
+    /// `q` (Defs. 3.1–3.3), before normalization, plus the (sorted)
+    /// superset of tokens they mention — extent bindings come from
+    /// the data plane.
+    fn symbolic_citations_with(
         &self,
         rewritings: &[(String, Rewriting)],
-    ) -> Result<HashMap<Tuple, CitationExpr<String, CiteToken>>> {
-        // Sharded engines evaluate rewritings over the sharded extent
-        // store through the router; the routed evaluator preserves
-        // binding order, so the resulting polynomials are identical.
-        // Extent queries compile against the (unsharded) extent
-        // database — its global sizes equal the sharded extent
-        // store's — and their plans share the engine's plan cache, so
-        // a repeated `cite` re-plans nothing.
-        let extent_db = self.extent_database()?;
-        let extent_sharded = match &self.sharded {
-            Some(base) => Some(self.extent_sharded_database(base)?),
-            None => None,
-        };
+        plane: &mut dyn CiteDataPlane,
+    ) -> Result<SymbolicCitations> {
         let mut exprs: HashMap<Tuple, CitationExpr<String, CiteToken>> = HashMap::new();
+        let mut token_set: std::collections::BTreeSet<CiteToken> =
+            std::collections::BTreeSet::new();
         for (label, rewriting) in rewritings {
             let extent_query = rewriting.as_extent_query();
-            let plan = self.cached_plan(&extent_query, &extent_db)?;
-            let grouped = match &extent_sharded {
-                Some(sharded) => {
-                    let route = self.plan_and_count(sharded, &extent_query);
-                    evaluate_grouped_sharded_compiled(
-                        sharded,
-                        &plan,
-                        &route,
-                        EvalOptions::default(),
-                    )?
-                }
-                None => evaluate_grouped_plan_with(&extent_db, &plan, EvalOptions::default())?,
-            };
+            let grouped = plane.extent_groups(&extent_query)?;
             for (tuple, bindings) in grouped {
                 let mut poly: Polynomial<CiteToken> = Polynomial::zero();
                 for binding in &bindings {
@@ -682,6 +773,7 @@ impl CitationEngine {
                             }
                             fgc_rewrite::Subgoal::Base(a) => CiteToken::base(a.relation.clone()),
                         };
+                        token_set.insert(token.clone());
                         monomial = monomial.times(&Monomial::token(token));
                     }
                     poly = poly.plus(&Polynomial::from_monomial(monomial));
@@ -695,7 +787,7 @@ impl CitationEngine {
                     .or_insert(expr);
             }
         }
-        Ok(exprs)
+        Ok((exprs, token_set.into_iter().collect()))
     }
 
     /// Interpret a token to its JSON citation (memoized in the shared
@@ -721,22 +813,26 @@ impl CitationEngine {
     }
 
     /// The full Def. 3.1–3.4 pipeline under an effective (engine
-    /// defaults ⊕ request overrides) configuration.
+    /// defaults ⊕ request overrides) configuration, reading rows and
+    /// token citations through the data plane.
     fn cite_under(
         &self,
         q: &ConjunctiveQuery,
         config: &EffectiveConfig<'_>,
-        counters: &mut RequestCounters,
+        plane: &mut dyn CiteDataPlane,
     ) -> Result<QueryCitation> {
         let policy = config.policy;
-        let answers = self.answers(q)?;
+        let answers = plane.answer_tuples(q)?;
         let (rewritings, exhaustive, unsatisfiable) =
             self.rewritings(q, config.mode, config.rewrite)?;
-        let mut exprs = if rewritings.is_empty() {
-            HashMap::new()
+        let (mut exprs, tokens) = if rewritings.is_empty() {
+            (HashMap::new(), Vec::new())
         } else {
-            self.symbolic_citations(&rewritings)?
+            self.symbolic_citations_with(&rewritings, plane)?
         };
+        if !tokens.is_empty() {
+            plane.prefetch_tokens(&tokens)?;
+        }
 
         // Equal symbolic expressions interpret to equal citations, and
         // result sets over curated hierarchies share few distinct
@@ -758,9 +854,24 @@ impl CitationEngine {
             let citation = match memo_hit {
                 Some(hit) => hit,
                 None => {
-                    let mut value_of = |t: &CiteToken| self.token_citation(t, counters);
-                    let citation =
-                        interpret_expr(policy, &normalized, &mut value_of).unwrap_or(Json::Null);
+                    // `interpret_expr`'s token valuation is infallible
+                    // by signature; remote token failures surface
+                    // through this side channel instead of silently
+                    // citing Null.
+                    let mut token_err: Option<CoreError> = None;
+                    let citation = {
+                        let mut value_of = |t: &CiteToken| match plane.token_citation(t) {
+                            Ok(json) => json,
+                            Err(e) => {
+                                token_err.get_or_insert(e);
+                                Json::Null
+                            }
+                        };
+                        interpret_expr(policy, &normalized, &mut value_of).unwrap_or(Json::Null)
+                    };
+                    if let Some(e) = token_err {
+                        return Err(e);
+                    }
                     if interp_memo
                         .insert(normalized.clone(), citation.clone())
                         .is_none()
@@ -801,8 +912,8 @@ impl CitationEngine {
     /// Cite a query with the engine's default policy and options: the
     /// full Def. 3.1–3.4 pipeline.
     pub fn cite(&self, q: &ConjunctiveQuery) -> Result<QueryCitation> {
-        let mut counters = RequestCounters::default();
-        self.cite_under(q, &self.effective(None), &mut counters)
+        let mut plane = LocalDataPlane::new(self);
+        self.cite_under(q, &self.effective(None), &mut plane)
     }
 
     /// Cite an SQL query (SPJ fragment).
@@ -811,22 +922,48 @@ impl CitationEngine {
         self.cite(&q)
     }
 
+    /// [`Self::cite`] with the data plane supplied by the caller:
+    /// the engine runs the whole control plane (rewriting search,
+    /// polynomials, normalization, interpretation, aggregation) and
+    /// reads rows and token citations through `plane`. Optional
+    /// request overrides apply as in [`Self::cite_request`].
+    pub fn cite_with_plane(
+        &self,
+        q: &ConjunctiveQuery,
+        request: Option<&CiteRequest>,
+        plane: &mut dyn CiteDataPlane,
+    ) -> Result<QueryCitation> {
+        self.cite_under(q, &self.effective(request), plane)
+    }
+
     /// Serve one [`CiteRequest`]: apply its per-call overrides on top
     /// of the engine defaults and wrap the result with timing and
     /// cache metadata.
     pub fn cite_request(&self, request: &CiteRequest) -> Result<CiteResponse> {
+        let mut plane = LocalDataPlane::new(self);
+        self.cite_request_with(request, &mut plane)
+    }
+
+    /// [`Self::cite_request`] over a caller-supplied data plane; the
+    /// response's cache counters come from
+    /// [`CiteDataPlane::cache_traffic`].
+    pub fn cite_request_with(
+        &self,
+        request: &CiteRequest,
+        plane: &mut dyn CiteDataPlane,
+    ) -> Result<CiteResponse> {
         let started = Instant::now();
         let q = match &request.query {
             QuerySpec::Datalog(q) => q.clone(),
             QuerySpec::Sql(sql) => parse_sql(self.db.catalog(), sql)?,
         };
-        let mut counters = RequestCounters::default();
-        let citation = self.cite_under(&q, &self.effective(Some(request)), &mut counters)?;
+        let citation = self.cite_under(&q, &self.effective(Some(request)), plane)?;
+        let (cache_hits, cache_misses) = plane.cache_traffic();
         Ok(CiteResponse {
             citation,
             elapsed: started.elapsed(),
-            cache_hits: counters.hits,
-            cache_misses: counters.misses,
+            cache_hits,
+            cache_misses,
         })
     }
 
@@ -891,6 +1028,82 @@ impl CitationEngine {
             .into_iter()
             .map(|s| s.expect("every request produced a result"))
             .collect()
+    }
+
+    /// The shard-key spec of the sharded store, when the engine is
+    /// sharded (replicas publish it so a coordinator can rebuild the
+    /// identical routing shell).
+    pub fn shard_spec(&self) -> Option<&ShardKeySpec> {
+        self.sharded.as_ref().map(|s| s.spec())
+    }
+
+    /// This shard's `(gid, seq, tuple)` fragment of an answer query's
+    /// global evaluation (see [`fgc_query::lead_fragment_answers`]).
+    /// Errors with [`CoreError::Remote`] when the engine is not
+    /// sharded or `shard` is out of range.
+    pub fn fragment_answers(
+        &self,
+        q: &ConjunctiveQuery,
+        shard: usize,
+    ) -> Result<Vec<(usize, usize, Tuple)>> {
+        let sharded = self.require_shard(shard)?;
+        let plan = self.cached_plan(q, &self.db)?;
+        let route = self.plan_and_count(&sharded, q);
+        Ok(fgc_query::lead_fragment_answers(
+            &sharded,
+            &plan,
+            &route,
+            shard,
+            EvalOptions::default(),
+        )?)
+    }
+
+    /// This shard's `(gid, seq, tuple, binding)` fragment of an
+    /// extent query's grouped evaluation, over the sharded extent
+    /// store (base relations + view extents).
+    pub fn fragment_bindings(
+        &self,
+        q: &ConjunctiveQuery,
+        shard: usize,
+    ) -> Result<Vec<(usize, usize, Tuple, Binding)>> {
+        let base = self.require_shard(shard)?;
+        let extent_db = self.extent_database()?;
+        let sharded = self.extent_sharded_database(&base)?;
+        let plan = self.cached_plan(q, &extent_db)?;
+        let route = self.plan_and_count(&sharded, q);
+        Ok(fgc_query::lead_fragment_bindings(
+            &sharded,
+            &plan,
+            &route,
+            shard,
+            EvalOptions::default(),
+        )?)
+    }
+
+    fn require_shard(&self, shard: usize) -> Result<Arc<ShardedDatabase>> {
+        let sharded = self
+            .sharded
+            .as_ref()
+            .ok_or_else(|| CoreError::Remote("engine is not sharded".into()))?;
+        if shard >= sharded.shard_count() {
+            return Err(CoreError::Remote(format!(
+                "shard {shard} out of range (store has {})",
+                sharded.shard_count()
+            )));
+        }
+        Ok(Arc::clone(sharded))
+    }
+
+    /// Interpret a batch of tokens (memoized in the shared cache),
+    /// returning the citations in input order plus the request's
+    /// `(hits, misses)` cache traffic.
+    pub fn token_citations(&self, tokens: &[CiteToken]) -> (Vec<Json>, u64, u64) {
+        let mut counters = RequestCounters::default();
+        let citations = tokens
+            .iter()
+            .map(|t| self.token_citation(t, &mut counters))
+            .collect();
+        (citations, counters.hits, counters.misses)
     }
 }
 

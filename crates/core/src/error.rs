@@ -18,6 +18,10 @@ pub enum CoreError {
     Rewrite(fgc_rewrite::RewriteError),
     /// A version id or timestamp did not resolve to a snapshot.
     NoSuchVersion(String),
+    /// A remote data plane (shard replica) failed or was misused.
+    /// The message is carried verbatim so coordinator-side errors
+    /// render identically to their single-process counterparts.
+    Remote(String),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +36,7 @@ impl fmt::Display for CoreError {
             CoreError::View(e) => write!(f, "{e}"),
             CoreError::Rewrite(e) => write!(f, "{e}"),
             CoreError::NoSuchVersion(what) => write!(f, "no such version: {what}"),
+            CoreError::Remote(msg) => write!(f, "{msg}"),
         }
     }
 }

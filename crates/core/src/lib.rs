@@ -88,7 +88,8 @@ pub mod token;
 pub use baseline::{baseline_coverage, PageCitationStore, WorkloadItem};
 pub use cache::{CacheStats, CitationCache};
 pub use engine::{
-    CitationEngine, EngineOptions, QueryCitation, RewriteMode, ShardServingStats, TupleCitation,
+    CitationEngine, CiteDataPlane, EngineOptions, QueryCitation, RewriteMode, ShardServingStats,
+    TupleCitation,
 };
 pub use error::{CoreError, Result};
 pub use explain::explain;

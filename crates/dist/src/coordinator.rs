@@ -1,0 +1,590 @@
+//! The stateless coordinator: bootstrap, scatter/gather, failover.
+//!
+//! A [`Coordinator`] holds **no data**. At startup it validates every
+//! replica's `/healthz` (role and `i/n` shard ownership), fetches
+//! `/fragment/meta` once, and rebuilds from it (a) a schema-only
+//! [`CitationEngine`] — empty relations, real constraints, real view
+//! texts — that runs the entire citation control plane, and (b) a
+//! schema-only [`ShardedDatabase`] shell whose [`ShardRouter`]
+//! computes the same per-atom [`RoutePlan`] every replica computes
+//! (routing is a pure function of query and spec, independent of the
+//! stored tuples).
+//!
+//! Serving a request drives the engine through a [`ScatterPlane`]:
+//! answer and extent evaluations scatter to the implicated shards'
+//! replicas in parallel, fragments come back as `(gid, seq, ...)`
+//! rows, and gathering is a sort-merge in global tuple order — which
+//! is exactly the single-process enumeration order, so citations are
+//! byte-identical. Per shard the coordinator tries the primary, then
+//! its twin, each with the pool's bounded retry; when every candidate
+//! is down the request fails with a structured outage the server
+//! layer maps to 503.
+
+use crate::pool::{CallError, PoolConfig, ReplicaPool};
+use crate::proto;
+use fgc_core::{
+    CitationEngine, CiteDataPlane, CiteRequest, CiteToken, CoreError, Result as CoreResult,
+};
+use fgc_query::{Binding, ConjunctiveQuery, RoutePlan, ShardRouter, ShardSet};
+use fgc_relation::sharded::{ShardKeySpec, ShardedDatabase};
+use fgc_relation::{Database, Tuple};
+use fgc_server::wire::{encode_response, error_body, QueryKind};
+use fgc_server::{decode_cite_request, parse_json};
+use fgc_views::{CitationFunction, CitationView, Json, ViewRegistry};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+/// Coordinator deployment settings.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Primary replica of each shard, in shard order (`replicas[i]`
+    /// must own shard `i` of `replicas.len()`).
+    pub replicas: Vec<SocketAddr>,
+    /// Optional failover twin per shard (same shard ownership).
+    /// Empty, or one entry per shard.
+    pub twins: Vec<Option<SocketAddr>>,
+    /// Retry/timeout/circuit tuning for replica calls.
+    pub pool: PoolConfig,
+}
+
+impl CoordinatorConfig {
+    /// A coordinator over `replicas` with no twins and default pool
+    /// settings.
+    pub fn new(replicas: Vec<SocketAddr>) -> Self {
+        CoordinatorConfig {
+            replicas,
+            twins: Vec::new(),
+            pool: PoolConfig::default(),
+        }
+    }
+
+    /// Builder: per-shard failover twins.
+    pub fn with_twins(mut self, twins: Vec<Option<SocketAddr>>) -> Self {
+        self.twins = twins;
+        self
+    }
+
+    /// Builder: pool tuning.
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
+}
+
+/// A shard whose whole replica set (primary and twin) is unreachable.
+#[derive(Debug, Clone)]
+pub struct ShardOutage {
+    /// The shard no candidate could serve, when the failed call was
+    /// shard-addressed (`None` for token interpretation, which any
+    /// replica can serve).
+    pub shard: Option<usize>,
+    /// The replica addresses tried, in failover order.
+    pub tried: Vec<String>,
+}
+
+/// How one shard-addressed call failed.
+enum ShardCallError {
+    /// The replica answered 4xx: a request-shaped error whose message
+    /// must reach the client verbatim. Never retried or failed over —
+    /// every replica would refuse identically.
+    Query(String),
+    /// Every candidate failed at the transport layer.
+    Exhausted(ShardOutage),
+}
+
+/// The running coordinator.
+#[derive(Debug)]
+pub struct Coordinator {
+    engine: CitationEngine,
+    shell: ShardedDatabase,
+    pool: ReplicaPool,
+    /// Per shard: pool indices to try, in failover order.
+    candidates: Vec<Vec<usize>>,
+    shards: usize,
+}
+
+impl Coordinator {
+    /// Bootstrap against a live replica set: health-check and
+    /// validate every configured replica, fetch `/fragment/meta`,
+    /// and rebuild the schema-only engine and routing shell.
+    pub fn connect(config: CoordinatorConfig) -> Result<Coordinator, String> {
+        let shards = config.replicas.len();
+        if shards == 0 {
+            return Err("a coordinator needs at least one replica".into());
+        }
+        if !config.twins.is_empty() && config.twins.len() != shards {
+            return Err(format!(
+                "got {} twins for {shards} replicas (give one per shard, `-` for none)",
+                config.twins.len()
+            ));
+        }
+        let mut addrs = config.replicas.clone();
+        let mut candidates: Vec<Vec<usize>> = (0..shards).map(|i| vec![i]).collect();
+        for (shard, twin) in config.twins.iter().enumerate() {
+            if let Some(addr) = twin {
+                candidates[shard].push(addrs.len());
+                addrs.push(*addr);
+            }
+        }
+        let pool = ReplicaPool::new(addrs, config.pool);
+
+        // Validate the topology: each candidate must self-report as
+        // the replica owning the shard we will route to it. A twin is
+        // allowed to be down at bootstrap (that is what failover is
+        // for) but a reachable one must not be mis-sharded.
+        let mut meta = None;
+        for (shard, cands) in candidates.iter().enumerate() {
+            let mut live = false;
+            for (rank, &idx) in cands.iter().enumerate() {
+                match pool.request(idx, "GET", "/healthz", None) {
+                    Ok(response) => {
+                        check_health(&response.body, shard, shards)
+                            .map_err(|e| format!("replica {}: {e}", pool.addr(idx)))?;
+                        live = true;
+                        if meta.is_none() {
+                            let m = pool
+                                .request(idx, "GET", "/fragment/meta", None)
+                                .map_err(|e| format!("replica {}: {e}", pool.addr(idx)))?;
+                            meta = Some(m.body);
+                        }
+                    }
+                    Err(e) if rank == 0 => {
+                        return Err(format!(
+                            "replica {} (shard {shard}) is unreachable: {e}",
+                            pool.addr(idx)
+                        ))
+                    }
+                    Err(_) => {} // a dead twin is tolerable
+                }
+            }
+            if !live {
+                return Err(format!("no live replica for shard {shard}"));
+            }
+        }
+        let meta = meta.ok_or_else(|| "no replica served /fragment/meta".to_string())?;
+        let (engine, shell) = build_from_meta(&meta, shards)?;
+        Ok(Coordinator {
+            engine,
+            shell,
+            pool,
+            candidates,
+            shards,
+        })
+    }
+
+    /// The schema-only control-plane engine.
+    pub fn engine(&self) -> &CitationEngine {
+        &self.engine
+    }
+
+    /// Number of shards in the topology.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Per-replica pool/circuit state for `GET /stats`.
+    pub fn pool_json(&self) -> Json {
+        self.pool.to_json()
+    }
+
+    /// Serve one `POST /cite` / `/cite_sql` body end to end:
+    /// decode, scatter, gather, encode. Returns `(status, body)` —
+    /// 200 with the standard response, 400 with the engine's error
+    /// relayed verbatim, or a structured 503 naming the dead shard
+    /// and every replica tried when a replica set is exhausted.
+    pub fn serve_cite(&self, body: &[u8], kind: QueryKind) -> (u16, String) {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return (400, error_body("body is not valid utf-8")),
+        };
+        let parsed = match parse_json(text) {
+            Ok(v) => v,
+            Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
+        };
+        let request = match decode_cite_request(&parsed, kind, self.engine.policy()) {
+            Ok(r) => r,
+            Err(e) => return (400, error_body(&e.0)),
+        };
+        self.serve_request(&request)
+    }
+
+    /// [`Coordinator::serve_cite`] over an already-decoded request.
+    pub fn serve_request(&self, request: &CiteRequest) -> (u16, String) {
+        let mut plane = ScatterPlane::new(self);
+        match self.engine.cite_request_with(request, &mut plane) {
+            Ok(response) => (200, encode_response(&response).to_compact()),
+            Err(e) => match plane.outage.take() {
+                Some(outage) => {
+                    let mut body = Json::from_pairs([
+                        ("error", Json::str(e.to_string())),
+                        (
+                            "replicas_tried",
+                            Json::Array(outage.tried.iter().map(Json::str).collect()),
+                        ),
+                    ]);
+                    body.set(
+                        "shard",
+                        outage.shard.map_or(Json::Null, |s| Json::Int(s as i64)),
+                    );
+                    (503, body.to_compact())
+                }
+                None => (400, error_body(&e.to_string())),
+            },
+        }
+    }
+
+    /// The shards an answer query must scatter to. When every atom is
+    /// routed to a single shard the union of those shards covers the
+    /// lead atom *whichever* atom a replica's plan picks as lead (the
+    /// coordinator's statistics-free plan may pick a different join
+    /// order); any fan-out atom forces all shards.
+    fn scatter_set(&self, q: &ConjunctiveQuery) -> Vec<usize> {
+        let route: RoutePlan = ShardRouter::new(&self.shell).plan(q);
+        let mut one = Vec::new();
+        for set in &route.atoms {
+            match set {
+                ShardSet::One(s) => one.push(*s),
+                ShardSet::All => return (0..self.shards).collect(),
+            }
+        }
+        if one.is_empty() {
+            // zero-atom query: shard 0 owns the constant answer
+            return vec![0];
+        }
+        one.sort_unstable();
+        one.dedup();
+        one
+    }
+
+    /// Call one shard's replica set in failover order.
+    fn call_shard(&self, shard: usize, path: &str, body: &str) -> Result<Json, ShardCallError> {
+        let mut tried = Vec::new();
+        for &idx in &self.candidates[shard] {
+            match self.pool.request(idx, "POST", path, Some(body)) {
+                Ok(response) if response.status == 200 => match parse_json(&response.body) {
+                    Ok(json) => return Ok(json),
+                    // a mangled body means the replica is unhealthy:
+                    // fail over like a transport error
+                    Err(_) => tried.push(self.pool.addr(idx).to_string()),
+                },
+                Ok(response) => {
+                    let message = parse_json(&response.body)
+                        .ok()
+                        .and_then(|j| match j.get("error") {
+                            Some(Json::Str(m)) => Some(m.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or(response.body);
+                    return Err(ShardCallError::Query(message));
+                }
+                Err(CallError::CircuitOpen) => {
+                    tried.push(format!("{} (circuit open)", self.pool.addr(idx)));
+                }
+                Err(CallError::Transport(_)) => tried.push(self.pool.addr(idx).to_string()),
+            }
+        }
+        Err(ShardCallError::Exhausted(ShardOutage {
+            shard: Some(shard),
+            tried,
+        }))
+    }
+
+    /// Scatter one fragment query to `shards` in parallel; results
+    /// come back in shard order. The first failure (by shard index,
+    /// for determinism) wins.
+    fn scatter(
+        &self,
+        shards: &[usize],
+        path: &str,
+        query_text: &str,
+    ) -> Result<Vec<Json>, ShardCallError> {
+        let results: Vec<Result<Json, ShardCallError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|&s| {
+                    let body = Json::from_pairs([
+                        ("query", Json::str(query_text)),
+                        ("shard", Json::Int(s as i64)),
+                    ])
+                    .to_compact();
+                    scope.spawn(move || self.call_shard(s, path, &body))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter thread"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+/// Validate one replica's `/healthz` body against its expected role
+/// and shard ownership.
+fn check_health(body: &str, shard: usize, shards: usize) -> Result<(), String> {
+    let parsed = parse_json(body).map_err(|e| format!("unparseable /healthz body: {e}"))?;
+    match parsed.get("role") {
+        Some(Json::Str(role)) if role == "replica" => {}
+        Some(Json::Str(role)) => return Err(format!("role is `{role}`, expected `replica`")),
+        _ => return Err("/healthz reports no role (old server?)".into()),
+    }
+    let expected = format!("{shard}/{shards}");
+    match parsed.get("shard") {
+        Some(Json::Str(owned)) if *owned == expected => Ok(()),
+        Some(Json::Str(owned)) => Err(format!("owns shard {owned}, expected {expected}")),
+        _ => Err("/healthz reports no shard ownership".into()),
+    }
+}
+
+/// Rebuild the schema-only engine and routing shell from a
+/// `/fragment/meta` body.
+fn build_from_meta(body: &str, shards: usize) -> Result<(CitationEngine, ShardedDatabase), String> {
+    let meta = parse_json(body).map_err(|e| format!("unparseable /fragment/meta: {e}"))?;
+    match meta.get("shards") {
+        Some(Json::Int(n)) if *n as usize == shards => {}
+        Some(Json::Int(n)) => {
+            return Err(format!(
+                "replicas shard the store {n} ways but {shards} replicas are configured"
+            ))
+        }
+        _ => return Err("/fragment/meta reports no shard count".into()),
+    }
+    let Some(Json::Str(spec_text)) = meta.get("key_spec") else {
+        return Err("/fragment/meta reports no key_spec".into());
+    };
+    let spec = ShardKeySpec::parse(spec_text).map_err(|e| format!("bad key_spec: {e}"))?;
+    let Some(Json::Array(relations)) = meta.get("relations") else {
+        return Err("/fragment/meta reports no relations".into());
+    };
+
+    // Recreate relations in the replica's catalog order so foreign-key
+    // targets resolve and downstream iteration order matches.
+    let mut db = Database::new();
+    let mut shell = ShardedDatabase::new(shards, spec);
+    for r in relations {
+        let schema = proto::json_to_schema(r)?;
+        shell
+            .create_relation(schema.clone())
+            .map_err(|e| e.to_string())?;
+        db.create_relation(schema).map_err(|e| e.to_string())?;
+    }
+
+    let Some(Json::Array(views)) = meta.get("views") else {
+        return Err("/fragment/meta reports no views".into());
+    };
+    let mut registry = ViewRegistry::new();
+    for v in views {
+        let (Some(Json::Str(view)), Some(Json::Str(citation))) =
+            (v.get("view"), v.get("citation_query"))
+        else {
+            return Err(format!("bad view entry in /fragment/meta: {v}"));
+        };
+        let view = fgc_query::parse_query(view).map_err(|e| format!("bad view: {e}"))?;
+        let citation_query =
+            fgc_query::parse_query(citation).map_err(|e| format!("bad citation query: {e}"))?;
+        // The coordinator never interprets tokens locally (replicas
+        // do), so the citation *function* need not cross the wire —
+        // an empty spec satisfies registration.
+        registry
+            .add(CitationView::new(
+                view,
+                citation_query,
+                CitationFunction::from_spec(vec![]),
+            ))
+            .map_err(|e| e.to_string())?;
+    }
+    let engine = CitationEngine::new(db, registry).map_err(|e| e.to_string())?;
+    Ok((engine, shell))
+}
+
+/// The distributed [`CiteDataPlane`]: every data access the control
+/// plane makes becomes a scatter/gather over the replica set.
+struct ScatterPlane<'a> {
+    coord: &'a Coordinator,
+    prefetched: HashMap<CiteToken, Json>,
+    hits: u64,
+    misses: u64,
+    /// Set when a call died because a whole replica set is down; the
+    /// server layer turns it into the structured 503.
+    outage: Option<ShardOutage>,
+}
+
+impl<'a> ScatterPlane<'a> {
+    fn new(coord: &'a Coordinator) -> Self {
+        ScatterPlane {
+            coord,
+            prefetched: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            outage: None,
+        }
+    }
+
+    fn fail(&mut self, e: ShardCallError) -> CoreError {
+        match e {
+            ShardCallError::Query(message) => CoreError::Remote(message),
+            ShardCallError::Exhausted(outage) => {
+                let message = match outage.shard {
+                    Some(s) => format!(
+                        "shard {s} has no live replica (tried {})",
+                        outage.tried.join(", ")
+                    ),
+                    None => format!(
+                        "no live replica for token interpretation (tried {})",
+                        outage.tried.join(", ")
+                    ),
+                };
+                self.outage = Some(outage);
+                CoreError::Remote(message)
+            }
+        }
+    }
+
+    /// One POST to *any* live replica (all replicas hold the full
+    /// store, so token interpretation is not shard-addressed).
+    fn call_any(&mut self, path: &str, body: &str) -> CoreResult<Json> {
+        let mut tried = Vec::new();
+        for idx in 0..self.coord.pool.addrs().len() {
+            match self.coord.pool.request(idx, "POST", path, Some(body)) {
+                Ok(response) if response.status == 200 => match parse_json(&response.body) {
+                    Ok(json) => return Ok(json),
+                    Err(_) => tried.push(self.coord.pool.addr(idx).to_string()),
+                },
+                Ok(response) => {
+                    let message = parse_json(&response.body)
+                        .ok()
+                        .and_then(|j| match j.get("error") {
+                            Some(Json::Str(m)) => Some(m.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or(response.body);
+                    return Err(CoreError::Remote(message));
+                }
+                Err(_) => tried.push(self.coord.pool.addr(idx).to_string()),
+            }
+        }
+        Err(self.fail(ShardCallError::Exhausted(ShardOutage {
+            shard: None,
+            tried,
+        })))
+    }
+}
+
+impl CiteDataPlane for ScatterPlane<'_> {
+    fn answer_tuples(&mut self, q: &ConjunctiveQuery) -> CoreResult<Vec<Tuple>> {
+        let shards = self.coord.scatter_set(q);
+        let fragments = self
+            .coord
+            .scatter(&shards, "/fragment/answers", &q.to_string())
+            .map_err(|e| self.fail(e))?;
+        let mut rows: Vec<(usize, usize, Tuple)> = Vec::new();
+        for fragment in &fragments {
+            let Some(Json::Array(items)) = fragment.get("rows") else {
+                return Err(CoreError::Remote("fragment response missing `rows`".into()));
+            };
+            for item in items {
+                rows.push(proto::json_to_answer_row(item).map_err(CoreError::Remote)?);
+            }
+        }
+        rows.sort_by_key(|(gid, seq, _)| (*gid, *seq));
+        let mut seen = std::collections::HashSet::new();
+        let mut merged = Vec::new();
+        for (_, _, t) in rows {
+            if seen.insert(t.clone()) {
+                merged.push(t);
+            }
+        }
+        Ok(merged)
+    }
+
+    fn extent_groups(&mut self, q: &ConjunctiveQuery) -> CoreResult<Vec<(Tuple, Vec<Binding>)>> {
+        // extent queries join view extents (not shard-key routed):
+        // always scatter to every shard
+        let shards: Vec<usize> = (0..self.coord.shards).collect();
+        let fragments = self
+            .coord
+            .scatter(&shards, "/fragment/bindings", &q.to_string())
+            .map_err(|e| self.fail(e))?;
+        let mut rows: Vec<(usize, usize, Tuple, Binding)> = Vec::new();
+        for fragment in &fragments {
+            let vars = match fragment.get("vars") {
+                Some(Json::Array(vars)) => vars
+                    .iter()
+                    .map(|v| match v {
+                        Json::Str(s) => Ok(s.clone()),
+                        other => Err(CoreError::Remote(format!("bad var name {other}"))),
+                    })
+                    .collect::<CoreResult<Vec<_>>>()?,
+                _ => return Err(CoreError::Remote("fragment response missing `vars`".into())),
+            };
+            let Some(Json::Array(items)) = fragment.get("rows") else {
+                return Err(CoreError::Remote("fragment response missing `rows`".into()));
+            };
+            for item in items {
+                rows.push(proto::json_to_binding_row(item, &vars).map_err(CoreError::Remote)?);
+            }
+        }
+        rows.sort_by_key(|row| (row.0, row.1));
+        let mut merged: Vec<(Tuple, Vec<Binding>)> = Vec::new();
+        let mut index: HashMap<Tuple, usize> = HashMap::new();
+        for (_, _, t, b) in rows {
+            match index.get(&t) {
+                Some(&i) => merged[i].1.push(b),
+                None => {
+                    index.insert(t.clone(), merged.len());
+                    merged.push((t, vec![b]));
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    fn prefetch_tokens(&mut self, tokens: &[CiteToken]) -> CoreResult<()> {
+        let body = Json::from_pairs([(
+            "tokens",
+            Json::Array(tokens.iter().map(proto::token_to_json).collect()),
+        )])
+        .to_compact();
+        let response = self.call_any("/fragment/tokens", &body)?;
+        let Some(Json::Array(citations)) = response.get("citations") else {
+            return Err(CoreError::Remote(
+                "token response missing `citations`".into(),
+            ));
+        };
+        if citations.len() != tokens.len() {
+            return Err(CoreError::Remote(format!(
+                "token response has {} citations for {} tokens",
+                citations.len(),
+                tokens.len()
+            )));
+        }
+        for (token, citation) in tokens.iter().zip(citations) {
+            self.prefetched.insert(token.clone(), citation.clone());
+        }
+        if let Some(Json::Int(h)) = response.get("hits") {
+            self.hits += (*h).max(0) as u64;
+        }
+        if let Some(Json::Int(m)) = response.get("misses") {
+            self.misses += (*m).max(0) as u64;
+        }
+        Ok(())
+    }
+
+    fn token_citation(&mut self, token: &CiteToken) -> CoreResult<Json> {
+        if let Some(citation) = self.prefetched.get(token) {
+            return Ok(citation.clone());
+        }
+        // the prefetched superset covers every token the normalized
+        // expressions mention; this path only runs if normalization
+        // surfaces a token the symbolic pass did not (defensive)
+        self.prefetch_tokens(std::slice::from_ref(token))?;
+        self.prefetched
+            .get(token)
+            .cloned()
+            .ok_or_else(|| CoreError::Remote("replica returned no citation for token".into()))
+    }
+
+    fn cache_traffic(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}

@@ -1,0 +1,378 @@
+//! The fragment wire protocol: JSON encodings shared by the replica
+//! endpoints and the coordinator client.
+//!
+//! Four endpoints ride on the existing HTTP/1.1 JSON dialect of
+//! [`fgc_server`]:
+//!
+//! | route                     | request                       | response |
+//! |---------------------------|-------------------------------|----------|
+//! | `GET  /fragment/meta`     | —                             | shard count, key spec, relation schemas, view texts |
+//! | `POST /fragment/answers`  | `{"query", "shard"}`          | `{"rows": [[gid, seq, [values]], ...]}` |
+//! | `POST /fragment/bindings` | `{"query", "shard"}`          | `{"vars": [...], "rows": [[gid, seq, [tuple], [var values]], ...]}` |
+//! | `POST /fragment/tokens`   | `{"tokens": [...]}`           | `{"citations": [...], "hits", "misses"}` |
+//!
+//! Queries travel as Datalog text (the [`std::fmt::Display`] form of
+//! [`ConjunctiveQuery`], which the parser round-trips, string escapes
+//! included). Values travel in the same scalar JSON mapping the
+//! `/cite` response uses; `Float` round-trips through decimal text,
+//! which is exact for the string/int-valued paper and GtoPdb
+//! workloads and documented as the protocol's precision limit.
+
+use fgc_core::CiteToken;
+use fgc_query::{Binding, ConjunctiveQuery, Term};
+use fgc_relation::schema::RelationSchema;
+use fgc_relation::{DataType, Tuple, Value};
+use fgc_server::wire::value_to_json;
+use fgc_views::Json;
+use std::collections::BTreeSet;
+
+/// A decode failure; the offending field is named in the message.
+pub type ProtoError = String;
+
+/// Inverse of [`value_to_json`] for the scalar values tuples carry.
+pub fn json_to_value(j: &Json) -> Result<Value, ProtoError> {
+    match j {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Float(x) => Ok(Value::Float(*x)),
+        Json::Str(s) => Ok(Value::str(s.clone())),
+        other => Err(format!("expected a scalar value, got {other}")),
+    }
+}
+
+/// The distinct variable names of a query's atoms, sorted — the
+/// binding column order of `/fragment/bindings`, computable
+/// identically on both sides of the wire.
+pub fn query_vars(q: &ConjunctiveQuery) -> Vec<String> {
+    let mut vars: BTreeSet<&str> = BTreeSet::new();
+    for atom in &q.atoms {
+        for term in &atom.terms {
+            if let Term::Var(v) = term {
+                vars.insert(v.as_str());
+            }
+        }
+    }
+    vars.into_iter().map(String::from).collect()
+}
+
+/// Encode one `(gid, seq, tuple)` answer-fragment row.
+pub fn answer_row_to_json(gid: usize, seq: usize, tuple: &Tuple) -> Json {
+    Json::Array(vec![
+        Json::Int(gid as i64),
+        Json::Int(seq as i64),
+        Json::Array(tuple.iter().map(value_to_json).collect()),
+    ])
+}
+
+/// Decode one answer-fragment row.
+pub fn json_to_answer_row(j: &Json) -> Result<(usize, usize, Tuple), ProtoError> {
+    let Json::Array(parts) = j else {
+        return Err(format!("row must be an array, got {j}"));
+    };
+    let [gid, seq, values] = parts.as_slice() else {
+        return Err(format!("row must have 3 elements, got {}", parts.len()));
+    };
+    Ok((
+        json_to_index(gid, "gid")?,
+        json_to_index(seq, "seq")?,
+        json_to_tuple(values)?,
+    ))
+}
+
+/// Encode one `(gid, seq, tuple, binding)` bindings-fragment row;
+/// `vars` fixes the binding column order. Unbound variables encode as
+/// `null` (the engine resolves missing and null bindings identically).
+pub fn binding_row_to_json(
+    gid: usize,
+    seq: usize,
+    tuple: &Tuple,
+    binding: &Binding,
+    vars: &[String],
+) -> Json {
+    Json::Array(vec![
+        Json::Int(gid as i64),
+        Json::Int(seq as i64),
+        Json::Array(tuple.iter().map(value_to_json).collect()),
+        Json::Array(
+            vars.iter()
+                .map(|v| binding.get(v).map_or(Json::Null, value_to_json))
+                .collect(),
+        ),
+    ])
+}
+
+/// Decode one bindings-fragment row against the response's `vars`.
+/// `null` slots are dropped from the rebuilt [`Binding`] (bound-null
+/// and unbound resolve the same way downstream).
+pub fn json_to_binding_row(
+    j: &Json,
+    vars: &[String],
+) -> Result<(usize, usize, Tuple, Binding), ProtoError> {
+    let Json::Array(parts) = j else {
+        return Err(format!("row must be an array, got {j}"));
+    };
+    let [gid, seq, values, bound] = parts.as_slice() else {
+        return Err(format!("row must have 4 elements, got {}", parts.len()));
+    };
+    let Json::Array(bound) = bound else {
+        return Err(format!("binding values must be an array, got {bound}"));
+    };
+    if bound.len() != vars.len() {
+        return Err(format!(
+            "binding row has {} values for {} vars",
+            bound.len(),
+            vars.len()
+        ));
+    }
+    let mut binding = Binding::new();
+    for (var, value) in vars.iter().zip(bound) {
+        if !value.is_null() {
+            binding.insert(var.clone(), json_to_value(value)?);
+        }
+    }
+    Ok((
+        json_to_index(gid, "gid")?,
+        json_to_index(seq, "seq")?,
+        json_to_tuple(values)?,
+        binding,
+    ))
+}
+
+/// Encode a token for `/fragment/tokens`.
+pub fn token_to_json(token: &CiteToken) -> Json {
+    match token {
+        CiteToken::View { view, valuation } => Json::from_pairs([
+            ("view", Json::str(view.clone())),
+            (
+                "valuation",
+                Json::Array(valuation.iter().map(value_to_json).collect()),
+            ),
+        ]),
+        CiteToken::Base { relation } => Json::from_pairs([("base", Json::str(relation.clone()))]),
+    }
+}
+
+/// Decode a token.
+pub fn json_to_token(j: &Json) -> Result<CiteToken, ProtoError> {
+    if let Some(Json::Str(relation)) = j.get("base") {
+        return Ok(CiteToken::base(relation.clone()));
+    }
+    let Some(Json::Str(view)) = j.get("view") else {
+        return Err(format!("token must have `view` or `base`, got {j}"));
+    };
+    let Some(Json::Array(valuation)) = j.get("valuation") else {
+        return Err(format!("view token `{view}` is missing `valuation`"));
+    };
+    let valuation = valuation
+        .iter()
+        .map(json_to_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CiteToken::view(view.clone(), valuation))
+}
+
+/// Encode one relation schema for `/fragment/meta`. Keys **and**
+/// foreign keys ship because the coordinator's rewriting search
+/// chases both; a coordinator missing a constraint would find
+/// different rewritings and drift from the single-process citation.
+pub fn schema_to_json(schema: &RelationSchema) -> Json {
+    let name_of = |i: &usize| Json::str(schema.attributes[*i].name.clone());
+    Json::from_pairs([
+        ("name", Json::str(schema.name.clone())),
+        (
+            "columns",
+            Json::Array(
+                schema
+                    .attributes
+                    .iter()
+                    .map(|a| {
+                        Json::from_pairs([
+                            ("name", Json::str(a.name.clone())),
+                            ("type", Json::str(a.ty.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "keys",
+            Json::Array(schema.key.iter().map(name_of).collect()),
+        ),
+        (
+            "foreign_keys",
+            Json::Array(
+                schema
+                    .foreign_keys
+                    .iter()
+                    .map(|fk| {
+                        Json::from_pairs([
+                            (
+                                "columns",
+                                Json::Array(fk.columns.iter().map(name_of).collect()),
+                            ),
+                            ("references", Json::str(fk.references.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode one relation schema.
+pub fn json_to_schema(j: &Json) -> Result<RelationSchema, ProtoError> {
+    let Some(Json::Str(name)) = j.get("name") else {
+        return Err(format!("relation is missing `name`: {j}"));
+    };
+    let Some(Json::Array(columns)) = j.get("columns") else {
+        return Err(format!("relation `{name}` is missing `columns`"));
+    };
+    let mut specs: Vec<(String, DataType)> = Vec::with_capacity(columns.len());
+    for c in columns {
+        let (Some(Json::Str(cname)), Some(Json::Str(ty))) = (c.get("name"), c.get("type")) else {
+            return Err(format!("bad column in `{name}`: {c}"));
+        };
+        specs.push((cname.clone(), parse_type(ty)?));
+    }
+    let keys = string_array(j.get("keys"), "keys", name)?;
+    let spec_refs: Vec<(&str, DataType)> = specs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    let mut schema = RelationSchema::with_names(name.clone(), &spec_refs, &key_refs)
+        .map_err(|e| e.to_string())?;
+    if let Some(Json::Array(fks)) = j.get("foreign_keys") {
+        for fk in fks {
+            let cols = string_array(fk.get("columns"), "columns", name)?;
+            let Some(Json::Str(references)) = fk.get("references") else {
+                return Err(format!("foreign key in `{name}` is missing `references`"));
+            };
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            schema
+                .add_foreign_key(&col_refs, references)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(schema)
+}
+
+fn parse_type(text: &str) -> Result<DataType, ProtoError> {
+    match text {
+        "str" => Ok(DataType::Str),
+        "int" => Ok(DataType::Int),
+        "float" => Ok(DataType::Float),
+        "bool" => Ok(DataType::Bool),
+        "any" => Ok(DataType::Any),
+        other => Err(format!("unknown column type `{other}`")),
+    }
+}
+
+fn string_array(j: Option<&Json>, field: &str, owner: &str) -> Result<Vec<String>, ProtoError> {
+    match j {
+        None => Ok(Vec::new()),
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|s| match s {
+                Json::Str(s) => Ok(s.clone()),
+                other => Err(format!(
+                    "`{field}` of `{owner}` must hold strings, got {other}"
+                )),
+            })
+            .collect(),
+        Some(other) => Err(format!(
+            "`{field}` of `{owner}` must be an array, got {other}"
+        )),
+    }
+}
+
+fn json_to_index(j: &Json, field: &str) -> Result<usize, ProtoError> {
+    match j {
+        Json::Int(n) if *n >= 0 => Ok(*n as usize),
+        other => Err(format!(
+            "`{field}` must be a non-negative integer, got {other}"
+        )),
+    }
+}
+
+fn json_to_tuple(j: &Json) -> Result<Tuple, ProtoError> {
+    let Json::Array(values) = j else {
+        return Err(format!("tuple must be an array, got {j}"));
+    };
+    let values = values
+        .iter()
+        .map(json_to_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Tuple::from(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_query::parse_query;
+    use fgc_relation::tuple;
+
+    #[test]
+    fn values_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Float(1.5),
+            Value::str("a \"quoted\" string"),
+        ] {
+            assert_eq!(json_to_value(&value_to_json(&v)).unwrap(), v);
+        }
+        assert!(json_to_value(&Json::Array(vec![])).is_err());
+    }
+
+    #[test]
+    fn query_text_round_trips_with_escapes() {
+        let q = parse_query("Q(N) :- Family(F, N, Ty), Ty = \"g\\\"pcr\\\\\"").unwrap();
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn query_vars_sorted_and_distinct() {
+        let q = parse_query("Q(N, Tx) :- Family(F, N, Ty), FamilyIntro(F, Tx)").unwrap();
+        assert_eq!(query_vars(&q), vec!["F", "N", "Tx", "Ty"]);
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let t = tuple!["a", 3];
+        let row = answer_row_to_json(5, 2, &t);
+        assert_eq!(json_to_answer_row(&row).unwrap(), (5, 2, t.clone()));
+
+        let vars = vec!["F".to_string(), "N".to_string()];
+        let mut binding = Binding::new();
+        binding.insert("N".into(), Value::str("x"));
+        let row = binding_row_to_json(1, 0, &t, &binding, &vars);
+        let (gid, seq, tuple, decoded) = json_to_binding_row(&row, &vars).unwrap();
+        assert_eq!((gid, seq), (1, 0));
+        assert_eq!(tuple, t);
+        assert_eq!(decoded.get("N"), Some(&Value::str("x")));
+        assert!(!decoded.contains_key("F"));
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        for token in [
+            CiteToken::view("V4", vec![Value::str("gpcr")]),
+            CiteToken::base("Family"),
+        ] {
+            assert_eq!(json_to_token(&token_to_json(&token)).unwrap(), token);
+        }
+    }
+
+    #[test]
+    fn schemas_round_trip_with_keys_and_foreign_keys() {
+        let mut schema = RelationSchema::with_names(
+            "FC",
+            &[("FID", DataType::Str), ("PID", DataType::Str)],
+            &["FID", "PID"],
+        )
+        .unwrap();
+        schema.add_foreign_key(&["FID"], "Family").unwrap();
+        let decoded = json_to_schema(&schema_to_json(&schema)).unwrap();
+        assert_eq!(decoded, schema);
+    }
+}

@@ -1,0 +1,161 @@
+//! The replica side: a [`RouteHandler`] adding the `/fragment/*`
+//! endpoints to an ordinary [`fgc_server::CiteServer`].
+//!
+//! A replica is a full citation server (it still answers `/cite`,
+//! `/views`, `/stats`, `/healthz`) whose engine runs over a sharded
+//! store; the handler exposes the per-shard fragment evaluation a
+//! coordinator scatters to. Engine-reported errors (unknown relation,
+//! out-of-range shard, budget blown) answer 400 with the exact
+//! message, which the coordinator relays verbatim so distributed
+//! error bodies match single-process ones byte for byte.
+
+use crate::proto;
+use fgc_core::CitationEngine;
+use fgc_server::http::HttpRequest;
+use fgc_server::{error_body, parse_json, RouteHandler};
+use fgc_views::Json;
+use std::sync::Arc;
+
+/// Build the `/fragment/*` route handler for a replica serving
+/// `engine` (which must be sharded — unsharded engines answer every
+/// fragment call with a 400).
+pub fn fragment_handler(engine: Arc<CitationEngine>) -> RouteHandler {
+    Arc::new(move |request: &HttpRequest| {
+        let method = request.method.as_str();
+        match (method, request.path.as_str()) {
+            ("GET", "/fragment/meta") => Some((200, serve_meta(&engine))),
+            ("POST", "/fragment/answers") => Some(serve_rows(&engine, &request.body, false)),
+            ("POST", "/fragment/bindings") => Some(serve_rows(&engine, &request.body, true)),
+            ("POST", "/fragment/tokens") => Some(serve_tokens(&engine, &request.body)),
+            (_, "/fragment/meta") => Some((405, error_body("use GET on /fragment/meta"))),
+            (_, "/fragment/answers" | "/fragment/bindings" | "/fragment/tokens") => {
+                Some((405, error_body(&format!("use POST on {}", request.path))))
+            }
+            _ => None,
+        }
+    })
+}
+
+/// `GET /fragment/meta`: everything a stateless coordinator needs to
+/// reconstruct the control plane — shard count, shard-key spec,
+/// relation schemas (keys *and* foreign keys, in catalog registration
+/// order, so constraint-driven rewriting is identical), and the view
+/// definition / citation-query texts.
+fn serve_meta(engine: &CitationEngine) -> String {
+    let relations: Vec<Json> = engine
+        .database()
+        .catalog()
+        .iter()
+        .map(|schema| proto::schema_to_json(schema))
+        .collect();
+    let views: Vec<Json> = engine
+        .registry()
+        .iter()
+        .map(|v| {
+            Json::from_pairs([
+                ("view", Json::str(v.view.to_string())),
+                ("citation_query", Json::str(v.citation_query.to_string())),
+            ])
+        })
+        .collect();
+    let (shards, key_spec) = match engine.shard_spec() {
+        Some(spec) => (
+            engine.shard_stats().map_or(0, |s| s.store.shards),
+            spec.to_string(),
+        ),
+        None => (0, String::new()),
+    };
+    Json::from_pairs([
+        ("shards", Json::Int(shards as i64)),
+        ("key_spec", Json::str(key_spec)),
+        ("relations", Json::Array(relations)),
+        ("views", Json::Array(views)),
+    ])
+    .to_compact()
+}
+
+/// `POST /fragment/answers` and `/fragment/bindings`: evaluate one
+/// query's `(gid, seq, ...)` fragment for the requested shard.
+fn serve_rows(engine: &CitationEngine, body: &[u8], bindings: bool) -> (u16, String) {
+    let (query, shard) = match decode_query_shard(body) {
+        Ok(qs) => qs,
+        Err(message) => return (400, error_body(&message)),
+    };
+    if bindings {
+        let vars = proto::query_vars(&query);
+        match engine.fragment_bindings(&query, shard) {
+            Ok(rows) => {
+                let rows: Vec<Json> = rows
+                    .iter()
+                    .map(|(gid, seq, t, b)| proto::binding_row_to_json(*gid, *seq, t, b, &vars))
+                    .collect();
+                let body = Json::from_pairs([
+                    (
+                        "vars",
+                        Json::Array(vars.into_iter().map(Json::str).collect()),
+                    ),
+                    ("rows", Json::Array(rows)),
+                ]);
+                (200, body.to_compact())
+            }
+            Err(e) => (400, error_body(&e.to_string())),
+        }
+    } else {
+        match engine.fragment_answers(&query, shard) {
+            Ok(rows) => {
+                let rows: Vec<Json> = rows
+                    .iter()
+                    .map(|(gid, seq, t)| proto::answer_row_to_json(*gid, *seq, t))
+                    .collect();
+                let body = Json::from_pairs([("rows", Json::Array(rows))]);
+                (200, body.to_compact())
+            }
+            Err(e) => (400, error_body(&e.to_string())),
+        }
+    }
+}
+
+/// `POST /fragment/tokens`: interpret a token batch through the
+/// replica's shared citation cache.
+fn serve_tokens(engine: &CitationEngine, body: &[u8]) -> (u16, String) {
+    let parsed = match decode_body(body) {
+        Ok(p) => p,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let Some(Json::Array(items)) = parsed.get("tokens") else {
+        return (400, error_body("missing `tokens` array"));
+    };
+    let tokens = match items
+        .iter()
+        .map(proto::json_to_token)
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(tokens) => tokens,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let (citations, hits, misses) = engine.token_citations(&tokens);
+    let body = Json::from_pairs([
+        ("citations", Json::Array(citations)),
+        ("hits", Json::Int(hits as i64)),
+        ("misses", Json::Int(misses as i64)),
+    ]);
+    (200, body.to_compact())
+}
+
+fn decode_body(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid utf-8".to_string())?;
+    parse_json(text).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+fn decode_query_shard(body: &[u8]) -> Result<(fgc_query::ConjunctiveQuery, usize), String> {
+    let parsed = decode_body(body)?;
+    let Some(Json::Str(text)) = parsed.get("query") else {
+        return Err("missing `query` string".into());
+    };
+    let query = fgc_query::parse_query(text).map_err(|e| format!("bad query: {e}"))?;
+    let shard = match parsed.get("shard") {
+        Some(Json::Int(n)) if *n >= 0 => *n as usize,
+        _ => return Err("missing or invalid `shard`".into()),
+    };
+    Ok((query, shard))
+}

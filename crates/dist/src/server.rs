@@ -1,0 +1,332 @@
+//! The coordinator's HTTP front end.
+//!
+//! [`fgc_server::CiteServer`] cannot serve a coordinator — its
+//! admission batcher drives `CitationEngine::cite_batch_threads`
+//! straight into the local store — so [`DistServer`] runs the same
+//! acceptor → bounded queue → worker topology with the scatter
+//! engine behind it, speaking the identical wire format:
+//!
+//! | route            | body                                     |
+//! |------------------|------------------------------------------|
+//! | `POST /cite`     | standard cite body, scattered to shards  |
+//! | `POST /cite_sql` | standard SQL cite body                   |
+//! | `GET /views`     | the registered citation views            |
+//! | `GET /stats`     | endpoint stats + per-replica circuit state |
+//! | `GET /healthz`   | role, shard topology, liveness           |
+//!
+//! Shutdown is graceful and total: the listener stops accepting, the
+//! queued connections drain, and every worker finishes its in-flight
+//! scattered request before joining — an `in_flight` gauge (also in
+//! `GET /stats`) makes the drain observable.
+
+use crate::coordinator::Coordinator;
+use fgc_server::http::{read_request, write_response, HttpError, HttpRequest};
+use fgc_server::wire::{error_body, QueryKind};
+use fgc_server::{EndpointStats, ServerConfig, ServerStats};
+use fgc_views::Json;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A running coordinator service. Dropping the handle shuts it down.
+#[derive(Debug)]
+pub struct DistServer {
+    addr: SocketAddr,
+    coordinator: Arc<Coordinator>,
+    stats: Arc<ServerStats>,
+    in_flight: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct WorkerContext {
+    coordinator: Arc<Coordinator>,
+    stats: Arc<ServerStats>,
+    in_flight: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+    max_body_bytes: usize,
+}
+
+impl DistServer {
+    /// Bind and serve `coordinator` under `config` (its `addr`,
+    /// `threads`, `max_body_bytes`, `read_timeout`, and `queue_depth`
+    /// fields apply; the batching fields do not — scatter calls are
+    /// per-request).
+    pub fn start(coordinator: Arc<Coordinator>, config: ServerConfig) -> io::Result<DistServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let threads = config.threads.max(1);
+        let workers = (0..threads)
+            .map(|i| {
+                let ctx = WorkerContext {
+                    coordinator: Arc::clone(&coordinator),
+                    stats: Arc::clone(&stats),
+                    in_flight: Arc::clone(&in_flight),
+                    shutdown: Arc::clone(&shutdown),
+                    max_body_bytes: config.max_body_bytes,
+                };
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("fgcite-coord-{i}"))
+                    .spawn(move || worker_loop(&ctx, &conn_rx))
+                    .expect("spawn coordinator worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let read_timeout = config.read_timeout;
+            std::thread::Builder::new()
+                .name("fgcite-coord-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        if conn_tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn coordinator acceptor")
+        };
+
+        Ok(DistServer {
+            addr,
+            coordinator,
+            stats,
+            in_flight,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The coordinator being served.
+    pub fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::clone(&self.coordinator)
+    }
+
+    /// The shared serving counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Scattered requests currently being served.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain the connection queue,
+    /// and join every worker — each finishes the scattered request it
+    /// is serving before exiting.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block until the server is shut down from elsewhere.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for DistServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(ctx: &WorkerContext, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let stream = {
+            let rx = conn_rx.lock().expect("connection queue lock");
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(ctx, stream),
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, ctx.max_body_bytes) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
+                let (status, body) = route(ctx, &request);
+                if write_response(&mut write_half, status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::BadRequest(message)) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut write_half, 400, &error_body(&message), false);
+                return;
+            }
+            Err(HttpError::LengthRequired) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut write_half,
+                    411,
+                    &error_body("POST requires a Content-Length header"),
+                    false,
+                );
+                return;
+            }
+            Err(HttpError::PayloadTooLarge(n)) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let message = format!("body of {n} bytes exceeds limit of {}", ctx.max_body_bytes);
+                let _ = write_response(&mut write_half, 413, &error_body(&message), false);
+                return;
+            }
+        }
+    }
+}
+
+/// Decrements the in-flight gauge on every exit path.
+struct FlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
+    let method = request.method.as_str();
+    let expected = match request.path.as_str() {
+        "/cite" if method == "POST" => {
+            return timed(&ctx.stats.cite, || {
+                ctx.in_flight.fetch_add(1, Ordering::SeqCst);
+                let _guard = FlightGuard(&ctx.in_flight);
+                ctx.coordinator
+                    .serve_cite(&request.body, QueryKind::Datalog)
+            })
+        }
+        "/cite_sql" if method == "POST" => {
+            return timed(&ctx.stats.cite_sql, || {
+                ctx.in_flight.fetch_add(1, Ordering::SeqCst);
+                let _guard = FlightGuard(&ctx.in_flight);
+                ctx.coordinator.serve_cite(&request.body, QueryKind::Sql)
+            })
+        }
+        "/views" if method == "GET" => return timed(&ctx.stats.views, || (200, serve_views(ctx))),
+        "/stats" if method == "GET" => return timed(&ctx.stats.stats, || (200, serve_stats(ctx))),
+        "/healthz" if method == "GET" => {
+            return timed(&ctx.stats.healthz, || (200, serve_healthz(ctx)))
+        }
+        "/cite" | "/cite_sql" => "POST",
+        "/views" | "/stats" | "/healthz" => "GET",
+        path => {
+            ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
+            return (404, error_body(&format!("no such route `{path}`")));
+        }
+    };
+    ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
+    (
+        405,
+        error_body(&format!(
+            "method {method} not allowed on {} (use {expected})",
+            request.path
+        )),
+    )
+}
+
+fn timed(endpoint: &EndpointStats, serve: impl FnOnce() -> (u16, String)) -> (u16, String) {
+    let started = Instant::now();
+    let (status, body) = serve();
+    endpoint.record(started.elapsed(), status < 400);
+    (status, body)
+}
+
+/// `GET /healthz`: the same shape a replica reports, with the
+/// coordinator's role and topology.
+fn serve_healthz(ctx: &WorkerContext) -> String {
+    Json::from_pairs([
+        ("status", Json::str("ok")),
+        ("role", Json::str("coordinator")),
+        ("shard", Json::Null),
+        ("shards", Json::Int(ctx.coordinator.shards() as i64)),
+        ("versions", Json::Int(1)),
+    ])
+    .to_compact()
+}
+
+/// `GET /views`: identical body to a single-process server's.
+fn serve_views(ctx: &WorkerContext) -> String {
+    let views: Vec<Json> = ctx
+        .coordinator
+        .engine()
+        .registry()
+        .iter()
+        .map(|v| {
+            Json::from_pairs([
+                ("name", Json::str(v.name.clone())),
+                ("definition", Json::str(v.view.to_string())),
+                ("citation_query", Json::str(v.citation_query.to_string())),
+            ])
+        })
+        .collect();
+    Json::from_pairs([
+        ("count", Json::Int(views.len() as i64)),
+        ("views", Json::Array(views)),
+    ])
+    .to_compact()
+}
+
+/// `GET /stats`: endpoint counters plus the scatter tier's state —
+/// per-replica circuit/traffic and the in-flight gauge.
+fn serve_stats(ctx: &WorkerContext) -> String {
+    let mut body = ctx.stats.to_json();
+    body.set("role", Json::str("coordinator"));
+    body.set("shards", Json::Int(ctx.coordinator.shards() as i64));
+    body.set(
+        "in_flight",
+        Json::Int(ctx.in_flight.load(Ordering::SeqCst) as i64),
+    );
+    body.set("replicas", ctx.coordinator.pool_json());
+    body.set("served", Json::Int(ctx.stats.served() as i64));
+    body.to_compact()
+}

@@ -66,7 +66,8 @@ pub use sharded::{
     evaluate_annotated_sharded, evaluate_annotated_sharded_compiled, evaluate_grouped_sharded,
     evaluate_grouped_sharded_compiled, evaluate_grouped_sharded_with,
     evaluate_grouped_sharded_with_plan, evaluate_sharded, evaluate_sharded_compiled,
-    evaluate_sharded_with, evaluate_sharded_with_plan, RoutePlan, ShardRouter, ShardSet,
+    evaluate_sharded_with, evaluate_sharded_with_plan, lead_fragment_answers,
+    lead_fragment_bindings, RoutePlan, ShardRouter, ShardSet,
 };
 pub use sql::parse_sql;
 pub use subst::Substitution;

@@ -23,11 +23,11 @@ use crate::eval::{
     evaluate_annotated_frames, evaluate_frames, evaluate_grouped_frames, AtomView, Binding,
     EvalOptions,
 };
-use crate::plan::QueryPlan;
+use crate::plan::{for_each_frame, QueryPlan};
 use fgc_relation::sharded::{shard_of_value, ShardedDatabase};
 use fgc_relation::{Tuple, Value};
 use fgc_semiring::CommutativeSemiring;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The shards one atom's scan must touch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -301,6 +301,94 @@ where
     evaluate_annotated_frames(plan, &routed_views(db, plan, route)?, options, annotate)
 }
 
+/// Restrict a route so only `shard`'s fragment of the join-order
+/// lead atom is scanned. Every derivation's lead row lives on exactly
+/// one shard, so the fragments of all shards partition the global
+/// enumeration; non-lead atoms keep their original routing (which is
+/// a pure function of the query, hence identical on every replica).
+fn lead_route(plan: &QueryPlan, route: &RoutePlan, shard: usize) -> RoutePlan {
+    let mut lead = route.clone();
+    if let Some(&first) = plan.join_order().first() {
+        lead.atoms[first] = ShardSet::One(shard);
+    }
+    lead
+}
+
+/// This shard's fragment of [`evaluate_sharded_compiled`]'s output:
+/// `(gid, seq, tuple)` rows where `gid` is the lead atom's global row
+/// id and `seq` the emission index under that lead row. Concatenating
+/// all shards' fragments, sorting by `(gid, seq)` and deduplicating
+/// keep-first reproduces the global evaluation byte-for-byte (the
+/// per-shard keep-first dedup here is sound because every lead row —
+/// and with it a tuple's globally first derivation — lives on exactly
+/// one shard).
+pub fn lead_fragment_answers(
+    db: &ShardedDatabase,
+    plan: &QueryPlan,
+    route: &RoutePlan,
+    shard: usize,
+    options: EvalOptions,
+) -> Result<Vec<(usize, usize, Tuple)>> {
+    // Zero-atom plans have no lead row to partition on: shard 0
+    // serves the (at most one) constant answer, the rest stay empty.
+    if plan.join_order().is_empty() && shard != 0 {
+        return Ok(Vec::new());
+    }
+    let lead = lead_route(plan, route, shard);
+    let views = routed_views(db, plan, &lead)?;
+    let mut rows = Vec::new();
+    let mut seen = HashSet::new();
+    let mut last_gid = None;
+    let mut seq = 0usize;
+    for_each_frame(plan, &views, options, &mut |frame, matched| {
+        let gid = matched.first().map(|m| m.2).unwrap_or(0);
+        if last_gid != Some(gid) {
+            last_gid = Some(gid);
+            seq = 0;
+        }
+        let t = plan.project_head(frame);
+        if seen.insert(t.clone()) {
+            rows.push((gid, seq, t));
+        }
+        seq += 1;
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
+/// This shard's fragment of [`evaluate_grouped_sharded_compiled`]'s
+/// emissions: `(gid, seq, head tuple, binding)` per derivation, no
+/// dedup. Sorting the union of all shards' fragments by `(gid, seq)`
+/// and grouping by head tuple in first-appearance order reproduces
+/// the global grouped evaluation exactly.
+pub fn lead_fragment_bindings(
+    db: &ShardedDatabase,
+    plan: &QueryPlan,
+    route: &RoutePlan,
+    shard: usize,
+    options: EvalOptions,
+) -> Result<Vec<(usize, usize, Tuple, Binding)>> {
+    if plan.join_order().is_empty() && shard != 0 {
+        return Ok(Vec::new());
+    }
+    let lead = lead_route(plan, route, shard);
+    let views = routed_views(db, plan, &lead)?;
+    let mut rows = Vec::new();
+    let mut last_gid = None;
+    let mut seq = 0usize;
+    for_each_frame(plan, &views, options, &mut |frame, matched| {
+        let gid = matched.first().map(|m| m.2).unwrap_or(0);
+        if last_gid != Some(gid) {
+            last_gid = Some(gid);
+            seq = 0;
+        }
+        rows.push((gid, seq, plan.project_head(frame), plan.binding(frame)));
+        seq += 1;
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +581,66 @@ mod tests {
                 evaluate_sharded(&sharded, &q).unwrap(),
                 "{fid}"
             );
+        }
+    }
+
+    #[test]
+    fn merged_answer_fragments_reproduce_global_evaluation() {
+        let db = plain_db(23);
+        for shards in [1, 2, 4, 7] {
+            let sharded = ShardedDatabase::from_database(&db, shards, spec()).unwrap();
+            for q in queries() {
+                let plan = QueryPlan::compile_sharded(&q, &sharded).unwrap();
+                let route = ShardRouter::new(&sharded).plan(&q);
+                let mut frags = Vec::new();
+                for s in 0..shards {
+                    frags.extend(
+                        lead_fragment_answers(&sharded, &plan, &route, s, EvalOptions::default())
+                            .unwrap(),
+                    );
+                }
+                frags.sort_by_key(|(gid, seq, _)| (*gid, *seq));
+                let mut merged = Vec::new();
+                let mut seen = HashSet::new();
+                for (_, _, t) in frags {
+                    if seen.insert(t.clone()) {
+                        merged.push(t);
+                    }
+                }
+                assert_eq!(evaluate(&db, &q).unwrap(), merged, "shards={shards} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_binding_fragments_reproduce_grouped_evaluation() {
+        let db = plain_db(17);
+        for shards in [1, 2, 5] {
+            let sharded = ShardedDatabase::from_database(&db, shards, spec()).unwrap();
+            for q in queries() {
+                let plan = QueryPlan::compile_sharded(&q, &sharded).unwrap();
+                let route = ShardRouter::new(&sharded).plan(&q);
+                let mut frags = Vec::new();
+                for s in 0..shards {
+                    frags.extend(
+                        lead_fragment_bindings(&sharded, &plan, &route, s, EvalOptions::default())
+                            .unwrap(),
+                    );
+                }
+                frags.sort_by_key(|frag| (frag.0, frag.1));
+                let mut merged: Vec<(Tuple, Vec<Binding>)> = Vec::new();
+                for (_, _, t, b) in frags {
+                    match merged.iter_mut().find(|(mt, _)| *mt == t) {
+                        Some((_, bs)) => bs.push(b),
+                        None => merged.push((t, vec![b])),
+                    }
+                }
+                assert_eq!(
+                    evaluate_grouped(&db, &q).unwrap(),
+                    merged,
+                    "shards={shards} q={q}"
+                );
+            }
         }
     }
 

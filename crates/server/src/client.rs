@@ -36,6 +36,12 @@ impl Client {
         })
     }
 
+    /// Replace the connection's read timeout (the default is 30 s; a
+    /// coordinator sets its per-replica budget here).
+    pub fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(Some(timeout))
+    }
+
     /// Issue a `GET`.
     pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
         self.request("GET", path, None)

@@ -63,6 +63,6 @@ pub mod wire;
 pub use batch::{Batcher, Overloaded};
 pub use client::{Client, ClientResponse};
 pub use json::{parse_json, JsonError};
-pub use server::{CiteServer, ServerConfig};
+pub use server::{CiteServer, RouteHandler, ServerConfig};
 pub use stats::{EndpointStats, ServerStats};
 pub use wire::{decode_cite_request, encode_response, error_body, QueryKind, WireError};

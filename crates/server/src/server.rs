@@ -57,6 +57,12 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Idle keep-alive read timeout before a connection is recycled.
     pub read_timeout: Duration,
+    /// Deployment role reported on `GET /healthz` (`"single"`,
+    /// `"replica"`, or `"coordinator"`).
+    pub role: String,
+    /// Shard ownership `(i, n)` reported on `/healthz` as `"i/n"`
+    /// for replica deployments; `None` otherwise.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +77,8 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(5),
+            role: "single".into(),
+            shard: None,
         }
     }
 }
@@ -93,7 +101,24 @@ impl ServerConfig {
         self.batch_window = window;
         self
     }
+
+    /// Builder: deployment role reported on `/healthz`.
+    pub fn with_role(mut self, role: impl Into<String>) -> Self {
+        self.role = role.into();
+        self
+    }
+
+    /// Builder: shard ownership `(i, n)` reported on `/healthz`.
+    pub fn with_shard(mut self, shard: usize, shards: usize) -> Self {
+        self.shard = Some((shard, shards));
+        self
+    }
 }
+
+/// An extension hook that serves routes the built-in router does not
+/// know (e.g. a replica's `/fragment/*` endpoints). Consulted before
+/// the built-in routes; `None` falls through to them.
+pub type RouteHandler = Arc<dyn Fn(&HttpRequest) -> Option<(u16, String)> + Send + Sync>;
 
 /// A running citation service. Dropping the handle shuts it down.
 #[derive(Debug)]
@@ -111,7 +136,20 @@ pub struct CiteServer {
 impl CiteServer {
     /// Bind and start serving `engine` under `config`.
     pub fn start(engine: Arc<CitationEngine>, config: ServerConfig) -> io::Result<CiteServer> {
-        CiteServer::start_inner(engine, None, config)
+        CiteServer::start_inner(engine, None, config, None)
+    }
+
+    /// [`CiteServer::start`] with a route-extension hook: `extra` is
+    /// consulted before the built-in routes, so a replica deployment
+    /// can add its `/fragment/*` endpoints without forking the
+    /// server. (A separate argument because [`ServerConfig`] stays
+    /// plain data — `Debug + Clone` — while the hook is a closure.)
+    pub fn start_with_handler(
+        engine: Arc<CitationEngine>,
+        config: ServerConfig,
+        extra: RouteHandler,
+    ) -> io::Result<CiteServer> {
+        CiteServer::start_inner(engine, None, config, Some(extra))
     }
 
     /// Bind and start serving a **versioned** engine: the head
@@ -127,13 +165,14 @@ impl CiteServer {
         let head = versioned
             .head_engine()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        CiteServer::start_inner(head, Some(versioned), config)
+        CiteServer::start_inner(head, Some(versioned), config, None)
     }
 
     fn start_inner(
         engine: Arc<CitationEngine>,
         versioned: Option<Arc<VersionedCitationEngine>>,
         config: ServerConfig,
+        extra: Option<RouteHandler>,
     ) -> io::Result<CiteServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -167,6 +206,9 @@ impl CiteServer {
                     max_body_bytes: config.max_body_bytes,
                     cite_at_inflight: Arc::clone(&cite_at_inflight),
                     cite_at_limit: threads.saturating_sub(1).max(1),
+                    role: config.role.clone(),
+                    shard: config.shard,
+                    extra: extra.clone(),
                 };
                 let conn_rx = Arc::clone(&conn_rx);
                 std::thread::Builder::new()
@@ -284,6 +326,11 @@ struct WorkerContext {
     /// routes, and the overflow is shed with 503 like the batcher's.
     cite_at_inflight: Arc<AtomicUsize>,
     cite_at_limit: usize,
+    /// Role/shard identity reported on `/healthz`.
+    role: String,
+    shard: Option<(usize, usize)>,
+    /// Route-extension hook, consulted before the built-in routes.
+    extra: Option<RouteHandler>,
 }
 
 /// Decrements the `/cite_at` inflight counter on every exit path.
@@ -363,6 +410,11 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
 /// first so a known route with the wrong method (any method, not
 /// just GET/POST) answers 405 rather than a misleading 404.
 fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
+    if let Some(extra) = &ctx.extra {
+        if let Some(response) = extra(request) {
+            return response;
+        }
+    }
     let method = request.method.as_str();
     let expected = match request.path.as_str() {
         "/cite" if method == "POST" => {
@@ -384,9 +436,7 @@ fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
         "/views" if method == "GET" => return timed(&ctx.stats.views, || (200, serve_views(ctx))),
         "/stats" if method == "GET" => return timed(&ctx.stats.stats, || (200, serve_stats(ctx))),
         "/healthz" if method == "GET" => {
-            return timed(&ctx.stats.healthz, || {
-                (200, r#"{"status": "ok"}"#.to_string())
-            })
+            return timed(&ctx.stats.healthz, || (200, serve_healthz(ctx)))
         }
         "/cite" | "/cite_sql" | "/cite_at" => "POST",
         "/views" | "/versions" | "/stats" | "/healthz" => "GET",
@@ -553,6 +603,28 @@ fn serve_versions(ctx: &WorkerContext) -> (u16, String) {
         ])
         .to_compact(),
     )
+}
+
+/// `GET /healthz`: liveness plus deployment identity — role, shard
+/// ownership (`"i/n"`, null when unsharded), and the number of
+/// loaded versions — so a coordinator's health check and an operator
+/// see the same truth.
+fn serve_healthz(ctx: &WorkerContext) -> String {
+    let versions = ctx
+        .versioned
+        .as_ref()
+        .map_or(1, |v| v.history().len() as i64);
+    Json::from_pairs([
+        ("status", Json::str("ok")),
+        ("role", Json::str(ctx.role.clone())),
+        (
+            "shard",
+            ctx.shard
+                .map_or(Json::Null, |(i, n)| Json::str(format!("{i}/{n}"))),
+        ),
+        ("versions", Json::Int(versions)),
+    ])
+    .to_compact()
 }
 
 fn serve_views(ctx: &WorkerContext) -> String {

@@ -13,6 +13,18 @@ fn read_file(path: &str) -> Result<String, fgcite::cli::CliError> {
 
 fn serve(raw: Vec<String>) -> Result<(), fgcite::cli::CliError> {
     let args = fgcite::cli::Args::parse(raw)?;
+    if args.get("role") == Some("coordinator") {
+        let server = fgcite::cli::run_serve_coordinator(&args)?;
+        println!(
+            "fgcite coordinator serving on http://{} ({} shard(s) scattered)",
+            server.addr(),
+            server.coordinator().shards()
+        );
+        println!("routes: POST /cite, POST /cite_sql, GET /views, GET /stats, GET /healthz");
+        server.wait();
+        return Ok(());
+    }
+    let replica = args.get("role") == Some("replica");
     let data = read_file(args.require("data")?)?;
     let views = read_file(args.require("views")?)?;
     let commits = args.get("commits").map(read_file).transpose()?;
@@ -23,6 +35,11 @@ fn serve(raw: Vec<String>) -> Result<(), fgcite::cli::CliError> {
         println!(
             "routes: POST /cite, POST /cite_sql, POST /cite_at, GET /views, GET /versions, \
              GET /stats, GET /healthz"
+        );
+    } else if replica {
+        println!(
+            "routes: POST /cite, POST /cite_sql, GET /views, GET /stats, GET /healthz, \
+             GET /fragment/meta, POST /fragment/{{answers,bindings,tokens}}"
         );
     } else {
         println!("routes: POST /cite, POST /cite_sql, GET /views, GET /stats, GET /healthz");

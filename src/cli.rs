@@ -124,6 +124,10 @@ usage:
                  [--threads N] [--batch-window MS]
                  [--shards N [--shard-key Rel=Col,Rel2=Col2]]
                  [--commits FILE]
+                 [--role replica --shard-id I/N [--shard-key SPEC]]
+  fgcite serve   --role coordinator --replicas HOST:PORT,...
+                 [--twins HOST:PORT|-,...] [--replica-timeout-ms MS]
+                 [--addr HOST:PORT] [--threads N]
 
 Flags accept both `--name value` and `--name=value`.
 ORDER: none | fewest-views | fewest-uncovered | view-inclusion | composite
@@ -148,7 +152,18 @@ serve: HTTP routes POST /cite, POST /cite_sql, GET /views, GET /stats,
        omitted fall back to whole-tuple hashing). Shard layout and
        routing counters appear under `sharding` in GET /stats; the
        compiled-plan cache's hits/misses/size appear under
-       `plan_cache` (and in `cite --explain` output).";
+       `plan_cache` (and in `cite --explain` output).
+distributed serving (scatter/gather tier):
+       `--role replica --shard-id I/N` serves shard I of an N-way
+       partitioning: the replica loads --data, shards it N ways
+       locally (--shard-key as for --shards), and adds the
+       /fragment/* endpoints a coordinator scatters to.
+       `--role coordinator --replicas a:p,b:p,...` starts the
+       stateless front end: replica k must serve shard k/N; no
+       --data/--views (the catalog comes from GET /fragment/meta).
+       `--twins` names one failover twin per shard (`-` = none);
+       `--replica-timeout-ms` bounds each scatter call. Per-replica
+       circuit state appears under `replicas` in GET /stats.";
 
 fn load_database(text: &str) -> Result<Database, CliError> {
     let mut db = Database::new();
@@ -431,6 +446,25 @@ pub fn run_serve(
     views: &str,
     commits: Option<&str>,
 ) -> Result<fgc_server::CiteServer, CliError> {
+    match args.get("role").unwrap_or("single") {
+        "single" => {}
+        "replica" => return run_serve_replica(args, data, views, commits),
+        "coordinator" => {
+            return Err(CliError(
+                "--role coordinator takes no --data/--views: call run_serve_coordinator \
+                 (the fgcite binary dispatches it)"
+                    .into(),
+            ))
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown role `{other}` (single | replica | coordinator)"
+            )))
+        }
+    }
+    if args.get("shard-id").is_some() {
+        return Err(CliError("--shard-id requires --role replica".into()));
+    }
     let config = serve_config(args)?;
     let registry = load_registry(views)?;
     if let Some(commits) = commits {
@@ -448,6 +482,139 @@ pub fn run_serve(
     let engine = apply_shards(args, CitationEngine::new(db, registry)?)?;
     fgc_server::CiteServer::start(std::sync::Arc::new(engine), config)
         .map_err(|e| CliError(format!("cannot start server: {e}")))
+}
+
+/// Parse `--shard-id I/N`: shard `I` of an `N`-way partitioning.
+fn parse_shard_id(text: &str) -> Result<(usize, usize), CliError> {
+    let err = || {
+        CliError(format!(
+            "--shard-id must look like I/N with I < N, got `{text}`"
+        ))
+    };
+    let (i, n) = text.split_once('/').ok_or_else(err)?;
+    let shard: usize = i.trim().parse().map_err(|_| err())?;
+    let shards: usize = n.trim().parse().map_err(|_| err())?;
+    if shards == 0 || shard >= shards {
+        return Err(err());
+    }
+    Ok((shard, shards))
+}
+
+/// The `--role replica` arm of `fgcite serve`: one shard of the
+/// distributed tier. The replica loads the full `--data` snapshot and
+/// shards it N ways locally — every replica derives the identical
+/// partitioning, so shard `I` is well-defined cluster-wide without
+/// any data movement. It remains a complete citation server (its own
+/// `/cite` answers from the whole store) and additionally serves the
+/// `/fragment/*` endpoints a coordinator scatters to.
+fn run_serve_replica(
+    args: &Args,
+    data: &str,
+    views: &str,
+    commits: Option<&str>,
+) -> Result<fgc_server::CiteServer, CliError> {
+    if commits.is_some() {
+        return Err(CliError(
+            "--role replica is not supported together with --commits".into(),
+        ));
+    }
+    let (shard, shards) = parse_shard_id(args.require("shard-id")?)?;
+    if let Some(n) = args.get("shards") {
+        if n.parse() != Ok(shards) {
+            return Err(CliError(format!(
+                "--shards {n} conflicts with --shard-id {shard}/{shards} \
+                 (omit --shards or make them agree)"
+            )));
+        }
+    }
+    let spec = match args.get("shard-key") {
+        Some(text) => fgc_relation::ShardKeySpec::parse(text)?,
+        None => fgc_relation::ShardKeySpec::new(),
+    };
+    let config = serve_config(args)?
+        .with_role("replica")
+        .with_shard(shard, shards);
+    let db = load_database(data)?;
+    let engine = CitationEngine::new(db, load_registry(views)?)?.with_shards(shards, spec)?;
+    let engine = std::sync::Arc::new(engine);
+    fgc_server::CiteServer::start_with_handler(
+        std::sync::Arc::clone(&engine),
+        config,
+        fgc_dist::fragment_handler(engine),
+    )
+    .map_err(|e| CliError(format!("cannot start server: {e}")))
+}
+
+fn parse_addr(text: &str) -> Result<std::net::SocketAddr, CliError> {
+    use std::net::ToSocketAddrs;
+    text.to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .ok_or_else(|| CliError(format!("cannot resolve replica address `{text}`")))
+}
+
+fn parse_addr_list(text: &str) -> Result<Vec<std::net::SocketAddr>, CliError> {
+    let addrs: Vec<_> = text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_addr)
+        .collect::<Result<_, _>>()?;
+    if addrs.is_empty() {
+        return Err(CliError("--replicas needs at least one HOST:PORT".into()));
+    }
+    Ok(addrs)
+}
+
+/// `fgcite serve --role coordinator`: start the stateless
+/// scatter/gather front end. Takes no data or view files — the
+/// coordinator bootstraps its control plane (catalog, shard spec,
+/// view definitions) from the replicas' `GET /fragment/meta`, so it
+/// can be restarted or scaled horizontally at will. `--replicas`
+/// lists one address per shard (replica `k` must own shard `k/N`);
+/// `--twins` optionally names a failover twin per shard, `-` marking
+/// shards without one.
+pub fn run_serve_coordinator(args: &Args) -> Result<fgc_dist::DistServer, CliError> {
+    if args.get("data").is_some() || args.get("views").is_some() {
+        return Err(CliError(
+            "--role coordinator takes no --data/--views \
+             (its catalog comes from the replicas' /fragment/meta)"
+                .into(),
+        ));
+    }
+    let replicas = parse_addr_list(args.require("replicas")?)?;
+    let twins = match args.get("twins") {
+        Some(text) => text
+            .split(',')
+            .map(|part| {
+                let part = part.trim();
+                if part.is_empty() || part == "-" {
+                    Ok(None)
+                } else {
+                    parse_addr(part).map(Some)
+                }
+            })
+            .collect::<Result<Vec<_>, CliError>>()?,
+        None => Vec::new(),
+    };
+    let mut pool = fgc_dist::PoolConfig::default();
+    if let Some(ms) = args.get("replica-timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError("--replica-timeout-ms must be a positive number".into()))?;
+        pool = pool.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    let config = fgc_dist::CoordinatorConfig::new(replicas)
+        .with_twins(twins)
+        .with_pool(pool);
+    let coordinator = fgc_dist::Coordinator::connect(config).map_err(CliError)?;
+    fgc_dist::DistServer::start(
+        std::sync::Arc::new(coordinator),
+        serve_config(args)?.with_role("coordinator"),
+    )
+    .map_err(|e| CliError(format!("cannot start coordinator: {e}")))
 }
 
 /// Dispatch a full command line (excluding argv 0); returns stdout
@@ -1012,6 +1179,109 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
         }
         drop(client);
         server.shutdown();
+    }
+
+    fn parse_args(line: &[String]) -> Args {
+        Args::parse(line.to_vec()).unwrap()
+    }
+
+    fn replica_args(shard: usize, shards: usize) -> Args {
+        parse_args(&[
+            "serve".to_string(),
+            "--addr=127.0.0.1:0".to_string(),
+            "--threads=2".to_string(),
+            "--role=replica".to_string(),
+            format!("--shard-id={shard}/{shards}"),
+            "--shard-key=Family=FID,FC=FID,Person=PID".to_string(),
+        ])
+    }
+
+    #[test]
+    fn serve_replica_and_coordinator_roles() {
+        let r0 = run_serve(&replica_args(0, 2), DATA, VIEWS, None).unwrap();
+        let r1 = run_serve(&replica_args(1, 2), DATA, VIEWS, None).unwrap();
+
+        // a replica advertises its role and shard ownership
+        let mut client = fgc_server::Client::connect(r0.addr()).unwrap();
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("replica"), "{}", health.body);
+        assert!(health.body.contains("0/2"), "{}", health.body);
+        drop(client);
+
+        // the coordinator bootstraps from the replicas and serves the
+        // same wire format
+        let coord = run_serve_coordinator(&parse_args(&[
+            "serve".to_string(),
+            "--role=coordinator".to_string(),
+            "--addr=127.0.0.1:0".to_string(),
+            "--threads=2".to_string(),
+            format!("--replicas={},{}", r0.addr(), r1.addr()),
+        ]))
+        .unwrap();
+        let mut client = fgc_server::Client::connect(coord.addr()).unwrap();
+        let response = client
+            .post(
+                "/cite",
+                r#"{"query": "Q(N) :- Family(F, N, Ty), F = \"11\""}"#,
+            )
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(response.body.contains("Calcitonin"), "{}", response.body);
+        let health = client.get("/healthz").unwrap();
+        assert!(health.body.contains("coordinator"), "{}", health.body);
+        let stats = client.get("/stats").unwrap();
+        let parsed = fgc_server::parse_json(&stats.body).unwrap();
+        assert!(parsed.get("replicas").is_some(), "{}", stats.body);
+        drop(client);
+        coord.shutdown();
+        r0.shutdown();
+        r1.shutdown();
+    }
+
+    #[test]
+    fn distributed_role_flags_validate() {
+        let serve_with = |extra: &[&str]| {
+            let mut line = vec!["serve".to_string(), "--addr=127.0.0.1:0".to_string()];
+            line.extend(extra.iter().map(|s| s.to_string()));
+            run_serve(&parse_args(&line), DATA, VIEWS, None)
+        };
+        // malformed or out-of-range shard ids
+        for bad in ["2/2", "x/2", "1", "1/0", "/2", "1/"] {
+            let result = serve_with(&["--role=replica", &format!("--shard-id={bad}")]);
+            assert!(result.is_err(), "--shard-id={bad} should be rejected");
+        }
+        // --shard-id without the replica role, and unknown roles
+        assert!(serve_with(&["--shard-id=0/2"]).is_err());
+        assert!(serve_with(&["--role=primary"]).is_err());
+        // --shards must agree with the partitioning when given
+        assert!(serve_with(&["--role=replica", "--shard-id=0/2", "--shards=3"]).is_err());
+        // replicas don't serve commit histories
+        let versioned = parse_args(&[
+            "serve".to_string(),
+            "--addr=127.0.0.1:0".to_string(),
+            "--role=replica".to_string(),
+            "--shard-id=0/2".to_string(),
+        ]);
+        assert!(run_serve(&versioned, DATA, VIEWS, Some(COMMITS)).is_err());
+        // the coordinator role never goes through run_serve...
+        let err = serve_with(&["--role=coordinator"]).unwrap_err();
+        assert!(err.0.contains("run_serve_coordinator"), "{err}");
+        // ...and run_serve_coordinator rejects data files, missing or
+        // empty replica lists, bad addresses, and bad timeouts
+        let coordinate = |extra: &[&str]| {
+            let mut line = vec!["serve".to_string(), "--role=coordinator".to_string()];
+            line.extend(extra.iter().map(|s| s.to_string()));
+            run_serve_coordinator(&parse_args(&line))
+        };
+        assert!(coordinate(&["--replicas=127.0.0.1:1", "--data=db"]).is_err());
+        assert!(coordinate(&[]).is_err());
+        assert!(coordinate(&["--replicas=,"]).is_err());
+        assert!(coordinate(&["--replicas=not an address"]).is_err());
+        assert!(coordinate(&["--replicas=127.0.0.1:1", "--replica-timeout-ms=soon"]).is_err());
+        assert!(coordinate(&["--replicas=127.0.0.1:1", "--replica-timeout-ms=0"]).is_err());
+        // a dead primary replica is a hard connect error
+        assert!(coordinate(&["--replicas=127.0.0.1:1"]).is_err());
     }
 
     #[test]

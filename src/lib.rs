@@ -24,7 +24,10 @@
 //!   scale generator, and query workloads;
 //! * [`server`] — the std-only HTTP/1.1 citation service (`fgcite
 //!   serve`): worker pool, batching admission over `cite_batch`, and
-//!   per-endpoint serving stats.
+//!   per-endpoint serving stats;
+//! * [`dist`] — the distributed scatter/gather serving tier: shard
+//!   replicas and a stateless coordinator over the same wire format
+//!   (`fgcite serve --role replica|coordinator`).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +61,7 @@
 pub mod cli;
 
 pub use fgc_core as engine;
+pub use fgc_dist as dist;
 pub use fgc_gtopdb as gtopdb;
 pub use fgc_query as query;
 pub use fgc_relation as relation;

@@ -230,7 +230,21 @@ fn views_and_healthz_routes_answer() {
 
     let health = client.get("/healthz").unwrap();
     assert_eq!(health.status, 200);
-    assert_eq!(health.body, r#"{"status": "ok"}"#);
+    let parsed = parse_json(&health.body).unwrap();
+    assert_eq!(
+        parsed.get("status"),
+        Some(&fgcite::views::Json::str("ok")),
+        "{}",
+        health.body
+    );
+    assert_eq!(
+        parsed.get("role"),
+        Some(&fgcite::views::Json::str("single")),
+        "{}",
+        health.body
+    );
+    assert_eq!(parsed.get("shard"), Some(&fgcite::views::Json::Null));
+    assert_eq!(parsed.get("versions"), Some(&fgcite::views::Json::Int(1)));
 
     let views = client.get("/views").unwrap();
     assert_eq!(views.status, 200);
