@@ -1,0 +1,55 @@
+//! E15 — the observability layer's own overhead.
+//!
+//! Measures the primitives the PR 7 instrumentation leans on — the
+//! wait-free log-bucketed histogram record, the quantile read off a
+//! snapshot, and a `StageSet::time` span — plus the end-to-end check
+//! that matters: a warm `cite` with stage timing on vs off. The claim
+//! is that a record is tens of nanoseconds and the on/off cite delta
+//! is noise, so the instrumentation never needs a build flag.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgc_core::{Policy, RewriteMode};
+use fgc_gtopdb::WorkloadGenerator;
+use fgc_obs::{set_stages_enabled, Histogram, StageSet, CITE_STAGES};
+use std::hint::black_box;
+
+fn bench_e15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_obs");
+    group.sample_size(10);
+
+    let hist = Histogram::new();
+    let mut i = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(997);
+            hist.record(black_box(i));
+        })
+    });
+    group.bench_function("snapshot_p99", |b| {
+        b.iter(|| black_box(hist.snapshot().quantile(0.99)))
+    });
+
+    let stages = StageSet::new(CITE_STAGES);
+    group.bench_function("stage_span", |b| {
+        b.iter(|| stages.time("evaluate", || black_box(1u64)))
+    });
+
+    let engine = fgc_bench::engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
+    let mut workload = WorkloadGenerator::new(engine.database(), 83);
+    let q = workload.query_from_template(1);
+    let _ = engine.cite(&q).expect("warmup");
+    group.bench_function("warm_cite_stages_on", |b| {
+        set_stages_enabled(true);
+        b.iter(|| black_box(engine.cite(&q).expect("cite")))
+    });
+    group.bench_function("warm_cite_stages_off", |b| {
+        set_stages_enabled(false);
+        b.iter(|| black_box(engine.cite(&q).expect("cite")));
+        set_stages_enabled(true);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e15);
+criterion_main!(benches);

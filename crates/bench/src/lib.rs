@@ -1,4 +1,4 @@
-//! # fgc-bench — the experiment harness (E1–E13)
+//! # fgc-bench — the experiment harness (E1–E15)
 //!
 //! The paper ("A Model for Fine-Grained Data Citation", CIDR 2017)
 //! publishes no quantitative evaluation; this crate turns each of its
@@ -20,7 +20,9 @@
 //! diffs the compiled slot-frame evaluator against the retained seed
 //! interpreter and the engine plan cache cold vs warm. E13
 //! ([`e13_table`]) walks a K-commit history comparing delta-derived
-//! version engines against rebuild-per-version.
+//! version engines against rebuild-per-version. E15 ([`e15_table`])
+//! prices the observability layer itself: histogram records, stage
+//! spans, and the warm cite with stage timing on vs off.
 
 use fgc_core::{
     baseline_coverage, CitationEngine, EngineOptions, OrderChoice, PageCitationStore, Policy,
@@ -834,6 +836,125 @@ pub fn e13_table(families: usize, commit_counts: &[usize]) -> Table {
 }
 
 // =====================================================================
+// E15 — observability overhead
+// =====================================================================
+
+/// E15 table: the price of the observability layer itself. Claim
+/// (ROADMAP "observability"): a wait-free log-bucketed histogram
+/// record is tens of nanoseconds, a stage span adds one record plus
+/// two clock reads, and leaving stage timing on moves warm cite
+/// latency by noise — so the instrumentation stays on in production.
+pub fn e15_table(families: usize) -> Table {
+    use fgc_obs::{set_stages_enabled, Histogram, StageSet, Trace, CITE_STAGES};
+    use std::hint::black_box;
+
+    let ns = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e9);
+    let reps: u64 = 1_000_000;
+
+    // raw histogram record over spread-out values
+    let hist = Histogram::new();
+    let t0 = Instant::now();
+    for i in 0..reps {
+        hist.record(black_box(i));
+    }
+    let t_record = t0.elapsed() / reps as u32;
+
+    // quantile read: snapshot + p99 bucket walk
+    let q_reps: u32 = 100_000;
+    let t0 = Instant::now();
+    for _ in 0..q_reps {
+        black_box(hist.snapshot().quantile(0.99));
+    }
+    let t_quantile = t0.elapsed() / q_reps;
+
+    // stage span: a closure through `StageSet::time` vs called bare
+    let stages = StageSet::new(CITE_STAGES);
+    let t0 = Instant::now();
+    for i in 0..reps {
+        black_box(stages.time("evaluate", || black_box(i)));
+    }
+    let t_span = t0.elapsed() / reps as u32;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        black_box(black_box(i));
+    }
+    let t_bare = t0.elapsed() / reps as u32;
+
+    // the same span with an active trace collecting per-request notes
+    let trace = Trace::start("e15");
+    let t0 = Instant::now();
+    for i in 0..reps {
+        black_box(stages.time("evaluate", || black_box(i)));
+    }
+    let t_traced = t0.elapsed() / reps as u32;
+    let _ = trace.finish();
+
+    // warm cite with stage timing on vs off, interleaved so clock
+    // drift hits both sides equally
+    let engine = engine_at_scale(families, RewriteMode::Pruned, Policy::default());
+    let mut workload = WorkloadGenerator::new(engine.database(), 83);
+    let q = workload.query_from_template(1);
+    let _ = engine.cite(&q).expect("warmup");
+    let cite_reps = 30u32;
+    let mut on_total = std::time::Duration::ZERO;
+    let mut off_total = std::time::Duration::ZERO;
+    for _ in 0..cite_reps {
+        set_stages_enabled(true);
+        let t0 = Instant::now();
+        let _ = engine.cite(&q).expect("cite succeeds");
+        on_total += t0.elapsed();
+        set_stages_enabled(false);
+        let t0 = Instant::now();
+        let _ = engine.cite(&q).expect("cite succeeds");
+        off_total += t0.elapsed();
+    }
+    set_stages_enabled(true); // the process-wide default
+    let t_on = on_total / cite_reps;
+    let t_off = off_total / cite_reps;
+
+    let rows = vec![
+        vec![
+            "histogram record".into(),
+            format!("{} ns", ns(t_record)),
+            "wait-free: three relaxed atomics".into(),
+        ],
+        vec![
+            "snapshot + p99 quantile".into(),
+            format!("{} ns", ns(t_quantile)),
+            "64-bucket walk per read".into(),
+        ],
+        vec![
+            "stage span (no trace)".into(),
+            format!("{} ns", ns(t_span)),
+            format!("bare closure {} ns", ns(t_bare)),
+        ],
+        vec![
+            "stage span (traced)".into(),
+            format!("{} ns", ns(t_traced)),
+            "adds the thread-local note".into(),
+        ],
+        vec![
+            "warm cite, stages on".into(),
+            format!("{} ms", ms(t_on)),
+            String::new(),
+        ],
+        vec![
+            "warm cite, stages off".into(),
+            format!("{} ms", ms(t_off)),
+            format!(
+                "on/off {:.2}x",
+                t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-12)
+            ),
+        ],
+    ];
+    Table {
+        title: format!("E15 — observability overhead ({families} families, warm T1 cite)"),
+        headers: vec!["metric".into(), "per-op".into(), "notes".into()],
+        rows,
+    }
+}
+
+// =====================================================================
 // A-series — ablations of our own design choices (DESIGN.md §6)
 // =====================================================================
 
@@ -927,6 +1048,7 @@ pub fn all_tables() -> Vec<Table> {
         e11_table(1_000, &[1, 2, 4, 8]),
         e12_table(&[100, 1_000, 10_000], 1_000),
         e13_table(1_000, &[4, 16, 64]),
+        e15_table(1_000),
         ablation_table(1_000),
     ]
 }
@@ -995,6 +1117,14 @@ mod tests {
         assert_eq!(t.rows.len(), 1);
         // ascending walk: every non-root version derived
         assert_eq!(t.rows[0][5], "3/1", "{:?}", t.rows[0]);
+    }
+
+    #[test]
+    fn e15_reports_overhead_rows_and_restores_the_gate() {
+        let t = e15_table(50);
+        assert_eq!(t.rows.len(), 6);
+        // the on/off sweep must leave stage timing at its default
+        assert!(fgc_obs::stages_enabled());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! (TCP, framing, JSON decode, batching admission, `cite_batch`),
 //! not the engine API.
 
+use fgc_obs::Histogram;
 use fgc_server::Client;
 use fgc_views::Json;
 use std::net::SocketAddr;
@@ -61,8 +62,10 @@ pub struct LoadReport {
     pub errors: usize,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
-    /// Per-request latencies, sorted ascending.
-    pub latencies: Vec<Duration>,
+    /// Per-request latency, microseconds, log-bucketed. Client
+    /// threads record into it lock-free (no per-sample `Vec` and no
+    /// merge/sort pass), the same structure the server reports from.
+    pub latency: Histogram,
 }
 
 impl LoadReport {
@@ -75,17 +78,17 @@ impl LoadReport {
         }
     }
 
-    /// The `p`-th percentile latency. `p` is clamped to `[0, 100]`
-    /// (so `p < 0` is the minimum and `p > 100` the maximum) and a
-    /// NaN argument returns `Duration::ZERO` — a bad percentile must
-    /// never index out of range or pick a garbage rank.
+    /// The `p`-th percentile latency out of the log-bucketed
+    /// histogram (within 2× of the exact order statistic). `p` is
+    /// clamped to `[0, 100]` (so `p < 0` is the minimum bucket and
+    /// `p > 100` the maximum) and a NaN argument returns
+    /// `Duration::ZERO` — a bad percentile must never pick a garbage
+    /// rank.
     pub fn percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() || p.is_nan() {
+        if p.is_nan() {
             return Duration::ZERO;
         }
-        let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
-        self.latencies[rank.min(self.latencies.len() - 1)]
+        Duration::from_micros(self.latency.snapshot().quantile(p / 100.0))
     }
 }
 
@@ -100,7 +103,9 @@ pub fn run_load(
     assert!(!bodies.is_empty(), "need at least one request body");
     let clients = config.clients.max(1);
     let started = Instant::now();
-    let results: Mutex<(usize, usize, Vec<Duration>)> = Mutex::new((0, 0, Vec::new()));
+    let results: Mutex<(usize, usize)> = Mutex::new((0, 0));
+    // client threads record wait-free into the shared histogram
+    let latency = Histogram::new();
     // open-loop departure cursor, shared by the pool
     let next_departure = AtomicUsize::new(0);
 
@@ -108,10 +113,11 @@ pub fn run_load(
         let mut handles = Vec::new();
         for c in 0..clients {
             let results = &results;
+            let latency = &latency;
             let next_departure = &next_departure;
             handles.push(scope.spawn(move || -> std::io::Result<()> {
                 let mut client = Client::connect(addr)?;
-                let mut local: (usize, usize, Vec<Duration>) = (0, 0, Vec::new());
+                let mut local: (usize, usize) = (0, 0);
                 match config.mode {
                     LoadMode::Closed {
                         requests_per_client,
@@ -123,7 +129,7 @@ pub fn run_load(
                                 Ok(response) if response.status == 200 => local.0 += 1,
                                 Ok(_) | Err(_) => local.1 += 1,
                             }
-                            local.2.push(t0.elapsed());
+                            latency.record_micros(t0.elapsed());
                         }
                     }
                     LoadMode::Open { rate, total } => {
@@ -142,14 +148,13 @@ pub fn run_load(
                                 Ok(_) | Err(_) => local.1 += 1,
                             }
                             // latency from *scheduled* departure
-                            local.2.push(departure.elapsed());
+                            latency.record_micros(departure.elapsed());
                         }
                     }
                 }
                 let mut merged = results.lock().expect("results lock");
                 merged.0 += local.0;
                 merged.1 += local.1;
-                merged.2.extend(local.2);
                 Ok(())
             }));
         }
@@ -160,14 +165,13 @@ pub fn run_load(
     })?;
 
     let elapsed = started.elapsed();
-    let (ok, errors, mut latencies) = results.into_inner().expect("results lock");
-    latencies.sort();
+    let (ok, errors) = results.into_inner().expect("results lock");
     Ok(LoadReport {
         sent: ok + errors,
         ok,
         errors,
         elapsed,
-        latencies,
+        latency,
     })
 }
 
@@ -507,38 +511,49 @@ mod tests {
     }
 
     fn report_with(latencies: Vec<Duration>) -> LoadReport {
+        let latency = Histogram::new();
+        for d in &latencies {
+            latency.record_micros(*d);
+        }
         LoadReport {
             sent: latencies.len(),
             ok: latencies.len(),
             errors: 0,
             elapsed: Duration::from_secs(1),
-            latencies,
+            latency,
         }
+    }
+
+    // log-bucketed quantiles are exact only at the observed maximum;
+    // everywhere else they are bounded by the 2× bucket edges
+    fn within_2x(got: Duration, exact: Duration) {
+        assert!(got >= exact / 2, "{got:?} < {exact:?}/2");
+        assert!(got <= exact * 2, "{got:?} > {exact:?}*2");
     }
 
     #[test]
     fn percentile_clamps_and_rejects_nan() {
         let sorted: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
         let report = report_with(sorted);
-        // p = 0 is the minimum, p = 100 the maximum
-        assert_eq!(report.percentile(0.0), Duration::from_millis(1));
+        // p = 0 is the minimum bucket, p = 100 the exact observed max
+        within_2x(report.percentile(0.0), Duration::from_millis(1));
         assert_eq!(report.percentile(100.0), Duration::from_millis(10));
-        // out-of-range inputs clamp instead of indexing out of range
-        assert_eq!(report.percentile(-5.0), Duration::from_millis(1));
+        // out-of-range inputs clamp instead of picking a garbage rank
+        assert_eq!(report.percentile(-5.0), report.percentile(0.0));
         assert_eq!(report.percentile(150.0), Duration::from_millis(10));
         assert_eq!(report.percentile(f64::INFINITY), Duration::from_millis(10));
-        assert_eq!(
-            report.percentile(f64::NEG_INFINITY),
-            Duration::from_millis(1)
-        );
+        assert_eq!(report.percentile(f64::NEG_INFINITY), report.percentile(0.0));
         // NaN is rejected outright
         assert_eq!(report.percentile(f64::NAN), Duration::ZERO);
-        // midpoints still interpolate by rank
-        assert_eq!(report.percentile(50.0), Duration::from_millis(6));
+        // interior quantiles land within the 2× bucket-edge bound
+        within_2x(report.percentile(50.0), Duration::from_millis(5));
+        within_2x(report.percentile(90.0), Duration::from_millis(9));
     }
 
     #[test]
     fn percentile_single_sample_and_empty() {
+        // a single sample is its bucket's only occupant, and the
+        // bucket interpolation clamps to the observed max: exact
         let single = report_with(vec![Duration::from_millis(7)]);
         for p in [-1.0, 0.0, 50.0, 100.0, 400.0] {
             assert_eq!(single.percentile(p), Duration::from_millis(7), "p={p}");
@@ -593,7 +608,7 @@ mod tests {
         assert_eq!(report.sent, 20);
         assert_eq!(report.ok, 20);
         assert_eq!(report.errors, 0);
-        assert_eq!(report.latencies.len(), 20);
+        assert_eq!(report.latency.count(), 20);
         assert!(report.throughput() > 0.0);
         assert!(report.percentile(99.0) >= report.percentile(50.0));
         server.shutdown();

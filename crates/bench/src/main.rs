@@ -1,8 +1,9 @@
 //! Print all experiment tables (the `--print-tables` mode referenced
 //! by DESIGN.md). Run with `--release`; pass experiment ids (e.g.
 //! `e1 e3`) to restrict. The load-generator experiments (E10, E14)
-//! additionally persist their results as `BENCH_E10.json` /
-//! `BENCH_E14.json` in the working directory.
+//! and the observability-overhead experiment (E15) additionally
+//! persist their results as `BENCH_E10.json` / `BENCH_E14.json` /
+//! `BENCH_E15.json` in the working directory.
 
 /// Persist a table as a machine-readable artifact next to the
 /// printable rendering.
@@ -73,6 +74,12 @@ fn main() {
     if want("e14") {
         let table = fgc_bench::e14_table(1_000, &[1, 2, 4]);
         persist("BENCH_E14.json", &table);
+        print!("{}", table.render());
+        println!();
+    }
+    if want("e15") {
+        let table = fgc_bench::e15_table(1_000);
+        persist("BENCH_E15.json", &table);
         print!("{}", table.render());
         println!();
     }

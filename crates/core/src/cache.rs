@@ -145,6 +145,9 @@ pub struct CitationCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Nanosecond latency of miss computations (the cost a hit
+    /// saves); the mean a counter pair could offer hides the tail.
+    compute_latency: fgc_obs::Histogram,
     /// Database version the entries were computed against.
     version: AtomicU64,
 }
@@ -173,6 +176,7 @@ impl CitationCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            compute_latency: fgc_obs::Histogram::new(),
             version: AtomicU64::new(0),
         }
     }
@@ -210,7 +214,9 @@ impl CitationCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed_at = std::time::Instant::now();
         let value = compute();
+        self.compute_latency.record_nanos(computed_at.elapsed());
         if self.shard_capacity == 0 {
             return (value, false); // disabled: never store
         }
@@ -253,6 +259,13 @@ impl CitationCache {
                 .sum(),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Latency distribution of miss computations (nanoseconds),
+    /// surfaced on `GET /metrics` so cache sizing decisions can weigh
+    /// the tail cost of a miss, not its mean.
+    pub fn compute_latency(&self) -> fgc_obs::HistogramSnapshot {
+        self.compute_latency.snapshot()
     }
 
     /// Drop all entries (keeps counters).

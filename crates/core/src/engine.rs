@@ -22,6 +22,7 @@ use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::policy::{interpret_expr, Policy};
 use crate::request::{CiteRequest, CiteResponse, QuerySpec};
 use crate::token::CiteToken;
+use fgc_obs::{StageSet, Trace, CITE_STAGES};
 use fgc_query::ast::{ConjunctiveQuery, Term};
 use fgc_query::eval::EvalOptions;
 use fgc_query::{
@@ -274,6 +275,11 @@ pub struct CitationEngine {
     /// for why one keyspace is sound). Warm `cite`/`cite_sql`/
     /// `cite_batch` calls skip parse-order-validate entirely.
     plans: PlanCache,
+    /// Per-stage latency histograms over the cite pipeline
+    /// ([`fgc_obs::CITE_STAGES`]); every serving entry point records
+    /// into them, and an active [`fgc_obs::Trace`] additionally
+    /// collects a per-request breakdown.
+    stages: StageSet,
 }
 
 impl CitationEngine {
@@ -302,6 +308,7 @@ impl CitationEngine {
             extent_sharded: RwLock::new(None),
             shard_counters: ShardCounters::default(),
             plans: PlanCache::new(),
+            stages: StageSet::new(CITE_STAGES),
         })
     }
 
@@ -388,6 +395,25 @@ impl CitationEngine {
     /// E12 cold-plan sweep isolates the planning cost this way.
     pub fn clear_plan_cache(&self) {
         self.plans.clear();
+    }
+
+    /// Per-stage latency histograms over the cite pipeline, exposed
+    /// on `GET /metrics` (stage label) and summarized by `cite
+    /// --explain`. Samples are nanoseconds.
+    pub fn stage_stats(&self) -> &StageSet {
+        &self.stages
+    }
+
+    /// Latency distribution of token-cache miss computations
+    /// (nanoseconds).
+    pub fn cache_compute_latency(&self) -> fgc_obs::HistogramSnapshot {
+        self.cache.compute_latency()
+    }
+
+    /// Latency distribution of plan-cache miss compiles
+    /// (nanoseconds).
+    pub fn plan_compile_latency(&self) -> fgc_obs::HistogramSnapshot {
+        self.plans.compile_latency()
     }
 
     /// Number of shards the base store is partitioned into (1 when
@@ -513,6 +539,7 @@ impl CitationEngine {
             extent_sharded: RwLock::new(None),
             shard_counters: ShardCounters::default(),
             plans,
+            stages: StageSet::new(CITE_STAGES),
         })
     }
 
@@ -656,7 +683,9 @@ impl CitationEngine {
     /// stores present identical catalogs and global sizes, so one
     /// plan serves both — and every routing of the query.
     fn cached_plan(&self, q: &ConjunctiveQuery, db: &Database) -> Result<Arc<QueryPlan>> {
-        Ok(self.plans.get_or_compile(q, || QueryPlan::compile(q, db))?)
+        Ok(self.stages.time("plan", || {
+            self.plans.get_or_compile(q, || QueryPlan::compile(q, db))
+        })?)
     }
 
     /// The answer set of `q` — routed over the shards when the engine
@@ -664,17 +693,20 @@ impl CitationEngine {
     /// way. Plans come from the engine's plan cache.
     fn answers(&self, q: &ConjunctiveQuery) -> Result<Vec<Tuple>> {
         let plan = self.cached_plan(q, &self.db)?;
-        match &self.sharded {
-            None => Ok(evaluate_plan_with(&self.db, &plan, EvalOptions::default())?),
-            Some(sharded) => {
-                let route = self.plan_and_count(sharded, q);
-                Ok(evaluate_sharded_compiled(
-                    sharded,
-                    &plan,
-                    &route,
-                    EvalOptions::default(),
-                )?)
-            }
+        // The routing decision is timed even when it is trivial
+        // (unsharded store): the `route` stage then measures exactly
+        // what routing costs this engine.
+        let route = self.stages.time("route", || {
+            self.sharded.as_ref().map(|s| self.plan_and_count(s, q))
+        });
+        match (&self.sharded, route) {
+            (Some(sharded), Some(route)) => Ok(evaluate_sharded_compiled(
+                sharded,
+                &plan,
+                &route,
+                EvalOptions::default(),
+            )?),
+            _ => Ok(evaluate_plan_with(&self.db, &plan, EvalOptions::default())?),
         }
     }
 
@@ -726,7 +758,9 @@ impl CitationEngine {
         match &self.sharded {
             Some(base) => {
                 let sharded = self.extent_sharded_database(base)?;
-                let route = self.plan_and_count(&sharded, q);
+                let route = self
+                    .stages
+                    .time("route", || self.plan_and_count(&sharded, q));
                 Ok(evaluate_grouped_sharded_compiled(
                     &sharded,
                     &plan,
@@ -822,17 +856,26 @@ impl CitationEngine {
         plane: &mut dyn CiteDataPlane,
     ) -> Result<QueryCitation> {
         let policy = config.policy;
-        let answers = plane.answer_tuples(q)?;
-        let (rewritings, exhaustive, unsatisfiable) =
-            self.rewritings(q, config.mode, config.rewrite)?;
-        let (mut exprs, tokens) = if rewritings.is_empty() {
-            (HashMap::new(), Vec::new())
-        } else {
-            self.symbolic_citations_with(&rewritings, plane)?
-        };
-        if !tokens.is_empty() {
-            plane.prefetch_tokens(&tokens)?;
-        }
+        // `evaluate` wraps the whole data-plane answer fetch, so the
+        // `plan`/`route` spans recorded inside a local plane nest
+        // under it (a scatter plane's network round-trip lands here
+        // too).
+        let answers = self.stages.time("evaluate", || plane.answer_tuples(q))?;
+        let (rewritings, exhaustive, unsatisfiable) = self.stages.time("rewrite", || {
+            self.rewritings(q, config.mode, config.rewrite)
+        })?;
+        let (mut exprs, _tokens) =
+            self.stages
+                .time("extent", || -> Result<SymbolicCitations> {
+                    if rewritings.is_empty() {
+                        return Ok((HashMap::new(), Vec::new()));
+                    }
+                    let (exprs, tokens) = self.symbolic_citations_with(&rewritings, plane)?;
+                    if !tokens.is_empty() {
+                        plane.prefetch_tokens(&tokens)?;
+                    }
+                    Ok((exprs, tokens))
+                })?;
 
         // Equal symbolic expressions interpret to equal citations, and
         // result sets over curated hierarchies share few distinct
@@ -840,73 +883,78 @@ impl CitationEngine {
         // interpretation per normalized expression. The memo is
         // request-local: it depends on the (possibly overridden)
         // policy, unlike the policy-independent shared token cache.
-        let mut interp_memo: HashMap<CitationExpr<String, CiteToken>, Json> = HashMap::new();
-        let mut distinct_citations: Vec<Json> = Vec::new();
-        let mut tuples = Vec::with_capacity(answers.len());
-        for tuple in answers {
-            let expr = exprs.remove(&tuple).unwrap_or_else(CitationExpr::zero_r);
-            let normalized = policy.normalize(&expr, &self.inclusion);
-            let memo_hit = if config.memoize_interpretation {
-                interp_memo.get(&normalized).cloned()
-            } else {
-                None
-            };
-            let citation = match memo_hit {
-                Some(hit) => hit,
-                None => {
-                    // `interpret_expr`'s token valuation is infallible
-                    // by signature; remote token failures surface
-                    // through this side channel instead of silently
-                    // citing Null.
-                    let mut token_err: Option<CoreError> = None;
-                    let citation = {
-                        let mut value_of = |t: &CiteToken| match plane.token_citation(t) {
-                            Ok(json) => json,
-                            Err(e) => {
-                                token_err.get_or_insert(e);
-                                Json::Null
-                            }
-                        };
-                        interpret_expr(policy, &normalized, &mut value_of).unwrap_or(Json::Null)
+        self.stages
+            .time("render", move || -> Result<QueryCitation> {
+                let mut interp_memo: HashMap<CitationExpr<String, CiteToken>, Json> =
+                    HashMap::new();
+                let mut distinct_citations: Vec<Json> = Vec::new();
+                let mut tuples = Vec::with_capacity(answers.len());
+                for tuple in answers {
+                    let expr = exprs.remove(&tuple).unwrap_or_else(CitationExpr::zero_r);
+                    let normalized = policy.normalize(&expr, &self.inclusion);
+                    let memo_hit = if config.memoize_interpretation {
+                        interp_memo.get(&normalized).cloned()
+                    } else {
+                        None
                     };
-                    if let Some(e) = token_err {
-                        return Err(e);
-                    }
-                    if interp_memo
-                        .insert(normalized.clone(), citation.clone())
-                        .is_none()
-                    {
-                        distinct_citations.push(citation.clone());
-                    }
-                    citation
+                    let citation = match memo_hit {
+                        Some(hit) => hit,
+                        None => {
+                            // `interpret_expr`'s token valuation is infallible
+                            // by signature; remote token failures surface
+                            // through this side channel instead of silently
+                            // citing Null.
+                            let mut token_err: Option<CoreError> = None;
+                            let citation = {
+                                let mut value_of = |t: &CiteToken| match plane.token_citation(t) {
+                                    Ok(json) => json,
+                                    Err(e) => {
+                                        token_err.get_or_insert(e);
+                                        Json::Null
+                                    }
+                                };
+                                interpret_expr(policy, &normalized, &mut value_of)
+                                    .unwrap_or(Json::Null)
+                            };
+                            if let Some(e) = token_err {
+                                return Err(e);
+                            }
+                            if interp_memo
+                                .insert(normalized.clone(), citation.clone())
+                                .is_none()
+                            {
+                                distinct_citations.push(citation.clone());
+                            }
+                            citation
+                        }
+                    };
+                    tuples.push(TupleCitation {
+                        tuple,
+                        expr: normalized,
+                        citation,
+                    });
                 }
-            };
-            tuples.push(TupleCitation {
-                tuple,
-                expr: normalized,
-                citation,
-            });
-        }
 
-        // Def. 3.4: Agg over tuple citations, neutral = the global
-        // citations (present even for empty outputs). Both Agg
-        // interpretations are idempotent, so aggregating the distinct
-        // citations once each is equivalent to folding all tuples.
-        let mut aggregate = Json::Null;
-        for g in &policy.global_citations {
-            aggregate = policy.agg.apply(&aggregate, g);
-        }
-        for citation in &distinct_citations {
-            aggregate = policy.agg.apply(&aggregate, citation);
-        }
+                // Def. 3.4: Agg over tuple citations, neutral = the global
+                // citations (present even for empty outputs). Both Agg
+                // interpretations are idempotent, so aggregating the distinct
+                // citations once each is equivalent to folding all tuples.
+                let mut aggregate = Json::Null;
+                for g in &policy.global_citations {
+                    aggregate = policy.agg.apply(&aggregate, g);
+                }
+                for citation in &distinct_citations {
+                    aggregate = policy.agg.apply(&aggregate, citation);
+                }
 
-        Ok(QueryCitation {
-            tuples,
-            aggregate,
-            rewritings,
-            exhaustive,
-            unsatisfiable,
-        })
+                Ok(QueryCitation {
+                    tuples,
+                    aggregate,
+                    rewritings,
+                    exhaustive,
+                    unsatisfiable,
+                })
+            })
     }
 
     /// Cite a query with the engine's default policy and options: the
@@ -953,17 +1001,22 @@ impl CitationEngine {
         plane: &mut dyn CiteDataPlane,
     ) -> Result<CiteResponse> {
         let started = Instant::now();
-        let q = match &request.query {
-            QuerySpec::Datalog(q) => q.clone(),
-            QuerySpec::Sql(sql) => parse_sql(self.db.catalog(), sql)?,
-        };
-        let citation = self.cite_under(&q, &self.effective(Some(request)), plane)?;
+        let trace = Trace::start(request.request_id.clone().unwrap_or_default());
+        let q = self.stages.time("parse", || match &request.query {
+            QuerySpec::Datalog(q) => Ok(q.clone()),
+            QuerySpec::Sql(sql) => parse_sql(self.db.catalog(), sql).map_err(CoreError::from),
+        })?;
+        let citation = self.cite_under(&q, &self.effective(Some(request)), plane);
+        let report = trace.finish();
+        let citation = citation?;
         let (cache_hits, cache_misses) = plane.cache_traffic();
         Ok(CiteResponse {
             citation,
             elapsed: started.elapsed(),
             cache_hits,
             cache_misses,
+            stages: report.stages,
+            request_id: request.request_id.clone(),
         })
     }
 
@@ -1048,14 +1101,12 @@ impl CitationEngine {
     ) -> Result<Vec<(usize, usize, Tuple)>> {
         let sharded = self.require_shard(shard)?;
         let plan = self.cached_plan(q, &self.db)?;
-        let route = self.plan_and_count(&sharded, q);
-        Ok(fgc_query::lead_fragment_answers(
-            &sharded,
-            &plan,
-            &route,
-            shard,
-            EvalOptions::default(),
-        )?)
+        let route = self
+            .stages
+            .time("route", || self.plan_and_count(&sharded, q));
+        Ok(self.stages.time("evaluate", || {
+            fgc_query::lead_fragment_answers(&sharded, &plan, &route, shard, EvalOptions::default())
+        })?)
     }
 
     /// This shard's `(gid, seq, tuple, binding)` fragment of an
@@ -1070,14 +1121,18 @@ impl CitationEngine {
         let extent_db = self.extent_database()?;
         let sharded = self.extent_sharded_database(&base)?;
         let plan = self.cached_plan(q, &extent_db)?;
-        let route = self.plan_and_count(&sharded, q);
-        Ok(fgc_query::lead_fragment_bindings(
-            &sharded,
-            &plan,
-            &route,
-            shard,
-            EvalOptions::default(),
-        )?)
+        let route = self
+            .stages
+            .time("route", || self.plan_and_count(&sharded, q));
+        Ok(self.stages.time("extent", || {
+            fgc_query::lead_fragment_bindings(
+                &sharded,
+                &plan,
+                &route,
+                shard,
+                EvalOptions::default(),
+            )
+        })?)
     }
 
     fn require_shard(&self, shard: usize) -> Result<Arc<ShardedDatabase>> {
@@ -1099,10 +1154,12 @@ impl CitationEngine {
     /// `(hits, misses)` cache traffic.
     pub fn token_citations(&self, tokens: &[CiteToken]) -> (Vec<Json>, u64, u64) {
         let mut counters = RequestCounters::default();
-        let citations = tokens
-            .iter()
-            .map(|t| self.token_citation(t, &mut counters))
-            .collect();
+        let citations = self.stages.time("render", || {
+            tokens
+                .iter()
+                .map(|t| self.token_citation(t, &mut counters))
+                .collect()
+        });
         (citations, counters.hits, counters.misses)
     }
 }

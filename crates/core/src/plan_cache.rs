@@ -127,6 +127,8 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Nanosecond latency of miss compiles (what a warm plan saves).
+    compile_latency: fgc_obs::Histogram,
 }
 
 impl Default for PlanCache {
@@ -151,6 +153,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            compile_latency: fgc_obs::Histogram::new(),
         }
     }
 
@@ -187,7 +190,9 @@ impl PlanCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled_at = std::time::Instant::now();
         let plan = Arc::new(compile()?);
+        self.compile_latency.record_nanos(compiled_at.elapsed());
         if self.shard_capacity > 0 {
             let evicted = shard.write().expect("plan cache shard poisoned").insert(
                 q.clone(),
@@ -199,6 +204,12 @@ impl PlanCache {
             }
         }
         Ok(plan)
+    }
+
+    /// Latency distribution of miss compiles (nanoseconds), surfaced
+    /// on `GET /metrics`.
+    pub fn compile_latency(&self) -> fgc_obs::HistogramSnapshot {
+        self.compile_latency.snapshot()
     }
 
     /// Current statistics (relaxed counters: exact when quiescent,

@@ -54,6 +54,14 @@ pub struct CiteRequest {
     /// Override whether identical citation expressions share one
     /// interpretation within the call.
     pub memoize_interpretation: Option<bool>,
+    /// The request ID assigned (or honored from `x-request-id`) at
+    /// the front door; the engine's [`fgc_obs::Trace`] is started
+    /// under it and the response echoes it back.
+    pub request_id: Option<String>,
+    /// Ask the wire encoding to include the per-stage `stages`
+    /// breakdown in the response body (off by default so response
+    /// bodies stay byte-identical across serving topologies).
+    pub include_stages: bool,
 }
 
 impl CiteRequest {
@@ -65,6 +73,8 @@ impl CiteRequest {
             mode: None,
             rewrite: None,
             memoize_interpretation: None,
+            request_id: None,
+            include_stages: false,
         }
     }
 
@@ -76,6 +86,8 @@ impl CiteRequest {
             mode: None,
             rewrite: None,
             memoize_interpretation: None,
+            request_id: None,
+            include_stages: false,
         }
     }
 
@@ -102,6 +114,19 @@ impl CiteRequest {
         self.memoize_interpretation = Some(memoize);
         self
     }
+
+    /// Attach the front door's request ID (see
+    /// [`fgc_obs::next_request_id`]).
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Self {
+        self.request_id = Some(id.into());
+        self
+    }
+
+    /// Ask for the per-stage breakdown in the encoded response body.
+    pub fn with_stages(mut self, include: bool) -> Self {
+        self.include_stages = include;
+        self
+    }
 }
 
 /// A served citation together with per-call observability metadata.
@@ -115,6 +140,15 @@ pub struct CiteResponse {
     pub cache_hits: u64,
     /// Token-cache misses incurred by this request alone.
     pub cache_misses: u64,
+    /// Per-stage durations of this request's trip through the cite
+    /// pipeline (parse → plan → route → evaluate → rewrite → extent
+    /// → render), in first-entered order. `evaluate` covers the whole
+    /// data-plane answer fetch and therefore *contains* the `plan`
+    /// and `route` sub-spans.
+    pub stages: Vec<(&'static str, Duration)>,
+    /// The request ID this citation was served under, when one was
+    /// assigned at the front door.
+    pub request_id: Option<String>,
 }
 
 impl CiteResponse {

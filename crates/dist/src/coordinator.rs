@@ -28,7 +28,7 @@ use fgc_core::{
 use fgc_query::{Binding, ConjunctiveQuery, RoutePlan, ShardRouter, ShardSet};
 use fgc_relation::sharded::{ShardKeySpec, ShardedDatabase};
 use fgc_relation::{Database, Tuple};
-use fgc_server::wire::{encode_response, error_body, QueryKind};
+use fgc_server::wire::{encode_response_with, error_body, QueryKind};
 use fgc_server::{decode_cite_request, parse_json};
 use fgc_views::{CitationFunction, CitationView, Json, ViewRegistry};
 use std::collections::HashMap;
@@ -187,32 +187,56 @@ impl Coordinator {
         self.pool.to_json()
     }
 
+    /// The replica connection pool (for `GET /metrics` exposition).
+    pub fn pool(&self) -> &ReplicaPool {
+        &self.pool
+    }
+
     /// Serve one `POST /cite` / `/cite_sql` body end to end:
     /// decode, scatter, gather, encode. Returns `(status, body)` —
     /// 200 with the standard response, 400 with the engine's error
     /// relayed verbatim, or a structured 503 naming the dead shard
     /// and every replica tried when a replica set is exhausted.
     pub fn serve_cite(&self, body: &[u8], kind: QueryKind) -> (u16, String) {
-        let text = match std::str::from_utf8(body) {
-            Ok(t) => t,
-            Err(_) => return (400, error_body("body is not valid utf-8")),
-        };
-        let parsed = match parse_json(text) {
-            Ok(v) => v,
-            Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
-        };
-        let request = match decode_cite_request(&parsed, kind, self.engine.policy()) {
-            Ok(r) => r,
-            Err(e) => return (400, error_body(&e.0)),
+        self.serve_cite_with_id(body, kind, &fgc_obs::next_request_id())
+    }
+
+    /// [`Coordinator::serve_cite`] under the front door's request ID:
+    /// the ID rides as `x-request-id` on every replica call this
+    /// request scatters, and lands in the structured 503 body when a
+    /// replica set is exhausted.
+    pub fn serve_cite_with_id(
+        &self,
+        body: &[u8],
+        kind: QueryKind,
+        request_id: &str,
+    ) -> (u16, String) {
+        let decoded = self.engine.stage_stats().time("parse", || {
+            let text =
+                std::str::from_utf8(body).map_err(|_| "body is not valid utf-8".to_string())?;
+            let parsed = parse_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
+            decode_cite_request(&parsed, kind, self.engine.policy()).map_err(|e| e.0)
+        });
+        let request = match decoded {
+            Ok(r) => r.with_request_id(request_id),
+            Err(message) => return (400, error_body(&message)),
         };
         self.serve_request(&request)
     }
 
     /// [`Coordinator::serve_cite`] over an already-decoded request.
+    /// Honors `request.request_id` when set, assigns one otherwise.
     pub fn serve_request(&self, request: &CiteRequest) -> (u16, String) {
-        let mut plane = ScatterPlane::new(self);
+        let rid = match &request.request_id {
+            Some(id) => id.clone(),
+            None => fgc_obs::next_request_id(),
+        };
+        let mut plane = ScatterPlane::new(self, &rid);
         match self.engine.cite_request_with(request, &mut plane) {
-            Ok(response) => (200, encode_response(&response).to_compact()),
+            Ok(response) => (
+                200,
+                encode_response_with(&response, request.include_stages).to_compact(),
+            ),
             Err(e) => match plane.outage.take() {
                 Some(outage) => {
                     let mut body = Json::from_pairs([
@@ -226,6 +250,10 @@ impl Coordinator {
                         "shard",
                         outage.shard.map_or(Json::Null, |s| Json::Int(s as i64)),
                     );
+                    // the outage body is coordinator-only (never
+                    // compared against a reference server), so it can
+                    // carry the request ID for log correlation
+                    body.set("request_id", Json::str(rid.clone()));
                     (503, body.to_compact())
                 }
                 None => (400, error_body(&e.to_string())),
@@ -256,11 +284,22 @@ impl Coordinator {
         one
     }
 
-    /// Call one shard's replica set in failover order.
-    fn call_shard(&self, shard: usize, path: &str, body: &str) -> Result<Json, ShardCallError> {
+    /// Call one shard's replica set in failover order, propagating the
+    /// request ID so replica-side logs correlate with the front door.
+    fn call_shard(
+        &self,
+        shard: usize,
+        path: &str,
+        body: &str,
+        request_id: &str,
+    ) -> Result<Json, ShardCallError> {
+        let headers = [("x-request-id", request_id)];
         let mut tried = Vec::new();
         for &idx in &self.candidates[shard] {
-            match self.pool.request(idx, "POST", path, Some(body)) {
+            match self
+                .pool
+                .request_with_headers(idx, "POST", path, Some(body), &headers)
+            {
                 Ok(response) if response.status == 200 => match parse_json(&response.body) {
                     Ok(json) => return Ok(json),
                     // a mangled body means the replica is unhealthy:
@@ -297,6 +336,7 @@ impl Coordinator {
         shards: &[usize],
         path: &str,
         query_text: &str,
+        request_id: &str,
     ) -> Result<Vec<Json>, ShardCallError> {
         let results: Vec<Result<Json, ShardCallError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -307,7 +347,7 @@ impl Coordinator {
                         ("shard", Json::Int(s as i64)),
                     ])
                     .to_compact();
-                    scope.spawn(move || self.call_shard(s, path, &body))
+                    scope.spawn(move || self.call_shard(s, path, &body, request_id))
                 })
                 .collect();
             handles
@@ -401,6 +441,9 @@ fn build_from_meta(body: &str, shards: usize) -> Result<(CitationEngine, Sharded
 /// plane makes becomes a scatter/gather over the replica set.
 struct ScatterPlane<'a> {
     coord: &'a Coordinator,
+    /// The front door's request ID, propagated as `x-request-id` on
+    /// every replica call this plane issues.
+    request_id: &'a str,
     prefetched: HashMap<CiteToken, Json>,
     hits: u64,
     misses: u64,
@@ -410,9 +453,10 @@ struct ScatterPlane<'a> {
 }
 
 impl<'a> ScatterPlane<'a> {
-    fn new(coord: &'a Coordinator) -> Self {
+    fn new(coord: &'a Coordinator, request_id: &'a str) -> Self {
         ScatterPlane {
             coord,
+            request_id,
             prefetched: HashMap::new(),
             hits: 0,
             misses: 0,
@@ -443,9 +487,14 @@ impl<'a> ScatterPlane<'a> {
     /// One POST to *any* live replica (all replicas hold the full
     /// store, so token interpretation is not shard-addressed).
     fn call_any(&mut self, path: &str, body: &str) -> CoreResult<Json> {
+        let headers = [("x-request-id", self.request_id)];
         let mut tried = Vec::new();
         for idx in 0..self.coord.pool.addrs().len() {
-            match self.coord.pool.request(idx, "POST", path, Some(body)) {
+            match self
+                .coord
+                .pool
+                .request_with_headers(idx, "POST", path, Some(body), &headers)
+            {
                 Ok(response) if response.status == 200 => match parse_json(&response.body) {
                     Ok(json) => return Ok(json),
                     Err(_) => tried.push(self.coord.pool.addr(idx).to_string()),
@@ -475,7 +524,12 @@ impl CiteDataPlane for ScatterPlane<'_> {
         let shards = self.coord.scatter_set(q);
         let fragments = self
             .coord
-            .scatter(&shards, "/fragment/answers", &q.to_string())
+            .scatter(
+                &shards,
+                "/fragment/answers",
+                &q.to_string(),
+                self.request_id,
+            )
             .map_err(|e| self.fail(e))?;
         let mut rows: Vec<(usize, usize, Tuple)> = Vec::new();
         for fragment in &fragments {
@@ -503,7 +557,12 @@ impl CiteDataPlane for ScatterPlane<'_> {
         let shards: Vec<usize> = (0..self.coord.shards).collect();
         let fragments = self
             .coord
-            .scatter(&shards, "/fragment/bindings", &q.to_string())
+            .scatter(
+                &shards,
+                "/fragment/bindings",
+                &q.to_string(),
+                self.request_id,
+            )
             .map_err(|e| self.fail(e))?;
         let mut rows: Vec<(usize, usize, Tuple, Binding)> = Vec::new();
         for fragment in &fragments {

@@ -87,6 +87,9 @@ struct Slot {
     /// Lifetime counters for `GET /stats`.
     calls: AtomicU64,
     failures: AtomicU64,
+    /// Successful call latency, microseconds, log-bucketed — the
+    /// coordinator's view of each replica's tail.
+    latency: fgc_obs::Histogram,
 }
 
 impl Slot {
@@ -98,6 +101,7 @@ impl Slot {
             open_until: Mutex::new(None),
             calls: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            latency: fgc_obs::Histogram::new(),
         }
     }
 }
@@ -139,6 +143,19 @@ impl ReplicaPool {
         path: &str,
         body: Option<&str>,
     ) -> Result<ClientResponse, CallError> {
+        self.request_with_headers(index, method, path, body, &[])
+    }
+
+    /// [`Self::request`] with extra request headers — how the
+    /// coordinator propagates `x-request-id` to every replica call.
+    pub fn request_with_headers(
+        &self,
+        index: usize,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<ClientResponse, CallError> {
         let slot = &self.slots[index];
         slot.calls.fetch_add(1, Ordering::Relaxed);
         if self.circuit_open(slot) {
@@ -150,8 +167,10 @@ impl ReplicaPool {
             if attempt > 0 {
                 std::thread::sleep(self.config.backoff * attempt as u32);
             }
-            match self.try_once(slot, method, path, body) {
+            let started = Instant::now();
+            match self.try_once(slot, method, path, body, extra_headers) {
                 Ok(response) => {
+                    slot.latency.record_micros(started.elapsed());
                     slot.consecutive_failures.store(0, Ordering::Relaxed);
                     *slot.open_until.lock().expect("circuit lock") = None;
                     return Ok(response);
@@ -193,6 +212,7 @@ impl ReplicaPool {
         method: &str,
         path: &str,
         body: Option<&str>,
+        extra_headers: &[(&str, &str)],
     ) -> io::Result<ClientResponse> {
         let mut client = {
             let mut idle = slot.idle.lock().expect("idle pool lock");
@@ -204,7 +224,7 @@ impl ReplicaPool {
             client = Some(fresh);
         }
         let mut client = client.expect("pooled or fresh client");
-        let response = client.request(method, path, body)?;
+        let response = client.request_with_headers(method, path, body, extra_headers)?;
         if response.status >= 500 {
             // replica-side failure: retryable, and the connection's
             // state is suspect — drop it
@@ -230,6 +250,7 @@ impl ReplicaPool {
                     } else {
                         "closed"
                     };
+                    let latency = slot.latency.snapshot();
                     Json::from_pairs([
                         ("addr", Json::str(slot.addr.to_string())),
                         ("circuit", Json::str(state)),
@@ -249,10 +270,63 @@ impl ReplicaPool {
                             "idle_connections",
                             Json::Int(slot.idle.lock().expect("idle pool lock").len() as i64),
                         ),
+                        ("p50_us", Json::Int(latency.quantile(0.5) as i64)),
+                        ("p99_us", Json::Int(latency.quantile(0.99) as i64)),
                     ])
                 })
                 .collect(),
         )
+    }
+
+    /// Append the scatter-tier metric families — per-replica call and
+    /// failure counters plus successful-call latency histograms — to
+    /// the coordinator's Prometheus exposition.
+    pub fn write_prometheus(&self, w: &mut fgc_obs::PromWriter, base: &[(&str, &str)]) {
+        w.help(
+            "fgcite_replica_calls_total",
+            "counter",
+            "Replica calls attempted, by replica address.",
+        );
+        for slot in &self.slots {
+            let addr = slot.addr.to_string();
+            let mut labels = base.to_vec();
+            labels.push(("replica", addr.as_str()));
+            w.int(
+                "fgcite_replica_calls_total",
+                &labels,
+                slot.calls.load(Ordering::Relaxed),
+            );
+        }
+        w.help(
+            "fgcite_replica_failures_total",
+            "counter",
+            "Replica calls that failed after retry/failover, by replica address.",
+        );
+        for slot in &self.slots {
+            let addr = slot.addr.to_string();
+            let mut labels = base.to_vec();
+            labels.push(("replica", addr.as_str()));
+            w.int(
+                "fgcite_replica_failures_total",
+                &labels,
+                slot.failures.load(Ordering::Relaxed),
+            );
+        }
+        w.help(
+            "fgcite_replica_request_seconds",
+            "histogram",
+            "Successful replica call latency, by replica address.",
+        );
+        for slot in &self.slots {
+            let snap = slot.latency.snapshot();
+            if snap.count() == 0 {
+                continue;
+            }
+            let addr = slot.addr.to_string();
+            let mut labels = base.to_vec();
+            labels.push(("replica", addr.as_str()));
+            w.histogram("fgcite_replica_request_seconds", &labels, &snap, 1e-6);
+        }
     }
 }
 

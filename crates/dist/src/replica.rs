@@ -77,7 +77,11 @@ fn serve_meta(engine: &CitationEngine) -> String {
 /// `POST /fragment/answers` and `/fragment/bindings`: evaluate one
 /// query's `(gid, seq, ...)` fragment for the requested shard.
 fn serve_rows(engine: &CitationEngine, body: &[u8], bindings: bool) -> (u16, String) {
-    let (query, shard) = match decode_query_shard(body) {
+    // fragment decode is the replica's share of the `parse` stage
+    let decoded = engine
+        .stage_stats()
+        .time("parse", || decode_query_shard(body));
+    let (query, shard) = match decoded {
         Ok(qs) => qs,
         Err(message) => return (400, error_body(&message)),
     };

@@ -13,6 +13,12 @@
 //! | `GET /views`     | the registered citation views            |
 //! | `GET /stats`     | endpoint stats + per-replica circuit state |
 //! | `GET /healthz`   | role, shard topology, liveness           |
+//! | `GET /metrics`   | Prometheus exposition (incl. replica pool) |
+//! | `GET /debug/slow`| slowest requests seen, with request IDs  |
+//!
+//! Every response echoes an `x-request-id` header (honored from the
+//! client or assigned here); the same ID is propagated on every
+//! `/fragment/*` call the request scatters.
 //!
 //! Shutdown is graceful and total: the listener stops accepting, the
 //! queued connections drain, and every worker finishes its in-flight
@@ -20,9 +26,13 @@
 //! `GET /stats`) makes the drain observable.
 
 use crate::coordinator::Coordinator;
-use fgc_server::http::{read_request, write_response, HttpError, HttpRequest};
+use fgc_obs::{next_request_id, PromWriter, SlowEntry, SlowLog};
+use fgc_server::http::{read_request, write_response, write_response_with, HttpError, HttpRequest};
 use fgc_server::wire::{error_body, QueryKind};
-use fgc_server::{EndpointStats, ServerConfig, ServerStats};
+use fgc_server::{
+    slow_log_body, write_engine_metrics, EndpointStats, ServerConfig, ServerStats,
+    SLOW_LOG_CAPACITY,
+};
 use fgc_views::Json;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,6 +48,7 @@ pub struct DistServer {
     addr: SocketAddr,
     coordinator: Arc<Coordinator>,
     stats: Arc<ServerStats>,
+    slow: Arc<SlowLog>,
     in_flight: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
@@ -47,6 +58,7 @@ pub struct DistServer {
 struct WorkerContext {
     coordinator: Arc<Coordinator>,
     stats: Arc<ServerStats>,
+    slow: Arc<SlowLog>,
     in_flight: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
     max_body_bytes: usize,
@@ -61,6 +73,7 @@ impl DistServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
+        let slow = Arc::new(SlowLog::new(SLOW_LOG_CAPACITY));
         let in_flight = Arc::new(AtomicUsize::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -72,6 +85,7 @@ impl DistServer {
                 let ctx = WorkerContext {
                     coordinator: Arc::clone(&coordinator),
                     stats: Arc::clone(&stats),
+                    slow: Arc::clone(&slow),
                     in_flight: Arc::clone(&in_flight),
                     shutdown: Arc::clone(&shutdown),
                     max_body_bytes: config.max_body_bytes,
@@ -109,6 +123,7 @@ impl DistServer {
             addr,
             coordinator,
             stats,
+            slow,
             in_flight,
             shutdown,
             acceptor: Some(acceptor),
@@ -129,6 +144,11 @@ impl DistServer {
     /// The shared serving counters.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The bounded slowest-requests ring surfaced at `GET /debug/slow`.
+    pub fn slow_log(&self) -> Arc<SlowLog> {
+        Arc::clone(&self.slow)
     }
 
     /// Scattered requests currently being served.
@@ -191,8 +211,36 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
         match read_request(&mut reader, ctx.max_body_bytes) {
             Ok(request) => {
                 let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
-                let (status, body) = route(ctx, &request);
-                if write_response(&mut write_half, status, &body, keep_alive).is_err() {
+                let rid = request
+                    .header("x-request-id")
+                    .map(str::to_string)
+                    .unwrap_or_else(next_request_id);
+                let started = Instant::now();
+                ctx.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                let (status, body) = route(ctx, &request, &rid);
+                ctx.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                ctx.slow.observe(SlowEntry {
+                    request_id: rid.clone(),
+                    endpoint: request.path.clone(),
+                    status,
+                    total: started.elapsed(),
+                    stages: Vec::new(),
+                });
+                let content_type = if request.path == "/metrics" {
+                    "text/plain; version=0.0.4"
+                } else {
+                    "application/json"
+                };
+                if write_response_with(
+                    &mut write_half,
+                    status,
+                    &body,
+                    keep_alive,
+                    content_type,
+                    &[("x-request-id", &rid)],
+                )
+                .is_err()
+                {
                     return;
                 }
                 if !keep_alive {
@@ -234,7 +282,7 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
-fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
+fn route(ctx: &WorkerContext, request: &HttpRequest, rid: &str) -> (u16, String) {
     let method = request.method.as_str();
     let expected = match request.path.as_str() {
         "/cite" if method == "POST" => {
@@ -242,14 +290,15 @@ fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
                 ctx.in_flight.fetch_add(1, Ordering::SeqCst);
                 let _guard = FlightGuard(&ctx.in_flight);
                 ctx.coordinator
-                    .serve_cite(&request.body, QueryKind::Datalog)
+                    .serve_cite_with_id(&request.body, QueryKind::Datalog, rid)
             })
         }
         "/cite_sql" if method == "POST" => {
             return timed(&ctx.stats.cite_sql, || {
                 ctx.in_flight.fetch_add(1, Ordering::SeqCst);
                 let _guard = FlightGuard(&ctx.in_flight);
-                ctx.coordinator.serve_cite(&request.body, QueryKind::Sql)
+                ctx.coordinator
+                    .serve_cite_with_id(&request.body, QueryKind::Sql, rid)
             })
         }
         "/views" if method == "GET" => return timed(&ctx.stats.views, || (200, serve_views(ctx))),
@@ -257,8 +306,14 @@ fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
         "/healthz" if method == "GET" => {
             return timed(&ctx.stats.healthz, || (200, serve_healthz(ctx)))
         }
+        "/metrics" if method == "GET" => {
+            return timed(&ctx.stats.observe, || (200, serve_metrics(ctx)))
+        }
+        "/debug/slow" if method == "GET" => {
+            return timed(&ctx.stats.observe, || (200, slow_log_body(&ctx.slow)))
+        }
         "/cite" | "/cite_sql" => "POST",
-        "/views" | "/stats" | "/healthz" => "GET",
+        "/views" | "/stats" | "/healthz" | "/metrics" | "/debug/slow" => "GET",
         path => {
             ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
             return (404, error_body(&format!("no such route `{path}`")));
@@ -329,4 +384,16 @@ fn serve_stats(ctx: &WorkerContext) -> String {
     body.set("replicas", ctx.coordinator.pool_json());
     body.set("served", Json::Int(ctx.stats.served() as i64));
     body.to_compact()
+}
+
+/// `GET /metrics`: Prometheus exposition of the coordinator's serving
+/// tier, its schema-only engine (stage histograms), and the
+/// per-replica scatter pool.
+fn serve_metrics(ctx: &WorkerContext) -> String {
+    let mut w = PromWriter::new();
+    let base = [("role", "coordinator"), ("shard", "")];
+    ctx.stats.write_prometheus(&mut w, &base);
+    write_engine_metrics(&mut w, &base, ctx.coordinator.engine());
+    ctx.coordinator.pool().write_prometheus(&mut w, &base);
+    w.finish()
 }

@@ -30,6 +30,9 @@ use std::time::{Duration, Instant};
 struct BatchItem {
     request: CiteRequest,
     reply: mpsc::Sender<CoreResult<CiteResponse>>,
+    /// When the request entered the admission queue; feeds the
+    /// `batch_wait` histogram once its batch starts.
+    enqueued: Instant,
 }
 
 /// The submission error: the admission queue is full.
@@ -96,6 +99,13 @@ impl Batcher {
                     }
                 }
 
+                let batch_started = Instant::now();
+                for item in &items {
+                    stats
+                        .batch_wait
+                        .record_micros(batch_started.duration_since(item.enqueued));
+                }
+                stats.batch_sizes.record(items.len() as u64);
                 let requests: Vec<CiteRequest> = items.iter().map(|i| i.request.clone()).collect();
                 let results = engine.cite_batch_threads(&requests, threads);
                 stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -126,7 +136,11 @@ impl Batcher {
         request: CiteRequest,
     ) -> Result<mpsc::Receiver<CoreResult<CiteResponse>>, Overloaded> {
         let (reply, receiver) = mpsc::channel();
-        let item = BatchItem { request, reply };
+        let item = BatchItem {
+            request,
+            reply,
+            enqueued: Instant::now(),
+        };
         match self
             .sender
             .as_ref()

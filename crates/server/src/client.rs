@@ -2,9 +2,9 @@
 //! load generator, and the examples.
 //!
 //! One [`Client`] owns one keep-alive connection; `get`/`post` return
-//! the status code and body. This is intentionally tiny — it speaks
-//! exactly the dialect [`crate::http`] emits (Content-Length framed
-//! bodies, `Connection: keep-alive|close`).
+//! the status code, headers, and body. This is intentionally tiny —
+//! it speaks exactly the dialect [`crate::http`] emits
+//! (Content-Length framed bodies, `Connection: keep-alive|close`).
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -15,8 +15,21 @@ use std::time::Duration;
 pub struct ClientResponse {
     /// Status code.
     pub status: u16,
+    /// Response header `(name, value)` pairs, names lowercased —
+    /// how the `x-request-id` echo is observed.
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of a response header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A keep-alive connection to the citation service.
@@ -59,14 +72,31 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<ClientResponse> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// [`Self::request`] with extra request headers — how a
+    /// coordinator propagates `x-request-id` on `/fragment/*` calls.
+    /// Header names/values must already be valid HTTP field text.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<ClientResponse> {
         let stream = self.reader.get_mut();
+        write!(stream, "{method} {path} HTTP/1.1\r\nHost: fgcite\r\n")?;
+        for (name, value) in extra_headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
         match body {
             Some(b) => write!(
                 stream,
-                "{method} {path} HTTP/1.1\r\nHost: fgcite\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
                 b.len()
             )?,
-            None => write!(stream, "{method} {path} HTTP/1.1\r\nHost: fgcite\r\n\r\n")?,
+            None => write!(stream, "\r\n")?,
         }
         stream.flush()?;
         self.read_response()
@@ -104,23 +134,31 @@ impl Client {
                 )
             })?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
                         io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
                     })?;
                 }
+                headers.push((name, value));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))?;
-        Ok(ClientResponse { status, body })
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
     }
 }

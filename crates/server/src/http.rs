@@ -209,13 +209,32 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(stream, status, body, keep_alive, "application/json", &[])
+}
+
+/// [`write_response`] with an explicit `Content-Type` and extra
+/// response headers (e.g. the `x-request-id` echo; `/metrics` bodies
+/// are `text/plain`). Header names/values must already be valid HTTP
+/// field text.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len(),
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
@@ -326,5 +345,25 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "ok",
+            false,
+            "text/plain; version=0.0.4",
+            &[("x-request-id", "abc-123")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("x-request-id: abc-123\r\n"));
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("x-request-id").unwrap() < head_end);
+        assert!(text.ends_with("ok"));
     }
 }

@@ -20,6 +20,12 @@
 //! | `GET /versions`  | the commit history (versioned deployments) |
 //! | `GET /stats`     | per-endpoint latency/throughput + cache|
 //! | `GET /healthz`   | liveness probe                         |
+//! | `GET /metrics`   | Prometheus text exposition             |
+//! | `GET /debug/slow`| slowest requests with stage breakdowns |
+//!
+//! Every response carries an `x-request-id` header — honored from the
+//! request when the client (or an upstream coordinator) sent one,
+//! assigned at the front door otherwise.
 //!
 //! A versioned deployment ([`CiteServer::start_versioned`]) serves
 //! `/cite` from the head version's engine and historical citations
@@ -63,6 +69,10 @@ pub mod wire;
 pub use batch::{Batcher, Overloaded};
 pub use client::{Client, ClientResponse};
 pub use json::{parse_json, JsonError};
-pub use server::{CiteServer, RouteHandler, ServerConfig};
+pub use server::{
+    slow_log_body, write_engine_metrics, CiteServer, RouteHandler, ServerConfig, SLOW_LOG_CAPACITY,
+};
 pub use stats::{EndpointStats, ServerStats};
-pub use wire::{decode_cite_request, encode_response, error_body, QueryKind, WireError};
+pub use wire::{
+    decode_cite_request, encode_response, encode_response_with, error_body, QueryKind, WireError,
+};

@@ -24,11 +24,12 @@
 //! batcher answers its last batch and joins.
 
 use crate::batch::Batcher;
-use crate::http::{read_request, write_response, HttpError, HttpRequest};
+use crate::http::{read_request, write_response, write_response_with, HttpError, HttpRequest};
 use crate::json::parse_json;
 use crate::stats::{EndpointStats, ServerStats};
-use crate::wire::{decode_cite_request, encode_response, error_body, QueryKind};
+use crate::wire::{decode_cite_request, encode_response_with, error_body, QueryKind};
 use fgc_core::{CitationEngine, VersionedCitationEngine};
+use fgc_obs::{next_request_id, PromWriter, SlowEntry, SlowLog};
 use fgc_views::Json;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -120,12 +121,20 @@ impl ServerConfig {
 /// the built-in routes; `None` falls through to them.
 pub type RouteHandler = Arc<dyn Fn(&HttpRequest) -> Option<(u16, String)> + Send + Sync>;
 
+/// How many of the slowest requests `GET /debug/slow` retains.
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// Per-stage durations attached to a routed response (cite routes
+/// only; other routes report an empty breakdown).
+type Stages = Vec<(&'static str, Duration)>;
+
 /// A running citation service. Dropping the handle shuts it down.
 #[derive(Debug)]
 pub struct CiteServer {
     addr: SocketAddr,
     engine: Arc<CitationEngine>,
     stats: Arc<ServerStats>,
+    slow: Arc<SlowLog>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -177,6 +186,7 @@ impl CiteServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
+        let slow = Arc::new(SlowLog::new(SLOW_LOG_CAPACITY));
         let shutdown = Arc::new(AtomicBool::new(false));
         let batcher = Arc::new(Batcher::start(
             Arc::clone(&engine),
@@ -201,6 +211,7 @@ impl CiteServer {
                     engine: Arc::clone(&engine),
                     versioned: versioned.clone(),
                     stats: Arc::clone(&stats),
+                    slow: Arc::clone(&slow),
                     batcher: Arc::clone(&batcher),
                     shutdown: Arc::clone(&shutdown),
                     max_body_bytes: config.max_body_bytes,
@@ -231,6 +242,7 @@ impl CiteServer {
             addr,
             engine,
             stats,
+            slow,
             shutdown,
             acceptor: Some(acceptor),
             workers,
@@ -246,6 +258,11 @@ impl CiteServer {
     /// The shared serving counters.
     pub fn stats(&self) -> Arc<ServerStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The bounded slowest-requests ring surfaced at `GET /debug/slow`.
+    pub fn slow_log(&self) -> Arc<SlowLog> {
+        Arc::clone(&self.slow)
     }
 
     /// The engine being served.
@@ -316,6 +333,7 @@ struct WorkerContext {
     /// `/versions`, and the `fixity` stats block.
     versioned: Option<Arc<VersionedCitationEngine>>,
     stats: Arc<ServerStats>,
+    slow: Arc<SlowLog>,
     batcher: Arc<Batcher>,
     shutdown: Arc<AtomicBool>,
     max_body_bytes: usize,
@@ -369,8 +387,39 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
         match read_request(&mut reader, ctx.max_body_bytes) {
             Ok(request) => {
                 let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
-                let (status, body) = route(ctx, &request);
-                if write_response(&mut write_half, status, &body, keep_alive).is_err() {
+                // Assign (or honor) the request ID at the front door:
+                // it is echoed on the response, carried through the
+                // engine trace, and keyed into the slow log.
+                let rid = request
+                    .header("x-request-id")
+                    .map(str::to_string)
+                    .unwrap_or_else(next_request_id);
+                let started = Instant::now();
+                ctx.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                let (status, body, stages) = route(ctx, &request, &rid);
+                ctx.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                ctx.slow.observe(SlowEntry {
+                    request_id: rid.clone(),
+                    endpoint: request.path.clone(),
+                    status,
+                    total: started.elapsed(),
+                    stages: stages.iter().map(|(n, d)| (n.to_string(), *d)).collect(),
+                });
+                let content_type = if request.path == "/metrics" {
+                    "text/plain; version=0.0.4"
+                } else {
+                    "application/json"
+                };
+                if write_response_with(
+                    &mut write_half,
+                    status,
+                    &body,
+                    keep_alive,
+                    content_type,
+                    &[("x-request-id", &rid)],
+                )
+                .is_err()
+                {
                     return;
                 }
                 if !keep_alive {
@@ -406,25 +455,25 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
     }
 }
 
-/// Dispatch one request; returns `(status, body)`. Matched on path
-/// first so a known route with the wrong method (any method, not
+/// Dispatch one request; returns `(status, body, stages)`. Matched on
+/// path first so a known route with the wrong method (any method, not
 /// just GET/POST) answers 405 rather than a misleading 404.
-fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
+fn route(ctx: &WorkerContext, request: &HttpRequest, rid: &str) -> (u16, String, Stages) {
     if let Some(extra) = &ctx.extra {
-        if let Some(response) = extra(request) {
-            return response;
+        if let Some((status, body)) = extra(request) {
+            return (status, body, Vec::new());
         }
     }
     let method = request.method.as_str();
     let expected = match request.path.as_str() {
         "/cite" if method == "POST" => {
-            return timed(&ctx.stats.cite, || {
-                serve_cite(ctx, &request.body, QueryKind::Datalog)
+            return timed_cite(&ctx.stats.cite, || {
+                serve_cite(ctx, &request.body, QueryKind::Datalog, rid)
             })
         }
         "/cite_sql" if method == "POST" => {
-            return timed(&ctx.stats.cite_sql, || {
-                serve_cite(ctx, &request.body, QueryKind::Sql)
+            return timed_cite(&ctx.stats.cite_sql, || {
+                serve_cite(ctx, &request.body, QueryKind::Sql, rid)
             })
         }
         "/cite_at" if method == "POST" => {
@@ -438,11 +487,21 @@ fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
         "/healthz" if method == "GET" => {
             return timed(&ctx.stats.healthz, || (200, serve_healthz(ctx)))
         }
+        "/metrics" if method == "GET" => {
+            return timed(&ctx.stats.observe, || (200, serve_metrics(ctx)))
+        }
+        "/debug/slow" if method == "GET" => {
+            return timed(&ctx.stats.observe, || (200, serve_slow(ctx)))
+        }
         "/cite" | "/cite_sql" | "/cite_at" => "POST",
-        "/views" | "/versions" | "/stats" | "/healthz" => "GET",
+        "/views" | "/versions" | "/stats" | "/healthz" | "/metrics" | "/debug/slow" => "GET",
         path => {
             ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
-            return (404, error_body(&format!("no such route `{path}`")));
+            return (
+                404,
+                error_body(&format!("no such route `{path}`")),
+                Vec::new(),
+            );
         }
     };
     ctx.stats.unrouted.fetch_add(1, Ordering::Relaxed);
@@ -452,42 +511,68 @@ fn route(ctx: &WorkerContext, request: &HttpRequest) -> (u16, String) {
             "method {method} not allowed on {} (use {expected})",
             request.path
         )),
+        Vec::new(),
     )
 }
 
-fn timed(endpoint: &EndpointStats, serve: impl FnOnce() -> (u16, String)) -> (u16, String) {
+fn timed(endpoint: &EndpointStats, serve: impl FnOnce() -> (u16, String)) -> (u16, String, Stages) {
     let started = Instant::now();
     let (status, body) = serve();
     endpoint.record(started.elapsed(), status < 400);
-    (status, body)
+    (status, body, Vec::new())
 }
 
-fn serve_cite(ctx: &WorkerContext, body: &[u8], kind: QueryKind) -> (u16, String) {
-    let text = match std::str::from_utf8(body) {
-        Ok(t) => t,
-        Err(_) => return (400, error_body("body is not valid utf-8")),
-    };
-    let parsed = match parse_json(text) {
-        Ok(v) => v,
-        Err(e) => return (400, error_body(&format!("invalid JSON: {e}"))),
-    };
-    let request = match decode_cite_request(&parsed, kind, ctx.engine.policy()) {
+/// [`timed`] for the cite routes, whose responses carry a per-stage
+/// breakdown for the slow log.
+fn timed_cite(
+    endpoint: &EndpointStats,
+    serve: impl FnOnce() -> (u16, String, Stages),
+) -> (u16, String, Stages) {
+    let started = Instant::now();
+    let (status, body, stages) = serve();
+    endpoint.record(started.elapsed(), status < 400);
+    (status, body, stages)
+}
+
+fn serve_cite(
+    ctx: &WorkerContext,
+    body: &[u8],
+    kind: QueryKind,
+    rid: &str,
+) -> (u16, String, Stages) {
+    // Wire decode is this worker's share of the `parse` stage (the
+    // engine times the query resolution itself on the batch thread).
+    let decoded = ctx.engine.stage_stats().time("parse", || {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not valid utf-8".to_string())?;
+        let parsed = parse_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        decode_cite_request(&parsed, kind, ctx.engine.policy()).map_err(|e| e.0)
+    });
+    let request = match decoded {
         Ok(r) => r,
-        Err(e) => return (400, error_body(&e.0)),
+        Err(message) => return (400, error_body(&message), Vec::new()),
     };
+    let include_stages = request.include_stages;
+    let request = request.with_request_id(rid);
     let receiver = match ctx.batcher.submit(request) {
         Ok(rx) => rx,
         Err(_) => {
             ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            return (503, error_body("admission queue full, retry later"));
+            return (
+                503,
+                error_body("admission queue full, retry later"),
+                Vec::new(),
+            );
         }
     };
     match receiver.recv() {
-        Ok(Ok(response)) => (200, encode_response(&response).to_compact()),
+        Ok(Ok(response)) => {
+            let body = encode_response_with(&response, include_stages).to_compact();
+            (200, body, response.stages)
+        }
         // engine errors are request-shaped (unknown relation, SQL
         // parse failure against the catalog, ...): the client's fault
-        Ok(Err(e)) => (400, error_body(&e.to_string())),
-        Err(_) => (500, error_body("batcher dropped the request")),
+        Ok(Err(e)) => (400, error_body(&e.to_string()), Vec::new()),
+        Err(_) => (500, error_body("batcher dropped the request"), Vec::new()),
     }
 }
 
@@ -731,5 +816,156 @@ fn serve_stats(ctx: &WorkerContext) -> String {
             ),
         ]),
     );
+    // server-computed ratios, so dashboards don't have to divide
+    body.set(
+        "cache_hit_rates",
+        Json::from_pairs([
+            (
+                "tokens",
+                Json::Float((cache.hit_rate() * 1000.0).round() / 1000.0),
+            ),
+            (
+                "plans",
+                Json::Float((plans.hit_rate() * 1000.0).round() / 1000.0),
+            ),
+        ]),
+    );
     body.to_compact()
+}
+
+/// `GET /metrics`: Prometheus text exposition of the serving tier and
+/// the engine (stage histograms, cache counters).
+fn serve_metrics(ctx: &WorkerContext) -> String {
+    let mut w = PromWriter::new();
+    let shard = ctx
+        .shard
+        .map(|(i, n)| format!("{i}/{n}"))
+        .unwrap_or_default();
+    let base = [("role", ctx.role.as_str()), ("shard", shard.as_str())];
+    ctx.stats.write_prometheus(&mut w, &base);
+    write_engine_metrics(&mut w, &base, &ctx.engine);
+    w.finish()
+}
+
+/// Append the engine-level metric families — per-stage cite pipeline
+/// latency and token/plan cache counters — to a Prometheus
+/// exposition. Shared by every role's `GET /metrics` (the coordinator
+/// calls it on its own engine).
+pub fn write_engine_metrics(w: &mut PromWriter, base: &[(&str, &str)], engine: &CitationEngine) {
+    w.help(
+        "fgcite_stage_duration_seconds",
+        "histogram",
+        "Cite pipeline stage latency (`evaluate` contains the `plan` and `route` sub-spans).",
+    );
+    for (stage, h) in engine.stage_stats().iter() {
+        let snap = h.snapshot();
+        if snap.count() == 0 {
+            continue;
+        }
+        let mut labels = base.to_vec();
+        labels.push(("stage", stage));
+        w.histogram("fgcite_stage_duration_seconds", &labels, &snap, 1e-9);
+    }
+    let tokens = engine.cache_stats();
+    let plans = engine.plan_stats();
+    for (name, help, token_v, plan_v) in [
+        (
+            "fgcite_cache_hits_total",
+            "Cache hits, by cache.",
+            tokens.hits,
+            plans.hits,
+        ),
+        (
+            "fgcite_cache_misses_total",
+            "Cache misses, by cache.",
+            tokens.misses,
+            plans.misses,
+        ),
+        (
+            "fgcite_cache_evictions_total",
+            "Cache evictions, by cache.",
+            tokens.evictions,
+            plans.evictions,
+        ),
+    ] {
+        w.help(name, "counter", help);
+        let mut labels = base.to_vec();
+        labels.push(("cache", "tokens"));
+        w.int(name, &labels, token_v);
+        let mut labels = base.to_vec();
+        labels.push(("cache", "plans"));
+        w.int(name, &labels, plan_v);
+    }
+    w.help(
+        "fgcite_cache_entries",
+        "gauge",
+        "Live cache entries, by cache.",
+    );
+    let mut labels = base.to_vec();
+    labels.push(("cache", "tokens"));
+    w.int("fgcite_cache_entries", &labels, tokens.entries as u64);
+    let mut labels = base.to_vec();
+    labels.push(("cache", "plans"));
+    w.int("fgcite_cache_entries", &labels, plans.entries as u64);
+
+    let miss = engine.cache_compute_latency();
+    if miss.count() > 0 {
+        w.help(
+            "fgcite_cache_miss_seconds",
+            "histogram",
+            "Token-extent compute latency on a cache miss.",
+        );
+        w.histogram("fgcite_cache_miss_seconds", base, &miss, 1e-9);
+    }
+    let compile = engine.plan_compile_latency();
+    if compile.count() > 0 {
+        w.help(
+            "fgcite_plan_compile_seconds",
+            "histogram",
+            "Query-plan compile latency on a plan-cache miss.",
+        );
+        w.histogram("fgcite_plan_compile_seconds", base, &compile, 1e-9);
+    }
+}
+
+/// `GET /debug/slow`: the slowest requests seen so far, slowest
+/// first, each with its request ID and stage breakdown.
+fn serve_slow(ctx: &WorkerContext) -> String {
+    slow_log_body(&ctx.slow)
+}
+
+/// Render a [`SlowLog`] as the `GET /debug/slow` body (shared with
+/// the coordinator's server).
+pub fn slow_log_body(slow: &SlowLog) -> String {
+    let entries: Vec<Json> = slow
+        .snapshot()
+        .into_iter()
+        .map(|e| {
+            let stages: Vec<(String, Json)> = e
+                .stages
+                .iter()
+                .map(|(n, d)| {
+                    (
+                        n.clone(),
+                        Json::Int(d.as_micros().min(i64::MAX as u128) as i64),
+                    )
+                })
+                .collect();
+            Json::from_pairs([
+                ("request_id", Json::str(e.request_id)),
+                ("endpoint", Json::str(e.endpoint)),
+                ("status", Json::Int(e.status as i64)),
+                (
+                    "total_us",
+                    Json::Int(e.total.as_micros().min(i64::MAX as u128) as i64),
+                ),
+                ("stages", Json::from_pairs(stages)),
+            ])
+        })
+        .collect();
+    Json::from_pairs([
+        ("count", Json::Int(entries.len() as i64)),
+        ("requests", Json::Array(entries)),
+    ])
+    .to_compact()
 }

@@ -1,61 +1,71 @@
-//! Per-endpoint serving counters surfaced at `GET /stats`.
+//! Per-endpoint serving counters surfaced at `GET /stats` and
+//! `GET /metrics`.
 //!
-//! Everything is a relaxed atomic: recording is wait-free on the
-//! worker hot path, and readers get a monotone (if instantaneously
-//! slightly torn) view — the same contract as
-//! [`fgc_core::CacheStats`].
+//! Recording is wait-free on the worker hot path: error counts are
+//! relaxed atomics and latencies go into a lock-free
+//! [`fgc_obs::Histogram`], so readers get real tail quantiles
+//! (p50/p90/p99/max) instead of the mean that hid them. Reads derive
+//! every figure from one histogram snapshot — the old separate
+//! `requests`/`total_micros` loads could tear (a racing increment
+//! between them skewed the mean); a snapshot cannot.
 
+use fgc_obs::{Histogram, HistogramSnapshot, PromWriter};
 use fgc_views::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Counters for one route.
+/// Counters for one route: error count plus a log-bucketed latency
+/// histogram (microsecond samples).
 #[derive(Debug, Default)]
 pub struct EndpointStats {
-    /// Requests answered (any status).
-    pub requests: AtomicU64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: AtomicU64,
-    /// Total serving time, microseconds.
-    pub total_micros: AtomicU64,
-    /// Slowest single request, microseconds.
-    pub max_micros: AtomicU64,
+    /// Serving latency, microseconds, log-bucketed.
+    pub latency: Histogram,
 }
 
 impl EndpointStats {
     /// Record one served request.
     pub fn record(&self, elapsed: Duration, ok: bool) {
-        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        self.requests.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.latency.record_micros(elapsed);
+    }
+
+    /// Requests answered (any status).
+    pub fn requests(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// A point-in-time latency snapshot (for quantiles/exposition).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     fn to_json(&self) -> Json {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let total = self.total_micros.load(Ordering::Relaxed);
-        let mean = total.checked_div(requests).unwrap_or(0);
+        // One snapshot feeds count, mean, and quantiles: the mean can
+        // no longer race a concurrent `requests` increment.
+        let snap = self.latency.snapshot();
         Json::from_pairs([
-            ("requests", Json::Int(requests as i64)),
+            ("requests", Json::Int(snap.count() as i64)),
             (
                 "errors",
                 Json::Int(self.errors.load(Ordering::Relaxed) as i64),
             ),
-            ("mean_us", Json::Int(mean as i64)),
-            (
-                "max_us",
-                Json::Int(self.max_micros.load(Ordering::Relaxed) as i64),
-            ),
+            ("mean_us", Json::Int(snap.mean() as i64)),
+            ("p50_us", Json::Int(snap.quantile(0.5) as i64)),
+            ("p90_us", Json::Int(snap.quantile(0.9) as i64)),
+            ("p99_us", Json::Int(snap.quantile(0.99) as i64)),
+            ("max_us", Json::Int(snap.max as i64)),
         ])
     }
 }
 
 /// All serving counters: one [`EndpointStats`] per route plus the
-/// admission/batching figures.
-#[derive(Debug, Default)]
+/// admission/batching figures, the process start time, and the
+/// in-flight request gauge.
+#[derive(Debug)]
 pub struct ServerStats {
     /// `POST /cite`.
     pub cite: EndpointStats,
@@ -71,6 +81,8 @@ pub struct ServerStats {
     pub stats: EndpointStats,
     /// `GET /healthz`.
     pub healthz: EndpointStats,
+    /// `GET /metrics` and `GET /debug/slow`.
+    pub observe: EndpointStats,
     /// Requests that did not match any route (404/405).
     pub unrouted: AtomicU64,
     /// Requests rejected because the admission queue was full (503).
@@ -81,14 +93,45 @@ pub struct ServerStats {
     pub batches: AtomicU64,
     /// Requests served through those batches.
     pub batched_requests: AtomicU64,
+    /// Time a cite request waited in the admission queue before its
+    /// batch started, microseconds.
+    pub batch_wait: Histogram,
+    /// Coalesced batch sizes (one sample per batch).
+    pub batch_sizes: Histogram,
+    /// Requests currently being served, across all routes.
+    pub in_flight: AtomicU64,
+    /// When this stats block (i.e. the server) was created.
+    pub started: Instant,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            cite: EndpointStats::default(),
+            cite_sql: EndpointStats::default(),
+            cite_at: EndpointStats::default(),
+            versions: EndpointStats::default(),
+            views: EndpointStats::default(),
+            stats: EndpointStats::default(),
+            healthz: EndpointStats::default(),
+            observe: EndpointStats::default(),
+            unrouted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            batch_wait: Histogram::new(),
+            batch_sizes: Histogram::new(),
+            in_flight: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl ServerStats {
     /// Total requests answered across the citation endpoints.
     pub fn served(&self) -> u64 {
-        self.cite.requests.load(Ordering::Relaxed)
-            + self.cite_sql.requests.load(Ordering::Relaxed)
-            + self.cite_at.requests.load(Ordering::Relaxed)
+        self.cite.requests() + self.cite_sql.requests() + self.cite_at.requests()
     }
 
     /// Mean coalesced batch size (1.0 when nothing was batched yet).
@@ -101,9 +144,29 @@ impl ServerStats {
         }
     }
 
+    /// Seconds since the server started.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Every route's stats, by exposition label.
+    pub fn endpoints(&self) -> [(&'static str, &EndpointStats); 8] {
+        [
+            ("/cite", &self.cite),
+            ("/cite_sql", &self.cite_sql),
+            ("/cite_at", &self.cite_at),
+            ("/versions", &self.versions),
+            ("/views", &self.views),
+            ("/stats", &self.stats),
+            ("/healthz", &self.healthz),
+            ("/metrics", &self.observe),
+        ]
+    }
+
     /// The `GET /stats` body (without engine cache stats; the server
     /// layer merges those in).
     pub fn to_json(&self) -> Json {
+        let wait = self.batch_wait.snapshot();
         Json::from_pairs([
             ("cite", self.cite.to_json()),
             ("cite_sql", self.cite_sql.to_json()),
@@ -132,7 +195,124 @@ impl ServerStats {
                 "batched_requests",
                 Json::Int(self.batched_requests.load(Ordering::Relaxed) as i64),
             ),
+            (
+                "batch_wait",
+                Json::from_pairs([
+                    ("p50_us", Json::Int(wait.quantile(0.5) as i64)),
+                    ("p99_us", Json::Int(wait.quantile(0.99) as i64)),
+                    ("max_us", Json::Int(wait.max as i64)),
+                ]),
+            ),
+            ("uptime_s", Json::Int(self.uptime_s() as i64)),
+            (
+                "in_flight",
+                Json::Int(self.in_flight.load(Ordering::Relaxed) as i64),
+            ),
         ])
+    }
+
+    /// Write the serving-tier metric families (uptime, in-flight,
+    /// per-endpoint counters and latency histograms, admission and
+    /// batching counters) into a Prometheus exposition. `base` labels
+    /// (typically `role` and `shard`) are attached to every sample;
+    /// the caller appends engine-level families afterwards.
+    pub fn write_prometheus(&self, w: &mut PromWriter, base: &[(&str, &str)]) {
+        w.help(
+            "fgcite_uptime_seconds",
+            "gauge",
+            "Seconds since server start.",
+        );
+        w.int("fgcite_uptime_seconds", base, self.uptime_s());
+        w.help(
+            "fgcite_in_flight",
+            "gauge",
+            "Requests currently being served.",
+        );
+        w.int(
+            "fgcite_in_flight",
+            base,
+            self.in_flight.load(Ordering::Relaxed),
+        );
+
+        w.help(
+            "fgcite_requests_total",
+            "counter",
+            "Requests answered, by route.",
+        );
+        for (name, e) in self.endpoints() {
+            let mut labels = base.to_vec();
+            labels.push(("endpoint", name));
+            w.int("fgcite_requests_total", &labels, e.requests());
+        }
+        w.help(
+            "fgcite_request_errors_total",
+            "counter",
+            "Requests answered with 4xx/5xx, by route.",
+        );
+        for (name, e) in self.endpoints() {
+            let mut labels = base.to_vec();
+            labels.push(("endpoint", name));
+            w.int(
+                "fgcite_request_errors_total",
+                &labels,
+                e.errors.load(Ordering::Relaxed),
+            );
+        }
+        w.help(
+            "fgcite_request_duration_seconds",
+            "histogram",
+            "Serving latency, by route.",
+        );
+        for (name, e) in self.endpoints() {
+            let snap = e.snapshot();
+            if snap.count() == 0 {
+                continue;
+            }
+            let mut labels = base.to_vec();
+            labels.push(("endpoint", name));
+            w.histogram("fgcite_request_duration_seconds", &labels, &snap, 1e-6);
+        }
+
+        for (name, help, v) in [
+            ("fgcite_unrouted_total", "404/405 answers.", &self.unrouted),
+            (
+                "fgcite_rejected_total",
+                "Admission-queue rejections (503).",
+                &self.rejected,
+            ),
+            (
+                "fgcite_malformed_total",
+                "Unparseable requests (400/411/413).",
+                &self.malformed,
+            ),
+            (
+                "fgcite_batches_total",
+                "Coalesced cite batches executed.",
+                &self.batches,
+            ),
+            (
+                "fgcite_batched_requests_total",
+                "Requests served through batches.",
+                &self.batched_requests,
+            ),
+        ] {
+            w.help(name, "counter", help);
+            w.int(name, base, v.load(Ordering::Relaxed));
+        }
+        let wait = self.batch_wait.snapshot();
+        if wait.count() > 0 {
+            w.help(
+                "fgcite_batch_wait_seconds",
+                "histogram",
+                "Admission-queue wait before a batch started.",
+            );
+            w.histogram("fgcite_batch_wait_seconds", base, &wait, 1e-6);
+        }
+        let sizes = self.batch_sizes.snapshot();
+        if sizes.count() > 0 {
+            w.help("fgcite_batch_size", "histogram", "Coalesced batch sizes.");
+            w.histogram("fgcite_batch_size", base, &sizes, 1.0);
+        }
     }
 }
 
@@ -148,10 +328,22 @@ mod tests {
         s.cite_sql.record(Duration::from_micros(50), true);
         assert_eq!(s.served(), 3);
         let j = s.to_json();
-        assert_eq!(j.get("cite").unwrap().get("requests"), Some(&Json::Int(2)));
-        assert_eq!(j.get("cite").unwrap().get("errors"), Some(&Json::Int(1)));
-        assert_eq!(j.get("cite").unwrap().get("mean_us"), Some(&Json::Int(200)));
-        assert_eq!(j.get("cite").unwrap().get("max_us"), Some(&Json::Int(300)));
+        let cite = j.get("cite").unwrap();
+        assert_eq!(cite.get("requests"), Some(&Json::Int(2)));
+        assert_eq!(cite.get("errors"), Some(&Json::Int(1)));
+        assert_eq!(cite.get("max_us"), Some(&Json::Int(300)));
+        // Log-bucketed: quantiles land within a factor of two of the
+        // exact order statistics, and the full set is reported.
+        let p99 = match cite.get("p99_us") {
+            Some(&Json::Int(v)) => v as u64,
+            other => panic!("missing p99_us: {other:?}"),
+        };
+        assert!((150..=600).contains(&p99), "p99 {p99}");
+        for field in ["mean_us", "p50_us", "p90_us"] {
+            assert!(cite.get(field).is_some(), "missing {field}");
+        }
+        assert!(j.get("uptime_s").is_some());
+        assert_eq!(j.get("in_flight"), Some(&Json::Int(0)));
     }
 
     #[test]
@@ -161,5 +353,20 @@ mod tests {
         s.batches.fetch_add(2, Ordering::Relaxed);
         s.batched_requests.fetch_add(6, Ordering::Relaxed);
         assert_eq!(s.mean_batch_size(), 3.0);
+    }
+
+    #[test]
+    fn prometheus_families_cover_every_endpoint() {
+        let s = ServerStats::default();
+        s.cite.record(Duration::from_micros(250), true);
+        let mut w = PromWriter::new();
+        s.write_prometheus(&mut w, &[("role", "single"), ("shard", "")]);
+        let text = w.finish();
+        assert!(text.contains("# TYPE fgcite_request_duration_seconds histogram"));
+        assert!(
+            text.contains("fgcite_requests_total{role=\"single\",shard=\"\",endpoint=\"/cite\"} 1")
+        );
+        assert!(text.contains("fgcite_request_duration_seconds_count{role=\"single\",shard=\"\",endpoint=\"/cite\"} 1"));
+        assert!(text.contains("fgcite_uptime_seconds"));
     }
 }

@@ -13,7 +13,8 @@
 //!   "mode": "exhaustive" | "pruned",
 //!   "max_views": 6,
 //!   "max_combinations": 200000,
-//!   "memoize": true
+//!   "memoize": true,
+//!   "stages": true
 //! }
 //! ```
 //!
@@ -118,6 +119,7 @@ pub fn decode_cite_request(
     let mut rewrite: Option<RewriteOptions> = None;
     let mut mode: Option<RewriteMode> = None;
     let mut memoize: Option<bool> = None;
+    let mut stages: Option<bool> = None;
 
     for (key, value) in fields {
         match key.as_str() {
@@ -157,6 +159,7 @@ pub fn decode_cite_request(
                 opts.max_combinations = expect_usize(key, value)?;
             }
             "memoize" => memoize = Some(expect_bool(key, value)?),
+            "stages" => stages = Some(expect_bool(key, value)?),
             other => return Err(WireError(format!("unknown field `{other}`"))),
         }
     }
@@ -183,6 +186,9 @@ pub fn decode_cite_request(
     if let Some(m) = memoize {
         request = request.with_memoize(m);
     }
+    if let Some(s) = stages {
+        request = request.with_stages(s);
+    }
     Ok(request)
 }
 
@@ -204,6 +210,14 @@ pub fn value_to_json(value: &Value) -> Json {
 /// byte-identical to rendering the direct `cite()` result — the
 /// property `tests/server_http.rs` pins down.
 pub fn encode_response(response: &CiteResponse) -> Json {
+    encode_response_with(response, false)
+}
+
+/// [`encode_response`] with an opt-in `stages` object: per-stage
+/// pipeline durations in microseconds, present **only** when the
+/// request asked for them (`"stages": true`) so default response
+/// bodies stay byte-identical across serving topologies.
+pub fn encode_response_with(response: &CiteResponse, include_stages: bool) -> Json {
     let citation = &response.citation;
     let tuples: Vec<Json> = citation
         .tuples
@@ -218,7 +232,7 @@ pub fn encode_response(response: &CiteResponse) -> Json {
             ])
         })
         .collect();
-    Json::from_pairs([
+    let mut body = Json::from_pairs([
         ("tuples", Json::Array(tuples)),
         ("aggregate", citation.aggregate.clone()),
         ("rewritings", Json::Int(citation.rewritings.len() as i64)),
@@ -230,7 +244,16 @@ pub fn encode_response(response: &CiteResponse) -> Json {
         ),
         ("cache_hits", Json::Int(response.cache_hits as i64)),
         ("cache_misses", Json::Int(response.cache_misses as i64)),
-    ])
+    ]);
+    if include_stages {
+        let stages: Vec<(&str, Json)> = response
+            .stages
+            .iter()
+            .map(|(name, d)| (*name, Json::Int(d.as_micros().min(i64::MAX as u128) as i64)))
+            .collect();
+        body.set("stages", Json::from_pairs(stages));
+    }
+    body
 }
 
 /// The uniform error body: `{"error": "..."}`.

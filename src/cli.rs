@@ -144,7 +144,12 @@ cite with --commits answers against the commit history (--version id,
        engines pay off under `serve --commits`, where versions stay
        warm across requests (see `fixity` in GET /stats).
 serve: HTTP routes POST /cite, POST /cite_sql, GET /views, GET /stats,
-       GET /healthz (default --addr 127.0.0.1:8787); with --commits
+       GET /healthz, GET /metrics (Prometheus text exposition),
+       GET /debug/slow (slowest recent requests, with request IDs
+       and per-stage breakdowns); default --addr 127.0.0.1:8787.
+       Every response echoes `x-request-id` (assigned when the
+       request carries none), and a /cite body with `stages: true`
+       adds the per-stage latency breakdown. With --commits
        also POST /cite_at and GET /versions, and GET /stats gains a
        `fixity` block (derived vs rebuilt engine counters).
        --shards partitions the store across N hash-routed shards;
@@ -244,7 +249,9 @@ pub fn run_cite(
         request = request.with_mode(RewriteMode::Exhaustive);
     }
     let engine = CitationEngine::new(db, registry)?;
-    let cited = engine.cite_request(&request)?.citation;
+    let response = engine.cite_request(&request)?;
+    let stages = response.stages;
+    let cited = response.citation;
 
     let mut out = String::new();
     match args.get("format").unwrap_or("json") {
@@ -261,6 +268,13 @@ pub fn run_cite(
     }
     if args.enabled("explain") {
         let _ = writeln!(out, "\n{}", fgc_core::explain(&cited, &policy));
+        if !stages.is_empty() {
+            let breakdown: Vec<String> = stages
+                .iter()
+                .map(|(name, d)| format!("{name}={}us", d.as_micros()))
+                .collect();
+            let _ = writeln!(out, "stages: {}", breakdown.join(" "));
+        }
         let plans = engine.plan_stats();
         let _ = writeln!(
             out,
@@ -795,6 +809,25 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
             .and_then(|s| s.parse().ok())
             .expect("misses counter present");
         assert!(misses >= 1, "{out}");
+    }
+
+    #[test]
+    fn explain_reports_stage_breakdown() {
+        let out = run_line(&[
+            "cite",
+            "--data",
+            "db",
+            "--views",
+            "views",
+            "--explain",
+            "--query",
+            "Q(N) :- Family(F, N, Ty), F = \"11\"",
+        ])
+        .unwrap();
+        assert!(out.contains("stages: "), "{out}");
+        for stage in ["evaluate=", "rewrite=", "extent=", "render="] {
+            assert!(out.contains(stage), "missing {stage} in {out}");
+        }
     }
 
     #[test]

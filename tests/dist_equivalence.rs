@@ -309,6 +309,100 @@ fn exhausted_shard_answers_structured_503() {
     }
 }
 
+/// The request ID honored (or assigned) at the coordinator's front
+/// door rides the `x-request-id` header onto every replica-side
+/// `/fragment/*` call, every role answers `GET /metrics`, and the
+/// outage 503 — the one body never reference-compared — names the
+/// request that hit it.
+#[test]
+fn request_ids_propagate_coordinator_to_replicas() {
+    let db = paper_instance();
+    let (replicas, front) = start_cluster(&db, 2);
+    let mut client = Client::connect(front.addr()).unwrap();
+
+    // a supplied ID echoes on the coordinator's response...
+    let response = client
+        .request_with_headers(
+            "POST",
+            "/cite",
+            Some(&cite_body(QUERIES[0])),
+            &[("x-request-id", "dist-rid-7")],
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(response.header("x-request-id"), Some("dist-rid-7"));
+
+    // ...and lands replica-side on the fragment calls it fanned out
+    let mut seen = 0;
+    for replica in &replicas {
+        let mut rc = Client::connect(replica.addr()).unwrap();
+        let slow = rc.get("/debug/slow").unwrap();
+        assert_eq!(slow.status, 200);
+        if slow.body.contains("dist-rid-7") {
+            assert!(slow.body.contains("/fragment/"), "{}", slow.body);
+            seen += 1;
+        }
+    }
+    assert!(
+        seen >= 1,
+        "no replica recorded the coordinator's request id"
+    );
+
+    // without one, the coordinator assigns a non-empty ID
+    let response = client.post("/cite", &cite_body(QUERIES[0])).unwrap();
+    assert!(response
+        .header("x-request-id")
+        .is_some_and(|id| !id.is_empty()));
+
+    // every role speaks /metrics: the coordinator with its replica
+    // pool families, the replicas with their shard label
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    for needle in ["role=\"coordinator\"", "fgcite_replica_calls_total"] {
+        assert!(
+            metrics.body.contains(needle),
+            "missing {needle} in:\n{}",
+            metrics.body
+        );
+    }
+    {
+        let mut rc = Client::connect(replicas[0].addr()).unwrap();
+        let rm = rc.get("/metrics").unwrap();
+        assert_eq!(rm.status, 200);
+        assert!(rm.body.contains("role=\"replica\""), "{}", rm.body);
+        assert!(rm.body.contains("shard=\"0/2\""), "{}", rm.body);
+    }
+
+    // the relayed outage 503 carries the request ID in its body (the
+    // one body never compared against the reference server)
+    let mut replicas: Vec<Option<CiteServer>> = replicas.into_iter().map(Some).collect();
+    replicas[1].take().unwrap().shutdown();
+    drop(client);
+    let mut client = Client::connect(front.addr()).unwrap();
+    let outage = client
+        .request_with_headers(
+            "POST",
+            "/cite",
+            Some(&cite_body("Q(N) :- Family(F, N, Ty)")),
+            &[("x-request-id", "dist-rid-outage")],
+        )
+        .unwrap();
+    assert_eq!(outage.status, 503, "{}", outage.body);
+    let parsed = parse_json(&outage.body).unwrap();
+    assert_eq!(
+        parsed.get("request_id"),
+        Some(&Json::str("dist-rid-outage")),
+        "{}",
+        outage.body
+    );
+
+    drop(client);
+    front.shutdown();
+    for r in replicas.into_iter().flatten() {
+        r.shutdown();
+    }
+}
+
 #[test]
 fn coordinator_shutdown_drains_in_flight_requests() {
     let db = paper_instance();

@@ -478,6 +478,116 @@ fn malformed_input_is_4xx_and_never_wedges_workers() {
     server.shutdown();
 }
 
+/// The observability surface: request IDs ride the response headers
+/// (honored when supplied, assigned otherwise), `/metrics` speaks
+/// Prometheus text with role/endpoint/stage labels, `/debug/slow`
+/// retains recent requests by ID, `/stats` reports uptime / in-flight
+/// / server-computed hit rates, and the per-request stage breakdown
+/// is strictly opt-in (default bodies stay byte-identical).
+#[test]
+fn observability_surface_rides_every_response() {
+    let (server, addr) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+
+    // a supplied x-request-id comes back verbatim...
+    let response = client
+        .request_with_headers(
+            "POST",
+            "/cite",
+            Some(&cite_body(QUERIES[1])),
+            &[("x-request-id", "test-rid-42")],
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(response.header("x-request-id"), Some("test-rid-42"));
+    // ...and the default body carries no stage breakdown
+    assert!(
+        parse_json(&response.body).unwrap().get("stages").is_none(),
+        "stages must be opt-in: {}",
+        response.body
+    );
+
+    // without one, the server assigns a non-empty ID
+    let response = client.post("/cite", &cite_body(QUERIES[1])).unwrap();
+    let assigned = response
+        .header("x-request-id")
+        .expect("assigned request id")
+        .to_string();
+    assert!(!assigned.is_empty());
+
+    // "stages": true opts the per-request breakdown into the body
+    let body = format!(
+        r#"{{"query": "{}", "stages": true}}"#,
+        QUERIES[1].replace('"', "\\\"")
+    );
+    let response = client.post("/cite", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let stages = parse_json(&response.body)
+        .unwrap()
+        .get("stages")
+        .cloned()
+        .expect("stages block");
+    for stage in ["parse", "evaluate", "rewrite", "extent", "render"] {
+        assert!(
+            stages.get(stage).is_some(),
+            "missing stage {stage}: {}",
+            response.body
+        );
+    }
+
+    // /metrics: Prometheus text exposition with role/endpoint/stage
+    // labels
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    for needle in [
+        "# TYPE fgcite_requests_total counter",
+        "fgcite_requests_total{role=\"single\",shard=\"\",endpoint=\"/cite\"} 3",
+        "fgcite_request_duration_seconds_bucket",
+        "fgcite_stage_duration_seconds_count{role=\"single\",shard=\"\",stage=\"evaluate\"}",
+        "fgcite_cache_hits_total{role=\"single\",shard=\"\",cache=\"plans\"}",
+        "fgcite_uptime_seconds",
+        "fgcite_in_flight",
+    ] {
+        assert!(
+            metrics.body.contains(needle),
+            "missing {needle} in:\n{}",
+            metrics.body
+        );
+    }
+
+    // /debug/slow retains the recent requests under their IDs
+    let slow = client.get("/debug/slow").unwrap();
+    assert_eq!(slow.status, 200);
+    assert!(slow.body.contains("test-rid-42"), "{}", slow.body);
+    assert!(slow.body.contains(&assigned), "{}", slow.body);
+    assert!(slow.body.contains("total_us"), "{}", slow.body);
+
+    // /stats: uptime, the in-flight gauge, and server-computed cache
+    // hit-rate ratios
+    let stats = client.get("/stats").unwrap();
+    let parsed = parse_json(&stats.body).unwrap();
+    assert!(parsed.get("uptime_s").is_some(), "{}", stats.body);
+    assert!(parsed.get("in_flight").is_some(), "{}", stats.body);
+    let rates = parsed.get("cache_hit_rates").expect("cache_hit_rates");
+    assert!(
+        rates.get("tokens").is_some() && rates.get("plans").is_some(),
+        "{}",
+        stats.body
+    );
+    // the cite endpoint block reports real quantiles now
+    let cite = parsed.get("cite").expect("cite block");
+    for field in ["p50_us", "p90_us", "p99_us", "max_us"] {
+        assert!(cite.get(field).is_some(), "missing {field}: {}", stats.body);
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
 #[test]
 fn batching_coalesces_under_concurrency() {
     let (server, addr) = start_server(8);
