@@ -1,4 +1,4 @@
-//! # fgc-bench — the experiment harness (E1–E15)
+//! # fgc-bench — the experiment harness (E1–E16)
 //!
 //! The paper ("A Model for Fine-Grained Data Citation", CIDR 2017)
 //! publishes no quantitative evaluation; this crate turns each of its
@@ -22,7 +22,10 @@
 //! ([`e13_table`]) walks a K-commit history comparing delta-derived
 //! version engines against rebuild-per-version. E15 ([`e15_table`])
 //! prices the observability layer itself: histogram records, stage
-//! spans, and the warm cite with stage timing on vs off.
+//! spans, and the warm cite with stage timing on vs off. E16
+//! ([`load::e16_table`] and the `e16_storage` bench) compares the
+//! storage backends crud-bench style: mem's full-load-path cold start
+//! vs disk's manifest open, then the E10 serving workload on each.
 
 use fgc_core::{
     baseline_coverage, CitationEngine, EngineOptions, OrderChoice, PageCitationStore, Policy,
@@ -40,8 +43,8 @@ use std::time::Instant;
 pub mod load;
 
 pub use load::{
-    cite_bodies, e10_table, e11_table, e14_table, run_load, start_dist_cluster, LoadConfig,
-    LoadMode, LoadReport,
+    cite_bodies, e10_table, e11_table, e14_table, e16_table, run_load, start_dist_cluster,
+    LoadConfig, LoadMode, LoadReport,
 };
 
 /// A printable experiment table.
@@ -1049,6 +1052,7 @@ pub fn all_tables() -> Vec<Table> {
         e12_table(&[100, 1_000, 10_000], 1_000),
         e13_table(1_000, &[4, 16, 64]),
         e15_table(1_000),
+        e16_table(&[1_000]),
         ablation_table(1_000),
     ]
 }

@@ -483,6 +483,116 @@ pub fn e14_table(families: usize, shard_counts: &[usize]) -> crate::Table {
     }
 }
 
+// =====================================================================
+// E16 — storage backend comparison (mem vs disk)
+// =====================================================================
+
+/// E16 table: the E10 serving workload over each storage backend,
+/// crud-bench style (PAPERS.md: the embedded-engine comparison
+/// matrix). Per scale, one row per backend:
+///
+/// * **mem** — cold start is the full load path (generate/parse the
+///   instance, build the engine);
+/// * **disk** — cold start opens the persisted manifest and decodes
+///   segment pages through the buffer cache; the text loader never
+///   runs.
+///
+/// Claim (ROADMAP "pluggable storage"): the disk backend trades a
+/// one-time persist cost for manifest-open cold starts, and serving
+/// throughput is backend-independent because both backends serve the
+/// same in-memory `Database` — the storage seam sits below the
+/// relation API, not on the hot path.
+pub fn e16_table(scales: &[usize]) -> crate::Table {
+    use fgc_relation::storage::{DiskStorage, Storage, StorageOptions};
+    use std::sync::Arc;
+
+    let mut rows = Vec::new();
+    for &families in scales {
+        // the mem backend's cold start: run the full load path
+        let t0 = Instant::now();
+        let db = crate::db_at_scale(families);
+        let t_generate = t0.elapsed();
+
+        // persist once (the write path, priced in its own column)
+        let dir =
+            std::env::temp_dir().join(format!("fgc-bench-e16-{}-{families}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).expect("open data dir");
+        let mut history = fgc_relation::VersionedDatabase::new();
+        history.commit(db.clone(), 0, "base").expect("base commit");
+        let t0 = Instant::now();
+        storage.sync(&history).expect("persist history");
+        let t_persist = t0.elapsed();
+        let disk_bytes = storage.stats().disk_bytes;
+        drop(storage);
+
+        let bodies = serving_bodies(&db, 79);
+        for backend in ["mem", "disk"] {
+            let (t_cold, engine): (Duration, Arc<fgc_core::CitationEngine>) = if backend == "mem" {
+                let t0 = Instant::now();
+                let engine = fgc_core::CitationEngine::new(db.clone(), fgc_gtopdb::paper_views())
+                    .expect("views validate");
+                (t_generate + t0.elapsed(), Arc::new(engine))
+            } else {
+                // cold start from the manifest: fresh handle, no loader
+                let t0 = Instant::now();
+                let storage: Arc<dyn Storage> = Arc::new(
+                    DiskStorage::open(&dir, StorageOptions::default()).expect("reopen data dir"),
+                );
+                let restored = storage.load_history().expect("cold load");
+                let (_, head) = restored.head().expect("persisted head");
+                let engine =
+                    fgc_core::CitationEngine::new((**head).clone(), fgc_gtopdb::paper_views())
+                        .expect("views validate")
+                        .with_storage(Arc::clone(&storage));
+                (t0.elapsed(), Arc::new(engine))
+            };
+            let server = start_warmed_server(Arc::clone(&engine), &bodies);
+            let report = closed_loop(server.addr(), &bodies, 8);
+            server.shutdown();
+            let (persist_cell, bytes_cell, hit_cell) = match engine.storage_stats() {
+                Some(stats) => (
+                    fmt_ms(t_persist),
+                    (disk_bytes / 1024).to_string(),
+                    format!("{:.2}", stats.cache_hit_rate()),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            rows.push(vec![
+                families.to_string(),
+                backend.into(),
+                fmt_ms(t_cold),
+                persist_cell,
+                bytes_cell,
+                format!("{:.0}", report.throughput()),
+                fmt_ms(report.percentile(50.0)),
+                fmt_ms(report.percentile(99.0)),
+                hit_cell,
+                report.errors.to_string(),
+            ]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    crate::Table {
+        title: "E16 — storage backends: cold start + closed-loop serving, 8 clients \
+                (mem = full load path, disk = manifest open)"
+            .into(),
+        headers: vec![
+            "families".into(),
+            "backend".into(),
+            "cold start ms".into(),
+            "persist ms".into(),
+            "disk KiB".into(),
+            "rps".into(),
+            "p50 ms".into(),
+            "p99 ms".into(),
+            "cache hit".into(),
+            "errors".into(),
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +696,28 @@ mod tests {
         // the persisted artifact shape: {title, headers, rows}
         let json = t.to_json().to_compact();
         for field in ["title", "headers", "rows", "E14"] {
+            assert!(json.contains(field), "{json}");
+        }
+    }
+
+    #[test]
+    fn e16_small_sweep_compares_backends() {
+        let t = e16_table(&[60]);
+        assert_eq!(t.rows.len(), 2);
+        let (mem, disk) = (&t.rows[0], &t.rows[1]);
+        assert_eq!(mem[1], "mem");
+        assert_eq!(disk[1], "disk");
+        // the mem row has no storage attached, the disk row does
+        assert_eq!(mem[4], "-");
+        assert!(disk[4].parse::<u64>().unwrap() > 0, "{disk:?}");
+        for row in &t.rows {
+            let rps: f64 = row[5].parse().unwrap();
+            assert!(rps > 0.0, "{row:?}");
+            assert_eq!(row[9], "0", "errors in {row:?}");
+        }
+        // the persisted artifact shape: {title, headers, rows}
+        let json = t.to_json().to_compact();
+        for field in ["title", "headers", "rows", "E16"] {
             assert!(json.contains(field), "{json}");
         }
     }

@@ -1,9 +1,11 @@
 //! Print all experiment tables (the `--print-tables` mode referenced
 //! by DESIGN.md). Run with `--release`; pass experiment ids (e.g.
-//! `e1 e3`) to restrict. The load-generator experiments (E10, E14)
-//! and the observability-overhead experiment (E15) additionally
-//! persist their results as `BENCH_E10.json` / `BENCH_E14.json` /
-//! `BENCH_E15.json` in the working directory.
+//! `e1 e3`) to restrict. The load-generator experiments (E10, E14),
+//! the observability-overhead experiment (E15), and the storage
+//! backend comparison (E16; pass `e16 full` for the 100× sweep)
+//! additionally persist their results as `BENCH_E10.json` /
+//! `BENCH_E14.json` / `BENCH_E15.json` / `BENCH_E16.json` in the
+//! working directory.
 
 /// Persist a table as a machine-readable artifact next to the
 /// printable rendering.
@@ -80,6 +82,21 @@ fn main() {
     if want("e15") {
         let table = fgc_bench::e15_table(1_000);
         persist("BENCH_E15.json", &table);
+        print!("{}", table.render());
+        println!();
+    }
+    if want("e16") {
+        // the E10 serving scale by default; `e16 full` sweeps 10×
+        // and 100× for the crud-bench-style backend comparison
+        // figure (the generated ad-hoc workload has multi-second
+        // cold joins at 10k+ families — budget minutes per backend)
+        let scales: &[usize] = if args.iter().any(|a| a.eq_ignore_ascii_case("full")) {
+            &[10_000, 100_000]
+        } else {
+            &[1_000]
+        };
+        let table = fgc_bench::e16_table(scales);
+        persist("BENCH_E16.json", &table);
         print!("{}", table.render());
         println!();
     }

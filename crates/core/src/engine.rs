@@ -31,6 +31,7 @@ use fgc_query::{
 };
 use fgc_relation::schema::RelationSchema;
 use fgc_relation::sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
+use fgc_relation::storage::{Storage, StorageStats};
 use fgc_relation::{DataType, Database, DatabaseDelta, Tuple, Value};
 use fgc_rewrite::{best_rewritings, enumerate_rewritings, RewriteOptions, Rewriting, ViewDefs};
 use fgc_semiring::{CitationExpr, CommutativeSemiring, Monomial, Polynomial};
@@ -280,6 +281,12 @@ pub struct CitationEngine {
     /// into them, and an active [`fgc_obs::Trace`] additionally
     /// collects a per-request breakdown.
     stages: StageSet,
+    /// Storage backend the snapshot was loaded from or persists to,
+    /// when one is attached ([`Self::with_storage`]). The engine
+    /// itself never writes through it — snapshots are immutable —
+    /// but keeps the handle so `GET /stats` and `GET /metrics` can
+    /// surface backend counters next to the serving stats.
+    storage: Option<Arc<dyn Storage>>,
 }
 
 impl CitationEngine {
@@ -309,6 +316,7 @@ impl CitationEngine {
             shard_counters: ShardCounters::default(),
             plans: PlanCache::new(),
             stages: StageSet::new(CITE_STAGES),
+            storage: None,
         })
     }
 
@@ -363,6 +371,27 @@ impl CitationEngine {
             .write()
             .expect("extent shard lock poisoned") = None;
         Ok(self)
+    }
+
+    /// Attach the storage backend this snapshot came from (builder
+    /// style). Purely observational at the single-snapshot level:
+    /// persistence happens when the owner of the history syncs, but
+    /// the handle lets servers report backend stats alongside cache
+    /// and shard counters.
+    pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// The attached storage backend, if any.
+    pub fn storage(&self) -> Option<&Arc<dyn Storage>> {
+        self.storage.as_ref()
+    }
+
+    /// Counters of the attached storage backend — `None` when the
+    /// engine is purely in-memory with no backend attached.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(|s| s.stats())
     }
 
     /// The underlying database.
@@ -540,6 +569,7 @@ impl CitationEngine {
             shard_counters: ShardCounters::default(),
             plans,
             stages: StageSet::new(CITE_STAGES),
+            storage: self.storage.clone(),
         })
     }
 

@@ -27,6 +27,7 @@ use crate::engine::{CitationEngine, EngineOptions, QueryCitation};
 use crate::error::{CoreError, Result};
 use crate::policy::Policy;
 use fgc_query::ast::ConjunctiveQuery;
+use fgc_relation::storage::{Storage, StorageStats};
 use fgc_relation::version::{VersionId, VersionedDatabase};
 use fgc_views::{Json, ViewRegistry};
 use std::collections::hash_map::Entry;
@@ -119,6 +120,11 @@ pub struct VersionedCitationEngine {
     engines: RwLock<HashMap<VersionId, Arc<CitationEngine>>>,
     derive_threshold: usize,
     counters: VersionCounters,
+    /// Write-behind persistence: after every successful
+    /// [`commit_with`](Self::commit_with) the whole history is synced
+    /// (the backend persists only versions it has not seen — syncs
+    /// are idempotent and incremental).
+    storage: Option<Arc<dyn Storage>>,
 }
 
 impl VersionedCitationEngine {
@@ -133,7 +139,41 @@ impl VersionedCitationEngine {
             engines: RwLock::new(HashMap::new()),
             derive_threshold: DEFAULT_DERIVE_THRESHOLD,
             counters: VersionCounters::default(),
+            storage: None,
         }
+    }
+
+    /// Reopen an engine from a persisted history — the disk cold
+    /// start: the backend's manifest is replayed into a
+    /// [`VersionedDatabase`] (no loader involved) and the backend
+    /// stays attached for subsequent commits.
+    pub fn from_storage(storage: Arc<dyn Storage>, registry: ViewRegistry) -> Result<Self> {
+        let history = storage.load_history()?;
+        let mut engine = VersionedCitationEngine::new(history, registry);
+        engine.storage = Some(storage);
+        Ok(engine)
+    }
+
+    /// Attach a storage backend (builder style) and persist the
+    /// current history through it immediately. Subsequent
+    /// [`commit_with`](Self::commit_with) calls sync write-behind:
+    /// the commit happens in memory first, then the new version is
+    /// appended to the backend.
+    pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> Result<Self> {
+        storage.sync(&self.history)?;
+        self.storage = Some(storage);
+        Ok(self)
+    }
+
+    /// The attached storage backend, if any.
+    pub fn storage(&self) -> Option<&Arc<dyn Storage>> {
+        self.storage.as_ref()
+    }
+
+    /// Counters of the attached storage backend — `None` for a purely
+    /// in-memory engine with no backend attached.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(|s| s.stats())
     }
 
     /// Replace the policy for subsequently-built engines.
@@ -190,7 +230,13 @@ impl VersionedCitationEngine {
     where
         F: FnOnce(&mut fgc_relation::Database) -> fgc_relation::error::Result<()>,
     {
-        Ok(self.history.commit_with(timestamp, label, mutate)?)
+        let id = self.history.commit_with(timestamp, label, mutate)?;
+        // Write-behind: the in-memory commit is the source of truth;
+        // sync persists exactly the versions the backend has not seen.
+        if let Some(storage) = &self.storage {
+            storage.sync(&self.history)?;
+        }
+        Ok(id)
     }
 
     /// Resolve a version id, mapping the relation-layer error to the
@@ -289,11 +335,16 @@ impl VersionedCitationEngine {
             }
             None => {
                 let (_, db) = self.snapshot_of(version)?;
-                let rebuilt = Arc::new(
-                    CitationEngine::new((**db).clone(), self.registry.clone())?
-                        .with_policy(self.policy.clone())
-                        .with_options(self.options),
-                );
+                let mut built = CitationEngine::new((**db).clone(), self.registry.clone())?
+                    .with_policy(self.policy.clone())
+                    .with_options(self.options);
+                // Hand the backend handle down so per-version serving
+                // stats can report storage counters; derived engines
+                // inherit it from their parent.
+                if let Some(storage) = &self.storage {
+                    built = built.with_storage(Arc::clone(storage));
+                }
+                let rebuilt = Arc::new(built);
                 self.counters.rebuilt.fetch_add(1, Ordering::Relaxed);
                 rebuilt
             }
@@ -623,6 +674,41 @@ mod tests {
         assert_eq!(stats.derived, 0, "{stats:?}");
         assert_eq!(stats.fallbacks, 1, "{stats:?}");
         assert_eq!(stats.rebuilt, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn storage_round_trip_reproduces_citations() {
+        use fgc_relation::storage::{MemStorage, Storage};
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let mut e = VersionedCitationEngine::new(history(), registry())
+            .with_storage(Arc::clone(&storage))
+            .unwrap();
+        e.commit_with(300, "v25", |db| {
+            db.insert("Family", tuple!["13", "Kinase", "enzyme"])
+                .map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(e.storage_stats().unwrap().versions, 3);
+        // "restart": reopen from the backend without the original history
+        let reopened = VersionedCitationEngine::from_storage(storage, registry()).unwrap();
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        for v in 0..3 {
+            let a = e.cite_at_version(v, &q).unwrap();
+            let b = reopened.cite_at_version(v, &q).unwrap();
+            assert_eq!(
+                a.stamped_aggregate().to_compact(),
+                b.stamped_aggregate().to_compact()
+            );
+        }
+        // the reopened engine can keep committing through the backend
+        let mut reopened = reopened;
+        reopened
+            .commit_with(400, "v26", |db| {
+                db.insert("Family", tuple!["14", "Histamine", "gpcr"])
+                    .map(|_| ())
+            })
+            .unwrap();
+        assert_eq!(reopened.storage_stats().unwrap().versions, 4);
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub enum RelationError {
     /// A commit delta could not be replayed (structural change, or
     /// the base database is not the delta's parent version).
     DeltaMismatch(String),
+    /// A storage backend failed: unusable data directory, corrupt
+    /// manifest/segment/WAL, or a history that diverged from the
+    /// persisted chain.
+    Storage(String),
 }
 
 impl fmt::Display for RelationError {
@@ -114,6 +118,7 @@ impl fmt::Display for RelationError {
             }
             RelationError::UnknownVersion(v) => write!(f, "unknown database version {v}"),
             RelationError::DeltaMismatch(msg) => write!(f, "delta not applicable: {msg}"),
+            RelationError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod loader;
 pub mod relation;
 pub mod schema;
 pub mod sharded;
+pub mod storage;
 pub mod tuple;
 pub mod value;
 pub mod version;
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use crate::relation::Relation;
     pub use crate::schema::{Attribute, Catalog, ForeignKey, RelationSchema};
     pub use crate::sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
+    pub use crate::storage::{Storage, StorageKind, StorageOptions, StorageStats};
     pub use crate::tuple;
     pub use crate::tuple::Tuple;
     pub use crate::value::{DataType, Value};
@@ -59,6 +61,9 @@ pub use error::RelationError;
 pub use relation::Relation;
 pub use schema::{Attribute, Catalog, ForeignKey, RelationSchema};
 pub use sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
+pub use storage::{
+    DiskStorage, MemSegment, MemStorage, Storage, StorageKind, StorageOptions, StorageStats,
+};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};
 pub use version::{VersionId, VersionInfo, VersionedDatabase};

@@ -5,26 +5,29 @@
 //! enforces key constraints; secondary hash indexes over arbitrary
 //! columns are built on demand and used by the query evaluator for
 //! index-nested-loop joins.
+//!
+//! The row store itself — rows, set guard, key index, secondary
+//! postings — lives in [`crate::storage::MemSegment`]; `Relation`
+//! owns the schema, performs shape checking, and records the
+//! effective-op log for commit deltas. Keeping the data plane in one
+//! place is what lets the disk backend
+//! ([`crate::storage::DiskStorage`]) reload a relation through the
+//! exact same code path that built it.
 
 use crate::delta::{DeltaOp, RelationLog};
 use crate::error::{RelationError, Result};
 use crate::schema::RelationSchema;
+use crate::storage::MemSegment;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One relation instance.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Arc<RelationSchema>,
-    rows: Vec<Tuple>,
-    /// Set-semantics guard: every stored row, for O(1) duplicate checks.
-    row_set: HashMap<Tuple, usize>,
-    /// Primary-key index: key projection -> row position.
-    key_index: HashMap<Tuple, usize>,
-    /// Secondary indexes: column -> (value -> row positions).
-    secondary: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// The row store: rows in insertion order plus hash indexes.
+    segment: MemSegment,
     /// Effective-op log, recording while the owning database captures
     /// a commit delta (see [`crate::Database::begin_delta`]). Lives
     /// here rather than on the database so mutations through
@@ -37,10 +40,7 @@ impl Relation {
     pub fn new(schema: Arc<RelationSchema>) -> Self {
         Relation {
             schema,
-            rows: Vec::new(),
-            row_set: HashMap::new(),
-            key_index: HashMap::new(),
-            secondary: HashMap::new(),
+            segment: MemSegment::new(),
             log: None,
         }
     }
@@ -79,22 +79,22 @@ impl Relation {
 
     /// Number of stored tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.segment.len()
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.segment.is_empty()
     }
 
     /// All tuples in insertion order.
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        self.segment.rows()
     }
 
     /// Iterate over tuples.
     pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.rows.iter()
+        self.segment.rows().iter()
     }
 
     /// Check arity and column types of a candidate tuple (also used
@@ -126,72 +126,23 @@ impl Relation {
     /// Returns `true` if the tuple was actually added.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
         self.check_shape(&tuple)?;
-        if self.row_set.contains_key(&tuple) {
+        if !self.segment.insert(&self.schema, tuple.clone())? {
             return Ok(false);
         }
-        if self.schema.has_key() {
-            let key = tuple.project(&self.schema.key);
-            if self.key_index.contains_key(&key) {
-                return Err(RelationError::KeyViolation {
-                    relation: self.schema.name.clone(),
-                    key: key.to_string(),
-                });
-            }
-            self.key_index.insert(key, self.rows.len());
-        }
-        let pos = self.rows.len();
-        for (&col, index) in &mut self.secondary {
-            index.entry(tuple[col].clone()).or_default().push(pos);
-        }
-        self.row_set.insert(tuple.clone(), pos);
         if let Some(log) = &mut self.log {
-            log.ops.push(DeltaOp::Insert(tuple.clone()));
+            log.ops.push(DeltaOp::Insert(tuple));
         }
-        self.rows.push(tuple);
         Ok(true)
     }
 
     /// Remove a stored tuple. Returns `true` if it was present.
     ///
-    /// Removal preserves insertion order for the surviving rows (the
-    /// global tuple order that evaluation, sharding, and citations
-    /// rely on): the row is taken out of the middle and every stored
-    /// position past it shifts down — O(rows + index entries) per
-    /// removal, the right trade for curated databases whose commits
-    /// remove a handful of tuples.
+    /// Removal preserves insertion order for the surviving rows (see
+    /// [`MemSegment::remove`]).
     pub fn remove(&mut self, tuple: &Tuple) -> Result<bool> {
         self.check_shape(tuple)?;
-        let Some(pos) = self.row_set.remove(tuple) else {
+        if !self.segment.remove(&self.schema, tuple) {
             return Ok(false);
-        };
-        self.rows.remove(pos);
-        if self.schema.has_key() {
-            self.key_index.remove(&tuple.project(&self.schema.key));
-        }
-        for p in self.row_set.values_mut() {
-            if *p > pos {
-                *p -= 1;
-            }
-        }
-        for p in self.key_index.values_mut() {
-            if *p > pos {
-                *p -= 1;
-            }
-        }
-        for (&col, index) in &mut self.secondary {
-            if let Some(list) = index.get_mut(&tuple[col]) {
-                list.retain(|&p| p != pos);
-                if list.is_empty() {
-                    index.remove(&tuple[col]);
-                }
-            }
-            for list in index.values_mut() {
-                for p in list {
-                    if *p > pos {
-                        *p -= 1;
-                    }
-                }
-            }
         }
         if let Some(log) = &mut self.log {
             log.ops.push(DeltaOp::Remove(tuple.clone()));
@@ -201,12 +152,12 @@ impl Relation {
 
     /// Whether an identical tuple is stored.
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.row_set.contains_key(tuple)
+        self.segment.contains(tuple)
     }
 
     /// Look up a row by primary key (key must match schema key arity).
     pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
-        self.key_index.get(key).map(|&i| &self.rows[i])
+        self.segment.get_by_key(key)
     }
 
     /// Ensure a secondary hash index exists on `column` and return it.
@@ -217,44 +168,35 @@ impl Relation {
                 attribute: format!("#{column}"),
             });
         }
-        if self.secondary.contains_key(&column) {
-            return Ok(());
-        }
-        let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
-        for (pos, row) in self.rows.iter().enumerate() {
-            index.entry(row[column].clone()).or_default().push(pos);
-        }
-        self.secondary.insert(column, index);
-        if let Some(log) = &mut self.log {
-            // a mid-commit index build changes evaluation structure in
-            // a way op replay cannot reproduce: force a rebuild
-            log.structural = true;
+        if self.segment.build_index(column) {
+            if let Some(log) = &mut self.log {
+                // a mid-commit index build changes evaluation structure
+                // in a way op replay cannot reproduce: force a rebuild
+                log.structural = true;
+            }
         }
         Ok(())
     }
 
     /// Columns with a secondary hash index, in ascending order. Used
-    /// to mirror index choices onto shard fragments.
+    /// to mirror index choices onto shard fragments and to persist
+    /// index state in segment files.
     pub fn indexed_columns(&self) -> Vec<usize> {
-        let mut cols: Vec<usize> = self.secondary.keys().copied().collect();
-        cols.sort_unstable();
-        cols
+        self.segment.indexed_columns()
     }
 
     /// Row positions whose `column` equals `value`, using a secondary
     /// index if one exists, otherwise `None` (caller should scan).
     pub fn probe(&self, column: usize, value: &Value) -> Option<&[usize]> {
-        self.secondary
-            .get(&column)
-            .map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
+        self.segment.probe(column, value)
     }
 
     /// Rows whose `column` equals `value` (scans if no index exists).
     pub fn select_eq<'a>(&'a self, column: usize, value: &'a Value) -> Vec<&'a Tuple> {
         match self.probe(column, value) {
-            Some(positions) => positions.iter().map(|&i| &self.rows[i]).collect(),
+            Some(positions) => positions.iter().map(|&i| &self.rows()[i]).collect(),
             None => self
-                .rows
+                .rows()
                 .iter()
                 .filter(|row| &row[column] == value)
                 .collect(),

@@ -1,0 +1,1276 @@
+//! Disk-backed storage: append-only segments + WAL under a manifest.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <data-dir>/
+//!   MANIFEST            # the commit point (rewritten atomically)
+//!   wal.log             # checksummed (VersionInfo, DatabaseDelta) records
+//!   segments/v<id>.seg  # full snapshot of one version
+//! ```
+//!
+//! Every persisted version is either a **segment** (a full snapshot:
+//! version 0, whole commits via [`VersionedDatabase::commit`], and
+//! structural commits whose deltas cannot be replayed) or a **WAL
+//! record** (the replayable [`DatabaseDelta`] a
+//! [`VersionedDatabase::commit_with`] recorded). The `MANIFEST` lists
+//! versions in order with a pointer to their source; it is rewritten
+//! to a temp file and renamed on every sync, so the rename is the
+//! atomic commit point — a crash between a WAL append and the
+//! manifest rename leaves trailing WAL bytes that the next open
+//! simply never references.
+//!
+//! ## Durability & fidelity
+//!
+//! Cold start ([`DiskStorage::load_history`]) replays the manifest in
+//! order: segments are decoded through a page-granular buffer cache,
+//! delta versions clone the predecessor snapshot and re-apply the
+//! delta. Because [`crate::Relation`] insert/remove are deterministic
+//! and replay-exact, the reloaded chain is structurally identical to
+//! the persisted one — same row order, same index state — which is
+//! what keeps citations byte-identical after a restart
+//! (`tests/storage_equivalence.rs`). Deltas are preserved across the
+//! reload, so incremental engine derivation keeps working; the one
+//! deliberate loss is *structural* deltas (they are persisted as full
+//! segments and reload with no delta — consumers already rebuild for
+//! those).
+//!
+//! Compaction folds delta versions into full segment files and
+//! truncates the WAL (bounding its growth at the cost of the folded
+//! deltas); it runs on demand via [`Storage::compact`] and
+//! automatically when a sync pushes the WAL past
+//! [`StorageOptions::wal_compact_bytes`].
+//!
+//! The codec is a hand-written length-prefixed little-endian binary
+//! format (the workspace is std-only); integers and floats persist
+//! their exact 64-bit payloads so `Value` equality, ordering, and
+//! hashing survive the round trip bit-for-bit.
+
+use super::{Storage, StorageKind, StorageOptions, StorageStats};
+use crate::database::Database;
+use crate::delta::{DatabaseDelta, DeltaOp, RelationDelta};
+use crate::error::{RelationError, Result};
+use crate::schema::{Attribute, ForeignKey, RelationSchema};
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+use crate::version::{VersionId, VersionInfo, VersionedDatabase};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+const MANIFEST_MAGIC: &[u8; 8] = b"FGCMANI1";
+const SEGMENT_MAGIC: &[u8; 8] = b"FGCSEGM1";
+const MANIFEST_FILE: &str = "MANIFEST";
+const WAL_FILE: &str = "wal.log";
+const SEGMENT_DIR: &str = "segments";
+
+fn io_err(context: impl std::fmt::Display, e: std::io::Error) -> RelationError {
+    RelationError::Storage(format!("{context}: {e}"))
+}
+
+fn corrupt(what: impl std::fmt::Display) -> RelationError {
+    RelationError::Storage(format!("corrupt {what}"))
+}
+
+/// FNV-1a 64-bit — the same family the shard router uses; good
+/// enough to catch torn or bit-rotted WAL records.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(buf, 0),
+        Value::Bool(b) => {
+            put_u8(buf, 1);
+            put_u8(buf, u8::from(*b));
+        }
+        Value::Int(i) => {
+            put_u8(buf, 2);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            put_u8(buf, 3);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Str(s) => {
+            put_u8(buf, 4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+    put_u32(buf, t.arity() as u32);
+    for v in t.iter() {
+        put_value(buf, v);
+    }
+}
+
+fn data_type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Str => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Bool => 3,
+        DataType::Any => 4,
+    }
+}
+
+fn put_schema(buf: &mut Vec<u8>, s: &RelationSchema) {
+    put_str(buf, &s.name);
+    put_u32(buf, s.attributes.len() as u32);
+    for a in &s.attributes {
+        put_str(buf, &a.name);
+        put_u8(buf, data_type_tag(a.ty));
+    }
+    put_u32(buf, s.key.len() as u32);
+    for &k in &s.key {
+        put_u32(buf, k as u32);
+    }
+    put_u32(buf, s.foreign_keys.len() as u32);
+    for fk in &s.foreign_keys {
+        put_u32(buf, fk.columns.len() as u32);
+        for &c in &fk.columns {
+            put_u32(buf, c as u32);
+        }
+        put_str(buf, &fk.references);
+    }
+}
+
+fn put_info(buf: &mut Vec<u8>, info: &VersionInfo) {
+    put_u64(buf, info.id);
+    put_u64(buf, info.timestamp);
+    put_str(buf, &info.label);
+}
+
+fn put_delta(buf: &mut Vec<u8>, delta: &DatabaseDelta) {
+    put_u8(buf, u8::from(delta.is_structural()));
+    let relations: Vec<&RelationDelta> = delta.relations().collect();
+    put_u32(buf, relations.len() as u32);
+    for rd in relations {
+        put_str(buf, &rd.relation);
+        put_u32(buf, rd.ops.len() as u32);
+        for op in &rd.ops {
+            match op {
+                DeltaOp::Insert(t) => {
+                    put_u8(buf, 0);
+                    put_tuple(buf, t);
+                }
+                DeltaOp::Remove(t) => {
+                    put_u8(buf, 1);
+                    put_tuple(buf, t);
+                }
+            }
+        }
+    }
+}
+
+/// Cursor over an encoded byte buffer; every read is bounds-checked
+/// and reports what it was decoding on failure.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], what: &'a str) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt(format!("{}: truncated at byte {}", self.what, self.pos)))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| corrupt(format!("{}: invalid utf-8 string", self.what)))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            3 => Value::Float(f64::from_bits(self.u64()?)),
+            4 => Value::Str(Arc::from(self.string()?.as_str())),
+            tag => return Err(corrupt(format!("{}: unknown value tag {tag}", self.what))),
+        })
+    }
+
+    fn tuple(&mut self) -> Result<Tuple> {
+        let arity = self.u32()? as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(self.value()?);
+        }
+        Ok(Tuple::new(values))
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        Ok(match self.u8()? {
+            0 => DataType::Str,
+            1 => DataType::Int,
+            2 => DataType::Float,
+            3 => DataType::Bool,
+            4 => DataType::Any,
+            tag => return Err(corrupt(format!("{}: unknown type tag {tag}", self.what))),
+        })
+    }
+
+    fn schema(&mut self) -> Result<RelationSchema> {
+        let name = self.string()?;
+        let n_attrs = self.u32()? as usize;
+        let mut attributes = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let attr_name = self.string()?;
+            let ty = self.data_type()?;
+            attributes.push(Attribute::new(attr_name, ty));
+        }
+        let n_key = self.u32()? as usize;
+        let mut key = Vec::with_capacity(n_key);
+        for _ in 0..n_key {
+            key.push(self.u32()? as usize);
+        }
+        let mut schema = RelationSchema::new(name, attributes, key)?;
+        let n_fks = self.u32()? as usize;
+        for _ in 0..n_fks {
+            let n_cols = self.u32()? as usize;
+            let mut columns = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                columns.push(self.u32()? as usize);
+            }
+            let references = self.string()?;
+            schema.foreign_keys.push(ForeignKey {
+                columns,
+                references,
+            });
+        }
+        Ok(schema)
+    }
+
+    fn info(&mut self) -> Result<VersionInfo> {
+        Ok(VersionInfo {
+            id: self.u64()?,
+            timestamp: self.u64()?,
+            label: self.string()?,
+        })
+    }
+
+    fn delta(&mut self) -> Result<DatabaseDelta> {
+        let structural = self.u8()? != 0;
+        let n_rels = self.u32()? as usize;
+        let mut relations = Vec::with_capacity(n_rels);
+        for _ in 0..n_rels {
+            let relation = self.string()?;
+            let n_ops = self.u32()? as usize;
+            let mut ops = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                let tag = self.u8()?;
+                let tuple = self.tuple()?;
+                ops.push(match tag {
+                    0 => DeltaOp::Insert(tuple),
+                    1 => DeltaOp::Remove(tuple),
+                    t => return Err(corrupt(format!("{}: unknown op tag {t}", self.what))),
+                });
+            }
+            relations.push(RelationDelta { relation, ops });
+        }
+        Ok(DatabaseDelta::new(relations, structural))
+    }
+}
+
+/// Serialize a full snapshot: catalog in registration order, then per
+/// relation its indexed columns and rows in insertion order.
+fn encode_segment(db: &Database) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SEGMENT_MAGIC);
+    let schemas: Vec<_> = db.schemas().collect();
+    put_u32(&mut buf, schemas.len() as u32);
+    for schema in schemas {
+        let relation = db.relation(&schema.name)?;
+        put_schema(&mut buf, schema);
+        let indexed = relation.indexed_columns();
+        put_u32(&mut buf, indexed.len() as u32);
+        for col in indexed {
+            put_u32(&mut buf, col as u32);
+        }
+        put_u64(&mut buf, relation.len() as u64);
+        for row in relation.iter() {
+            put_tuple(&mut buf, row);
+        }
+    }
+    Ok(buf)
+}
+
+/// Rebuild a snapshot by feeding persisted rows back through the
+/// normal insert path — the reload is structurally identical (same
+/// row order, same index state) to the database that was encoded.
+fn decode_segment(bytes: &[u8]) -> Result<Database> {
+    let mut r = Reader::new(bytes, "segment");
+    if r.take(SEGMENT_MAGIC.len())? != SEGMENT_MAGIC {
+        return Err(corrupt("segment: bad magic"));
+    }
+    let n_relations = r.u32()? as usize;
+    let mut db = Database::new();
+    for _ in 0..n_relations {
+        let schema = r.schema()?;
+        let name = schema.name.clone();
+        db.create_relation(schema)?;
+        let n_indexed = r.u32()? as usize;
+        let mut indexed = Vec::with_capacity(n_indexed);
+        for _ in 0..n_indexed {
+            indexed.push(r.u32()? as usize);
+        }
+        let n_rows = r.u64()? as usize;
+        let relation = db.relation_mut(&name)?;
+        for col in indexed {
+            relation.build_index(col)?;
+        }
+        for _ in 0..n_rows {
+            let row = r.tuple()?;
+            relation.insert(row)?;
+        }
+    }
+    if !r.done() {
+        return Err(corrupt("segment: trailing bytes"));
+    }
+    Ok(db)
+}
+
+// ---------------------------------------------------------------
+// Buffer cache
+// ---------------------------------------------------------------
+
+/// Page key: (segment version id, page number).
+type PageKey = (u64, u64);
+
+#[derive(Debug)]
+struct PageSlot {
+    key: PageKey,
+    data: Arc<Vec<u8>>,
+    referenced: bool,
+}
+
+/// A small CLOCK (second-chance) page cache over segment files.
+/// Capacity 0 disables it outright — `get` and `put` return
+/// immediately and no arithmetic ever involves the capacity, the
+/// same degenerate-capacity contract as the citation token cache.
+#[derive(Debug)]
+struct PageCache {
+    capacity: usize,
+    slots: Vec<PageSlot>,
+    map: HashMap<PageKey, usize>,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    fn new(capacity: usize) -> Self {
+        PageCache {
+            capacity,
+            slots: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: PageKey) -> Option<Arc<Vec<u8>>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        match self.map.get(&key) {
+            Some(&i) => {
+                self.slots[i].referenced = true;
+                self.hits += 1;
+                Some(Arc::clone(&self.slots[i].data))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: PageKey, data: Arc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].data = data;
+            self.slots[i].referenced = true;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.map.insert(key, self.slots.len());
+            self.slots.push(PageSlot {
+                key,
+                data,
+                referenced: true,
+            });
+            return;
+        }
+        loop {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            if self.slots[self.hand].referenced {
+                self.slots[self.hand].referenced = false;
+                self.hand += 1;
+            } else {
+                let victim = self.hand;
+                self.map.remove(&self.slots[victim].key);
+                self.map.insert(key, victim);
+                self.slots[victim] = PageSlot {
+                    key,
+                    data,
+                    referenced: true,
+                };
+                self.hand = victim + 1;
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// DiskStorage
+// ---------------------------------------------------------------
+
+/// Where one persisted version's data lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VersionSource {
+    /// Full snapshot in `segments/v<id>.seg`.
+    Segment,
+    /// WAL record: byte offset of the record header and payload size.
+    Delta { offset: u64, payload_len: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct ManifestEntry {
+    info: VersionInfo,
+    source: VersionSource,
+}
+
+#[derive(Debug)]
+struct DiskInner {
+    entries: Vec<ManifestEntry>,
+    /// Referenced WAL bytes (trailing unreferenced bytes from an
+    /// interrupted sync are not counted and get truncated away by the
+    /// next compaction).
+    wal_len: u64,
+    compactions: u64,
+    /// Arc-shared copy of the last synced or loaded history — what
+    /// compaction folds into segments.
+    mirror: VersionedDatabase,
+}
+
+/// The disk-backed [`Storage`] implementation. See the module docs
+/// for the layout and durability story.
+#[derive(Debug)]
+pub struct DiskStorage {
+    dir: PathBuf,
+    options: StorageOptions,
+    inner: Mutex<DiskInner>,
+    cache: Mutex<PageCache>,
+}
+
+impl DiskStorage {
+    /// Open (or initialize) a data directory. The directory is
+    /// created if missing; an uncreatable or unwritable path is a
+    /// structured [`RelationError::Storage`], never a panic. If a
+    /// `MANIFEST` is present the persisted version chain becomes
+    /// available to [`Storage::load_history`] without re-running any
+    /// loader.
+    pub fn open(dir: impl AsRef<Path>, options: StorageOptions) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let options = options.clamped();
+        if dir.exists() && !dir.is_dir() {
+            return Err(RelationError::Storage(format!(
+                "data dir `{}` exists but is not a directory",
+                dir.display()
+            )));
+        }
+        fs::create_dir_all(dir.join(SEGMENT_DIR))
+            .map_err(|e| io_err(format!("cannot create data dir `{}`", dir.display()), e))?;
+        // Probe writability up front so a read-only mount fails at
+        // open time with a clear message, not mid-commit.
+        let probe = dir.join(".write-probe");
+        File::create(&probe)
+            .map_err(|e| io_err(format!("data dir `{}` is not writable", dir.display()), e))?;
+        let _ = fs::remove_file(&probe);
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let entries = if manifest_path.exists() {
+            read_manifest(&manifest_path)?
+        } else {
+            Vec::new()
+        };
+        let wal_len = entries
+            .iter()
+            .filter_map(|e| match e.source {
+                VersionSource::Delta {
+                    offset,
+                    payload_len,
+                } => Some(offset + wal_record_len(payload_len)),
+                VersionSource::Segment => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Ok(DiskStorage {
+            dir,
+            cache: Mutex::new(PageCache::new(options.cache_pages)),
+            options,
+            inner: Mutex::new(DiskInner {
+                entries,
+                wal_len,
+                compactions: 0,
+                mirror: VersionedDatabase::new(),
+            }),
+        })
+    }
+
+    /// The data directory this backend persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    fn segment_path(&self, id: VersionId) -> PathBuf {
+        self.dir.join(SEGMENT_DIR).join(format!("v{id}.seg"))
+    }
+
+    /// Write `bytes` to `path` atomically: temp file, fsync, rename.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        let mut f = File::create(&tmp)
+            .map_err(|e| io_err(format!("cannot create `{}`", tmp.display()), e))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err(format!("cannot write `{}`", tmp.display()), e))?;
+        fs::rename(&tmp, path)
+            .map_err(|e| io_err(format!("cannot rename into `{}`", path.display()), e))?;
+        // Make the rename durable: fsync the containing directory.
+        if let Some(parent) = path.parent() {
+            if let Ok(d) = File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn write_segment(&self, id: VersionId, db: &Database) -> Result<()> {
+        let bytes = encode_segment(db)?;
+        self.write_atomic(&self.segment_path(id), &bytes)
+    }
+
+    fn write_manifest(&self, entries: &[ManifestEntry]) -> Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        put_u32(&mut buf, entries.len() as u32);
+        for e in entries {
+            put_info(&mut buf, &e.info);
+            match e.source {
+                VersionSource::Segment => put_u8(&mut buf, 0),
+                VersionSource::Delta {
+                    offset,
+                    payload_len,
+                } => {
+                    put_u8(&mut buf, 1);
+                    put_u64(&mut buf, offset);
+                    put_u32(&mut buf, payload_len);
+                }
+            }
+        }
+        self.write_atomic(&self.dir.join(MANIFEST_FILE), &buf)
+    }
+
+    /// Read one segment file page-by-page through the buffer cache.
+    fn read_segment_bytes(&self, id: VersionId) -> Result<Vec<u8>> {
+        let path = self.segment_path(id);
+        let len = fs::metadata(&path)
+            .map_err(|e| io_err(format!("missing segment `{}`", path.display()), e))?
+            .len() as usize;
+        let page_size = self.options.page_size;
+        let mut out = Vec::with_capacity(len);
+        let mut file: Option<File> = None;
+        for page_no in 0..len.div_ceil(page_size) {
+            let key = (id, page_no as u64);
+            let cached = self.cache.lock().expect("page cache poisoned").get(key);
+            let data = match cached {
+                Some(d) => d,
+                None => {
+                    if file.is_none() {
+                        file = Some(File::open(&path).map_err(|e| {
+                            io_err(format!("cannot open segment `{}`", path.display()), e)
+                        })?);
+                    }
+                    let f = file.as_mut().expect("just opened");
+                    let start = page_no * page_size;
+                    let take = page_size.min(len - start);
+                    let mut buf = vec![0u8; take];
+                    f.seek(SeekFrom::Start(start as u64))
+                        .and_then(|_| f.read_exact(&mut buf))
+                        .map_err(|e| {
+                            io_err(format!("cannot read segment `{}`", path.display()), e)
+                        })?;
+                    let arc = Arc::new(buf);
+                    self.cache
+                        .lock()
+                        .expect("page cache poisoned")
+                        .put(key, Arc::clone(&arc));
+                    arc
+                }
+            };
+            out.extend_from_slice(&data);
+        }
+        Ok(out)
+    }
+
+    fn read_wal_record(
+        &self,
+        offset: u64,
+        payload_len: u32,
+    ) -> Result<(VersionInfo, DatabaseDelta)> {
+        let path = self.wal_path();
+        let mut f = File::open(&path)
+            .map_err(|e| io_err(format!("cannot open WAL `{}`", path.display()), e))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("cannot seek WAL", e))?;
+        let mut header = [0u8; 12];
+        f.read_exact(&mut header)
+            .map_err(|e| io_err("cannot read WAL record header", e))?;
+        let stored_len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        if stored_len != payload_len {
+            return Err(corrupt(format!(
+                "WAL record at {offset}: length {stored_len} != manifest {payload_len}"
+            )));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        f.read_exact(&mut payload)
+            .map_err(|e| io_err("cannot read WAL record payload", e))?;
+        if fnv64(&payload) != checksum {
+            return Err(corrupt(format!(
+                "WAL record at {offset}: checksum mismatch"
+            )));
+        }
+        let mut r = Reader::new(&payload, "WAL record");
+        let info = r.info()?;
+        let delta = r.delta()?;
+        if !r.done() {
+            return Err(corrupt("WAL record: trailing bytes"));
+        }
+        Ok((info, delta))
+    }
+
+    /// Reconstruct the chain described by `entries` (manifest order).
+    fn load_from_entries(&self, entries: &[ManifestEntry]) -> Result<VersionedDatabase> {
+        let mut history = VersionedDatabase::new();
+        for entry in entries {
+            match entry.source {
+                VersionSource::Segment => {
+                    let bytes = self.read_segment_bytes(entry.info.id)?;
+                    let db = decode_segment(&bytes)?;
+                    history.restore(entry.info.clone(), Arc::new(db), None)?;
+                }
+                VersionSource::Delta {
+                    offset,
+                    payload_len,
+                } => {
+                    let (wal_info, delta) = self.read_wal_record(offset, payload_len)?;
+                    if wal_info != entry.info {
+                        return Err(corrupt(format!(
+                            "WAL record at {offset} carries {wal_info} but manifest expects {}",
+                            entry.info
+                        )));
+                    }
+                    let parent = history
+                        .head()
+                        .map(|(_, db)| Arc::clone(db))
+                        .ok_or_else(|| corrupt("manifest: delta version with no parent"))?;
+                    let mut db = (*parent).clone();
+                    db.apply_delta(&delta)?;
+                    history.restore(entry.info.clone(), Arc::new(db), Some(Arc::new(delta)))?;
+                }
+            }
+        }
+        Ok(history)
+    }
+
+    /// Fold every delta-backed version into a full segment file, then
+    /// truncate the WAL and republish the manifest.
+    fn compact_locked(&self, inner: &mut DiskInner) -> Result<()> {
+        let DiskInner {
+            entries, mirror, ..
+        } = &mut *inner;
+        let mut folded = false;
+        for entry in entries.iter_mut() {
+            if matches!(entry.source, VersionSource::Delta { .. }) {
+                let (_, db) = mirror.snapshot(entry.info.id)?;
+                self.write_segment(entry.info.id, db)?;
+                entry.source = VersionSource::Segment;
+                folded = true;
+            }
+        }
+        if !folded && inner.wal_len == 0 {
+            return Ok(());
+        }
+        let wal = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.wal_path())
+            .map_err(|e| io_err("cannot truncate WAL", e))?;
+        wal.sync_all().map_err(|e| io_err("cannot sync WAL", e))?;
+        self.write_manifest(&inner.entries)?;
+        inner.wal_len = 0;
+        inner.compactions += 1;
+        Ok(())
+    }
+}
+
+fn wal_record_len(payload_len: u32) -> u64 {
+    12 + u64::from(payload_len)
+}
+
+fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>> {
+    let bytes =
+        fs::read(path).map_err(|e| io_err(format!("cannot read `{}`", path.display()), e))?;
+    let mut r = Reader::new(&bytes, "manifest");
+    if r.take(MANIFEST_MAGIC.len())? != MANIFEST_MAGIC {
+        return Err(corrupt("manifest: bad magic"));
+    }
+    let count = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let info = r.info()?;
+        let source = match r.u8()? {
+            0 => VersionSource::Segment,
+            1 => VersionSource::Delta {
+                offset: r.u64()?,
+                payload_len: r.u32()?,
+            },
+            tag => return Err(corrupt(format!("manifest: unknown source tag {tag}"))),
+        };
+        entries.push(ManifestEntry { info, source });
+    }
+    if !r.done() {
+        return Err(corrupt("manifest: trailing bytes"));
+    }
+    Ok(entries)
+}
+
+impl Storage for DiskStorage {
+    fn kind(&self) -> StorageKind {
+        StorageKind::Disk
+    }
+
+    fn sync(&self, history: &VersionedDatabase) -> Result<()> {
+        let mut inner = self.inner.lock().expect("disk storage poisoned");
+        let have = inner.entries.len();
+        if history.len() < have {
+            return Err(RelationError::Storage(format!(
+                "history has {} versions but {have} are already persisted",
+                history.len()
+            )));
+        }
+        if have > 0 {
+            let (info, _) = history.snapshot((have - 1) as VersionId)?;
+            if *info != inner.entries[have - 1].info {
+                return Err(RelationError::Storage(format!(
+                    "history diverged from the persisted chain at version {}",
+                    have - 1
+                )));
+            }
+        }
+        if history.len() == have {
+            inner.mirror = history.clone();
+            return Ok(());
+        }
+        let mut wal: Option<File> = None;
+        for id in have..history.len() {
+            let id = id as VersionId;
+            let (info, db) = history.snapshot(id)?;
+            // Version 0 and whole/structural commits persist as full
+            // segments; replayable deltas go to the WAL.
+            let replayable = history.delta(id).filter(|d| !d.is_structural());
+            let source = match replayable {
+                Some(delta) => {
+                    let mut payload = Vec::new();
+                    put_info(&mut payload, info);
+                    put_delta(&mut payload, delta);
+                    let mut record = Vec::with_capacity(12 + payload.len());
+                    put_u32(&mut record, payload.len() as u32);
+                    put_u64(&mut record, fnv64(&payload));
+                    record.extend_from_slice(&payload);
+                    if wal.is_none() {
+                        wal = Some(
+                            OpenOptions::new()
+                                .create(true)
+                                .append(true)
+                                .open(self.wal_path())
+                                .map_err(|e| io_err("cannot open WAL for append", e))?,
+                        );
+                    }
+                    let f = wal.as_mut().expect("just opened");
+                    f.write_all(&record)
+                        .map_err(|e| io_err("cannot append WAL record", e))?;
+                    let offset = inner.wal_len;
+                    inner.wal_len += record.len() as u64;
+                    VersionSource::Delta {
+                        offset,
+                        payload_len: payload.len() as u32,
+                    }
+                }
+                None => {
+                    self.write_segment(id, db)?;
+                    VersionSource::Segment
+                }
+            };
+            inner.entries.push(ManifestEntry {
+                info: info.clone(),
+                source,
+            });
+        }
+        if let Some(f) = wal {
+            f.sync_all().map_err(|e| io_err("cannot sync WAL", e))?;
+        }
+        self.write_manifest(&inner.entries)?;
+        inner.mirror = history.clone();
+        if inner.wal_len > self.options.wal_compact_bytes {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    fn load_history(&self) -> Result<VersionedDatabase> {
+        let mut inner = self.inner.lock().expect("disk storage poisoned");
+        let history = self.load_from_entries(&inner.entries)?;
+        inner.mirror = history.clone();
+        Ok(history)
+    }
+
+    fn stats(&self) -> StorageStats {
+        let inner = self.inner.lock().expect("disk storage poisoned");
+        let segments = inner
+            .entries
+            .iter()
+            .filter(|e| matches!(e.source, VersionSource::Segment))
+            .count();
+        let wal_records = inner.entries.len() - segments;
+        let mut disk_bytes = 0u64;
+        for path in [self.dir.join(MANIFEST_FILE), self.wal_path()] {
+            disk_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        }
+        if let Ok(dir) = fs::read_dir(self.dir.join(SEGMENT_DIR)) {
+            for entry in dir.flatten() {
+                disk_bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        let cache = self.cache.lock().expect("page cache poisoned");
+        StorageStats {
+            kind: StorageKind::Disk,
+            versions: inner.entries.len(),
+            segments,
+            wal_records,
+            wal_bytes: inner.wal_len,
+            disk_bytes,
+            cache_pages: cache.capacity,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            compactions: inner.compactions,
+        }
+    }
+
+    fn compact(&self) -> Result<()> {
+        let mut inner = self.inner.lock().expect("disk storage poisoned");
+        if inner.mirror.len() < inner.entries.len() {
+            inner.mirror = self.load_from_entries(&inner.entries)?;
+        }
+        self.compact_locked(&mut inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Hand-rolled unique temp dirs (std-only workspace: no tempfile).
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("fgc-storage-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::with_names(
+                "Family",
+                &[
+                    ("FID", DataType::Str),
+                    ("FName", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["FID"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut fc = RelationSchema::with_names(
+            "FC",
+            &[("FID", DataType::Str), ("PID", DataType::Str)],
+            &["FID", "PID"],
+        )
+        .unwrap();
+        fc.add_foreign_key(&["FID"], "Family").unwrap();
+        db.create_relation(fc).unwrap();
+        db.insert("Family", tuple!["11", "Calcitonin", "gpcr"])
+            .unwrap();
+        db.insert("Family", tuple!["12", "Orexin", "gpcr"]).unwrap();
+        db.insert("FC", tuple!["11", "p1"]).unwrap();
+        db.build_default_indexes().unwrap();
+        db
+    }
+
+    fn history() -> VersionedDatabase {
+        let mut h = VersionedDatabase::new();
+        h.commit(base(), 100, "v0").unwrap();
+        h.commit_with(200, "v1", |db| {
+            db.insert("Family", tuple!["13", "Kinase", "enzyme"])
+                .map(|_| ())
+        })
+        .unwrap();
+        h.commit_with(300, "v2", |db| {
+            db.remove("Family", &tuple!["11", "Calcitonin", "gpcr"])
+                .map(|_| ())
+        })
+        .unwrap();
+        h
+    }
+
+    fn assert_same_history(a: &VersionedDatabase, b: &VersionedDatabase) {
+        assert_eq!(a.len(), b.len());
+        for ((ia, da), (ib, db_)) in a.iter().zip(b.iter()) {
+            assert_eq!(ia, ib);
+            assert!(da.content_eq(db_), "snapshot {} differs", ia.id);
+            for schema in da.schemas() {
+                assert_eq!(
+                    da.relation(&schema.name).unwrap().indexed_columns(),
+                    db_.relation(&schema.name).unwrap().indexed_columns(),
+                    "index state of `{}` differs at {}",
+                    schema.name,
+                    ia.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_codec_round_trips_structurally() {
+        let db = base();
+        let bytes = encode_segment(&db).unwrap();
+        let back = decode_segment(&bytes).unwrap();
+        assert!(back.content_eq(&db));
+        assert_eq!(
+            back.relation("FC").unwrap().indexed_columns(),
+            db.relation("FC").unwrap().indexed_columns()
+        );
+        assert_eq!(
+            back.relation("Family").unwrap().schema().foreign_keys,
+            db.relation("Family").unwrap().schema().foreign_keys
+        );
+    }
+
+    #[test]
+    fn value_codec_preserves_exact_numerics() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Int(7),
+            Value::float(2.0),
+            Value::float(-0.0),
+            Value::float(f64::NAN),
+            Value::str("hello \u{1F52C} world"),
+            Value::str(""),
+        ] {
+            let mut buf = Vec::new();
+            put_value(&mut buf, &v);
+            let back = Reader::new(&buf, "test").value().unwrap();
+            assert_eq!(back, v, "{v:?}");
+            // Int(7) must come back as Int, not Float, even though
+            // they compare equal — citations render them differently.
+            assert_eq!(std::mem::discriminant(&back), std::mem::discriminant(&v));
+        }
+    }
+
+    #[test]
+    fn sync_then_cold_open_reproduces_the_chain_with_deltas() {
+        let dir = temp_dir("cold");
+        let h = history();
+        {
+            let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+            storage.sync(&h).unwrap();
+            // idempotent
+            storage.sync(&h).unwrap();
+            let stats = storage.stats();
+            assert_eq!(stats.versions, 3);
+            assert_eq!(stats.segments, 1, "only v0 is a full segment");
+            assert_eq!(stats.wal_records, 2);
+            assert!(stats.wal_bytes > 0);
+            assert!(stats.disk_bytes > 0);
+        }
+        // process "restart": a brand new handle over the same dir
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(storage.stats().versions, 3);
+        let loaded = storage.load_history().unwrap();
+        assert_same_history(&h, &loaded);
+        // replayable deltas survive the reload
+        assert!(loaded.delta(1).is_some());
+        assert_eq!(loaded.delta(1).unwrap().inserted(), 1);
+        assert!(loaded.delta(2).is_some());
+        assert_eq!(loaded.delta(2).unwrap().removed(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_sync_appends_only_new_versions() {
+        let dir = temp_dir("incr");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        let mut h = VersionedDatabase::new();
+        h.commit(base(), 100, "v0").unwrap();
+        storage.sync(&h).unwrap();
+        let wal_before = storage.stats().wal_bytes;
+        h.commit_with(200, "v1", |db| {
+            db.insert("FC", tuple!["12", "p9"]).map(|_| ())
+        })
+        .unwrap();
+        storage.sync(&h).unwrap();
+        let stats = storage.stats();
+        assert_eq!(stats.versions, 2);
+        assert!(stats.wal_bytes > wal_before);
+        assert_same_history(&h, &storage.load_history().unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn structural_commits_persist_as_segments() {
+        let dir = temp_dir("structural");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        let mut h = VersionedDatabase::new();
+        h.commit(base(), 100, "v0").unwrap();
+        h.commit_with(200, "schema-change", |db| {
+            db.create_relation(
+                RelationSchema::with_names("Extra", &[("x", DataType::Int)], &[]).unwrap(),
+            )
+        })
+        .unwrap();
+        storage.sync(&h).unwrap();
+        let stats = storage.stats();
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.wal_records, 0);
+        let loaded = storage.load_history().unwrap();
+        assert_same_history(&h, &loaded);
+        // the structural delta itself is not preserved (documented)
+        assert!(loaded.delta(1).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_folds_deltas_and_truncates_the_wal() {
+        let dir = temp_dir("compact");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        let h = history();
+        storage.sync(&h).unwrap();
+        assert!(storage.stats().wal_bytes > 0);
+        storage.compact().unwrap();
+        let stats = storage.stats();
+        assert_eq!(stats.segments, 3);
+        assert_eq!(stats.wal_records, 0);
+        assert_eq!(stats.wal_bytes, 0);
+        assert_eq!(stats.compactions, 1);
+        // a second compact is a no-op
+        storage.compact().unwrap();
+        assert_eq!(storage.stats().compactions, 1);
+        // cold open still reproduces every snapshot
+        let reopened = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        assert_same_history(&h, &reopened.load_history().unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_wal_threshold_triggers_auto_compaction_with_floor() {
+        let dir = temp_dir("autocompact");
+        let options = StorageOptions {
+            wal_compact_bytes: 0, // floored to MIN_WAL_COMPACT_BYTES
+            ..StorageOptions::default()
+        };
+        let storage = DiskStorage::open(&dir, options).unwrap();
+        let mut h = VersionedDatabase::new();
+        h.commit(base(), 100, "v0").unwrap();
+        storage.sync(&h).unwrap();
+        // push enough delta bytes past the 4 KiB floor to compact
+        for i in 0..40u64 {
+            h.commit_with(100 + i + 1, format!("v{}", i + 1), |db| {
+                let pad = "x".repeat(120);
+                db.insert("FC", tuple![format!("11"), format!("p-{i}-{pad}")])
+                    .map(|_| ())
+            })
+            .unwrap();
+        }
+        storage.sync(&h).unwrap();
+        let stats = storage.stats();
+        assert!(stats.compactions >= 1, "{stats:?}");
+        assert_eq!(stats.wal_bytes, 0);
+        assert_same_history(&h, &storage.load_history().unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_the_buffer_cache() {
+        let dir = temp_dir("nocache");
+        let options = StorageOptions {
+            cache_pages: 0,
+            ..StorageOptions::default()
+        };
+        let storage = DiskStorage::open(&dir, options).unwrap();
+        let h = history();
+        storage.sync(&h).unwrap();
+        storage.load_history().unwrap();
+        storage.load_history().unwrap();
+        let stats = storage.stats();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_loads_hit_the_buffer_cache() {
+        let dir = temp_dir("cachehit");
+        let options = StorageOptions {
+            page_size: 0, // floored to MIN_PAGE_SIZE
+            ..StorageOptions::default()
+        };
+        let storage = DiskStorage::open(&dir, options).unwrap();
+        let h = history();
+        storage.sync(&h).unwrap();
+        storage.load_history().unwrap();
+        let cold = storage.stats();
+        assert!(cold.cache_misses > 0);
+        storage.load_history().unwrap();
+        let warm = storage.stats();
+        assert!(warm.cache_hits > cold.cache_hits);
+        assert!(warm.cache_hit_rate() > 0.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_data_dir_is_a_structured_error() {
+        let dir = temp_dir("notadir");
+        fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        fs::write(&dir, b"i am a file").unwrap();
+        let err = DiskStorage::open(&dir, StorageOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::Storage(_)), "{err}");
+        // a path whose parent is a file cannot be created either
+        let err = DiskStorage::open(dir.join("sub"), StorageOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("storage error"), "{err}");
+        let _ = fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn diverged_history_is_refused() {
+        let dir = temp_dir("diverge");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        storage.sync(&history()).unwrap();
+        let mut other = VersionedDatabase::new();
+        other.commit(base(), 100, "not-v0").unwrap();
+        other.commit_with(150, "fork", |_| Ok(())).unwrap();
+        other.commit_with(160, "fork2", |_| Ok(())).unwrap();
+        assert!(matches!(
+            storage.sync(&other).unwrap_err(),
+            RelationError::Storage(_)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_corruption_is_detected_at_load() {
+        let dir = temp_dir("corrupt");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        storage.sync(&history()).unwrap();
+        drop(storage);
+        // flip one byte in the last WAL record's payload
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = fs::read(&wal_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&wal_path, &bytes).unwrap();
+        let reopened = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        let err = reopened.load_history().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

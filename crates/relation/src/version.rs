@@ -131,6 +131,40 @@ impl VersionedDatabase {
         Ok(id)
     }
 
+    /// Append a version reconstructed by a storage backend: metadata,
+    /// snapshot, and (when the backend preserved one) the delta that
+    /// produced it. Enforces the same invariants as live commits —
+    /// sequential ids and non-decreasing timestamps — so a reloaded
+    /// chain is indistinguishable from the one that was persisted.
+    pub(crate) fn restore(
+        &mut self,
+        info: VersionInfo,
+        snapshot: Arc<Database>,
+        delta: Option<Arc<DatabaseDelta>>,
+    ) -> Result<()> {
+        if info.id != self.versions.len() as VersionId {
+            return Err(RelationError::Storage(format!(
+                "restored version id {} out of order (expected {})",
+                info.id,
+                self.versions.len()
+            )));
+        }
+        if let Some(last) = self.versions.last() {
+            if info.timestamp < last.info.timestamp {
+                return Err(RelationError::Storage(format!(
+                    "restored version timestamp {} precedes previous timestamp {}",
+                    info.timestamp, last.info.timestamp
+                )));
+            }
+        }
+        self.versions.push(VersionEntry {
+            info,
+            snapshot,
+            delta,
+        });
+        Ok(())
+    }
+
     /// Number of committed versions.
     pub fn len(&self) -> usize {
         self.versions.len()

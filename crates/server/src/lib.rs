@@ -70,7 +70,8 @@ pub use batch::{Batcher, Overloaded};
 pub use client::{Client, ClientResponse};
 pub use json::{parse_json, JsonError};
 pub use server::{
-    slow_log_body, write_engine_metrics, CiteServer, RouteHandler, ServerConfig, SLOW_LOG_CAPACITY,
+    slow_log_body, write_engine_metrics, write_storage_metrics, CiteServer, RouteHandler,
+    ServerConfig, SLOW_LOG_CAPACITY,
 };
 pub use stats::{EndpointStats, ServerStats};
 pub use wire::{

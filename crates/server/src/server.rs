@@ -30,6 +30,7 @@ use crate::stats::{EndpointStats, ServerStats};
 use crate::wire::{decode_cite_request, encode_response_with, error_body, QueryKind};
 use fgc_core::{CitationEngine, VersionedCitationEngine};
 use fgc_obs::{next_request_id, PromWriter, SlowEntry, SlowLog};
+use fgc_relation::storage::StorageStats;
 use fgc_views::Json;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -785,6 +786,34 @@ fn serve_stats(ctx: &WorkerContext) -> String {
             ]),
         );
     }
+    // backend stats live on the versioned engine when serving a
+    // history, otherwise on the single engine's attached handle
+    let storage = ctx
+        .versioned
+        .as_ref()
+        .and_then(|v| v.storage_stats())
+        .or_else(|| ctx.engine.storage_stats());
+    if let Some(storage) = storage {
+        body.set(
+            "storage",
+            Json::from_pairs([
+                ("backend", Json::str(storage.kind.to_string())),
+                ("versions", Json::Int(storage.versions as i64)),
+                ("segments", Json::Int(storage.segments as i64)),
+                ("wal_records", Json::Int(storage.wal_records as i64)),
+                ("wal_bytes", Json::Int(storage.wal_bytes as i64)),
+                ("disk_bytes", Json::Int(storage.disk_bytes as i64)),
+                ("compactions", Json::Int(storage.compactions as i64)),
+                ("cache_pages", Json::Int(storage.cache_pages as i64)),
+                ("cache_hits", Json::Int(storage.cache_hits as i64)),
+                ("cache_misses", Json::Int(storage.cache_misses as i64)),
+                (
+                    "cache_hit_rate",
+                    Json::Float((storage.cache_hit_rate() * 1000.0).round() / 1000.0),
+                ),
+            ]),
+        );
+    }
     body.set("served", Json::Int(ctx.stats.served() as i64));
     body.set(
         "mean_batch_size",
@@ -844,6 +873,13 @@ fn serve_metrics(ctx: &WorkerContext) -> String {
     let base = [("role", ctx.role.as_str()), ("shard", shard.as_str())];
     ctx.stats.write_prometheus(&mut w, &base);
     write_engine_metrics(&mut w, &base, &ctx.engine);
+    // versioned deployments hold the backend handle on the versioned
+    // engine; emit its families when the head engine carries none
+    if ctx.engine.storage_stats().is_none() {
+        if let Some(stats) = ctx.versioned.as_ref().and_then(|v| v.storage_stats()) {
+            write_storage_metrics(&mut w, &base, &stats);
+        }
+    }
     w.finish()
 }
 
@@ -925,6 +961,74 @@ pub fn write_engine_metrics(w: &mut PromWriter, base: &[(&str, &str)], engine: &
             "Query-plan compile latency on a plan-cache miss.",
         );
         w.histogram("fgcite_plan_compile_seconds", base, &compile, 1e-9);
+    }
+    if let Some(stats) = engine.storage_stats() {
+        write_storage_metrics(w, base, &stats);
+    }
+}
+
+/// Append the storage-backend metric families (`fgcite_storage_*`)
+/// to a Prometheus exposition. Every sample carries a `backend`
+/// label (`mem` or `disk`); the WAL/segment/buffer-cache families
+/// stay at zero for the in-memory backend.
+pub fn write_storage_metrics(w: &mut PromWriter, base: &[(&str, &str)], stats: &StorageStats) {
+    let backend = stats.kind.to_string();
+    let mut labels = base.to_vec();
+    labels.push(("backend", backend.as_str()));
+    for (name, help, value) in [
+        (
+            "fgcite_storage_versions",
+            "Versions the storage backend holds.",
+            stats.versions as u64,
+        ),
+        (
+            "fgcite_storage_segments",
+            "Full segment files in the manifest.",
+            stats.segments as u64,
+        ),
+        (
+            "fgcite_storage_wal_records",
+            "Delta records currently served from the WAL.",
+            stats.wal_records as u64,
+        ),
+        (
+            "fgcite_storage_wal_bytes",
+            "Referenced bytes in the write-ahead log.",
+            stats.wal_bytes,
+        ),
+        (
+            "fgcite_storage_disk_bytes",
+            "Bytes on disk across manifest, WAL, and segments.",
+            stats.disk_bytes,
+        ),
+        (
+            "fgcite_storage_cache_pages",
+            "Buffer-cache capacity in pages (0 = disabled).",
+            stats.cache_pages as u64,
+        ),
+    ] {
+        w.help(name, "gauge", help);
+        w.int(name, &labels, value);
+    }
+    for (name, help, value) in [
+        (
+            "fgcite_storage_cache_hits_total",
+            "Buffer-cache page hits.",
+            stats.cache_hits,
+        ),
+        (
+            "fgcite_storage_cache_misses_total",
+            "Buffer-cache page misses.",
+            stats.cache_misses,
+        ),
+        (
+            "fgcite_storage_compactions_total",
+            "WAL compactions folded into segments.",
+            stats.compactions,
+        ),
+    ] {
+        w.help(name, "counter", help);
+        w.int(name, &labels, value);
     }
 }
 

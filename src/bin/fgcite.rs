@@ -25,11 +25,13 @@ fn serve(raw: Vec<String>) -> Result<(), fgcite::cli::CliError> {
         return Ok(());
     }
     let replica = args.get("role") == Some("replica");
-    let data = read_file(args.require("data")?)?;
+    // --data is optional when a disk data dir can cold-start the
+    // store; run_serve errors out when the loader turns out needed.
+    let data = args.get("data").map(read_file).transpose()?;
     let views = read_file(args.require("views")?)?;
     let commits = args.get("commits").map(read_file).transpose()?;
     let versioned = commits.is_some();
-    let server = fgcite::cli::run_serve(&args, &data, &views, commits.as_deref())?;
+    let server = fgcite::cli::run_serve(&args, data.as_deref(), &views, commits.as_deref())?;
     println!("fgcite serving on http://{}", server.addr());
     if versioned {
         println!(

@@ -18,6 +18,7 @@ use fgc_core::{
 };
 use fgc_query::{parse_program, parse_query};
 use fgc_relation::loader::{load_commits, load_text};
+use fgc_relation::storage::{self, Storage, StorageKind, StorageOptions};
 use fgc_relation::{Database, VersionedDatabase};
 use fgc_views::{parse_view_file, to_text, to_xml, TextStyle, ViewRegistry};
 use std::collections::HashMap;
@@ -124,6 +125,7 @@ usage:
                  [--threads N] [--batch-window MS]
                  [--shards N [--shard-key Rel=Col,Rel2=Col2]]
                  [--commits FILE]
+                 [--storage mem|disk [--data-dir DIR]]
                  [--role replica --shard-id I/N [--shard-key SPEC]]
   fgcite serve   --role coordinator --replicas HOST:PORT,...
                  [--twins HOST:PORT|-,...] [--replica-timeout-ms MS]
@@ -168,7 +170,18 @@ distributed serving (scatter/gather tier):
        --data/--views (the catalog comes from GET /fragment/meta).
        `--twins` names one failover twin per shard (`-` = none);
        `--replica-timeout-ms` bounds each scatter call. Per-replica
-       circuit state appears under `replicas` in GET /stats.";
+       circuit state appears under `replicas` in GET /stats.
+storage backends:
+       --storage selects where snapshots live: `mem` (default, the
+       in-memory reference store) or `disk` (append-only segment
+       files plus a delta WAL under --data-dir, required for disk).
+       First run loads --data (and --commits) and persists it; a
+       restart with the same --data-dir cold-starts from the
+       manifest — the text loader never runs, and --data/--commits
+       may be omitted. Versioned deployments persist each commit
+       write-behind. Backend counters (segments, WAL bytes,
+       buffer-cache hit rate) appear under `storage` in GET /stats
+       and as `fgcite_storage_*` in GET /metrics.";
 
 fn load_database(text: &str) -> Result<Database, CliError> {
     let mut db = Database::new();
@@ -214,6 +227,54 @@ fn build_history(data: &str, commits: &str) -> Result<VersionedDatabase, CliErro
     history.commit(db, 0, "base")?;
     load_commits(&mut history, commits)?;
     Ok(history)
+}
+
+/// Open the storage backend the `--storage` / `--data-dir` flags
+/// select; `None` when serving without one (the default). `--storage
+/// disk` without `--data-dir`, an unknown backend name, and an
+/// unusable directory are all structured errors, never panics.
+fn open_storage(args: &Args) -> Result<Option<std::sync::Arc<dyn Storage>>, CliError> {
+    let Some(kind) = args.get("storage") else {
+        if args.get("data-dir").is_some() {
+            return Err(CliError("--data-dir requires --storage disk".into()));
+        }
+        return Ok(None);
+    };
+    let kind: StorageKind = kind.parse()?;
+    let dir = args.get("data-dir").map(std::path::Path::new);
+    Ok(Some(storage::open(kind, dir, StorageOptions::default())?))
+}
+
+/// The base snapshot for single-engine (and replica) serving when a
+/// storage backend is configured: a non-empty manifest is the source
+/// of truth (cold start — the text loader never runs); otherwise the
+/// `--data` text is loaded and persisted as a 1-version history
+/// before serving.
+fn base_snapshot(
+    storage: Option<&std::sync::Arc<dyn Storage>>,
+    data: Option<&str>,
+) -> Result<Database, CliError> {
+    if let Some(s) = storage {
+        if s.stats().versions > 0 {
+            let history = s.load_history()?;
+            let (_, head) = history.head().expect("non-empty manifest has a head");
+            return Ok((**head).clone());
+        }
+    }
+    let data = data.ok_or_else(|| {
+        CliError("--data is required (no persisted history to cold-start from)".into())
+    })?;
+    let db = load_database(data)?;
+    match storage {
+        Some(s) => {
+            let mut history = VersionedDatabase::new();
+            history.commit(db, 0, "base")?;
+            s.sync(&history)?;
+            let (_, head) = history.head().expect("just committed");
+            Ok((**head).clone())
+        }
+        None => Ok(db),
+    }
 }
 
 /// `fgcite cite`: returns the rendered citation output.
@@ -456,7 +517,7 @@ pub fn apply_shards(args: &Args, engine: CitationEngine) -> Result<CitationEngin
 /// `/cite_at` serves the history.
 pub fn run_serve(
     args: &Args,
-    data: &str,
+    data: Option<&str>,
     views: &str,
     commits: Option<&str>,
 ) -> Result<fgc_server::CiteServer, CliError> {
@@ -481,19 +542,43 @@ pub fn run_serve(
     }
     let config = serve_config(args)?;
     let registry = load_registry(views)?;
-    if let Some(commits) = commits {
+    let storage = open_storage(args)?;
+    // Versioned serving: requested via --commits, or implied by a
+    // persisted multi-version history in the data dir.
+    let versioned_persisted = storage.as_ref().is_some_and(|s| s.stats().versions > 1);
+    if commits.is_some() || versioned_persisted {
         if args.get("shards").is_some() || args.get("shard-key").is_some() {
             return Err(CliError(
-                "--shards is not supported together with --commits".into(),
+                "--shards is not supported together with a versioned history".into(),
             ));
         }
-        let history = build_history(data, commits)?;
-        let versioned = VersionedCitationEngine::new(history, registry);
+        let versioned = match &storage {
+            // warm manifest: cold start from disk, the loader never runs
+            Some(s) if s.stats().versions > 0 => {
+                VersionedCitationEngine::new(s.load_history()?, registry)
+                    .with_storage(std::sync::Arc::clone(s))?
+            }
+            _ => {
+                let data = data.ok_or_else(|| {
+                    CliError("--data is required (no persisted history to cold-start from)".into())
+                })?;
+                let commits = commits.expect("versioned without a persisted history has commits");
+                let mut engine =
+                    VersionedCitationEngine::new(build_history(data, commits)?, registry);
+                if let Some(s) = &storage {
+                    engine = engine.with_storage(std::sync::Arc::clone(s))?;
+                }
+                engine
+            }
+        };
         return fgc_server::CiteServer::start_versioned(std::sync::Arc::new(versioned), config)
             .map_err(|e| CliError(format!("cannot start server: {e}")));
     }
-    let db = load_database(data)?;
-    let engine = apply_shards(args, CitationEngine::new(db, registry)?)?;
+    let db = base_snapshot(storage.as_ref(), data)?;
+    let mut engine = apply_shards(args, CitationEngine::new(db, registry)?)?;
+    if let Some(s) = storage {
+        engine = engine.with_storage(s);
+    }
     fgc_server::CiteServer::start(std::sync::Arc::new(engine), config)
         .map_err(|e| CliError(format!("cannot start server: {e}")))
 }
@@ -523,7 +608,7 @@ fn parse_shard_id(text: &str) -> Result<(usize, usize), CliError> {
 /// `/fragment/*` endpoints a coordinator scatters to.
 fn run_serve_replica(
     args: &Args,
-    data: &str,
+    data: Option<&str>,
     views: &str,
     commits: Option<&str>,
 ) -> Result<fgc_server::CiteServer, CliError> {
@@ -548,8 +633,15 @@ fn run_serve_replica(
     let config = serve_config(args)?
         .with_role("replica")
         .with_shard(shard, shards);
-    let db = load_database(data)?;
-    let engine = CitationEngine::new(db, load_registry(views)?)?.with_shards(shards, spec)?;
+    // Replicas persist (and cold-start) the full snapshot; the N-way
+    // partitioning is re-derived locally either way, so shard I is
+    // identical across restarts and backends.
+    let storage = open_storage(args)?;
+    let db = base_snapshot(storage.as_ref(), data)?;
+    let mut engine = CitationEngine::new(db, load_registry(views)?)?.with_shards(shards, spec)?;
+    if let Some(s) = storage {
+        engine = engine.with_storage(s);
+    }
     let engine = std::sync::Arc::new(engine);
     fgc_server::CiteServer::start_with_handler(
         std::sync::Arc::clone(&engine),
@@ -947,7 +1039,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
                 .map(|s| s.to_string()),
         )
         .unwrap();
-        let server = run_serve(&args, DATA, VIEWS, Some(COMMITS)).unwrap();
+        let server = run_serve(&args, Some(DATA), VIEWS, Some(COMMITS)).unwrap();
         let mut client = fgc_server::Client::connect(server.addr()).unwrap();
         // historical citation via /cite_at
         let response = client
@@ -976,7 +1068,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
                 .map(|s| s.to_string()),
         )
         .unwrap();
-        assert!(run_serve(&sharded, DATA, VIEWS, Some(COMMITS)).is_err());
+        assert!(run_serve(&sharded, Some(DATA), VIEWS, Some(COMMITS)).is_err());
     }
 
     #[test]
@@ -1131,7 +1223,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
             .map(|s| s.to_string()),
         )
         .unwrap();
-        let server = run_serve(&args, DATA, VIEWS, None).unwrap();
+        let server = run_serve(&args, Some(DATA), VIEWS, None).unwrap();
         let mut client = fgc_server::Client::connect(server.addr()).unwrap();
         let response = client.get("/healthz").unwrap();
         assert_eq!(response.status, 200);
@@ -1184,7 +1276,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
             .map(|s| s.to_string()),
         )
         .unwrap();
-        let server = run_serve(&args, DATA, VIEWS, None).unwrap();
+        let server = run_serve(&args, Some(DATA), VIEWS, None).unwrap();
         let mut client = fgc_server::Client::connect(server.addr()).unwrap();
         // a cite through the sharded engine answers normally...
         let response = client
@@ -1231,8 +1323,8 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
 
     #[test]
     fn serve_replica_and_coordinator_roles() {
-        let r0 = run_serve(&replica_args(0, 2), DATA, VIEWS, None).unwrap();
-        let r1 = run_serve(&replica_args(1, 2), DATA, VIEWS, None).unwrap();
+        let r0 = run_serve(&replica_args(0, 2), Some(DATA), VIEWS, None).unwrap();
+        let r1 = run_serve(&replica_args(1, 2), Some(DATA), VIEWS, None).unwrap();
 
         // a replica advertises its role and shard ownership
         let mut client = fgc_server::Client::connect(r0.addr()).unwrap();
@@ -1277,7 +1369,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
         let serve_with = |extra: &[&str]| {
             let mut line = vec!["serve".to_string(), "--addr=127.0.0.1:0".to_string()];
             line.extend(extra.iter().map(|s| s.to_string()));
-            run_serve(&parse_args(&line), DATA, VIEWS, None)
+            run_serve(&parse_args(&line), Some(DATA), VIEWS, None)
         };
         // malformed or out-of-range shard ids
         for bad in ["2/2", "x/2", "1", "1/0", "/2", "1/"] {
@@ -1296,7 +1388,7 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
             "--role=replica".to_string(),
             "--shard-id=0/2".to_string(),
         ]);
-        assert!(run_serve(&versioned, DATA, VIEWS, Some(COMMITS)).is_err());
+        assert!(run_serve(&versioned, Some(DATA), VIEWS, Some(COMMITS)).is_err());
         // the coordinator role never goes through run_serve...
         let err = serve_with(&["--role=coordinator"]).unwrap_err();
         assert!(err.0.contains("run_serve_coordinator"), "{err}");
