@@ -216,9 +216,55 @@ fn split_fields(line: &str) -> Vec<String> {
 /// it is left exactly as passed in, so a caller can fix the file and
 /// retry without double-applying earlier commits.
 pub fn load_commits(history: &mut VersionedDatabase, text: &str) -> Result<usize> {
-    // (timestamp, label, ops); op = (lineno, insert?, relation, tuple)
-    type Op = (usize, bool, String, Tuple);
-    let mut commits: Vec<(u64, String, Vec<Op>)> = Vec::new();
+    let commits = parse_commits(text)?;
+    apply_commits(history, commits)
+}
+
+/// Catch a history up to a commits file it may already partially (or
+/// fully) contain: version `i + 1` of the chain is expected to be the
+/// file's section `i`. Sections already in the chain are verified —
+/// timestamp and label must match the recorded [`VersionInfo`], a
+/// mismatch is a structured error, never a silent skip — and only the
+/// sections past the head are applied (all-or-nothing, like
+/// [`load_commits`]). Returns the number of commits newly applied;
+/// `0` when the chain already contains the whole file.
+///
+/// This is the `serve --commits` restart path: a persisted history
+/// (even just the base version a non-versioned run wrote) plus the
+/// same commits file resumes exactly where the chain left off,
+/// without re-running the text loader.
+pub fn resume_commits(history: &mut VersionedDatabase, text: &str) -> Result<usize> {
+    if history.is_empty() {
+        return Err(RelationError::Storage(
+            "cannot resume commits on an empty history (no base version to anchor them)".into(),
+        ));
+    }
+    let commits = parse_commits(text)?;
+    let have = history.len() - 1; // sections already in the chain
+    for (i, (timestamp, label, _)) in commits.iter().take(have).enumerate() {
+        let (info, _) = history.snapshot((i + 1) as crate::version::VersionId)?;
+        if info.timestamp != *timestamp || info.label != *label {
+            return Err(RelationError::Storage(format!(
+                "commit section {} (`{label}` @ {timestamp}) conflicts with already-applied \
+                 version {} (`{}` @ {}): the commits file and the history have diverged",
+                i + 1,
+                info.id,
+                info.label,
+                info.timestamp,
+            )));
+        }
+    }
+    apply_commits(history, commits.into_iter().skip(have).collect())
+}
+
+// (timestamp, label, ops); op = (lineno, insert?, relation, tuple)
+type CommitOp = (usize, bool, String, Tuple);
+type CommitSection = (u64, String, Vec<CommitOp>);
+
+/// Parse the commits text format into its sections without touching
+/// any history.
+fn parse_commits(text: &str) -> Result<Vec<CommitSection>> {
+    let mut commits: Vec<CommitSection> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = lineno + 1;
@@ -268,6 +314,12 @@ pub fn load_commits(history: &mut VersionedDatabase, text: &str) -> Result<usize
             .2
             .push((lineno, insert, relation, Tuple::new(values)));
     }
+    Ok(commits)
+}
+
+/// Stage `commits` on a copy of the history and swap on success —
+/// the all-or-nothing contract both loaders document.
+fn apply_commits(history: &mut VersionedDatabase, commits: Vec<CommitSection>) -> Result<usize> {
     let applied = commits.len();
     let mut staged = history.clone();
     for (timestamp, label, ops) in commits {
@@ -395,6 +447,60 @@ mod tests {
         let d1 = history.delta(1).unwrap();
         assert_eq!((d1.inserted(), d1.removed()), (2, 0));
         assert_eq!((history.delta(2).unwrap().removed()), 1);
+    }
+
+    #[test]
+    fn resume_commits_applies_only_the_missing_tail() {
+        const COMMITS: &str = "@commit 200 r1\n+ Family | \"12\" | \"Orexin\" | \"gpcr\"\n\
+                               @commit 300 r2\n+ Family | \"13\" | \"Melatonin\" | \"gpcr\"";
+        let mut db = db();
+        load_text(
+            &mut db,
+            "@relation Family\n\"11\" | \"Calcitonin\" | \"gpcr\"",
+        )
+        .unwrap();
+        // a chain that already contains the file's first section
+        let mut partial = VersionedDatabase::new();
+        partial.commit(db.clone(), 100, "base").unwrap();
+        assert_eq!(
+            load_commits(
+                &mut partial,
+                "@commit 200 r1\n+ Family | \"12\" | \"Orexin\" | \"gpcr\""
+            )
+            .unwrap(),
+            1
+        );
+        assert_eq!(resume_commits(&mut partial, COMMITS).unwrap(), 1);
+        assert_eq!(partial.len(), 3);
+        // it now matches the chain built from scratch
+        let mut full = VersionedDatabase::new();
+        full.commit(db, 100, "base").unwrap();
+        load_commits(&mut full, COMMITS).unwrap();
+        assert!(partial.head().unwrap().1.content_eq(full.head().unwrap().1));
+        // resuming again is a no-op
+        assert_eq!(resume_commits(&mut partial, COMMITS).unwrap(), 0);
+        assert_eq!(partial.len(), 3);
+        // a chain with *extra* versions past the file is fine too
+        partial.commit_with(400, "live", |_| Ok(())).unwrap();
+        assert_eq!(resume_commits(&mut partial, COMMITS).unwrap(), 0);
+    }
+
+    #[test]
+    fn resume_commits_refuses_a_divergent_file_and_empty_history() {
+        let mut history = VersionedDatabase::new();
+        history.commit(db(), 100, "base").unwrap();
+        load_commits(&mut history, "@commit 200 r1\n+ MetaData | \"a\" | \"b\"").unwrap();
+        // same position, different label: conflict, not silent skip
+        let err = resume_commits(
+            &mut history,
+            "@commit 200 other\n+ MetaData | \"a\" | \"b\"",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+        assert_eq!(history.len(), 2, "history untouched on conflict");
+        // an empty history has no base to anchor the sections
+        let mut empty = VersionedDatabase::new();
+        assert!(resume_commits(&mut empty, "@commit 200 r1\n+ MetaData | \"a\" | \"b\"").is_err());
     }
 
     #[test]

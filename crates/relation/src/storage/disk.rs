@@ -18,7 +18,12 @@
 //! to a temp file and renamed on every sync, so the rename is the
 //! atomic commit point — a crash between a WAL append and the
 //! manifest rename leaves trailing WAL bytes that the next open
-//! simply never references.
+//! truncates away (and appends always land at the last referenced
+//! offset, never blindly at end-of-file, so manifest offsets and the
+//! bytes they point at cannot drift apart). Compaction likewise
+//! publishes its all-segment manifest *before* truncating the WAL: a
+//! crash in between leaves dead WAL bytes, never a manifest pointing
+//! into an emptied WAL.
 //!
 //! ## Durability & fidelity
 //!
@@ -222,6 +227,15 @@ impl<'a> Reader<'a> {
         self.pos == self.buf.len()
     }
 
+    /// Capacity hint for `declared` elements of at least `min_size`
+    /// encoded bytes each, clamped by the bytes actually remaining —
+    /// a corrupt or hostile length prefix yields the structured
+    /// truncation error downstream instead of a multi-gigabyte
+    /// allocation here.
+    fn capacity_hint(&self, declared: usize, min_size: usize) -> usize {
+        declared.min((self.buf.len() - self.pos) / min_size.max(1))
+    }
+
     fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
@@ -254,7 +268,7 @@ impl<'a> Reader<'a> {
 
     fn tuple(&mut self) -> Result<Tuple> {
         let arity = self.u32()? as usize;
-        let mut values = Vec::with_capacity(arity);
+        let mut values = Vec::with_capacity(self.capacity_hint(arity, 1));
         for _ in 0..arity {
             values.push(self.value()?);
         }
@@ -275,14 +289,14 @@ impl<'a> Reader<'a> {
     fn schema(&mut self) -> Result<RelationSchema> {
         let name = self.string()?;
         let n_attrs = self.u32()? as usize;
-        let mut attributes = Vec::with_capacity(n_attrs);
+        let mut attributes = Vec::with_capacity(self.capacity_hint(n_attrs, 5));
         for _ in 0..n_attrs {
             let attr_name = self.string()?;
             let ty = self.data_type()?;
             attributes.push(Attribute::new(attr_name, ty));
         }
         let n_key = self.u32()? as usize;
-        let mut key = Vec::with_capacity(n_key);
+        let mut key = Vec::with_capacity(self.capacity_hint(n_key, 4));
         for _ in 0..n_key {
             key.push(self.u32()? as usize);
         }
@@ -290,7 +304,7 @@ impl<'a> Reader<'a> {
         let n_fks = self.u32()? as usize;
         for _ in 0..n_fks {
             let n_cols = self.u32()? as usize;
-            let mut columns = Vec::with_capacity(n_cols);
+            let mut columns = Vec::with_capacity(self.capacity_hint(n_cols, 4));
             for _ in 0..n_cols {
                 columns.push(self.u32()? as usize);
             }
@@ -314,11 +328,11 @@ impl<'a> Reader<'a> {
     fn delta(&mut self) -> Result<DatabaseDelta> {
         let structural = self.u8()? != 0;
         let n_rels = self.u32()? as usize;
-        let mut relations = Vec::with_capacity(n_rels);
+        let mut relations = Vec::with_capacity(self.capacity_hint(n_rels, 8));
         for _ in 0..n_rels {
             let relation = self.string()?;
             let n_ops = self.u32()? as usize;
-            let mut ops = Vec::with_capacity(n_ops);
+            let mut ops = Vec::with_capacity(self.capacity_hint(n_ops, 5));
             for _ in 0..n_ops {
                 let tag = self.u8()?;
                 let tuple = self.tuple()?;
@@ -372,7 +386,7 @@ fn decode_segment(bytes: &[u8]) -> Result<Database> {
         let name = schema.name.clone();
         db.create_relation(schema)?;
         let n_indexed = r.u32()? as usize;
-        let mut indexed = Vec::with_capacity(n_indexed);
+        let mut indexed = Vec::with_capacity(r.capacity_hint(n_indexed, 4));
         for _ in 0..n_indexed {
             indexed.push(r.u32()? as usize);
         }
@@ -512,9 +526,9 @@ struct ManifestEntry {
 #[derive(Debug)]
 struct DiskInner {
     entries: Vec<ManifestEntry>,
-    /// Referenced WAL bytes (trailing unreferenced bytes from an
-    /// interrupted sync are not counted and get truncated away by the
-    /// next compaction).
+    /// Referenced WAL bytes — also the exact offset the next record
+    /// is written at (trailing unreferenced bytes from an interrupted
+    /// sync are truncated at open and before each append).
     wal_len: u64,
     compactions: u64,
     /// Arc-shared copy of the last synced or loaded history — what
@@ -573,6 +587,25 @@ impl DiskStorage {
             })
             .max()
             .unwrap_or(0);
+        // Drop WAL bytes past the last manifest-referenced record
+        // (leftovers of a crash between a WAL append and the manifest
+        // rename). Future appends then land exactly at `wal_len`, so
+        // the offsets the next manifest records always point at the
+        // bytes that were actually written. A WAL *shorter* than
+        // `wal_len` is left alone: extending it would only turn a
+        // clean read-error into a checksum mismatch at load time.
+        let wal_path = dir.join(WAL_FILE);
+        if let Ok(meta) = fs::metadata(&wal_path) {
+            if meta.len() > wal_len {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)
+                    .map_err(|e| io_err("cannot open WAL to drop trailing bytes", e))?;
+                f.set_len(wal_len)
+                    .and_then(|()| f.sync_all())
+                    .map_err(|e| io_err("cannot drop trailing WAL bytes", e))?;
+            }
+        }
         Ok(DiskStorage {
             dir,
             cache: Mutex::new(PageCache::new(options.cache_pages)),
@@ -624,24 +657,7 @@ impl DiskStorage {
     }
 
     fn write_manifest(&self, entries: &[ManifestEntry]) -> Result<()> {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MANIFEST_MAGIC);
-        put_u32(&mut buf, entries.len() as u32);
-        for e in entries {
-            put_info(&mut buf, &e.info);
-            match e.source {
-                VersionSource::Segment => put_u8(&mut buf, 0),
-                VersionSource::Delta {
-                    offset,
-                    payload_len,
-                } => {
-                    put_u8(&mut buf, 1);
-                    put_u64(&mut buf, offset);
-                    put_u32(&mut buf, payload_len);
-                }
-            }
-        }
-        self.write_atomic(&self.dir.join(MANIFEST_FILE), &buf)
+        self.write_atomic(&self.dir.join(MANIFEST_FILE), &encode_manifest(entries))
     }
 
     /// Read one segment file page-by-page through the buffer cache.
@@ -694,6 +710,21 @@ impl DiskStorage {
         let path = self.wal_path();
         let mut f = File::open(&path)
             .map_err(|e| io_err(format!("cannot open WAL `{}`", path.display()), e))?;
+        // Bounds-check the declared record extent against the real
+        // file before allocating the payload buffer: a corrupt
+        // manifest cannot demand a multi-gigabyte allocation.
+        let file_len = f
+            .metadata()
+            .map_err(|e| io_err("cannot stat WAL", e))?
+            .len();
+        if offset
+            .checked_add(wal_record_len(payload_len))
+            .is_none_or(|end| end > file_len)
+        {
+            return Err(corrupt(format!(
+                "WAL record at {offset}: extends past the {file_len}-byte WAL"
+            )));
+        }
         f.seek(SeekFrom::Start(offset))
             .map_err(|e| io_err("cannot seek WAL", e))?;
         let mut header = [0u8; 12];
@@ -775,6 +806,13 @@ impl DiskStorage {
         if !folded && inner.wal_len == 0 {
             return Ok(());
         }
+        // Publish the all-segment manifest *before* touching the WAL:
+        // the manifest rename is the commit point, so a crash before
+        // the truncate below merely leaves dead WAL bytes that the
+        // next open drops. Truncating first would leave the old
+        // manifest's delta offsets pointing into an empty WAL —
+        // turning a healthy store unrecoverable.
+        self.write_manifest(&inner.entries)?;
         let wal = OpenOptions::new()
             .write(true)
             .create(true)
@@ -782,7 +820,6 @@ impl DiskStorage {
             .open(self.wal_path())
             .map_err(|e| io_err("cannot truncate WAL", e))?;
         wal.sync_all().map_err(|e| io_err("cannot sync WAL", e))?;
-        self.write_manifest(&inner.entries)?;
         inner.wal_len = 0;
         inner.compactions += 1;
         Ok(())
@@ -793,6 +830,27 @@ fn wal_record_len(payload_len: u32) -> u64 {
     12 + u64::from(payload_len)
 }
 
+fn encode_manifest(entries: &[ManifestEntry]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    put_u32(&mut buf, entries.len() as u32);
+    for e in entries {
+        put_info(&mut buf, &e.info);
+        match e.source {
+            VersionSource::Segment => put_u8(&mut buf, 0),
+            VersionSource::Delta {
+                offset,
+                payload_len,
+            } => {
+                put_u8(&mut buf, 1);
+                put_u64(&mut buf, offset);
+                put_u32(&mut buf, payload_len);
+            }
+        }
+    }
+    buf
+}
+
 fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>> {
     let bytes =
         fs::read(path).map_err(|e| io_err(format!("cannot read `{}`", path.display()), e))?;
@@ -801,7 +859,8 @@ fn read_manifest(path: &Path) -> Result<Vec<ManifestEntry>> {
         return Err(corrupt("manifest: bad magic"));
     }
     let count = r.u32()? as usize;
-    let mut entries = Vec::with_capacity(count);
+    // 21 = the smallest encodable entry (info with empty label + tag).
+    let mut entries = Vec::with_capacity(r.capacity_hint(count, 21));
     for _ in 0..count {
         let info = r.info()?;
         let source = match r.u8()? {
@@ -834,13 +893,27 @@ impl Storage for DiskStorage {
                 history.len()
             )));
         }
-        if have > 0 {
-            let (info, _) = history.snapshot((have - 1) as VersionId)?;
-            if *info != inner.entries[have - 1].info {
+        // Refuse to fork: every overlapping version must match the
+        // persisted chain — metadata against the manifest and, where
+        // the in-memory mirror covers the overlap, snapshot content
+        // too (snapshots are Arc-shared, so the common case is a
+        // pointer comparison). After a cold open with no
+        // `load_history` the mirror is empty and the content check
+        // degrades to metadata-only.
+        for (i, entry) in inner.entries.iter().enumerate() {
+            let (info, db) = history.snapshot(i as VersionId)?;
+            if *info != entry.info {
                 return Err(RelationError::Storage(format!(
-                    "history diverged from the persisted chain at version {}",
-                    have - 1
+                    "history diverged from the persisted chain at version {i}"
                 )));
+            }
+            if let Ok((_, mirrored)) = inner.mirror.snapshot(i as VersionId) {
+                if !Arc::ptr_eq(db, mirrored) && !db.content_eq(mirrored) {
+                    return Err(RelationError::Storage(format!(
+                        "history diverged from the persisted chain at version {i} \
+                         (same metadata, different content)"
+                    )));
+                }
             }
         }
         if history.len() == have {
@@ -864,13 +937,22 @@ impl Storage for DiskStorage {
                     put_u64(&mut record, fnv64(&payload));
                     record.extend_from_slice(&payload);
                     if wal.is_none() {
-                        wal = Some(
-                            OpenOptions::new()
-                                .create(true)
-                                .append(true)
-                                .open(self.wal_path())
-                                .map_err(|e| io_err("cannot open WAL for append", e))?,
-                        );
+                        // Write at `wal_len`, not at EOF: a failed
+                        // partial append from an earlier sync may
+                        // have left unreferenced bytes past the last
+                        // committed record, and the offsets recorded
+                        // in the manifest must match where these
+                        // bytes actually land.
+                        let mut f = OpenOptions::new()
+                            .write(true)
+                            .create(true)
+                            .truncate(false)
+                            .open(self.wal_path())
+                            .map_err(|e| io_err("cannot open WAL for append", e))?;
+                        f.set_len(inner.wal_len)
+                            .and_then(|()| f.seek(SeekFrom::Start(inner.wal_len)))
+                            .map_err(|e| io_err("cannot position WAL for append", e))?;
+                        wal = Some(f);
                     }
                     let f = wal.as_mut().expect("just opened");
                     f.write_all(&record)
@@ -1253,6 +1335,131 @@ mod tests {
             storage.sync(&other).unwrap_err(),
             RelationError::Storage(_)
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_trailing_wal_bytes_are_dropped_not_built_upon() {
+        let dir = temp_dir("stalewal");
+        let mut h = VersionedDatabase::new();
+        h.commit(base(), 100, "v0").unwrap();
+        h.commit_with(200, "v1", |db| {
+            db.insert("FC", tuple!["12", "p7"]).map(|_| ())
+        })
+        .unwrap();
+        {
+            let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+            storage.sync(&h).unwrap();
+        }
+        // simulate a crash between a WAL append and the manifest
+        // rename: unreferenced bytes trail the last committed record
+        let wal_path = dir.join(WAL_FILE);
+        let committed = fs::metadata(&wal_path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&wal_path).unwrap();
+        f.write_all(b"torn record from a crashed sync").unwrap();
+        drop(f);
+        // reopen: the trailing bytes are dropped, so the next sync's
+        // manifest offsets point at the bytes it actually writes
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        assert_eq!(fs::metadata(&wal_path).unwrap().len(), committed);
+        h.commit_with(300, "v2", |db| {
+            db.insert("FC", tuple!["12", "p8"]).map(|_| ())
+        })
+        .unwrap();
+        storage.sync(&h).unwrap();
+        assert_same_history(&h, &storage.load_history().unwrap());
+        // and so does a cold reopen
+        let reopened = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        assert_same_history(&h, &reopened.load_history().unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_after_compaction_manifest_leaves_a_loadable_store() {
+        let dir = temp_dir("compactcrash");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        let h = history();
+        storage.sync(&h).unwrap();
+        storage.compact().unwrap();
+        drop(storage);
+        // simulate the crash window after the all-segment manifest
+        // landed but before the WAL truncate: stale record bytes are
+        // still sitting in wal.log
+        fs::write(dir.join(WAL_FILE), b"stale pre-compaction records").unwrap();
+        let reopened = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        assert_same_history(&h, &reopened.load_history().unwrap());
+        // no manifest entry references the WAL, and open dropped it
+        assert_eq!(reopened.stats().wal_bytes, 0);
+        assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_metadata_different_content_is_refused() {
+        let dir = temp_dir("fork");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        storage.sync(&history()).unwrap();
+        // identical infos (timestamps + labels), different tuples
+        let mut forged = Database::new();
+        forged
+            .create_relation(
+                RelationSchema::with_names("Other", &[("x", DataType::Int)], &["x"]).unwrap(),
+            )
+            .unwrap();
+        let mut fork = VersionedDatabase::new();
+        fork.commit(forged, 100, "v0").unwrap();
+        fork.commit_with(200, "v1", |db| db.insert("Other", tuple![1]).map(|_| ()))
+            .unwrap();
+        fork.commit_with(300, "v2", |db| db.insert("Other", tuple![2]).map(|_| ()))
+            .unwrap();
+        let err = storage.sync(&fork).unwrap_err();
+        assert!(err.to_string().contains("different content"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_length_prefixes_error_instead_of_allocating() {
+        // a tuple claiming u32::MAX values in a 4-byte buffer
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let err = Reader::new(&buf, "tuple").tuple().unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // a manifest claiming u32::MAX entries right before EOF
+        let dir = temp_dir("hostile");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        storage.sync(&history()).unwrap();
+        drop(storage);
+        let manifest = dir.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&manifest).unwrap();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&manifest, &bytes).unwrap();
+        let err = DiskStorage::open(&dir, StorageOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::Storage(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_payload_len_is_bounded_by_the_wal_file() {
+        let dir = temp_dir("walbound");
+        let storage = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        storage.sync(&history()).unwrap();
+        drop(storage);
+        // corrupt the first delta entry's payload_len to a huge value
+        // without touching the WAL itself
+        let manifest = dir.join(MANIFEST_FILE);
+        let mut entries = read_manifest(&manifest).unwrap();
+        let source = entries
+            .iter_mut()
+            .find_map(|e| match &mut e.source {
+                VersionSource::Delta { payload_len, .. } => Some(payload_len),
+                VersionSource::Segment => None,
+            })
+            .expect("history has a delta entry");
+        *source = u32::MAX - 12;
+        fs::write(&manifest, encode_manifest(&entries)).unwrap();
+        let reopened = DiskStorage::open(&dir, StorageOptions::default()).unwrap();
+        let err = reopened.load_history().unwrap_err();
+        assert!(err.to_string().contains("extends past"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -201,6 +201,23 @@ impl Storage for MemStorage {
                 mirror.len()
             )));
         }
+        // Refuse to fork: every already-synced version must match,
+        // metadata and content. Snapshots are Arc-shared, so the
+        // common case is a pointer comparison per version.
+        for (i, (info, db)) in mirror.iter().enumerate() {
+            let (new_info, new_db) = history.snapshot(i as crate::version::VersionId)?;
+            if new_info != info {
+                return Err(RelationError::Storage(format!(
+                    "history diverged from the synced chain at version {i}"
+                )));
+            }
+            if !std::sync::Arc::ptr_eq(new_db, db) && !new_db.content_eq(db) {
+                return Err(RelationError::Storage(format!(
+                    "history diverged from the synced chain at version {i} \
+                     (same metadata, different content)"
+                )));
+            }
+        }
         // Snapshots are Arc-shared: this mirrors pointers, not data.
         *mirror = history.clone();
         Ok(())
@@ -252,6 +269,24 @@ mod tests {
         assert!(loaded.delta(1).is_some());
         assert_eq!(storage.stats().versions, 2);
         assert_eq!(storage.stats().kind, StorageKind::Mem);
+    }
+
+    #[test]
+    fn mem_storage_rejects_forked_content_with_matching_metadata() {
+        let storage = MemStorage::new();
+        let mut h = VersionedDatabase::new();
+        h.commit(base(), 100, "v0").unwrap();
+        h.commit_with(200, "v1", |db| db.insert("R", tuple![1]).map(|_| ()))
+            .unwrap();
+        storage.sync(&h).unwrap();
+        // same infos (timestamps + labels), different tuple data
+        let mut fork = VersionedDatabase::new();
+        fork.commit(base(), 100, "v0").unwrap();
+        fork.commit_with(200, "v1", |db| db.insert("R", tuple![2]).map(|_| ()))
+            .unwrap();
+        fork.commit_with(300, "v2", |_| Ok(())).unwrap();
+        let err = storage.sync(&fork).unwrap_err();
+        assert!(err.to_string().contains("different content"), "{err}");
     }
 
     #[test]

@@ -190,7 +190,13 @@ pub trait Storage: Send + Sync + fmt::Debug {
     /// seen. Idempotent: syncing the same history twice writes
     /// nothing the second time. Errors if `history` is not an
     /// append-only extension of what was previously synced (the
-    /// backend refuses to silently fork its system of record).
+    /// backend refuses to silently fork its system of record):
+    /// overlapping versions are verified by metadata *and* snapshot
+    /// content — Arc-shared snapshots make the content check a
+    /// pointer comparison in the common case. One documented gap:
+    /// [`DiskStorage`] freshly opened over an existing manifest has
+    /// no in-memory mirror until [`Storage::load_history`] runs, so
+    /// until then its overlap check is metadata-only.
     fn sync(&self, history: &VersionedDatabase) -> Result<()>;
 
     /// Reconstruct the full persisted version chain. For

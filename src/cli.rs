@@ -17,7 +17,7 @@ use fgc_core::{
     VersionedCitationEngine,
 };
 use fgc_query::{parse_program, parse_query};
-use fgc_relation::loader::{load_commits, load_text};
+use fgc_relation::loader::{load_commits, load_text, resume_commits};
 use fgc_relation::storage::{self, Storage, StorageKind, StorageOptions};
 use fgc_relation::{Database, VersionedDatabase};
 use fgc_views::{parse_view_file, to_text, to_xml, TextStyle, ViewRegistry};
@@ -177,8 +177,10 @@ storage backends:
        files plus a delta WAL under --data-dir, required for disk).
        First run loads --data (and --commits) and persists it; a
        restart with the same --data-dir cold-starts from the
-       manifest — the text loader never runs, and --data/--commits
-       may be omitted. Versioned deployments persist each commit
+       manifest — the text loader never runs, --data may be omitted,
+       and a --commits file resumes where the persisted chain left
+       off (new sections applied, a divergent file refused).
+       Versioned deployments persist each commit
        write-behind. Backend counters (segments, WAL bytes,
        buffer-cache hit rate) appear under `storage` in GET /stats
        and as `fgcite_storage_*` in GET /metrics.";
@@ -553,9 +555,18 @@ pub fn run_serve(
             ));
         }
         let versioned = match &storage {
-            // warm manifest: cold start from disk, the loader never runs
+            // Warm manifest: cold start from disk, the loader never
+            // runs. A --commits file is still honored — the persisted
+            // chain is verified against it and any sections past the
+            // persisted head are applied (and re-persisted via
+            // with_storage's sync); a divergent file is a structured
+            // error, never silently ignored.
             Some(s) if s.stats().versions > 0 => {
-                VersionedCitationEngine::new(s.load_history()?, registry)
+                let mut history = s.load_history()?;
+                if let Some(commits) = commits {
+                    resume_commits(&mut history, commits)?;
+                }
+                VersionedCitationEngine::new(history, registry)
                     .with_storage(std::sync::Arc::clone(s))?
             }
             _ => {
@@ -1069,6 +1080,48 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
         )
         .unwrap();
         assert!(run_serve(&sharded, Some(DATA), VIEWS, Some(COMMITS)).is_err());
+    }
+
+    #[test]
+    fn serve_resumes_commits_over_a_persisted_history() {
+        let dir = std::env::temp_dir().join(format!("fgc-cli-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = Args::parse(
+            [
+                "serve",
+                "--addr=127.0.0.1:0",
+                "--threads=2",
+                "--storage=disk",
+                &format!("--data-dir={}", dir.display()),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        // first run: non-versioned, persists the base snapshot only
+        let server = run_serve(&args, Some(DATA), VIEWS, None).unwrap();
+        server.shutdown();
+        // second run: same data dir plus --commits — the persisted
+        // base is caught up to the file, not served as a 1-version
+        // history with the flag silently dropped
+        let server = run_serve(&args, None, VIEWS, Some(COMMITS)).unwrap();
+        let mut client = fgc_server::Client::connect(server.addr()).unwrap();
+        let versions = client.get("/versions").unwrap();
+        assert_eq!(versions.status, 200);
+        assert!(versions.body.contains("\"count\": 3"), "{}", versions.body);
+        drop(client);
+        server.shutdown();
+        // third run: a commits file that conflicts with the now
+        // fully-persisted chain is a structured error
+        let err = run_serve(
+            &args,
+            None,
+            VIEWS,
+            Some("@commit 100 other\n+ Family | \"99\" | \"X\" | \"gpcr\""),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
