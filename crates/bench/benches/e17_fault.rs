@@ -1,0 +1,71 @@
+//! E17 — the fault plane's own overhead.
+//!
+//! The PR 9 fault plane guards every storage, distribution, and
+//! deadline site with `fgc_fault::check`. The claim that justifies
+//! shipping those checks unconditionally (no build flag, no cfg
+//! gate): an unconfigured plane costs one relaxed atomic load per
+//! site, and even a fully armed plane only pays a short mutex'd map
+//! lookup at the sites it names. A warm end-to-end `cite` with the
+//! plane idle vs observing pins that the difference is noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgc_core::{Policy, RewriteMode};
+use fgc_fault::{FaultAction, Trigger};
+use fgc_gtopdb::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_e17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_fault");
+    group.sample_size(10);
+
+    let plane = fgc_fault::global();
+    plane.reset();
+
+    // the production configuration: nothing armed, plane inactive —
+    // this is the cost every guarded site pays in a normal deployment
+    group.bench_function("check_idle", |b| {
+        b.iter(|| black_box(fgc_fault::check(black_box("e17.bench.point"))))
+    });
+
+    // observe-only: per-point hit counters without any injection
+    group.bench_function("check_observing", |b| {
+        plane.set_observe_all(true);
+        b.iter(|| black_box(fgc_fault::check(black_box("e17.bench.point"))));
+        plane.set_observe_all(false);
+    });
+
+    // a plane armed at a *different* point: the guarded site still
+    // has to consult the table, but nothing fires
+    group.bench_function("check_armed_elsewhere", |b| {
+        plane.arm("e17.other.point", FaultAction::Error, Trigger::Always);
+        b.iter(|| black_box(fgc_fault::check(black_box("e17.bench.point"))));
+        plane.reset();
+    });
+
+    // the worst case: the site itself is armed and fires every hit
+    group.bench_function("check_armed_firing", |b| {
+        plane.arm("e17.bench.point", FaultAction::Error, Trigger::Always);
+        b.iter(|| black_box(fgc_fault::check(black_box("e17.bench.point"))));
+        plane.reset();
+    });
+
+    // end to end: a warm cite must not care whether the plane is idle
+    // or observing every site it crosses
+    let engine = fgc_bench::engine_at_scale(1_000, RewriteMode::Pruned, Policy::default());
+    let mut workload = WorkloadGenerator::new(engine.database(), 83);
+    let q = workload.query_from_template(1);
+    let _ = engine.cite(&q).expect("warmup");
+    group.bench_function("warm_cite_plane_idle", |b| {
+        b.iter(|| black_box(engine.cite(&q).expect("cite")))
+    });
+    group.bench_function("warm_cite_plane_observing", |b| {
+        plane.set_observe_all(true);
+        b.iter(|| black_box(engine.cite(&q).expect("cite")));
+        plane.set_observe_all(false);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e17);
+criterion_main!(benches);

@@ -33,6 +33,7 @@ use fgc_server::{decode_cite_request, parse_json};
 use fgc_views::{CitationFunction, CitationView, Json, ViewRegistry};
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::time::Instant;
 
 /// Coordinator deployment settings.
 #[derive(Debug, Clone)]
@@ -90,6 +91,9 @@ enum ShardCallError {
     Query(String),
     /// Every candidate failed at the transport layer.
     Exhausted(ShardOutage),
+    /// The request's end-to-end budget ran out mid-scatter; the
+    /// server layer answers 504 instead of the outage 503.
+    Deadline,
 }
 
 /// The running coordinator.
@@ -211,6 +215,21 @@ impl Coordinator {
         kind: QueryKind,
         request_id: &str,
     ) -> (u16, String) {
+        self.serve_cite_with_deadline(body, kind, request_id, None)
+    }
+
+    /// [`Coordinator::serve_cite_with_id`] under an end-to-end
+    /// deadline: the remaining budget rides as `x-deadline-ms` on
+    /// every `/fragment/*` call, bounds each replica read, and stops
+    /// the retry/failover ladder — exhaustion answers a structured
+    /// 504 instead of hanging or burning dead replicas' cooldowns.
+    pub fn serve_cite_with_deadline(
+        &self,
+        body: &[u8],
+        kind: QueryKind,
+        request_id: &str,
+        deadline: Option<Instant>,
+    ) -> (u16, String) {
         let decoded = self.engine.stage_stats().time("parse", || {
             let text =
                 std::str::from_utf8(body).map_err(|_| "body is not valid utf-8".to_string())?;
@@ -221,22 +240,39 @@ impl Coordinator {
             Ok(r) => r.with_request_id(request_id),
             Err(message) => return (400, error_body(&message)),
         };
-        self.serve_request(&request)
+        self.serve_request_with_deadline(&request, deadline)
     }
 
     /// [`Coordinator::serve_cite`] over an already-decoded request.
     /// Honors `request.request_id` when set, assigns one otherwise.
     pub fn serve_request(&self, request: &CiteRequest) -> (u16, String) {
+        self.serve_request_with_deadline(request, None)
+    }
+
+    /// [`Coordinator::serve_request`] under an optional end-to-end
+    /// deadline.
+    pub fn serve_request_with_deadline(
+        &self,
+        request: &CiteRequest,
+        deadline: Option<Instant>,
+    ) -> (u16, String) {
         let rid = match &request.request_id {
             Some(id) => id.clone(),
             None => fgc_obs::next_request_id(),
         };
-        let mut plane = ScatterPlane::new(self, &rid);
+        let mut plane = ScatterPlane::new(self, &rid, deadline);
         match self.engine.cite_request_with(request, &mut plane) {
             Ok(response) => (
                 200,
                 encode_response_with(&response, request.include_stages).to_compact(),
             ),
+            Err(e) if plane.deadline_hit => {
+                let body = Json::from_pairs([
+                    ("error", Json::str(e.to_string())),
+                    ("request_id", Json::str(rid.clone())),
+                ]);
+                (504, body.to_compact())
+            }
             Err(e) => match plane.outage.take() {
                 Some(outage) => {
                     let mut body = Json::from_pairs([
@@ -285,20 +321,30 @@ impl Coordinator {
     }
 
     /// Call one shard's replica set in failover order, propagating the
-    /// request ID so replica-side logs correlate with the front door.
+    /// request ID (and remaining deadline budget) so replica-side
+    /// logs and admission correlate with the front door.
     fn call_shard(
         &self,
         shard: usize,
         path: &str,
         body: &str,
         request_id: &str,
+        deadline: Option<Instant>,
     ) -> Result<Json, ShardCallError> {
-        let headers = [("x-request-id", request_id)];
+        let budget_ms = deadline.map(|d| {
+            d.saturating_duration_since(Instant::now())
+                .as_millis()
+                .to_string()
+        });
+        let mut headers = vec![("x-request-id", request_id)];
+        if let Some(ms) = &budget_ms {
+            headers.push(("x-deadline-ms", ms.as_str()));
+        }
         let mut tried = Vec::new();
         for &idx in &self.candidates[shard] {
             match self
                 .pool
-                .request_with_headers(idx, "POST", path, Some(body), &headers)
+                .request_with_headers(idx, "POST", path, Some(body), &headers, deadline)
             {
                 Ok(response) if response.status == 200 => match parse_json(&response.body) {
                     Ok(json) => return Ok(json),
@@ -320,6 +366,14 @@ impl Coordinator {
                     tried.push(format!("{} (circuit open)", self.pool.addr(idx)));
                 }
                 Err(CallError::Transport(_)) => tried.push(self.pool.addr(idx).to_string()),
+                // no budget left for the twin either: stop the ladder
+                Err(CallError::DeadlineExceeded) => return Err(ShardCallError::Deadline),
+            }
+            // A transport failure that consumed the whole budget (a
+            // stalled replica read clamped to the deadline) is the
+            // client's 504, not a shard outage: stop the ladder here.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(ShardCallError::Deadline);
             }
         }
         Err(ShardCallError::Exhausted(ShardOutage {
@@ -337,6 +391,7 @@ impl Coordinator {
         path: &str,
         query_text: &str,
         request_id: &str,
+        deadline: Option<Instant>,
     ) -> Result<Vec<Json>, ShardCallError> {
         let results: Vec<Result<Json, ShardCallError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -347,7 +402,7 @@ impl Coordinator {
                         ("shard", Json::Int(s as i64)),
                     ])
                     .to_compact();
-                    scope.spawn(move || self.call_shard(s, path, &body, request_id))
+                    scope.spawn(move || self.call_shard(s, path, &body, request_id, deadline))
                 })
                 .collect();
             handles
@@ -444,29 +499,41 @@ struct ScatterPlane<'a> {
     /// The front door's request ID, propagated as `x-request-id` on
     /// every replica call this plane issues.
     request_id: &'a str,
+    /// The request's end-to-end deadline; its remaining budget is
+    /// propagated as `x-deadline-ms` on every replica call.
+    deadline: Option<Instant>,
     prefetched: HashMap<CiteToken, Json>,
     hits: u64,
     misses: u64,
     /// Set when a call died because a whole replica set is down; the
     /// server layer turns it into the structured 503.
     outage: Option<ShardOutage>,
+    /// Set when a call died because the budget ran out; the server
+    /// layer turns it into the structured 504.
+    deadline_hit: bool,
 }
 
 impl<'a> ScatterPlane<'a> {
-    fn new(coord: &'a Coordinator, request_id: &'a str) -> Self {
+    fn new(coord: &'a Coordinator, request_id: &'a str, deadline: Option<Instant>) -> Self {
         ScatterPlane {
             coord,
             request_id,
+            deadline,
             prefetched: HashMap::new(),
             hits: 0,
             misses: 0,
             outage: None,
+            deadline_hit: false,
         }
     }
 
     fn fail(&mut self, e: ShardCallError) -> CoreError {
         match e {
             ShardCallError::Query(message) => CoreError::Remote(message),
+            ShardCallError::Deadline => {
+                self.deadline_hit = true;
+                CoreError::Remote("deadline exceeded while scattering to replicas".into())
+            }
             ShardCallError::Exhausted(outage) => {
                 let message = match outage.shard {
                     Some(s) => format!(
@@ -487,14 +554,25 @@ impl<'a> ScatterPlane<'a> {
     /// One POST to *any* live replica (all replicas hold the full
     /// store, so token interpretation is not shard-addressed).
     fn call_any(&mut self, path: &str, body: &str) -> CoreResult<Json> {
-        let headers = [("x-request-id", self.request_id)];
+        let budget_ms = self.deadline.map(|d| {
+            d.saturating_duration_since(Instant::now())
+                .as_millis()
+                .to_string()
+        });
+        let mut headers = vec![("x-request-id", self.request_id)];
+        if let Some(ms) = &budget_ms {
+            headers.push(("x-deadline-ms", ms.as_str()));
+        }
         let mut tried = Vec::new();
         for idx in 0..self.coord.pool.addrs().len() {
-            match self
-                .coord
-                .pool
-                .request_with_headers(idx, "POST", path, Some(body), &headers)
-            {
+            match self.coord.pool.request_with_headers(
+                idx,
+                "POST",
+                path,
+                Some(body),
+                &headers,
+                self.deadline,
+            ) {
                 Ok(response) if response.status == 200 => match parse_json(&response.body) {
                     Ok(json) => return Ok(json),
                     Err(_) => tried.push(self.coord.pool.addr(idx).to_string()),
@@ -509,6 +587,7 @@ impl<'a> ScatterPlane<'a> {
                         .unwrap_or(response.body);
                     return Err(CoreError::Remote(message));
                 }
+                Err(CallError::DeadlineExceeded) => return Err(self.fail(ShardCallError::Deadline)),
                 Err(_) => tried.push(self.coord.pool.addr(idx).to_string()),
             }
         }
@@ -529,6 +608,7 @@ impl CiteDataPlane for ScatterPlane<'_> {
                 "/fragment/answers",
                 &q.to_string(),
                 self.request_id,
+                self.deadline,
             )
             .map_err(|e| self.fail(e))?;
         let mut rows: Vec<(usize, usize, Tuple)> = Vec::new();
@@ -562,6 +642,7 @@ impl CiteDataPlane for ScatterPlane<'_> {
                 "/fragment/bindings",
                 &q.to_string(),
                 self.request_id,
+                self.deadline,
             )
             .map_err(|e| self.fail(e))?;
         let mut rows: Vec<(usize, usize, Tuple, Binding)> = Vec::new();

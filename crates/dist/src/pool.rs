@@ -63,6 +63,10 @@ pub enum CallError {
     /// Every attempt failed at the transport layer (connect, write,
     /// read, timeout) or with a 5xx status.
     Transport(io::Error),
+    /// The request's end-to-end deadline ran out before (or while)
+    /// calling the replica; no further attempt or failover makes
+    /// sense — the client has already given up.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for CallError {
@@ -70,6 +74,7 @@ impl std::fmt::Display for CallError {
         match self {
             CallError::CircuitOpen => write!(f, "circuit open"),
             CallError::Transport(e) => write!(f, "{e}"),
+            CallError::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -143,11 +148,15 @@ impl ReplicaPool {
         path: &str,
         body: Option<&str>,
     ) -> Result<ClientResponse, CallError> {
-        self.request_with_headers(index, method, path, body, &[])
+        self.request_with_headers(index, method, path, body, &[], None)
     }
 
     /// [`Self::request`] with extra request headers — how the
-    /// coordinator propagates `x-request-id` to every replica call.
+    /// coordinator propagates `x-request-id` to every replica call —
+    /// and an optional end-to-end deadline. The deadline bounds the
+    /// whole call: a spent budget fails fast, the per-attempt read
+    /// timeout is clamped to the remaining budget, and the retry loop
+    /// stops rather than sleep through the deadline.
     pub fn request_with_headers(
         &self,
         index: usize,
@@ -155,6 +164,7 @@ impl ReplicaPool {
         path: &str,
         body: Option<&str>,
         extra_headers: &[(&str, &str)],
+        deadline: Option<Instant>,
     ) -> Result<ClientResponse, CallError> {
         let slot = &self.slots[index];
         slot.calls.fetch_add(1, Ordering::Relaxed);
@@ -165,10 +175,19 @@ impl ReplicaPool {
         let mut last = None;
         for attempt in 0..self.config.attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(self.config.backoff * attempt as u32);
+                let pause = self.config.backoff * attempt as u32;
+                // never sleep past the deadline: the budget belongs
+                // to the client, not the retry loop
+                if deadline.is_some_and(|d| Instant::now() + pause >= d) {
+                    break;
+                }
+                std::thread::sleep(pause);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
             }
             let started = Instant::now();
-            match self.try_once(slot, method, path, body, extra_headers) {
+            match self.try_once(slot, method, path, body, extra_headers, deadline) {
                 Ok(response) => {
                     slot.latency.record_micros(started.elapsed());
                     slot.consecutive_failures.store(0, Ordering::Relaxed);
@@ -178,18 +197,40 @@ impl ReplicaPool {
                 Err(e) => last = Some(e),
             }
         }
+        // A call that never reached the replica (budget spent before
+        // the first attempt) says nothing about the replica's health:
+        // don't charge its circuit.
+        let Some(e) = last else {
+            return Err(CallError::DeadlineExceeded);
+        };
         slot.failures.fetch_add(1, Ordering::Relaxed);
         let failures = slot.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
         if failures >= self.config.failure_threshold {
             *slot.open_until.lock().expect("circuit lock") =
                 Some(Instant::now() + self.config.cooldown);
         }
-        Err(CallError::Transport(last.expect("at least one attempt")))
+        Err(CallError::Transport(e))
     }
 
     /// Whether `index`'s circuit currently fails fast.
     pub fn is_open(&self, index: usize) -> bool {
         self.circuit_open(&self.slots[index])
+    }
+
+    /// How many replica circuits currently fail fast — the
+    /// coordinator's `/healthz` degradation signal.
+    pub fn open_circuits(&self) -> usize {
+        self.slots.iter().filter(|s| self.circuit_open(s)).count()
+    }
+
+    /// Addresses whose circuit is currently open, for degradation
+    /// cause reporting.
+    pub fn open_addrs(&self) -> Vec<SocketAddr> {
+        self.slots
+            .iter()
+            .filter(|s| self.circuit_open(s))
+            .map(|s| s.addr)
+            .collect()
     }
 
     fn circuit_open(&self, slot: &Slot) -> bool {
@@ -213,17 +254,38 @@ impl ReplicaPool {
         path: &str,
         body: Option<&str>,
         extra_headers: &[(&str, &str)],
+        deadline: Option<Instant>,
     ) -> io::Result<ClientResponse> {
+        // Named fault point: chaos tests inject transport errors and
+        // delays here, exercising the exact retry/circuit/failover
+        // paths a real network fault would take. One relaxed atomic
+        // load when the plane is idle.
+        if let Some(action) = fgc_fault::check("dist.pool.send") {
+            match action {
+                fgc_fault::FaultAction::Delay(pause) => std::thread::sleep(pause),
+                _ => return Err(fgc_fault::injected_error("dist.pool.send")),
+            }
+        }
         let mut client = {
             let mut idle = slot.idle.lock().expect("idle pool lock");
             idle.pop()
         };
         if client.is_none() {
             let fresh = Client::connect(slot.addr)?;
-            fresh.set_read_timeout(self.config.timeout)?;
             client = Some(fresh);
         }
         let mut client = client.expect("pooled or fresh client");
+        // Clamp the read timeout to the remaining budget so a stalled
+        // replica cannot hold the call past the caller's deadline.
+        let timeout = match deadline {
+            Some(d) => self
+                .config
+                .timeout
+                .min(d.saturating_duration_since(Instant::now()))
+                .max(Duration::from_millis(1)),
+            None => self.config.timeout,
+        };
+        client.set_read_timeout(timeout)?;
         let response = client.request_with_headers(method, path, body, extra_headers)?;
         if response.status >= 500 {
             // replica-side failure: retryable, and the connection's

@@ -27,7 +27,10 @@
 
 use crate::coordinator::Coordinator;
 use fgc_obs::{next_request_id, PromWriter, SlowEntry, SlowLog};
-use fgc_server::http::{read_request, write_response, write_response_with, HttpError, HttpRequest};
+use fgc_server::http::{
+    deadline_from, read_request_with_deadline, remaining_ms, write_response, write_response_with,
+    HttpError, HttpRequest,
+};
 use fgc_server::wire::{error_body, QueryKind};
 use fgc_server::{
     slow_log_body, write_engine_metrics, EndpointStats, ServerConfig, ServerStats,
@@ -40,7 +43,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A running coordinator service. Dropping the handle shuts it down.
 #[derive(Debug)]
@@ -62,6 +65,12 @@ struct WorkerContext {
     in_flight: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
     max_body_bytes: usize,
+    /// Total budget for one request head; overrun answers 408.
+    header_read_timeout: Duration,
+    /// Deadline assigned when `x-deadline-ms` is absent.
+    default_deadline: Duration,
+    /// Ceiling clamped onto any client-supplied `x-deadline-ms`.
+    max_deadline: Duration,
 }
 
 impl DistServer {
@@ -89,6 +98,9 @@ impl DistServer {
                     in_flight: Arc::clone(&in_flight),
                     shutdown: Arc::clone(&shutdown),
                     max_body_bytes: config.max_body_bytes,
+                    header_read_timeout: config.header_read_timeout,
+                    default_deadline: config.default_deadline,
+                    max_deadline: config.max_deadline,
                 };
                 let conn_rx = Arc::clone(&conn_rx);
                 std::thread::Builder::new()
@@ -208,16 +220,21 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        match read_request(&mut reader, ctx.max_body_bytes) {
+        let head_deadline = Instant::now() + ctx.header_read_timeout;
+        match read_request_with_deadline(&mut reader, ctx.max_body_bytes, Some(head_deadline)) {
             Ok(request) => {
                 let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
                 let rid = request
                     .header("x-request-id")
                     .map(str::to_string)
                     .unwrap_or_else(next_request_id);
+                let deadline = deadline_from(&request, ctx.default_deadline, ctx.max_deadline);
                 let started = Instant::now();
                 ctx.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-                let (status, body) = route(ctx, &request, &rid);
+                let (status, body) = route(ctx, &request, &rid, deadline);
+                if status == 504 {
+                    ctx.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
                 ctx.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
                 ctx.slow.observe(SlowEntry {
                     request_id: rid.clone(),
@@ -248,6 +265,16 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
                 }
             }
             Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::HeaderTimeout) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut write_half,
+                    408,
+                    &error_body("request head not received within the server's header deadline"),
+                    false,
+                );
+                return;
+            }
             Err(HttpError::BadRequest(message)) => {
                 ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
                 let _ = write_response(&mut write_half, 400, &error_body(&message), false);
@@ -282,23 +309,42 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
-fn route(ctx: &WorkerContext, request: &HttpRequest, rid: &str) -> (u16, String) {
+fn route(
+    ctx: &WorkerContext,
+    request: &HttpRequest,
+    rid: &str,
+    deadline: Instant,
+) -> (u16, String) {
     let method = request.method.as_str();
     let expected = match request.path.as_str() {
         "/cite" if method == "POST" => {
             return timed(&ctx.stats.cite, || {
+                if remaining_ms(deadline) == 0 {
+                    return (504, error_body("deadline exceeded before scatter began"));
+                }
                 ctx.in_flight.fetch_add(1, Ordering::SeqCst);
                 let _guard = FlightGuard(&ctx.in_flight);
-                ctx.coordinator
-                    .serve_cite_with_id(&request.body, QueryKind::Datalog, rid)
+                ctx.coordinator.serve_cite_with_deadline(
+                    &request.body,
+                    QueryKind::Datalog,
+                    rid,
+                    Some(deadline),
+                )
             })
         }
         "/cite_sql" if method == "POST" => {
             return timed(&ctx.stats.cite_sql, || {
+                if remaining_ms(deadline) == 0 {
+                    return (504, error_body("deadline exceeded before scatter began"));
+                }
                 ctx.in_flight.fetch_add(1, Ordering::SeqCst);
                 let _guard = FlightGuard(&ctx.in_flight);
-                ctx.coordinator
-                    .serve_cite_with_id(&request.body, QueryKind::Sql, rid)
+                ctx.coordinator.serve_cite_with_deadline(
+                    &request.body,
+                    QueryKind::Sql,
+                    rid,
+                    Some(deadline),
+                )
             })
         }
         "/views" if method == "GET" => return timed(&ctx.stats.views, || (200, serve_views(ctx))),
@@ -337,10 +383,23 @@ fn timed(endpoint: &EndpointStats, serve: impl FnOnce() -> (u16, String)) -> (u1
 }
 
 /// `GET /healthz`: the same shape a replica reports, with the
-/// coordinator's role and topology.
+/// coordinator's role and topology. The coordinator is `degraded`
+/// while any replica circuit is open — it still serves (failover,
+/// partial capacity) but cannot promise every shard is reachable.
 fn serve_healthz(ctx: &WorkerContext) -> String {
+    let open = ctx.coordinator.pool().open_addrs();
+    let degraded = !open.is_empty();
+    let causes: Vec<Json> = open
+        .iter()
+        .map(|addr| Json::str(format!("replica circuit open: {addr}")))
+        .collect();
     Json::from_pairs([
-        ("status", Json::str("ok")),
+        (
+            "status",
+            Json::str(if degraded { "degraded" } else { "ok" }),
+        ),
+        ("degraded", Json::Bool(degraded)),
+        ("causes", Json::Array(causes)),
         ("role", Json::str("coordinator")),
         ("shard", Json::Null),
         ("shards", Json::Int(ctx.coordinator.shards() as i64)),
@@ -395,5 +454,7 @@ fn serve_metrics(ctx: &WorkerContext) -> String {
     ctx.stats.write_prometheus(&mut w, &base);
     write_engine_metrics(&mut w, &base, ctx.coordinator.engine());
     ctx.coordinator.pool().write_prometheus(&mut w, &base);
+    // Per-fault-point counters (empty unless the plane is armed).
+    fgc_fault::global().write_prometheus(&mut w, &base);
     w.finish()
 }

@@ -62,7 +62,8 @@ pub use relation::Relation;
 pub use schema::{Attribute, Catalog, ForeignKey, RelationSchema};
 pub use sharded::{ShardKeySpec, ShardStats, ShardedDatabase};
 pub use storage::{
-    DiskStorage, MemSegment, MemStorage, Storage, StorageKind, StorageOptions, StorageStats,
+    DiskStorage, FaultVfs, MemSegment, MemStorage, RealVfs, Storage, StorageHealth, StorageKind,
+    StorageOptions, StorageStats, Vfs,
 };
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

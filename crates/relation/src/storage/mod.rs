@@ -34,9 +34,11 @@
 
 mod disk;
 mod mem;
+mod vfs;
 
 pub use disk::DiskStorage;
 pub use mem::{MemSegment, MemStorage};
+pub use vfs::{FaultVfs, RealVfs, Vfs};
 
 use crate::error::{RelationError, Result};
 use crate::version::VersionedDatabase;
@@ -178,6 +180,26 @@ impl StorageStats {
     }
 }
 
+/// A durability self-report, surfaced as the `degraded` flag and
+/// `causes` list of disk-backed roles' `GET /healthz`. Backends with
+/// nothing on disk (e.g. [`MemStorage`]) report `None` from
+/// [`Storage::health`] and stay out of the health check entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageHealth {
+    /// Whether any degradation cause is present.
+    pub degraded: bool,
+    /// Human-readable causes, empty when healthy.
+    pub causes: Vec<String>,
+    /// The manifest on disk currently reads and decodes cleanly (or
+    /// has legitimately never been written).
+    pub manifest_readable: bool,
+    /// The most recent [`Storage::sync`] succeeded.
+    pub last_sync_ok: bool,
+    /// Current WAL length in bytes (degraded when past the
+    /// compaction threshold — compaction should have truncated it).
+    pub wal_bytes: u64,
+}
+
 /// A backend that persists (or mirrors) a [`VersionedDatabase`].
 ///
 /// Implementations are shared behind `Arc<dyn Storage>` across
@@ -214,6 +236,13 @@ pub trait Storage: Send + Sync + fmt::Debug {
     /// automatically when a sync pushes the WAL past
     /// [`StorageOptions::wal_compact_bytes`].
     fn compact(&self) -> Result<()>;
+
+    /// Durability self-report for `/healthz`. `None` (the default)
+    /// means the backend has no durability story to degrade — only
+    /// disk-backed implementations return `Some`.
+    fn health(&self) -> Option<StorageHealth> {
+        None
+    }
 }
 
 /// Open a storage backend. `dir` is required for (and only used by)
@@ -232,7 +261,12 @@ pub fn open(
                     "disk storage requires a data directory (pass --data-dir)".into(),
                 )
             })?;
-            Ok(Arc::new(DiskStorage::open(dir, options)?))
+            // Route every byte through the process-wide fault plane
+            // so CLI-armed `storage.*` points reach production disk
+            // I/O; an inactive plane costs one relaxed atomic load
+            // per operation.
+            let vfs = Arc::new(FaultVfs::over_real(fgc_fault::global_arc()));
+            Ok(Arc::new(DiskStorage::open_with_vfs(dir, options, vfs)?))
         }
     }
 }

@@ -1,0 +1,492 @@
+//! The filesystem seam under [`super::DiskStorage`].
+//!
+//! Every byte the disk backend moves goes through a [`Vfs`] — a small
+//! path-level trait over the operations the segment/WAL/manifest
+//! layout actually needs (create-dir, whole-file and positional
+//! reads, create-write, positional append, truncate, fsync, rename,
+//! remove). [`RealVfs`] is the production passthrough to `std::fs`.
+//! [`FaultVfs`] wraps any other `Vfs` and consults an
+//! [`fgc_fault::FaultPlane`] before each operation, deriving a named
+//! fault point from the operation kind and the file class
+//! (`storage.<op>.<class>`, e.g. `storage.append.wal`,
+//! `storage.rename.manifest`). Armed points can inject io-errors,
+//! torn (half-persisted) writes, and simulated kills; a kill poisons
+//! the whole VFS so every subsequent operation fails, exactly like a
+//! dead process — the crash-consistency harness then cold-reopens the
+//! directory through a fresh `RealVfs` and asserts the store
+//! recovered to the last durable version or refused with a structured
+//! error.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fgc_fault::{FaultAction, FaultPlane};
+
+/// Path-level filesystem operations the disk backend is written
+/// against. Implementations must be shareable across threads; all
+/// methods take `&self`.
+pub trait Vfs: fmt::Debug + Send + Sync {
+    /// `fs::create_dir_all`.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Fill `buf` from `path` starting at byte `offset`.
+    fn read_at(&self, path: &Path, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Current length of `path` in bytes.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+    /// Create (or truncate) `path` and write all of `data`. No fsync.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Append `data` at exactly byte `offset`, first truncating
+    /// anything past it (so manifest offsets and bytes cannot
+    /// drift). Creates the file when missing. No fsync.
+    fn append_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()>;
+    /// Truncate (or create) `path` to `len` bytes. No fsync.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// fsync `path`'s contents to stable media.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+    /// fsync a directory (making renames within it durable). Best
+    /// effort on filesystems that refuse directory handles.
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Atomically rename `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Sum of file sizes directly inside `dir` (for stats; 0 when the
+    /// directory is unreadable).
+    fn dir_size(&self, dir: &Path) -> u64;
+}
+
+/// The production [`Vfs`]: a direct passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut f = File::open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(data)
+    }
+
+    fn append_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        f.set_len(offset)?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        f.set_len(len)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Some filesystems refuse to open or fsync directories; the
+        // rename itself is still atomic there, so this stays best
+        // effort exactly like the pre-seam behavior.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn dir_size(&self, dir: &Path) -> u64 {
+        let mut total = 0u64;
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                total += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        total
+    }
+}
+
+/// Classify a path into the file class used in fault-point names.
+fn file_class(path: &Path) -> &'static str {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name == "MANIFEST" {
+        "manifest"
+    } else if name == "MANIFEST.tmp" {
+        "manifest.tmp"
+    } else if name == "wal.log" {
+        "wal"
+    } else if name.ends_with(".seg") {
+        "segment"
+    } else if name.ends_with(".tmp") {
+        "segment.tmp"
+    } else if name == ".write-probe" {
+        "probe"
+    } else {
+        "dir"
+    }
+}
+
+/// A fault-injecting [`Vfs`] wrapper. Every operation consults the
+/// plane at point `storage.<op>.<class>`; see the module docs for the
+/// crash/torn semantics.
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    plane: Arc<FaultPlane>,
+    /// Set by a crash action: the simulated process is dead, every
+    /// further operation fails.
+    dead: AtomicBool,
+}
+
+impl fmt::Debug for FaultVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultVfs")
+            .field("dead", &self.dead.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultVfs {
+    /// Wrap `inner`, consulting `plane` before each operation.
+    pub fn new(inner: Arc<dyn Vfs>, plane: Arc<FaultPlane>) -> Self {
+        FaultVfs {
+            inner,
+            plane,
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Wrap [`RealVfs`] — the common harness shape.
+    pub fn over_real(plane: Arc<FaultPlane>) -> Self {
+        FaultVfs::new(Arc::new(RealVfs), plane)
+    }
+
+    /// Whether a crash action has fired (the simulated process died).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    fn dead_error() -> io::Error {
+        io::Error::other("simulated crash: process is dead")
+    }
+
+    /// The pre-op gate shared by every non-write operation: checks
+    /// poisoning, then asks the plane. `Torn` on a non-write site
+    /// degrades to `Error`; crashes poison the VFS.
+    fn gate(&self, op: &'static str, path: &Path) -> io::Result<()> {
+        if self.is_dead() {
+            return Err(Self::dead_error());
+        }
+        let point = format!("storage.{op}.{}", file_class(path));
+        match self.plane.check(&point) {
+            None => Ok(()),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(FaultAction::Error) | Some(FaultAction::Torn) => {
+                Err(fgc_fault::injected_error(&point))
+            }
+            Some(FaultAction::CrashBefore) | Some(FaultAction::CrashAfter) => {
+                // For an op with no side effect, before/after are the
+                // same observable event: the op fails, process dies.
+                self.dead.store(true, Ordering::Relaxed);
+                Err(io::Error::other(format!("simulated crash at `{point}`")))
+            }
+        }
+    }
+
+    /// The gate for write-like operations, where before/after and
+    /// torn differ. `perform` runs the real operation over the bytes
+    /// it is given.
+    fn gated_write(
+        &self,
+        op: &'static str,
+        path: &Path,
+        data: &[u8],
+        perform: impl FnOnce(&[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        if self.is_dead() {
+            return Err(Self::dead_error());
+        }
+        let point = format!("storage.{op}.{}", file_class(path));
+        match self.plane.check(&point) {
+            None => perform(data),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                perform(data)
+            }
+            Some(FaultAction::Error) => Err(fgc_fault::injected_error(&point)),
+            Some(FaultAction::CrashBefore) => {
+                self.dead.store(true, Ordering::Relaxed);
+                Err(io::Error::other(format!(
+                    "simulated crash before `{point}`"
+                )))
+            }
+            Some(FaultAction::CrashAfter) => {
+                perform(data)?;
+                self.dead.store(true, Ordering::Relaxed);
+                Err(io::Error::other(format!("simulated crash after `{point}`")))
+            }
+            Some(FaultAction::Torn) => {
+                // Half the bytes land, then the process dies — the
+                // classic torn write.
+                perform(&data[..data.len() / 2])?;
+                self.dead.store(true, Ordering::Relaxed);
+                Err(io::Error::other(format!(
+                    "simulated torn write at `{point}`"
+                )))
+            }
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.gate("mkdir", dir)?;
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate("read", path)?;
+        self.inner.read(path)
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.gate("read", path)?;
+        self.inner.read_at(path, offset, buf)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        self.gate("len", path)?;
+        self.inner.len(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.gated_write("write", path, data, |bytes| self.inner.write(path, bytes))
+    }
+
+    fn append_at(&self, path: &Path, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.gated_write("append", path, data, |bytes| {
+            self.inner.append_at(path, offset, bytes)
+        })
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.gate("truncate", path)?;
+        self.inner.truncate(path, len)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        self.gate("fsync", path)?;
+        self.inner.fsync(path)
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.gate("fsync-dir", dir)?;
+        self.inner.fsync_dir(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        // Named by the destination: renaming MANIFEST.tmp onto
+        // MANIFEST is the commit point, and `storage.rename.manifest`
+        // is the name a harness wants to kill at.
+        self.gate("rename", to)?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gate("remove", path)?;
+        self.inner.remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        !self.is_dead() && self.inner.exists(path)
+    }
+
+    fn dir_size(&self, dir: &Path) -> u64 {
+        self.inner.dir_size(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgc_fault::Trigger;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU64;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("fgc-vfs-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn real_vfs_round_trips_and_appends_at_offsets() {
+        let dir = temp_dir("real");
+        let vfs = RealVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let f = dir.join("wal.log");
+        vfs.write(&f, b"hello world").unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"hello world");
+        assert_eq!(vfs.len(&f).unwrap(), 11);
+        let mut buf = [0u8; 5];
+        vfs.read_at(&f, 6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        // append_at truncates past the offset first
+        vfs.append_at(&f, 5, b"!!!").unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"hello!!!");
+        vfs.truncate(&f, 5).unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"hello");
+        vfs.fsync(&f).unwrap();
+        vfs.fsync_dir(&dir).unwrap();
+        let g = dir.join("MANIFEST");
+        vfs.rename(&f, &g).unwrap();
+        assert!(vfs.exists(&g) && !vfs.exists(&f));
+        assert_eq!(vfs.dir_size(&dir), 5);
+        vfs.remove_file(&g).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_classes_name_the_layout() {
+        for (path, class) in [
+            ("d/MANIFEST", "manifest"),
+            ("d/MANIFEST.tmp", "manifest.tmp"),
+            ("d/wal.log", "wal"),
+            ("d/segments/v3.seg", "segment"),
+            ("d/segments/v3.tmp", "segment.tmp"),
+            ("d/.write-probe", "probe"),
+            ("d/segments", "dir"),
+        ] {
+            assert_eq!(file_class(Path::new(path)), class, "{path}");
+        }
+    }
+
+    #[test]
+    fn injected_error_fires_without_touching_disk() {
+        let dir = temp_dir("err");
+        fs::create_dir_all(&dir).unwrap();
+        let plane = Arc::new(FaultPlane::new());
+        plane.arm("storage.write.wal", FaultAction::Error, Trigger::Always);
+        let vfs = FaultVfs::over_real(Arc::clone(&plane));
+        let wal = dir.join("wal.log");
+        let err = vfs.write(&wal, b"data").unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert!(!wal.exists(), "injected error must not write");
+        assert!(!vfs.is_dead(), "plain errors do not kill the process");
+        // other classes are unaffected
+        vfs.write(&dir.join("MANIFEST"), b"m").unwrap();
+        assert_eq!(plane.injected("storage.write.wal"), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_persists_half_then_poisons() {
+        let dir = temp_dir("torn");
+        fs::create_dir_all(&dir).unwrap();
+        let plane = Arc::new(FaultPlane::new());
+        plane.arm("storage.append.wal", FaultAction::Torn, Trigger::Always);
+        let vfs = FaultVfs::over_real(Arc::clone(&plane));
+        let wal = dir.join("wal.log");
+        let err = vfs.append_at(&wal, 0, b"12345678").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert_eq!(fs::read(&wal).unwrap(), b"1234", "half the bytes land");
+        assert!(vfs.is_dead());
+        let err = vfs.read(&wal).unwrap_err();
+        assert!(err.to_string().contains("process is dead"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_and_after_differ_in_durability() {
+        let dir = temp_dir("crash");
+        fs::create_dir_all(&dir).unwrap();
+        let before = dir.join("before.seg");
+        let after = dir.join("after.seg");
+        {
+            let plane = Arc::new(FaultPlane::new());
+            plane.arm(
+                "storage.write.segment",
+                FaultAction::CrashBefore,
+                Trigger::Always,
+            );
+            let vfs = FaultVfs::over_real(plane);
+            assert!(vfs.write(&before, b"bytes").is_err());
+            assert!(!before.exists(), "crash-before persists nothing");
+            assert!(vfs.is_dead());
+        }
+        {
+            let plane = Arc::new(FaultPlane::new());
+            plane.arm(
+                "storage.write.segment",
+                FaultAction::CrashAfter,
+                Trigger::Always,
+            );
+            let vfs = FaultVfs::over_real(plane);
+            assert!(vfs.write(&after, b"bytes").is_err());
+            assert_eq!(
+                fs::read(&after).unwrap(),
+                b"bytes",
+                "crash-after is durable"
+            );
+            assert!(vfs.is_dead());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nth_trigger_lets_earlier_ops_through() {
+        let dir = temp_dir("nth");
+        fs::create_dir_all(&dir).unwrap();
+        let plane = Arc::new(FaultPlane::new());
+        plane.arm("storage.write.segment", FaultAction::Error, Trigger::Nth(2));
+        let vfs = FaultVfs::over_real(Arc::clone(&plane));
+        vfs.write(&dir.join("v0.seg"), b"one").unwrap();
+        assert!(vfs.write(&dir.join("v1.seg"), b"two").is_err());
+        vfs.write(&dir.join("v2.seg"), b"three").unwrap();
+        assert_eq!(plane.hits("storage.write.segment"), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

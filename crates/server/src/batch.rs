@@ -19,7 +19,7 @@
 //! reply.
 
 use crate::stats::ServerStats;
-use fgc_core::{CitationEngine, CiteRequest, CiteResponse, Result as CoreResult};
+use fgc_core::{CitationEngine, CiteRequest, CiteResponse};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -29,10 +29,15 @@ use std::time::{Duration, Instant};
 /// One queued request plus the channel its answer goes back on.
 struct BatchItem {
     request: CiteRequest,
-    reply: mpsc::Sender<CoreResult<CiteResponse>>,
+    reply: mpsc::Sender<Result<CiteResponse, BatchFailure>>,
     /// When the request entered the admission queue; feeds the
     /// `batch_wait` histogram once its batch starts.
     enqueued: Instant,
+    /// The request's end-to-end deadline. An item whose deadline has
+    /// already passed when its batch starts is answered with
+    /// [`BatchFailure::DeadlineExceeded`] instead of being evaluated —
+    /// the client already gave up, so the engine work would be wasted.
+    deadline: Option<Instant>,
 }
 
 /// The submission error: the admission queue is full.
@@ -46,6 +51,30 @@ impl std::fmt::Display for Overloaded {
 }
 
 impl std::error::Error for Overloaded {}
+
+/// Why a batched request was not answered with a citation.
+#[derive(Debug)]
+pub enum BatchFailure {
+    /// The request's deadline expired while it waited for its batch;
+    /// the worker answers 504 without touching the engine.
+    DeadlineExceeded,
+    /// The engine rejected the request (unknown relation, bad query
+    /// against the catalog, ...); the worker answers 400.
+    Engine(fgc_core::CoreError),
+}
+
+impl std::fmt::Display for BatchFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchFailure::DeadlineExceeded => {
+                f.write_str("deadline expired before the batch started")
+            }
+            BatchFailure::Engine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BatchFailure {}
 
 /// Handle to the batching thread. Cloneable submission is via
 /// [`Batcher::submit`]; dropping the handle shuts the thread down.
@@ -105,6 +134,21 @@ impl Batcher {
                         .batch_wait
                         .record_micros(batch_started.duration_since(item.enqueued));
                 }
+                // Deadline-aware admission: answer already-expired
+                // items with a structured failure instead of spending
+                // engine time on a response nobody is waiting for.
+                let (items, expired): (Vec<_>, Vec<_>) = items
+                    .into_iter()
+                    .partition(|i| i.deadline.is_none_or(|d| batch_started < d));
+                for item in expired {
+                    let _ = item.reply.send(Err(BatchFailure::DeadlineExceeded));
+                }
+                if items.is_empty() {
+                    if disconnected {
+                        return;
+                    }
+                    continue;
+                }
                 stats.batch_sizes.record(items.len() as u64);
                 let requests: Vec<CiteRequest> = items.iter().map(|i| i.request.clone()).collect();
                 let results = engine.cite_batch_threads(&requests, threads);
@@ -115,7 +159,7 @@ impl Batcher {
                 for (item, result) in items.into_iter().zip(results) {
                     // a worker that gave up (client hung up) just
                     // drops its receiver; ignore
-                    let _ = item.reply.send(result);
+                    let _ = item.reply.send(result.map_err(BatchFailure::Engine));
                 }
                 if disconnected {
                     return;
@@ -130,16 +174,20 @@ impl Batcher {
 
     /// Submit one request for batched serving. Returns the channel
     /// the response arrives on, or [`Overloaded`] when the bounded
-    /// queue is full (the caller answers 503).
+    /// queue is full (the caller answers 503). A `deadline` in the
+    /// past by the time the batch starts is answered with
+    /// [`BatchFailure::DeadlineExceeded`] without touching the engine.
     pub fn submit(
         &self,
         request: CiteRequest,
-    ) -> Result<mpsc::Receiver<CoreResult<CiteResponse>>, Overloaded> {
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<Result<CiteResponse, BatchFailure>>, Overloaded> {
         let (reply, receiver) = mpsc::channel();
         let item = BatchItem {
             request,
             reply,
             enqueued: Instant::now(),
+            deadline,
         };
         match self
             .sender
@@ -192,7 +240,7 @@ mod tests {
             2,
         );
         let receivers: Vec<_> = (0..10)
-            .map(|_| batcher.submit(request("gpcr")).unwrap())
+            .map(|_| batcher.submit(request("gpcr"), None).unwrap())
             .collect();
         for rx in receivers {
             let response = rx.recv().unwrap().unwrap();
@@ -218,7 +266,7 @@ mod tests {
             2,
         );
         let receivers: Vec<_> = (0..6)
-            .map(|_| batcher.submit(request("gpcr")).unwrap())
+            .map(|_| batcher.submit(request("gpcr"), None).unwrap())
             .collect();
         for rx in receivers {
             assert!(rx.recv().unwrap().is_ok());
@@ -237,7 +285,7 @@ mod tests {
         let mut overloaded = false;
         let mut receivers = Vec::new();
         for _ in 0..200 {
-            match batcher.submit(request("gpcr")) {
+            match batcher.submit(request("gpcr"), None) {
                 Ok(rx) => receivers.push(rx),
                 Err(Overloaded) => {
                     overloaded = true;
@@ -255,7 +303,7 @@ mod tests {
     fn zero_window_still_serves() {
         let stats = Arc::new(ServerStats::default());
         let batcher = Batcher::start(engine(), stats, Duration::ZERO, 8, 8, 1);
-        let rx = batcher.submit(request("enzyme")).unwrap();
+        let rx = batcher.submit(request("enzyme"), None).unwrap();
         let response = rx.recv().unwrap().unwrap();
         assert_eq!(response.citation.tuples.len(), 1);
     }
@@ -265,10 +313,41 @@ mod tests {
         let stats = Arc::new(ServerStats::default());
         let batcher = Batcher::start(engine(), stats, Duration::from_millis(5), 8, 8, 2);
         let bad = batcher
-            .submit(CiteRequest::query(parse_query("Q(X) :- Nope(X)").unwrap()))
+            .submit(
+                CiteRequest::query(parse_query("Q(X) :- Nope(X)").unwrap()),
+                None,
+            )
             .unwrap();
-        let good = batcher.submit(request("gpcr")).unwrap();
+        let good = batcher.submit(request("gpcr"), None).unwrap();
         assert!(bad.recv().unwrap().is_err());
         assert!(good.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn expired_deadlines_are_answered_without_engine_work() {
+        let stats = Arc::new(ServerStats::default());
+        let batcher = Batcher::start(engine(), Arc::clone(&stats), Duration::ZERO, 8, 8, 1);
+        // A deadline already in the past: the batcher must answer with
+        // the structured failure and never count the request as served.
+        let expired = batcher
+            .submit(
+                request("gpcr"),
+                Some(Instant::now() - Duration::from_millis(1)),
+            )
+            .unwrap();
+        match expired.recv().unwrap() {
+            Err(BatchFailure::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A generous deadline still serves normally.
+        let live = batcher
+            .submit(
+                request("gpcr"),
+                Some(Instant::now() + Duration::from_secs(30)),
+            )
+            .unwrap();
+        assert!(live.recv().unwrap().is_ok());
+        drop(batcher);
+        assert_eq!(stats.batched_requests.load(Ordering::Relaxed), 1);
     }
 }

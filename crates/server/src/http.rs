@@ -8,12 +8,38 @@
 //! a wedged read — the workers recycle the connection and move on.
 
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Hard cap on the request line plus all header lines, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Maximum number of header lines accepted.
 pub const MAX_HEADERS: usize = 64;
+
+/// Request header carrying the caller's end-to-end deadline budget in
+/// milliseconds. The front door clamps it to the configured maximum
+/// (or assigns the default when absent) and decrements the remaining
+/// budget as it fans out to replicas; an exhausted budget is a
+/// structured 504, never a hang.
+pub const DEADLINE_HEADER: &str = "x-deadline-ms";
+
+/// Resolve a request's end-to-end deadline: the `x-deadline-ms`
+/// header clamped to `max`, or `default` when absent or unparseable.
+pub fn deadline_from(request: &HttpRequest, default: Duration, max: Duration) -> Instant {
+    let requested = request
+        .header(DEADLINE_HEADER)
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(default);
+    Instant::now() + requested.min(max)
+}
+
+/// Milliseconds left until `deadline` (0 when already past).
+pub fn remaining_ms(deadline: Instant) -> u64 {
+    deadline
+        .saturating_duration_since(Instant::now())
+        .as_millis() as u64
+}
 
 /// A parsed request head plus its body.
 #[derive(Debug, Clone)]
@@ -62,6 +88,10 @@ pub enum HttpError {
     LengthRequired,
     /// Body larger than the configured limit → 413.
     PayloadTooLarge(usize),
+    /// The cumulative header-read deadline elapsed before the blank
+    /// line → 408. Bounds slow-drip clients that defeat the per-read
+    /// socket timeout by trickling one byte at a time.
+    HeaderTimeout,
 }
 
 impl std::fmt::Display for HttpError {
@@ -72,13 +102,18 @@ impl std::fmt::Display for HttpError {
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
             HttpError::LengthRequired => write!(f, "Content-Length required"),
             HttpError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            HttpError::HeaderTimeout => write!(f, "request head not completed in time"),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
 
-fn read_line_limited(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+fn read_line_limited(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    deadline: Option<Instant>,
+) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -90,6 +125,12 @@ fn read_line_limited(reader: &mut impl BufRead, budget: &mut usize) -> Result<St
                 return Err(HttpError::BadRequest("truncated request head".into()));
             }
             Ok(_) => {
+                // Checked per byte received: a client trickling bytes
+                // resets the per-read socket timeout every time, so
+                // only a cumulative clock bounds the whole head.
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(HttpError::HeaderTimeout);
+                }
                 if *budget == 0 {
                     return Err(HttpError::BadRequest("request head too large".into()));
                 }
@@ -115,8 +156,21 @@ pub fn read_request(
     reader: &mut impl BufRead,
     max_body_bytes: usize,
 ) -> Result<HttpRequest, HttpError> {
+    read_request_with_deadline(reader, max_body_bytes, None)
+}
+
+/// [`read_request`] with a cumulative wall-clock deadline on the
+/// request head. The per-read socket timeout bounds each individual
+/// `read`; this bounds their sum, so a slow-drip client is answered
+/// with [`HttpError::HeaderTimeout`] (408) instead of holding a
+/// worker for `timeout × head_bytes`.
+pub fn read_request_with_deadline(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+    head_deadline: Option<Instant>,
+) -> Result<HttpRequest, HttpError> {
     let mut budget = MAX_HEAD_BYTES;
-    let request_line = read_line_limited(reader, &mut budget)?;
+    let request_line = read_line_limited(reader, &mut budget, head_deadline)?;
     let mut parts = request_line.split_ascii_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v),
@@ -130,7 +184,7 @@ pub fn read_request(
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line_limited(reader, &mut budget)?;
+        let line = read_line_limited(reader, &mut budget, head_deadline)?;
         if line.is_empty() {
             break;
         }
@@ -197,6 +251,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -335,6 +390,59 @@ mod tests {
             "a".repeat(MAX_HEAD_BYTES)
         );
         assert!(matches!(parse(&huge), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn header_deadline_cuts_off_a_slow_head() {
+        // An already-expired deadline fires on the first byte.
+        let raw = "GET /healthz HTTP/1.1\r\n\r\n";
+        let err = read_request_with_deadline(
+            &mut BufReader::new(raw.as_bytes()),
+            1024,
+            Some(Instant::now() - Duration::from_millis(1)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::HeaderTimeout), "{err}");
+        assert_eq!(reason(408), "Request Timeout");
+        // A generous deadline leaves a normal request untouched.
+        let req = read_request_with_deadline(
+            &mut BufReader::new(raw.as_bytes()),
+            1024,
+            Some(Instant::now() + Duration::from_secs(5)),
+        )
+        .unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn deadline_header_is_parsed_clamped_and_defaulted() {
+        let with = |value: &str| HttpRequest {
+            method: "POST".into(),
+            path: "/cite".into(),
+            headers: vec![(DEADLINE_HEADER.into(), value.into())],
+            body: Vec::new(),
+        };
+        let default = Duration::from_secs(30);
+        let max = Duration::from_secs(300);
+        // header honored
+        let d = deadline_from(&with("1000"), default, max);
+        let ms = remaining_ms(d);
+        assert!((900..=1000).contains(&ms), "{ms}");
+        // clamped to max
+        let d = deadline_from(&with("999999999"), default, max);
+        assert!(remaining_ms(d) <= 300_000);
+        // absent or garbage → default
+        for req in [
+            with("not-a-number"),
+            parse("GET / HTTP/1.1\r\n\r\n").unwrap(),
+        ] {
+            let d = deadline_from(&req, default, max);
+            let ms = remaining_ms(d);
+            assert!((29_000..=30_000).contains(&ms), "{ms}");
+        }
+        // zero budget → already exhausted
+        assert_eq!(remaining_ms(deadline_from(&with("0"), default, max)), 0);
+        assert_eq!(reason(504), "Gateway Timeout");
     }
 
     #[test]

@@ -23,14 +23,17 @@
 //! workers finish their in-flight responses and join, and finally the
 //! batcher answers its last batch and joins.
 
-use crate::batch::Batcher;
-use crate::http::{read_request, write_response, write_response_with, HttpError, HttpRequest};
+use crate::batch::{BatchFailure, Batcher};
+use crate::http::{
+    deadline_from, read_request_with_deadline, remaining_ms, write_response, write_response_with,
+    HttpError, HttpRequest,
+};
 use crate::json::parse_json;
 use crate::stats::{EndpointStats, ServerStats};
 use crate::wire::{decode_cite_request, encode_response_with, error_body, QueryKind};
 use fgc_core::{CitationEngine, VersionedCitationEngine};
 use fgc_obs::{next_request_id, PromWriter, SlowEntry, SlowLog};
-use fgc_relation::storage::StorageStats;
+use fgc_relation::storage::{StorageHealth, StorageStats};
 use fgc_views::Json;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +62,18 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Idle keep-alive read timeout before a connection is recycled.
     pub read_timeout: Duration,
+    /// Total time a client gets to deliver a complete request head
+    /// (request line + headers) once the worker starts reading it. A
+    /// slow-drip head (one byte per `read_timeout`) is cut off with a
+    /// 408 when this budget runs out instead of occupying the worker
+    /// indefinitely.
+    pub header_read_timeout: Duration,
+    /// End-to-end budget assigned to a request that carries no
+    /// `x-deadline-ms` header.
+    pub default_deadline: Duration,
+    /// Ceiling clamped onto any client-supplied `x-deadline-ms` — a
+    /// client cannot pin a worker longer than the operator allows.
+    pub max_deadline: Duration,
     /// Deployment role reported on `GET /healthz` (`"single"`,
     /// `"replica"`, or `"coordinator"`).
     pub role: String,
@@ -79,6 +94,9 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(5),
+            header_read_timeout: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(300),
             role: "single".into(),
             shard: None,
         }
@@ -101,6 +119,25 @@ impl ServerConfig {
     /// Builder: batch window.
     pub fn with_batch_window(mut self, window: Duration) -> Self {
         self.batch_window = window;
+        self
+    }
+
+    /// Builder: default end-to-end deadline for requests without an
+    /// `x-deadline-ms` header.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Builder: ceiling on any client-supplied `x-deadline-ms`.
+    pub fn with_max_deadline(mut self, deadline: Duration) -> Self {
+        self.max_deadline = deadline;
+        self
+    }
+
+    /// Builder: total budget for receiving one request head.
+    pub fn with_header_read_timeout(mut self, timeout: Duration) -> Self {
+        self.header_read_timeout = timeout;
         self
     }
 
@@ -216,6 +253,9 @@ impl CiteServer {
                     batcher: Arc::clone(&batcher),
                     shutdown: Arc::clone(&shutdown),
                     max_body_bytes: config.max_body_bytes,
+                    header_read_timeout: config.header_read_timeout,
+                    default_deadline: config.default_deadline,
+                    max_deadline: config.max_deadline,
                     cite_at_inflight: Arc::clone(&cite_at_inflight),
                     cite_at_limit: threads.saturating_sub(1).max(1),
                     role: config.role.clone(),
@@ -338,6 +378,12 @@ struct WorkerContext {
     batcher: Arc<Batcher>,
     shutdown: Arc<AtomicBool>,
     max_body_bytes: usize,
+    /// Total budget for one request head; overrun answers 408.
+    header_read_timeout: Duration,
+    /// Deadline assigned when `x-deadline-ms` is absent.
+    default_deadline: Duration,
+    /// Ceiling clamped onto any client-supplied `x-deadline-ms`.
+    max_deadline: Duration,
     /// `/cite_at` runs inline (it does not coalesce like `/cite`'s
     /// batched admission, and a cold version's first touch builds a
     /// whole engine), so concurrent versioned citations are capped at
@@ -385,7 +431,11 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
     let mut write_half = write_half;
     let mut reader = BufReader::new(stream);
     loop {
-        match read_request(&mut reader, ctx.max_body_bytes) {
+        // The head deadline starts when we begin waiting for a
+        // request: a client dripping one header byte per read-timeout
+        // can no longer hold a worker forever.
+        let head_deadline = Instant::now() + ctx.header_read_timeout;
+        match read_request_with_deadline(&mut reader, ctx.max_body_bytes, Some(head_deadline)) {
             Ok(request) => {
                 let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
                 // Assign (or honor) the request ID at the front door:
@@ -395,9 +445,12 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
                     .header("x-request-id")
                     .map(str::to_string)
                     .unwrap_or_else(next_request_id);
+                // Honor (clamped) or assign the end-to-end deadline;
+                // every downstream stage works against this budget.
+                let deadline = deadline_from(&request, ctx.default_deadline, ctx.max_deadline);
                 let started = Instant::now();
                 ctx.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-                let (status, body, stages) = route(ctx, &request, &rid);
+                let (status, body, stages) = route(ctx, &request, &rid, deadline);
                 ctx.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
                 ctx.slow.observe(SlowEntry {
                     request_id: rid.clone(),
@@ -429,6 +482,16 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
             }
             Err(HttpError::Closed) => return,
             Err(HttpError::Io(_)) => return, // timeout or broken pipe
+            Err(HttpError::HeaderTimeout) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut write_half,
+                    408,
+                    &error_body("request head not received within the server's header deadline"),
+                    false,
+                );
+                return; // mid-head: resync is impossible, drop the stream
+            }
             Err(HttpError::BadRequest(message)) => {
                 ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
                 let _ = write_response(&mut write_half, 400, &error_body(&message), false);
@@ -459,7 +522,12 @@ fn handle_connection(ctx: &WorkerContext, stream: TcpStream) {
 /// Dispatch one request; returns `(status, body, stages)`. Matched on
 /// path first so a known route with the wrong method (any method, not
 /// just GET/POST) answers 405 rather than a misleading 404.
-fn route(ctx: &WorkerContext, request: &HttpRequest, rid: &str) -> (u16, String, Stages) {
+fn route(
+    ctx: &WorkerContext,
+    request: &HttpRequest,
+    rid: &str,
+    deadline: Instant,
+) -> (u16, String, Stages) {
     if let Some(extra) = &ctx.extra {
         if let Some((status, body)) = extra(request) {
             return (status, body, Vec::new());
@@ -469,12 +537,12 @@ fn route(ctx: &WorkerContext, request: &HttpRequest, rid: &str) -> (u16, String,
     let expected = match request.path.as_str() {
         "/cite" if method == "POST" => {
             return timed_cite(&ctx.stats.cite, || {
-                serve_cite(ctx, &request.body, QueryKind::Datalog, rid)
+                serve_cite(ctx, &request.body, QueryKind::Datalog, rid, deadline)
             })
         }
         "/cite_sql" if method == "POST" => {
             return timed_cite(&ctx.stats.cite_sql, || {
-                serve_cite(ctx, &request.body, QueryKind::Sql, rid)
+                serve_cite(ctx, &request.body, QueryKind::Sql, rid, deadline)
             })
         }
         "/cite_at" if method == "POST" => {
@@ -540,7 +608,13 @@ fn serve_cite(
     body: &[u8],
     kind: QueryKind,
     rid: &str,
+    deadline: Instant,
 ) -> (u16, String, Stages) {
+    // A request that arrives with its budget already spent (e.g. a
+    // coordinator hop consumed it) is refused before any work.
+    if remaining_ms(deadline) == 0 {
+        return (504, deadline_exceeded_body(ctx), Vec::new());
+    }
     // Wire decode is this worker's share of the `parse` stage (the
     // engine times the query resolution itself on the batch thread).
     let decoded = ctx.engine.stage_stats().time("parse", || {
@@ -554,7 +628,7 @@ fn serve_cite(
     };
     let include_stages = request.include_stages;
     let request = request.with_request_id(rid);
-    let receiver = match ctx.batcher.submit(request) {
+    let receiver = match ctx.batcher.submit(request, Some(deadline)) {
         Ok(rx) => rx,
         Err(_) => {
             ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -565,16 +639,34 @@ fn serve_cite(
             );
         }
     };
-    match receiver.recv() {
+    // Block no longer than the request's remaining budget (plus a
+    // small grace so a response racing the deadline still lands); a
+    // late reply goes to a dropped receiver, which the batcher
+    // tolerates.
+    let budget = deadline.saturating_duration_since(Instant::now()) + Duration::from_millis(50);
+    match receiver.recv_timeout(budget) {
         Ok(Ok(response)) => {
             let body = encode_response_with(&response, include_stages).to_compact();
             (200, body, response.stages)
         }
+        Ok(Err(BatchFailure::DeadlineExceeded)) => (504, deadline_exceeded_body(ctx), Vec::new()),
         // engine errors are request-shaped (unknown relation, SQL
         // parse failure against the catalog, ...): the client's fault
-        Ok(Err(e)) => (400, error_body(&e.to_string()), Vec::new()),
-        Err(_) => (500, error_body("batcher dropped the request"), Vec::new()),
+        Ok(Err(BatchFailure::Engine(e))) => (400, error_body(&e.to_string()), Vec::new()),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            (504, deadline_exceeded_body(ctx), Vec::new())
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            (500, error_body("batcher dropped the request"), Vec::new())
+        }
     }
+}
+
+/// The structured 504 body; also bumps the deadline counter so every
+/// exhaustion path is visible on `/stats` and `/metrics`.
+fn deadline_exceeded_body(ctx: &WorkerContext) -> String {
+    ctx.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    error_body("deadline exceeded before a response was produced")
 }
 
 /// `POST /cite_at`: a fixity-stamped citation against a specific
@@ -694,14 +786,27 @@ fn serve_versions(ctx: &WorkerContext) -> (u16, String) {
 /// `GET /healthz`: liveness plus deployment identity — role, shard
 /// ownership (`"i/n"`, null when unsharded), and the number of
 /// loaded versions — so a coordinator's health check and an operator
-/// see the same truth.
+/// see the same truth. When the storage backend reports trouble (a
+/// failed sync, an unreadable manifest, a WAL backlog) the body gains
+/// `degraded: true` plus the cause list while `status` stays a 200 —
+/// the process still serves reads, it just cannot promise durability.
 fn serve_healthz(ctx: &WorkerContext) -> String {
     let versions = ctx
         .versioned
         .as_ref()
         .map_or(1, |v| v.history().len() as i64);
+    let health = storage_health(ctx);
+    let degraded = health.as_ref().is_some_and(|h| h.degraded);
+    let causes: Vec<Json> = health
+        .map(|h| h.causes.into_iter().map(Json::str).collect())
+        .unwrap_or_default();
     Json::from_pairs([
-        ("status", Json::str("ok")),
+        (
+            "status",
+            Json::str(if degraded { "degraded" } else { "ok" }),
+        ),
+        ("degraded", Json::Bool(degraded)),
+        ("causes", Json::Array(causes)),
         ("role", Json::str(ctx.role.clone())),
         (
             "shard",
@@ -711,6 +816,17 @@ fn serve_healthz(ctx: &WorkerContext) -> String {
         ("versions", Json::Int(versions)),
     ])
     .to_compact()
+}
+
+/// The storage backend's self-reported health: versioned deployments
+/// hold the handle on the versioned engine, single deployments on the
+/// engine itself; memory backends report nothing.
+fn storage_health(ctx: &WorkerContext) -> Option<StorageHealth> {
+    ctx.versioned
+        .as_ref()
+        .and_then(|v| v.storage())
+        .or_else(|| ctx.engine.storage())
+        .and_then(|s| s.health())
 }
 
 fn serve_views(ctx: &WorkerContext) -> String {
@@ -880,6 +996,9 @@ fn serve_metrics(ctx: &WorkerContext) -> String {
             write_storage_metrics(&mut w, &base, &stats);
         }
     }
+    // Per-fault-point hit/injection counters: empty (and free) unless
+    // the process-global plane has been armed or set to observe.
+    fgc_fault::global().write_prometheus(&mut w, &base);
     w.finish()
 }
 

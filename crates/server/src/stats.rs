@@ -89,6 +89,10 @@ pub struct ServerStats {
     pub rejected: AtomicU64,
     /// Connections whose request could not be parsed (400/413/408).
     pub malformed: AtomicU64,
+    /// Requests answered 504 because their end-to-end deadline
+    /// (`x-deadline-ms`, or the server default) expired before a
+    /// response was produced.
+    pub deadline_exceeded: AtomicU64,
     /// `cite_batch` calls issued by the batcher.
     pub batches: AtomicU64,
     /// Requests served through those batches.
@@ -118,6 +122,7 @@ impl Default for ServerStats {
             unrouted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             batch_wait: Histogram::new(),
@@ -186,6 +191,10 @@ impl ServerStats {
             (
                 "malformed",
                 Json::Int(self.malformed.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "deadline_exceeded",
+                Json::Int(self.deadline_exceeded.load(Ordering::Relaxed) as i64),
             ),
             (
                 "batches",
@@ -282,8 +291,13 @@ impl ServerStats {
             ),
             (
                 "fgcite_malformed_total",
-                "Unparseable requests (400/411/413).",
+                "Unparseable requests (400/411/413/408).",
                 &self.malformed,
+            ),
+            (
+                "fgcite_deadline_exceeded_total",
+                "Requests whose end-to-end deadline expired (504).",
+                &self.deadline_exceeded,
             ),
             (
                 "fgcite_batches_total",

@@ -89,7 +89,19 @@ impl Args {
                     (name, value)
                 }
             };
-            flags.insert(name.to_string(), value);
+            // `--fault` is repeatable: each occurrence appends another
+            // `;`-separated spec instead of overwriting the last one
+            if name == "fault" {
+                flags
+                    .entry(name.to_string())
+                    .and_modify(|prior: &mut String| {
+                        prior.push(';');
+                        prior.push_str(&value);
+                    })
+                    .or_insert(value);
+            } else {
+                flags.insert(name.to_string(), value);
+            }
         }
         Ok(Args { command, flags })
     }
@@ -127,9 +139,14 @@ usage:
                  [--commits FILE]
                  [--storage mem|disk [--data-dir DIR]]
                  [--role replica --shard-id I/N [--shard-key SPEC]]
+                 [--deadline-ms MS] [--max-deadline-ms MS]
+                 [--header-timeout-ms MS]
+                 [--fault POINT=ACTION[@TRIGGER]] [--fault-seed N]
   fgcite serve   --role coordinator --replicas HOST:PORT,...
                  [--twins HOST:PORT|-,...] [--replica-timeout-ms MS]
                  [--addr HOST:PORT] [--threads N]
+                 [--deadline-ms MS] [--max-deadline-ms MS]
+                 [--fault POINT=ACTION[@TRIGGER]] [--fault-seed N]
 
 Flags accept both `--name value` and `--name=value`.
 ORDER: none | fewest-views | fewest-uncovered | view-inclusion | composite
@@ -183,7 +200,26 @@ storage backends:
        Versioned deployments persist each commit
        write-behind. Backend counters (segments, WAL bytes,
        buffer-cache hit rate) appear under `storage` in GET /stats
-       and as `fgcite_storage_*` in GET /metrics.";
+       and as `fgcite_storage_*` in GET /metrics.
+deadlines & fault injection:
+       Every request gets an end-to-end deadline: the `x-deadline-ms`
+       request header when present (capped by --max-deadline-ms,
+       default 300000), else --deadline-ms (default 30000). A spent
+       budget answers a structured 504 and counts in
+       `fgcite_deadline_exceeded_total`; coordinators forward the
+       remaining budget to replicas on every scatter call. A client
+       that dribbles its request head slower than --header-timeout-ms
+       (default 10000) gets a 408 instead of holding a worker.
+       --fault arms the deterministic fault plane at a named point:
+       `--fault storage.wal.append=torn@nth:3` injects a torn write
+       on the 3rd WAL append, `--fault dist.pool.send=error@p:0.01`
+       fails 1% of replica sends (seeded by --fault-seed; repeat
+       --fault or separate specs with `;` for more points). ACTION:
+       error | torn | crash-before | crash-after | delay:MS. TRIGGER:
+       always (default) | nth:N | every:K | p:P. Per-point counters
+       appear as `fgcite_fault_point_*` in GET /metrics; /healthz
+       reports `degraded` (with causes) when the storage backend is
+       failing or a replica circuit is open.";
 
 fn load_database(text: &str) -> Result<Database, CliError> {
     let mut db = Database::new();
@@ -487,7 +523,54 @@ pub fn serve_config(args: &Args) -> Result<fgc_server::ServerConfig, CliError> {
             .map_err(|_| CliError("--batch-window must be a number of milliseconds".into()))?;
         config = config.with_batch_window(std::time::Duration::from_millis(ms));
     }
+    let positive_ms = |name: &str| -> Result<Option<std::time::Duration>, CliError> {
+        args.get(name)
+            .map(|v| {
+                v.parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .map(std::time::Duration::from_millis)
+                    .ok_or_else(|| {
+                        CliError(format!(
+                            "--{name} must be a positive number of milliseconds"
+                        ))
+                    })
+            })
+            .transpose()
+    };
+    if let Some(deadline) = positive_ms("deadline-ms")? {
+        config = config.with_default_deadline(deadline);
+    }
+    if let Some(max) = positive_ms("max-deadline-ms")? {
+        config = config.with_max_deadline(max);
+    }
+    if let Some(timeout) = positive_ms("header-timeout-ms")? {
+        config = config.with_header_read_timeout(timeout);
+    }
     Ok(config)
+}
+
+/// Arm the process-wide fault plane from the `--fault` /
+/// `--fault-seed` flags. Each `--fault` takes a
+/// `point=action[@trigger]` spec (repeat the flag, or separate specs
+/// with `;`); a malformed spec is a structured error before anything
+/// starts serving. Without the flags this is a no-op and the plane
+/// stays inactive (zero-cost checks on the hot paths).
+pub fn apply_faults(args: &Args) -> Result<(), CliError> {
+    if let Some(seed) = args.get("fault-seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| CliError("--fault-seed must be a non-negative number".into()))?;
+        fgc_fault::global().set_seed(seed);
+    }
+    if let Some(specs) = args.get("fault") {
+        for spec in specs.split(';').filter(|s| !s.trim().is_empty()) {
+            fgc_fault::global()
+                .arm_spec(spec.trim())
+                .map_err(|e| CliError(format!("--fault {spec}: {e}")))?;
+        }
+    }
+    Ok(())
 }
 
 /// Apply the `--shards` / `--shard-key` flags to a freshly built
@@ -523,6 +606,7 @@ pub fn run_serve(
     views: &str,
     commits: Option<&str>,
 ) -> Result<fgc_server::CiteServer, CliError> {
+    apply_faults(args)?;
     match args.get("role").unwrap_or("single") {
         "single" => {}
         "replica" => return run_serve_replica(args, data, views, commits),
@@ -692,6 +776,7 @@ fn parse_addr_list(text: &str) -> Result<Vec<std::net::SocketAddr>, CliError> {
 /// `--twins` optionally names a failover twin per shard, `-` marking
 /// shards without one.
 pub fn run_serve_coordinator(args: &Args) -> Result<fgc_dist::DistServer, CliError> {
+    apply_faults(args)?;
     if args.get("data").is_some() || args.get("views").is_some() {
         return Err(CliError(
             "--role coordinator takes no --data/--views \
@@ -1261,6 +1346,83 @@ lambda F. CV1(F, N, Pn) :- Family(F, N, Ty), FC(F, C), Person(C, Pn, A)
         let bad_window =
             Args::parse(["serve".to_string(), "--batch-window=fast".to_string()]).unwrap();
         assert!(serve_config(&bad_window).is_err());
+    }
+
+    #[test]
+    fn serve_config_parses_deadline_flags() {
+        let args = Args::parse(
+            [
+                "serve",
+                "--deadline-ms=1500",
+                "--max-deadline-ms=60000",
+                "--header-timeout-ms=250",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let config = serve_config(&args).unwrap();
+        assert_eq!(
+            config.default_deadline,
+            std::time::Duration::from_millis(1500)
+        );
+        assert_eq!(config.max_deadline, std::time::Duration::from_millis(60000));
+        assert_eq!(
+            config.header_read_timeout,
+            std::time::Duration::from_millis(250)
+        );
+        for bad in [
+            "--deadline-ms=0",
+            "--max-deadline-ms=soon",
+            "--header-timeout-ms=-5",
+        ] {
+            let args = Args::parse(["serve".to_string(), bad.to_string()]).unwrap();
+            assert!(serve_config(&args).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn fault_flags_accumulate_and_arm_the_plane() {
+        // the flag is repeatable: occurrences join with `;`
+        let args = Args::parse(
+            [
+                "serve",
+                "--fault=cli.test.point=error@nth:1",
+                "--fault",
+                "cli.test.other=delay:1",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(
+            args.get("fault"),
+            Some("cli.test.point=error@nth:1;cli.test.other=delay:1")
+        );
+        apply_faults(&args).unwrap();
+        let plane = fgcite_fault_plane();
+        let armed: Vec<String> = plane
+            .snapshot()
+            .into_iter()
+            .filter(|p| p.armed)
+            .map(|p| p.name)
+            .collect();
+        assert!(armed.iter().any(|p| p == "cli.test.point"), "{armed:?}");
+        assert!(armed.iter().any(|p| p == "cli.test.other"), "{armed:?}");
+        plane.disarm("cli.test.point");
+        plane.disarm("cli.test.other");
+
+        // malformed specs and seeds are structured errors
+        let bad = Args::parse(["serve".to_string(), "--fault=nonsense".to_string()]).unwrap();
+        let err = apply_faults(&bad).unwrap_err();
+        assert!(err.to_string().contains("point=action"), "{err}");
+        let bad_seed =
+            Args::parse(["serve".to_string(), "--fault-seed=entropy".to_string()]).unwrap();
+        assert!(apply_faults(&bad_seed).is_err());
+    }
+
+    fn fgcite_fault_plane() -> &'static fgc_fault::FaultPlane {
+        fgc_fault::global()
     }
 
     #[test]

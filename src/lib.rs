@@ -27,7 +27,10 @@
 //!   per-endpoint serving stats;
 //! * [`dist`] — the distributed scatter/gather serving tier: shard
 //!   replicas and a stateless coordinator over the same wire format
-//!   (`fgcite serve --role replica|coordinator`).
+//!   (`fgcite serve --role replica|coordinator`);
+//! * [`fault`] — the deterministic fault-injection plane: named
+//!   fault points with seeded triggers, driven by `--fault` specs and
+//!   the crash-consistency/chaos test harnesses.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@ pub mod cli;
 
 pub use fgc_core as engine;
 pub use fgc_dist as dist;
+pub use fgc_fault as fault;
 pub use fgc_gtopdb as gtopdb;
 pub use fgc_query as query;
 pub use fgc_relation as relation;
