@@ -1,11 +1,12 @@
 //! Print all experiment tables (the `--print-tables` mode referenced
 //! by DESIGN.md). Run with `--release`; pass experiment ids (e.g.
 //! `e1 e3`) to restrict. The load-generator experiments (E10, E14),
-//! the observability-overhead experiment (E15), and the storage
-//! backend comparison (E16; pass `e16 full` for the 100× sweep)
-//! additionally persist their results as `BENCH_E10.json` /
-//! `BENCH_E14.json` / `BENCH_E15.json` / `BENCH_E16.json` in the
-//! working directory.
+//! the incremental-maintenance experiment (E13; pass `e13 full` for
+//! the 1,000-commit long-history row), the observability-overhead
+//! experiment (E15), and the storage backend comparison (E16; pass
+//! `e16 full` for the 100× sweep) additionally persist their results
+//! as `BENCH_E10.json` / `BENCH_E13.json` / `BENCH_E14.json` /
+//! `BENCH_E15.json` / `BENCH_E16.json` in the working directory.
 
 /// Persist a table as a machine-readable artifact next to the
 /// printable rendering.
@@ -70,7 +71,17 @@ fn main() {
         println!();
     }
     if want("e13") {
-        print!("{}", fgc_bench::e13_table(1_000, &[4, 16, 64]).render());
+        // `e13 full` appends the 1,000-commit long-history row the
+        // structural-sharing (resident_kib) claim is demonstrated on —
+        // its rebuild-per-version baseline walk takes a while
+        let commits: &[usize] = if args.iter().any(|a| a.eq_ignore_ascii_case("full")) {
+            &[4, 16, 64, 1_000]
+        } else {
+            &[4, 16, 64]
+        };
+        let table = fgc_bench::e13_table(1_000, commits);
+        persist("BENCH_E13.json", &table);
+        print!("{}", table.render());
         println!();
     }
     if want("e14") {

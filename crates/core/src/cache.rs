@@ -36,7 +36,7 @@ use fgc_views::Json;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Number of independent lock shards in [`CitationCache`].
 pub const SHARDS: usize = 16;
@@ -70,11 +70,14 @@ impl CacheStats {
     }
 }
 
-/// One resident entry: the cached citation plus its CLOCK bit.
+/// One resident entry: the cached citation plus its CLOCK bit. The
+/// value is `Arc`-shared so a derived engine's
+/// [`CitationCache::filtered_copy`] carries survivors by pointer
+/// instead of deep-cloning every cached citation.
 #[derive(Debug)]
 struct Slot {
     token: CiteToken,
-    value: Json,
+    value: Arc<Json>,
     /// Second-chance bit; set on hit under the shard's *read* lock.
     referenced: AtomicBool,
 }
@@ -90,7 +93,7 @@ struct Shard {
 impl Shard {
     /// Insert `token → value`, evicting via CLOCK when at capacity.
     /// Returns whether an entry was evicted.
-    fn insert(&mut self, token: CiteToken, value: Json, capacity: usize) -> bool {
+    fn insert(&mut self, token: CiteToken, value: Arc<Json>, capacity: usize) -> bool {
         if capacity == 0 {
             // cache disabled: nothing to store, and the CLOCK sweep
             // below would divide by an empty slot ring
@@ -210,25 +213,25 @@ impl CitationCache {
                 let slot = &guard.slots[index];
                 slot.referenced.store(true, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return (slot.value.clone(), true);
+                return ((*slot.value).clone(), true);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let computed_at = std::time::Instant::now();
-        let value = compute();
+        let value = Arc::new(compute());
         self.compute_latency.record_nanos(computed_at.elapsed());
         if self.shard_capacity == 0 {
-            return (value, false); // disabled: never store
+            return ((*value).clone(), false); // disabled: never store
         }
         let evicted = shard.write().expect("cache shard poisoned").insert(
             token.clone(),
-            value.clone(),
+            Arc::clone(&value),
             self.shard_capacity,
         );
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        (value, false)
+        ((*value).clone(), false)
     }
 
     /// Fetch or compute, discarding the hit flag.
@@ -281,9 +284,12 @@ impl CitationCache {
     /// A fresh cache (same capacity, zeroed counters) seeded with the
     /// entries whose token satisfies `keep` — how a derived engine
     /// invalidates only the entries a commit delta touched while the
-    /// rest stay warm. Values are cloned (the cache stores `Json`
-    /// directly, same as every hit returns); `Arc`-sharing them is a
-    /// ROADMAP item that would also cheapen the hit path.
+    /// rest stay warm. Survivors carry over by `Arc`-shared value —
+    /// pointers, not deep clones — so cache carry-over is O(entries),
+    /// independent of citation sizes. A survivor that lands in a full
+    /// shard displaces another via the CLOCK sweep; those
+    /// displacements are counted in the copy's
+    /// [`CacheStats::evictions`] rather than vanishing silently.
     pub fn filtered_copy<F>(&self, keep: F) -> CitationCache
     where
         F: Fn(&CiteToken) -> bool,
@@ -293,10 +299,18 @@ impl CitationCache {
             let guard = shard.read().expect("cache shard poisoned");
             for slot in &guard.slots {
                 if keep(&slot.token) {
-                    copy.shard(&slot.token)
+                    let evicted = copy
+                        .shard(&slot.token)
                         .write()
                         .expect("cache shard poisoned")
-                        .insert(slot.token.clone(), slot.value.clone(), copy.shard_capacity);
+                        .insert(
+                            slot.token.clone(),
+                            Arc::clone(&slot.value),
+                            copy.shard_capacity,
+                        );
+                    if evicted {
+                        copy.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }

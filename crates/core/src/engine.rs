@@ -466,38 +466,61 @@ impl CitationEngine {
     /// one by replaying a commit delta — the incremental alternative
     /// to `CitationEngine::new` over the child snapshot.
     ///
-    /// Cost is O(|DB| store copy + delta replay + affected-view
-    /// extents): the parent store (and, when warm, its extent store)
-    /// is still deep-cloned before replay — what derivation avoids is
-    /// re-validating views, recomputing the inclusion matrix,
-    /// re-evaluating *unaffected* view extents, and recompiling or
-    /// re-interpreting everything the caches already hold.
-    /// (Cross-version structural sharing of unchanged relations,
-    /// which would drop the copy too, is future work.) Concretely:
+    /// Cost is O(changed): the relation store is copy-on-write
+    /// ([`Database`] holds `Arc<Relation>` entries), so cloning the
+    /// parent shares every relation structurally and replay
+    /// deep-copies only the relations the delta touches. The same
+    /// holds for the extent store (untouched view extents are adopted
+    /// by `Arc`), the sharded store (deltas replay into the existing
+    /// fragments instead of re-partitioning), and the caches
+    /// (survivors carry over by `Arc`-shared value). Concretely:
     ///
     /// * the relation store (rows and indexes) is updated by replay,
     ///   which reproduces the child snapshot structurally — same row
     ///   order, same index state — so citations stay **byte-identical**
     ///   to a full rebuild (global row order included);
-    /// * view extents are recomputed only for *affected* views (those
-    ///   whose view or citation query mentions a touched relation);
-    ///   unaffected extents are carried over wholesale;
+    /// * view extents are recomputed only for views whose *view query*
+    ///   mentions a touched relation, and even then single-atom
+    ///   injective views are patched row-by-row from the delta ops
+    ///   ([`Self::incremental_extent`]) instead of re-evaluated;
     /// * the token cache keeps every entry except those of affected
-    ///   views; the plan cache keeps every plan whose query avoids
-    ///   touched relations and affected view extents (plans encode
-    ///   size-dependent join orders, so stale sizes must recompile).
+    ///   views (view *or* citation query mentions a touched
+    ///   relation); the plan cache keeps every plan whose query
+    ///   avoids touched relations and recomputed view extents (plans
+    ///   encode size-dependent join orders, so stale sizes must
+    ///   recompile);
+    /// * an empty delta short-circuits to pure structural sharing —
+    ///   the derived engine shares every store and cache wholesale.
     ///
     /// Errors with [`fgc_relation::RelationError::DeltaMismatch`]
     /// (via [`CoreError::Relation`]) when the delta is structural or
     /// this engine's database is not the delta's parent; callers fall
     /// back to a full rebuild.
     pub fn derive_with_delta(&self, delta: &DatabaseDelta) -> Result<CitationEngine> {
+        if delta.is_empty() {
+            return self.derive_shared();
+        }
         let mut db = (*self.db).clone();
         db.apply_delta(delta)?;
         let db = Arc::new(db);
 
         let touched: HashSet<&str> = delta.touched().collect();
-        let affected: HashSet<&str> = self
+        // Views whose extent rows can change: the *view query*
+        // mentions a touched relation. A view whose citation query
+        // alone is affected keeps its extent (the extent is the view
+        // query's evaluation) but must drop cached citations.
+        let extent_affected: HashSet<&str> = self
+            .registry
+            .iter()
+            .filter(|v| {
+                v.view
+                    .atoms
+                    .iter()
+                    .any(|a| touched.contains(a.relation.as_str()))
+            })
+            .map(|v| v.name.as_str())
+            .collect();
+        let token_affected: HashSet<&str> = self
             .registry
             .iter()
             .filter(|v| {
@@ -511,13 +534,14 @@ impl CitationEngine {
             .collect();
 
         let cache = self.cache.filtered_copy(|token| match token {
-            CiteToken::View { view, .. } => !affected.contains(view.as_str()),
+            CiteToken::View { view, .. } => !token_affected.contains(view.as_str()),
             // base-relation citations carry no data, only the name
             CiteToken::Base { .. } => true,
         });
         let plans = self.plans.filtered_copy(|q| {
             !q.atoms.iter().any(|a| {
-                touched.contains(a.relation.as_str()) || affected.contains(a.relation.as_str())
+                touched.contains(a.relation.as_str())
+                    || extent_affected.contains(a.relation.as_str())
             })
         });
 
@@ -531,28 +555,31 @@ impl CitationEngine {
         {
             None => None,
             Some(parent) => {
+                // Shares every base relation with `db` (CoW), so this
+                // clone costs pointers.
                 let mut extended = (*db).clone();
                 for view in self.registry.iter() {
-                    if affected.contains(view.name.as_str()) {
+                    if !extent_affected.contains(view.name.as_str()) {
+                        extended
+                            .adopt_relation_arc(Arc::clone(parent.relation_arc(&view.name)?))?;
+                    } else if !Self::incremental_extent(&mut extended, view, parent, delta)? {
                         Self::materialize_extent(&mut extended, view, &db)?;
-                    } else {
-                        extended.adopt_relation(parent.relation(&view.name)?.clone())?;
                     }
                 }
                 Some(Arc::new(extended))
             }
         };
 
-        // A sharded parent re-partitions the derived store with the
-        // same layout (delta replay inside shard fragments is not
-        // supported; fixity engines are unsharded anyway).
+        // A sharded parent replays the delta into its existing
+        // fragments (structurally identical to re-partitioning the
+        // derived store — `ShardedDatabase::derive_with_delta`); a
+        // replay mismatch falls back to re-partitioning from scratch.
         let sharded = match &self.sharded {
             None => None,
-            Some(s) => Some(Arc::new(ShardedDatabase::from_database(
-                &db,
-                s.shard_count(),
-                s.spec().clone(),
-            )?)),
+            Some(s) => Some(Arc::new(match s.derive_with_delta(delta) {
+                Ok(derived) => derived,
+                Err(_) => ShardedDatabase::from_database(&db, s.shard_count(), s.spec().clone())?,
+            })),
         };
 
         Ok(CitationEngine {
@@ -571,6 +598,162 @@ impl CitationEngine {
             stages: StageSet::new(CITE_STAGES),
             storage: self.storage.clone(),
         })
+    }
+
+    /// The empty-delta derivation: nothing changed, so the derived
+    /// engine structurally shares every store (base, extent, sharded)
+    /// and every cache entry with the parent. O(1) in the database
+    /// size. [`Self::delta_affects_views`] tells callers when this
+    /// path was (or will be) taken, for stats accounting.
+    fn derive_shared(&self) -> Result<CitationEngine> {
+        Ok(CitationEngine {
+            db: Arc::clone(&self.db),
+            registry: self.registry.clone(),
+            view_defs: self.view_defs.clone(),
+            policy: self.policy.clone(),
+            options: self.options,
+            inclusion: self.inclusion.clone(),
+            extent_db: RwLock::new(self.extent_db.read().expect("extent lock poisoned").clone()),
+            cache: self.cache.filtered_copy(|_| true),
+            sharded: self.sharded.clone(),
+            extent_sharded: RwLock::new(
+                self.extent_sharded
+                    .read()
+                    .expect("extent shard lock poisoned")
+                    .clone(),
+            ),
+            shard_counters: ShardCounters::default(),
+            plans: self.plans.filtered_copy(|_| true),
+            stages: StageSet::new(CITE_STAGES),
+            storage: self.storage.clone(),
+        })
+    }
+
+    /// Whether a delta affects any registered view (its view or
+    /// citation query mentions a touched relation). An empty delta
+    /// affects none. Versioned serving counts derivations where this
+    /// is `false` as pure structural sharing.
+    pub fn delta_affects_views(&self, delta: &DatabaseDelta) -> bool {
+        let touched: HashSet<&str> = delta.touched().collect();
+        self.registry.iter().any(|v| {
+            v.view
+                .atoms
+                .iter()
+                .chain(v.citation_query.atoms.iter())
+                .any(|a| touched.contains(a.relation.as_str()))
+        })
+    }
+
+    /// Patch one view's extent relation from the delta ops instead of
+    /// re-evaluating the view — the delta-aware extent path. Applies
+    /// only where it is provably byte-identical to re-evaluation: the
+    /// view query is a single atom with no comparisons and its head
+    /// projection is *injective* on the atom's rows (the head's
+    /// variable positions cover all columns or a primary key), so
+    /// each base-row insert/remove maps one-to-one to an extent-row
+    /// append/order-preserving removal, reproducing exactly the rows,
+    /// order, and index state evaluation would build. Constants and
+    /// repeated variables in the atom act as per-row selections.
+    /// Returns `false` (and adds nothing) when the view doesn't
+    /// qualify; the caller then re-materializes wholesale.
+    fn incremental_extent(
+        extended: &mut Database,
+        view: &fgc_views::CitationView,
+        parent_extent: &Database,
+        delta: &DatabaseDelta,
+    ) -> Result<bool> {
+        let q = &view.view;
+        if q.atoms.len() != 1 || !q.comparisons.is_empty() {
+            return Ok(false);
+        }
+        let atom = &q.atoms[0];
+        // First atom position of each variable.
+        let mut var_pos: HashMap<&str, usize> = HashMap::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let Some(v) = t.as_var() {
+                var_pos.entry(v).or_insert(i);
+            }
+        }
+        // Head projection plan: base-column index or literal constant.
+        enum Slot {
+            Pos(usize),
+            Lit(Value),
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(q.head.len());
+        let mut covered: HashSet<usize> = HashSet::new();
+        for term in &q.head {
+            match term {
+                Term::Var(v) => {
+                    let Some(&p) = var_pos.get(v.as_str()) else {
+                        return Ok(false); // unsafe head var; bail
+                    };
+                    covered.insert(p);
+                    slots.push(Slot::Pos(p));
+                }
+                Term::Const(c) => slots.push(Slot::Lit(c.clone())),
+            }
+        }
+        let schema = extended.relation(&atom.relation)?.schema().clone();
+        let injective = (0..schema.arity()).all(|i| covered.contains(&i))
+            || (schema.has_key() && schema.key.iter().all(|p| covered.contains(p)));
+        if !injective {
+            return Ok(false);
+        }
+        // The atom pattern as a per-row selection: constants must
+        // match, repeated variables must bind consistently.
+        let matches = |t: &Tuple| -> bool {
+            let mut bound: HashMap<&str, &Value> = HashMap::new();
+            for (i, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if &t[i] != c {
+                            return false;
+                        }
+                    }
+                    Term::Var(v) => match bound.get(v.as_str()) {
+                        Some(prev) => {
+                            if *prev != &t[i] {
+                                return false;
+                            }
+                        }
+                        None => {
+                            bound.insert(v.as_str(), &t[i]);
+                        }
+                    },
+                }
+            }
+            true
+        };
+        let project = |t: &Tuple| -> Tuple {
+            slots
+                .iter()
+                .map(|s| match s {
+                    Slot::Pos(p) => t[*p].clone(),
+                    Slot::Lit(v) => v.clone(),
+                })
+                .collect()
+        };
+        // Adopt the parent's extent relation by Arc; the first patch
+        // below unshares it (CoW), costing one extent copy instead of
+        // a full re-evaluation + index rebuild.
+        extended.adopt_relation_arc(Arc::clone(parent_extent.relation_arc(&view.name)?))?;
+        for rd in delta.relations() {
+            if rd.relation != atom.relation {
+                continue;
+            }
+            for op in &rd.ops {
+                match op {
+                    fgc_relation::DeltaOp::Insert(t) if matches(t) => {
+                        extended.relation_mut(&view.name)?.insert(project(t))?;
+                    }
+                    fgc_relation::DeltaOp::Remove(t) if matches(t) => {
+                        extended.relation_mut(&view.name)?.remove(&project(t))?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(true)
     }
 
     /// Drop cached citations, extents, and compiled plans (e.g. for
@@ -604,6 +787,17 @@ impl CitationEngine {
                     .unwrap_or(self.options.memoize_interpretation),
             },
         }
+    }
+
+    /// The extent store, if this engine has materialized one — no
+    /// build is forced. Memory accounting walks this next to the base
+    /// store to attribute extent relations to warm engines.
+    pub fn extent_database_if_built(&self) -> Option<Arc<Database>> {
+        self.extent_db
+            .read()
+            .expect("extent lock poisoned")
+            .as_ref()
+            .map(Arc::clone)
     }
 
     /// The database extended with one relation per view extent;

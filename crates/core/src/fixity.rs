@@ -29,10 +29,10 @@ use crate::policy::Policy;
 use fgc_query::ast::ConjunctiveQuery;
 use fgc_relation::storage::{Storage, StorageStats};
 use fgc_relation::version::{VersionId, VersionedDatabase};
+use fgc_relation::{Database, Relation};
 use fgc_views::{Json, ViewRegistry};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Default maximum delta size (effective ops) the engine will replay
@@ -90,8 +90,38 @@ pub struct VersionStats {
     /// over-threshold delta, or replay mismatch) — a warm-neighbor
     /// miss is counted only under `rebuilt`.
     pub fallbacks: u64,
+    /// First touches whose delta was empty or touched no view — the
+    /// engine is pure structural sharing of its warm neighbor (no
+    /// extent recomputation, caches carried whole). A subset of
+    /// what `derived` would otherwise count, reported separately.
+    pub shared: u64,
+    /// Warm engines evicted by the retention policy (see
+    /// [`VersionedCitationEngine::with_engine_capacity`]).
+    pub engine_evictions: u64,
     /// Current derivation threshold (max delta ops to replay).
     pub derive_threshold: usize,
+    /// Warm-engine retention capacity (`0` = unbounded).
+    pub engine_capacity: usize,
+}
+
+/// Approximate memory footprint of the history plus all warm
+/// engines, deduplicating structurally-shared relations by `Arc`
+/// identity. `relation_refs - unique_relations` is the number of
+/// references that cost a pointer instead of a copy — the figure the
+/// E13 experiment tracks to show resident memory grows with
+/// O(changed), not O(versions × |DB|).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionMemoryStats {
+    /// Bytes held by distinct relation instances (rows + indexes).
+    pub resident_bytes: usize,
+    /// Relation references across snapshots, warm engines, and their
+    /// extent stores.
+    pub relation_refs: usize,
+    /// Distinct relation instances behind those references.
+    pub unique_relations: usize,
+    /// References served by sharing (`relation_refs -
+    /// unique_relations`).
+    pub shared_relations: usize,
 }
 
 /// Relaxed counters behind [`VersionStats`] (same contract as
@@ -103,6 +133,89 @@ struct VersionCounters {
     derived: AtomicU64,
     rebuilt: AtomicU64,
     fallbacks: AtomicU64,
+    shared: AtomicU64,
+    engine_evictions: AtomicU64,
+}
+
+/// A warm per-version engine plus its CLOCK reference bit. The bit is
+/// atomic so lookups under the read lock can mark recency without
+/// upgrading to a write lock.
+struct WarmEngine {
+    version: VersionId,
+    engine: Arc<CitationEngine>,
+    referenced: AtomicBool,
+}
+
+/// The warm-engine map with second-chance (CLOCK) retention. Evicted
+/// engines are rebuilt or re-derived on demand — eviction never loses
+/// information, only warmth, because every engine is a deterministic
+/// function of the history.
+#[derive(Default)]
+struct EngineMap {
+    slots: Vec<WarmEngine>,
+    index: HashMap<VersionId, usize>,
+    hand: usize,
+}
+
+impl EngineMap {
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Look up a warm engine, granting it a second chance.
+    fn get(&self, version: VersionId) -> Option<&Arc<CitationEngine>> {
+        let &i = self.index.get(&version)?;
+        let slot = &self.slots[i];
+        slot.referenced.store(true, Ordering::Relaxed);
+        Some(&slot.engine)
+    }
+
+    fn engines(&self) -> impl Iterator<Item = &Arc<CitationEngine>> {
+        self.slots.iter().map(|s| &s.engine)
+    }
+
+    /// Sweep the hand until an unreferenced slot falls out. Two laps
+    /// bound the sweep: the first clears every reference bit, the
+    /// second must find a victim.
+    fn evict_one(&mut self) {
+        loop {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            let slot = &self.slots[self.hand];
+            if slot.referenced.swap(false, Ordering::Relaxed) {
+                self.hand += 1;
+                continue;
+            }
+            let victim = self.slots.swap_remove(self.hand);
+            self.index.remove(&victim.version);
+            if let Some(moved) = self.slots.get(self.hand) {
+                self.index.insert(moved.version, self.hand);
+            }
+            return;
+        }
+    }
+
+    /// Insert a freshly built engine, evicting under the capacity
+    /// first (`0` = unbounded) so the newcomer is never its own
+    /// victim. Returns the number of evictions performed.
+    fn insert(&mut self, version: VersionId, engine: Arc<CitationEngine>, capacity: usize) -> u64 {
+        debug_assert!(!self.index.contains_key(&version));
+        let mut evictions = 0;
+        if capacity > 0 {
+            while self.slots.len() >= capacity {
+                self.evict_one();
+                evictions += 1;
+            }
+        }
+        self.index.insert(version, self.slots.len());
+        self.slots.push(WarmEngine {
+            version,
+            engine,
+            referenced: AtomicBool::new(true),
+        });
+        evictions
+    }
 }
 
 /// A citation engine over an evolving, versioned database.
@@ -117,8 +230,9 @@ pub struct VersionedCitationEngine {
     registry: ViewRegistry,
     policy: Policy,
     options: EngineOptions,
-    engines: RwLock<HashMap<VersionId, Arc<CitationEngine>>>,
+    engines: RwLock<EngineMap>,
     derive_threshold: usize,
+    engine_capacity: usize,
     counters: VersionCounters,
     /// Write-behind persistence: after every successful
     /// [`commit_with`](Self::commit_with) the whole history is synced
@@ -136,8 +250,9 @@ impl VersionedCitationEngine {
             registry,
             policy: Policy::default(),
             options: EngineOptions::default(),
-            engines: RwLock::new(HashMap::new()),
+            engines: RwLock::new(EngineMap::default()),
             derive_threshold: DEFAULT_DERIVE_THRESHOLD,
+            engine_capacity: 0,
             counters: VersionCounters::default(),
             storage: None,
         }
@@ -201,6 +316,17 @@ impl VersionedCitationEngine {
         self
     }
 
+    /// Bound the warm-engine map: at most `capacity` per-version
+    /// engines stay warm, evicted second-chance (CLOCK) — recently
+    /// cited versions survive, cold ones fall out and are re-derived
+    /// or rebuilt on their next touch. `0` (the default) keeps every
+    /// engine warm, which is only safe for short histories: without a
+    /// bound the map grows with every distinct version ever cited.
+    pub fn with_engine_capacity(mut self, capacity: usize) -> Self {
+        self.engine_capacity = capacity;
+        self
+    }
+
     /// Derived-vs-rebuilt serving counters.
     pub fn version_stats(&self) -> VersionStats {
         VersionStats {
@@ -210,8 +336,45 @@ impl VersionedCitationEngine {
             derived: self.counters.derived.load(Ordering::Relaxed),
             rebuilt: self.counters.rebuilt.load(Ordering::Relaxed),
             fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
+            shared: self.counters.shared.load(Ordering::Relaxed),
+            engine_evictions: self.counters.engine_evictions.load(Ordering::Relaxed),
             derive_threshold: self.derive_threshold,
+            engine_capacity: self.engine_capacity,
         }
+    }
+
+    /// Approximate resident footprint of the history snapshots and
+    /// every warm engine (base store plus materialized extent store),
+    /// deduplicated by `Arc` identity — structurally shared relations
+    /// are counted (and sized) once.
+    pub fn memory_stats(&self) -> VersionMemoryStats {
+        fn tally(
+            db: &Database,
+            seen: &mut HashSet<*const Relation>,
+            stats: &mut VersionMemoryStats,
+        ) {
+            for arc in db.relation_arcs() {
+                stats.relation_refs += 1;
+                if seen.insert(Arc::as_ptr(arc)) {
+                    stats.unique_relations += 1;
+                    stats.resident_bytes += arc.approx_bytes();
+                }
+            }
+        }
+        let mut seen: HashSet<*const Relation> = HashSet::new();
+        let mut stats = VersionMemoryStats::default();
+        for (_, db) in self.history.iter() {
+            tally(db, &mut seen, &mut stats);
+        }
+        let map = self.engines.read().expect("engine map poisoned");
+        for engine in map.engines() {
+            tally(engine.database(), &mut seen, &mut stats);
+            if let Some(extent) = engine.extent_database_if_built() {
+                tally(&extent, &mut seen, &mut stats);
+            }
+        }
+        stats.shared_relations = stats.relation_refs - stats.unique_relations;
+        stats
     }
 
     /// The version history.
@@ -255,8 +418,10 @@ impl VersionedCitationEngine {
 
     /// Try to derive `version`'s engine by replaying its commit delta
     /// onto the previous version's warm engine. `None` (with the
-    /// fallback accounting) sends the caller to the rebuild path.
-    fn derive_from_neighbor(&self, version: VersionId) -> Option<Arc<CitationEngine>> {
+    /// fallback accounting) sends the caller to the rebuild path; the
+    /// flag is `true` when the delta was empty or touched no view, so
+    /// derivation was pure structural sharing.
+    fn derive_from_neighbor(&self, version: VersionId) -> Option<(Arc<CitationEngine>, bool)> {
         let delta = self.history.delta(version)?;
         // threshold 0 is a full disable (even empty deltas rebuild)
         if self.derive_threshold == 0
@@ -270,7 +435,7 @@ impl VersionedCitationEngine {
             .engines
             .read()
             .expect("engine map poisoned")
-            .get(&(version - 1))
+            .get(version - 1)
             .map(Arc::clone)?;
         // The op threshold alone is blind to removal cost:
         // `Relation::remove` keeps insertion order by compacting, so
@@ -295,8 +460,9 @@ impl VersionedCitationEngine {
             self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        let shared = delta.is_empty() || !parent.delta_affects_views(delta);
         match parent.derive_with_delta(delta) {
-            Ok(engine) => Some(Arc::new(engine)),
+            Ok(engine) => Some((Arc::new(engine), shared)),
             Err(_) => {
                 // replay mismatch: evidence the warm neighbor diverged
                 // from its snapshot — rebuild from the source of truth
@@ -314,7 +480,7 @@ impl VersionedCitationEngine {
             .engines
             .read()
             .expect("engine map poisoned")
-            .get(&version)
+            .get(version)
         {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(engine));
@@ -329,8 +495,12 @@ impl VersionedCitationEngine {
         // debug assertion below checks the agreement that reasoning
         // relies on.
         let engine = match self.derive_from_neighbor(version) {
-            Some(derived) => {
-                self.counters.derived.fetch_add(1, Ordering::Relaxed);
+            Some((derived, shared)) => {
+                if shared {
+                    self.counters.shared.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.counters.derived.fetch_add(1, Ordering::Relaxed);
+                }
                 derived
             }
             None => {
@@ -350,16 +520,20 @@ impl VersionedCitationEngine {
             }
         };
         let mut map = self.engines.write().expect("engine map poisoned");
-        match map.entry(version) {
-            Entry::Occupied(existing) => {
-                debug_assert!(
-                    existing.get().database().content_eq(engine.database()),
-                    "racing builders derived different databases for version {version}"
-                );
-                Ok(Arc::clone(existing.get()))
-            }
-            Entry::Vacant(slot) => Ok(Arc::clone(slot.insert(engine))),
+        if let Some(existing) = map.get(version) {
+            debug_assert!(
+                existing.database().content_eq(engine.database()),
+                "racing builders derived different databases for version {version}"
+            );
+            return Ok(Arc::clone(existing));
         }
+        let evictions = map.insert(version, Arc::clone(&engine), self.engine_capacity);
+        if evictions > 0 {
+            self.counters
+                .engine_evictions
+                .fetch_add(evictions, Ordering::Relaxed);
+        }
+        Ok(engine)
     }
 
     /// The engine serving the newest version.
@@ -674,6 +848,105 @@ mod tests {
         assert_eq!(stats.derived, 0, "{stats:?}");
         assert_eq!(stats.fallbacks, 1, "{stats:?}");
         assert_eq!(stats.rebuilt, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn empty_or_view_untouched_commits_share_instead_of_deriving() {
+        let mut db = base_db();
+        db.create_relation(
+            RelationSchema::with_names("Unrelated", &[("x", DataType::Int)], &[]).unwrap(),
+        )
+        .unwrap();
+        let mut h = VersionedDatabase::new();
+        h.commit(db, 100, "v0").unwrap();
+        h.commit_with(200, "noop", |_| Ok(())).unwrap();
+        h.commit_with(300, "off-view", |db| {
+            db.insert("Unrelated", tuple![1]).map(|_| ())
+        })
+        .unwrap();
+        h.commit_with(400, "on-view", |db| {
+            db.insert("Family", tuple!["12", "Orexin", "gpcr"])
+                .map(|_| ())
+        })
+        .unwrap();
+        let e = VersionedCitationEngine::new(h, registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        for v in 0..4 {
+            e.cite_at_version(v, &q).unwrap();
+        }
+        let stats = e.version_stats();
+        assert_eq!(stats.rebuilt, 1, "{stats:?}");
+        assert_eq!(stats.shared, 2, "{stats:?}");
+        assert_eq!(stats.derived, 1, "{stats:?}");
+        assert_eq!(stats.fallbacks, 0, "{stats:?}");
+        // shared engines still answer correctly
+        assert_eq!(e.cite_at_version(1, &q).unwrap().citation.tuples.len(), 1);
+        assert_eq!(e.cite_at_version(3, &q).unwrap().citation.tuples.len(), 2);
+    }
+
+    #[test]
+    fn engine_capacity_bounds_warm_map_with_clock_eviction() {
+        let mut h = history();
+        h.commit_with(300, "v25", |db| {
+            db.insert("Family", tuple!["13", "Kinase", "enzyme"])
+                .map(|_| ())
+        })
+        .unwrap();
+        let e = VersionedCitationEngine::new(h, registry()).with_engine_capacity(2);
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        e.cite_at_version(0, &q).unwrap(); // rebuild
+        e.cite_at_version(1, &q).unwrap(); // derive from warm v0
+        e.cite_at_version(2, &q).unwrap(); // derive from warm v1, evict one
+        let stats = e.version_stats();
+        assert_eq!(stats.warm_engines, 2, "{stats:?}");
+        assert_eq!(stats.engine_evictions, 1, "{stats:?}");
+        assert_eq!(stats.engine_capacity, 2);
+        // eviction loses only warmth: every version still answers,
+        // re-derived or rebuilt on demand, and the bound holds
+        for v in 0..3 {
+            let cited = e.cite_at_version(v, &q).unwrap();
+            assert_eq!(cited.citation.tuples.len(), (v as usize) + 1);
+        }
+        let after = e.version_stats();
+        assert!(after.warm_engines <= 2, "{after:?}");
+        assert!(
+            after.rebuilt + after.derived + after.shared > stats.rebuilt + stats.derived,
+            "evicted versions must be rebuilt or re-derived: {after:?}"
+        );
+    }
+
+    #[test]
+    fn unbounded_capacity_keeps_every_engine_warm() {
+        let e = VersionedCitationEngine::new(history(), registry());
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        e.cite_at_version(0, &q).unwrap();
+        e.cite_at_version(1, &q).unwrap();
+        let stats = e.version_stats();
+        assert_eq!(stats.warm_engines, 2);
+        assert_eq!(stats.engine_evictions, 0);
+        assert_eq!(stats.engine_capacity, 0);
+    }
+
+    #[test]
+    fn memory_stats_count_structural_sharing() {
+        let e = VersionedCitationEngine::new(history(), registry());
+        let baseline = e.memory_stats();
+        assert!(baseline.resident_bytes > 0);
+        assert_eq!(
+            baseline.shared_relations,
+            baseline.relation_refs - baseline.unique_relations
+        );
+        let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+        e.cite_at_version(0, &q).unwrap();
+        e.cite_at_version(1, &q).unwrap();
+        let warm = e.memory_stats();
+        // warm engines share relation instances with their snapshots
+        // (and, after derivation, with their parent engine)
+        assert!(
+            warm.relation_refs > warm.unique_relations,
+            "warm engines should structurally share relations: {warm:?}"
+        );
+        assert!(warm.resident_bytes >= baseline.resident_bytes);
     }
 
     #[test]

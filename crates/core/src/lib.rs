@@ -95,7 +95,8 @@ pub use error::{CoreError, Result};
 pub use explain::explain;
 pub use fgc_relation::sharded::{ShardKeySpec, ShardStats};
 pub use fixity::{
-    VersionStats, VersionedCitation, VersionedCitationEngine, DEFAULT_DERIVE_THRESHOLD,
+    VersionMemoryStats, VersionStats, VersionedCitation, VersionedCitationEngine,
+    DEFAULT_DERIVE_THRESHOLD,
 };
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use policy::{CombineOp, OrderChoice, Policy};

@@ -244,6 +244,9 @@ impl PlanCache {
     /// queries touch only relations a commit delta left alone —
     /// plans over touched relations must recompile because the
     /// greedy order and probe choices depend on relation sizes.
+    /// A survivor landing in a full shard displaces another via the
+    /// CLOCK sweep; those displacements count in the copy's
+    /// [`PlanCacheStats::evictions`] rather than vanishing silently.
     pub fn filtered_copy<F>(&self, keep: F) -> PlanCache
     where
         F: Fn(&ConjunctiveQuery) -> bool,
@@ -253,7 +256,8 @@ impl PlanCache {
             let guard = shard.read().expect("plan cache shard poisoned");
             for slot in &guard.slots {
                 if keep(&slot.query) {
-                    copy.shard(&slot.query)
+                    let evicted = copy
+                        .shard(&slot.query)
                         .write()
                         .expect("plan cache shard poisoned")
                         .insert(
@@ -261,6 +265,9 @@ impl PlanCache {
                             Arc::clone(&slot.plan),
                             copy.shard_capacity,
                         );
+                    if evicted {
+                        copy.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }

@@ -9,10 +9,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// An in-memory relational database.
+///
+/// Relations are held behind [`Arc`] so cloning a database is O(1)
+/// per relation: the clone structurally *shares* every relation with
+/// the original, and a relation is deep-copied only on first mutable
+/// access ([`Database::relation_mut`] goes through [`Arc::make_mut`]).
+/// This is what makes versioned serving O(changed): a derived version
+/// pays only for the relations its delta touches.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     catalog: Catalog,
-    relations: HashMap<String, Relation>,
+    relations: HashMap<String, Arc<Relation>>,
     /// Whether a commit delta is being captured (see
     /// [`Database::begin_delta`]).
     recording: bool,
@@ -35,7 +42,8 @@ impl Database {
             self.structural_change = true;
             relation.start_recording();
         }
-        self.relations.insert(relation.name().to_string(), relation);
+        self.relations
+            .insert(relation.name().to_string(), Arc::new(relation));
         Ok(())
     }
 
@@ -49,10 +57,11 @@ impl Database {
     pub fn replace_schema(&mut self, schema: RelationSchema) -> Result<()> {
         let name = schema.name.clone();
         let arc = self.catalog.replace(schema)?;
-        self.relations
+        let rel = self
+            .relations
             .get_mut(&name)
-            .ok_or(RelationError::UnknownRelation(name))?
-            .set_schema(arc);
+            .ok_or(RelationError::UnknownRelation(name))?;
+        Arc::make_mut(rel).set_schema(arc);
         if self.recording {
             self.structural_change = true;
         }
@@ -63,14 +72,34 @@ impl Database {
     pub fn relation(&self, name: &str) -> Result<&Relation> {
         self.relations
             .get(name)
+            .map(|arc| arc.as_ref())
             .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
     }
 
-    /// A mutable relation by name.
-    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+    /// The shared handle for a relation, for structural sharing
+    /// across derived databases (see [`Database::adopt_relation_arc`]).
+    pub fn relation_arc(&self, name: &str) -> Result<&Arc<Relation>> {
         self.relations
-            .get_mut(name)
+            .get(name)
             .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
+    }
+
+    /// A mutable relation by name. Copy-on-write: if the relation is
+    /// shared with another database (a parent or derived version), it
+    /// is deep-copied here first, so mutations never leak into a
+    /// sharer. While a delta is being captured the first mutable
+    /// access also attaches the effective-op log (recording is lazy —
+    /// untouched relations stay shared and logless).
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        let arc = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))?;
+        let rel = Arc::make_mut(arc);
+        if self.recording {
+            rel.start_recording();
+        }
+        Ok(rel)
     }
 
     /// Insert one tuple (key/type/arity checked; FKs are checked by
@@ -109,12 +138,14 @@ impl Database {
     /// relation, replacing a schema, building an index — mark the
     /// delta structural, which tells consumers to rebuild instead of
     /// replay.
+    ///
+    /// Recording is lazy: no relation is touched here. The op log is
+    /// attached on a relation's first mutable access, which is also
+    /// when copy-on-write unshares it — so a commit that touches k of
+    /// n relations costs O(k), not O(n).
     pub fn begin_delta(&mut self) {
         self.recording = true;
         self.structural_change = false;
-        for relation in self.relations.values_mut() {
-            relation.start_recording();
-        }
     }
 
     /// Stop capturing and return the recorded delta. Per-relation
@@ -127,10 +158,16 @@ impl Database {
         let mut relations = Vec::new();
         let names: Vec<String> = self.catalog.iter().map(|s| s.name.clone()).collect();
         for name in names {
-            let Some(relation) = self.relations.get_mut(&name) else {
+            let Some(arc) = self.relations.get_mut(&name) else {
                 continue;
             };
-            let Some(log) = relation.take_log() else {
+            // Only relations that saw a mutable access carry a log,
+            // and that access already unshared them — `make_mut` on
+            // the rest would deep-copy shared data for nothing.
+            if !arc.has_log() {
+                continue;
+            }
+            let Some(log) = Arc::make_mut(arc).take_log() else {
                 continue;
             };
             structural |= log.structural;
@@ -182,16 +219,42 @@ impl Database {
     /// its existing schema. Used when deriving one database from
     /// another to carry over relations known to be unchanged.
     pub fn adopt_relation(&mut self, relation: Relation) -> Result<()> {
+        self.adopt_relation_arc(Arc::new(relation))
+    }
+
+    /// Adopt a relation by shared handle: the adopting database
+    /// structurally shares the rows and indexes with every other
+    /// holder of the `Arc` (copy-on-write protects sharers if either
+    /// side later mutates). This is the O(1) carry-over path for
+    /// derived versions.
+    pub fn adopt_relation_arc(&mut self, relation: Arc<Relation>) -> Result<()> {
         self.catalog.add((**relation.schema()).clone())?;
         let mut relation = relation;
         if self.recording {
             // like create_relation: op replay cannot reproduce a
             // wholesale adoption, so the delta must force a rebuild
             self.structural_change = true;
-            relation.start_recording();
+            Arc::make_mut(&mut relation).start_recording();
         }
         self.relations.insert(relation.name().to_string(), relation);
         Ok(())
+    }
+
+    /// Shared relation handles in catalog (registration) order. Used
+    /// by memory accounting to deduplicate structurally shared
+    /// relations across versions by pointer identity.
+    pub fn relation_arcs(&self) -> impl Iterator<Item = &Arc<Relation>> {
+        self.catalog
+            .iter()
+            .filter_map(move |s| self.relations.get(&s.name))
+    }
+
+    /// Rough resident size of the stored data in bytes (rows plus
+    /// index structures). Shared relations are counted in full here;
+    /// callers that hold several versions deduplicate via
+    /// [`Database::relation_arcs`] pointer identity.
+    pub fn approx_bytes(&self) -> usize {
+        self.relations.values().map(|r| r.approx_bytes()).sum()
     }
 
     /// Structural equality of the stored data: same catalog (names,
@@ -212,7 +275,7 @@ impl Database {
 
     /// Total number of stored tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// Validate every foreign key in the instance: for each

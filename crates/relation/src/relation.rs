@@ -59,6 +59,12 @@ impl Relation {
         self.log.take()
     }
 
+    /// Whether an effective-op log is attached (i.e. this relation
+    /// saw a mutable access since recording began).
+    pub(crate) fn has_log(&self) -> bool {
+        self.log.is_some()
+    }
+
     /// The relation's schema.
     pub fn schema(&self) -> &Arc<RelationSchema> {
         &self.schema
@@ -155,6 +161,11 @@ impl Relation {
         self.segment.contains(tuple)
     }
 
+    /// The row position of a stored tuple, if present.
+    pub fn position_of(&self, tuple: &Tuple) -> Option<usize> {
+        self.segment.position_of(tuple)
+    }
+
     /// Look up a row by primary key (key must match schema key arity).
     pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
         self.segment.get_by_key(key)
@@ -189,6 +200,11 @@ impl Relation {
     /// index if one exists, otherwise `None` (caller should scan).
     pub fn probe(&self, column: usize, value: &Value) -> Option<&[usize]> {
         self.segment.probe(column, value)
+    }
+
+    /// Rough resident size of this relation's data in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.segment.approx_bytes()
     }
 
     /// Rows whose `column` equals `value` (scans if no index exists).

@@ -23,6 +23,7 @@
 //! prune fan-out.
 
 use crate::database::Database;
+use crate::delta::{DatabaseDelta, DeltaOp};
 use crate::error::{RelationError, Result};
 use crate::relation::Relation;
 use crate::schema::{Catalog, RelationSchema};
@@ -31,6 +32,7 @@ use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Deterministic 64-bit FNV-1a, used for shard routing. The std
 /// `RandomState` is seeded per process, which would scatter the same
@@ -193,20 +195,27 @@ impl ShardStats {
 
 /// A horizontally partitioned database: `N` shard [`Database`]s plus
 /// the per-relation global placement order.
+///
+/// The per-relation bookkeeping (placement order, its inverse, the
+/// global key guard) is `Arc`-shared so cloning a sharded database —
+/// the first step of [`ShardedDatabase::derive_with_delta`] — costs
+/// pointers; a relation's bookkeeping is deep-copied only when a
+/// delta actually touches it (the shard [`Database`]s are themselves
+/// copy-on-write at the relation level).
 #[derive(Debug, Clone)]
 pub struct ShardedDatabase {
     shards: Vec<Database>,
     /// Resolved shard-key column per relation (absent = whole-tuple).
     key_cols: HashMap<String, usize>,
     /// Per relation: global insertion order -> physical placement.
-    placement: HashMap<String, Vec<Placement>>,
+    placement: HashMap<String, Arc<Vec<Placement>>>,
     /// Per relation and shard: local position -> global rank (the
     /// inverse of `placement`, precomputed so routed evaluation can
     /// borrow it instead of rebuilding per query).
-    global_ids: HashMap<String, Vec<Vec<usize>>>,
+    global_ids: HashMap<String, Arc<Vec<Vec<usize>>>>,
     /// Global primary-key guard: shard-local key indexes cannot see
     /// a duplicate key whose tuple routed to a different shard.
-    key_guard: HashMap<String, HashSet<Tuple>>,
+    key_guard: HashMap<String, Arc<HashSet<Tuple>>>,
     spec: ShardKeySpec,
 }
 
@@ -256,10 +265,10 @@ impl ShardedDatabase {
         for shard in &mut self.shards {
             shard.create_relation(schema.clone())?;
         }
-        self.placement.insert(name.clone(), Vec::new());
+        self.placement.insert(name.clone(), Arc::new(Vec::new()));
         self.global_ids
-            .insert(name.clone(), vec![Vec::new(); self.shards.len()]);
-        self.key_guard.insert(name, HashSet::new());
+            .insert(name.clone(), Arc::new(vec![Vec::new(); self.shards.len()]));
+        self.key_guard.insert(name, Arc::new(HashSet::new()));
         Ok(())
     }
 
@@ -318,27 +327,131 @@ impl ShardedDatabase {
         let added = self.shards[shard].insert(relation, tuple)?;
         if added {
             let local = self.shards[shard].relation(relation)?.len() - 1;
-            let placement = self
-                .placement
-                .get_mut(relation)
-                .expect("relation registered");
+            let placement = Arc::make_mut(
+                self.placement
+                    .get_mut(relation)
+                    .expect("relation registered"),
+            );
             let rank = placement.len();
             placement.push((shard as u32, local as u32));
-            self.global_ids
-                .get_mut(relation)
-                .expect("relation registered")[shard]
+            Arc::make_mut(
+                self.global_ids
+                    .get_mut(relation)
+                    .expect("relation registered"),
+            )[shard]
                 .push(rank);
             let rel = self.shards[shard].relation(relation)?;
             let schema = rel.schema();
             if schema.has_key() {
                 let key = rel.rows()[local].project(&schema.key);
-                self.key_guard
-                    .get_mut(relation)
-                    .expect("relation registered")
-                    .insert(key);
+                Arc::make_mut(
+                    self.key_guard
+                        .get_mut(relation)
+                        .expect("relation registered"),
+                )
+                .insert(key);
             }
         }
         Ok(added)
+    }
+
+    /// Remove one tuple, preserving the global insertion order of the
+    /// survivors — the sharded twin of [`Database::remove`]. Returns
+    /// `true` if the tuple was stored. The removed row's shard
+    /// compacts its local positions (exactly like
+    /// [`Relation::remove`]), and the placement order, its inverse,
+    /// and the key guard are patched to match, so a derived sharded
+    /// database is structurally identical to re-partitioning the
+    /// derived unsharded one.
+    pub fn remove(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        let shard = self.route_tuple(relation, tuple);
+        let (local, key) = {
+            let rel = self.shards[shard].relation(relation)?;
+            rel.check_shape(tuple)?;
+            let Some(local) = rel.position_of(tuple) else {
+                return Ok(false);
+            };
+            let schema = rel.schema();
+            let key = schema.has_key().then(|| tuple.project(&schema.key));
+            (local, key)
+        };
+        let removed = self.shards[shard].remove(relation, tuple)?;
+        debug_assert!(removed, "position_of said the tuple was stored");
+        let ids = Arc::make_mut(
+            self.global_ids
+                .get_mut(relation)
+                .expect("relation registered"),
+        );
+        let rank = ids[shard][local];
+        ids[shard].remove(local);
+        for shard_ids in ids.iter_mut() {
+            for r in shard_ids.iter_mut() {
+                if *r > rank {
+                    *r -= 1;
+                }
+            }
+        }
+        let placement = Arc::make_mut(
+            self.placement
+                .get_mut(relation)
+                .expect("relation registered"),
+        );
+        placement.remove(rank);
+        for p in placement.iter_mut() {
+            if p.0 == shard as u32 && p.1 > local as u32 {
+                p.1 -= 1;
+            }
+        }
+        if let Some(key) = key {
+            Arc::make_mut(
+                self.key_guard
+                    .get_mut(relation)
+                    .expect("relation registered"),
+            )
+            .remove(&key);
+        }
+        Ok(true)
+    }
+
+    /// Replay a recorded delta onto the fragments in place — the
+    /// sharded twin of [`Database::apply_delta`], with the same
+    /// soundness contract: the base must be the delta's parent, every
+    /// op must be effective again, and structural deltas abort with
+    /// [`RelationError::DeltaMismatch`] (the database may then be
+    /// partially updated and should be discarded).
+    pub fn apply_delta(&mut self, delta: &DatabaseDelta) -> Result<()> {
+        if delta.is_structural() {
+            return Err(RelationError::DeltaMismatch(
+                "structural delta cannot be replayed".into(),
+            ));
+        }
+        for rd in delta.relations() {
+            for op in &rd.ops {
+                let effective = match op {
+                    DeltaOp::Insert(t) => self.insert(&rd.relation, t.clone())?,
+                    DeltaOp::Remove(t) => self.remove(&rd.relation, t)?,
+                };
+                if !effective {
+                    return Err(RelationError::DeltaMismatch(format!(
+                        "op had no effect on `{}`: base is not the delta's parent",
+                        rd.relation
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Derive the child version's sharded database by replaying a
+    /// delta into the existing fragments: an O(changed) alternative
+    /// to [`ShardedDatabase::from_database`] re-partitioning. The
+    /// clone structurally shares every fragment and bookkeeping
+    /// vector with `self`; only delta-touched relations are unshared
+    /// (copy-on-write) during replay.
+    pub fn derive_with_delta(&self, delta: &DatabaseDelta) -> Result<ShardedDatabase> {
+        let mut derived = self.clone();
+        derived.apply_delta(delta)?;
+        Ok(derived)
     }
 
     /// Insert many tuples into one relation, returning the number
@@ -395,7 +508,7 @@ impl ShardedDatabase {
     pub fn placement(&self, relation: &str) -> Result<&[Placement]> {
         self.placement
             .get(relation)
-            .map(Vec::as_slice)
+            .map(|v| v.as_slice())
             .ok_or_else(|| RelationError::UnknownRelation(relation.to_string()))
     }
 
@@ -406,7 +519,7 @@ impl ShardedDatabase {
     pub fn shard_global_ids(&self, relation: &str) -> Result<&[Vec<usize>]> {
         self.global_ids
             .get(relation)
-            .map(Vec::as_slice)
+            .map(|v| v.as_slice())
             .ok_or_else(|| RelationError::UnknownRelation(relation.to_string()))
     }
 
@@ -629,6 +742,118 @@ mod tests {
     fn unknown_shard_key_column_rejected_at_create() {
         let mut s = ShardedDatabase::new(2, ShardKeySpec::new().with("Family", "Bogus"));
         assert!(s.create_relation(family_schema()).is_err());
+    }
+
+    #[test]
+    fn remove_preserves_global_order_and_key_guard() {
+        let mut s = sample(4);
+        assert!(s.remove("Family", &tuple!["f7", "Name7", "gpcr"]).unwrap());
+        assert!(!s.remove("Family", &tuple!["f7", "Name7", "gpcr"]).unwrap());
+        assert_eq!(s.total_tuples(), 19);
+        // placement still inverts global_ids after compaction
+        let placement = s.placement("Family").unwrap();
+        let ids = s.shard_global_ids("Family").unwrap();
+        for (g, &(shard, local)) in placement.iter().enumerate() {
+            assert_eq!(ids[shard as usize][local as usize], g);
+        }
+        // global order of survivors is the unsharded removal order
+        let assembled = s.assemble().unwrap();
+        let fids: Vec<String> = assembled
+            .relation("Family")
+            .unwrap()
+            .iter()
+            .map(|t| t[0].to_string())
+            .collect();
+        let expected: Vec<String> = (0..20)
+            .filter(|&i| i != 7)
+            .map(|i| format!("f{i}"))
+            .collect();
+        assert_eq!(fids, expected);
+        // the key is reusable after removal (guard was patched)
+        assert!(s.insert("Family", tuple!["f7", "Again", "gpcr"]).unwrap());
+    }
+
+    #[test]
+    fn derive_with_delta_matches_repartitioning() {
+        let mut db = Database::new();
+        db.create_relation(family_schema()).unwrap();
+        for i in 0..30 {
+            db.insert(
+                "Family",
+                tuple![format!("f{i}"), format!("Name{i}"), "gpcr"],
+            )
+            .unwrap();
+        }
+        db.relation_mut("Family").unwrap().build_index(2).unwrap();
+        let spec = ShardKeySpec::new().with("Family", "FID");
+        let parent_sharded = ShardedDatabase::from_database(&db, 4, spec.clone()).unwrap();
+
+        let mut child = db.clone();
+        child.begin_delta();
+        child
+            .remove("Family", &tuple!["f3", "Name3", "gpcr"])
+            .unwrap();
+        child
+            .remove("Family", &tuple!["f19", "Name19", "gpcr"])
+            .unwrap();
+        child
+            .insert("Family", tuple!["f99", "Name99", "enzyme"])
+            .unwrap();
+        let delta = child.take_delta();
+
+        let derived = parent_sharded.derive_with_delta(&delta).unwrap();
+        let repartitioned = ShardedDatabase::from_database(&child, 4, spec).unwrap();
+        // identical fragments: same rows in the same local order
+        for (a, b) in derived.shards().iter().zip(repartitioned.shards()) {
+            assert_eq!(
+                a.relation("Family").unwrap().rows(),
+                b.relation("Family").unwrap().rows()
+            );
+            assert_eq!(
+                a.relation("Family").unwrap().indexed_columns(),
+                b.relation("Family").unwrap().indexed_columns()
+            );
+        }
+        // identical bookkeeping
+        assert_eq!(
+            derived.placement("Family").unwrap(),
+            repartitioned.placement("Family").unwrap()
+        );
+        assert_eq!(
+            derived.shard_global_ids("Family").unwrap(),
+            repartitioned.shard_global_ids("Family").unwrap()
+        );
+        // and the parent was untouched (copy-on-write)
+        assert_eq!(parent_sharded.total_tuples(), 30);
+        assert!(parent_sharded
+            .assemble()
+            .unwrap()
+            .relation("Family")
+            .unwrap()
+            .contains(&tuple!["f3", "Name3", "gpcr"]));
+    }
+
+    #[test]
+    fn sharded_apply_delta_rejects_structural_and_diverged() {
+        let mut db = Database::new();
+        db.create_relation(family_schema()).unwrap();
+        db.insert("Family", tuple!["f1", "Name1", "gpcr"]).unwrap();
+        let mut s =
+            ShardedDatabase::from_database(&db, 2, ShardKeySpec::new().with("Family", "FID"))
+                .unwrap();
+        // ineffective op (tuple already present) is divergence
+        let mut child = db.clone();
+        child.begin_delta();
+        child.insert("Family", tuple!["f1", "Name1", "gpcr"]).ok();
+        child
+            .insert("Family", tuple!["f2", "Name2", "gpcr"])
+            .unwrap();
+        let delta = child.take_delta();
+        s.apply_delta(&delta).unwrap();
+        assert!(matches!(
+            s.apply_delta(&delta).unwrap_err(),
+            RelationError::DeltaMismatch(_)
+        ));
     }
 
     #[test]

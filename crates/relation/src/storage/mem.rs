@@ -69,6 +69,11 @@ impl MemSegment {
         self.row_set.contains_key(tuple)
     }
 
+    /// The stored position of a tuple, if present.
+    pub fn position_of(&self, tuple: &Tuple) -> Option<usize> {
+        self.row_set.get(tuple).copied()
+    }
+
     /// Look up a row by primary-key projection.
     pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
         self.key_index.get(key).map(|&i| &self.rows[i])
@@ -171,6 +176,41 @@ impl MemSegment {
         self.secondary
             .get(&column)
             .map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Rough resident size in bytes: row payloads plus the hash-map
+    /// entries of the set guard, key index, and secondary postings.
+    /// An estimate (hash-table load factors and allocator slack are
+    /// not modeled), intended for relative memory reporting.
+    pub fn approx_bytes(&self) -> usize {
+        let rows: usize = self.rows.iter().map(Tuple::approx_bytes).sum();
+        let entry = std::mem::size_of::<(Tuple, usize)>();
+        let row_set = self.row_set.len() * entry
+            + self
+                .row_set
+                .keys()
+                .map(|t| t.approx_bytes() - std::mem::size_of::<Tuple>())
+                .sum::<usize>();
+        let key_index = self.key_index.len() * entry
+            + self
+                .key_index
+                .keys()
+                .map(|t| t.approx_bytes() - std::mem::size_of::<Tuple>())
+                .sum::<usize>();
+        let secondary: usize = self
+            .secondary
+            .values()
+            .map(|idx| {
+                idx.iter()
+                    .map(|(v, list)| {
+                        std::mem::size_of::<Value>()
+                            + v.heap_bytes()
+                            + list.len() * std::mem::size_of::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        rows + row_set + key_index + secondary
     }
 }
 

@@ -51,6 +51,19 @@ impl Tuple {
     pub fn iter(&self) -> std::slice::Iter<'_, Value> {
         self.values.iter()
     }
+
+    /// Rough resident size in bytes (inline enum slots plus string
+    /// heap payloads). String data shared across clones via `Arc` is
+    /// counted at every holder — an upper bound, which is the safe
+    /// direction for memory budgeting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>()
+            + self
+                .values
+                .iter()
+                .map(|v| std::mem::size_of::<Value>() + v.heap_bytes())
+                .sum::<usize>()
+    }
 }
 
 impl Index<usize> for Tuple {

@@ -70,6 +70,14 @@ impl Value {
         Value::Str(Arc::from(s.as_ref()))
     }
 
+    /// Heap bytes behind this value (string payload; scalars are 0).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        }
+    }
+
     /// An integer value.
     pub fn int(i: i64) -> Self {
         Value::Int(i)

@@ -886,6 +886,7 @@ fn serve_stats(ctx: &WorkerContext) -> String {
     }
     if let Some(versioned) = &ctx.versioned {
         let fixity = versioned.version_stats();
+        let memory = versioned.memory_stats();
         body.set(
             "fixity",
             Json::from_pairs([
@@ -895,9 +896,26 @@ fn serve_stats(ctx: &WorkerContext) -> String {
                 ("derived", Json::Int(fixity.derived as i64)),
                 ("rebuilt", Json::Int(fixity.rebuilt as i64)),
                 ("fallbacks", Json::Int(fixity.fallbacks as i64)),
+                ("shared", Json::Int(fixity.shared as i64)),
+                (
+                    "engine_evictions",
+                    Json::Int(fixity.engine_evictions as i64),
+                ),
                 (
                     "derive_threshold",
                     Json::Int(fixity.derive_threshold.min(i64::MAX as usize) as i64),
+                ),
+                (
+                    "engine_capacity",
+                    Json::Int(fixity.engine_capacity.min(i64::MAX as usize) as i64),
+                ),
+                (
+                    "resident_bytes",
+                    Json::Int(memory.resident_bytes.min(i64::MAX as usize) as i64),
+                ),
+                (
+                    "shared_relations",
+                    Json::Int(memory.shared_relations as i64),
                 ),
             ]),
         );

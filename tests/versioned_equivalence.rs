@@ -166,10 +166,16 @@ fn randomized_histories_derived_equals_rebuilt() {
         }
 
         let asc = ascending.version_stats();
+        // empty commits (and deletes that found nothing) serve by
+        // pure structural sharing, counted under `shared`
         assert_eq!(
-            asc.derived as usize,
+            (asc.derived + asc.shared) as usize,
             versions - 1,
-            "ascending walk must derive every non-root version: {asc:?}"
+            "ascending walk must derive or share every non-root version: {asc:?}"
+        );
+        assert!(
+            asc.shared >= 1,
+            "the trailing empty commit must be served by sharing: {asc:?}"
         );
         assert_eq!(asc.rebuilt, 1, "{asc:?}");
         let ref_stats = reference.version_stats();
@@ -252,11 +258,11 @@ fn derived_engine_invalidates_stale_plans_and_tokens() {
 
     // first touch of v1 derives from the warm v0
     let v0_result = subject.cite_at_version(0, &committee).unwrap();
-    let v1_result = subject.cite_at_version(1, &committee).unwrap();
-    assert_eq!(subject.version_stats().derived, 1);
     let v1 = subject.engine_for_version(1).unwrap();
+    assert_eq!(subject.version_stats().derived, 1);
 
     // the carried caches dropped the stale entries but kept the rest
+    // (read before citing at v1 — serving refills what was dropped)
     let derived_plans = v1.plan_stats();
     let derived_cache = v1.cache_stats();
     assert!(
@@ -269,8 +275,10 @@ fn derived_engine_invalidates_stale_plans_and_tokens() {
         "stale tokens must be dropped: {derived_cache:?} vs {parent_cache:?}"
     );
     assert!(derived_cache.entries > 0, "unaffected tokens must survive");
+
+    let v1_result = subject.cite_at_version(1, &committee).unwrap();
     // serving the stale query recompiled its plan (a miss, no hit-only path)
-    assert!(derived_plans.misses > 0, "{derived_plans:?}");
+    assert!(v1.plan_stats().misses > 0, "{:?}", v1.plan_stats());
 
     // result diff: v1 sees the new committee member, v0 does not,
     // and both match the rebuild reference byte for byte
@@ -306,7 +314,124 @@ fn over_threshold_commits_fall_back_and_stay_identical() {
         );
     }
     let stats = tiny_threshold.version_stats();
-    // commits of >1 op rebuilt; the trailing empty commit derived
+    // commits of >1 op rebuilt; the trailing empty commit is served
+    // by pure structural sharing
     assert!(stats.fallbacks >= 1, "{stats:?}");
-    assert!(stats.derived >= 1, "{stats:?}");
+    assert!(stats.shared >= 1, "{stats:?}");
+}
+
+/// Tentpole: the 1,000-commit randomized walk. Every non-root version
+/// is served by delta replay (or pure sharing) off its warm neighbor,
+/// and sampled versions cite byte-identically to a threshold-0
+/// rebuild reference. The full-sweep timing/memory companion lives in
+/// the E13 bench; debug builds walk a shorter history so the tier-1
+/// suite stays fast — CI runs the full length in release.
+#[test]
+fn thousand_commit_walk_derives_and_matches_rebuild_at_samples() {
+    const COMMITS: usize = if cfg!(debug_assertions) { 250 } else { 1_000 };
+    let history = history_for_seed(0xC1D2, COMMITS);
+    let versions = history.len();
+    let ascending = VersionedCitationEngine::new(history.clone(), paper_views());
+    let reference = VersionedCitationEngine::new(history, paper_views()).with_derive_threshold(0);
+    // warm every version in order: O(changed) per step, never O(|DB|)
+    for v in 0..versions as u64 {
+        ascending.engine_for_version(v).unwrap();
+    }
+    let stats = ascending.version_stats();
+    assert_eq!(stats.rebuilt, 1, "{stats:?}");
+    assert_eq!(stats.fallbacks, 0, "{stats:?}");
+    assert_eq!(
+        (stats.derived + stats.shared) as usize,
+        versions - 1,
+        "{stats:?}"
+    );
+    assert!(stats.shared >= 1, "{stats:?}");
+    assert_eq!(stats.warm_engines, versions, "{stats:?}");
+    // every warm engine rides on structural sharing with its
+    // neighbors and the history snapshots
+    let memory = ascending.memory_stats();
+    assert!(
+        memory.shared_relations as usize >= versions,
+        "warm engines must share relations, not copy them: {memory:?}"
+    );
+    // byte-identical citations at sampled versions (rebuilding the
+    // reference at all versions would be O(versions × |DB|))
+    let queries = queries();
+    let mut samples: Vec<u64> = (0..versions as u64).step_by(101).collect();
+    samples.push(versions as u64 - 1);
+    for &v in &samples {
+        for q in &queries {
+            assert_eq!(
+                render(&ascending.cite_at_version(v, q).unwrap()),
+                render(&reference.cite_at_version(v, q).unwrap()),
+                "version {v} query {q}"
+            );
+        }
+    }
+}
+
+/// Satellite: copy-on-write isolation. Mutating a derived child
+/// database never leaks into the parent it structurally shares
+/// relations with, and relations the child did not touch stay
+/// pointer-identical (shared, not copied).
+#[test]
+fn derived_child_never_mutates_shared_parent() {
+    use std::sync::Arc;
+
+    // Database-level: a clone shares every relation; mutation copies
+    // only the touched one.
+    let parent = fgcite::gtopdb::generate(&GeneratorConfig::tiny().with_seed(1));
+    let parent_rows = parent.relation("Family").unwrap().rows().to_vec();
+    let mut child = parent.clone();
+    child
+        .insert("Family", tuple!["zz", "Leak-Probe", "gpcr"])
+        .unwrap();
+    assert_eq!(parent.relation("Family").unwrap().rows(), &parent_rows[..]);
+    assert_eq!(
+        child.relation("Family").unwrap().len(),
+        parent_rows.len() + 1
+    );
+    assert!(
+        Arc::ptr_eq(
+            parent.relation_arc("Person").unwrap(),
+            child.relation_arc("Person").unwrap()
+        ),
+        "untouched relations must stay shared"
+    );
+    // removal compacts the child's copy only
+    let victim = parent_rows[0].clone();
+    child.remove("Family", &victim).unwrap();
+    assert_eq!(&parent.relation("Family").unwrap().rows()[0], &victim);
+    assert!(child
+        .relation("Family")
+        .unwrap()
+        .position_of(&victim)
+        .is_none());
+
+    // Engine-level: deriving children off a warm parent leaves the
+    // parent's store and citations bit-for-bit intact, while the
+    // never-touched Person relation is shared across every engine.
+    let history = history_for_seed(99, 3);
+    let e = VersionedCitationEngine::new(history, paper_views());
+    let q = parse_query("Q(N) :- Family(F, N, Ty)").unwrap();
+    let parent_render = render(&e.cite_at_version(0, &q).unwrap());
+    let v0 = e.engine_for_version(0).unwrap();
+    let v0_family = v0.database().relation("Family").unwrap().rows().to_vec();
+    for v in 1..4 {
+        e.cite_at_version(v, &q).unwrap();
+    }
+    assert_eq!(
+        v0.database().relation("Family").unwrap().rows(),
+        &v0_family[..],
+        "deriving children must not disturb the parent's relations"
+    );
+    assert_eq!(render(&e.cite_at_version(0, &q).unwrap()), parent_render);
+    let v3 = e.engine_for_version(3).unwrap();
+    assert!(
+        Arc::ptr_eq(
+            v0.database().relation_arc("Person").unwrap(),
+            v3.database().relation_arc("Person").unwrap()
+        ),
+        "a relation no commit touches must be one shared instance"
+    );
 }
